@@ -1,0 +1,223 @@
+// Experiment E10 — ablations for the §6 extensions.
+//
+//  (a) Optimistic vs. randomized atomic broadcast: "optimistic protocols
+//      run very fast if no corruptions occur" — messages and steps per
+//      delivery on the fast path vs. the full randomized stack, and the
+//      one-time cost of switching to the pessimistic mode.
+//  (b) Hybrid failure structures: "crashes ... are much easier to handle
+//      than Byzantine corruptions" — a 6-server hybrid deployment
+//      (t_b = 1, t_c = 1) vs. the 7-server pure-Byzantine deployment
+//      (t = 2) that the classical model would need for the same fault
+//      count, same workload.
+//  (c) Proactive refresh: cost of one share-refresh epoch vs. system size.
+#include <cstdio>
+
+#include "adversary/hybrid.hpp"
+#include "protocols/harness.hpp"
+#include "protocols/optimistic.hpp"
+#include "protocols/refresh.hpp"
+
+using namespace sintra;
+
+namespace {
+
+// ---- (a) optimistic vs pessimistic -----------------------------------------
+
+struct OptState {
+  std::unique_ptr<protocols::OptimisticBroadcast> opt;
+  std::size_t delivered = 0;
+};
+
+struct AbcState {
+  std::unique_ptr<protocols::AtomicBroadcast> abc;
+  std::size_t delivered = 0;
+};
+
+void bench_optimistic() {
+  const int payloads = 6;
+  std::printf("(a) optimistic fast path vs randomized atomic broadcast "
+              "(n=4, t=1, %d payloads)\n\n", payloads);
+  std::printf("| %-34s | %10s | %10s |\n", "mode", "msgs/pay", "steps/pay");
+  std::printf("|------------------------------------|------------|------------|\n");
+
+  {
+    Rng rng(1);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(1);
+    protocols::Cluster<OptState> cluster(
+        deployment, sched,
+        [](net::Party& party, int) {
+          auto s = std::make_unique<OptState>();
+          s->opt = std::make_unique<protocols::OptimisticBroadcast>(
+              party, "opt", 0, [p = s.get()](Bytes) { ++p->delivered; });
+          return s;
+        });
+    cluster.start();
+    for (int k = 0; k < payloads; ++k) {
+      cluster.protocol(k % 4)->opt->submit(bytes_of("pay" + std::to_string(k)));
+    }
+    cluster.run_until_all(
+        [&](OptState& s) { return s.delivered >= static_cast<std::size_t>(payloads); },
+        10000000);
+    std::printf("| %-34s | %10.1f | %10.1f |\n", "optimistic fast path",
+                static_cast<double>(cluster.simulator().total_messages()) / payloads,
+                static_cast<double>(cluster.simulator().now()) / payloads);
+  }
+  {
+    Rng rng(1);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(1);
+    protocols::Cluster<AbcState> cluster(
+        deployment, sched,
+        [](net::Party& party, int) {
+          auto s = std::make_unique<AbcState>();
+          s->abc = std::make_unique<protocols::AtomicBroadcast>(
+              party, "abc", [p = s.get()](int, Bytes) { ++p->delivered; });
+          return s;
+        });
+    cluster.start();
+    for (int k = 0; k < payloads; ++k) {
+      cluster.protocol(k % 4)->abc->submit(bytes_of("pay" + std::to_string(k)));
+    }
+    cluster.run_until_all(
+        [&](AbcState& s) { return s.delivered >= static_cast<std::size_t>(payloads); },
+        10000000);
+    std::printf("| %-34s | %10.1f | %10.1f |\n", "randomized atomic broadcast",
+                static_cast<double>(cluster.simulator().total_messages()) / payloads,
+                static_cast<double>(cluster.simulator().now()) / payloads);
+  }
+  {
+    // Fast prefix, then a forced switch, then pessimistic continuation.
+    Rng rng(1);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(1);
+    protocols::Cluster<OptState> cluster(
+        deployment, sched,
+        [](net::Party& party, int) {
+          auto s = std::make_unique<OptState>();
+          s->opt = std::make_unique<protocols::OptimisticBroadcast>(
+              party, "opt", 0, [p = s.get()](Bytes) { ++p->delivered; });
+          return s;
+        });
+    cluster.start();
+    for (int k = 0; k < payloads / 2; ++k) {
+      cluster.protocol(k % 4)->opt->submit(bytes_of("pay" + std::to_string(k)));
+    }
+    cluster.run_until_all(
+        [&](OptState& s) { return s.delivered >= static_cast<std::size_t>(payloads / 2); },
+        10000000);
+    const std::uint64_t before = cluster.simulator().total_messages();
+    cluster.protocol(1)->opt->switch_to_pessimistic();
+    cluster.run_until_all([](OptState& s) { return s.opt->pessimistic(); }, 10000000);
+    const std::uint64_t switch_cost = cluster.simulator().total_messages() - before;
+    for (int k = payloads / 2; k < payloads; ++k) {
+      cluster.protocol(k % 4)->opt->submit(bytes_of("pay" + std::to_string(k)));
+    }
+    cluster.run_until_all(
+        [&](OptState& s) { return s.delivered >= static_cast<std::size_t>(payloads); },
+        10000000);
+    std::printf("| %-34s | %10llu | %10s |\n", "  one-time switch cost (msgs)",
+                static_cast<unsigned long long>(switch_cost), "-");
+  }
+  std::printf("\n");
+}
+
+// ---- (b) hybrid vs pure Byzantine --------------------------------------------
+
+void bench_hybrid() {
+  std::printf("(b) hybrid (6 servers, t_b=1 + t_c=1) vs pure Byzantine (7 servers, t=2),\n"
+              "    both with 1 crash + 1 silent corruption, 4 payloads\n\n");
+  std::printf("| %-34s | %3s | %8s | %8s | %-5s |\n", "deployment", "n", "msgs", "steps",
+              "live");
+  std::printf("|------------------------------------|-----|----------|----------|-------|\n");
+
+  auto run = [&](adversary::Deployment deployment, const char* label) {
+    net::RandomScheduler sched(5);
+    const int n = deployment.n();
+    protocols::Cluster<AbcState> cluster(
+        deployment, sched,
+        [](net::Party& party, int) {
+          auto s = std::make_unique<AbcState>();
+          s->abc = std::make_unique<protocols::AtomicBroadcast>(
+              party, "abc", [p = s.get()](int, Bytes) { ++p->delivered; });
+          return s;
+        },
+        /*corrupted=*/crypto::party_bit(n - 1) | crypto::party_bit(n - 2));
+    cluster.start();
+    for (int k = 0; k < 4; ++k) {
+      cluster.protocol(k % 3)->abc->submit(bytes_of("pay" + std::to_string(k)));
+    }
+    const bool live = cluster.run_until_all(
+        [](AbcState& s) { return s.delivered >= 4; }, 30000000);
+    std::printf("| %-34s | %3d | %8llu | %8llu | %-5s |\n", label, n,
+                static_cast<unsigned long long>(cluster.simulator().total_messages()),
+                static_cast<unsigned long long>(cluster.simulator().now()),
+                live ? "yes" : "NO");
+  };
+
+  {
+    Rng rng(7);
+    run(adversary::hybrid_deployment(6, 1, 1, rng), "hybrid n=6 (t_b=1, t_c=1)");
+  }
+  {
+    Rng rng(7);
+    run(adversary::Deployment::threshold(7, 2, rng), "pure Byzantine n=7 (t=2)");
+  }
+  std::printf("\n");
+}
+
+// ---- (c) proactive refresh cost ------------------------------------------------
+
+struct RefreshState {
+  std::unique_ptr<protocols::ShareRefresh> refresh;
+  bool done = false;
+};
+
+void bench_refresh() {
+  std::printf("(c) proactive refresh: one epoch of coin-key resharing\n\n");
+  std::printf("| %3s | %2s | %8s | %8s | %-9s |\n", "n", "t", "msgs", "steps", "applied");
+  std::printf("|-----|----|----------|----------|-----------|\n");
+  for (int n : {4, 7, 10}) {
+    const int t = (n - 1) / 3;
+    Rng rng(static_cast<std::uint64_t>(n));
+    auto deployment = adversary::Deployment::threshold(n, t, rng);
+    net::RandomScheduler sched(static_cast<std::uint64_t>(n) * 3);
+    int applied = 0;
+    protocols::Cluster<RefreshState> cluster(
+        deployment, sched,
+        [&](net::Party& party, int id) {
+          auto s = std::make_unique<RefreshState>();
+          s->refresh = std::make_unique<protocols::ShareRefresh>(
+              party, "refresh", deployment.keys->share(id).coin.unit_shares().at(id),
+              deployment.keys->public_keys().coin.verification_values(), t,
+              [p = s.get(), &applied](protocols::ShareRefresh::Result r) {
+                p->done = true;
+                applied = r.dealings_applied;
+              });
+          return s;
+        });
+    cluster.start();
+    cluster.for_each([](int, RefreshState& s) { s.refresh->start(); });
+    const bool ok =
+        cluster.run_until_all([](RefreshState& s) { return s.done; }, 50000000);
+    std::printf("| %3d | %2d | %8llu | %8llu | %3d %-5s |\n", n, t,
+                static_cast<unsigned long long>(cluster.simulator().total_messages()),
+                static_cast<unsigned long long>(cluster.simulator().now()), applied,
+                ok ? "" : "STALL");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10: ablations for the paper's §6 extensions\n\n");
+  bench_optimistic();
+  bench_hybrid();
+  bench_refresh();
+  std::printf("\nShape check: the fast path is several times cheaper per delivery than\n"
+              "the randomized stack and the switch costs one agreement; the hybrid\n"
+              "6-server system handles 1 Byzantine + 1 crash with fewer servers and\n"
+              "fewer messages than the 7-server pure-Byzantine equivalent; a refresh\n"
+              "epoch costs a small constant number of broadcast rounds.\n");
+  return 0;
+}

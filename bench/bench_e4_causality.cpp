@@ -1,0 +1,152 @@
+// Experiment E4 — secure causal atomic broadcast defeats front-running
+// (paper §3 + §5.2).
+//
+// A corrupted notary server colludes with a competitor.  Whenever it can
+// read the content of a pending registration, it immediately submits a
+// copy; the adversarial scheduler then tries to get the copy ordered
+// first.  We run the race many times:
+//   * over plain atomic broadcast (requests in the clear), counting how
+//     often the competitor steals the earlier sequence number;
+//   * over secure causal atomic broadcast, where the corrupted server
+//     only sees an unmalleable TDH2 ciphertext — the copy attack cannot
+//     even be mounted (we also count mauling attempts rejected).
+#include <cstdio>
+
+#include "protocols/causal.hpp"
+#include "protocols/harness.hpp"
+
+using namespace sintra;
+
+namespace {
+
+constexpr int kVictim = 100;      // inventor's client id (in envelopes)
+constexpr int kCompetitor = 200;  // competitor's client id
+
+Bytes make_request(int client) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(client));
+  w.bytes(bytes_of("patent claims: warp drive"));
+  return w.take();
+}
+
+int client_of(BytesView payload) {
+  Reader r(payload);
+  return static_cast<int>(r.u32());
+}
+
+struct PlainState {
+  std::unique_ptr<protocols::AtomicBroadcast> abc;
+  std::vector<int> order;  // client ids in delivery order
+};
+
+/// One race over plain atomic broadcast.  The corrupted server (party 3)
+/// "reads" the victim's request the moment the protocol hands it any
+/// message carrying it, and immediately submits the competitor's copy.
+/// Returns true if the competitor was sequenced first.
+bool race_plaintext(std::uint64_t seed) {
+  Rng rng(seed);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::StarvePartyScheduler sched(seed, /*victim=*/0);  // starve the inventor's server
+  protocols::Cluster<PlainState> cluster(
+      deployment, sched,
+      [](net::Party& party, int) {
+        auto s = std::make_unique<PlainState>();
+        s->abc = std::make_unique<protocols::AtomicBroadcast>(
+            party, "abc", [p = s.get()](int, Bytes payload) {
+              p->order.push_back(client_of(payload));
+            });
+        return s;
+      },
+      0, 0, seed);
+  cluster.start();
+  cluster.protocol(0)->abc->submit(make_request(kVictim));
+  // The corrupted server's batch for round 1 will include the copy —
+  // plaintext visibility makes the copy instantaneous.
+  cluster.protocol(3)->abc->submit(make_request(kCompetitor));
+  cluster.run_until_all([](PlainState& s) { return s.order.size() >= 2; }, 20000000);
+  const auto& order = cluster.protocol(1)->order;
+  return order.size() >= 2 && order[0] == kCompetitor;
+}
+
+struct CausalState {
+  std::unique_ptr<protocols::SecureCausalBroadcast> sc;
+  std::vector<int> order;
+};
+
+/// One run over secure causal broadcast: the corrupted server tries to
+/// maul the ciphertext into a related one (counted), and otherwise cannot
+/// read it; the victim's registration is sequenced untouched.
+struct CausalOutcome {
+  bool victim_first = false;
+  bool maul_rejected = false;
+};
+
+CausalOutcome race_encrypted(std::uint64_t seed) {
+  Rng rng(seed);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::StarvePartyScheduler sched(seed, /*victim=*/0);
+  protocols::Cluster<CausalState> cluster(
+      deployment, sched,
+      [](net::Party& party, int) {
+        auto s = std::make_unique<CausalState>();
+        s->sc = std::make_unique<protocols::SecureCausalBroadcast>(
+            party, "sc", [p = s.get()](std::uint64_t, Bytes plaintext, Bytes) {
+              p->order.push_back(client_of(plaintext));
+            });
+        return s;
+      },
+      0, 0, seed);
+  cluster.start();
+
+  Rng client_rng(seed * 13 + 1);
+  const auto& pk = deployment.keys->public_keys().encryption;
+  auto ciphertext = pk.encrypt(make_request(kVictim), bytes_of("notary"), client_rng);
+  cluster.protocol(0)->sc->submit(ciphertext);
+
+  CausalOutcome outcome;
+  // The corrupted server attempts the CCA attack: derive a related
+  // ciphertext from the victim's (e.g. flip plaintext bits through the XOR
+  // layer).  TDH2's proof of well-formedness rejects it.
+  auto mauled = ciphertext;
+  for (auto& b : mauled.data) b ^= 0x01;
+  outcome.maul_rejected = !pk.check_ciphertext(mauled);
+
+  cluster.run_until_all([](CausalState& s) { return !s.order.empty(); }, 20000000);
+  const auto& order = cluster.protocol(1)->order;
+  outcome.victim_first = !order.empty() && order[0] == kVictim;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  const int races = 30;
+  std::printf("E4: notary front-running race, %d trials per pipeline\n", races);
+  std::printf("Paper claim (§5.2): without encryption a corrupted server can schedule\n"
+              "a related request first; with CCA2 threshold encryption it cannot.\n\n");
+
+  int stolen = 0;
+  for (int i = 0; i < races; ++i) {
+    if (race_plaintext(static_cast<std::uint64_t>(i) * 7 + 3)) ++stolen;
+  }
+  int victim_first = 0;
+  int mauls_rejected = 0;
+  for (int i = 0; i < races; ++i) {
+    auto outcome = race_encrypted(static_cast<std::uint64_t>(i) * 7 + 3);
+    if (outcome.victim_first) ++victim_first;
+    if (outcome.maul_rejected) ++mauls_rejected;
+  }
+
+  std::printf("| %-34s | %-22s |\n", "pipeline", "result");
+  std::printf("|------------------------------------|------------------------|\n");
+  std::printf("| %-34s | front-run in %2d/%2d     |\n", "atomic broadcast (plaintext)",
+              stolen, races);
+  std::printf("| %-34s | victim first in %2d/%2d  |\n",
+              "secure causal a.b. (TDH2)", victim_first, races);
+  std::printf("| %-34s | %2d/%2d rejected         |\n",
+              "  ...ciphertext mauling attempts", mauls_rejected, races);
+  std::printf("\nShape check: plaintext pipeline front-run in a substantial fraction of\n"
+              "trials (scheduler-dependent); encrypted pipeline NEVER loses the race\n"
+              "and rejects every mauling attempt.\n");
+  return victim_first == races && mauls_rejected == races ? 0 : 1;
+}

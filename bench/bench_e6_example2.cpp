@@ -1,0 +1,118 @@
+// Experiment E6 — the paper's Example 2 (§4.3): sixteen servers at four
+// locations x four operating systems.
+//
+// Regenerated claims:
+//   * the structure tolerates the SIMULTANEOUS corruption of one full
+//     location and one full OS — 7 of 16 servers — for every one of the
+//     16 (location, OS) combinations;
+//   * liveness and safety hold "as long as there are servers with three
+//     operating systems at three locations that are uncorrupted";
+//   * any threshold solution tolerates at most 5 of 16 (Q³), and a
+//     threshold deployment at t = 5 stalls under the 7-server pattern.
+#include <cstdio>
+
+#include "adversary/examples.hpp"
+#include "protocols/atomic.hpp"
+#include "protocols/harness.hpp"
+
+using namespace sintra;
+
+namespace {
+
+struct AbcState {
+  std::unique_ptr<protocols::AtomicBroadcast> abc;
+  std::vector<Bytes> log;
+};
+
+crypto::PartySet row_and_column(int location, int os) {
+  crypto::PartySet set = 0;
+  for (int k = 0; k < 4; ++k) {
+    set |= crypto::party_bit(adversary::example2_party(location, k));
+    set |= crypto::party_bit(adversary::example2_party(k, os));
+  }
+  return set;
+}
+
+template <typename MakeDeployment>
+bool run_with_corruption(MakeDeployment&& make_deployment, crypto::PartySet corrupted,
+                         std::uint64_t seed, std::uint64_t budget) {
+  Rng rng(seed);
+  auto deployment = make_deployment(rng);
+  net::RandomScheduler sched(seed);
+  protocols::Cluster<AbcState> cluster(
+      deployment, sched,
+      [](net::Party& party, int) {
+        auto s = std::make_unique<AbcState>();
+        s->abc = std::make_unique<protocols::AtomicBroadcast>(
+            party, "abc",
+            [p = s.get()](int, Bytes payload) { p->log.push_back(std::move(payload)); });
+        return s;
+      },
+      corrupted, 0, seed);
+  cluster.start();
+  int found = 0;
+  for (int id = 0; id < 16 && found < 2; ++id) {
+    if (cluster.protocol(id) != nullptr) {
+      cluster.protocol(id)->abc->submit(bytes_of("m" + std::to_string(id)));
+      ++found;
+    }
+  }
+  if (!cluster.run_until_all([](AbcState& s) { return s.log.size() >= 2; }, budget)) {
+    return false;
+  }
+  const std::vector<Bytes>* reference = nullptr;
+  bool safe = true;
+  cluster.for_each([&](int, AbcState& s) {
+    if (reference == nullptr) reference = &s.log;
+    else if (s.log != *reference) safe = false;
+  });
+  return safe;
+}
+
+}  // namespace
+
+int main() {
+  auto structure = adversary::example2_structure();
+  std::printf("E6: Example 2 — 16 servers, 4 locations x 4 operating systems\n\n");
+  std::printf("structure: |A2*| = %zu maximal sets, Q3 = %s, max corruptions = %d;\n"
+              "any Q3 threshold on 16 servers allows at most t = 5.\n\n",
+              structure.maximal_sets().size(), structure.satisfies_q3() ? "yes" : "NO",
+              structure.max_corruptions());
+
+  int ok = 0;
+  int total = 0;
+  for (int location = 0; location < 4; ++location) {
+    for (int os = 0; os < 4; ++os) {
+      ++total;
+      const bool survived = run_with_corruption(
+          [](Rng& rng) { return adversary::example2_deployment(rng); },
+          row_and_column(location, os), static_cast<std::uint64_t>(total) * 23 + 5,
+          100000000);
+      if (survived) ++ok;
+      else std::printf("  FAILURE: location %d + OS %d\n", location, os);
+    }
+  }
+
+  std::printf("| %-52s | %9s |\n", "configuration (corruption = 7 servers each)", "outcome");
+  std::printf("|------------------------------------------------------|-----------|\n");
+  std::printf("| %-52s | %4d/%-4d |\n",
+              "generalized A2: every (location ∪ OS) pattern", ok, total);
+
+  const bool threshold_survives = run_with_corruption(
+      [](Rng& rng) { return adversary::Deployment::threshold(16, 5, rng); },
+      row_and_column(0, 0), 999, 6000000);
+  std::printf("| %-52s | %9s |\n", "threshold t=5: same 7-server pattern",
+              threshold_survives ? "live?!" : "STALLS");
+  const bool threshold_5_ok = run_with_corruption(
+      [](Rng& rng) { return adversary::Deployment::threshold(16, 5, rng); },
+      crypto::party_bit(0) | crypto::party_bit(3) | crypto::party_bit(6) |
+          crypto::party_bit(9) | crypto::party_bit(12),
+      1001, 200000000);
+  std::printf("| %-52s | %9s |\n", "threshold t=5: arbitrary 5 servers (its maximum)",
+              threshold_5_ok ? "live+safe" : "FAILS");
+
+  std::printf("\nShape check: the generalized structure survives 7 targeted failures in\n"
+              "all 16 patterns; the strongest threshold configuration handles 5\n"
+              "arbitrary failures but stalls at the same 7 — the paper's comparison.\n");
+  return (ok == total && threshold_5_ok && !threshold_survives) ? 0 : 1;
+}

@@ -1,0 +1,229 @@
+// Experiment E7 — threshold-cryptography micro-benchmarks
+// (google-benchmark): the primitives the paper calls "quite practical
+// given current processor speed" (§2), plus robustness overhead (share
+// verification) and the generalized-LSSS variants.
+//
+// One benchmark per operation: coin share/verify/combine, threshold-RSA
+// sign-share/verify/combine, TDH2 encrypt/decrypt-share/verify/combine —
+// at threshold (n, t) configurations and over the Example 1 LSSS.
+#include <benchmark/benchmark.h>
+
+#include "adversary/examples.hpp"
+#include "crypto/dealer.hpp"
+#include "crypto/shamir.hpp"
+
+using namespace sintra;
+using namespace sintra::crypto;
+
+namespace {
+
+std::shared_ptr<const LinearScheme> scheme_for(int n, int t) {
+  return std::make_shared<ThresholdScheme>(n, t);
+}
+
+// ---- coin -------------------------------------------------------------------
+
+void BM_CoinShare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  Rng rng(1);
+  auto deal = CoinDeal::deal(Group::test_group(), scheme_for(n, t), rng);
+  Bytes name = bytes_of("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.secret_keys[0].share(deal.public_key, name, rng));
+  }
+}
+BENCHMARK(BM_CoinShare)->Arg(4)->Arg(7)->Arg(10)->Arg(16);
+
+void BM_CoinVerifyShare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  Rng rng(1);
+  auto deal = CoinDeal::deal(Group::test_group(), scheme_for(n, t), rng);
+  Bytes name = bytes_of("bench");
+  auto shares = deal.secret_keys[0].share(deal.public_key, name, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.public_key.verify_share(name, shares[0]));
+  }
+}
+BENCHMARK(BM_CoinVerifyShare)->Arg(4)->Arg(16);
+
+void BM_CoinCombine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  Rng rng(1);
+  auto deal = CoinDeal::deal(Group::test_group(), scheme_for(n, t), rng);
+  Bytes name = bytes_of("bench");
+  std::vector<CoinShare> shares;
+  for (int p = 0; p <= t; ++p) {
+    for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].share(deal.public_key, name,
+                                                                       rng)) {
+      shares.push_back(s);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.public_key.combine(name, shares));
+  }
+}
+BENCHMARK(BM_CoinCombine)->Arg(4)->Arg(7)->Arg(10)->Arg(16);
+
+// ---- threshold RSA signatures ------------------------------------------------
+
+void BM_SigShare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  Rng rng(2);
+  auto deal = ThresholdSigDeal::deal(RsaParams::precomputed(256), scheme_for(n, t), rng);
+  Bytes message = bytes_of("sign this");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.secret_keys[0].sign(deal.public_key, message, rng));
+  }
+}
+BENCHMARK(BM_SigShare)->Arg(4)->Arg(16);
+
+void BM_SigVerifyShare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  Rng rng(2);
+  auto deal = ThresholdSigDeal::deal(RsaParams::precomputed(256), scheme_for(n, t), rng);
+  Bytes message = bytes_of("sign this");
+  auto shares = deal.secret_keys[0].sign(deal.public_key, message, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.public_key.verify_share(message, shares[0]));
+  }
+}
+BENCHMARK(BM_SigVerifyShare)->Arg(4)->Arg(16);
+
+void BM_SigCombine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  Rng rng(2);
+  auto deal = ThresholdSigDeal::deal(RsaParams::precomputed(256), scheme_for(n, t), rng);
+  Bytes message = bytes_of("sign this");
+  std::vector<SigShare> shares;
+  for (int p = 0; p <= t; ++p) {
+    for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].sign(deal.public_key,
+                                                                      message, rng)) {
+      shares.push_back(s);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.public_key.combine(message, shares));
+  }
+}
+BENCHMARK(BM_SigCombine)->Arg(4)->Arg(7)->Arg(10)->Arg(16);
+
+void BM_SigVerifyCombined(benchmark::State& state) {
+  Rng rng(2);
+  auto deal = ThresholdSigDeal::deal(RsaParams::precomputed(256), scheme_for(4, 1), rng);
+  Bytes message = bytes_of("sign this");
+  std::vector<SigShare> shares;
+  for (int p = 0; p <= 1; ++p) {
+    for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].sign(deal.public_key,
+                                                                      message, rng)) {
+      shares.push_back(s);
+    }
+  }
+  auto sig = deal.public_key.combine(message, shares);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.public_key.verify(message, *sig));
+  }
+}
+BENCHMARK(BM_SigVerifyCombined);
+
+// ---- TDH2 --------------------------------------------------------------------
+
+void BM_Tdh2Encrypt(benchmark::State& state) {
+  Rng rng(3);
+  auto deal = Tdh2Deal::deal(Group::test_group(), scheme_for(4, 1), rng);
+  Bytes message(static_cast<std::size_t>(state.range(0)), 0xaa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.public_key.encrypt(message, bytes_of("l"), rng));
+  }
+}
+BENCHMARK(BM_Tdh2Encrypt)->Arg(32)->Arg(1024);
+
+void BM_Tdh2DecShare(benchmark::State& state) {
+  Rng rng(3);
+  auto deal = Tdh2Deal::deal(Group::test_group(), scheme_for(4, 1), rng);
+  auto ct = deal.public_key.encrypt(bytes_of("message"), bytes_of("l"), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.secret_keys[0].decrypt_shares(deal.public_key, ct, rng));
+  }
+}
+BENCHMARK(BM_Tdh2DecShare);
+
+void BM_Tdh2VerifyShare(benchmark::State& state) {
+  Rng rng(3);
+  auto deal = Tdh2Deal::deal(Group::test_group(), scheme_for(4, 1), rng);
+  auto ct = deal.public_key.encrypt(bytes_of("message"), bytes_of("l"), rng);
+  auto shares = deal.secret_keys[0].decrypt_shares(deal.public_key, ct, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.public_key.verify_share(ct, shares[0]));
+  }
+}
+BENCHMARK(BM_Tdh2VerifyShare);
+
+void BM_Tdh2Combine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  Rng rng(3);
+  auto deal = Tdh2Deal::deal(Group::test_group(), scheme_for(n, t), rng);
+  auto ct = deal.public_key.encrypt(bytes_of("message"), bytes_of("l"), rng);
+  std::vector<Tdh2DecShare> shares;
+  for (int p = 0; p <= t; ++p) {
+    for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].decrypt_shares(
+             deal.public_key, ct, rng)) {
+      shares.push_back(s);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.public_key.combine(ct, shares));
+  }
+}
+BENCHMARK(BM_Tdh2Combine)->Arg(4)->Arg(16);
+
+// ---- generalized structures ----------------------------------------------------
+
+void BM_CoinShareExample1Lsss(benchmark::State& state) {
+  Rng rng(4);
+  auto scheme = std::make_shared<adversary::LsssScheme>(adversary::example1_access(), 9);
+  auto deal = CoinDeal::deal(Group::test_group(), scheme, rng);
+  Bytes name = bytes_of("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.secret_keys[0].share(deal.public_key, name, rng));
+  }
+}
+BENCHMARK(BM_CoinShareExample1Lsss);
+
+void BM_CoinCombineExample1Lsss(benchmark::State& state) {
+  Rng rng(4);
+  auto scheme = std::make_shared<adversary::LsssScheme>(adversary::example1_access(), 9);
+  auto deal = CoinDeal::deal(Group::test_group(), scheme, rng);
+  Bytes name = bytes_of("bench");
+  std::vector<CoinShare> shares;
+  for (int p : {0, 4, 8}) {
+    for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].share(deal.public_key, name,
+                                                                       rng)) {
+      shares.push_back(s);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deal.public_key.combine(name, shares));
+  }
+}
+BENCHMARK(BM_CoinCombineExample1Lsss);
+
+void BM_DealerFullBundle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KeyBundle::deal_threshold(n, t, rng));
+  }
+}
+BENCHMARK(BM_DealerFullBundle)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

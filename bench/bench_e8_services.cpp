@@ -1,0 +1,123 @@
+// Experiment E8 — end-to-end trusted services (paper §5): the CA,
+// directory and notary answer correctly, with client-verifiable threshold
+// signatures, despite t corrupted servers; the client needs only the
+// single service public key.
+//
+// Reports per-request cost (simulator steps, messages) per service and
+// failure pattern.
+#include <cstdio>
+
+#include "app/ca.hpp"
+#include "app/client.hpp"
+#include "app/directory.hpp"
+#include "app/notary.hpp"
+#include "protocols/harness.hpp"
+
+using namespace sintra;
+
+namespace {
+
+struct SvcState {
+  std::unique_ptr<app::Replica> replica;
+};
+
+struct Row {
+  bool completed = false;
+  bool receipt_valid = false;
+  std::uint64_t steps = 0;
+  std::uint64_t messages = 0;
+};
+
+Row run_service(const char* service, bool with_crash, std::uint64_t seed) {
+  Rng rng(seed);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(seed);
+  const bool causal = std::string(service) == "notary";
+  const auto mode = causal ? app::Replica::Mode::kCausal : app::Replica::Mode::kAtomic;
+  protocols::Cluster<SvcState> cluster(
+      deployment, sched,
+      [&](net::Party& party, int) {
+        auto s = std::make_unique<SvcState>();
+        std::unique_ptr<app::StateMachine> machine;
+        if (std::string(service) == "ca") {
+          machine = std::make_unique<app::CertificationAuthority>();
+        } else if (std::string(service) == "directory") {
+          machine = std::make_unique<app::SecureDirectory>();
+        } else {
+          machine = std::make_unique<app::Notary>();
+        }
+        s->replica = std::make_unique<app::Replica>(party, "svc", mode, std::move(machine));
+        return s;
+      },
+      with_crash ? crypto::party_bit(1) : 0, /*extra_endpoints=*/1, seed);
+
+  std::map<std::uint64_t, app::ServiceClient::Receipt> receipts;
+  auto client_owner = std::make_unique<app::ServiceClient>(
+      cluster.simulator(), 4, deployment, "svc", mode, seed + 3,
+      [&](std::uint64_t id, app::ServiceClient::Receipt receipt) {
+        receipts.emplace(id, std::move(receipt));
+      });
+  app::ServiceClient* client = client_owner.get();
+  cluster.attach_client(4, std::move(client_owner));
+  cluster.start();
+
+  Bytes body;
+  if (std::string(service) == "ca") {
+    app::CaRequest issue;
+    issue.op = app::CaRequest::Op::kIssue;
+    issue.subject = "bench";
+    issue.credentials = "credential:bench";
+    body = issue.encode();
+  } else if (std::string(service) == "directory") {
+    app::DirRequest bind;
+    bind.op = app::DirRequest::Op::kBind;
+    bind.key = "k";
+    bind.value = bytes_of("v");
+    body = bind.encode();
+  } else {
+    app::NotaryRequest reg;
+    reg.op = app::NotaryRequest::Op::kRegister;
+    reg.document = bytes_of("bench doc");
+    body = reg.encode();
+  }
+
+  std::uint64_t id = client->request(Bytes(body));
+  Row row;
+  row.completed =
+      cluster.simulator().run_until([&] { return receipts.contains(id); }, 50000000);
+  if (row.completed) {
+    row.receipt_valid = client->verify_receipt(id, body, receipts.at(id));
+  }
+  row.steps = cluster.simulator().now();
+  row.messages = cluster.simulator().total_messages();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: replicated trusted services end-to-end (n=4, t=1; one request)\n");
+  std::printf("Paper claims (§5): same answer from all honest replicas; client\n"
+              "recombines signature shares into one service signature; the notary\n"
+              "runs over secure causal broadcast.\n\n");
+  std::printf("| %-10s | %-9s | %-9s | %-14s | %8s | %8s |\n", "service", "faults",
+              "completed", "receipt", "steps", "msgs");
+  std::printf("|------------|-----------|-----------|----------------|----------|----------|\n");
+  bool all_ok = true;
+  for (const char* service : {"ca", "directory", "notary"}) {
+    for (bool with_crash : {false, true}) {
+      Row row = run_service(service, with_crash, with_crash ? 21 : 11);
+      all_ok = all_ok && row.completed && row.receipt_valid;
+      std::printf("| %-10s | %-9s | %-9s | %-14s | %8llu | %8llu |\n", service,
+                  with_crash ? "1 crash" : "none", row.completed ? "yes" : "NO",
+                  row.receipt_valid ? "verifies" : "INVALID",
+                  static_cast<unsigned long long>(row.steps),
+                  static_cast<unsigned long long>(row.messages));
+    }
+  }
+  std::printf("\nShape check: every service completes with a verifiable threshold-signed\n"
+              "receipt, with and without a crashed replica; the notary (causal) costs\n"
+              "more messages than the CA/directory (atomic) — the price of the TDH2\n"
+              "decryption round the paper describes.\n");
+  return all_ok ? 0 : 1;
+}

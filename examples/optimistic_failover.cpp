@@ -1,0 +1,101 @@
+// Optimistic mode with failover (paper §6, "Optimistic Protocols").
+//
+// Phase 1: the system runs the optimistic fast path — a sequencer orders
+// requests with hash-chained threshold certificates, costing a fraction of
+// the randomized stack.
+//
+// Phase 2: the network adversary cuts the sequencer off.  The fast path
+// stalls (liveness only!), an application timeout fires, and the parties
+// switch: they agree on the certified fast prefix and continue over the
+// randomized atomic broadcast — no delivery lost, no order disagreement.
+//
+//   build/examples/optimistic_failover
+#include <cstdio>
+
+#include "protocols/harness.hpp"
+#include "protocols/optimistic.hpp"
+
+using namespace sintra;
+
+struct Node {
+  std::unique_ptr<protocols::OptimisticBroadcast> opt;
+  std::vector<std::string> log;
+};
+
+int main() {
+  Rng rng(6);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+
+  // The adversary: initially benign, later blocks the sequencer (party 0).
+  bool block_sequencer = false;
+  net::RandomScheduler benign(6);
+  net::BlockPartyScheduler blocking(6, 0);
+  struct PhasedScheduler final : net::Scheduler {
+    PhasedScheduler(bool& flag, net::Scheduler& a, net::Scheduler& b)
+        : flag_(flag), benign_(a), blocking_(b) {}
+    std::optional<std::size_t> pick(const std::vector<net::Message>& pending,
+                                    std::uint64_t now) override {
+      return flag_ ? blocking_.pick(pending, now) : benign_.pick(pending, now);
+    }
+    bool& flag_;
+    net::Scheduler& benign_;
+    net::Scheduler& blocking_;
+  } scheduler(block_sequencer, benign, blocking);
+
+  protocols::Cluster<Node> cluster(
+      deployment, scheduler,
+      [](net::Party& party, int) {
+        auto node = std::make_unique<Node>();
+        node->opt = std::make_unique<protocols::OptimisticBroadcast>(
+            party, "opt", /*sequencer=*/0, [n = node.get()](Bytes payload) {
+              n->log.push_back(printable(payload));
+            });
+        return node;
+      });
+  cluster.start();
+
+  // Phase 1: fast path.
+  for (int k = 0; k < 3; ++k) {
+    cluster.protocol(k % 4)->opt->submit(bytes_of("fast-" + std::to_string(k)));
+  }
+  cluster.run_until_all([](Node& n) { return n.log.size() >= 3; }, 1000000);
+  std::printf("phase 1 (fast path): 3 requests in %llu steps, %llu messages\n",
+              static_cast<unsigned long long>(cluster.simulator().now()),
+              static_cast<unsigned long long>(cluster.simulator().total_messages()));
+
+  // Phase 2: the sequencer goes dark.
+  block_sequencer = true;
+  cluster.protocol(1)->opt->submit(bytes_of("stalled-1"));
+  cluster.protocol(2)->opt->submit(bytes_of("stalled-2"));
+  cluster.simulator().run(5000);
+  std::printf("sequencer blocked: party 1 has %zu deliveries (fast path stalled)\n",
+              cluster.protocol(1)->log.size());
+
+  // Application timeout fires -> switch.
+  cluster.protocol(1)->opt->switch_to_pessimistic();
+  bool done = cluster.simulator().run_until(
+      [&] {
+        for (int id = 1; id < 4; ++id) {
+          if (cluster.protocol(id)->log.size() < 5) return false;
+        }
+        return true;
+      },
+      30000000);
+  if (!done) {
+    std::printf("FAILED: pessimistic fallback did not deliver\n");
+    return 1;
+  }
+
+  std::printf("phase 2 (after switch): all requests delivered pessimistically\n");
+  bool identical = true;
+  for (int id = 1; id < 4; ++id) {
+    std::printf("  party %d:", id);
+    for (const auto& entry : cluster.protocol(id)->log) std::printf(" %s", entry.c_str());
+    std::printf("\n");
+    identical = identical && cluster.protocol(id)->log == cluster.protocol(1)->log;
+  }
+  std::printf("order identical across reachable parties: %s\n", identical ? "YES" : "NO");
+  std::printf("safety was never at risk: the switch agreed on the certified fast\n"
+              "prefix before continuing (see protocols/optimistic.hpp).\n");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+#include "adversary/examples.hpp"
+
+namespace sintra::adversary {
+
+namespace {
+/// χ_c as a formula: OR over the parties of class c.
+Formula class_indicator(const std::vector<int>& members) {
+  std::vector<Formula> leaves;
+  leaves.reserve(members.size());
+  for (int p : members) leaves.push_back(Formula::leaf(p));
+  return Formula::lor(std::move(leaves));
+}
+}  // namespace
+
+Formula example1_access() {
+  // Θ³₉ over all nine parties.
+  std::vector<Formula> all;
+  for (int p = 0; p < 9; ++p) all.push_back(Formula::leaf(p));
+  Formula three_of_nine = Formula::threshold(3, std::move(all));
+
+  // Θ²₄ over the four class indicators.
+  std::vector<Formula> classes;
+  classes.push_back(class_indicator({0, 1, 2, 3}));  // class a
+  classes.push_back(class_indicator({4, 5}));        // class b
+  classes.push_back(class_indicator({6, 7}));        // class c
+  classes.push_back(class_indicator({8}));           // class d
+  Formula two_classes = Formula::threshold(2, std::move(classes));
+
+  std::vector<Formula> both;
+  both.push_back(std::move(three_of_nine));
+  both.push_back(std::move(two_classes));
+  return Formula::land(std::move(both));
+}
+
+Formula example2_access() {
+  // x_v for location v: Θ²₄ over the four servers at that location
+  // (one per OS).  y_nu analogously per operating system.
+  std::vector<Formula> location_points;
+  for (int location = 0; location < 4; ++location) {
+    std::vector<Formula> servers;
+    for (int os = 0; os < 4; ++os) servers.push_back(Formula::leaf(example2_party(location, os)));
+    location_points.push_back(Formula::threshold(2, std::move(servers)));
+  }
+  std::vector<Formula> os_points;
+  for (int os = 0; os < 4; ++os) {
+    std::vector<Formula> servers;
+    for (int location = 0; location < 4; ++location) {
+      servers.push_back(Formula::leaf(example2_party(location, os)));
+    }
+    os_points.push_back(Formula::threshold(2, std::move(servers)));
+  }
+
+  std::vector<Formula> both;
+  both.push_back(Formula::threshold(2, std::move(location_points)));
+  both.push_back(Formula::threshold(2, std::move(os_points)));
+  return Formula::land(std::move(both));
+}
+
+AdversaryStructure example2_structure() {
+  std::vector<crypto::PartySet> maximal;
+  for (int location = 0; location < 4; ++location) {
+    for (int os = 0; os < 4; ++os) {
+      crypto::PartySet set = 0;
+      for (int k = 0; k < 4; ++k) {
+        set |= crypto::party_bit(example2_party(location, k));
+        set |= crypto::party_bit(example2_party(k, os));
+      }
+      maximal.push_back(set);
+    }
+  }
+  return AdversaryStructure(16, std::move(maximal));
+}
+
+Deployment example1_deployment(Rng& rng, const CryptoConfig& config) {
+  return Deployment::general(example1_access(), 9, rng, config);
+}
+
+Deployment example2_deployment(Rng& rng, const CryptoConfig& config) {
+  return Deployment::general_with_structure(example2_access(), example2_structure(), rng,
+                                            config);
+}
+
+}  // namespace sintra::adversary

@@ -1,0 +1,48 @@
+// The two concrete generalized adversary structures of §4.3.
+//
+// Example 1 — nine servers, one attribute `class = {a, b, c, d}`:
+//     class(1..4) = a, class(5..6) = b, class(7..8) = c, class(9) = d
+// (0-indexed here: parties 0..3 are a, 4..5 are b, 6..7 are c, 8 is d).
+// Tolerates at most two arbitrary servers OR all servers of one class.
+// Access structure: Θ³₉(S) ∧ Θ²₄(χ_a, χ_b, χ_c, χ_d) — coalitions of size
+// at least three covering at least two classes.
+//
+// Example 2 — sixteen servers classified by two independent attributes with
+// four values each: location (New York, Tokyo, Zurich, Haifa) × operating
+// system (AIX, NT, Linux, Solaris); party index = 4*location + os.
+// Tolerates the simultaneous corruption of all servers at one location AND
+// all servers with one operating system (up to 7 servers), where any pure
+// threshold scheme tolerates at most 5 of 16.
+#pragma once
+
+#include "adversary/quorum.hpp"
+
+namespace sintra::adversary {
+
+/// Example 1 party classes, exposed for tests/benches.
+inline constexpr int kExample1Classes[9] = {0, 0, 0, 0, 1, 1, 2, 2, 3};
+
+/// Access formula for Example 1 (9 parties).
+Formula example1_access();
+
+/// Example 2 helpers: party index for (location, os), both in 0..3.
+inline constexpr int example2_party(int location, int os) { return 4 * location + os; }
+
+/// Access formula for Example 2 (16 parties).
+Formula example2_access();
+
+/// The *tolerated* adversary structure of Example 2: the monotone closure
+/// of the sixteen sets (all servers at one location) ∪ (all servers with
+/// one OS).  Note this is deliberately NOT derived from the formula: the
+/// formula's maximal unqualified sets form a strictly larger family that
+/// violates Q³ (e.g. one full location plus one scattered server per other
+/// location).  The paper's Q³ claim is about this structure; the formula
+/// is only the sharing construction, whose access structure safely
+/// under-approximates the complement of A.
+AdversaryStructure example2_structure();
+
+/// Ready-made deployments (Q³ verified at construction).
+Deployment example1_deployment(Rng& rng, const CryptoConfig& config = CryptoConfig::fast());
+Deployment example2_deployment(Rng& rng, const CryptoConfig& config = CryptoConfig::fast());
+
+}  // namespace sintra::adversary

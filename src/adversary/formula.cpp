@@ -1,0 +1,110 @@
+#include "adversary/formula.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sintra::adversary {
+
+using crypto::contains;
+using crypto::full_set;
+using crypto::party_bit;
+
+Formula Formula::leaf(int party) {
+  SINTRA_REQUIRE(party >= 0 && party < 64, "Formula: party out of range");
+  Formula f;
+  f.party_ = party;
+  return f;
+}
+
+Formula Formula::threshold(int k, std::vector<Formula> children) {
+  SINTRA_REQUIRE(!children.empty(), "Formula: gate with no children");
+  SINTRA_REQUIRE(k >= 1 && k <= static_cast<int>(children.size()),
+                 "Formula: threshold out of range");
+  Formula f;
+  f.k_ = k;
+  f.children_ = std::move(children);
+  return f;
+}
+
+Formula Formula::land(std::vector<Formula> children) {
+  const int k = static_cast<int>(children.size());
+  return threshold(k, std::move(children));
+}
+
+Formula Formula::lor(std::vector<Formula> children) {
+  return threshold(1, std::move(children));
+}
+
+bool Formula::eval(PartySet present) const {
+  if (is_leaf()) return contains(present, party_);
+  int satisfied = 0;
+  for (const Formula& child : children_) {
+    if (child.eval(present)) {
+      ++satisfied;
+      if (satisfied >= k_) return true;
+    }
+  }
+  return false;
+}
+
+int Formula::num_leaves() const {
+  if (is_leaf()) return 1;
+  int total = 0;
+  for (const Formula& child : children_) total += child.num_leaves();
+  return total;
+}
+
+int Formula::max_party() const {
+  if (is_leaf()) return party_ + 1;
+  int max = 0;
+  for (const Formula& child : children_) max = std::max(max, child.max_party());
+  return max;
+}
+
+AdversaryStructure Formula::to_adversary_structure(int n) const {
+  SINTRA_REQUIRE(n >= max_party(), "Formula: n smaller than mentioned parties");
+  SINTRA_REQUIRE(n <= 24, "Formula: enumeration limited to n <= 24");
+  const PartySet limit = PartySet{1} << n;
+  std::vector<PartySet> maximal;
+  for (PartySet set = 0; set < limit; ++set) {
+    if (eval(set)) continue;  // qualified, not an adversary set
+    bool is_maximal = true;
+    for (int i = 0; i < n && is_maximal; ++i) {
+      if (!contains(set, i) && !eval(set | party_bit(i))) is_maximal = false;
+    }
+    if (is_maximal) maximal.push_back(set);
+  }
+  return AdversaryStructure(n, std::move(maximal));
+}
+
+Formula Formula::weighted_threshold(const std::vector<int>& weights, int threshold) {
+  std::vector<Formula> leaves;
+  int total = 0;
+  for (std::size_t party = 0; party < weights.size(); ++party) {
+    SINTRA_REQUIRE(weights[party] >= 0, "Formula: negative weight");
+    for (int k = 0; k < weights[party]; ++k) {
+      leaves.push_back(Formula::leaf(static_cast<int>(party)));
+    }
+    total += weights[party];
+  }
+  SINTRA_REQUIRE(threshold >= 1 && threshold <= total, "Formula: weight threshold out of range");
+  return Formula::threshold(threshold, std::move(leaves));
+}
+
+Formula Formula::quorum_formula(const AdversaryStructure& structure) {
+  const PartySet universe = full_set(structure.n());
+  std::vector<Formula> alternatives;
+  alternatives.reserve(structure.maximal_sets().size());
+  for (PartySet bad : structure.maximal_sets()) {
+    std::vector<Formula> quorum_members;
+    for (int p : crypto::set_members(universe & ~bad)) {
+      quorum_members.push_back(Formula::leaf(p));
+    }
+    SINTRA_INVARIANT(!quorum_members.empty(), "Formula: adversary set covers everything");
+    alternatives.push_back(Formula::land(std::move(quorum_members)));
+  }
+  return Formula::lor(std::move(alternatives));
+}
+
+}  // namespace sintra::adversary

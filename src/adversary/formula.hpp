@@ -1,0 +1,67 @@
+// Monotone Boolean formulas over n-ary threshold gates (Section 4.2).
+//
+// The paper describes adversary/access structures by formulas built from
+// threshold gates Theta_k^n (AND = Theta_n^n, OR = Theta_1^n) over party
+// variables.  A Formula here is the *access* side: it evaluates to true on
+// exactly the qualified sets.  The same tree drives the Benaloh–Leichter
+// linear secret sharing construction (lsss.hpp), so a structure is
+// specified once and used for both protocol quorums and cryptography.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adversary/structure.hpp"
+
+namespace sintra::adversary {
+
+/// Node of a monotone threshold-gate formula.  A leaf names a party (and a
+/// party may appear in several leaves).  A gate is satisfied when at least
+/// `k` of its children are.
+class Formula {
+ public:
+  /// Leaf: the variable of party `party`.
+  static Formula leaf(int party);
+  /// Threshold gate Theta_k over `children`.
+  static Formula threshold(int k, std::vector<Formula> children);
+  static Formula land(std::vector<Formula> children);  ///< AND
+  static Formula lor(std::vector<Formula> children);   ///< OR
+
+  [[nodiscard]] bool is_leaf() const { return party_ >= 0; }
+  [[nodiscard]] int party() const { return party_; }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] const std::vector<Formula>& children() const { return children_; }
+
+  /// Evaluate on a set of present parties.
+  [[nodiscard]] bool eval(PartySet present) const;
+
+  /// Number of leaves (= LSSS share units).
+  [[nodiscard]] int num_leaves() const;
+  /// Max party index + 1 mentioned.
+  [[nodiscard]] int max_party() const;
+
+  /// Derive the adversary structure whose access structure this formula
+  /// describes: enumerate maximal unqualified sets.  Exponential in n;
+  /// intended for the paper-scale structures (n <= ~20).
+  [[nodiscard]] AdversaryStructure to_adversary_structure(int n) const;
+
+  /// The "quorum" formula of §4.2 rule 1 for an adversary structure:
+  /// OR over S in A* of AND over P \ S — satisfied exactly by the sets
+  /// containing a full quorum.
+  static Formula quorum_formula(const AdversaryStructure& structure);
+
+  /// Weighted threshold access structure (§4.3: "traditional weighted
+  /// thresholds ... can be obtained by allocating several logical parties
+  /// to one physical party"): party i contributes weights[i] leaves, and a
+  /// set is qualified iff its total weight reaches `threshold`.
+  static Formula weighted_threshold(const std::vector<int>& weights, int threshold);
+
+ private:
+  Formula() = default;
+
+  int party_ = -1;
+  int k_ = 0;
+  std::vector<Formula> children_;
+};
+
+}  // namespace sintra::adversary

@@ -1,0 +1,52 @@
+#include "adversary/hybrid.hpp"
+
+#include "common/assert.hpp"
+#include "crypto/shamir.hpp"
+
+namespace sintra::adversary {
+
+using crypto::full_set;
+using crypto::popcount;
+
+HybridQuorum::HybridQuorum(int n, int byzantine, int crash)
+    : n_(n), byzantine_(byzantine), crash_(crash) {
+  SINTRA_REQUIRE(n >= 1 && n <= 64, "HybridQuorum: n out of range");
+  SINTRA_REQUIRE(byzantine >= 0 && crash >= 0, "HybridQuorum: negative bound");
+  SINTRA_REQUIRE(n > 3 * byzantine + 2 * crash, "HybridQuorum: requires n > 3t_b + 2t_c");
+}
+
+bool HybridQuorum::corruptible(PartySet set) const {
+  // Corruption (key compromise, lying) is Byzantine-only.
+  return popcount(set & full_set(n_)) <= byzantine_;
+}
+
+bool HybridQuorum::is_quorum(PartySet heard) const {
+  return popcount(heard & full_set(n_)) >= n_ - byzantine_ - crash_;
+}
+
+bool HybridQuorum::exceeds_fault_set(PartySet heard) const {
+  return popcount(heard & full_set(n_)) >= byzantine_ + 1;
+}
+
+bool HybridQuorum::is_vote_quorum(PartySet heard) const {
+  return popcount(heard & full_set(n_)) >= 2 * byzantine_ + crash_ + 1;
+}
+
+std::string HybridQuorum::describe() const {
+  return "hybrid(n=" + std::to_string(n_) + ",t_b=" + std::to_string(byzantine_) +
+         ",t_c=" + std::to_string(crash_) + ")";
+}
+
+Deployment hybrid_deployment(int n, int byzantine, int crash, Rng& rng,
+                             const CryptoConfig& config) {
+  auto quorum = std::make_shared<const HybridQuorum>(n, byzantine, crash);
+  auto low = std::make_shared<const crypto::ThresholdScheme>(n, byzantine);
+  auto high =
+      std::make_shared<const crypto::ThresholdScheme>(n, n - byzantine - crash - 1);
+  auto keys = std::make_shared<const crypto::KeyBundle>(crypto::KeyBundle::deal(
+      config.group, std::move(low), std::move(high),
+      crypto::RsaParams::precomputed(config.rsa_prime_bits), rng));
+  return Deployment{std::move(quorum), std::move(keys)};
+}
+
+}  // namespace sintra::adversary

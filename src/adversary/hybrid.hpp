@@ -1,0 +1,64 @@
+// Hybrid failure structures (paper §6, "Hybrid Failure Structures"):
+// treat crash failures separately from Byzantine corruptions.
+//
+// The model: at most t_b servers are Byzantine-corrupted (adversary holds
+// their keys and controls them fully) and, additionally, at most t_c
+// servers may merely crash.  The resilience condition generalizes
+// n > 3t to
+//
+//     n > 3*t_b + 2*t_c
+//
+// — crashes are cheaper than corruptions because they can lose liveness
+// but never lie.  The quorum rules become:
+//
+//     "n−t"  -> wait for n − t_b − t_c parties   (all that are guaranteed
+//                                                 to answer)
+//     "t+1"  -> t_b + 1 values                   (only Byzantine parties
+//                                                 can produce wrong values)
+//     "2t+1" -> 2*t_b + t_c + 1 values           (majority voting among
+//                                                 replies)
+//
+// Why this matters (the paper: "crashes are more likely to occur than
+// intrusions and they are much easier to handle"): a SIX-server system can
+// tolerate one Byzantine corruption plus one crash (6 > 3+2), whereas the
+// pure Byzantine model would need t = 2 and therefore seven servers.
+//
+// Secret sharing: the secrecy adversary is only the Byzantine one, so the
+// "low" scheme stays a t_b-threshold scheme; the certificate ("high")
+// scheme must be combinable from any live quorum, i.e. threshold
+// n − t_b − t_c.  Both remain ordinary Shamir schemes — the hybrid model
+// changes the quorum predicates, not the algebra.
+#pragma once
+
+#include "adversary/quorum.hpp"
+
+namespace sintra::adversary {
+
+class HybridQuorum final : public QuorumSystem {
+ public:
+  /// Requires n > 3*byzantine + 2*crash.
+  HybridQuorum(int n, int byzantine, int crash);
+
+  [[nodiscard]] int byzantine() const { return byzantine_; }
+  [[nodiscard]] int crash() const { return crash_; }
+
+  [[nodiscard]] int n() const override { return n_; }
+  [[nodiscard]] bool corruptible(PartySet set) const override;
+  [[nodiscard]] bool is_quorum(PartySet heard) const override;
+  [[nodiscard]] bool exceeds_fault_set(PartySet heard) const override;
+  [[nodiscard]] bool is_vote_quorum(PartySet heard) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  int n_;
+  int byzantine_;
+  int crash_;
+};
+
+/// Deal a hybrid deployment: quorum rules for (t_b, t_c), low scheme
+/// threshold t_b (secrecy vs. the Byzantine adversary only), high scheme
+/// threshold n − t_b − t_c − 1 (certificates from any live quorum).
+Deployment hybrid_deployment(int n, int byzantine, int crash, Rng& rng,
+                             const CryptoConfig& config = CryptoConfig::fast());
+
+}  // namespace sintra::adversary

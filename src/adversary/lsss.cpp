@@ -1,0 +1,194 @@
+#include "adversary/lsss.hpp"
+
+#include "common/assert.hpp"
+#include "crypto/shamir.hpp"
+
+namespace sintra::adversary {
+
+using crypto::BigInt;
+using crypto::PartySet;
+using crypto::ShamirPolynomial;
+
+namespace {
+
+/// Exact rational (num/den), den > 0, not necessarily reduced.
+struct Rational {
+  BigInt num;
+  BigInt den;
+
+  static Rational one() { return Rational{BigInt(1), BigInt(1)}; }
+  [[nodiscard]] Rational times(const Rational& other) const {
+    return Rational{num * other.num, den * other.den};
+  }
+};
+
+void collect_leaves(const Formula& node, std::vector<int>& owners) {
+  if (node.is_leaf()) {
+    owners.push_back(node.party());
+    return;
+  }
+  for (const Formula& child : node.children()) collect_leaves(child, owners);
+}
+
+/// Δ contribution: (fanin)! for true threshold gates (1 < k < fanin);
+/// OR and AND gates reconstruct with unit coefficients.
+BigInt gate_delta(const Formula& node) {
+  if (node.is_leaf()) return BigInt(1);
+  BigInt product(1);
+  const int fanin = static_cast<int>(node.children().size());
+  if (node.k() > 1 && node.k() < fanin) {
+    product = BigInt::factorial(static_cast<unsigned>(fanin));
+  }
+  for (const Formula& child : node.children()) product *= gate_delta(child);
+  return product;
+}
+
+/// Recursive dealing; `next_unit` walks leaves in DFS order.
+void deal_node(const Formula& node, const BigInt& secret, const BigInt& modulus, Rng& rng,
+               std::vector<BigInt>& units, std::size_t& next_unit) {
+  if (node.is_leaf()) {
+    units[next_unit++] = secret;
+    return;
+  }
+  const int fanin = static_cast<int>(node.children().size());
+  const int k = node.k();
+  if (k == 1) {
+    // OR: replicate.
+    for (const Formula& child : node.children()) {
+      deal_node(child, secret, modulus, rng, units, next_unit);
+    }
+  } else if (k == fanin) {
+    // AND: additive sharing.
+    BigInt running;
+    for (int i = 0; i < fanin; ++i) {
+      BigInt piece;
+      if (i + 1 < fanin) {
+        piece = BigInt::random_below(rng, modulus);
+        running = BigInt::add_mod(running, piece, modulus);
+      } else {
+        piece = BigInt::sub_mod(secret, running, modulus);
+      }
+      deal_node(node.children()[static_cast<std::size_t>(i)], piece, modulus, rng, units,
+                next_unit);
+    }
+  } else {
+    // Theta_k^fanin: Shamir, child i evaluated at point i+1.
+    ShamirPolynomial poly = ShamirPolynomial::random(secret, k - 1, modulus, rng);
+    for (int i = 0; i < fanin; ++i) {
+      deal_node(node.children()[static_cast<std::size_t>(i)], poly.eval_at(i + 1), modulus, rng,
+                units, next_unit);
+    }
+  }
+}
+
+/// If the subtree is satisfied by `present`, append (unit, path-coefficient)
+/// pairs reconstructing this node's secret and return true; `next_unit`
+/// advances over the subtree's leaves either way.
+bool node_coefficients(const Formula& node, PartySet present, const Rational& path,
+                       std::map<int, Rational>& out, std::size_t& next_unit) {
+  if (node.is_leaf()) {
+    const std::size_t unit = next_unit++;
+    if (crypto::contains(present, node.party())) {
+      out.emplace(static_cast<int>(unit), path);
+      return true;
+    }
+    return false;
+  }
+  const int fanin = static_cast<int>(node.children().size());
+  const int k = node.k();
+
+  if (k == 1) {
+    // OR: take the first satisfied child; still walk the rest for unit
+    // numbering.
+    bool taken = false;
+    for (const Formula& child : node.children()) {
+      std::map<int, Rational> child_coeffs;
+      std::size_t probe = next_unit;
+      bool ok = node_coefficients(child, present, path, child_coeffs, probe);
+      if (ok && !taken) {
+        out.insert(child_coeffs.begin(), child_coeffs.end());
+        taken = true;
+      }
+      next_unit = probe;
+    }
+    return taken;
+  }
+
+  // For AND and Theta gates: determine which children are satisfiable,
+  // collecting their coefficient maps with a placeholder path of 1.
+  std::vector<std::map<int, Rational>> child_maps(static_cast<std::size_t>(fanin));
+  std::vector<bool> satisfied(static_cast<std::size_t>(fanin), false);
+  for (int i = 0; i < fanin; ++i) {
+    satisfied[static_cast<std::size_t>(i)] =
+        node_coefficients(node.children()[static_cast<std::size_t>(i)], present, Rational::one(),
+                          child_maps[static_cast<std::size_t>(i)], next_unit);
+  }
+  std::vector<int> chosen;
+  for (int i = 0; i < fanin && static_cast<int>(chosen.size()) < k; ++i) {
+    if (satisfied[static_cast<std::size_t>(i)]) chosen.push_back(i);
+  }
+  if (static_cast<int>(chosen.size()) < k) return false;
+
+  for (int i : chosen) {
+    Rational factor = path;
+    if (k < fanin) {
+      // Lagrange coefficient lambda_{0,i+1} over points {c+1 : c in chosen}.
+      BigInt num(1);
+      BigInt den(1);
+      for (int j : chosen) {
+        if (j == i) continue;
+        num *= BigInt(-(j + 1));
+        den *= BigInt(i - j);
+      }
+      factor = factor.times(Rational{num, den});
+    }
+    // AND (k == fanin): coefficient 1 — factor stays `path`.
+    for (const auto& [unit, coeff] : child_maps[static_cast<std::size_t>(i)]) {
+      out.emplace(unit, factor.times(coeff));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LsssScheme::LsssScheme(Formula access, int n) : access_(std::move(access)), n_(n) {
+  SINTRA_REQUIRE(n >= access_.max_party() && n <= 64, "LsssScheme: bad party count");
+  SINTRA_REQUIRE(access_.eval(crypto::full_set(n)), "LsssScheme: unsatisfiable access formula");
+  collect_leaves(access_, unit_owner_);
+  delta_ = gate_delta(access_);
+}
+
+std::vector<BigInt> LsssScheme::deal(const BigInt& secret, const BigInt& modulus,
+                                     Rng& rng) const {
+  std::vector<BigInt> units(unit_owner_.size());
+  std::size_t next_unit = 0;
+  deal_node(access_, secret.mod(modulus), modulus, rng, units, next_unit);
+  SINTRA_INVARIANT(next_unit == units.size(), "LsssScheme: leaf walk mismatch");
+  return units;
+}
+
+bool LsssScheme::qualified(PartySet parties) const {
+  return access_.eval(parties);
+}
+
+std::map<int, BigInt> LsssScheme::coefficients(PartySet parties) const {
+  SINTRA_REQUIRE(qualified(parties), "LsssScheme: unqualified set");
+  std::map<int, Rational> rationals;
+  std::size_t next_unit = 0;
+  bool ok = node_coefficients(access_, parties, Rational::one(), rationals, next_unit);
+  SINTRA_INVARIANT(ok, "LsssScheme: qualified set failed reconstruction");
+
+  std::map<int, BigInt> out;
+  for (const auto& [unit, coeff] : rationals) {
+    // c = Δ * num / den, exact by construction.
+    BigInt quotient;
+    BigInt remainder;
+    BigInt::divmod(delta_ * coeff.num, coeff.den, quotient, remainder);
+    SINTRA_INVARIANT(remainder.is_zero(), "LsssScheme: Δ did not clear a denominator");
+    out.emplace(unit, std::move(quotient));
+  }
+  return out;
+}
+
+}  // namespace sintra::adversary

@@ -1,0 +1,56 @@
+// Linear secret sharing for monotone threshold-gate formulas — the
+// Benaloh–Leichter construction (CRYPTO '88) the paper invokes in §4.3.
+//
+// Given the *access* formula (true on qualified sets), the dealer shares a
+// secret down the tree:
+//   * OR  gate (k=1):       every child receives the gate's secret;
+//   * AND gate (k=m):       additive sharing — random summands, last child
+//                           gets secret minus the rest;
+//   * Theta_k^m (1<k<m):    Shamir with a degree-(k-1) polynomial.
+// Each leaf is a share *unit* assigned to its party; a party holding
+// several leaves holds several units (this is also how weighted thresholds
+// are realized, §4.3: "allocating several logical parties to one physical
+// party").
+//
+// Reconstruction coefficients are exact rationals multiplied along each
+// root-to-leaf path and cleared by Δ = prod over true-threshold gates of
+// (fanin)!, which makes them integers — exactly the form threshold RSA
+// needs (crypto/sharing.hpp).  This class therefore plugs the paper's
+// generalized adversary structures into *all three* threshold primitives
+// unchanged.
+#pragma once
+
+#include "adversary/formula.hpp"
+#include "crypto/sharing.hpp"
+
+namespace sintra::adversary {
+
+class LsssScheme final : public crypto::LinearScheme {
+ public:
+  /// `access` must be monotone (it is by construction) and satisfiable;
+  /// `n` is the total party count (>= parties mentioned in the formula).
+  LsssScheme(Formula access, int n);
+
+  [[nodiscard]] const Formula& access() const { return access_; }
+
+  [[nodiscard]] int num_parties() const override { return n_; }
+  [[nodiscard]] int num_units() const override { return static_cast<int>(unit_owner_.size()); }
+  [[nodiscard]] int unit_owner(int unit) const override {
+    return unit_owner_.at(static_cast<std::size_t>(unit));
+  }
+  [[nodiscard]] std::vector<crypto::BigInt> deal(const crypto::BigInt& secret,
+                                                 const crypto::BigInt& modulus,
+                                                 Rng& rng) const override;
+  [[nodiscard]] bool qualified(crypto::PartySet parties) const override;
+  [[nodiscard]] std::map<int, crypto::BigInt> coefficients(
+      crypto::PartySet parties) const override;
+  [[nodiscard]] crypto::BigInt delta() const override { return delta_; }
+
+ private:
+  Formula access_;
+  int n_;
+  std::vector<int> unit_owner_;  ///< leaf index (DFS order) -> party
+  crypto::BigInt delta_;
+};
+
+}  // namespace sintra::adversary

@@ -1,0 +1,128 @@
+#include "adversary/structure.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sintra::adversary {
+
+using crypto::full_set;
+using crypto::popcount;
+
+AdversaryStructure::AdversaryStructure(int n, std::vector<PartySet> maximal_sets) : n_(n) {
+  SINTRA_REQUIRE(n >= 1 && n <= 64, "AdversaryStructure: n out of range");
+  const PartySet universe = full_set(n);
+  for (PartySet set : maximal_sets) {
+    SINTRA_REQUIRE((set & ~universe) == 0, "AdversaryStructure: set exceeds party universe");
+  }
+  // Keep only maximal sets.
+  std::sort(maximal_sets.begin(), maximal_sets.end(),
+            [](PartySet a, PartySet b) { return popcount(a) > popcount(b); });
+  for (PartySet set : maximal_sets) {
+    bool subsumed = false;
+    for (PartySet kept : maximal_) {
+      if ((set & ~kept) == 0) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) maximal_.push_back(set);
+  }
+  SINTRA_REQUIRE(!maximal_.empty(), "AdversaryStructure: empty structure (use {∅})");
+}
+
+AdversaryStructure AdversaryStructure::threshold(int n, int t) {
+  SINTRA_REQUIRE(t >= 0 && t < n, "AdversaryStructure: bad threshold");
+  std::vector<PartySet> maximal;
+  if (t == 0) {
+    maximal.push_back(0);
+    return AdversaryStructure(n, std::move(maximal));
+  }
+  // All t-subsets, enumerated by Gosper's hack.
+  PartySet set = full_set(t);
+  const PartySet limit = PartySet{1} << n;
+  while (set < limit) {
+    maximal.push_back(set);
+    PartySet c = set & (~set + 1);
+    PartySet r = set + c;
+    set = (((r ^ set) >> 2) / c) | r;
+  }
+  AdversaryStructure structure(n, std::move(maximal));
+  structure.uniform_threshold_ = t;
+  return structure;
+}
+
+bool AdversaryStructure::corruptible(PartySet set) const {
+  for (PartySet maximal : maximal_) {
+    if ((set & ~maximal) == 0) return true;
+  }
+  return false;
+}
+
+bool AdversaryStructure::satisfies_q3() const {
+  if (uniform_threshold_.has_value()) return n_ > 3 * *uniform_threshold_;
+  const PartySet universe = full_set(n_);
+  for (PartySet a : maximal_) {
+    for (PartySet b : maximal_) {
+      for (PartySet c : maximal_) {
+        if ((a | b | c) == universe) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool AdversaryStructure::satisfies_q2() const {
+  if (uniform_threshold_.has_value()) return n_ > 2 * *uniform_threshold_;
+  const PartySet universe = full_set(n_);
+  for (PartySet a : maximal_) {
+    for (PartySet b : maximal_) {
+      if ((a | b) == universe) return false;
+    }
+  }
+  return true;
+}
+
+int AdversaryStructure::max_corruptions() const {
+  int best = 0;
+  for (PartySet set : maximal_) best = std::max(best, popcount(set));
+  return best;
+}
+
+int AdversaryStructure::best_q3_threshold() const {
+  // A threshold-t structure is contained in A iff every t-subset is
+  // corruptible.  The largest such t is also capped by Q³: t < n/3.
+  int best = 0;
+  for (int t = 1; 3 * t < n_; ++t) {
+    AdversaryStructure thr = threshold(n_, t);
+    bool contained = true;
+    for (PartySet set : thr.maximal_sets()) {
+      if (!corruptible(set)) {
+        contained = false;
+        break;
+      }
+    }
+    if (!contained) break;
+    best = t;
+  }
+  return best;
+}
+
+std::string AdversaryStructure::describe() const {
+  std::string out = "A*(n=" + std::to_string(n_) + "): {";
+  for (std::size_t i = 0; i < maximal_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{";
+    bool first = true;
+    for (int p : crypto::set_members(maximal_[i])) {
+      if (!first) out += ",";
+      out += std::to_string(p);
+      first = false;
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sintra::adversary

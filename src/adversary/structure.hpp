@@ -1,0 +1,61 @@
+// Generalized adversary structures (Section 4 of the paper).
+//
+// An adversary structure A is a monotone family of subsets of the parties
+// P = {0..n-1}: the sets the adversary may corrupt simultaneously.  It is
+// represented by its maximal sets A* (no member contains another).  The
+// classical threshold model "corrupt any t" is the special case where A*
+// is all t-subsets.
+//
+// The resilience condition for asynchronous Byzantine protocols is Q³
+// (Hirt–Maurer): no three sets of A cover P — the generalization of
+// n > 3t.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sharing.hpp"
+
+namespace sintra::adversary {
+
+using crypto::PartySet;
+
+class AdversaryStructure {
+ public:
+  /// From explicit maximal sets; subsumed sets are removed automatically.
+  AdversaryStructure(int n, std::vector<PartySet> maximal_sets);
+
+  /// The threshold structure: all t-subsets of n parties.
+  static AdversaryStructure threshold(int n, int t);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] const std::vector<PartySet>& maximal_sets() const { return maximal_; }
+
+  /// True iff `set` is corruptible (member of the monotone family A).
+  [[nodiscard]] bool corruptible(PartySet set) const;
+
+  /// The Q³ condition: no three sets in A cover P.
+  [[nodiscard]] bool satisfies_q3() const;
+  /// Q² (no two sets cover P) — required e.g. for safety-only guarantees.
+  [[nodiscard]] bool satisfies_q2() const;
+
+  /// Size of the largest maximal set (the generalized "t" for reporting).
+  [[nodiscard]] int max_corruptions() const;
+
+  /// The largest t such that the threshold structure with this t is
+  /// contained in A — what a pure threshold scheme could tolerate on the
+  /// same party set while keeping Q³ (used by experiment E6).
+  [[nodiscard]] int best_q3_threshold() const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  int n_;
+  std::vector<PartySet> maximal_;
+  /// Set when constructed via threshold(): enables O(1) Q²/Q³ answers
+  /// (the generic checks are cubic in |A*|, which explodes for C(n,t)).
+  std::optional<int> uniform_threshold_;
+};
+
+}  // namespace sintra::adversary

@@ -1,0 +1,123 @@
+#include "app/auth.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::app {
+
+Bytes AuthRequest::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(principal);
+  w.bytes(secret);
+  return w.take();
+}
+
+AuthRequest AuthRequest::decode(BytesView data) {
+  Reader r(data);
+  AuthRequest request;
+  const std::uint8_t op = r.u8();
+  SINTRA_REQUIRE(op <= 3, "auth: bad op");
+  request.op = static_cast<Op>(op);
+  request.principal = r.str();
+  request.secret = r.bytes();
+  r.expect_done();
+  return request;
+}
+
+Bytes AuthResponse::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.str(principal);
+  w.u64(session_id);
+  w.u64(issued_at);
+  w.u64(expires_at);
+  return w.take();
+}
+
+AuthResponse AuthResponse::decode(BytesView data) {
+  Reader r(data);
+  AuthResponse response;
+  const std::uint8_t status = r.u8();
+  SINTRA_REQUIRE(status <= 4, "auth: bad status");
+  response.status = static_cast<Status>(status);
+  response.principal = r.str();
+  response.session_id = r.u64();
+  response.issued_at = r.u64();
+  response.expires_at = r.u64();
+  r.expect_done();
+  return response;
+}
+
+Bytes AuthenticationService::verifier_of(const std::string& principal, BytesView secret) {
+  Writer w;
+  w.str(principal);
+  w.bytes(secret);
+  auto digest = crypto::hash_domain("sintra/auth/verifier", w.data());
+  return Bytes(digest.begin(), digest.end());
+}
+
+Bytes AuthenticationService::execute(BytesView request_bytes) {
+  ++clock_;  // every ordered request advances the logical clock
+  AuthResponse response;
+  AuthRequest request;
+  try {
+    request = AuthRequest::decode(request_bytes);
+  } catch (const ProtocolError&) {
+    response.status = AuthResponse::Status::kDenied;
+    return response.encode();
+  }
+  response.principal = request.principal;
+
+  switch (request.op) {
+    case AuthRequest::Op::kEnroll: {
+      // First enrolment wins; re-enrolment requires presenting the
+      // existing secret (handled as revoke + enroll by the operator).
+      auto [it, inserted] =
+          verifiers_.try_emplace(request.principal, verifier_of(request.principal,
+                                                                request.secret));
+      response.status =
+          inserted ? AuthResponse::Status::kEnrolled : AuthResponse::Status::kDenied;
+      break;
+    }
+    case AuthRequest::Op::kAuthenticate: {
+      auto it = verifiers_.find(request.principal);
+      if (it == verifiers_.end()) {
+        response.status = AuthResponse::Status::kUnknownPrincipal;
+        break;
+      }
+      if (!constant_time_equal(it->second, verifier_of(request.principal, request.secret))) {
+        response.status = AuthResponse::Status::kDenied;
+        break;
+      }
+      response.status = AuthResponse::Status::kGranted;
+      response.session_id = next_session_++;
+      response.issued_at = clock_;
+      response.expires_at = clock_ + session_lifetime_;
+      break;
+    }
+    case AuthRequest::Op::kRevoke: {
+      auto it = verifiers_.find(request.principal);
+      if (it == verifiers_.end()) {
+        response.status = AuthResponse::Status::kUnknownPrincipal;
+        break;
+      }
+      if (!constant_time_equal(it->second, verifier_of(request.principal, request.secret))) {
+        response.status = AuthResponse::Status::kDenied;
+        break;
+      }
+      verifiers_.erase(it);
+      response.status = AuthResponse::Status::kRevoked;
+      break;
+    }
+    case AuthRequest::Op::kTick: {
+      // Administrative no-op that advances the logical clock (already
+      // incremented); lets deployments expire sessions without traffic.
+      response.status = AuthResponse::Status::kGranted;
+      response.issued_at = clock_;
+      break;
+    }
+  }
+  return response.encode();
+}
+
+}  // namespace sintra::app

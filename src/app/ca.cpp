@@ -1,0 +1,104 @@
+#include "app/ca.hpp"
+
+namespace sintra::app {
+
+Bytes CaRequest::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(subject);
+  w.bytes(public_key);
+  w.str(credentials);
+  w.str(policy);
+  return w.take();
+}
+
+CaRequest CaRequest::decode(BytesView data) {
+  Reader r(data);
+  CaRequest request;
+  const std::uint8_t op = r.u8();
+  SINTRA_REQUIRE(op <= 2, "ca: bad op");
+  request.op = static_cast<Op>(op);
+  request.subject = r.str();
+  request.public_key = r.bytes();
+  request.credentials = r.str();
+  request.policy = r.str();
+  r.expect_done();
+  return request;
+}
+
+Bytes CaResponse::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u64(serial);
+  w.str(subject);
+  w.bytes(public_key);
+  w.str(policy_at_issue);
+  return w.take();
+}
+
+CaResponse CaResponse::decode(BytesView data) {
+  Reader r(data);
+  CaResponse response;
+  const std::uint8_t status = r.u8();
+  SINTRA_REQUIRE(status <= 2, "ca: bad status");
+  response.status = static_cast<Status>(status);
+  response.serial = r.u64();
+  response.subject = r.str();
+  response.public_key = r.bytes();
+  response.policy_at_issue = r.str();
+  r.expect_done();
+  return response;
+}
+
+Bytes CertificationAuthority::execute(BytesView request_bytes) {
+  CaResponse response;
+  CaRequest request;
+  try {
+    request = CaRequest::decode(request_bytes);
+  } catch (const ProtocolError&) {
+    response.status = CaResponse::Status::kDenied;
+    return response.encode();
+  }
+
+  switch (request.op) {
+    case CaRequest::Op::kIssue: {
+      if (request.credentials != "credential:" + request.subject) {
+        response.status = CaResponse::Status::kDenied;
+        break;
+      }
+      auto [it, inserted] = issued_.try_emplace(
+          request.subject, CertRecord{next_serial_, request.public_key, policy_});
+      if (inserted) ++next_serial_;
+      // Re-issue returns the original record (idempotent issuance).
+      response.status = CaResponse::Status::kOk;
+      response.serial = it->second.serial;
+      response.subject = request.subject;
+      response.public_key = it->second.public_key;
+      response.policy_at_issue = it->second.policy_at_issue;
+      break;
+    }
+    case CaRequest::Op::kQuery: {
+      auto it = issued_.find(request.subject);
+      if (it == issued_.end()) {
+        response.status = CaResponse::Status::kNotFound;
+        response.subject = request.subject;
+        break;
+      }
+      response.status = CaResponse::Status::kOk;
+      response.serial = it->second.serial;
+      response.subject = request.subject;
+      response.public_key = it->second.public_key;
+      response.policy_at_issue = it->second.policy_at_issue;
+      break;
+    }
+    case CaRequest::Op::kSetPolicy: {
+      policy_ = request.policy;
+      response.status = CaResponse::Status::kOk;
+      response.policy_at_issue = policy_;
+      break;
+    }
+  }
+  return response.encode();
+}
+
+}  // namespace sintra::app

@@ -1,0 +1,134 @@
+#include "app/client.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::app {
+
+ServiceClient::ServiceClient(net::Simulator& simulator, int net_id,
+                             adversary::Deployment deployment, std::string service_tag,
+                             Replica::Mode mode, std::uint64_t seed, ReplyFn on_reply)
+    : simulator_(simulator), net_id_(net_id), deployment_(std::move(deployment)),
+      service_tag_(std::move(service_tag)), mode_(mode), rng_(seed),
+      on_reply_(std::move(on_reply)) {
+  SINTRA_REQUIRE(net_id >= deployment_.n(), "client: endpoint collides with a server");
+}
+
+void ServiceClient::send_to_servers(const Bytes& payload, bool broadcast_all) {
+  if (!broadcast_all && gateway_ >= 0) {
+    net::Message message;
+    message.from = net_id_;
+    message.to = gateway_;
+    message.tag = service_tag_;
+    message.payload = payload;
+    simulator_.submit(std::move(message));
+    return;
+  }
+  for (int server = 0; server < deployment_.n(); ++server) {
+    net::Message message;
+    message.from = net_id_;
+    message.to = server;
+    message.tag = service_tag_;
+    message.payload = payload;
+    simulator_.submit(std::move(message));
+  }
+}
+
+void ServiceClient::set_gateway(int server) {
+  SINTRA_REQUIRE(server < deployment_.n(), "client: gateway out of range");
+  gateway_ = server;
+}
+
+void ServiceClient::resend(std::uint64_t request_id) {
+  auto pending = pending_.find(request_id);
+  if (pending == pending_.end()) return;  // already answered
+  send_to_servers(pending->second.wire_payload, /*broadcast_all=*/true);
+}
+
+std::uint64_t ServiceClient::request(Bytes body) {
+  RequestEnvelope envelope;
+  envelope.client = net_id_;
+  envelope.request_id = next_request_id_++;
+  envelope.body = std::move(body);
+
+  Writer w;
+  envelope.encode(w);
+  Bytes envelope_bytes = w.take();
+
+  Bytes payload;
+  if (mode_ == Replica::Mode::kAtomic) {
+    payload = std::move(envelope_bytes);
+  } else {
+    // Causal mode: the request leaves the client only in encrypted form.
+    const auto& pk = deployment_.keys->public_keys().encryption;
+    auto ciphertext = pk.encrypt(envelope_bytes, bytes_of(service_tag_), rng_);
+    Writer cw;
+    ciphertext.encode(cw, pk.group());
+    payload = cw.take();
+  }
+
+  pending_.emplace(envelope.request_id, Pending{envelope, payload, {}});
+  send_to_servers(payload, /*broadcast_all=*/false);
+  return envelope.request_id;
+}
+
+void ServiceClient::on_message(const net::Message& message) {
+  if (message.tag != service_tag_ + "/reply") return;
+  if (message.from < 0 || message.from >= deployment_.n()) return;
+  try {
+    Reader reader(message.payload);
+    const std::uint64_t request_id = reader.u64();
+    Bytes reply = reader.bytes();
+    auto shares =
+        reader.vec<crypto::SigShare>([](Reader& r) { return crypto::SigShare::decode(r); });
+    reader.expect_done();
+
+    auto pending = pending_.find(request_id);
+    if (pending == pending_.end()) return;
+
+    const Bytes statement = reply_statement(service_tag_, pending->second.envelope, reply);
+    const auto& pk = deployment_.keys->public_keys().reply_sig;
+    for (const auto& share : shares) {
+      if (pk.scheme().unit_owner(share.unit) != message.from) return;
+      if (!pk.verify_share(statement, share)) return;
+    }
+
+    auto digest = crypto::hash_domain("sintra/client/vote", reply);
+    auto& [supporters, vote_shares, content] =
+        pending->second.votes[Bytes(digest.begin(), digest.end())];
+    if (crypto::contains(supporters, message.from)) return;
+    supporters |= crypto::party_bit(message.from);
+    for (const auto& share : shares) vote_shares.push_back(share);
+    content = reply;
+
+    // Accept once the supporters are QUALIFIED under the reply-key sharing
+    // scheme.  Qualified implies beyond one corruptible set (the access
+    // structure under-approximates the complement of A — see DESIGN.md),
+    // so at least one honest server stands behind this exact reply; and it
+    // is precisely the condition for the signature shares to combine.
+    // Note exceeds_fault_set alone would NOT suffice for generalized
+    // deployments like Example 2, where some incorruptible sets are still
+    // unqualified for reconstruction.
+    if (!pk.scheme().qualified(supporters)) return;
+    auto signature = pk.combine(statement, vote_shares);
+    SINTRA_INVARIANT(signature.has_value(), "client: combine failed on verified shares");
+
+    Receipt receipt{std::move(content), std::move(*signature)};
+    RequestEnvelope envelope = pending->second.envelope;
+    pending_.erase(pending);
+    if (on_reply_) on_reply_(envelope.request_id, std::move(receipt));
+  } catch (const ProtocolError&) {
+    // Malformed reply from a corrupted server: ignore.
+  }
+}
+
+bool ServiceClient::verify_receipt(std::uint64_t request_id, BytesView request_body,
+                                   const Receipt& receipt) const {
+  RequestEnvelope envelope;
+  envelope.client = net_id_;
+  envelope.request_id = request_id;
+  envelope.body = Bytes(request_body.begin(), request_body.end());
+  const Bytes statement = reply_statement(service_tag_, envelope, receipt.reply);
+  return deployment_.keys->public_keys().reply_sig.verify(statement, receipt.signature);
+}
+
+}  // namespace sintra::app

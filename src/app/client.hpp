@@ -1,0 +1,81 @@
+// Client of a replicated trusted service (§5).
+//
+// The client knows only the service's single public keys (reply signature
+// verification key, encryption key) — not those of individual servers;
+// this is the client-transparency property the paper inherits from
+// Reiter–Birman.  It sends its request to all servers (the paper requires
+// "more than t", i.e. enough that corrupted servers cannot ignore it),
+// collects replies, and accepts a reply content once servers beyond one
+// corruptible set vouch for it — at that point at least one voucher is
+// honest, and honest replicas all return the same answer.  The matching
+// replies' signature shares recombine into one standard RSA signature
+// under the service key: the client's transferable receipt.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "app/replica.hpp"
+
+namespace sintra::app {
+
+class ServiceClient final : public net::Process {
+ public:
+  struct Receipt {
+    Bytes reply;
+    crypto::BigInt signature;  ///< service threshold signature over the reply
+  };
+  using ReplyFn = std::function<void(std::uint64_t request_id, Receipt receipt)>;
+
+  /// `net_id` is this client's simulator endpoint (>= number of servers).
+  ServiceClient(net::Simulator& simulator, int net_id, adversary::Deployment deployment,
+                std::string service_tag, Replica::Mode mode, std::uint64_t seed,
+                ReplyFn on_reply);
+
+  /// Issue a request; returns its id.  In causal mode the envelope is
+  /// TDH2-encrypted before it leaves the client.
+  std::uint64_t request(Bytes body);
+
+  /// Gateway mode (§5): route requests through a single relay server
+  /// instead of all of them.  If the gateway is corrupted and swallows the
+  /// request, the client falls back by calling resend() "if it receives no
+  /// answer within the expected time" — the timeout lives in the
+  /// application, not the protocol.  Pass -1 to return to broadcast mode.
+  void set_gateway(int server);
+
+  /// Re-send an outstanding request to ALL servers (the gateway-failure
+  /// fallback).  No-op if the request already completed.
+  void resend(std::uint64_t request_id);
+
+  void on_message(const net::Message& message) override;
+
+  /// Verify a receipt independently (what a third party would do).
+  [[nodiscard]] bool verify_receipt(std::uint64_t request_id, BytesView request_body,
+                                    const Receipt& receipt) const;
+
+  [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    RequestEnvelope envelope;
+    Bytes wire_payload;  ///< what was sent (for resend)
+    /// reply digest -> (supporters, shares, content)
+    std::map<Bytes, std::tuple<crypto::PartySet, std::vector<crypto::SigShare>, Bytes>> votes;
+  };
+
+  void send_to_servers(const Bytes& payload, bool broadcast_all);
+
+  net::Simulator& simulator_;
+  int net_id_;
+  adversary::Deployment deployment_;
+  std::string service_tag_;
+  Replica::Mode mode_;
+  Rng rng_;
+  ReplyFn on_reply_;
+  int gateway_ = -1;  ///< -1 = broadcast to all servers
+  std::uint64_t next_request_id_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace sintra::app

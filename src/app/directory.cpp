@@ -1,0 +1,94 @@
+#include "app/directory.hpp"
+
+namespace sintra::app {
+
+Bytes DirRequest::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(key);
+  w.bytes(value);
+  return w.take();
+}
+
+DirRequest DirRequest::decode(BytesView data) {
+  Reader r(data);
+  DirRequest request;
+  const std::uint8_t op = r.u8();
+  SINTRA_REQUIRE(op <= 2, "directory: bad op");
+  request.op = static_cast<Op>(op);
+  request.key = r.str();
+  request.value = r.bytes();
+  r.expect_done();
+  return request;
+}
+
+Bytes DirResponse::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.str(key);
+  w.bytes(value);
+  w.u64(version);
+  return w.take();
+}
+
+DirResponse DirResponse::decode(BytesView data) {
+  Reader r(data);
+  DirResponse response;
+  const std::uint8_t status = r.u8();
+  SINTRA_REQUIRE(status <= 1, "directory: bad status");
+  response.status = static_cast<Status>(status);
+  response.key = r.str();
+  response.value = r.bytes();
+  response.version = r.u64();
+  r.expect_done();
+  return response;
+}
+
+Bytes SecureDirectory::execute(BytesView request_bytes) {
+  DirResponse response;
+  DirRequest request;
+  try {
+    request = DirRequest::decode(request_bytes);
+  } catch (const ProtocolError&) {
+    response.status = DirResponse::Status::kNotFound;
+    return response.encode();
+  }
+  response.key = request.key;
+
+  switch (request.op) {
+    case DirRequest::Op::kBind: {
+      Entry& entry = entries_[request.key];
+      entry.value = request.value;
+      entry.version += 1;
+      response.status = DirResponse::Status::kOk;
+      response.value = entry.value;
+      response.version = entry.version;
+      break;
+    }
+    case DirRequest::Op::kLookup: {
+      auto it = entries_.find(request.key);
+      if (it == entries_.end()) {
+        response.status = DirResponse::Status::kNotFound;
+      } else {
+        response.status = DirResponse::Status::kOk;
+        response.value = it->second.value;
+        response.version = it->second.version;
+      }
+      break;
+    }
+    case DirRequest::Op::kUnbind: {
+      auto it = entries_.find(request.key);
+      if (it == entries_.end()) {
+        response.status = DirResponse::Status::kNotFound;
+      } else {
+        response.version = it->second.version;
+        entries_.erase(it);
+        response.status = DirResponse::Status::kOk;
+      }
+      break;
+    }
+  }
+  return response.encode();
+}
+
+}  // namespace sintra::app

@@ -1,0 +1,52 @@
+// Secure directory service (§5.1): an authenticated key-value store whose
+// lookup answers are signed under the single service key — the paper's
+// model for DNS authentication / LDAP-style secure directories.  Updates
+// change global state and therefore go through atomic broadcast; lookups
+// are served from the replicated state and come back threshold-signed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "app/replica.hpp"
+
+namespace sintra::app {
+
+struct DirRequest {
+  enum class Op : std::uint8_t { kBind = 0, kLookup = 1, kUnbind = 2 };
+  Op op = Op::kLookup;
+  std::string key;
+  Bytes value;  ///< kBind
+
+  [[nodiscard]] Bytes encode() const;
+  static DirRequest decode(BytesView data);
+};
+
+struct DirResponse {
+  enum class Status : std::uint8_t { kOk = 0, kNotFound = 1 };
+  Status status = Status::kOk;
+  std::string key;
+  Bytes value;
+  std::uint64_t version = 0;  ///< bind count for the key (fencing token)
+
+  [[nodiscard]] Bytes encode() const;
+  static DirResponse decode(BytesView data);
+};
+
+class SecureDirectory final : public StateMachine {
+ public:
+  Bytes execute(BytesView request) override;
+  [[nodiscard]] std::string name() const override { return "directory"; }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Bytes value;
+    std::uint64_t version;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace sintra::app

@@ -1,0 +1,82 @@
+#include "app/notary.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::app {
+
+Bytes NotaryRequest::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.bytes(document);
+  return w.take();
+}
+
+NotaryRequest NotaryRequest::decode(BytesView data) {
+  Reader r(data);
+  NotaryRequest request;
+  const std::uint8_t op = r.u8();
+  SINTRA_REQUIRE(op <= 1, "notary: bad op");
+  request.op = static_cast<Op>(op);
+  request.document = r.bytes();
+  r.expect_done();
+  return request;
+}
+
+Bytes NotaryResponse::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u64(sequence);
+  return w.take();
+}
+
+NotaryResponse NotaryResponse::decode(BytesView data) {
+  Reader r(data);
+  NotaryResponse response;
+  const std::uint8_t status = r.u8();
+  SINTRA_REQUIRE(status <= 2, "notary: bad status");
+  response.status = static_cast<Status>(status);
+  response.sequence = r.u64();
+  r.expect_done();
+  return response;
+}
+
+Bytes Notary::execute(BytesView request_bytes) {
+  NotaryResponse response;
+  NotaryRequest request;
+  try {
+    request = NotaryRequest::decode(request_bytes);
+  } catch (const ProtocolError&) {
+    response.status = NotaryResponse::Status::kUnknown;
+    return response.encode();
+  }
+
+  auto digest = crypto::hash_domain("sintra/notary/doc", request.document);
+  const Bytes key(digest.begin(), digest.end());
+
+  switch (request.op) {
+    case NotaryRequest::Op::kRegister: {
+      auto [it, inserted] = registry_.try_emplace(key, next_sequence_);
+      if (inserted) {
+        ++next_sequence_;
+        response.status = NotaryResponse::Status::kRegistered;
+      } else {
+        response.status = NotaryResponse::Status::kAlreadyRegistered;
+      }
+      response.sequence = it->second;
+      break;
+    }
+    case NotaryRequest::Op::kVerify: {
+      auto it = registry_.find(key);
+      if (it == registry_.end()) {
+        response.status = NotaryResponse::Status::kUnknown;
+      } else {
+        response.status = NotaryResponse::Status::kAlreadyRegistered;
+        response.sequence = it->second;
+      }
+      break;
+    }
+  }
+  return response.encode();
+}
+
+}  // namespace sintra::app

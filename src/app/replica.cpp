@@ -1,0 +1,115 @@
+#include "app/replica.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::app {
+
+void RequestEnvelope::encode(Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(client));
+  w.u64(request_id);
+  w.bytes(body);
+}
+
+RequestEnvelope RequestEnvelope::decode(Reader& r) {
+  RequestEnvelope envelope;
+  envelope.client = static_cast<int>(r.u32());
+  envelope.request_id = r.u64();
+  envelope.body = r.bytes();
+  return envelope;
+}
+
+Bytes reply_statement(const std::string& service_tag, const RequestEnvelope& request,
+                      BytesView reply) {
+  Writer w;
+  w.str("sintra/svc/reply");
+  w.str(service_tag);
+  w.u32(static_cast<std::uint32_t>(request.client));
+  w.u64(request.request_id);
+  auto req_digest = crypto::hash_domain("sintra/svc/req", request.body);
+  w.raw(BytesView(req_digest.data(), req_digest.size()));
+  auto reply_digest = crypto::hash_domain("sintra/svc/rep", reply);
+  w.raw(BytesView(reply_digest.data(), reply_digest.size()));
+  return w.take();
+}
+
+Replica::Replica(net::Party& host, std::string tag, Mode mode,
+                 std::unique_ptr<StateMachine> state_machine)
+    : ProtocolInstance(host, std::move(tag)), mode_(mode),
+      state_machine_(std::move(state_machine)) {
+  if (mode_ == Mode::kAtomic) {
+    atomic_ = std::make_unique<protocols::AtomicBroadcast>(
+        host_, tag_ + "/abc",
+        [this](int, Bytes payload) { on_ordered_envelope(std::move(payload)); });
+  } else {
+    causal_ = std::make_unique<protocols::SecureCausalBroadcast>(
+        host_, tag_ + "/sc",
+        [this](std::uint64_t, Bytes plaintext, Bytes) {
+          on_ordered_envelope(std::move(plaintext));
+        });
+  }
+}
+
+void Replica::handle(int from, Reader& reader) {
+  // A client request.  In atomic mode the payload is a plain envelope; in
+  // causal mode it is a TDH2 ciphertext of one (so the envelope — client
+  // identity included — stays confidential until ordering).
+  (void)from;
+  if (mode_ == Mode::kAtomic) {
+    Bytes envelope_bytes = reader.raw(reader.remaining());
+    // Parse defensively so garbage is rejected before it is ordered.
+    Reader probe(envelope_bytes);
+    RequestEnvelope::decode(probe);
+    probe.expect_done();
+    atomic_->submit(std::move(envelope_bytes));
+  } else {
+    const auto& pk = host_.public_keys().encryption;
+    crypto::Tdh2Ciphertext ciphertext = crypto::Tdh2Ciphertext::decode(reader, pk.group());
+    reader.expect_done();
+    causal_->submit(ciphertext);
+  }
+}
+
+void Replica::on_ordered_envelope(Bytes envelope_bytes) {
+  RequestEnvelope envelope;
+  try {
+    Reader reader(envelope_bytes);
+    envelope = RequestEnvelope::decode(reader);
+    reader.expect_done();
+  } catch (const ProtocolError&) {
+    return;  // ordered garbage (corrupted submitter): skip deterministically
+  }
+  execute_and_reply(envelope);
+}
+
+void Replica::execute_and_reply(const RequestEnvelope& envelope) {
+  const auto key = std::make_pair(envelope.client, envelope.request_id);
+  Bytes reply;
+  if (auto it = reply_cache_.find(key); it != reply_cache_.end()) {
+    reply = it->second;  // duplicate: at-most-once execution, re-reply
+  } else {
+    reply = state_machine_->execute(envelope.body);
+    executed_.insert(key);
+    reply_cache_.emplace(key, reply);
+    ++executed_count_;
+  }
+
+  // Threshold-signed reply to the client.
+  const Bytes statement = reply_statement(tag_, envelope, reply);
+  auto shares = host_.keys().reply_sig.sign(host_.public_keys().reply_sig, statement,
+                                            host_.rng());
+  Writer w;
+  w.u64(envelope.request_id);
+  w.bytes(reply);
+  w.vec(shares, [](Writer& wr, const crypto::SigShare& s) { s.encode(wr); });
+  if (envelope.client >= 0 && envelope.client < host_.simulator().n() &&
+      envelope.client != me()) {
+    net::Message message;
+    message.from = me();
+    message.to = envelope.client;
+    message.tag = tag_ + "/reply";
+    message.payload = w.take();
+    host_.simulator().submit(std::move(message));
+  }
+}
+
+}  // namespace sintra::app

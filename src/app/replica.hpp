@@ -1,0 +1,77 @@
+// Secure state machine replication (§5, after Schneider and
+// Reiter–Birman): a deterministic service replicated over all servers,
+// fed by atomic broadcast (or secure causal atomic broadcast for services
+// that need request confidentiality until scheduling, like the notary),
+// answering clients with threshold-signed replies.
+//
+// Request path: the client sends its request envelope (or its TDH2
+// encryption, in causal mode) to the servers; each server submits it for
+// total-order delivery; on delivery every server executes it on its local
+// state machine copy — all copies stay identical because execution is
+// deterministic and the order is agreed — and sends the client a reply
+// carrying signature shares of the *service* reply key.  The client
+// recombines them into one ordinary RSA signature under the single service
+// public key (app/client.hpp).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "protocols/causal.hpp"
+
+namespace sintra::app {
+
+/// A deterministic service.  `execute` must depend only on the current
+/// state and the request bytes.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  virtual Bytes execute(BytesView request) = 0;
+  /// Service name used in reply statements (domain separation).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Request envelope exchanged between clients and the service.
+struct RequestEnvelope {
+  int client = 0;               ///< client's network id
+  std::uint64_t request_id = 0;
+  Bytes body;
+
+  void encode(Writer& w) const;
+  static RequestEnvelope decode(Reader& r);
+};
+
+/// Statement that reply signature shares sign.
+Bytes reply_statement(const std::string& service_tag, const RequestEnvelope& request,
+                      BytesView reply);
+
+class Replica final : public protocols::ProtocolInstance {
+ public:
+  enum class Mode {
+    kAtomic,  ///< requests ordered in the clear (CA, directory)
+    kCausal,  ///< requests stay encrypted until ordered (notary)
+  };
+
+  Replica(net::Party& host, std::string tag, Mode mode,
+          std::unique_ptr<StateMachine> state_machine);
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_count_; }
+
+ private:
+  void handle(int from, Reader& reader) override;  ///< client requests
+  void on_ordered_envelope(Bytes envelope_bytes);
+  void execute_and_reply(const RequestEnvelope& envelope);
+
+  Mode mode_;
+  std::unique_ptr<StateMachine> state_machine_;
+  std::unique_ptr<protocols::AtomicBroadcast> atomic_;       ///< kAtomic
+  std::unique_ptr<protocols::SecureCausalBroadcast> causal_; ///< kCausal
+  std::set<std::pair<int, std::uint64_t>> executed_;         ///< at-most-once
+  std::map<std::pair<int, std::uint64_t>, Bytes> reply_cache_;
+  std::uint64_t executed_count_ = 0;
+};
+
+}  // namespace sintra::app

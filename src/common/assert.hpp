@@ -1,0 +1,37 @@
+// Invariant checking for protocol code.
+//
+// Protocol state machines must never abort the whole simulation on a
+// malformed message from a Byzantine peer; they throw ProtocolError and the
+// dispatcher drops the message.  Internal invariants (bugs, never
+// attacker-triggerable) use SINTRA_INVARIANT and throw LogicError so tests
+// fail loudly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sintra {
+
+/// Raised when input violates a protocol precondition (possibly adversarial).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised when an internal invariant breaks (a bug, not an attack).
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+}  // namespace sintra
+
+#define SINTRA_REQUIRE(cond, msg)                      \
+  do {                                                 \
+    if (!(cond)) throw ::sintra::ProtocolError(msg);   \
+  } while (0)
+
+#define SINTRA_INVARIANT(cond, msg)                    \
+  do {                                                 \
+    if (!(cond)) throw ::sintra::LogicError(msg);      \
+  } while (0)

@@ -1,0 +1,40 @@
+// Byte-string utilities shared by every layer of the stack.
+//
+// `Bytes` is the wire format of all protocol payloads and the input/output
+// type of the cryptographic substrate.  Keeping it a plain std::vector keeps
+// serialization trivial; the helpers here add the conversions protocols need
+// (hex for logging and test vectors, constant-time comparison for MAC/tag
+// checks).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sintra {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode `data` as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Decode a hex string (upper- or lowercase). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Build a byte string from an ASCII string literal (no terminator).
+Bytes bytes_of(std::string_view text);
+
+/// Render bytes as ASCII where printable (for logs); lossy.
+std::string printable(BytesView data);
+
+/// Timing-independent equality, for comparing authenticators.
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+}  // namespace sintra

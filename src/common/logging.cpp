@@ -1,0 +1,34 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace sintra {
+
+void TraceLog::emit(TraceLevel level, int party, std::string component, std::string message) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.level = level;
+  event.time = now_ ? now_() : 0;
+  event.party = party;
+  event.component = std::move(component);
+  event.message = std::move(message);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceLog::by_component(const std::string& component) const {
+  std::vector<TraceEvent> out;
+  for (const auto& event : events_) {
+    if (event.component == component) out.push_back(event);
+  }
+  return out;
+}
+
+void TraceLog::dump() const {
+  for (const auto& event : events_) {
+    std::fprintf(stderr, "[t=%llu p=%d %s] %s\n",
+                 static_cast<unsigned long long>(event.time), event.party,
+                 event.component.c_str(), event.message.c_str());
+  }
+}
+
+}  // namespace sintra

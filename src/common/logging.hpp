@@ -1,0 +1,51 @@
+// Structured event trace.
+//
+// The simulator and the protocol stack emit trace events through a TraceLog.
+// Tests attach a log to a simulation and assert on the sequence of events
+// (e.g. "every honest party delivered m before deciding"), which is far more
+// robust than scraping text output.  The default sink is disabled, so
+// production-path code pays one branch per event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sintra {
+
+enum class TraceLevel : std::uint8_t { kDebug, kInfo, kWarn };
+
+struct TraceEvent {
+  TraceLevel level;
+  std::uint64_t time;      ///< simulator timestamp (0 outside simulation)
+  int party;               ///< emitting party index, -1 for the environment
+  std::string component;   ///< e.g. "abba", "atomic", "dealer"
+  std::string message;
+};
+
+class TraceLog {
+ public:
+  /// Record an event if logging is enabled.
+  void emit(TraceLevel level, int party, std::string component, std::string message);
+
+  void set_time_source(std::function<std::uint64_t()> now) { now_ = std::move(now); }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Events whose component matches exactly.
+  [[nodiscard]] std::vector<TraceEvent> by_component(const std::string& component) const;
+
+  /// Print all events to stderr (debugging aid).
+  void dump() const;
+
+ private:
+  bool enabled_ = false;
+  std::function<std::uint64_t()> now_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sintra

@@ -1,0 +1,81 @@
+#include "common/rng.hpp"
+
+#include <random>
+
+namespace sintra {
+
+namespace {
+// splitmix64, the recommended seeder for xoshiro.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& s : s_) s = splitmix64(state);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % bound;
+}
+
+Bytes Rng::bytes(std::size_t count) {
+  Bytes out(count);
+  std::size_t i = 0;
+  while (i < count) {
+    std::uint64_t word = next();
+    for (int b = 0; b < 8 && i < count; ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  return out;
+}
+
+Rng Rng::fork() {
+  return Rng(next());
+}
+
+std::uint64_t SystemRng::next() {
+  static thread_local std::random_device device;
+  std::uint64_t hi = device();
+  std::uint64_t lo = device();
+  return hi << 32 | (lo & 0xffffffffULL);
+}
+
+Bytes SystemRng::bytes(std::size_t count) {
+  Bytes out(count);
+  std::size_t i = 0;
+  while (i < count) {
+    std::uint64_t word = next();
+    for (int b = 0; b < 8 && i < count; ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  return out;
+}
+
+}  // namespace sintra

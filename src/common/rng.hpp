@@ -1,0 +1,56 @@
+// Randomness sources.
+//
+// Two distinct needs, two distinct types:
+//  * Rng       — deterministic, seedable xoshiro256** used everywhere in the
+//                simulation (schedulers, workloads, key generation in tests)
+//                so every run is exactly reproducible from a seed.
+//  * SystemRng — OS entropy, used only by examples that generate real keys.
+//
+// Protocol code takes an Rng& so tests inject seeds; nothing in src/ ever
+// calls std::random_device directly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.hpp"
+
+namespace sintra {
+
+/// Deterministic PRNG (xoshiro256**).  Not cryptographic; used for
+/// simulation reproducibility.  The dealer uses it in tests so that whole
+/// protocol runs, keys included, replay from one 64-bit seed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return std::numeric_limits<std::uint64_t>::max(); }
+
+  /// Uniform in [0, bound) with rejection sampling; bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform random byte string.
+  Bytes bytes(std::size_t count);
+
+  /// Derive an independent child generator (for per-party streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// OS-entropy generator with the same interface surface; for example
+/// binaries that want non-reproducible keys.
+class SystemRng {
+ public:
+  std::uint64_t next();
+  Bytes bytes(std::size_t count);
+};
+
+}  // namespace sintra

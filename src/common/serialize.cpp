@@ -1,0 +1,88 @@
+#include "common/serialize.hpp"
+
+namespace sintra {
+
+void Writer::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::bytes(BytesView v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v);
+}
+
+void Writer::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+void Writer::raw(BytesView v) {
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | data_[pos_ + 1] << 8);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+bool Reader::boolean() {
+  std::uint8_t v = u8();
+  SINTRA_REQUIRE(v <= 1, "serialize: invalid boolean");
+  return v == 1;
+}
+
+Bytes Reader::bytes() {
+  std::uint32_t len = u32();
+  return raw(len);
+}
+
+std::string Reader::str() {
+  std::uint32_t len = u32();
+  need(len);
+  std::string s(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return s;
+}
+
+Bytes Reader::raw(std::size_t count) {
+  need(count);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += count;
+  return out;
+}
+
+}  // namespace sintra

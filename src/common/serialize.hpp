@@ -1,0 +1,99 @@
+// Deterministic binary serialization for protocol messages.
+//
+// Every protocol message and cryptographic object in this codebase is
+// serialized with Writer/Reader.  The encoding is deterministic (no map
+// iteration order, no padding) so that hashing a serialized message is a
+// canonical commitment to its content — required for Fiat–Shamir transcripts
+// and threshold-signature message digests.
+//
+// Encoding: integers little-endian fixed width; varlen byte strings as
+// u32 length prefix + raw bytes; vectors as u32 count + elements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+
+namespace sintra {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed byte string.
+  void bytes(BytesView v);
+  /// Length-prefixed UTF-8/ASCII string.
+  void str(std::string_view v);
+  /// Raw bytes with no length prefix (caller knows the width).
+  void raw(BytesView v);
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& items, Fn&& encode_one) {
+    u32(static_cast<std::uint32_t>(items.size()));
+    for (const T& item : items) encode_one(*this, item);
+  }
+
+  [[nodiscard]] const Bytes& data() const { return out_; }
+  [[nodiscard]] Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Reader over a byte buffer.  All extraction methods throw ProtocolError on
+/// truncated input — malformed messages from Byzantine peers must not crash.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  bool boolean();
+
+  Bytes bytes();
+  std::string str();
+  Bytes raw(std::size_t count);
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& decode_one) {
+    std::uint32_t count = u32();
+    SINTRA_REQUIRE(count <= remaining(), "serialize: implausible element count");
+    std::vector<T> items;
+    items.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) items.push_back(decode_one(*this));
+    return items;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  /// Throw unless the whole buffer has been consumed.
+  void expect_done() const { SINTRA_REQUIRE(done(), "serialize: trailing bytes"); }
+
+ private:
+  void need(std::size_t n) const {
+    SINTRA_REQUIRE(pos_ + n <= data_.size(), "serialize: truncated input");
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Serialize a single object that provides `void encode(Writer&) const`.
+template <typename T>
+Bytes encode_to_bytes(const T& value) {
+  Writer w;
+  value.encode(w);
+  return w.take();
+}
+
+}  // namespace sintra

@@ -1,0 +1,566 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sintra::crypto {
+
+namespace {
+using Limbs = std::vector<std::uint64_t>;
+
+constexpr std::uint32_t kSmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,  53,
+    59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113, 127,
+    131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+    211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283,
+    293, 307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383,
+    389, 397, 401, 409, 419, 421, 431, 433, 439, 443, 449, 457, 461, 463, 467,
+    479, 487, 491, 499, 503, 509, 521, 523, 541, 547, 557, 563, 569, 571, 577,
+    587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653, 659, 661,
+    673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769,
+    773, 787, 797, 809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877,
+    881, 883, 887, 907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983,
+    991, 997};
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  if (value < 0) {
+    negative_ = true;
+    // Avoid UB on INT64_MIN.
+    limbs_.push_back(static_cast<std::uint64_t>(-(value + 1)) + 1);
+  } else if (value > 0) {
+    limbs_.push_back(static_cast<std::uint64_t>(value));
+  }
+}
+
+BigInt::BigInt(std::uint64_t value, int) {
+  if (value != 0) limbs_.push_back(value);
+}
+
+BigInt BigInt::from_u64(std::uint64_t value) {
+  return BigInt(value, 0);
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  bool negative = false;
+  if (!text.empty() && text[0] == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  SINTRA_REQUIRE(!text.empty(), "BigInt: empty numeric string");
+  BigInt result;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    std::string_view hex = text.substr(2);
+    std::string padded(hex.size() % 2 == 1 ? "0" : "");
+    padded += hex;
+    result = from_bytes(from_hex(padded));
+  } else {
+    const BigInt ten(10);
+    for (char c : text) {
+      SINTRA_REQUIRE(c >= '0' && c <= '9', "BigInt: invalid decimal digit");
+      result = result * ten + BigInt(c - '0');
+    }
+  }
+  result.negative_ = negative && !result.is_zero();
+  return result;
+}
+
+BigInt BigInt::from_bytes(BytesView data) {
+  BigInt result;
+  // Big-endian bytes -> little-endian limbs.
+  std::size_t n = data.size();
+  result.limbs_.resize((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t byte_index = n - 1 - i;  // position from LSB
+    result.limbs_[byte_index / 8] |=
+        static_cast<std::uint64_t>(data[i]) << (8 * (byte_index % 8));
+  }
+  result.trim();
+  return result;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint64_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 64;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  BigInt value = *this;
+  value.negative_ = false;
+  const BigInt ten(10);
+  BigInt quotient;
+  BigInt remainder;
+  while (!value.is_zero()) {
+    divmod(value, ten, quotient, remainder);
+    digits.push_back(static_cast<char>('0' + remainder.low_u64()));
+    value = quotient;
+  }
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  Bytes raw = to_bytes();
+  std::string hex = sintra::to_hex(raw);
+  // Strip a single leading zero nibble if present.
+  if (hex.size() > 1 && hex[0] == '0') hex.erase(0, 1);
+  return negative_ ? "-" + hex : hex;
+}
+
+Bytes BigInt::to_bytes() const {
+  if (limbs_.empty()) return {};
+  std::size_t bytes_needed = (bit_length() + 7) / 8;
+  return to_bytes_padded(bytes_needed);
+}
+
+Bytes BigInt::to_bytes_padded(std::size_t width) const {
+  SINTRA_REQUIRE((bit_length() + 7) / 8 <= width, "BigInt: value too wide for padding");
+  Bytes out(width, 0);
+  for (std::size_t i = 0; i < width; ++i) {
+    std::size_t byte_index = width - 1 - i;  // position from LSB
+    std::size_t limb = byte_index / 8;
+    if (limb < limbs_.size()) {
+      out[i] = static_cast<std::uint8_t>(limbs_[limb] >> (8 * (byte_index % 8)));
+    }
+  }
+  return out;
+}
+
+int BigInt::compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = compare_magnitude(other);
+  return negative_ ? -mag : mag;
+}
+
+int BigInt::compare_magnitude(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+Limbs BigInt::add_magnitudes(const Limbs& a, const Limbs& b) {
+  const Limbs& longer = a.size() >= b.size() ? a : b;
+  const Limbs& shorter = a.size() >= b.size() ? b : a;
+  Limbs out(longer.size() + 1, 0);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    unsigned __int128 sum = carry + longer[i];
+    if (i < shorter.size()) sum += shorter[i];
+    out[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  out[longer.size()] = static_cast<std::uint64_t>(carry);
+  return out;
+}
+
+Limbs BigInt::sub_magnitudes(const Limbs& a, const Limbs& b) {
+  Limbs out(a.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    unsigned __int128 lhs = a[i];
+    unsigned __int128 rhs = (i < b.size() ? b[i] : 0);
+    rhs += static_cast<unsigned __int128>(borrow);
+    if (lhs >= rhs) {
+      out[i] = static_cast<std::uint64_t>(lhs - rhs);
+      borrow = 0;
+    } else {
+      out[i] = static_cast<std::uint64_t>((static_cast<unsigned __int128>(1) << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  return out;
+}
+
+Limbs BigInt::mul_magnitudes(const Limbs& a, const Limbs& b) {
+  if (a.empty() || b.empty()) return {};
+  Limbs out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      unsigned __int128 cur = out[i + j] + carry +
+                              static_cast<unsigned __int128>(a[i]) * b[j];
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      unsigned __int128 cur = out[k] + carry;
+      out[k] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+      ++k;
+    }
+  }
+  return out;
+}
+
+// Knuth Algorithm D, normalized so the divisor's top limb has its high bit set.
+void BigInt::divmod_magnitudes(const Limbs& a, const Limbs& b, Limbs& quotient, Limbs& remainder) {
+  SINTRA_REQUIRE(!b.empty(), "BigInt: division by zero");
+  // Fast paths.
+  if (a.size() < b.size() ||
+      (a.size() == b.size() &&
+       std::lexicographical_compare(a.rbegin(), a.rend(), b.rbegin(), b.rend()))) {
+    quotient.clear();
+    remainder = a;
+    return;
+  }
+  if (b.size() == 1) {
+    quotient.assign(a.size(), 0);
+    unsigned __int128 rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      unsigned __int128 cur = (rem << 64) | a[i];
+      quotient[i] = static_cast<std::uint64_t>(cur / b[0]);
+      rem = cur % b[0];
+    }
+    remainder.clear();
+    if (rem != 0) remainder.push_back(static_cast<std::uint64_t>(rem));
+    return;
+  }
+
+  // Normalize.
+  int shift = 0;
+  std::uint64_t top = b.back();
+  while (!(top & (1ULL << 63))) {
+    top <<= 1;
+    ++shift;
+  }
+  auto shl = [&](const Limbs& src, int s) {
+    if (s == 0) {
+      Limbs out = src;
+      out.push_back(0);
+      return out;
+    }
+    Limbs out(src.size() + 1, 0);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      out[i] |= src[i] << s;
+      out[i + 1] = src[i] >> (64 - s);
+    }
+    return out;
+  };
+  Limbs u = shl(a, shift);            // size n + m + 1 (with extra limb)
+  Limbs v = shl(b, shift);            // normalized divisor
+  while (v.size() > b.size()) v.pop_back();  // drop the zero extension
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n - 1;
+
+  quotient.assign(m + 1, 0);
+  const unsigned __int128 base = static_cast<unsigned __int128>(1) << 64;
+  for (std::size_t j = m + 1; j-- > 0;) {
+    unsigned __int128 numerator = (static_cast<unsigned __int128>(u[j + n]) << 64) | u[j + n - 1];
+    unsigned __int128 qhat = numerator / v[n - 1];
+    unsigned __int128 rhat = numerator % v[n - 1];
+    while (qhat >= base ||
+           qhat * v[n - 2] > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= base) break;
+    }
+    // Multiply-subtract.
+    unsigned __int128 borrow = 0;
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      unsigned __int128 product = qhat * v[i] + carry;
+      carry = product >> 64;
+      std::uint64_t product_low = static_cast<std::uint64_t>(product);
+      unsigned __int128 diff = static_cast<unsigned __int128>(u[i + j]) - product_low - borrow;
+      u[i + j] = static_cast<std::uint64_t>(diff);
+      borrow = (diff >> 64) ? 1 : 0;
+    }
+    unsigned __int128 diff = static_cast<unsigned __int128>(u[j + n]) - carry - borrow;
+    u[j + n] = static_cast<std::uint64_t>(diff);
+    bool negative = (diff >> 64) != 0;
+
+    if (negative) {
+      // qhat was one too large: add back.
+      --qhat;
+      unsigned __int128 add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        unsigned __int128 sum = static_cast<unsigned __int128>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<std::uint64_t>(sum);
+        add_carry = sum >> 64;
+      }
+      u[j + n] = static_cast<std::uint64_t>(u[j + n] + add_carry);
+    }
+    quotient[j] = static_cast<std::uint64_t>(qhat);
+  }
+
+  // Denormalize the remainder (shift right across limbs).
+  remainder.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    remainder[i] = shift == 0 ? u[i] : u[i] >> shift;
+    if (shift != 0 && i + 1 < n) remainder[i] |= u[i + 1] << (64 - shift);
+  }
+  while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
+  while (!remainder.empty() && remainder.back() == 0) remainder.pop_back();
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  if (a.negative_ == b.negative_) {
+    out.limbs_ = BigInt::add_magnitudes(a.limbs_, b.limbs_);
+    out.negative_ = a.negative_;
+  } else {
+    int mag = a.compare_magnitude(b);
+    if (mag == 0) return BigInt();
+    if (mag > 0) {
+      out.limbs_ = BigInt::sub_magnitudes(a.limbs_, b.limbs_);
+      out.negative_ = a.negative_;
+    } else {
+      out.limbs_ = BigInt::sub_magnitudes(b.limbs_, a.limbs_);
+      out.negative_ = b.negative_;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  return a + (-b);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  out.limbs_ = BigInt::mul_magnitudes(a.limbs_, b.limbs_);
+  out.negative_ = a.negative_ != b.negative_;
+  out.trim();
+  return out;
+}
+
+void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& quotient, BigInt& remainder) {
+  Limbs q;
+  Limbs r;
+  divmod_magnitudes(a.limbs_, b.limbs_, q, r);
+  quotient.limbs_ = std::move(q);
+  quotient.negative_ = a.negative_ != b.negative_;
+  quotient.trim();
+  remainder.limbs_ = std::move(r);
+  remainder.negative_ = a.negative_;
+  remainder.trim();
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  BigInt q;
+  BigInt r;
+  BigInt::divmod(a, b, q, r);
+  return q;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  BigInt q;
+  BigInt r;
+  BigInt::divmod(a, b, q, r);
+  return r;
+}
+
+BigInt BigInt::shifted_left(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shifted_right(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = bit_shift == 0 ? limbs_[i + limb_shift] : limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::mod(const BigInt& m) const {
+  SINTRA_REQUIRE(!m.is_zero() && !m.negative_, "BigInt: modulus must be positive");
+  BigInt r = *this % m;
+  if (r.negative_) r += m;
+  return r;
+}
+
+BigInt BigInt::add_mod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a + b).mod(m);
+}
+
+BigInt BigInt::sub_mod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a - b).mod(m);
+}
+
+BigInt BigInt::mul_mod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a * b).mod(m);
+}
+
+BigInt BigInt::pow_mod(const BigInt& base, const BigInt& exponent, const BigInt& m) {
+  SINTRA_REQUIRE(!exponent.negative_, "BigInt: negative exponent");
+  SINTRA_REQUIRE(!m.is_zero() && !m.negative_, "BigInt: modulus must be positive");
+  if (m.is_one()) return BigInt();
+  BigInt result(1);
+  BigInt b = base.mod(m);
+  const std::size_t bits = exponent.bit_length();
+  // Left-to-right square-and-multiply with a 4-bit fixed window.
+  constexpr std::size_t kWindow = 4;
+  if (bits <= 16) {
+    for (std::size_t i = bits; i-- > 0;) {
+      result = mul_mod(result, result, m);
+      if (exponent.bit(i)) result = mul_mod(result, b, m);
+    }
+    return result;
+  }
+  // Precompute b^0..b^15.
+  std::vector<BigInt> table(1ULL << kWindow);
+  table[0] = BigInt(1);
+  for (std::size_t i = 1; i < table.size(); ++i) table[i] = mul_mod(table[i - 1], b, m);
+  std::size_t i = bits;
+  while (i > 0) {
+    std::size_t take = std::min(kWindow, i);
+    std::uint32_t window = 0;
+    for (std::size_t k = 0; k < take; ++k) {
+      window = window << 1 | static_cast<std::uint32_t>(exponent.bit(i - 1 - k));
+    }
+    for (std::size_t k = 0; k < take; ++k) result = mul_mod(result, result, m);
+    if (window != 0) result = mul_mod(result, table[window], m);
+    i -= take;
+  }
+  return result;
+}
+
+BigInt BigInt::inverse_mod(const BigInt& a, const BigInt& m) {
+  BigInt x;
+  BigInt y;
+  BigInt g = extended_gcd(a.mod(m), m, x, y);
+  SINTRA_REQUIRE(g.is_one(), "BigInt: not invertible");
+  return x.mod(m);
+}
+
+BigInt BigInt::gcd(const BigInt& a, const BigInt& b) {
+  BigInt u = a;
+  BigInt v = b;
+  u.negative_ = false;
+  v.negative_ = false;
+  while (!v.is_zero()) {
+    BigInt r = u % v;
+    u = v;
+    v = r;
+  }
+  return u;
+}
+
+BigInt BigInt::extended_gcd(const BigInt& a, const BigInt& b, BigInt& x, BigInt& y) {
+  BigInt old_r = a;
+  BigInt r = b;
+  BigInt old_s(1);
+  BigInt s(0);
+  BigInt old_t(0);
+  BigInt t(1);
+  while (!r.is_zero()) {
+    BigInt q;
+    BigInt rem;
+    divmod(old_r, r, q, rem);
+    old_r = r;
+    r = rem;
+    BigInt tmp_s = old_s - q * s;
+    old_s = s;
+    s = tmp_s;
+    BigInt tmp_t = old_t - q * t;
+    old_t = t;
+    t = tmp_t;
+  }
+  x = old_s;
+  y = old_t;
+  return old_r;
+}
+
+BigInt BigInt::factorial(unsigned n) {
+  BigInt out(1);
+  for (unsigned i = 2; i <= n; ++i) out *= BigInt(static_cast<std::int64_t>(i));
+  return out;
+}
+
+bool BigInt::divisible_by_small_prime() const {
+  for (std::uint32_t p : kSmallPrimes) {
+    BigInt rem = *this % BigInt(static_cast<std::int64_t>(p));
+    if (rem.is_zero()) return !(limbs_.size() == 1 && limbs_[0] == p);
+  }
+  return false;
+}
+
+bool BigInt::miller_rabin_witness(const BigInt& base) const {
+  // Returns true if `base` does NOT witness compositeness.
+  const BigInt one(1);
+  const BigInt n_minus_1 = *this - one;
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d.shifted_right(1);
+    ++r;
+  }
+  BigInt x = pow_mod(base, d, *this);
+  if (x.is_one() || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = mul_mod(x, x, *this);
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+void BigInt::encode(Writer& w) const {
+  w.boolean(negative_);
+  w.bytes(to_bytes());
+}
+
+BigInt BigInt::decode(Reader& r) {
+  bool negative = r.boolean();
+  BigInt value = from_bytes(r.bytes());
+  SINTRA_REQUIRE(!(negative && value.is_zero()), "BigInt: negative zero");
+  value.negative_ = negative;
+  return value;
+}
+
+}  // namespace sintra::crypto

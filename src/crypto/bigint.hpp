@@ -1,0 +1,214 @@
+// Arbitrary-precision integers, implemented from scratch.
+//
+// This is the numeric substrate for the whole threshold-cryptography layer:
+// Schnorr-group arithmetic (coin, TDH2), RSA (Shoup threshold signatures),
+// Shamir sharing over Z_q, and integer-Lagrange interpolation with the
+// Δ = n! clearing trick used by the threshold RSA scheme (which requires
+// signed arithmetic — hence BigInt carries a sign).
+//
+// Representation: sign/magnitude, magnitude as little-endian vector of
+// 64-bit limbs with no trailing zero limbs (zero is an empty vector,
+// sign +1).  Multiplication is schoolbook with 128-bit accumulation;
+// division is Knuth Algorithm D; modular exponentiation uses a fixed
+// 4-bit window.  Performance targets the parameter sizes used by the
+// benchmarks (up to ~2048-bit moduli), not production RSA-4096.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace sintra::crypto {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor) - numeric literal ergonomics
+  BigInt(std::uint64_t value, int);  ///< tagged unsigned constructor
+
+  static BigInt from_u64(std::uint64_t value);
+  /// Parse decimal (optional leading '-') or, with prefix "0x", hex.
+  static BigInt from_string(std::string_view text);
+  /// Big-endian unsigned bytes.
+  static BigInt from_bytes(BytesView data);
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  [[nodiscard]] bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  [[nodiscard]] bool is_one() const { return !negative_ && limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+  /// Bit i of the magnitude (little-endian bit order).
+  [[nodiscard]] bool bit(std::size_t i) const;
+
+  [[nodiscard]] std::string to_string() const;       ///< decimal
+  [[nodiscard]] std::string to_hex() const;          ///< lowercase hex, no prefix
+  /// Big-endian magnitude, minimal length (empty for zero).  Sign dropped.
+  [[nodiscard]] Bytes to_bytes() const;
+  /// Big-endian magnitude zero-padded/fit to exactly `width` bytes.
+  [[nodiscard]] Bytes to_bytes_padded(std::size_t width) const;
+  /// Low 64 bits of the magnitude (for small values / tests).
+  [[nodiscard]] std::uint64_t low_u64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  // -- comparison ---------------------------------------------------------
+  [[nodiscard]] int compare(const BigInt& other) const;  ///< -1 / 0 / +1
+  friend bool operator==(const BigInt& a, const BigInt& b) { return a.compare(b) == 0; }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return a.compare(b) != 0; }
+  friend bool operator<(const BigInt& a, const BigInt& b) { return a.compare(b) < 0; }
+  friend bool operator<=(const BigInt& a, const BigInt& b) { return a.compare(b) <= 0; }
+  friend bool operator>(const BigInt& a, const BigInt& b) { return a.compare(b) > 0; }
+  friend bool operator>=(const BigInt& a, const BigInt& b) { return a.compare(b) >= 0; }
+
+  // -- arithmetic ---------------------------------------------------------
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  /// Remainder with the sign of the dividend (C semantics).
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+  BigInt operator-() const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+
+  [[nodiscard]] BigInt shifted_left(std::size_t bits) const;
+  [[nodiscard]] BigInt shifted_right(std::size_t bits) const;
+
+  /// Quotient and remainder in one division.
+  static void divmod(const BigInt& a, const BigInt& b, BigInt& quotient, BigInt& remainder);
+
+  // -- modular arithmetic (modulus must be positive) -----------------------
+  /// Mathematical mod: result in [0, m).
+  [[nodiscard]] BigInt mod(const BigInt& m) const;
+  static BigInt add_mod(const BigInt& a, const BigInt& b, const BigInt& m);
+  static BigInt sub_mod(const BigInt& a, const BigInt& b, const BigInt& m);
+  static BigInt mul_mod(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// a^e mod m; e must be non-negative.
+  static BigInt pow_mod(const BigInt& base, const BigInt& exponent, const BigInt& m);
+  /// Multiplicative inverse mod m; throws ProtocolError if gcd(a, m) != 1.
+  static BigInt inverse_mod(const BigInt& a, const BigInt& m);
+
+  static BigInt gcd(const BigInt& a, const BigInt& b);
+  /// g = gcd(a,b) and Bézout coefficients: a*x + b*y = g.
+  static BigInt extended_gcd(const BigInt& a, const BigInt& b, BigInt& x, BigInt& y);
+
+  /// n! as a BigInt (the Δ of Shoup's threshold RSA scheme).
+  static BigInt factorial(unsigned n);
+
+  // -- randomness & primality ---------------------------------------------
+  /// Uniform in [0, bound); bound must be positive.
+  template <typename RngT>
+  static BigInt random_below(RngT& rng, const BigInt& bound);
+  /// Uniform with exactly `bits` bits (top bit set).
+  template <typename RngT>
+  static BigInt random_bits(RngT& rng, std::size_t bits);
+
+  /// Miller–Rabin with `rounds` random bases (plus small-prime sieve).
+  template <typename RngT>
+  [[nodiscard]] bool is_probable_prime(RngT& rng, int rounds = 32) const;
+
+  /// Random prime with exactly `bits` bits.
+  template <typename RngT>
+  static BigInt random_prime(RngT& rng, std::size_t bits);
+  /// Random safe prime p = 2p' + 1 (p' prime) with exactly `bits` bits.
+  template <typename RngT>
+  static BigInt random_safe_prime(RngT& rng, std::size_t bits);
+
+  // -- serialization -------------------------------------------------------
+  void encode(Writer& w) const;
+  static BigInt decode(Reader& r);
+
+ private:
+  void trim();
+  [[nodiscard]] int compare_magnitude(const BigInt& other) const;
+  static std::vector<std::uint64_t> add_magnitudes(const std::vector<std::uint64_t>& a,
+                                                   const std::vector<std::uint64_t>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<std::uint64_t> sub_magnitudes(const std::vector<std::uint64_t>& a,
+                                                   const std::vector<std::uint64_t>& b);
+  static std::vector<std::uint64_t> mul_magnitudes(const std::vector<std::uint64_t>& a,
+                                                   const std::vector<std::uint64_t>& b);
+  static void divmod_magnitudes(const std::vector<std::uint64_t>& a,
+                                const std::vector<std::uint64_t>& b,
+                                std::vector<std::uint64_t>& quotient,
+                                std::vector<std::uint64_t>& remainder);
+  [[nodiscard]] bool miller_rabin_witness(const BigInt& base) const;
+  [[nodiscard]] bool divisible_by_small_prime() const;
+
+  bool negative_ = false;
+  std::vector<std::uint64_t> limbs_;  ///< little-endian, trimmed
+};
+
+// ---- template definitions -------------------------------------------------
+
+template <typename RngT>
+BigInt BigInt::random_below(RngT& rng, const BigInt& bound) {
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling: draw `bits` random bits until below bound.
+  for (;;) {
+    Bytes raw = rng.bytes((bits + 7) / 8);
+    // Mask excess top bits.
+    const std::size_t excess = raw.size() * 8 - bits;
+    if (!raw.empty()) raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    BigInt candidate = BigInt::from_bytes(raw);
+    if (candidate < bound) return candidate;
+  }
+}
+
+template <typename RngT>
+BigInt BigInt::random_bits(RngT& rng, std::size_t bits) {
+  Bytes raw = rng.bytes((bits + 7) / 8);
+  const std::size_t excess = raw.size() * 8 - bits;
+  raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+  raw[0] |= static_cast<std::uint8_t>(0x80 >> excess);  // force exact bit length
+  return BigInt::from_bytes(raw);
+}
+
+template <typename RngT>
+bool BigInt::is_probable_prime(RngT& rng, int rounds) const {
+  if (negative_ || is_zero()) return false;
+  if (limbs_.size() == 1) {
+    std::uint64_t v = limbs_[0];
+    if (v < 2) return false;
+    if (v == 2 || v == 3) return true;
+  }
+  if (!is_odd()) return false;
+  // The sieve reports false when *this equals the small prime itself.
+  if (divisible_by_small_prime()) return false;
+  const BigInt two(2);
+  const BigInt n_minus_3 = *this - BigInt(3);
+  for (int i = 0; i < rounds; ++i) {
+    BigInt base = two + random_below(rng, n_minus_3);
+    if (!miller_rabin_witness(base)) return false;
+  }
+  return true;
+}
+
+template <typename RngT>
+BigInt BigInt::random_prime(RngT& rng, std::size_t bits) {
+  for (;;) {
+    BigInt candidate = random_bits(rng, bits);
+    if (!candidate.is_odd()) candidate += BigInt(1);
+    if (candidate.is_probable_prime(rng)) return candidate;
+  }
+}
+
+template <typename RngT>
+BigInt BigInt::random_safe_prime(RngT& rng, std::size_t bits) {
+  for (;;) {
+    BigInt q = random_prime(rng, bits - 1);
+    BigInt p = q.shifted_left(1) + BigInt(1);
+    if (p.bit_length() == bits && p.is_probable_prime(rng)) return p;
+  }
+}
+
+}  // namespace sintra::crypto

@@ -1,0 +1,79 @@
+// The trusted dealer of the paper's model (Section 2): a one-shot setup
+// entity that generates and distributes all secret key material, after which
+// the system processes an unlimited number of requests with no further
+// trusted interaction.
+//
+// A deployment uses two access structures (both supplied as LinearSchemes):
+//
+//  * `low` — the "t+1"-style structure (generalized rule: S ∪ {i} for
+//    S ∈ A*, §4.2).  Any set *exceeding* a corruptible set qualifies.  The
+//    coin, the TDH2 decryption key, and the service-reply signature key are
+//    dealt over it: the adversary alone never qualifies, and any set
+//    containing one honest party beyond a maximal corruptible set does.
+//
+//  * `high` — the "n−t"-style structure (generalized rule: P ∖ S for
+//    S ∈ A*).  The certificate signature key is dealt over it: protocol
+//    certificates (consistent broadcast, ABBA justifications, atomic
+//    broadcast) must attest that a full quorum of parties contributed.
+//
+// In the classical threshold model these are ThresholdScheme(n, t) and
+// ThresholdScheme(n, n−t−1); the generalized instantiations come from
+// adversary/lsss.hpp.
+#pragma once
+
+#include <memory>
+
+#include "crypto/coin.hpp"
+#include "crypto/tdh2.hpp"
+#include "crypto/threshold_sig.hpp"
+
+namespace sintra::crypto {
+
+/// Everything one party receives from the dealer.
+struct PartyKeyShare {
+  CoinSecretKey coin;
+  ThresholdSigSecretKey cert_sig;
+  ThresholdSigSecretKey reply_sig;
+  Tdh2SecretKey decryption;
+  /// Pairwise symmetric keys: channel_keys[j] is shared with party j
+  /// (channel_keys[self] unused).  The paper's dealer bootstraps secure
+  /// point-to-point channels; these keys also mask the sub-shares of the
+  /// proactive-refresh extension (protocols/refresh.hpp).
+  std::vector<Bytes> channel_keys;
+};
+
+/// Everything public in a deployment, known to servers and clients alike.
+struct PublicKeys {
+  CoinPublicKey coin;
+  ThresholdSigPublicKey cert_sig;   ///< high (quorum) access structure
+  ThresholdSigPublicKey reply_sig;  ///< low (beyond-one-corruptible-set)
+  Tdh2PublicKey encryption;         ///< low
+};
+
+/// Dealer output: public keys plus one PartyKeyShare per party.
+class KeyBundle {
+ public:
+  KeyBundle(PublicKeys public_keys, std::vector<PartyKeyShare> shares)
+      : public_keys_(std::move(public_keys)), shares_(std::move(shares)) {}
+
+  /// Run the dealer.  `low` and `high` must agree on num_parties.
+  static KeyBundle deal(GroupPtr group, std::shared_ptr<const LinearScheme> low,
+                        std::shared_ptr<const LinearScheme> high, const RsaParams& rsa,
+                        Rng& rng);
+
+  /// Convenience: classical threshold deployment with n parties tolerating
+  /// t corruptions (n > 3t), test-sized crypto parameters.
+  static KeyBundle deal_threshold(int n, int t, Rng& rng);
+
+  [[nodiscard]] const PublicKeys& public_keys() const { return public_keys_; }
+  [[nodiscard]] const PartyKeyShare& share(int party) const {
+    return shares_.at(static_cast<std::size_t>(party));
+  }
+  [[nodiscard]] int num_parties() const { return static_cast<int>(shares_.size()); }
+
+ private:
+  PublicKeys public_keys_;
+  std::vector<PartyKeyShare> shares_;
+};
+
+}  // namespace sintra::crypto

@@ -1,0 +1,102 @@
+#include "crypto/nizk.hpp"
+
+#include "common/assert.hpp"
+
+namespace sintra::crypto {
+
+namespace {
+BigInt dleq_challenge(const Group& group, std::string_view context, const BigInt& g1,
+                      const BigInt& h1, const BigInt& g2, const BigInt& h2, const BigInt& a1,
+                      const BigInt& a2) {
+  Writer w;
+  w.str(context);
+  group.encode_element(w, g1);
+  group.encode_element(w, h1);
+  group.encode_element(w, g2);
+  group.encode_element(w, h2);
+  group.encode_element(w, a1);
+  group.encode_element(w, a2);
+  return group.hash_to_scalar("sintra/nizk/dleq", w.data());
+}
+
+BigInt schnorr_challenge(const Group& group, std::string_view context, const BigInt& g,
+                         const BigInt& h, const BigInt& a) {
+  Writer w;
+  w.str(context);
+  group.encode_element(w, g);
+  group.encode_element(w, h);
+  group.encode_element(w, a);
+  return group.hash_to_scalar("sintra/nizk/schnorr", w.data());
+}
+}  // namespace
+
+DleqProof DleqProof::prove(const Group& group, std::string_view context, const BigInt& g1,
+                           const BigInt& h1, const BigInt& g2, const BigInt& h2, const BigInt& x,
+                           Rng& rng) {
+  const BigInt s = group.random_scalar(rng);
+  const BigInt a1 = group.exp(g1, s);
+  const BigInt a2 = group.exp(g2, s);
+  DleqProof proof;
+  proof.challenge = dleq_challenge(group, context, g1, h1, g2, h2, a1, a2);
+  proof.response = group.scalar_add(s, group.scalar_mul(proof.challenge, x));
+  return proof;
+}
+
+bool DleqProof::verify(const Group& group, std::string_view context, const BigInt& g1,
+                       const BigInt& h1, const BigInt& g2, const BigInt& h2) const {
+  if (!group.is_scalar(challenge) || !group.is_scalar(response)) return false;
+  if (!group.is_element(g1) || !group.is_element(h1) || !group.is_element(g2) ||
+      !group.is_element(h2)) {
+    return false;
+  }
+  // a = g^z * h^{-c}; recompute the challenge from reconstructed commitments.
+  const BigInt neg_c = group.scalar_sub(BigInt(0), challenge);
+  const BigInt a1 = group.mul(group.exp(g1, response), group.exp(h1, neg_c));
+  const BigInt a2 = group.mul(group.exp(g2, response), group.exp(h2, neg_c));
+  return dleq_challenge(group, context, g1, h1, g2, h2, a1, a2) == challenge;
+}
+
+void DleqProof::encode(Writer& w, const Group& group) const {
+  group.encode_scalar(w, challenge);
+  group.encode_scalar(w, response);
+}
+
+DleqProof DleqProof::decode(Reader& r, const Group& group) {
+  DleqProof proof;
+  proof.challenge = group.decode_scalar(r);
+  proof.response = group.decode_scalar(r);
+  return proof;
+}
+
+SchnorrProof SchnorrProof::prove(const Group& group, std::string_view context, const BigInt& g,
+                                 const BigInt& h, const BigInt& x, Rng& rng) {
+  const BigInt s = group.random_scalar(rng);
+  const BigInt a = group.exp(g, s);
+  SchnorrProof proof;
+  proof.challenge = schnorr_challenge(group, context, g, h, a);
+  proof.response = group.scalar_add(s, group.scalar_mul(proof.challenge, x));
+  return proof;
+}
+
+bool SchnorrProof::verify(const Group& group, std::string_view context, const BigInt& g,
+                          const BigInt& h) const {
+  if (!group.is_scalar(challenge) || !group.is_scalar(response)) return false;
+  if (!group.is_element(g) || !group.is_element(h)) return false;
+  const BigInt neg_c = group.scalar_sub(BigInt(0), challenge);
+  const BigInt a = group.mul(group.exp(g, response), group.exp(h, neg_c));
+  return schnorr_challenge(group, context, g, h, a) == challenge;
+}
+
+void SchnorrProof::encode(Writer& w, const Group& group) const {
+  group.encode_scalar(w, challenge);
+  group.encode_scalar(w, response);
+}
+
+SchnorrProof SchnorrProof::decode(Reader& r, const Group& group) {
+  SchnorrProof proof;
+  proof.challenge = group.decode_scalar(r);
+  proof.response = group.decode_scalar(r);
+  return proof;
+}
+
+}  // namespace sintra::crypto

@@ -1,0 +1,57 @@
+// Non-interactive zero-knowledge proofs (Fiat–Shamir, random-oracle model).
+//
+// Two workhorses make every threshold primitive in the architecture
+// *robust*, i.e. let honest combiners reject bad shares from corrupted
+// parties instead of producing garbage:
+//
+//  * DleqProof — Chaum–Pedersen proof of discrete-log equality:
+//    given (g1, h1, g2, h2), proves knowledge of x with h1 = g1^x and
+//    h2 = g2^x.  Used for coin-share validity (CKS §4), TDH2 decryption
+//    share validity, and TDH2 ciphertext well-formedness.
+//
+//  * SchnorrProof — proof of knowledge of a discrete log (h = g^x).
+//
+// Both are bound to a caller-supplied context string so proofs cannot be
+// replayed across protocol instances (the Fiat–Shamir hash covers context,
+// statement, and commitments).
+#pragma once
+
+#include <string_view>
+
+#include "crypto/group.hpp"
+
+namespace sintra::crypto {
+
+/// Chaum–Pedersen DLEQ proof, stored in compact (challenge, response) form.
+struct DleqProof {
+  BigInt challenge;  ///< c in Z_q
+  BigInt response;   ///< z in Z_q
+
+  /// Prove h1 = g1^x and h2 = g2^x.
+  static DleqProof prove(const Group& group, std::string_view context, const BigInt& g1,
+                         const BigInt& h1, const BigInt& g2, const BigInt& h2, const BigInt& x,
+                         Rng& rng);
+
+  [[nodiscard]] bool verify(const Group& group, std::string_view context, const BigInt& g1,
+                            const BigInt& h1, const BigInt& g2, const BigInt& h2) const;
+
+  void encode(Writer& w, const Group& group) const;
+  static DleqProof decode(Reader& r, const Group& group);
+};
+
+/// Schnorr proof of knowledge of x with h = g^x.
+struct SchnorrProof {
+  BigInt challenge;
+  BigInt response;
+
+  static SchnorrProof prove(const Group& group, std::string_view context, const BigInt& g,
+                            const BigInt& h, const BigInt& x, Rng& rng);
+
+  [[nodiscard]] bool verify(const Group& group, std::string_view context, const BigInt& g,
+                            const BigInt& h) const;
+
+  void encode(Writer& w, const Group& group) const;
+  static SchnorrProof decode(Reader& r, const Group& group);
+};
+
+}  // namespace sintra::crypto

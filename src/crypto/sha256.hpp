@@ -1,0 +1,58 @@
+// SHA-256 (FIPS 180-4) and HMAC-SHA-256, implemented from scratch.
+//
+// This is the only hash in the system.  It serves as:
+//  * the message digest for threshold RSA signatures,
+//  * the Fiat–Shamir challenge oracle for every NIZK,
+//  * the random oracle H̃ mapping coin names / messages into the group,
+//  * the MAC for authenticated point-to-point channels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sintra::crypto {
+
+constexpr std::size_t kSha256DigestSize = 32;
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(BytesView data);
+  Sha256& update(std::string_view text);
+
+  /// Finalize; the object must not be reused afterwards.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot hash.
+Digest sha256(BytesView data);
+
+/// Digest as Bytes (convenience for serialization paths).
+Bytes sha256_bytes(BytesView data);
+
+/// HMAC-SHA-256 per RFC 2104.
+Digest hmac_sha256(BytesView key, BytesView message);
+
+/// Domain-separated hash: H(domain || 0x00 || data).  All random-oracle uses
+/// in the codebase go through this so different uses cannot collide.
+Digest hash_domain(std::string_view domain, BytesView data);
+
+/// Expand `data` to an arbitrary-length pseudorandom string using
+/// counter-mode SHA-256 (an MGF1-style construction).  Used to derive group
+/// elements and integers of arbitrary width from oracle outputs.
+Bytes hash_expand(std::string_view domain, BytesView data, std::size_t out_len);
+
+}  // namespace sintra::crypto

@@ -1,0 +1,127 @@
+#include "crypto/shamir.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sintra::crypto {
+
+std::vector<int> set_members(PartySet set) {
+  std::vector<int> out;
+  for (int i = 0; i < 64; ++i) {
+    if (contains(set, i)) out.push_back(i);
+  }
+  return out;
+}
+
+PartySet set_of(const std::vector<int>& members) {
+  PartySet set = 0;
+  for (int i : members) set |= party_bit(i);
+  return set;
+}
+
+std::vector<int> LinearScheme::units_of(int party) const {
+  std::vector<int> out;
+  for (int u = 0; u < num_units(); ++u) {
+    if (unit_owner(u) == party) out.push_back(u);
+  }
+  return out;
+}
+
+BigInt LinearScheme::reconstruct(const std::map<int, BigInt>& unit_values,
+                                 const BigInt& modulus) const {
+  PartySet parties = 0;
+  for (const auto& [unit, value] : unit_values) parties |= party_bit(unit_owner(unit));
+  SINTRA_REQUIRE(qualified(parties), "LinearScheme: unqualified set");
+  BigInt sum;
+  for (const auto& [unit, coeff] : coefficients(parties)) {
+    auto it = unit_values.find(unit);
+    SINTRA_INVARIANT(it != unit_values.end(), "LinearScheme: coefficient for missing unit");
+    sum += coeff * it->second;
+  }
+  BigInt delta_inv = BigInt::inverse_mod(delta(), modulus);
+  return BigInt::mul_mod(sum.mod(modulus), delta_inv, modulus);
+}
+
+ShamirPolynomial ShamirPolynomial::random(const BigInt& secret, int degree,
+                                          const BigInt& modulus, Rng& rng) {
+  ShamirPolynomial poly;
+  poly.modulus = modulus;
+  poly.coeffs.reserve(static_cast<std::size_t>(degree) + 1);
+  poly.coeffs.push_back(secret.mod(modulus));
+  for (int i = 0; i < degree; ++i) {
+    poly.coeffs.push_back(BigInt::random_below(rng, modulus));
+  }
+  return poly;
+}
+
+BigInt ShamirPolynomial::eval(const BigInt& x) const {
+  // Horner's rule.
+  BigInt acc;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = BigInt::add_mod(BigInt::mul_mod(acc, x, modulus), coeffs[i], modulus);
+  }
+  return acc;
+}
+
+BigInt lagrange_field(const std::vector<int>& points, int j, int target, const BigInt& q) {
+  BigInt numerator(1);
+  BigInt denominator(1);
+  for (int k : points) {
+    if (k == j) continue;
+    numerator = BigInt::mul_mod(numerator, BigInt(target - k).mod(q), q);
+    denominator = BigInt::mul_mod(denominator, BigInt(j - k).mod(q), q);
+  }
+  return BigInt::mul_mod(numerator, BigInt::inverse_mod(denominator, q), q);
+}
+
+BigInt lagrange_integer(const std::vector<int>& points, int j, const BigInt& delta) {
+  BigInt numerator = delta;
+  BigInt denominator(1);
+  for (int k : points) {
+    if (k == j) continue;
+    numerator *= BigInt(-k);
+    denominator *= BigInt(j - k);
+  }
+  BigInt quotient;
+  BigInt remainder;
+  BigInt::divmod(numerator, denominator, quotient, remainder);
+  SINTRA_INVARIANT(remainder.is_zero(), "lagrange_integer: Δ did not clear denominator");
+  return quotient;
+}
+
+ThresholdScheme::ThresholdScheme(int n, int t) : n_(n), t_(t) {
+  SINTRA_REQUIRE(n >= 1 && n <= 64, "ThresholdScheme: n out of range");
+  SINTRA_REQUIRE(t >= 0 && t < n, "ThresholdScheme: t out of range");
+  delta_ = BigInt::factorial(static_cast<unsigned>(n));
+}
+
+std::vector<BigInt> ThresholdScheme::deal(const BigInt& secret, const BigInt& modulus,
+                                          Rng& rng) const {
+  ShamirPolynomial poly = ShamirPolynomial::random(secret, t_, modulus, rng);
+  std::vector<BigInt> shares;
+  shares.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) shares.push_back(poly.eval_at(i + 1));
+  return shares;
+}
+
+bool ThresholdScheme::qualified(PartySet parties) const {
+  return popcount(parties & full_set(n_)) >= t_ + 1;
+}
+
+std::map<int, BigInt> ThresholdScheme::coefficients(PartySet parties) const {
+  SINTRA_REQUIRE(qualified(parties), "ThresholdScheme: unqualified set");
+  std::vector<int> members = set_members(parties & full_set(n_));
+  members.resize(static_cast<std::size_t>(t_) + 1);  // first t+1 suffice
+  // Interpolation points are party index + 1.
+  std::vector<int> points;
+  points.reserve(members.size());
+  for (int i : members) points.push_back(i + 1);
+  std::map<int, BigInt> out;
+  for (std::size_t idx = 0; idx < members.size(); ++idx) {
+    out[members[idx]] = lagrange_integer(points, points[idx], delta_);
+  }
+  return out;
+}
+
+}  // namespace sintra::crypto

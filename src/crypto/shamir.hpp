@@ -1,0 +1,62 @@
+// Shamir polynomial secret sharing, and the classical t-of-n threshold
+// access structure as a LinearScheme.
+//
+// Sharing: the dealer samples a degree-t polynomial f over Z_modulus with
+// f(0) = secret and gives party i the value f(i+1).  Any t+1 shares
+// determine the secret by Lagrange interpolation; t shares reveal nothing.
+//
+// The LinearScheme coefficients are the Δ-cleared integer Lagrange
+// coefficients of Shoup (EUROCRYPT 2000): with Δ = n!, the values
+// Δ·λ_{0,j}^S are integers for any (t+1)-subset S, which is exactly what
+// working in a group of unknown order (threshold RSA) requires.
+#pragma once
+
+#include "crypto/sharing.hpp"
+
+namespace sintra::crypto {
+
+/// Evaluate-and-share helper used by both this scheme and the LSSS gates.
+struct ShamirPolynomial {
+  /// Coefficients c_0..c_t over Z_modulus; c_0 is the secret.
+  std::vector<BigInt> coeffs;
+  BigInt modulus;
+
+  static ShamirPolynomial random(const BigInt& secret, int degree, const BigInt& modulus,
+                                 Rng& rng);
+  [[nodiscard]] BigInt eval(const BigInt& x) const;
+  [[nodiscard]] BigInt eval_at(int x) const { return eval(BigInt(x)); }
+};
+
+/// Lagrange coefficient λ_{target,j} over field Z_q for interpolation points
+/// `points` (must contain j, all distinct).
+BigInt lagrange_field(const std::vector<int>& points, int j, int target, const BigInt& q);
+
+/// Δ-cleared integer Lagrange coefficient: Δ · λ_{0,j} for points `points`,
+/// where Δ = `delta_factorial` (n!).  Exact integer (Shoup's lemma).
+BigInt lagrange_integer(const std::vector<int>& points, int j, const BigInt& delta);
+
+/// Classical threshold structure: any t+1 of n parties reconstruct, any t
+/// learn nothing; tolerates t corruptions.
+class ThresholdScheme final : public LinearScheme {
+ public:
+  ThresholdScheme(int n, int t);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int t() const { return t_; }
+
+  [[nodiscard]] int num_parties() const override { return n_; }
+  [[nodiscard]] int num_units() const override { return n_; }
+  [[nodiscard]] int unit_owner(int unit) const override { return unit; }
+  [[nodiscard]] std::vector<BigInt> deal(const BigInt& secret, const BigInt& modulus,
+                                         Rng& rng) const override;
+  [[nodiscard]] bool qualified(PartySet parties) const override;
+  [[nodiscard]] std::map<int, BigInt> coefficients(PartySet parties) const override;
+  [[nodiscard]] BigInt delta() const override { return delta_; }
+
+ private:
+  int n_;
+  int t_;
+  BigInt delta_;  ///< n!
+};
+
+}  // namespace sintra::crypto

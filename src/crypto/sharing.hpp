@@ -1,0 +1,76 @@
+// Linear secret sharing — the abstraction that makes every threshold
+// primitive in this architecture (coin, signatures, TDH2) work unchanged
+// for both the classical t-of-n model and the paper's generalized Q³
+// adversary structures (Section 4).
+//
+// A LinearScheme assigns each party one or more share *units*.  Dealing maps
+// a secret (mod a dealer-chosen modulus) to one value per unit.  For any
+// qualified party set, `coefficients` returns integer coefficients c_j over
+// a subset of the available units such that
+//
+//     sum_j c_j * share_j  ==  delta() * secret   (mod dealing modulus).
+//
+// The Δ-clearing form is what Shoup's threshold RSA needs (shares live in a
+// group of secret order, so only *integer* linear combinations make sense);
+// schemes over Z_q simply multiply by delta()^{-1} mod q afterwards.
+// Plain Shamir sharing (shamir.hpp) and the Benaloh–Leichter construction
+// for monotone formulas (adversary/lsss.hpp) both implement this interface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+
+namespace sintra::crypto {
+
+/// Set of parties as a bitmask; the architecture targets n <= 64, far above
+/// the paper's examples (n = 9 and n = 16).
+using PartySet = std::uint64_t;
+
+constexpr PartySet party_bit(int i) { return PartySet{1} << i; }
+constexpr bool contains(PartySet set, int i) { return (set >> i) & 1; }
+constexpr PartySet full_set(int n) {
+  return n >= 64 ? ~PartySet{0} : (PartySet{1} << n) - 1;
+}
+inline int popcount(PartySet set) { return __builtin_popcountll(set); }
+
+/// Parties in `set`, ascending.
+std::vector<int> set_members(PartySet set);
+/// Bitmask from a list of indices.
+PartySet set_of(const std::vector<int>& members);
+
+class LinearScheme {
+ public:
+  virtual ~LinearScheme() = default;
+
+  [[nodiscard]] virtual int num_parties() const = 0;
+  /// Total share units dealt (>= num_parties; a party may hold several).
+  [[nodiscard]] virtual int num_units() const = 0;
+  /// Which party holds unit `unit`.
+  [[nodiscard]] virtual int unit_owner(int unit) const = 0;
+
+  /// Deal one value per unit for `secret` in Z_modulus.
+  [[nodiscard]] virtual std::vector<BigInt> deal(const BigInt& secret, const BigInt& modulus,
+                                                 Rng& rng) const = 0;
+
+  /// True iff `parties` may reconstruct (i.e. is in the access structure).
+  [[nodiscard]] virtual bool qualified(PartySet parties) const = 0;
+
+  /// Integer reconstruction coefficients (unit id -> coefficient) over some
+  /// subset of the units held by `parties`.  Precondition: qualified(parties).
+  [[nodiscard]] virtual std::map<int, BigInt> coefficients(PartySet parties) const = 0;
+
+  /// The clearing constant Δ: sum c_j share_j == Δ * secret (mod modulus).
+  [[nodiscard]] virtual BigInt delta() const = 0;
+
+  /// Units held by `party`.
+  [[nodiscard]] std::vector<int> units_of(int party) const;
+  /// Convenience: reconstruct a secret over Z_modulus from unit values.
+  [[nodiscard]] BigInt reconstruct(const std::map<int, BigInt>& unit_values,
+                                   const BigInt& modulus) const;
+};
+
+}  // namespace sintra::crypto

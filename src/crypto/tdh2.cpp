@@ -1,0 +1,195 @@
+#include "crypto/tdh2.hpp"
+
+#include "common/assert.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sintra::crypto {
+
+namespace {
+constexpr std::string_view kMaskDomain = "sintra/tdh2/mask";
+constexpr std::string_view kGbarDomain = "sintra/tdh2/gbar";
+constexpr std::string_view kChallengeDomain = "sintra/tdh2/challenge";
+
+Bytes mask_bytes(const Group& group, const BigInt& shared, std::size_t len) {
+  Writer w;
+  group.encode_element(w, shared);
+  return hash_expand(kMaskDomain, w.data(), len);
+}
+
+Bytes xor_bytes(BytesView a, BytesView b) {
+  SINTRA_INVARIANT(a.size() == b.size(), "tdh2: mask length mismatch");
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+BigInt ciphertext_challenge(const Group& group, BytesView data, BytesView label, const BigInt& u,
+                            const BigInt& w_elem, const BigInt& u_bar, const BigInt& w_bar) {
+  Writer w;
+  w.bytes(data);
+  w.bytes(label);
+  group.encode_element(w, u);
+  group.encode_element(w, w_elem);
+  group.encode_element(w, u_bar);
+  group.encode_element(w, w_bar);
+  return group.hash_to_scalar(kChallengeDomain, w.data());
+}
+
+std::string share_context(int unit, BytesView ct_id) {
+  return "tdh2-share/" + std::to_string(unit) + "/" + to_hex(ct_id);
+}
+}  // namespace
+
+Bytes Tdh2Ciphertext::id(const Group& group) const {
+  Writer w;
+  w.bytes(data);
+  w.bytes(label);
+  group.encode_element(w, u);
+  group.encode_element(w, u_bar);
+  group.encode_scalar(w, e);
+  group.encode_scalar(w, f);
+  Digest digest = hash_domain("sintra/tdh2/ctid", w.data());
+  return Bytes(digest.begin(), digest.end());
+}
+
+void Tdh2Ciphertext::encode(Writer& w, const Group& group) const {
+  w.bytes(data);
+  w.bytes(label);
+  group.encode_element(w, u);
+  group.encode_element(w, u_bar);
+  group.encode_scalar(w, e);
+  group.encode_scalar(w, f);
+}
+
+Tdh2Ciphertext Tdh2Ciphertext::decode(Reader& r, const Group& group) {
+  Tdh2Ciphertext ct;
+  ct.data = r.bytes();
+  ct.label = r.bytes();
+  ct.u = group.decode_element(r);
+  ct.u_bar = group.decode_element(r);
+  ct.e = group.decode_scalar(r);
+  ct.f = group.decode_scalar(r);
+  return ct;
+}
+
+void Tdh2DecShare::encode(Writer& w, const Group& group) const {
+  w.u32(static_cast<std::uint32_t>(unit));
+  group.encode_element(w, value);
+  proof.encode(w, group);
+}
+
+Tdh2DecShare Tdh2DecShare::decode(Reader& r, const Group& group) {
+  Tdh2DecShare share;
+  share.unit = static_cast<int>(r.u32());
+  share.value = group.decode_element(r);
+  share.proof = DleqProof::decode(r, group);
+  return share;
+}
+
+Tdh2PublicKey::Tdh2PublicKey(GroupPtr group, std::shared_ptr<const LinearScheme> scheme, BigInt h,
+                             std::vector<BigInt> verification)
+    : group_(std::move(group)), scheme_(std::move(scheme)), h_(std::move(h)),
+      verification_(std::move(verification)) {
+  g_bar_ = group_->hash_to_element(kGbarDomain, bytes_of(group_->name()));
+}
+
+Tdh2Ciphertext Tdh2PublicKey::encrypt(BytesView message, BytesView label, Rng& rng) const {
+  const BigInt r = group_->random_scalar(rng);
+  const BigInt s = group_->random_scalar(rng);
+
+  Tdh2Ciphertext ct;
+  ct.label = Bytes(label.begin(), label.end());
+  ct.u = group_->exp_g(r);
+  ct.u_bar = group_->exp(g_bar_, r);
+  ct.data = xor_bytes(message, mask_bytes(*group_, group_->exp(h_, r), message.size()));
+
+  const BigInt w = group_->exp_g(s);
+  const BigInt w_bar = group_->exp(g_bar_, s);
+  ct.e = ciphertext_challenge(*group_, ct.data, ct.label, ct.u, w, ct.u_bar, w_bar);
+  ct.f = group_->scalar_add(s, group_->scalar_mul(r, ct.e));
+  return ct;
+}
+
+bool Tdh2PublicKey::check_ciphertext(const Tdh2Ciphertext& ct) const {
+  if (!group_->is_element(ct.u) || !group_->is_element(ct.u_bar)) return false;
+  if (!group_->is_scalar(ct.e) || !group_->is_scalar(ct.f)) return false;
+  const BigInt neg_e = group_->scalar_sub(BigInt(0), ct.e);
+  const BigInt w = group_->mul(group_->exp_g(ct.f), group_->exp(ct.u, neg_e));
+  const BigInt w_bar = group_->mul(group_->exp(g_bar_, ct.f), group_->exp(ct.u_bar, neg_e));
+  return ciphertext_challenge(*group_, ct.data, ct.label, ct.u, w, ct.u_bar, w_bar) == ct.e;
+}
+
+std::vector<Tdh2DecShare> Tdh2SecretKey::decrypt_shares(const Tdh2PublicKey& pk,
+                                                        const Tdh2Ciphertext& ct,
+                                                        Rng& rng) const {
+  if (!pk.check_ciphertext(ct)) return {};
+  const Group& group = pk.group();
+  const Bytes ct_id = ct.id(group);
+  std::vector<Tdh2DecShare> out;
+  out.reserve(unit_shares_.size());
+  for (const auto& [unit, x] : unit_shares_) {
+    Tdh2DecShare share;
+    share.unit = unit;
+    share.value = group.exp(ct.u, x);
+    share.proof = DleqProof::prove(group, share_context(unit, ct_id), group.g(),
+                                   pk.verification(unit), ct.u, share.value, x, rng);
+    out.push_back(std::move(share));
+  }
+  return out;
+}
+
+bool Tdh2PublicKey::verify_share(const Tdh2Ciphertext& ct, const Tdh2DecShare& share) const {
+  if (share.unit < 0 || share.unit >= scheme_->num_units()) return false;
+  const Bytes ct_id = ct.id(*group_);
+  return share.proof.verify(*group_, share_context(share.unit, ct_id), group_->g(),
+                            verification_.at(static_cast<std::size_t>(share.unit)), ct.u,
+                            share.value);
+}
+
+std::optional<Bytes> Tdh2PublicKey::combine(const Tdh2Ciphertext& ct,
+                                            const std::vector<Tdh2DecShare>& shares) const {
+  if (!check_ciphertext(ct)) return std::nullopt;
+  PartySet parties = 0;
+  std::map<int, BigInt> by_unit;
+  for (const Tdh2DecShare& share : shares) {
+    by_unit.emplace(share.unit, share.value);
+    parties |= party_bit(scheme_->unit_owner(share.unit));
+  }
+  if (!scheme_->qualified(parties)) return std::nullopt;
+
+  BigInt combined = group_->identity();
+  for (const auto& [unit, coeff] : scheme_->coefficients(parties)) {
+    auto it = by_unit.find(unit);
+    SINTRA_INVARIANT(it != by_unit.end(), "tdh2: coefficient for missing share");
+    combined = group_->mul(combined, group_->exp(it->second, coeff.mod(group_->q())));
+  }
+  const BigInt delta_inv = group_->scalar_inv(scheme_->delta().mod(group_->q()));
+  const BigInt shared = group_->exp(combined, delta_inv);
+  return xor_bytes(ct.data, mask_bytes(*group_, shared, ct.data.size()));
+}
+
+Tdh2Deal Tdh2Deal::deal(GroupPtr group, std::shared_ptr<const LinearScheme> scheme, Rng& rng) {
+  const BigInt secret = BigInt::random_below(rng, group->q());
+  const BigInt h = group->exp_g(secret);
+  std::vector<BigInt> unit_values = scheme->deal(secret, group->q(), rng);
+
+  std::vector<BigInt> verification;
+  verification.reserve(unit_values.size());
+  for (const BigInt& x : unit_values) verification.push_back(group->exp_g(x));
+
+  std::vector<Tdh2SecretKey> secret_keys;
+  secret_keys.reserve(static_cast<std::size_t>(scheme->num_parties()));
+  for (int party = 0; party < scheme->num_parties(); ++party) {
+    std::map<int, BigInt> held;
+    for (int unit : scheme->units_of(party)) {
+      held.emplace(unit, unit_values[static_cast<std::size_t>(unit)]);
+    }
+    secret_keys.emplace_back(party, std::move(held));
+  }
+
+  return Tdh2Deal{
+      Tdh2PublicKey(std::move(group), std::move(scheme), h, std::move(verification)),
+      std::move(secret_keys)};
+}
+
+}  // namespace sintra::crypto

@@ -1,0 +1,20 @@
+#include "net/corruption.hpp"
+
+namespace sintra::net {
+
+void SpamProcess::burst() {
+  // Bounded spam: keeps robustness paths busy without making simulations
+  // non-terminating.
+  constexpr std::uint64_t kMaxSpam = 2000;
+  if (tags_.empty()) return;
+  for (int i = 0; i < 3 && sent_ < kMaxSpam; ++i, ++sent_) {
+    Message message;
+    message.from = id_;
+    message.to = static_cast<int>(rng_.below(static_cast<std::uint64_t>(simulator_.n())));
+    message.tag = tags_[static_cast<std::size_t>(rng_.below(tags_.size()))];
+    message.payload = rng_.bytes(1 + rng_.below(64));
+    simulator_.submit(std::move(message));
+  }
+}
+
+}  // namespace sintra::net

@@ -1,0 +1,63 @@
+// Corrupted-party harnesses.
+//
+// The paper's adversary fully controls corrupted parties (and holds their
+// dealt keys).  Generic behaviours live here; protocol-specific Byzantine
+// attacks (equivocation, bogus shares, front-running) are built in the
+// tests and benchmarks as custom Processes with access to the corrupted
+// party's PartyKeyShare.
+#pragma once
+
+#include <functional>
+
+#include "net/simulator.hpp"
+
+namespace sintra::net {
+
+/// Crashed / muted party: receives everything, says nothing.  Also models
+/// the paper's "unavailable site".
+class CrashProcess final : public Process {
+ public:
+  void on_message(const Message&) override {}
+};
+
+/// Sends garbage to everyone on every delivery (stress for the robustness
+/// paths: signature/proof verification, ProtocolError handling).
+class SpamProcess final : public Process {
+ public:
+  SpamProcess(Simulator& simulator, int id, std::uint64_t seed, std::vector<std::string> tags)
+      : simulator_(simulator), id_(id), rng_(seed), tags_(std::move(tags)) {}
+
+  void on_start() override { burst(); }
+  void on_message(const Message&) override { burst(); }
+
+ private:
+  void burst();
+
+  Simulator& simulator_;
+  int id_;
+  Rng rng_;
+  std::vector<std::string> tags_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Fully scripted Byzantine process: delegates to a function.
+class HookProcess final : public Process {
+ public:
+  using Hook = std::function<void(const Message&)>;
+
+  HookProcess(Hook on_start, Hook on_message)
+      : on_start_(std::move(on_start)), on_message_(std::move(on_message)) {}
+
+  void on_start() override {
+    if (on_start_) on_start_(Message{});
+  }
+  void on_message(const Message& message) override {
+    if (on_message_) on_message_(message);
+  }
+
+ private:
+  Hook on_start_;
+  Hook on_message_;
+};
+
+}  // namespace sintra::net

@@ -1,0 +1,33 @@
+// The wire unit of the simulated asynchronous network.
+//
+// `tag` routes a message to a protocol instance within the receiving party.
+// Tags are hierarchical ("abc/5/vba/cb/2"); the component before the first
+// '/' names the top-level protocol and is the key under which the simulator
+// aggregates message/byte statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace sintra::net {
+
+struct Message {
+  int from = -1;
+  int to = -1;
+  std::string tag;
+  Bytes payload;
+  std::uint64_t id = 0;        ///< unique per simulation, assigned on submit
+  std::uint64_t sent_at = 0;   ///< simulator step at submission
+
+  [[nodiscard]] std::size_t wire_size() const { return tag.size() + payload.size() + 16; }
+};
+
+/// Top-level component of a tag ("abc/5/vba" -> "abc").
+inline std::string tag_prefix(const std::string& tag) {
+  const std::size_t slash = tag.find('/');
+  return slash == std::string::npos ? tag : tag.substr(0, slash);
+}
+
+}  // namespace sintra::net

@@ -1,0 +1,77 @@
+#include "net/party.hpp"
+
+#include "common/assert.hpp"
+
+namespace sintra::net {
+
+Party::Party(Simulator& simulator, int id, adversary::Deployment deployment, std::uint64_t seed)
+    : simulator_(simulator), id_(id), deployment_(std::move(deployment)),
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(id + 1))) {}
+
+void Party::send(int to, const std::string& tag, Bytes payload) {
+  Message message;
+  message.from = id_;
+  message.to = to;
+  message.tag = tag;
+  message.payload = std::move(payload);
+  if (to == id_) {
+    local_.push_back(std::move(message));
+    if (!dispatching_) drain_local();
+    return;
+  }
+  simulator_.submit(std::move(message));
+}
+
+void Party::broadcast(const std::string& tag, const Bytes& payload) {
+  for (int to = 0; to < n(); ++to) send(to, tag, Bytes(payload));
+}
+
+void Party::register_handler(const std::string& tag, Handler handler) {
+  SINTRA_INVARIANT(!handlers_.contains(tag), "Party: duplicate handler tag " + tag);
+  handlers_.emplace(tag, std::move(handler));
+  auto buffered = buffered_.find(tag);
+  if (buffered != buffered_.end()) {
+    for (Message& message : buffered->second) local_.push_back(std::move(message));
+    buffered_.erase(buffered);
+    if (!dispatching_) drain_local();
+  }
+}
+
+void Party::on_message(const Message& message) {
+  dispatch(message);
+  drain_local();
+}
+
+void Party::dispatch(const Message& message) {
+  auto handler = handlers_.find(message.tag);
+  if (handler == handlers_.end()) {
+    buffered_[message.tag].push_back(message);
+    return;
+  }
+  dispatching_ = true;
+  try {
+    Reader reader(message.payload);
+    handler->second(message.from, reader);
+  } catch (const ProtocolError& error) {
+    // Malformed or adversarial input: drop and continue.
+    trace("party", "dropped message on " + message.tag + " from " +
+                       std::to_string(message.from) + ": " + error.what());
+  }
+  dispatching_ = false;
+}
+
+void Party::drain_local() {
+  while (!local_.empty()) {
+    Message message = std::move(local_.front());
+    local_.pop_front();
+    dispatch(message);
+  }
+}
+
+void Party::trace(const std::string& component, std::string text) {
+  if (TraceLog* log = simulator_.log()) {
+    log->emit(TraceLevel::kInfo, id_, component, std::move(text));
+  }
+}
+
+}  // namespace sintra::net

@@ -1,0 +1,73 @@
+// The honest protocol host: routes messages to protocol instances by tag,
+// buffers out-of-order traffic, and exposes the party's identity, dealt
+// keys, failure model, and randomness to the protocol objects it hosts.
+//
+// Self-addressed messages bypass the network adversary: a party's messages
+// to itself model internal state transitions, which no network scheduler
+// can delay (they are delivered from a local queue before control returns
+// to the simulator).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "adversary/quorum.hpp"
+#include "common/serialize.hpp"
+#include "net/simulator.hpp"
+
+namespace sintra::net {
+
+class Party : public Process {
+ public:
+  /// Handler for one protocol instance; `from` is authenticated by the
+  /// simulator.  Handlers may throw ProtocolError to reject malformed
+  /// (Byzantine) input — the party drops the message and keeps running.
+  using Handler = std::function<void(int from, Reader& reader)>;
+
+  Party(Simulator& simulator, int id, adversary::Deployment deployment, std::uint64_t seed);
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int n() const { return deployment_.n(); }
+  [[nodiscard]] const adversary::Deployment& deployment() const { return deployment_; }
+  [[nodiscard]] const adversary::QuorumSystem& quorum() const { return *deployment_.quorum; }
+  [[nodiscard]] const crypto::PublicKeys& public_keys() const {
+    return deployment_.keys->public_keys();
+  }
+  [[nodiscard]] const crypto::PartyKeyShare& keys() const {
+    return deployment_.keys->share(id_);
+  }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] Simulator& simulator() { return simulator_; }
+
+  void send(int to, const std::string& tag, Bytes payload);
+  /// Send to every party, self included (self copy delivered locally).
+  void broadcast(const std::string& tag, const Bytes& payload);
+
+  /// Register the handler for `tag`; any buffered messages for it are
+  /// re-dispatched in arrival order.
+  void register_handler(const std::string& tag, Handler handler);
+  [[nodiscard]] bool has_handler(const std::string& tag) const {
+    return handlers_.contains(tag);
+  }
+
+  void on_message(const Message& message) override;
+
+  /// Trace helper (no-op without an attached log).
+  void trace(const std::string& component, std::string text);
+
+ private:
+  void dispatch(const Message& message);
+  void drain_local();
+
+  Simulator& simulator_;
+  int id_;
+  adversary::Deployment deployment_;
+  Rng rng_;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::string, std::deque<Message>> buffered_;
+  std::deque<Message> local_;
+  bool dispatching_ = false;
+};
+
+}  // namespace sintra::net

@@ -1,0 +1,86 @@
+#include "net/scheduler.hpp"
+
+namespace sintra::net {
+
+namespace {
+bool touches(const Message& message, int party) {
+  return message.from == party || message.to == party;
+}
+
+bool touches_set(const Message& message, std::uint64_t mask) {
+  return ((mask >> message.from) & 1) != 0 || ((mask >> message.to) & 1) != 0;
+}
+}  // namespace
+
+std::optional<std::size_t> RandomScheduler::pick(const std::vector<Message>& pending,
+                                                 std::uint64_t) {
+  return static_cast<std::size_t>(rng_.below(pending.size()));
+}
+
+std::optional<std::size_t> FifoScheduler::pick(const std::vector<Message>& pending,
+                                               std::uint64_t) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pending.size(); ++i) {
+    if (pending[i].id < pending[best].id) best = i;
+  }
+  return best;
+}
+
+std::optional<std::size_t> StarvePartyScheduler::pick(const std::vector<Message>& pending,
+                                                      std::uint64_t now) {
+  const int victim = victim_at_(now);
+  std::vector<std::size_t> preferred;
+  preferred.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!touches(pending[i], victim)) preferred.push_back(i);
+  }
+  if (preferred.empty()) return static_cast<std::size_t>(rng_.below(pending.size()));
+  return preferred[static_cast<std::size_t>(rng_.below(preferred.size()))];
+}
+
+std::optional<std::size_t> StarveSetScheduler::pick(const std::vector<Message>& pending,
+                                                    std::uint64_t) {
+  std::vector<std::size_t> preferred;
+  preferred.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!touches_set(pending[i], victims_)) preferred.push_back(i);
+  }
+  if (preferred.empty()) return static_cast<std::size_t>(rng_.below(pending.size()));
+  return preferred[static_cast<std::size_t>(rng_.below(preferred.size()))];
+}
+
+std::optional<std::size_t> BlockPartyScheduler::pick(const std::vector<Message>& pending,
+                                                     std::uint64_t now) {
+  const int victim = victim_at_(now);
+  std::vector<std::size_t> allowed;
+  allowed.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!touches(pending[i], victim)) allowed.push_back(i);
+  }
+  if (allowed.empty()) return std::nullopt;  // withhold everything remaining
+  return allowed[static_cast<std::size_t>(rng_.below(allowed.size()))];
+}
+
+std::optional<std::size_t> BlockSetScheduler::pick(const std::vector<Message>& pending,
+                                                   std::uint64_t) {
+  std::vector<std::size_t> allowed;
+  allowed.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!touches_set(pending[i], victims_)) allowed.push_back(i);
+  }
+  if (allowed.empty()) return std::nullopt;
+  return allowed[static_cast<std::size_t>(rng_.below(allowed.size()))];
+}
+
+std::optional<std::size_t> LifoScheduler::pick(const std::vector<Message>& pending,
+                                               std::uint64_t) {
+  // 1-in-16 random pick keeps the schedule fair-in-the-limit.
+  if (rng_.below(16) == 0) return static_cast<std::size_t>(rng_.below(pending.size()));
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pending.size(); ++i) {
+    if (pending[i].id > pending[best].id) best = i;
+  }
+  return best;
+}
+
+}  // namespace sintra::net

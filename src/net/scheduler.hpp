@@ -1,0 +1,141 @@
+// Message schedulers — the network adversary of the paper's model
+// ("the network is the adversary", §2).
+//
+// The simulator keeps the multiset of in-flight messages; at every step the
+// scheduler picks which one to deliver next.  Any delivery order the real
+// Internet could produce corresponds to some scheduler, so protocol
+// properties demonstrated under *adversarial* schedulers here are exactly
+// the asynchronous-model guarantees the paper claims.
+//
+// Schedulers must be "fair-in-the-limit" for liveness experiments (every
+// message is eventually picked); the adversarial ones below are fair but
+// maximally unhelpful within that constraint: they may delay any message
+// arbitrarily long as long as other messages remain.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+
+namespace sintra::net {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Choose the index (into `pending`, non-empty) of the next message to
+  /// deliver — or nullopt to *withhold* everything that is pending, which
+  /// models delaying those messages beyond the end of the observation
+  /// window (the simulation then reports no further progress).  Schedulers
+  /// that sometimes stall are not fair-in-the-limit; liveness claims are
+  /// only meaningful under fair schedulers, and the blocking ones exist to
+  /// demonstrate the *failures* of timing-dependent baselines.
+  virtual std::optional<std::size_t> pick(const std::vector<Message>& pending,
+                                          std::uint64_t now) = 0;
+};
+
+/// Uniformly random delivery order — the baseline asynchronous network.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  std::optional<std::size_t> pick(const std::vector<Message>& pending,
+                                  std::uint64_t now) override;
+
+ private:
+  Rng rng_;
+};
+
+/// First-submitted, first-delivered (a "nice" synchronous-looking network).
+class FifoScheduler final : public Scheduler {
+ public:
+  std::optional<std::size_t> pick(const std::vector<Message>& pending,
+                                  std::uint64_t now) override;
+};
+
+/// Starves a target party: messages from/to `victim` are delivered only
+/// when nothing else is pending.  Models the paper's observation that "it
+/// is usually much easier for an intruder to block communication with a
+/// server than to subvert it" — a failure-detector-based protocol whose
+/// leader is the victim makes no progress, while the randomized protocols
+/// keep terminating.
+class StarvePartyScheduler final : public Scheduler {
+ public:
+  StarvePartyScheduler(std::uint64_t seed, std::function<int(std::uint64_t)> victim_at)
+      : rng_(seed), victim_at_(std::move(victim_at)) {}
+  /// Fixed victim for the whole run.
+  StarvePartyScheduler(std::uint64_t seed, int victim)
+      : StarvePartyScheduler(seed, [victim](std::uint64_t) { return victim; }) {}
+
+  std::optional<std::size_t> pick(const std::vector<Message>& pending,
+                                  std::uint64_t now) override;
+
+ private:
+  Rng rng_;
+  std::function<int(std::uint64_t)> victim_at_;
+};
+
+/// Starves a whole set of parties (e.g. one site/class of a generalized
+/// structure): their traffic moves only when nothing else can.
+class StarveSetScheduler final : public Scheduler {
+ public:
+  StarveSetScheduler(std::uint64_t seed, std::uint64_t victim_mask)
+      : rng_(seed), victims_(victim_mask) {}
+
+  std::optional<std::size_t> pick(const std::vector<Message>& pending,
+                                  std::uint64_t now) override;
+
+ private:
+  Rng rng_;
+  std::uint64_t victims_;
+};
+
+/// NOT fair: withholds all traffic from/to a victim (chosen adaptively via
+/// `victim_at`) for the rest of the run — the "block communication with a
+/// server" adversary of §2.2, used to demonstrate the liveness failure of
+/// failure-detector-based baselines.  Messages not touching the victim flow
+/// randomly.
+class BlockPartyScheduler final : public Scheduler {
+ public:
+  BlockPartyScheduler(std::uint64_t seed, std::function<int(std::uint64_t)> victim_at)
+      : rng_(seed), victim_at_(std::move(victim_at)) {}
+  BlockPartyScheduler(std::uint64_t seed, int victim)
+      : BlockPartyScheduler(seed, [victim](std::uint64_t) { return victim; }) {}
+
+  std::optional<std::size_t> pick(const std::vector<Message>& pending,
+                                  std::uint64_t now) override;
+
+ private:
+  Rng rng_;
+  std::function<int(std::uint64_t)> victim_at_;
+};
+
+/// NOT fair: withholds all traffic touching a set of parties (e.g. a whole
+/// site or class of a generalized structure) for the rest of the run.
+class BlockSetScheduler final : public Scheduler {
+ public:
+  BlockSetScheduler(std::uint64_t seed, std::uint64_t victim_mask)
+      : rng_(seed), victims_(victim_mask) {}
+
+  std::optional<std::size_t> pick(const std::vector<Message>& pending,
+                                  std::uint64_t now) override;
+
+ private:
+  Rng rng_;
+  std::uint64_t victims_;
+};
+
+/// Maximizes reordering: always delivers the most recently submitted
+/// message first (LIFO), with occasional random picks to stay fair.
+class LifoScheduler final : public Scheduler {
+ public:
+  explicit LifoScheduler(std::uint64_t seed) : rng_(seed) {}
+  std::optional<std::size_t> pick(const std::vector<Message>& pending,
+                                  std::uint64_t now) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace sintra::net

@@ -1,0 +1,81 @@
+#include "net/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace sintra::net {
+
+Simulator::Simulator(int n, Scheduler& scheduler, TraceLog* log)
+    : n_(n), scheduler_(scheduler), log_(log) {
+  SINTRA_REQUIRE(n >= 1 && n <= 64, "Simulator: party count out of range");
+  processes_.resize(static_cast<std::size_t>(n));
+  if (log_ != nullptr) {
+    log_->set_time_source([this] { return steps_; });
+  }
+}
+
+void Simulator::attach(int id, std::unique_ptr<Process> process) {
+  SINTRA_REQUIRE(id >= 0 && id < n_, "Simulator: bad party id");
+  processes_.at(static_cast<std::size_t>(id)) = std::move(process);
+}
+
+void Simulator::start() {
+  for (int id = 0; id < n_; ++id) {
+    SINTRA_INVARIANT(processes_[static_cast<std::size_t>(id)] != nullptr,
+                     "Simulator: party not attached");
+  }
+  for (int id = 0; id < n_; ++id) {
+    active_process_ = id;
+    processes_[static_cast<std::size_t>(id)]->on_start();
+    active_process_ = -1;
+  }
+}
+
+void Simulator::submit(Message message) {
+  SINTRA_REQUIRE(message.from >= 0 && message.from < n_ && message.to >= 0 && message.to < n_,
+                 "Simulator: endpoint out of range");
+  // Authenticated channels (a model assumption of the paper, §2): while a
+  // process runs, it can only send under its own identity — even Byzantine
+  // processes cannot spoof another sender.  Submissions from the harness
+  // (outside any process activation) are unrestricted.
+  SINTRA_REQUIRE(active_process_ < 0 || message.from == active_process_,
+                 "Simulator: sender spoofing rejected");
+  message.id = next_id_++;
+  message.sent_at = steps_;
+  TrafficStats& stats = traffic_[tag_prefix(message.tag)];
+  stats.messages += 1;
+  stats.bytes += message.wire_size();
+  pending_.push_back(std::move(message));
+}
+
+bool Simulator::step() {
+  if (pending_.empty()) return false;
+  const std::optional<std::size_t> choice = scheduler_.pick(pending_, steps_);
+  if (!choice.has_value()) return false;  // scheduler withholds all remaining traffic
+  const std::size_t index = *choice;
+  SINTRA_INVARIANT(index < pending_.size(), "Simulator: scheduler returned bad index");
+  Message message = std::move(pending_[index]);
+  pending_[index] = std::move(pending_.back());
+  pending_.pop_back();
+  ++steps_;
+  active_process_ = message.to;
+  processes_[static_cast<std::size_t>(message.to)]->on_message(message);
+  active_process_ = -1;
+  return true;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_steps) {
+  std::uint64_t taken = 0;
+  while (taken < max_steps && step()) ++taken;
+  return taken;
+}
+
+bool Simulator::run_until(const std::function<bool()>& done, std::uint64_t max_steps) {
+  std::uint64_t taken = 0;
+  while (!done()) {
+    if (taken >= max_steps || !step()) return false;
+    ++taken;
+  }
+  return true;
+}
+
+}  // namespace sintra::net

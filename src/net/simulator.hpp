@@ -1,0 +1,82 @@
+// Discrete-event simulation of a fully asynchronous point-to-point network.
+//
+// This is the substitute for the paper's deployment substrate (the
+// Internet): a static set of processes exchanging authenticated messages
+// whose delivery order is chosen by an adversarial Scheduler.  There is no
+// notion of real time — the only clock is the delivery-step counter, which
+// is what makes the protocols' time-freeness (§2.2) directly testable.
+//
+// Channel authenticity is a model assumption of the paper (bootstrapped
+// from the dealer); the simulator enforces it structurally: a process can
+// only submit messages with its own `from`.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "common/logging.hpp"
+#include "net/message.hpp"
+#include "net/scheduler.hpp"
+
+namespace sintra::net {
+
+/// Anything attached to the network: honest party, corrupted party, client.
+class Process {
+ public:
+  virtual ~Process() = default;
+  virtual void on_start() {}
+  virtual void on_message(const Message& message) = 0;
+};
+
+/// Per-protocol traffic counters (key = tag prefix).
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(int n, Scheduler& scheduler, TraceLog* log = nullptr);
+
+  /// Attach the process for party `id` (0..n-1).  Must happen before start().
+  void attach(int id, std::unique_ptr<Process> process);
+  [[nodiscard]] Process& process(int id) { return *processes_.at(static_cast<std::size_t>(id)); }
+
+  /// Calls on_start() on every process.
+  void start();
+
+  /// Submit a message for asynchronous delivery.  Called by processes via
+  /// their host; `from` must be the submitting party (enforced by Party).
+  void submit(Message message);
+
+  /// Deliver one pending message (chosen by the scheduler).
+  /// Returns false when nothing is pending.
+  bool step();
+
+  /// Run until quiescent or `max_steps` deliveries; returns steps taken.
+  std::uint64_t run(std::uint64_t max_steps);
+
+  /// Run until `done()` or quiescent/max_steps.  True iff done() held.
+  bool run_until(const std::function<bool()>& done, std::uint64_t max_steps);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] std::uint64_t now() const { return steps_; }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] TraceLog* log() { return log_; }
+
+  [[nodiscard]] const std::map<std::string, TrafficStats>& traffic() const { return traffic_; }
+  [[nodiscard]] std::uint64_t total_messages() const { return next_id_; }
+
+ private:
+  int n_;
+  Scheduler& scheduler_;
+  TraceLog* log_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Message> pending_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t steps_ = 0;
+  int active_process_ = -1;  ///< process currently executing (-1 = harness)
+  std::map<std::string, TrafficStats> traffic_;
+};
+
+}  // namespace sintra::net

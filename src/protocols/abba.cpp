@@ -1,0 +1,416 @@
+#include "protocols/abba.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::protocols {
+
+using crypto::BigInt;
+using crypto::CoinShare;
+using crypto::SigShare;
+
+namespace {
+void encode_shares(Writer& w, const std::vector<SigShare>& shares) {
+  w.vec(shares, [](Writer& wr, const SigShare& s) { s.encode(wr); });
+}
+
+std::vector<SigShare> decode_shares(Reader& r) {
+  return r.vec<SigShare>([](Reader& rd) { return SigShare::decode(rd); });
+}
+}  // namespace
+
+Abba::Abba(net::Party& host, std::string tag, DecideFn decide)
+    : ProtocolInstance(host, std::move(tag)), decide_(std::move(decide)) {}
+
+Bytes Abba::statement(std::string_view kind, int round, std::uint8_t value) const {
+  Writer w;
+  w.str("sintra/abba");
+  w.str(tag_);
+  w.str(kind);
+  w.u32(static_cast<std::uint32_t>(round));
+  w.u8(value);
+  return w.take();
+}
+
+Bytes Abba::coin_name(int round) const {
+  Writer w;
+  w.str("sintra/abba/coin");
+  w.str(tag_);
+  w.u32(static_cast<std::uint32_t>(round));
+  return w.take();
+}
+
+Abba::Round& Abba::round_state(int round) {
+  return rounds_[round];
+}
+
+void Abba::start(bool input) {
+  SINTRA_REQUIRE(!started_, "abba: already started");
+  started_ = true;
+  my_input_ = input;
+  Writer w;
+  w.u8(kInput);
+  w.u8(input ? 1 : 0);
+  auto shares = host_.keys().reply_sig.sign(host_.public_keys().reply_sig,
+                                            statement("input", 0, input ? 1 : 0), host_.rng());
+  encode_shares(w, shares);
+  broadcast(w.take());
+}
+
+void Abba::on_input(int from, Reader& reader) {
+  const std::uint8_t value = reader.u8();
+  SINTRA_REQUIRE(value <= 1, "abba: bad input value");
+  auto shares = decode_shares(reader);
+  reader.expect_done();
+  if (crypto::contains(input_voted_, from)) return;  // one input per party
+  const auto& reply_pk = host_.public_keys().reply_sig;
+  const Bytes stmt = statement("input", 0, value);
+  for (const SigShare& share : shares) {
+    SINTRA_REQUIRE(reply_pk.scheme().unit_owner(share.unit) == from,
+                   "abba: input share unit not owned by sender");
+    SINTRA_REQUIRE(reply_pk.verify_share(stmt, share), "abba: invalid input share");
+  }
+  input_voted_ |= crypto::party_bit(from);
+  input_support_[value] |= crypto::party_bit(from);
+  for (const SigShare& share : shares) input_shares_[value].push_back(share);
+  if (!anchor_[value].has_value() && reply_pk.scheme().qualified(input_support_[value])) {
+    auto sigma = reply_pk.combine(stmt, input_shares_[value]);
+    SINTRA_INVARIANT(sigma.has_value(), "abba: anchor combine failed");
+    anchor_[value] = std::move(*sigma);
+  }
+  try_first_prevote();
+}
+
+void Abba::try_first_prevote() {
+  if (!started_ || round_state(1).sent_prevote) return;
+  // Prefer our own input; fall back to the other value if only that one
+  // anchors (waiting for our own could deadlock when inputs are split).
+  const int mine = *my_input_ ? 1 : 0;
+  for (int v : {mine, 1 - mine}) {
+    if (anchor_[v].has_value()) {
+      send_prevote(1, v == 1, kJustAnchor, *anchor_[v]);
+      return;
+    }
+  }
+}
+
+void Abba::send_prevote(int round, bool value, Justification justification,
+                        const BigInt& evidence) {
+  Round& state = round_state(round);
+  if (state.sent_prevote) return;
+  state.sent_prevote = true;
+  Writer w;
+  w.u8(kPreVote);
+  w.u32(static_cast<std::uint32_t>(round));
+  w.u8(value ? 1 : 0);
+  w.u8(justification);
+  evidence.encode(w);
+  auto shares = host_.keys().cert_sig.sign(host_.public_keys().cert_sig,
+                                           statement("pre", round, value ? 1 : 0), host_.rng());
+  encode_shares(w, shares);
+  broadcast(w.take());
+}
+
+void Abba::handle(int from, Reader& reader) {
+  if (decided_) return;
+  const std::uint8_t type = reader.u8();
+  switch (type) {
+    case kInput: return on_input(from, reader);
+    case kPreVote: return on_prevote(from, reader);
+    case kMainVote: return on_mainvote(from, reader);
+    case kCoinShare: return on_coin_share(from, reader);
+    case kDecide: return on_decide(from, reader);
+    default: throw ProtocolError("abba: unknown message type");
+  }
+}
+
+void Abba::on_prevote(int from, Reader& reader) {
+  const int round = static_cast<int>(reader.u32());
+  SINTRA_REQUIRE(round >= 1 && round < 1 << 20, "abba: implausible round");
+  if (round > current_round_ + 1) {
+    // Far ahead of us; park the whole message until we catch up.
+    Writer w;
+    w.u8(kPreVote);
+    w.u32(static_cast<std::uint32_t>(round));
+    w.raw(BytesView(reader.raw(reader.remaining())));
+    deferred_.emplace_back(round, from, w.take());
+    return;
+  }
+  const std::uint8_t value_byte = reader.u8();
+  SINTRA_REQUIRE(value_byte <= 1, "abba: bad pre-vote value");
+  const bool value = value_byte == 1;
+  const auto justification = static_cast<Justification>(reader.u8());
+  const BigInt evidence = BigInt::decode(reader);
+  auto shares = decode_shares(reader);
+  reader.expect_done();
+
+  const auto& cert_pk = host_.public_keys().cert_sig;
+  if (round == 1) {
+    SINTRA_REQUIRE(justification == kJustAnchor, "abba: round-1 pre-vote must be anchored");
+    SINTRA_REQUIRE(
+        host_.public_keys().reply_sig.verify(statement("input", 0, value_byte), evidence),
+        "abba: bad input anchor");
+  } else if (justification == kJustHard) {
+    SINTRA_REQUIRE(cert_pk.verify(statement("pre", round - 1, value_byte), evidence),
+                   "abba: bad hard justification");
+  } else if (justification == kJustCoin) {
+    SINTRA_REQUIRE(cert_pk.verify(statement("main", round - 1, kAbstain), evidence),
+                   "abba: bad abstain certificate");
+    Round& prev = round_state(round - 1);
+    if (!prev.coin.has_value()) {
+      prev.deferred_coin_prevotes.emplace_back(from, value, std::move(shares));
+      return;
+    }
+    SINTRA_REQUIRE(*prev.coin == value, "abba: coin pre-vote contradicts coin");
+  } else {
+    throw ProtocolError("abba: bad justification kind");
+  }
+  accept_prevote(round, from, value, shares);
+}
+
+void Abba::accept_prevote(int round, int from, bool value,
+                          const std::vector<SigShare>& shares) {
+  Round& state = round_state(round);
+  if (crypto::contains(state.prevoted, from)) return;  // one pre-vote per party
+  const auto& cert_pk = host_.public_keys().cert_sig;
+  const Bytes stmt = statement("pre", round, value ? 1 : 0);
+  for (const SigShare& share : shares) {
+    SINTRA_REQUIRE(cert_pk.scheme().unit_owner(share.unit) == from,
+                   "abba: pre-vote share unit not owned by sender");
+    SINTRA_REQUIRE(cert_pk.verify_share(stmt, share), "abba: invalid pre-vote share");
+  }
+  state.prevoted |= crypto::party_bit(from);
+  const int v = value ? 1 : 0;
+  state.prevote_support[v] |= crypto::party_bit(from);
+  for (const SigShare& share : shares) state.prevote_shares[v].push_back(share);
+
+  // Combine sigma_pre(round, v) as soon as a full quorum supports v.
+  if (!state.sigma_pre[v].has_value() &&
+      cert_pk.scheme().qualified(state.prevote_support[v])) {
+    auto sigma = cert_pk.combine(stmt, state.prevote_shares[v]);
+    SINTRA_INVARIANT(sigma.has_value(), "abba: sigma_pre combine failed");
+    state.sigma_pre[v] = std::move(*sigma);
+  }
+  maybe_mainvote(round);
+}
+
+void Abba::maybe_mainvote(int round) {
+  Round& state = round_state(round);
+  if (state.sent_mainvote || !quorum().is_quorum(state.prevoted)) return;
+  state.sent_mainvote = true;
+
+  std::uint8_t vote = kAbstain;
+  std::optional<BigInt> evidence;
+  if (state.prevote_support[0] != 0 && state.prevote_support[1] != 0) {
+    vote = kAbstain;  // conflicting pre-votes seen
+  } else {
+    const int v = state.prevote_support[1] != 0 ? 1 : 0;
+    SINTRA_INVARIANT(state.sigma_pre[v].has_value(),
+                     "abba: unanimous quorum but no combined certificate");
+    vote = static_cast<std::uint8_t>(v);
+    evidence = state.sigma_pre[v];
+  }
+
+  Writer w;
+  w.u8(kMainVote);
+  w.u32(static_cast<std::uint32_t>(round));
+  w.u8(vote);
+  if (vote != kAbstain) evidence->encode(w);
+  auto shares = host_.keys().cert_sig.sign(host_.public_keys().cert_sig,
+                                           statement("main", round, vote), host_.rng());
+  encode_shares(w, shares);
+  broadcast(w.take());
+}
+
+void Abba::on_mainvote(int from, Reader& reader) {
+  const int round = static_cast<int>(reader.u32());
+  SINTRA_REQUIRE(round >= 1 && round < 1 << 20, "abba: implausible round");
+  if (round > current_round_ + 1) {
+    Writer w;
+    w.u8(kMainVote);
+    w.u32(static_cast<std::uint32_t>(round));
+    w.raw(BytesView(reader.raw(reader.remaining())));
+    deferred_.emplace_back(round, from, w.take());
+    return;
+  }
+  const std::uint8_t vote = reader.u8();
+  SINTRA_REQUIRE(vote <= kAbstain, "abba: bad main-vote value");
+  const auto& cert_pk = host_.public_keys().cert_sig;
+  Round& state = round_state(round);
+
+  if (vote != kAbstain) {
+    BigInt sigma = BigInt::decode(reader);
+    SINTRA_REQUIRE(cert_pk.verify(statement("pre", round, vote), sigma),
+                   "abba: main-vote without valid pre-vote certificate");
+    if (!state.sigma_pre[vote].has_value()) state.sigma_pre[vote] = std::move(sigma);
+  }
+  auto shares = decode_shares(reader);
+  reader.expect_done();
+  if (crypto::contains(state.mainvoted, from)) return;
+  const Bytes stmt = statement("main", round, vote);
+  for (const SigShare& share : shares) {
+    SINTRA_REQUIRE(cert_pk.scheme().unit_owner(share.unit) == from,
+                   "abba: main-vote share unit not owned by sender");
+    SINTRA_REQUIRE(cert_pk.verify_share(stmt, share), "abba: invalid main-vote share");
+  }
+  state.mainvoted |= crypto::party_bit(from);
+  state.mainvote_support[vote] |= crypto::party_bit(from);
+  for (const SigShare& share : shares) state.mainvote_shares[vote].push_back(share);
+
+  // Decision check runs on *every* arrival (not only at round close): the
+  // first quorum of main-votes may mix corrupted abstains with honest
+  // value votes, and the unanimous certificate only completes later.
+  if (vote != kAbstain && cert_pk.scheme().qualified(state.mainvote_support[vote])) {
+    auto sigma = cert_pk.combine(stmt, state.mainvote_shares[vote]);
+    SINTRA_INVARIANT(sigma.has_value(), "abba: sigma_main combine failed");
+    decide(vote == 1, round, *sigma);
+    return;
+  }
+  maybe_close_round(round);
+}
+
+void Abba::maybe_close_round(int round) {
+  Round& state = round_state(round);
+  if (state.round_closed || !quorum().is_quorum(state.mainvoted)) return;
+  state.round_closed = true;
+  release_coin(round);
+
+  const auto& cert_pk = host_.public_keys().cert_sig;
+  // Some main-vote carried a value: adopt it with hard justification.
+  for (int v = 0; v < 2; ++v) {
+    if (state.mainvote_support[v] != 0) {
+      SINTRA_INVARIANT(state.sigma_pre[v].has_value(), "abba: value main-vote lost its cert");
+      advance(round + 1, v == 1, kJustHard, *state.sigma_pre[v]);
+      return;
+    }
+  }
+  // All abstained: combine the abstain certificate and follow the coin.
+  if (!state.sigma_main_abstain.has_value()) {
+    auto sigma = cert_pk.combine(statement("main", round, kAbstain),
+                                 state.mainvote_shares[kAbstain]);
+    SINTRA_INVARIANT(sigma.has_value(), "abba: abstain certificate combine failed");
+    state.sigma_main_abstain = std::move(*sigma);
+  }
+  if (state.coin.has_value()) {
+    advance(round + 1, *state.coin, kJustCoin, *state.sigma_main_abstain);
+  } else {
+    state.waiting_for_coin = true;
+  }
+}
+
+void Abba::release_coin(int round) {
+  Round& state = round_state(round);
+  if (state.coin_released) return;
+  state.coin_released = true;
+  Writer w;
+  w.u8(kCoinShare);
+  w.u32(static_cast<std::uint32_t>(round));
+  auto shares = host_.keys().coin.share(host_.public_keys().coin, coin_name(round), host_.rng());
+  w.vec(shares, [&](Writer& wr, const CoinShare& s) {
+    s.encode(wr, host_.public_keys().coin.group());
+  });
+  broadcast(w.take());
+}
+
+void Abba::on_coin_share(int from, Reader& reader) {
+  const int round = static_cast<int>(reader.u32());
+  SINTRA_REQUIRE(round >= 1 && round < 1 << 20, "abba: implausible round");
+  if (round > current_round_ + 1) {
+    Writer w;
+    w.u8(kCoinShare);
+    w.u32(static_cast<std::uint32_t>(round));
+    w.raw(BytesView(reader.raw(reader.remaining())));
+    deferred_.emplace_back(round, from, w.take());
+    return;
+  }
+  const auto& coin_pk = host_.public_keys().coin;
+  auto shares = reader.vec<CoinShare>(
+      [&](Reader& r) { return CoinShare::decode(r, coin_pk.group()); });
+  reader.expect_done();
+  Round& state = round_state(round);
+  if (crypto::contains(state.coin_support, from) || state.coin.has_value()) return;
+  const Bytes name = coin_name(round);
+  for (const CoinShare& share : shares) {
+    SINTRA_REQUIRE(coin_pk.scheme().unit_owner(share.unit) == from,
+                   "abba: coin share unit not owned by sender");
+    SINTRA_REQUIRE(coin_pk.verify_share(name, share), "abba: invalid coin share");
+  }
+  state.coin_support |= crypto::party_bit(from);
+  for (const CoinShare& share : shares) state.coin_shares.push_back(share);
+  maybe_combine_coin(round);
+}
+
+void Abba::maybe_combine_coin(int round) {
+  Round& state = round_state(round);
+  if (state.coin.has_value()) return;
+  const auto& coin_pk = host_.public_keys().coin;
+  if (!coin_pk.scheme().qualified(state.coin_support)) return;
+  auto value = coin_pk.combine(coin_name(round), state.coin_shares);
+  SINTRA_INVARIANT(value.has_value(), "abba: coin combine failed on qualified set");
+  state.coin = crypto::CoinPublicKey::coin_bit(*value);
+  host_.trace("abba", tag_ + " coin r" + std::to_string(round) + " = " +
+                          std::to_string(static_cast<int>(*state.coin)));
+
+  // Validate pre-votes that were waiting on this coin.
+  auto deferred = std::move(state.deferred_coin_prevotes);
+  state.deferred_coin_prevotes.clear();
+  for (auto& [from, value_bit, shares] : deferred) {
+    if (value_bit != *state.coin) continue;  // contradiction: drop
+    if (!decided_) accept_prevote(round + 1, from, value_bit, shares);
+  }
+  if (state.waiting_for_coin && !decided_) {
+    state.waiting_for_coin = false;
+    SINTRA_INVARIANT(state.sigma_main_abstain.has_value(), "abba: coin wait without cert");
+    advance(round + 1, *state.coin, kJustCoin, *state.sigma_main_abstain);
+  }
+}
+
+void Abba::advance(int round, bool value, Justification justification, const BigInt& evidence) {
+  if (decided_) return;
+  if (round > current_round_) {
+    current_round_ = round;
+    host_.trace("abba", tag_ + " advancing to round " + std::to_string(round));
+  }
+  send_prevote(round, value, justification, evidence);
+
+  // Replay parked far-future messages that are now in range.
+  auto parked = std::move(deferred_);
+  deferred_.clear();
+  for (auto& [msg_round, from, raw] : parked) {
+    if (decided_) break;
+    if (msg_round <= current_round_ + 1) {
+      Reader reader(raw);
+      handle(from, reader);
+    } else {
+      deferred_.emplace_back(msg_round, from, std::move(raw));
+    }
+  }
+}
+
+void Abba::on_decide(int from, Reader& reader) {
+  (void)from;
+  const int round = static_cast<int>(reader.u32());
+  const std::uint8_t value = reader.u8();
+  SINTRA_REQUIRE(value <= 1, "abba: bad decide value");
+  BigInt sigma = BigInt::decode(reader);
+  reader.expect_done();
+  SINTRA_REQUIRE(host_.public_keys().cert_sig.verify(statement("main", round, value), sigma),
+                 "abba: bad decide certificate");
+  decide(value == 1, round, sigma);
+}
+
+void Abba::decide(bool value, int round, const BigInt& sigma_main) {
+  if (decided_) return;
+  decided_ = true;
+  decision_ = value;
+  Writer w;
+  w.u8(kDecide);
+  w.u32(static_cast<std::uint32_t>(round));
+  w.u8(value ? 1 : 0);
+  sigma_main.encode(w);
+  broadcast(w.take());
+  host_.trace("abba", tag_ + " decided " + std::to_string(static_cast<int>(value)) +
+                          " in round " + std::to_string(round));
+  if (decide_) decide_(value, round);
+}
+
+}  // namespace sintra::protocols

@@ -1,0 +1,212 @@
+#include "protocols/atomic.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::protocols {
+
+using crypto::SigShare;
+
+namespace {
+Bytes payload_digest(BytesView payload) {
+  auto d = crypto::hash_domain("sintra/abc/payload", payload);
+  return Bytes(d.begin(), d.end());
+}
+
+struct BatchEntry {
+  int party = 0;
+  std::vector<Bytes> payloads;
+  std::vector<SigShare> shares;
+
+  [[nodiscard]] Bytes payload_block() const {
+    Writer w;
+    w.vec(payloads, [](Writer& wr, const Bytes& p) { wr.bytes(p); });
+    return w.take();
+  }
+
+  void encode(Writer& w) const {
+    w.u32(static_cast<std::uint32_t>(party));
+    w.bytes(payload_block());
+    w.vec(shares, [](Writer& wr, const SigShare& s) { s.encode(wr); });
+  }
+
+  static BatchEntry decode(Reader& r) {
+    BatchEntry entry;
+    entry.party = static_cast<int>(r.u32());
+    const Bytes block_bytes = r.bytes();  // named: Reader views, must outlive it
+    Reader block(block_bytes);
+    entry.payloads = block.vec<Bytes>([](Reader& rd) { return rd.bytes(); });
+    block.expect_done();
+    entry.shares = r.vec<SigShare>([](Reader& rd) { return SigShare::decode(rd); });
+    return entry;
+  }
+};
+}  // namespace
+
+AtomicBroadcast::AtomicBroadcast(net::Party& host, std::string tag, DeliverFn deliver)
+    : ProtocolInstance(host, std::move(tag)), deliver_(std::move(deliver)) {}
+
+Bytes AtomicBroadcast::batch_statement(int round, int party, BytesView payload_block) const {
+  Writer w;
+  w.str("sintra/abc/batch");
+  w.str(tag_);
+  w.u32(static_cast<std::uint32_t>(round));
+  w.u32(static_cast<std::uint32_t>(party));
+  auto digest = crypto::hash_domain("sintra/abc/block", payload_block);
+  w.raw(BytesView(digest.data(), digest.size()));
+  return w.take();
+}
+
+void AtomicBroadcast::submit(Bytes payload) {
+  queue_.push_back(std::move(payload));
+  maybe_start_round(last_finished_ + 1);
+}
+
+void AtomicBroadcast::handle(int from, Reader& reader) {
+  // The only message on the main tag is a signed round batch.
+  const int round = static_cast<int>(reader.u32());
+  SINTRA_REQUIRE(round >= 1 && round < 1 << 24, "abc: implausible round");
+  Bytes payload_block = reader.bytes();
+  auto shares = reader.vec<SigShare>([](Reader& rd) { return SigShare::decode(rd); });
+  reader.expect_done();
+
+  RoundData& rd = rounds_[round];
+  if (crypto::contains(rd.batch_from, from)) return;  // one batch per party per round
+
+  const auto& cert_pk = host_.public_keys().cert_sig;
+  const Bytes stmt = batch_statement(round, from, payload_block);
+  for (const SigShare& share : shares) {
+    SINTRA_REQUIRE(cert_pk.scheme().unit_owner(share.unit) == from,
+                   "abc: batch share unit not owned by sender");
+    SINTRA_REQUIRE(cert_pk.verify_share(stmt, share), "abc: invalid batch signature");
+  }
+
+  BatchEntry entry;
+  entry.party = from;
+  Reader block(payload_block);
+  entry.payloads = block.vec<Bytes>([](Reader& rd) { return rd.bytes(); });
+  block.expect_done();
+  entry.shares = std::move(shares);
+
+  rd.batch_from |= crypto::party_bit(from);
+  Writer w;
+  entry.encode(w);
+  rd.batches.push_back(w.take());
+
+  maybe_start_round(last_finished_ + 1);
+  maybe_propose(round);
+}
+
+void AtomicBroadcast::maybe_start_round(int round) {
+  if (round != last_finished_ + 1) return;
+  RoundData& rd = rounds_[round];
+  if (rd.started) return;
+  // A round begins when we have something to order or somebody else does.
+  bool others_active = rd.batch_from != 0;
+  if (!others_active) {
+    // A batch for any later round also implies the system moved on.
+    for (const auto& [r, data] : rounds_) {
+      if (r >= round && data.batch_from != 0) {
+        others_active = true;
+        break;
+      }
+    }
+  }
+  if (queue_.empty() && !others_active) return;
+  rd.started = true;
+
+  // Sign and broadcast our batch (possibly empty).
+  std::vector<Bytes> payloads;
+  for (std::size_t i = 0; i < queue_.size() && i < kMaxBatch; ++i) payloads.push_back(queue_[i]);
+  Writer block;
+  block.vec(payloads, [](Writer& wr, const Bytes& p) { wr.bytes(p); });
+  Bytes payload_block = block.take();
+  auto shares = host_.keys().cert_sig.sign(host_.public_keys().cert_sig,
+                                           batch_statement(round, me(), payload_block),
+                                           host_.rng());
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(round));
+  w.bytes(payload_block);
+  w.vec(shares, [](Writer& wr, const SigShare& s) { s.encode(wr); });
+  broadcast(w.take());
+
+  rd.vba = std::make_unique<Vba>(
+      host_, tag_ + "/" + std::to_string(round) + "/vba",
+      [this, round](BytesView value) { return validate_batch_set(round, value); },
+      [this, round](Bytes value) { on_round_decided(round, value); });
+  maybe_propose(round);
+}
+
+void AtomicBroadcast::maybe_propose(int round) {
+  RoundData& rd = rounds_[round];
+  if (!rd.started || rd.proposed || rd.vba == nullptr) return;
+  if (!quorum().is_quorum(rd.batch_from)) return;
+  rd.proposed = true;
+  Writer w;
+  w.vec(rd.batches, [](Writer& wr, const Bytes& b) { wr.bytes(b); });
+  rd.vba->propose(w.take());
+}
+
+bool AtomicBroadcast::validate_batch_set(int round, BytesView batch_set) const {
+  try {
+    Reader reader(batch_set);
+    auto raw_entries = reader.vec<Bytes>([](Reader& rd) { return rd.bytes(); });
+    reader.expect_done();
+    const auto& cert_pk = host_.public_keys().cert_sig;
+    crypto::PartySet senders = 0;
+    for (const Bytes& raw : raw_entries) {
+      Reader entry_reader(raw);
+      BatchEntry entry = BatchEntry::decode(entry_reader);
+      entry_reader.expect_done();
+      if (entry.party < 0 || entry.party >= host_.n()) return false;
+      if (crypto::contains(senders, entry.party)) return false;  // duplicate sender
+      const Bytes stmt = batch_statement(round, entry.party, entry.payload_block());
+      for (const SigShare& share : entry.shares) {
+        if (cert_pk.scheme().unit_owner(share.unit) != entry.party) return false;
+        if (!cert_pk.verify_share(stmt, share)) return false;
+      }
+      if (entry.shares.empty()) return false;
+      senders |= crypto::party_bit(entry.party);
+    }
+    // The paper's external validity condition: properly signed batches from
+    // a full quorum, so honest parties' payloads are represented.
+    return quorum().is_quorum(senders);
+  } catch (const ProtocolError&) {
+    return false;
+  }
+}
+
+void AtomicBroadcast::on_round_decided(int round, const Bytes& batch_set) {
+  SINTRA_INVARIANT(round == last_finished_ + 1, "abc: rounds decided out of order");
+
+  Reader reader(batch_set);
+  auto raw_entries = reader.vec<Bytes>([](Reader& rd) { return rd.bytes(); });
+  std::vector<BatchEntry> entries;
+  entries.reserve(raw_entries.size());
+  for (const Bytes& raw : raw_entries) {
+    Reader entry_reader(raw);
+    entries.push_back(BatchEntry::decode(entry_reader));
+  }
+  // Deterministic delivery order: by originating party, then batch order.
+  std::sort(entries.begin(), entries.end(),
+            [](const BatchEntry& a, const BatchEntry& b) { return a.party < b.party; });
+
+  for (const BatchEntry& entry : entries) {
+    for (const Bytes& payload : entry.payloads) {
+      Bytes digest = payload_digest(payload);
+      if (delivered_.contains(digest)) continue;
+      delivered_.insert(std::move(digest));
+      ++delivered_count_;
+      deliver_(entry.party, payload);
+    }
+  }
+  // Drop our own now-delivered payloads.
+  std::erase_if(queue_, [this](const Bytes& p) { return delivered_.contains(payload_digest(p)); });
+
+  last_finished_ = round;
+  host_.trace("abc", tag_ + " finished round " + std::to_string(round));
+  maybe_start_round(round + 1);
+}
+
+}  // namespace sintra::protocols

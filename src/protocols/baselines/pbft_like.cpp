@@ -1,0 +1,169 @@
+#include "protocols/baselines/pbft_like.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::protocols {
+
+namespace {
+Bytes request_digest(BytesView payload) {
+  auto d = crypto::hash_domain("sintra/pbft/req", payload);
+  return Bytes(d.begin(), d.end());
+}
+}  // namespace
+
+PbftLikeBroadcast::PbftLikeBroadcast(net::Party& host, std::string tag, DeliverFn deliver)
+    : ProtocolInstance(host, std::move(tag)), deliver_(std::move(deliver)) {}
+
+void PbftLikeBroadcast::submit(Bytes payload) {
+  pending_.push_back(payload);
+  if (me() == leader()) {
+    leader_propose(std::move(payload));
+    return;
+  }
+  Writer w;
+  w.u8(kForward);
+  w.bytes(payload);
+  send(leader(), w.take());
+}
+
+void PbftLikeBroadcast::leader_propose(Bytes payload) {
+  const Bytes digest = request_digest(payload);
+  if (seen_requests_.contains(digest)) return;
+  seen_requests_.insert(digest);
+  Writer w;
+  w.u8(kPrePrepare);
+  w.u32(static_cast<std::uint32_t>(view_));
+  w.u64(next_seq_++);
+  w.bytes(payload);
+  broadcast(w.take());
+}
+
+void PbftLikeBroadcast::on_timeout() {
+  // Failure detector suspects the leader: vote to move to the next view.
+  Writer w;
+  w.u8(kViewChange);
+  w.u32(static_cast<std::uint32_t>(view_ + 1));
+  broadcast(w.take());
+}
+
+void PbftLikeBroadcast::handle(int from, Reader& reader) {
+  const std::uint8_t type = reader.u8();
+  switch (type) {
+    case kForward: {
+      Bytes payload = reader.bytes();
+      reader.expect_done();
+      if (me() == leader()) leader_propose(std::move(payload));
+      return;
+    }
+    case kPrePrepare: {
+      const int view = static_cast<int>(reader.u32());
+      const std::uint64_t seq = reader.u64();
+      Bytes payload = reader.bytes();
+      reader.expect_done();
+      SINTRA_REQUIRE(seq < 1 << 24, "pbft: implausible sequence");
+      if (view != view_ || from != leader()) return;
+      SlotState& slot = slots_[seq];
+      if (slot.prepared_sent) return;
+      slot.payload = std::move(payload);
+      slot.have_payload = true;
+      slot.prepared_sent = true;
+      Writer w;
+      w.u8(kPrepare);
+      w.u32(static_cast<std::uint32_t>(view));
+      w.u64(seq);
+      w.bytes(slot.payload);
+      broadcast(w.take());
+      return;
+    }
+    case kPrepare: {
+      const int view = static_cast<int>(reader.u32());
+      const std::uint64_t seq = reader.u64();
+      Bytes payload = reader.bytes();
+      reader.expect_done();
+      SINTRA_REQUIRE(seq < 1 << 24, "pbft: implausible sequence");
+      if (view != view_) return;
+      SlotState& slot = slots_[seq];
+      if (!slot.have_payload) {
+        slot.payload = std::move(payload);
+        slot.have_payload = true;
+      }
+      slot.prepares |= crypto::party_bit(from);
+      if (!slot.commit_sent && quorum().is_vote_quorum(slot.prepares)) {
+        slot.commit_sent = true;
+        Writer w;
+        w.u8(kCommit);
+        w.u32(static_cast<std::uint32_t>(view));
+        w.u64(seq);
+        broadcast(w.take());
+      }
+      return;
+    }
+    case kCommit: {
+      const int view = static_cast<int>(reader.u32());
+      const std::uint64_t seq = reader.u64();
+      reader.expect_done();
+      SINTRA_REQUIRE(seq < 1 << 24, "pbft: implausible sequence");
+      if (view != view_) return;
+      SlotState& slot = slots_[seq];
+      slot.commits |= crypto::party_bit(from);
+      if (!slot.committed && slot.have_payload && quorum().is_vote_quorum(slot.commits)) {
+        slot.committed = true;
+        maybe_deliver();
+      }
+      return;
+    }
+    case kViewChange: {
+      const int view = static_cast<int>(reader.u32());
+      reader.expect_done();
+      SINTRA_REQUIRE(view >= 0 && view < 1 << 20, "pbft: implausible view");
+      if (view <= view_) return;
+      crypto::PartySet& votes = view_votes_[view];
+      votes |= crypto::party_bit(from);
+      if (quorum().is_vote_quorum(votes)) enter_view(view);
+      return;
+    }
+    default:
+      throw ProtocolError("pbft: unknown message type");
+  }
+}
+
+void PbftLikeBroadcast::enter_view(int view) {
+  view_ = view;
+  host_.trace("pbft", tag_ + " entering view " + std::to_string(view));
+  // Un-committed slots are abandoned; clients (here: the pending queue)
+  // re-drive their requests through the new leader.
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (!it->second.committed) {
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  next_seq_ = next_deliver_;
+  seen_requests_.clear();
+  if (me() == leader()) {
+    for (const Bytes& payload : pending_) leader_propose(payload);
+  } else {
+    for (const Bytes& payload : pending_) {
+      Writer w;
+      w.u8(kForward);
+      w.bytes(payload);
+      send(leader(), w.take());
+    }
+  }
+}
+
+void PbftLikeBroadcast::maybe_deliver() {
+  while (true) {
+    auto it = slots_.find(next_deliver_);
+    if (it == slots_.end() || !it->second.committed) return;
+    ++next_deliver_;
+    ++delivered_count_;
+    const Bytes digest = request_digest(it->second.payload);
+    std::erase_if(pending_,
+                  [&](const Bytes& p) { return request_digest(p) == digest; });
+    deliver_(it->second.payload);
+  }
+}
+
+}  // namespace sintra::protocols

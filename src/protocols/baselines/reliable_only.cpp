@@ -1,0 +1,54 @@
+#include "protocols/baselines/reliable_only.hpp"
+
+namespace sintra::protocols {
+
+ReliableOnlyBroadcast::ReliableOnlyBroadcast(net::Party& host, std::string tag,
+                                             DeliverFn deliver)
+    : ProtocolInstance(host, std::move(tag)), deliver_(std::move(deliver)),
+      opened_(static_cast<std::size_t>(host_.n()), 0) {}
+
+std::string ReliableOnlyBroadcast::instance_tag(int sender, std::uint64_t seq) const {
+  return tag_ + "/" + std::to_string(sender) + "/" + std::to_string(seq);
+}
+
+void ReliableOnlyBroadcast::open_instance(int sender, std::uint64_t seq) {
+  // Sequential per sender; the Party buffers traffic for instances we have
+  // not opened yet and replays it on registration.
+  auto& opened = opened_[static_cast<std::size_t>(sender)];
+  while (opened <= seq) {
+    const std::uint64_t s = opened++;
+    instances_.push_back(std::make_unique<ReliableBroadcast>(
+        host_, instance_tag(sender, s), sender,
+        [this, sender](Bytes payload) { deliver_(sender, std::move(payload)); }));
+  }
+}
+
+void ReliableOnlyBroadcast::submit(Bytes payload) {
+  const std::uint64_t seq = my_next_seq_++;
+  open_instance(me(), seq);
+  // Announce so every party opens the instance (and replays buffered
+  // SEND/ECHO/READY traffic for it).
+  Writer w;
+  w.u64(seq);
+  broadcast(w.take());
+  // Find our instance and start it.
+  const std::string tag = instance_tag(me(), seq);
+  for (auto& instance : instances_) {
+    if (instance->tag() == tag) {
+      instance->start(std::move(payload));
+      return;
+    }
+  }
+  SINTRA_INVARIANT(false, "reliable-only: freshly opened instance missing");
+}
+
+void ReliableOnlyBroadcast::handle(int from, Reader& reader) {
+  const std::uint64_t seq = reader.u64();
+  reader.expect_done();
+  SINTRA_REQUIRE(seq < 1 << 20, "reliable-only: implausible sequence");
+  SINTRA_REQUIRE(seq <= opened_[static_cast<std::size_t>(from)] + 64,
+                 "reliable-only: announcement far ahead");
+  open_instance(from, seq);
+}
+
+}  // namespace sintra::protocols

@@ -1,0 +1,39 @@
+// Reliable-broadcast-only baseline in the style of Malkhi–Merritt–Rodeh —
+// the Figure 1 row "implements only reliable broadcast and does not
+// guarantee a total order, as needed for maintaining consistent state".
+//
+// Each sender runs a sequence of Bracha reliable-broadcast instances;
+// receivers deliver in local arrival order.  Agreement on the *set* of
+// messages holds (each instance is a real reliable broadcast) but the
+// *order* differs between parties under concurrency — exactly the
+// state-machine divergence experiment F1 measures against atomic
+// broadcast.
+#pragma once
+
+#include <memory>
+
+#include "protocols/broadcast.hpp"
+
+namespace sintra::protocols {
+
+class ReliableOnlyBroadcast final : public ProtocolInstance {
+ public:
+  /// deliver(origin, payload) in *local* arrival order.
+  using DeliverFn = std::function<void(int origin, Bytes payload)>;
+
+  ReliableOnlyBroadcast(net::Party& host, std::string tag, DeliverFn deliver);
+
+  void submit(Bytes payload);
+
+ private:
+  void handle(int from, Reader& reader) override;  ///< kOpen announcements
+  void open_instance(int sender, std::uint64_t seq);
+  [[nodiscard]] std::string instance_tag(int sender, std::uint64_t seq) const;
+
+  DeliverFn deliver_;
+  std::uint64_t my_next_seq_ = 0;
+  std::vector<std::uint64_t> opened_;  ///< per sender: instances created
+  std::vector<std::unique_ptr<ReliableBroadcast>> instances_;
+};
+
+}  // namespace sintra::protocols

@@ -1,0 +1,85 @@
+#include "protocols/broadcast.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::protocols {
+
+namespace {
+Bytes digest_of(const std::string& tag, BytesView message) {
+  Writer w;
+  w.str(tag);
+  w.bytes(message);
+  auto d = crypto::hash_domain("sintra/rbc/digest", w.data());
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes make_msg(std::uint8_t type, BytesView message) {
+  Writer w;
+  w.u8(type);
+  w.bytes(message);
+  return w.take();
+}
+}  // namespace
+
+ReliableBroadcast::ReliableBroadcast(net::Party& host, std::string tag, int sender,
+                                     DeliverFn deliver)
+    : ProtocolInstance(host, std::move(tag)), sender_(sender), deliver_(std::move(deliver)) {}
+
+void ReliableBroadcast::start(Bytes message) {
+  SINTRA_REQUIRE(me() == sender_, "rbc: only the designated sender may start");
+  broadcast(make_msg(kSend, message));
+}
+
+void ReliableBroadcast::handle(int from, Reader& reader) {
+  const std::uint8_t type = reader.u8();
+  Bytes message = reader.bytes();
+  reader.expect_done();
+
+  const Bytes digest = digest_of(tag_, message);
+  Tally& tally = tallies_[digest];
+  if (!tally.have_content) {
+    tally.message = message;
+    tally.have_content = true;
+  }
+
+  switch (type) {
+    case kSend: {
+      SINTRA_REQUIRE(from == sender_, "rbc: SEND from non-sender");
+      if (!echoed_) {
+        echoed_ = true;
+        broadcast(make_msg(kEcho, message));
+      }
+      break;
+    }
+    case kEcho: {
+      tally.echoes |= crypto::party_bit(from);
+      maybe_progress(digest);
+      break;
+    }
+    case kReady: {
+      tally.readies |= crypto::party_bit(from);
+      maybe_progress(digest);
+      break;
+    }
+    default:
+      throw ProtocolError("rbc: unknown message type");
+  }
+}
+
+void ReliableBroadcast::maybe_progress(const Bytes& digest) {
+  Tally& tally = tallies_[digest];
+  // READY once a quorum echoed, or a fault-set-exceeding set is already
+  // ready (amplification — ensures agreement even for a corrupted sender).
+  if (!readied_ &&
+      (quorum().is_quorum(tally.echoes) || quorum().exceeds_fault_set(tally.readies))) {
+    readied_ = true;
+    broadcast(make_msg(kReady, tally.message));
+  }
+  if (!delivered_ && quorum().is_vote_quorum(tally.readies)) {
+    delivered_ = true;
+    host_.trace("rbc", tag_ + " delivered");
+    deliver_(tally.message);
+  }
+}
+
+}  // namespace sintra::protocols

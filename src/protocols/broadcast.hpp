@@ -1,0 +1,59 @@
+// Reliable broadcast — the optimized Bracha–Toueg protocol (§3).
+//
+// Guarantees with n > 3t (generalized: Q³):
+//   * validity     — if the (honest) sender broadcasts m, every honest
+//                    party eventually delivers m;
+//   * agreement    — if any honest party delivers m, every honest party
+//                    eventually delivers m;
+//   * integrity    — every honest party delivers at most one message per
+//                    instance, and (for an honest sender) only the
+//                    sender's message.
+// No ordering across instances — that is atomic broadcast's job.
+//
+// Message flow: SEND(m) from the designated sender; ECHO(m) from everyone
+// on first SEND; READY(m) once a quorum of echoes ("n−t" rule) or a
+// fault-set-exceeding set of readies ("t+1" rule, amplification) is seen;
+// deliver on a vote quorum of readies ("2t+1" rule).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "protocols/base.hpp"
+
+namespace sintra::protocols {
+
+class ReliableBroadcast final : public ProtocolInstance {
+ public:
+  using DeliverFn = std::function<void(Bytes message)>;
+
+  /// `sender` is the designated broadcaster for this instance.
+  ReliableBroadcast(net::Party& host, std::string tag, int sender, DeliverFn deliver);
+
+  /// Start broadcasting (only the designated sender calls this).
+  void start(Bytes message);
+
+  [[nodiscard]] bool delivered() const { return delivered_; }
+
+ private:
+  enum MsgType : std::uint8_t { kSend = 0, kEcho = 1, kReady = 2 };
+
+  void handle(int from, Reader& reader) override;
+  void maybe_progress(const Bytes& digest);
+
+  struct Tally {
+    crypto::PartySet echoes = 0;
+    crypto::PartySet readies = 0;
+    Bytes message;       ///< content (first seen copy)
+    bool have_content = false;
+  };
+
+  int sender_;
+  DeliverFn deliver_;
+  bool echoed_ = false;
+  bool readied_ = false;
+  bool delivered_ = false;
+  std::map<Bytes, Tally> tallies_;  ///< digest -> tally
+};
+
+}  // namespace sintra::protocols

@@ -1,0 +1,105 @@
+#include "protocols/consistent.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::protocols {
+
+Bytes consistent_statement(const std::string& tag, BytesView message) {
+  Writer w;
+  w.str("sintra/cbc");
+  w.str(tag);
+  auto digest = crypto::hash_domain("sintra/cbc/digest", message);
+  w.raw(BytesView(digest.data(), digest.size()));
+  return w.take();
+}
+
+bool verify_certificate(const crypto::ThresholdSigPublicKey& pk, const std::string& tag,
+                        const CertifiedMessage& cm) {
+  return pk.verify(consistent_statement(tag, cm.message), cm.certificate);
+}
+
+void CertifiedMessage::encode(Writer& w) const {
+  w.bytes(message);
+  certificate.encode(w);
+}
+
+CertifiedMessage CertifiedMessage::decode(Reader& r) {
+  CertifiedMessage cm;
+  cm.message = r.bytes();
+  cm.certificate = crypto::BigInt::decode(r);
+  return cm;
+}
+
+ConsistentBroadcast::ConsistentBroadcast(net::Party& host, std::string tag, int sender,
+                                         DeliverFn deliver)
+    : ProtocolInstance(host, std::move(tag)), sender_(sender), deliver_(std::move(deliver)) {}
+
+void ConsistentBroadcast::start(Bytes message) {
+  SINTRA_REQUIRE(me() == sender_, "cbc: only the designated sender may start");
+  my_message_ = std::move(message);
+  Writer w;
+  w.u8(kSend);
+  w.bytes(my_message_);
+  broadcast(w.take());
+}
+
+void ConsistentBroadcast::handle(int from, Reader& reader) {
+  const std::uint8_t type = reader.u8();
+  switch (type) {
+    case kSend: {
+      SINTRA_REQUIRE(from == sender_, "cbc: SEND from non-sender");
+      Bytes message = reader.bytes();
+      reader.expect_done();
+      if (signed_) break;  // sign only the first message per instance
+      signed_ = true;
+      const Bytes statement = consistent_statement(tag_, message);
+      Writer w;
+      w.u8(kShare);
+      auto shares = host_.keys().cert_sig.sign(host_.public_keys().cert_sig, statement,
+                                               host_.rng());
+      w.vec(shares, [](Writer& wr, const crypto::SigShare& s) { s.encode(wr); });
+      send(sender_, w.take());
+      break;
+    }
+    case kShare: {
+      if (me() != sender_ || finalized_) break;
+      auto incoming = reader.vec<crypto::SigShare>(
+          [](Reader& r) { return crypto::SigShare::decode(r); });
+      reader.expect_done();
+      const Bytes statement = consistent_statement(tag_, my_message_);
+      const auto& pk = host_.public_keys().cert_sig;
+      for (auto& share : incoming) {
+        SINTRA_REQUIRE(pk.scheme().unit_owner(share.unit) == from, "cbc: share unit not owned");
+        SINTRA_REQUIRE(pk.verify_share(statement, share), "cbc: invalid signature share");
+        shares_.push_back(std::move(share));
+      }
+      share_owners_ |= crypto::party_bit(from);
+      if (quorum().is_quorum(share_owners_)) {
+        auto certificate = pk.combine(statement, shares_);
+        SINTRA_INVARIANT(certificate.has_value(), "cbc: combine failed on verified quorum");
+        finalized_ = true;
+        Writer w;
+        w.u8(kFinal);
+        CertifiedMessage cm{my_message_, *certificate};
+        cm.encode(w);
+        broadcast(w.take());
+      }
+      break;
+    }
+    case kFinal: {
+      CertifiedMessage cm = CertifiedMessage::decode(reader);
+      reader.expect_done();
+      SINTRA_REQUIRE(verify_certificate(host_.public_keys().cert_sig, tag_, cm),
+                     "cbc: bad certificate");
+      if (delivered_) break;
+      delivered_ = true;
+      host_.trace("cbc", tag_ + " delivered");
+      deliver_(std::move(cm));
+      break;
+    }
+    default:
+      throw ProtocolError("cbc: unknown message type");
+  }
+}
+
+}  // namespace sintra::protocols

@@ -1,0 +1,116 @@
+// Simulation harness: wires a Deployment, a Scheduler, n hosted protocol
+// stacks and optional corrupted parties / client endpoints into one
+// runnable cluster.  Header-only convenience used by the tests, the
+// benchmarks and the examples — not by the protocols themselves.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/corruption.hpp"
+#include "net/party.hpp"
+#include "net/scheduler.hpp"
+
+namespace sintra::protocols {
+
+/// A Process that hosts a Party running one protocol object of type P.
+template <typename P>
+class HostedParty final : public net::Process {
+ public:
+  template <typename Factory>
+  HostedParty(net::Simulator& simulator, int id, adversary::Deployment deployment,
+              std::uint64_t seed, Factory&& factory)
+      : party_(simulator, id, std::move(deployment), seed),
+        protocol_(std::forward<Factory>(factory)(party_)) {}
+
+  void on_message(const net::Message& message) override { party_.on_message(message); }
+
+  [[nodiscard]] net::Party& party() { return party_; }
+  [[nodiscard]] P& protocol() { return *protocol_; }
+
+ private:
+  net::Party party_;
+  std::unique_ptr<P> protocol_;
+};
+
+/// n servers running protocol P; parties in `corrupted` are crashed unless
+/// a custom Process is supplied for them before start().
+template <typename P>
+class Cluster {
+ public:
+  using Factory = std::function<std::unique_ptr<P>(net::Party& party, int id)>;
+
+  Cluster(adversary::Deployment deployment, net::Scheduler& scheduler, Factory factory,
+          crypto::PartySet corrupted = 0, int extra_endpoints = 0, std::uint64_t seed = 1,
+          TraceLog* log = nullptr)
+      : deployment_(std::move(deployment)),
+        simulator_(deployment_.n() + extra_endpoints, scheduler, log),
+        hosts_(static_cast<std::size_t>(deployment_.n()), nullptr) {
+    for (int id = 0; id < deployment_.n(); ++id) {
+      if (crypto::contains(corrupted, id)) {
+        simulator_.attach(id, std::make_unique<net::CrashProcess>());
+        continue;
+      }
+      auto host = std::make_unique<HostedParty<P>>(
+          simulator_, id, deployment_, seed * 7919 + static_cast<std::uint64_t>(id),
+          [&](net::Party& party) { return factory(party, id); });
+      hosts_[static_cast<std::size_t>(id)] = host.get();
+      simulator_.attach(id, std::move(host));
+    }
+  }
+
+  /// Replace a party's process (e.g. a scripted Byzantine attacker).
+  /// Call before start(); the slot is then no longer an honest host.
+  void attach_custom(int id, std::unique_ptr<net::Process> process) {
+    hosts_[static_cast<std::size_t>(id)] = nullptr;
+    simulator_.attach(id, std::move(process));
+  }
+
+  /// Attach a client endpoint (ids deployment.n() .. n+extra-1).
+  void attach_client(int id, std::unique_ptr<net::Process> process) {
+    simulator_.attach(id, std::move(process));
+  }
+
+  void start() { simulator_.start(); }
+
+  [[nodiscard]] net::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const adversary::Deployment& deployment() const { return deployment_; }
+  [[nodiscard]] int n() const { return deployment_.n(); }
+
+  /// The protocol at an honest party (nullptr if corrupted/custom).
+  [[nodiscard]] P* protocol(int id) {
+    auto* host = hosts_[static_cast<std::size_t>(id)];
+    return host == nullptr ? nullptr : &host->protocol();
+  }
+  [[nodiscard]] net::Party* party(int id) {
+    auto* host = hosts_[static_cast<std::size_t>(id)];
+    return host == nullptr ? nullptr : &host->party();
+  }
+
+  /// Run until `done(protocol)` holds at every honest party.
+  bool run_until_all(const std::function<bool(P&)>& done, std::uint64_t max_steps) {
+    return simulator_.run_until(
+        [&] {
+          for (int id = 0; id < n(); ++id) {
+            P* p = protocol(id);
+            if (p != nullptr && !done(*p)) return false;
+          }
+          return true;
+        },
+        max_steps);
+  }
+
+  /// Apply `fn` to every honest protocol instance.
+  void for_each(const std::function<void(int id, P&)>& fn) {
+    for (int id = 0; id < n(); ++id) {
+      if (P* p = protocol(id)) fn(id, *p);
+    }
+  }
+
+ private:
+  adversary::Deployment deployment_;
+  net::Simulator simulator_;
+  std::vector<HostedParty<P>*> hosts_;
+};
+
+}  // namespace sintra::protocols

@@ -1,0 +1,150 @@
+#include "protocols/refresh.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::protocols {
+
+using crypto::BigInt;
+using crypto::FeldmanDealing;
+
+ShareRefresh::ShareRefresh(net::Party& host, std::string tag, BigInt old_share,
+                           std::vector<BigInt> old_verification, int threshold, DoneFn done)
+    : ProtocolInstance(host, std::move(tag)), old_share_(std::move(old_share)),
+      old_verification_(std::move(old_verification)), threshold_(threshold),
+      done_(std::move(done)),
+      abc_(host_, tag_ + "/abc",
+           [this](int origin, Bytes payload) { on_ordered(origin, std::move(payload)); }) {
+  SINTRA_REQUIRE(static_cast<int>(old_verification_.size()) == host_.n(),
+                 "refresh: verification vector size mismatch");
+}
+
+BigInt ShareRefresh::mask_for(int dealer, int recipient) const {
+  const auto& keys = host_.keys().channel_keys;
+  const int peer = dealer == me() ? recipient : dealer;
+  const Bytes& pair_key = keys.at(static_cast<std::size_t>(peer));
+  Writer w;
+  w.str(tag_);
+  w.u32(static_cast<std::uint32_t>(dealer));
+  w.u32(static_cast<std::uint32_t>(recipient));
+  w.bytes(pair_key);
+  const auto& group = host_.public_keys().coin.group();
+  return group.hash_to_scalar("sintra/refresh/mask", w.data());
+}
+
+void ShareRefresh::start() {
+  SINTRA_REQUIRE(!started_, "refresh: already started");
+  started_ = true;
+  const auto& group = host_.public_keys().coin.group();
+  FeldmanDealing dealing =
+      FeldmanDealing::deal(group, BigInt(0), host_.n(), threshold_, host_.rng());
+  Writer w;
+  w.u8(kDealing);
+  // Sender id inside the payload: atomic broadcast dedupes identical
+  // payload bytes, and it must be cross-checked against the ABC origin.
+  w.u32(static_cast<std::uint32_t>(me()));
+  dealing.encode_commitments(w, group);
+  std::vector<BigInt> masked;
+  masked.reserve(dealing.shares.size());
+  for (int j = 0; j < host_.n(); ++j) {
+    masked.push_back(group.scalar_add(dealing.shares[static_cast<std::size_t>(j)],
+                                      mask_for(me(), j)));
+  }
+  w.vec(masked, [&](Writer& wr, const BigInt& s) { group.encode_scalar(wr, s); });
+  abc_.submit(w.take());
+}
+
+void ShareRefresh::on_ordered(int origin, Bytes payload) {
+  if (result_.has_value()) return;
+  const auto& group = host_.public_keys().coin.group();
+  try {
+    Reader reader(payload);
+    const std::uint8_t type = reader.u8();
+    if (type == kDealing) {
+      const int embedded = static_cast<int>(reader.u32());
+      SINTRA_REQUIRE(embedded == origin, "refresh: dealer id does not match batch origin");
+      if (crypto::contains(dealers_seen_, origin)) return;  // one dealing per dealer
+      if (quorum().is_quorum(dealers_seen_)) return;        // candidate set already fixed
+      auto commitments = FeldmanDealing::decode_commitments(reader, group, threshold_);
+      auto masked =
+          reader.vec<BigInt>([&](Reader& r) { return group.decode_scalar(r); });
+      reader.expect_done();
+      SINTRA_REQUIRE(static_cast<int>(masked.size()) == host_.n(),
+                     "refresh: wrong sub-share count");
+
+      Candidate candidate;
+      candidate.dealer = origin;
+      candidate.my_subshare = group.scalar_sub(masked[static_cast<std::size_t>(me())],
+                                               mask_for(origin, me()));
+      // A refresh dealing must share zero: C_0 = g^0 = 1.
+      const bool shares_zero = commitments.at(0).is_one();
+      candidate.valid = shares_zero && FeldmanDealing::verify_share(group, commitments, me(),
+                                                                    candidate.my_subshare);
+      candidate.commitments = std::move(commitments);
+      dealers_seen_ |= crypto::party_bit(origin);
+      candidates_.push_back(std::move(candidate));
+      maybe_submit_verdict();
+    } else if (type == kVerdict) {
+      const int embedded = static_cast<int>(reader.u32());
+      SINTRA_REQUIRE(embedded == origin, "refresh: verdict id does not match batch origin");
+      const std::uint64_t mask = reader.u64();
+      reader.expect_done();
+      if (crypto::contains(verdict_from_, origin)) return;
+      if (quorum().is_quorum(verdict_from_)) return;  // verdict set already fixed
+      // Verdicts ordered before the candidate set was complete at the
+      // sender refer to the same deterministic set (ABC total order means
+      // every party sees dealings before the verdicts that follow them).
+      verdict_from_ |= crypto::party_bit(origin);
+      verdicts_.push_back(mask);
+      maybe_finish();
+    }
+  } catch (const ProtocolError& error) {
+    // Malformed ordered payload (Byzantine dealer): ignore; its absence
+    // from our verdict excludes it.
+    host_.trace("refresh", tag_ + " dropped ordered payload from " + std::to_string(origin) +
+                               ": " + error.what());
+  }
+}
+
+void ShareRefresh::maybe_submit_verdict() {
+  if (verdict_sent_ || !quorum().is_quorum(dealers_seen_)) return;
+  verdict_sent_ = true;
+  std::uint64_t mask = 0;
+  for (std::size_t k = 0; k < candidates_.size(); ++k) {
+    if (candidates_[k].valid) mask |= std::uint64_t{1} << k;
+  }
+  Writer w;
+  w.u8(kVerdict);
+  w.u32(static_cast<std::uint32_t>(me()));
+  w.u64(mask);
+  abc_.submit(w.take());
+}
+
+void ShareRefresh::maybe_finish() {
+  if (result_.has_value() || !quorum().is_quorum(verdict_from_)) return;
+  const auto& group = host_.public_keys().coin.group();
+
+  // Applied = candidates approved by every first-quorum verdict.
+  std::uint64_t applied = ~std::uint64_t{0};
+  for (std::uint64_t mask : verdicts_) applied &= mask;
+
+  Result result;
+  result.new_share = old_share_;
+  result.new_verification = old_verification_;
+  for (std::size_t k = 0; k < candidates_.size(); ++k) {
+    if (((applied >> k) & 1) == 0) continue;
+    const Candidate& candidate = candidates_[k];
+    ++result.dealings_applied;
+    result.new_share = group.scalar_add(result.new_share, candidate.my_subshare);
+    for (int j = 0; j < host_.n(); ++j) {
+      result.new_verification[static_cast<std::size_t>(j)] =
+          group.mul(result.new_verification[static_cast<std::size_t>(j)],
+                    FeldmanDealing::share_image(group, candidate.commitments, j));
+    }
+  }
+  host_.trace("refresh", tag_ + " applied " + std::to_string(result.dealings_applied) +
+                             " dealings");
+  result_ = result;
+  if (done_) done_(*result_);
+}
+
+}  // namespace sintra::protocols

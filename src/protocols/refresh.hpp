@@ -1,0 +1,101 @@
+// Proactive share refresh (paper §6, "Proactive Protocols").
+//
+// Refreshes a Shamir-shared discrete-log key (the threshold coin or the
+// TDH2 decryption key): after an epoch every party holds a NEW share of
+// the SAME secret, on a freshly randomized polynomial, and the old shares
+// become useless to a mobile adversary — "all secrets that the adversary
+// has seen in the past become useless by resharing".
+//
+// Mechanism (epoch protocol over atomic broadcast, Herzberg-et-al. style):
+//  1. every party deals a Feldman zero-sharing (degree t, secret 0) and
+//     atomically broadcasts the commitments together with per-recipient
+//     sub-shares masked by dealer-provided pairwise keys;
+//  2. the first full quorum of dealings in ABC order forms the candidate
+//     set D — identical at every party;
+//  3. every party verifies its own sub-share of each candidate against
+//     the Feldman commitments (and that C_0 = 1, i.e. the dealing really
+//     shares zero) and atomically broadcasts a verdict bitmask;
+//  4. the applied set = candidates approved by ALL of the first quorum of
+//     verdicts (deterministic); new share = old share + sum of applied
+//     sub-shares; new public verification values follow from the
+//     commitments alone, so even parties without a share can update the
+//     public key material.
+//
+// Honesty about the model (the paper: "proactively secure protocols for
+// our asynchronous system model are currently not known"): this protocol
+// is always CORRECT (the secret and its public image are preserved, all
+// honest parties move to consistent shares of one polynomial, bad
+// dealings detected by any first-quorum verdict are excluded), and it is
+// proactively SECURE whenever at least one honest dealing is applied.  A
+// Byzantine party can degrade an epoch to a no-op by false complaints,
+// and a Byzantine dealer that targets an honest party whose verdict falls
+// outside the first quorum can leave that party with an unusable share —
+// closing that gap needs publicly verifiable resharing (solved post-paper
+// by asynchronous proactive secret sharing, e.g. Cachin et al. 2002) and
+// is out of scope here.  Only the classical threshold scheme is
+// refreshable; generalized LSSS refresh would need per-gate resharing.
+#pragma once
+
+#include <optional>
+
+#include "crypto/vss.hpp"
+#include "protocols/atomic.hpp"
+
+namespace sintra::protocols {
+
+class ShareRefresh final : public ProtocolInstance {
+ public:
+  struct Result {
+    crypto::BigInt new_share;
+    std::vector<crypto::BigInt> new_verification;  ///< g^{x'_j} per party
+    int dealings_applied = 0;
+  };
+  using DoneFn = std::function<void(Result)>;
+
+  /// `old_share` is this party's current share (evaluation point id+1) of
+  /// a secret x with per-party verification values `old_verification`
+  /// (g^{x_j}); `threshold` is the sharing degree t.
+  ShareRefresh(net::Party& host, std::string tag, crypto::BigInt old_share,
+               std::vector<crypto::BigInt> old_verification, int threshold, DoneFn done);
+
+  /// Start the epoch (every honest party calls this).
+  void start();
+
+  [[nodiscard]] bool done() const { return result_.has_value(); }
+  [[nodiscard]] const std::optional<Result>& result() const { return result_; }
+
+ private:
+  enum MsgType : std::uint8_t { kDealing = 0, kVerdict = 1 };
+
+  void on_ordered(int origin, Bytes payload);
+  void handle(int from, Reader& reader) override {
+    (void)from;
+    (void)reader;
+    throw ProtocolError("refresh: direct messages unused");
+  }
+  [[nodiscard]] crypto::BigInt mask_for(int dealer, int recipient) const;
+  void maybe_submit_verdict();
+  void maybe_finish();
+
+  crypto::BigInt old_share_;
+  std::vector<crypto::BigInt> old_verification_;
+  int threshold_;
+  DoneFn done_;
+  AtomicBroadcast abc_;
+  bool started_ = false;
+  std::optional<Result> result_;
+
+  struct Candidate {
+    int dealer;
+    std::vector<crypto::BigInt> commitments;
+    crypto::BigInt my_subshare;  ///< decrypted; validity in `valid`
+    bool valid = false;
+  };
+  std::vector<Candidate> candidates_;    ///< in ABC order, capped at quorum
+  crypto::PartySet dealers_seen_ = 0;
+  bool verdict_sent_ = false;
+  std::vector<std::uint64_t> verdicts_;  ///< first-quorum verdict bitmasks
+  crypto::PartySet verdict_from_ = 0;
+};
+
+}  // namespace sintra::protocols

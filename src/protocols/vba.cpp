@@ -1,0 +1,181 @@
+#include "protocols/vba.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::protocols {
+
+using crypto::CoinShare;
+
+Vba::Vba(net::Party& host, std::string tag, Predicate predicate, DecideFn decide)
+    : ProtocolInstance(host, std::move(tag)), predicate_(std::move(predicate)),
+      decide_(std::move(decide)) {
+  const int n = host_.n();
+  proposals_.resize(static_cast<std::size_t>(n));
+  proposals_cb_.reserve(static_cast<std::size_t>(n));
+  for (int sender = 0; sender < n; ++sender) {
+    proposals_cb_.push_back(std::make_unique<ConsistentBroadcast>(
+        host_, tag_ + "/cb/" + std::to_string(sender), sender,
+        [this, sender](CertifiedMessage cm) { on_proposal_delivered(sender, std::move(cm)); }));
+  }
+}
+
+void Vba::propose(Bytes value) {
+  SINTRA_REQUIRE(!proposed_, "vba: already proposed");
+  SINTRA_REQUIRE(predicate_(value), "vba: proposal violates the validity predicate");
+  proposed_ = true;
+  proposals_cb_[static_cast<std::size_t>(me())]->start(std::move(value));
+}
+
+void Vba::on_proposal_delivered(int sender, CertifiedMessage cm) {
+  if (!predicate_(cm.message)) {
+    // Certified but invalid: only possible for a corrupted sender; ignore.
+    host_.trace("vba", tag_ + " proposal from " + std::to_string(sender) + " fails Q");
+    return;
+  }
+  store_proposal(sender, std::move(cm));
+  maybe_release_perm_coin();
+}
+
+void Vba::store_proposal(int sender, CertifiedMessage cm) {
+  auto& slot = proposals_[static_cast<std::size_t>(sender)];
+  if (slot.has_value()) return;
+  slot = std::move(cm);
+  have_ |= crypto::party_bit(sender);
+  if (pending_fetch_.has_value() && candidate_at(*pending_fetch_) == sender) {
+    pending_fetch_.reset();
+    finish(sender);
+  }
+}
+
+Bytes Vba::perm_coin_name() const {
+  Writer w;
+  w.str("sintra/vba/perm");
+  w.str(tag_);
+  return w.take();
+}
+
+void Vba::maybe_release_perm_coin() {
+  if (perm_released_ || !quorum().is_quorum(have_)) return;
+  perm_released_ = true;
+  Writer w;
+  w.u8(kPermShare);
+  auto shares =
+      host_.keys().coin.share(host_.public_keys().coin, perm_coin_name(), host_.rng());
+  w.vec(shares, [&](Writer& wr, const CoinShare& s) {
+    s.encode(wr, host_.public_keys().coin.group());
+  });
+  broadcast(w.take());
+}
+
+void Vba::handle(int from, Reader& reader) {
+  const std::uint8_t type = reader.u8();
+  switch (type) {
+    case kPermShare: {
+      const auto& coin_pk = host_.public_keys().coin;
+      auto shares = reader.vec<CoinShare>(
+          [&](Reader& r) { return CoinShare::decode(r, coin_pk.group()); });
+      reader.expect_done();
+      if (permutation_.has_value() || crypto::contains(perm_support_, from)) return;
+      const Bytes name = perm_coin_name();
+      for (const CoinShare& share : shares) {
+        SINTRA_REQUIRE(coin_pk.scheme().unit_owner(share.unit) == from,
+                       "vba: perm share unit not owned by sender");
+        SINTRA_REQUIRE(coin_pk.verify_share(name, share), "vba: invalid perm coin share");
+      }
+      perm_support_ |= crypto::party_bit(from);
+      for (const CoinShare& share : shares) perm_shares_.push_back(share);
+      if (coin_pk.scheme().qualified(perm_support_)) {
+        auto value = coin_pk.combine(name, perm_shares_);
+        SINTRA_INVARIANT(value.has_value(), "vba: perm coin combine failed");
+        // Fisher–Yates driven by the coin value: identical at every party.
+        Rng perm_rng(crypto::BigInt::from_bytes(*value).low_u64());
+        std::vector<int> perm(static_cast<std::size_t>(host_.n()));
+        for (int i = 0; i < host_.n(); ++i) perm[static_cast<std::size_t>(i)] = i;
+        for (std::size_t i = perm.size(); i > 1; --i) {
+          std::swap(perm[i - 1], perm[static_cast<std::size_t>(perm_rng.below(i))]);
+        }
+        permutation_ = std::move(perm);
+        maybe_start_candidate();
+      }
+      return;
+    }
+    case kFetch: {
+      const int sender = static_cast<int>(reader.u32());
+      reader.expect_done();
+      SINTRA_REQUIRE(sender >= 0 && sender < host_.n(), "vba: bad fetch index");
+      const auto& slot = proposals_[static_cast<std::size_t>(sender)];
+      if (!slot.has_value()) return;
+      Writer w;
+      w.u8(kProposal);
+      w.u32(static_cast<std::uint32_t>(sender));
+      slot->encode(w);
+      send(from, w.take());
+      return;
+    }
+    case kProposal: {
+      const int sender = static_cast<int>(reader.u32());
+      SINTRA_REQUIRE(sender >= 0 && sender < host_.n(), "vba: bad proposal index");
+      CertifiedMessage cm = CertifiedMessage::decode(reader);
+      reader.expect_done();
+      SINTRA_REQUIRE(verify_certificate(host_.public_keys().cert_sig,
+                                        tag_ + "/cb/" + std::to_string(sender), cm),
+                     "vba: bad proposal certificate");
+      SINTRA_REQUIRE(predicate_(cm.message), "vba: fetched proposal fails Q");
+      store_proposal(sender, std::move(cm));
+      return;
+    }
+    default:
+      throw ProtocolError("vba: unknown message type");
+  }
+}
+
+int Vba::candidate_at(int index) const {
+  SINTRA_INVARIANT(permutation_.has_value(), "vba: permutation not ready");
+  return (*permutation_)[static_cast<std::size_t>(index % host_.n())];
+}
+
+void Vba::maybe_start_candidate() {
+  if (decided_ || !permutation_.has_value()) return;
+  ++candidate_index_;
+  const int index = candidate_index_;
+  const int candidate = candidate_at(index);
+  auto ba = std::make_unique<Abba>(
+      host_, tag_ + "/ba/" + std::to_string(index),
+      [this, index](bool value, int) { on_abba_decided(index, value); });
+  Abba* ba_ptr = ba.get();
+  candidate_ba_.push_back(std::move(ba));
+  host_.trace("vba", tag_ + " examining candidate " + std::to_string(candidate) +
+                         " (index " + std::to_string(index) + ")");
+  ba_ptr->start(proposals_[static_cast<std::size_t>(candidate)].has_value());
+}
+
+void Vba::on_abba_decided(int candidate_index, bool value) {
+  if (decided_) return;
+  if (candidate_index != candidate_index_) return;  // stale callback
+  if (!value) {
+    maybe_start_candidate();
+    return;
+  }
+  const int candidate = candidate_at(candidate_index);
+  if (proposals_[static_cast<std::size_t>(candidate)].has_value()) {
+    finish(candidate);
+    return;
+  }
+  // Somebody honest holds it (ABBA anchored validity); ask around.
+  pending_fetch_ = candidate_index;
+  Writer w;
+  w.u8(kFetch);
+  w.u32(static_cast<std::uint32_t>(candidate));
+  broadcast(w.take());
+}
+
+void Vba::finish(int sender) {
+  if (decided_) return;
+  decided_ = true;
+  host_.trace("vba", tag_ + " decided on proposal of " + std::to_string(sender));
+  decide_(proposals_[static_cast<std::size_t>(sender)]->message);
+}
+
+}  // namespace sintra::protocols

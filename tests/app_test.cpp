@@ -1,0 +1,442 @@
+// Application-layer tests: state machines (CA, directory, notary), the
+// replica + client end-to-end path with threshold-signed receipts, and
+// Byzantine-replica tolerance.
+#include <gtest/gtest.h>
+
+#include "app/ca.hpp"
+#include "app/client.hpp"
+#include "app/directory.hpp"
+#include "app/notary.hpp"
+#include "protocols/harness.hpp"
+
+namespace sintra::app {
+namespace {
+
+// ---- state machines in isolation -------------------------------------------
+
+TEST(CaStateMachineTest, IssueQueryLifecycle) {
+  CertificationAuthority ca;
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "alice";
+  issue.public_key = bytes_of("alice-pk");
+  issue.credentials = "credential:alice";
+  auto response = CaResponse::decode(ca.execute(issue.encode()));
+  EXPECT_EQ(response.status, CaResponse::Status::kOk);
+  EXPECT_EQ(response.serial, 1u);
+  EXPECT_EQ(response.subject, "alice");
+
+  CaRequest query;
+  query.op = CaRequest::Op::kQuery;
+  query.subject = "alice";
+  auto lookup = CaResponse::decode(ca.execute(query.encode()));
+  EXPECT_EQ(lookup.status, CaResponse::Status::kOk);
+  EXPECT_EQ(lookup.public_key, bytes_of("alice-pk"));
+}
+
+TEST(CaStateMachineTest, BadCredentialsDenied) {
+  CertificationAuthority ca;
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "mallory";
+  issue.credentials = "credential:alice";  // stolen credential
+  auto response = CaResponse::decode(ca.execute(issue.encode()));
+  EXPECT_EQ(response.status, CaResponse::Status::kDenied);
+  EXPECT_TRUE(ca.issued().empty());
+}
+
+TEST(CaStateMachineTest, ReissueIsIdempotent) {
+  CertificationAuthority ca;
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "bob";
+  issue.public_key = bytes_of("pk1");
+  issue.credentials = "credential:bob";
+  auto first = CaResponse::decode(ca.execute(issue.encode()));
+  issue.public_key = bytes_of("pk2");  // attempt to overwrite
+  auto second = CaResponse::decode(ca.execute(issue.encode()));
+  EXPECT_EQ(first.serial, second.serial);
+  EXPECT_EQ(second.public_key, bytes_of("pk1"));  // original binding kept
+}
+
+TEST(CaStateMachineTest, PolicyUpdateVisibleInLaterIssues) {
+  CertificationAuthority ca;
+  CaRequest set_policy;
+  set_policy.op = CaRequest::Op::kSetPolicy;
+  set_policy.policy = "v2-strict";
+  ca.execute(set_policy.encode());
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "carol";
+  issue.credentials = "credential:carol";
+  auto response = CaResponse::decode(ca.execute(issue.encode()));
+  EXPECT_EQ(response.policy_at_issue, "v2-strict");
+}
+
+TEST(CaStateMachineTest, UnknownQueryNotFound) {
+  CertificationAuthority ca;
+  CaRequest query;
+  query.op = CaRequest::Op::kQuery;
+  query.subject = "nobody";
+  EXPECT_EQ(CaResponse::decode(ca.execute(query.encode())).status,
+            CaResponse::Status::kNotFound);
+}
+
+TEST(CaStateMachineTest, GarbageRequestDenied) {
+  CertificationAuthority ca;
+  auto response = CaResponse::decode(ca.execute(bytes_of("not a request")));
+  EXPECT_EQ(response.status, CaResponse::Status::kDenied);
+}
+
+TEST(DirectoryStateMachineTest, BindLookupUnbind) {
+  SecureDirectory dir;
+  DirRequest bind;
+  bind.op = DirRequest::Op::kBind;
+  bind.key = "www.example.com";
+  bind.value = bytes_of("10.1.2.3");
+  auto r1 = DirResponse::decode(dir.execute(bind.encode()));
+  EXPECT_EQ(r1.status, DirResponse::Status::kOk);
+  EXPECT_EQ(r1.version, 1u);
+
+  DirRequest lookup;
+  lookup.op = DirRequest::Op::kLookup;
+  lookup.key = "www.example.com";
+  auto r2 = DirResponse::decode(dir.execute(lookup.encode()));
+  EXPECT_EQ(r2.value, bytes_of("10.1.2.3"));
+
+  bind.value = bytes_of("10.9.9.9");
+  auto r3 = DirResponse::decode(dir.execute(bind.encode()));
+  EXPECT_EQ(r3.version, 2u);  // version fences the update
+
+  DirRequest unbind;
+  unbind.op = DirRequest::Op::kUnbind;
+  unbind.key = "www.example.com";
+  EXPECT_EQ(DirResponse::decode(dir.execute(unbind.encode())).status,
+            DirResponse::Status::kOk);
+  EXPECT_EQ(DirResponse::decode(dir.execute(lookup.encode())).status,
+            DirResponse::Status::kNotFound);
+}
+
+TEST(DirectoryStateMachineTest, MissingKeyNotFound) {
+  SecureDirectory dir;
+  DirRequest lookup;
+  lookup.op = DirRequest::Op::kLookup;
+  lookup.key = "missing";
+  EXPECT_EQ(DirResponse::decode(dir.execute(lookup.encode())).status,
+            DirResponse::Status::kNotFound);
+  DirRequest unbind;
+  unbind.op = DirRequest::Op::kUnbind;
+  unbind.key = "missing";
+  EXPECT_EQ(DirResponse::decode(dir.execute(unbind.encode())).status,
+            DirResponse::Status::kNotFound);
+}
+
+TEST(NotaryStateMachineTest, SequentialRegistration) {
+  Notary notary;
+  NotaryRequest r1;
+  r1.op = NotaryRequest::Op::kRegister;
+  r1.document = bytes_of("doc-A");
+  auto a = NotaryResponse::decode(notary.execute(r1.encode()));
+  EXPECT_EQ(a.status, NotaryResponse::Status::kRegistered);
+  EXPECT_EQ(a.sequence, 1u);
+
+  NotaryRequest r2;
+  r2.op = NotaryRequest::Op::kRegister;
+  r2.document = bytes_of("doc-B");
+  EXPECT_EQ(NotaryResponse::decode(notary.execute(r2.encode())).sequence, 2u);
+
+  // Re-registration returns the ORIGINAL sequence (first-to-file wins).
+  auto again = NotaryResponse::decode(notary.execute(r1.encode()));
+  EXPECT_EQ(again.status, NotaryResponse::Status::kAlreadyRegistered);
+  EXPECT_EQ(again.sequence, 1u);
+}
+
+TEST(NotaryStateMachineTest, VerifyLookups) {
+  Notary notary;
+  NotaryRequest reg;
+  reg.op = NotaryRequest::Op::kRegister;
+  reg.document = bytes_of("deed");
+  notary.execute(reg.encode());
+  NotaryRequest verify;
+  verify.op = NotaryRequest::Op::kVerify;
+  verify.document = bytes_of("deed");
+  EXPECT_EQ(NotaryResponse::decode(notary.execute(verify.encode())).sequence, 1u);
+  verify.document = bytes_of("unknown");
+  EXPECT_EQ(NotaryResponse::decode(notary.execute(verify.encode())).status,
+            NotaryResponse::Status::kUnknown);
+}
+
+// ---- end-to-end: replica + client -------------------------------------------
+
+struct SvcState {
+  std::unique_ptr<Replica> replica;
+};
+
+struct E2e {
+  E2e(Replica::Mode mode, std::function<std::unique_ptr<StateMachine>()> make_sm,
+      crypto::PartySet corrupted = 0, std::uint64_t seed = 1)
+      : rng(seed),
+        deployment(adversary::Deployment::threshold(4, 1, rng)),
+        sched(seed * 101),
+        cluster(
+            deployment, sched,
+            [&](net::Party& party, int) {
+              auto state = std::make_unique<SvcState>();
+              state->replica = std::make_unique<Replica>(party, "svc", mode, make_sm());
+              return state;
+            },
+            corrupted, /*extra_endpoints=*/1, seed) {
+    auto client_ptr = std::make_unique<ServiceClient>(
+        cluster.simulator(), /*net_id=*/4, deployment, "svc", mode, seed + 7,
+        [this](std::uint64_t id, ServiceClient::Receipt receipt) {
+          replies.emplace(id, std::move(receipt));
+        });
+    client = client_ptr.get();
+    cluster.attach_client(4, std::move(client_ptr));
+    cluster.start();
+  }
+
+  bool run_until_replies(std::size_t count, std::uint64_t max_steps = 10000000) {
+    return cluster.simulator().run_until([&] { return replies.size() >= count; }, max_steps);
+  }
+
+  Rng rng;
+  adversary::Deployment deployment;
+  net::RandomScheduler sched;
+  protocols::Cluster<SvcState> cluster;
+  ServiceClient* client = nullptr;
+  std::map<std::uint64_t, ServiceClient::Receipt> replies;
+};
+
+TEST(EndToEndTest, CaIssueWithReceipt) {
+  E2e e2e(Replica::Mode::kAtomic, [] { return std::make_unique<CertificationAuthority>(); });
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "alice";
+  issue.public_key = bytes_of("alice-pk");
+  issue.credentials = "credential:alice";
+  Bytes body = issue.encode();
+  std::uint64_t id = e2e.client->request(Bytes(body));
+  ASSERT_TRUE(e2e.run_until_replies(1));
+  const auto& receipt = e2e.replies.at(id);
+  auto response = CaResponse::decode(receipt.reply);
+  EXPECT_EQ(response.status, CaResponse::Status::kOk);
+  EXPECT_EQ(response.serial, 1u);
+  // The receipt verifies under the single service public key — this IS the
+  // certificate.
+  EXPECT_TRUE(e2e.client->verify_receipt(id, body, receipt));
+  // And fails for a different request body.
+  EXPECT_FALSE(e2e.client->verify_receipt(id, bytes_of("other"), receipt));
+}
+
+TEST(EndToEndTest, DirectoryBindThenLookup) {
+  E2e e2e(Replica::Mode::kAtomic, [] { return std::make_unique<SecureDirectory>(); });
+  DirRequest bind;
+  bind.op = DirRequest::Op::kBind;
+  bind.key = "host";
+  bind.value = bytes_of("addr");
+  e2e.client->request(bind.encode());
+  ASSERT_TRUE(e2e.run_until_replies(1));
+  DirRequest lookup;
+  lookup.op = DirRequest::Op::kLookup;
+  lookup.key = "host";
+  std::uint64_t id = e2e.client->request(lookup.encode());
+  ASSERT_TRUE(e2e.run_until_replies(2));
+  auto response = DirResponse::decode(e2e.replies.at(id).reply);
+  EXPECT_EQ(response.status, DirResponse::Status::kOk);
+  EXPECT_EQ(response.value, bytes_of("addr"));
+}
+
+TEST(EndToEndTest, NotaryOverSecureCausalBroadcast) {
+  E2e e2e(Replica::Mode::kCausal, [] { return std::make_unique<Notary>(); });
+  NotaryRequest reg;
+  reg.op = NotaryRequest::Op::kRegister;
+  reg.document = bytes_of("my invention");
+  std::uint64_t id = e2e.client->request(reg.encode());
+  ASSERT_TRUE(e2e.run_until_replies(1));
+  auto response = NotaryResponse::decode(e2e.replies.at(id).reply);
+  EXPECT_EQ(response.status, NotaryResponse::Status::kRegistered);
+  EXPECT_EQ(response.sequence, 1u);
+}
+
+TEST(EndToEndTest, ServiceSurvivesCrashedReplica) {
+  E2e e2e(Replica::Mode::kAtomic, [] { return std::make_unique<CertificationAuthority>(); },
+          crypto::party_bit(2), 5);
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "dave";
+  issue.credentials = "credential:dave";
+  std::uint64_t id = e2e.client->request(issue.encode());
+  ASSERT_TRUE(e2e.run_until_replies(1));
+  EXPECT_EQ(CaResponse::decode(e2e.replies.at(id).reply).status, CaResponse::Status::kOk);
+}
+
+TEST(EndToEndTest, RepliesAreConsistentAcrossSequentialRequests) {
+  E2e e2e(Replica::Mode::kAtomic, [] { return std::make_unique<CertificationAuthority>(); });
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    CaRequest issue;
+    issue.op = CaRequest::Op::kIssue;
+    issue.subject = "user" + std::to_string(i);
+    issue.credentials = "credential:user" + std::to_string(i);
+    ids.push_back(e2e.client->request(issue.encode()));
+  }
+  ASSERT_TRUE(e2e.run_until_replies(3));
+  // Serial numbers are distinct (the replicas executed in one agreed order).
+  std::set<std::uint64_t> serials;
+  for (std::uint64_t id : ids) {
+    serials.insert(CaResponse::decode(e2e.replies.at(id).reply).serial);
+  }
+  EXPECT_EQ(serials.size(), 3u);
+}
+
+/// Byzantine replica that answers every client request with a forged reply.
+class LyingReplica final : public net::Process {
+ public:
+  LyingReplica(net::Simulator& sim, int id) : sim_(sim), id_(id) {}
+  void on_message(const net::Message& message) override {
+    if (message.tag != "svc") return;
+    // Forge: reply "status denied" with garbage shares to the client.
+    try {
+      Reader r(message.payload);
+      RequestEnvelope envelope = RequestEnvelope::decode(r);
+      Writer w;
+      w.u64(envelope.request_id);
+      CaResponse forged;
+      forged.status = CaResponse::Status::kDenied;
+      w.bytes(forged.encode());
+      w.u32(0);  // zero signature shares
+      net::Message reply;
+      reply.from = id_;
+      reply.to = envelope.client;
+      reply.tag = "svc/reply";
+      reply.payload = w.take();
+      sim_.submit(std::move(reply));
+    } catch (const ProtocolError&) {
+    }
+  }
+
+ private:
+  net::Simulator& sim_;
+  int id_;
+};
+
+TEST(EndToEndTest, ForgedRepliesRejectedFullRun) {
+  // One replica lies to the client; the client's fault-set-exceeding
+  // matching rule means the accepted answer always comes from the honest
+  // majority, and its combined signature verifies.
+  Rng rng(11);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(11);
+  protocols::Cluster<SvcState> cluster(
+      deployment, sched,
+      [&](net::Party& party, int) {
+        auto state = std::make_unique<SvcState>();
+        state->replica = std::make_unique<Replica>(
+            party, "svc", Replica::Mode::kAtomic,
+            std::make_unique<CertificationAuthority>());
+        return state;
+      },
+      0, /*extra_endpoints=*/1, 11);
+  cluster.attach_custom(3, std::make_unique<LyingReplica>(cluster.simulator(), 3));
+  std::map<std::uint64_t, ServiceClient::Receipt> replies;
+  auto client_ptr = std::make_unique<ServiceClient>(
+      cluster.simulator(), 4, deployment, "svc", Replica::Mode::kAtomic, 17,
+      [&](std::uint64_t id, ServiceClient::Receipt receipt) {
+        replies.emplace(id, std::move(receipt));
+      });
+  ServiceClient* client = client_ptr.get();
+  cluster.attach_client(4, std::move(client_ptr));
+  cluster.start();
+
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "eve-target";
+  issue.credentials = "credential:eve-target";
+  Bytes body = issue.encode();
+  std::uint64_t id = client->request(Bytes(body));
+  ASSERT_TRUE(cluster.simulator().run_until([&] { return replies.contains(id); }, 10000000));
+  // The honest answer (kOk) won, not the forged denial.
+  EXPECT_EQ(CaResponse::decode(replies.at(id).reply).status, CaResponse::Status::kOk);
+  EXPECT_TRUE(client->verify_receipt(id, body, replies.at(id)));
+}
+
+TEST(EndToEndTest, GatewayModeWithCorruptGatewayAndResend) {
+  // §5: "one could postulate that one server acts as a gateway to relay
+  // the request to all servers and leave it to the client to resend its
+  // message if it receives no answer within the expected time."  The
+  // gateway here is crashed; the application timeout fires resend().
+  Rng rng(41);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(41);
+  protocols::Cluster<SvcState> cluster(
+      deployment, sched,
+      [&](net::Party& party, int) {
+        auto state = std::make_unique<SvcState>();
+        state->replica = std::make_unique<Replica>(
+            party, "svc", Replica::Mode::kAtomic,
+            std::make_unique<CertificationAuthority>());
+        return state;
+      },
+      /*corrupted=*/crypto::party_bit(3), /*extra_endpoints=*/1, 41);
+  std::map<std::uint64_t, ServiceClient::Receipt> replies;
+  auto client_owner = std::make_unique<ServiceClient>(
+      cluster.simulator(), 4, deployment, "svc", Replica::Mode::kAtomic, 43,
+      [&](std::uint64_t id, ServiceClient::Receipt receipt) {
+        replies.emplace(id, std::move(receipt));
+      });
+  ServiceClient* client = client_owner.get();
+  cluster.attach_client(4, std::move(client_owner));
+  cluster.start();
+
+  client->set_gateway(3);  // the crashed server
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "gw";
+  issue.credentials = "credential:gw";
+  std::uint64_t id = client->request(issue.encode());
+  cluster.simulator().run(200000);
+  EXPECT_TRUE(replies.empty());  // gateway swallowed the request
+  // Application timeout: fall back to broadcasting to everyone.
+  client->resend(id);
+  ASSERT_TRUE(cluster.simulator().run_until([&] { return replies.contains(id); }, 10000000));
+  EXPECT_EQ(CaResponse::decode(replies.at(id).reply).status, CaResponse::Status::kOk);
+}
+
+TEST(EndToEndTest, GatewayModeWithHonestGateway) {
+  Rng rng(47);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(47);
+  protocols::Cluster<SvcState> cluster(
+      deployment, sched,
+      [&](net::Party& party, int) {
+        auto state = std::make_unique<SvcState>();
+        state->replica = std::make_unique<Replica>(
+            party, "svc", Replica::Mode::kAtomic,
+            std::make_unique<CertificationAuthority>());
+        return state;
+      },
+      0, /*extra_endpoints=*/1, 47);
+  std::map<std::uint64_t, ServiceClient::Receipt> replies;
+  auto client_owner = std::make_unique<ServiceClient>(
+      cluster.simulator(), 4, deployment, "svc", Replica::Mode::kAtomic, 49,
+      [&](std::uint64_t id, ServiceClient::Receipt receipt) {
+        replies.emplace(id, std::move(receipt));
+      });
+  ServiceClient* client = client_owner.get();
+  cluster.attach_client(4, std::move(client_owner));
+  cluster.start();
+
+  client->set_gateway(1);
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "gw2";
+  issue.credentials = "credential:gw2";
+  Bytes body = issue.encode();
+  std::uint64_t id = client->request(Bytes(body));
+  ASSERT_TRUE(cluster.simulator().run_until([&] { return replies.contains(id); }, 10000000));
+  EXPECT_TRUE(client->verify_receipt(id, body, replies.at(id)));
+}
+
+}  // namespace
+}  // namespace sintra::app

@@ -1,0 +1,145 @@
+// Authentication service tests: enrolment/grant/revoke lifecycle, wrong
+// credentials, logical clock semantics, end-to-end ticket issuance with a
+// verifiable threshold signature.
+#include <gtest/gtest.h>
+
+#include "app/auth.hpp"
+#include "app/client.hpp"
+#include "protocols/harness.hpp"
+
+namespace sintra::app {
+namespace {
+
+AuthRequest make(AuthRequest::Op op, std::string principal, Bytes secret = {}) {
+  AuthRequest request;
+  request.op = op;
+  request.principal = std::move(principal);
+  request.secret = std::move(secret);
+  return request;
+}
+
+TEST(AuthStateMachineTest, EnrollAuthenticateLifecycle) {
+  AuthenticationService auth(/*session_lifetime=*/50);
+  auto enrolled = AuthResponse::decode(
+      auth.execute(make(AuthRequest::Op::kEnroll, "alice", bytes_of("hunter2")).encode()));
+  EXPECT_EQ(enrolled.status, AuthResponse::Status::kEnrolled);
+
+  auto granted = AuthResponse::decode(auth.execute(
+      make(AuthRequest::Op::kAuthenticate, "alice", bytes_of("hunter2")).encode()));
+  EXPECT_EQ(granted.status, AuthResponse::Status::kGranted);
+  EXPECT_EQ(granted.session_id, 1u);
+  EXPECT_EQ(granted.expires_at, granted.issued_at + 50);
+}
+
+TEST(AuthStateMachineTest, WrongSecretDenied) {
+  AuthenticationService auth;
+  auth.execute(make(AuthRequest::Op::kEnroll, "bob", bytes_of("secret")).encode());
+  auto denied = AuthResponse::decode(auth.execute(
+      make(AuthRequest::Op::kAuthenticate, "bob", bytes_of("wrong")).encode()));
+  EXPECT_EQ(denied.status, AuthResponse::Status::kDenied);
+  EXPECT_EQ(denied.session_id, 0u);
+}
+
+TEST(AuthStateMachineTest, UnknownPrincipal) {
+  AuthenticationService auth;
+  auto response = AuthResponse::decode(auth.execute(
+      make(AuthRequest::Op::kAuthenticate, "ghost", bytes_of("x")).encode()));
+  EXPECT_EQ(response.status, AuthResponse::Status::kUnknownPrincipal);
+}
+
+TEST(AuthStateMachineTest, DoubleEnrollDenied) {
+  AuthenticationService auth;
+  auth.execute(make(AuthRequest::Op::kEnroll, "carol", bytes_of("s1")).encode());
+  auto second = AuthResponse::decode(
+      auth.execute(make(AuthRequest::Op::kEnroll, "carol", bytes_of("s2")).encode()));
+  EXPECT_EQ(second.status, AuthResponse::Status::kDenied);
+  // Original credential still works.
+  auto granted = AuthResponse::decode(auth.execute(
+      make(AuthRequest::Op::kAuthenticate, "carol", bytes_of("s1")).encode()));
+  EXPECT_EQ(granted.status, AuthResponse::Status::kGranted);
+}
+
+TEST(AuthStateMachineTest, RevokeRequiresSecretAndRemoves) {
+  AuthenticationService auth;
+  auth.execute(make(AuthRequest::Op::kEnroll, "dave", bytes_of("s")).encode());
+  auto wrong = AuthResponse::decode(
+      auth.execute(make(AuthRequest::Op::kRevoke, "dave", bytes_of("bad")).encode()));
+  EXPECT_EQ(wrong.status, AuthResponse::Status::kDenied);
+  auto revoked = AuthResponse::decode(
+      auth.execute(make(AuthRequest::Op::kRevoke, "dave", bytes_of("s")).encode()));
+  EXPECT_EQ(revoked.status, AuthResponse::Status::kRevoked);
+  auto after = AuthResponse::decode(auth.execute(
+      make(AuthRequest::Op::kAuthenticate, "dave", bytes_of("s")).encode()));
+  EXPECT_EQ(after.status, AuthResponse::Status::kUnknownPrincipal);
+}
+
+TEST(AuthStateMachineTest, LogicalClockAdvancesPerRequest) {
+  AuthenticationService auth;
+  EXPECT_EQ(auth.clock(), 0u);
+  auth.execute(make(AuthRequest::Op::kTick, "").encode());
+  auth.execute(make(AuthRequest::Op::kTick, "").encode());
+  EXPECT_EQ(auth.clock(), 2u);
+  // Garbage also ticks (every ordered request counts).
+  auth.execute(bytes_of("garbage"));
+  EXPECT_EQ(auth.clock(), 3u);
+}
+
+TEST(AuthStateMachineTest, SessionIdsUnique) {
+  AuthenticationService auth;
+  auth.execute(make(AuthRequest::Op::kEnroll, "eve", bytes_of("s")).encode());
+  std::set<std::uint64_t> sessions;
+  for (int i = 0; i < 5; ++i) {
+    auto granted = AuthResponse::decode(auth.execute(
+        make(AuthRequest::Op::kAuthenticate, "eve", bytes_of("s")).encode()));
+    EXPECT_TRUE(sessions.insert(granted.session_id).second);
+  }
+}
+
+struct SvcState {
+  std::unique_ptr<Replica> replica;
+};
+
+TEST(AuthEndToEndTest, TicketIssuedAndVerifiable) {
+  Rng rng(31);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(31);
+  protocols::Cluster<SvcState> cluster(
+      deployment, sched,
+      [](net::Party& party, int) {
+        auto s = std::make_unique<SvcState>();
+        s->replica = std::make_unique<Replica>(party, "auth", Replica::Mode::kAtomic,
+                                               std::make_unique<AuthenticationService>());
+        return s;
+      },
+      crypto::party_bit(2), /*extra_endpoints=*/1, 31);
+  std::map<std::uint64_t, ServiceClient::Receipt> receipts;
+  auto client_owner = std::make_unique<ServiceClient>(
+      cluster.simulator(), 4, deployment, "auth", Replica::Mode::kAtomic, 7,
+      [&](std::uint64_t id, ServiceClient::Receipt receipt) {
+        receipts.emplace(id, std::move(receipt));
+      });
+  ServiceClient* client = client_owner.get();
+  cluster.attach_client(4, std::move(client_owner));
+  cluster.start();
+
+  std::uint64_t enroll_id =
+      client->request(make(AuthRequest::Op::kEnroll, "alice", bytes_of("pw")).encode());
+  ASSERT_TRUE(
+      cluster.simulator().run_until([&] { return receipts.contains(enroll_id); }, 10000000));
+
+  Bytes auth_body = make(AuthRequest::Op::kAuthenticate, "alice", bytes_of("pw")).encode();
+  std::uint64_t auth_id = client->request(Bytes(auth_body));
+  ASSERT_TRUE(
+      cluster.simulator().run_until([&] { return receipts.contains(auth_id); }, 10000000));
+
+  const auto& ticket = receipts.at(auth_id);
+  auto grant = AuthResponse::decode(ticket.reply);
+  EXPECT_EQ(grant.status, AuthResponse::Status::kGranted);
+  EXPECT_GT(grant.expires_at, grant.issued_at);
+  // The ticket: a single RSA signature under the service key, checkable by
+  // any relying party.
+  EXPECT_TRUE(client->verify_receipt(auth_id, auth_body, ticket));
+}
+
+}  // namespace
+}  // namespace sintra::app

@@ -1,0 +1,336 @@
+// Active Byzantine attack tests: attackers that HOLD their dealt keys and
+// misuse them — replaying shares across instances, forging certificates,
+// injecting bogus shares — plus cross-instance domain-separation checks.
+// These are the attacks the paper's robustness machinery (NIZK validity
+// proofs, statement domain separation, quorum certificates) exists for.
+#include <gtest/gtest.h>
+
+#include "app/ca.hpp"
+#include "app/client.hpp"
+#include "protocols/abba.hpp"
+#include "protocols/harness.hpp"
+
+namespace sintra {
+namespace {
+
+using crypto::BigInt;
+using crypto::CoinShare;
+using crypto::SigShare;
+
+// ---- cross-instance replay (domain separation) ------------------------------
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  ReplayTest() : rng_(42), deployment_(adversary::Deployment::threshold(4, 1, rng_)) {}
+  Rng rng_;
+  adversary::Deployment deployment_;
+};
+
+TEST_F(ReplayTest, CoinShareBoundToName) {
+  // A coin share for instance A replayed into instance B must not verify:
+  // the Chaum–Pedersen proof covers the coin base H(name).
+  const auto& pk = deployment_.keys->public_keys().coin;
+  Bytes name_a = bytes_of("ba/instance-a/coin/1");
+  Bytes name_b = bytes_of("ba/instance-b/coin/1");
+  auto shares = deployment_.keys->share(0).coin.share(pk, name_a, rng_);
+  ASSERT_FALSE(shares.empty());
+  EXPECT_TRUE(pk.verify_share(name_a, shares[0]));
+  EXPECT_FALSE(pk.verify_share(name_b, shares[0]));
+}
+
+TEST_F(ReplayTest, SigShareBoundToStatement) {
+  const auto& pk = deployment_.keys->public_keys().cert_sig;
+  Bytes stmt_a = bytes_of("abba pre r1 v1 instance-a");
+  Bytes stmt_b = bytes_of("abba pre r1 v1 instance-b");
+  auto shares = deployment_.keys->share(1).cert_sig.sign(pk, stmt_a, rng_);
+  EXPECT_TRUE(pk.verify_share(stmt_a, shares[0]));
+  EXPECT_FALSE(pk.verify_share(stmt_b, shares[0]));
+}
+
+TEST_F(ReplayTest, CombinedSignatureBoundToStatement) {
+  const auto& pk = deployment_.keys->public_keys().cert_sig;
+  Bytes stmt_a = bytes_of("statement a");
+  std::vector<SigShare> shares;
+  for (int p = 0; p < 3; ++p) {
+    for (auto& s : deployment_.keys->share(p).cert_sig.sign(pk, stmt_a, rng_)) {
+      shares.push_back(s);
+    }
+  }
+  auto sig = pk.combine(stmt_a, shares);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(pk.verify(stmt_a, *sig));
+  EXPECT_FALSE(pk.verify(bytes_of("statement b"), *sig));
+}
+
+TEST_F(ReplayTest, Tdh2ShareBoundToCiphertext) {
+  const auto& pk = deployment_.keys->public_keys().encryption;
+  auto ct_a = pk.encrypt(bytes_of("a"), bytes_of("l"), rng_);
+  auto ct_b = pk.encrypt(bytes_of("b"), bytes_of("l"), rng_);
+  auto shares = deployment_.keys->share(2).decryption.decrypt_shares(pk, ct_a, rng_);
+  ASSERT_FALSE(shares.empty());
+  EXPECT_TRUE(pk.verify_share(ct_a, shares[0]));
+  EXPECT_FALSE(pk.verify_share(ct_b, shares[0]));
+}
+
+TEST_F(ReplayTest, SharesAcrossKeySchemesDoNotCrossVerify) {
+  // cert_sig and reply_sig are different dealings of different access
+  // structures; shares must not cross-verify even on the same statement.
+  const auto& cert_pk = deployment_.keys->public_keys().cert_sig;
+  const auto& reply_pk = deployment_.keys->public_keys().reply_sig;
+  Bytes stmt = bytes_of("same statement");
+  auto cert_shares = deployment_.keys->share(0).cert_sig.sign(cert_pk, stmt, rng_);
+  EXPECT_FALSE(reply_pk.verify_share(stmt, cert_shares[0]));
+}
+
+TEST_F(ReplayTest, ShareFromOtherPartyNotAttributable) {
+  // Unit-ownership checks: party 1's share claimed by party 0 is detected
+  // because the unit index maps to its true owner.
+  const auto& pk = deployment_.keys->public_keys().cert_sig;
+  Bytes stmt = bytes_of("ownership");
+  auto shares = deployment_.keys->share(1).cert_sig.sign(pk, stmt, rng_);
+  EXPECT_EQ(pk.scheme().unit_owner(shares[0].unit), 1);  // not 0
+}
+
+// ---- active ABBA attacker with keys -----------------------------------------
+
+/// Byzantine voter: sends pre-votes with garbage certificate shares and
+/// fabricated hard justifications for every round it hears about.
+class ForgingVoter final : public net::Process {
+ public:
+  ForgingVoter(net::Simulator& sim, int id, adversary::Deployment deployment,
+               std::uint64_t seed)
+      : party_(sim, id, std::move(deployment), seed), rng_(seed) {}
+
+  void on_start() override {
+    // Round-1 pre-votes with a forged anchor (random BigInt).
+    for (int value : {0, 1}) {
+      Writer w;
+      w.u8(0);  // kPreVote
+      w.u32(1);
+      w.u8(static_cast<std::uint8_t>(value));
+      w.u8(0);  // kJustAnchor
+      BigInt::from_bytes(rng_.bytes(32)).encode(w);  // forged anchor signature
+      w.u32(0);  // zero shares
+      blast(w.take());
+    }
+    // A forged DECIDE certificate.
+    Writer w;
+    w.u8(3);  // kDecide
+    w.u32(1);
+    w.u8(1);
+    BigInt::from_bytes(rng_.bytes(32)).encode(w);
+    blast(w.take());
+  }
+  void on_message(const net::Message&) override {}
+
+ private:
+  void blast(Bytes payload) {
+    for (int to = 0; to < party_.n(); ++to) {
+      if (to == party_.id()) continue;
+      net::Message m;
+      m.from = party_.id();
+      m.to = to;
+      m.tag = "ba/0";
+      m.payload = payload;
+      party_.simulator().submit(std::move(m));
+    }
+  }
+
+  net::Party party_;
+  Rng rng_;
+};
+
+struct AbbaState {
+  std::unique_ptr<protocols::Abba> abba;
+  std::optional<bool> decision;
+};
+
+TEST(AbbaAttackTest, ForgedJustificationsRejectedAndAgreementHolds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(seed * 5);
+    protocols::Cluster<AbbaState> cluster(
+        deployment, sched,
+        [](net::Party& party, int) {
+          auto s = std::make_unique<AbbaState>();
+          s->abba = std::make_unique<protocols::Abba>(
+              party, "ba/0", [p = s.get()](bool v, int) { p->decision = v; });
+          return s;
+        },
+        0, 0, seed);
+    cluster.attach_custom(3, std::make_unique<ForgingVoter>(cluster.simulator(), 3,
+                                                            deployment, seed));
+    cluster.start();
+    // All honest parties propose 1: validity must give 1 despite the
+    // attacker's forged 0-votes and forged DECIDE for... 1 (which is
+    // invalid anyway and must be rejected on signature grounds).
+    cluster.for_each([](int, AbbaState& s) { s.abba->start(true); });
+    ASSERT_TRUE(cluster.run_until_all([](AbbaState& s) { return s.decision.has_value(); },
+                                      3000000))
+        << "seed " << seed;
+    cluster.for_each([&](int, AbbaState& s) {
+      EXPECT_TRUE(*s.decision) << "validity violated under forging attacker, seed " << seed;
+    });
+  }
+}
+
+/// Replays a victim's recorded pre-vote into a different ABBA instance.
+class CrossInstanceReplayer final : public net::Process {
+ public:
+  explicit CrossInstanceReplayer(net::Simulator& sim, int id) : sim_(sim), id_(id) {}
+  void on_message(const net::Message& message) override {
+    // Capture traffic for instance A and mirror it into instance B.
+    if (message.tag != "ba/A") return;
+    net::Message replay = message;
+    replay.from = id_;
+    replay.tag = "ba/B";
+    for (int to = 0; to < sim_.n(); ++to) {
+      if (to == id_) continue;
+      replay.to = to;
+      net::Message copy = replay;
+      sim_.submit(std::move(copy));
+    }
+  }
+
+ private:
+  net::Simulator& sim_;
+  int id_;
+};
+
+struct TwoAbbaState {
+  std::unique_ptr<protocols::Abba> a;
+  std::unique_ptr<protocols::Abba> b;
+  std::optional<bool> decision_a;
+  std::optional<bool> decision_b;
+};
+
+TEST(AbbaAttackTest, CrossInstanceReplayCannotFlipOutcome) {
+  // Instance A decides 1 (all honest input 1); instance B has all honest
+  // input 0.  The attacker mirrors A's traffic into B.  Domain separation
+  // (the instance tag inside every signed statement and coin name) makes
+  // the replayed material worthless: B must still decide 0.
+  Rng rng(9);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(9);
+  protocols::Cluster<TwoAbbaState> cluster(
+      deployment, sched,
+      [](net::Party& party, int) {
+        auto s = std::make_unique<TwoAbbaState>();
+        s->a = std::make_unique<protocols::Abba>(
+            party, "ba/A", [p = s.get()](bool v, int) { p->decision_a = v; });
+        s->b = std::make_unique<protocols::Abba>(
+            party, "ba/B", [p = s.get()](bool v, int) { p->decision_b = v; });
+        return s;
+      },
+      0, 0, 9);
+  cluster.attach_custom(3,
+                        std::make_unique<CrossInstanceReplayer>(cluster.simulator(), 3));
+  cluster.start();
+  cluster.for_each([](int, TwoAbbaState& s) {
+    s.a->start(true);
+    s.b->start(false);
+  });
+  ASSERT_TRUE(cluster.run_until_all(
+      [](TwoAbbaState& s) {
+        return s.decision_a.has_value() && s.decision_b.has_value();
+      },
+      5000000));
+  cluster.for_each([](int, TwoAbbaState& s) {
+    EXPECT_TRUE(*s.decision_a);
+    EXPECT_FALSE(*s.decision_b) << "cross-instance replay flipped the outcome";
+  });
+}
+
+// ---- client-facing attacks ---------------------------------------------------
+
+/// Sends the client a reply with ANOTHER party's (stolen? no — replayed)
+/// signature shares attached under its own sender id.
+class ShareMisattributor final : public net::Process {
+ public:
+  ShareMisattributor(net::Simulator& sim, int id, adversary::Deployment deployment,
+                     std::uint64_t seed)
+      : sim_(sim), id_(id), deployment_(std::move(deployment)), rng_(seed) {}
+
+  void on_message(const net::Message& message) override {
+    if (message.tag != "svc") return;
+    try {
+      Reader r(message.payload);
+      app::RequestEnvelope envelope = app::RequestEnvelope::decode(r);
+      // Craft a denial and sign it with our OWN reply key shares — a real
+      // signature on fraudulent content.  The client must outvote it.
+      app::CaResponse forged;
+      forged.status = app::CaResponse::Status::kDenied;
+      Bytes reply = forged.encode();
+      const Bytes stmt = app::reply_statement("svc", envelope, reply);
+      auto shares = deployment_.keys->share(id_).reply_sig.sign(
+          deployment_.keys->public_keys().reply_sig, stmt, rng_);
+      Writer w;
+      w.u64(envelope.request_id);
+      w.bytes(reply);
+      w.vec(shares, [](Writer& wr, const SigShare& s) { s.encode(wr); });
+      net::Message out;
+      out.from = id_;
+      out.to = envelope.client;
+      out.tag = "svc/reply";
+      out.payload = w.take();
+      sim_.submit(std::move(out));
+    } catch (const ProtocolError&) {
+    }
+  }
+
+ private:
+  net::Simulator& sim_;
+  int id_;
+  adversary::Deployment deployment_;
+  Rng rng_;
+};
+
+struct SvcState {
+  std::unique_ptr<app::Replica> replica;
+};
+
+TEST(ClientAttackTest, ValidlySignedLieStillOutvoted) {
+  // The attacker's reply carries VALID signature shares (it owns the key
+  // share) on fraudulent content.  One fault set cannot exceed itself:
+  // the client's "beyond one corruptible set" rule keeps waiting for a
+  // second voucher for that content, which never comes.
+  Rng rng(21);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(21);
+  protocols::Cluster<SvcState> cluster(
+      deployment, sched,
+      [&](net::Party& party, int) {
+        auto s = std::make_unique<SvcState>();
+        s->replica = std::make_unique<app::Replica>(
+            party, "svc", app::Replica::Mode::kAtomic,
+            std::make_unique<app::CertificationAuthority>());
+        return s;
+      },
+      0, /*extra_endpoints=*/1, 21);
+  cluster.attach_custom(3, std::make_unique<ShareMisattributor>(cluster.simulator(), 3,
+                                                                deployment, 33));
+  std::map<std::uint64_t, app::ServiceClient::Receipt> replies;
+  auto client_owner = std::make_unique<app::ServiceClient>(
+      cluster.simulator(), 4, deployment, "svc", app::Replica::Mode::kAtomic, 17,
+      [&](std::uint64_t id, app::ServiceClient::Receipt receipt) {
+        replies.emplace(id, std::move(receipt));
+      });
+  app::ServiceClient* client = client_owner.get();
+  cluster.attach_client(4, std::move(client_owner));
+  cluster.start();
+
+  app::CaRequest issue;
+  issue.op = app::CaRequest::Op::kIssue;
+  issue.subject = "victim";
+  issue.credentials = "credential:victim";
+  Bytes body = issue.encode();
+  std::uint64_t id = client->request(Bytes(body));
+  ASSERT_TRUE(cluster.simulator().run_until([&] { return replies.contains(id); }, 10000000));
+  EXPECT_EQ(app::CaResponse::decode(replies.at(id).reply).status,
+            app::CaResponse::Status::kOk);
+  EXPECT_TRUE(client->verify_receipt(id, body, replies.at(id)));
+}
+
+}  // namespace
+}  // namespace sintra

@@ -1,0 +1,150 @@
+// Secure causal atomic broadcast tests: identical sequencing, duplicate
+// ciphertext suppression, rejection of invalid ciphertexts, and the
+// confidentiality-until-ordering property (front-running resistance).
+#include <gtest/gtest.h>
+
+#include "protocols/causal.hpp"
+#include "protocols/harness.hpp"
+
+namespace sintra::protocols {
+namespace {
+
+using crypto::party_bit;
+
+struct ScState {
+  std::unique_ptr<SecureCausalBroadcast> sc;
+  std::vector<std::pair<std::uint64_t, Bytes>> delivered;
+};
+
+Cluster<ScState> make_cluster(adversary::Deployment deployment, net::Scheduler& sched,
+                              crypto::PartySet corrupted = 0, std::uint64_t seed = 1) {
+  return Cluster<ScState>(
+      std::move(deployment), sched,
+      [](net::Party& party, int) {
+        auto state = std::make_unique<ScState>();
+        state->sc = std::make_unique<SecureCausalBroadcast>(
+            party, "sc", [s = state.get()](std::uint64_t seq, Bytes plaintext, Bytes) {
+              s->delivered.emplace_back(seq, std::move(plaintext));
+            });
+        return state;
+      },
+      corrupted, 0, seed);
+}
+
+TEST(CausalTest, RoundTripWithIdenticalSequencing) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(seed * 3);
+    auto cluster = make_cluster(deployment, sched, 0, seed);
+    cluster.start();
+    Rng crng(seed + 100);
+    const auto& pk = deployment.keys->public_keys().encryption;
+    auto ct1 = pk.encrypt(bytes_of("first"), bytes_of("svc"), crng);
+    auto ct2 = pk.encrypt(bytes_of("second"), bytes_of("svc"), crng);
+    cluster.protocol(0)->sc->submit(ct1);
+    cluster.protocol(1)->sc->submit(ct2);
+    ASSERT_TRUE(cluster.run_until_all([](ScState& s) { return s.delivered.size() >= 2; },
+                                      5000000))
+        << "seed " << seed;
+    // Identical (sequence, plaintext) at every party.
+    auto& reference = cluster.protocol(0)->delivered;
+    cluster.for_each([&](int, ScState& s) { EXPECT_EQ(s.delivered, reference); });
+    EXPECT_EQ(reference[0].first, 0u);
+    EXPECT_EQ(reference[1].first, 1u);
+  }
+}
+
+TEST(CausalTest, DuplicateCiphertextDeliveredOnce) {
+  // A client sends the same ciphertext to several servers: one delivery.
+  Rng rng(7);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(7);
+  auto cluster = make_cluster(deployment, sched);
+  cluster.start();
+  Rng crng(9);
+  const auto& pk = deployment.keys->public_keys().encryption;
+  auto ct = pk.encrypt(bytes_of("once"), bytes_of("svc"), crng);
+  cluster.for_each([&](int, ScState& s) { s.sc->submit(ct); });
+  ASSERT_TRUE(cluster.run_until_all([](ScState& s) { return s.delivered.size() >= 1; },
+                                    3000000));
+  cluster.simulator().run(300000);
+  cluster.for_each([](int, ScState& s) { EXPECT_EQ(s.delivered.size(), 1u); });
+}
+
+TEST(CausalTest, InvalidCiphertextRefusedAtSubmission) {
+  Rng rng(8);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(8);
+  auto cluster = make_cluster(deployment, sched);
+  cluster.start();
+  Rng crng(10);
+  const auto& pk = deployment.keys->public_keys().encryption;
+  auto ct = pk.encrypt(bytes_of("x"), bytes_of("svc"), crng);
+  ct.data.push_back(0x00);  // breaks the proof
+  EXPECT_THROW(cluster.protocol(0)->sc->submit(ct), ProtocolError);
+}
+
+TEST(CausalTest, ToleratesCrashedParties) {
+  Rng rng(9);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(9);
+  auto cluster = make_cluster(deployment, sched, party_bit(3), 9);
+  cluster.start();
+  Rng crng(11);
+  const auto& pk = deployment.keys->public_keys().encryption;
+  cluster.protocol(0)->sc->submit(pk.encrypt(bytes_of("resilient"), bytes_of("svc"), crng));
+  EXPECT_TRUE(cluster.run_until_all([](ScState& s) { return s.delivered.size() >= 1; },
+                                    3000000));
+}
+
+TEST(CausalTest, CiphertextRevealsNothingBeforeOrdering) {
+  // Structural confidentiality check: the ciphertext bytes that cross the
+  // network before ordering contain no plaintext substring, and with fewer
+  // than t+1 decryption shares the adversary's combine fails.
+  Rng rng(12);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  const auto& pk = deployment.keys->public_keys().encryption;
+  Rng crng(13);
+  Bytes secret = bytes_of("SECRET-PATENT-CLAIMS");
+  auto ct = pk.encrypt(secret, bytes_of("notary"), crng);
+  Writer w;
+  ct.encode(w, pk.group());
+  const Bytes& wire = w.data();
+  // No contiguous 4-byte window of the plaintext appears on the wire.
+  for (std::size_t i = 0; i + 4 <= secret.size(); ++i) {
+    auto it = std::search(wire.begin(), wire.end(), secret.begin() + static_cast<long>(i),
+                          secret.begin() + static_cast<long>(i + 4));
+    EXPECT_EQ(it, wire.end());
+  }
+  // Adversary holds t = 1 party's key: cannot decrypt alone.
+  Rng arng(14);
+  auto shares = deployment.keys->share(2).decryption.decrypt_shares(pk, ct, arng);
+  EXPECT_FALSE(pk.combine(ct, shares).has_value());
+}
+
+TEST(CausalTest, SequencesContiguousAcrossManySubmissions) {
+  Rng rng(15);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(15);
+  auto cluster = make_cluster(deployment, sched);
+  cluster.start();
+  Rng crng(16);
+  const auto& pk = deployment.keys->public_keys().encryption;
+  const int total = 8;
+  for (int k = 0; k < total; ++k) {
+    auto ct = pk.encrypt(bytes_of("doc" + std::to_string(k)), bytes_of("svc"), crng);
+    cluster.protocol(k % 4)->sc->submit(ct);
+  }
+  ASSERT_TRUE(cluster.run_until_all(
+      [&](ScState& s) { return s.delivered.size() >= static_cast<std::size_t>(total); },
+      20000000));
+  cluster.for_each([&](int, ScState& s) {
+    for (int k = 0; k < total; ++k) {
+      EXPECT_EQ(s.delivered[static_cast<std::size_t>(k)].first, static_cast<std::uint64_t>(k));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sintra::protocols

@@ -1,0 +1,154 @@
+// Threshold coin tests: agreement across disjoint qualified share sets,
+// robustness against corrupted shares, unpredictability proxies, and the
+// generalized-structure instantiation.
+#include <gtest/gtest.h>
+
+#include "adversary/examples.hpp"
+#include "crypto/coin.hpp"
+#include "crypto/shamir.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+class CoinTest : public ::testing::Test {
+ protected:
+  CoinTest() : rng_(99), deal_(CoinDeal::deal(Group::test_group(),
+                                              std::make_shared<ThresholdScheme>(7, 2), rng_)) {}
+
+  std::vector<CoinShare> shares_for(BytesView name, std::initializer_list<int> parties) {
+    std::vector<CoinShare> out;
+    for (int p : parties) {
+      for (auto& s : deal_.secret_keys[static_cast<std::size_t>(p)].share(deal_.public_key,
+                                                                          name, rng_)) {
+        out.push_back(s);
+      }
+    }
+    return out;
+  }
+
+  Rng rng_;
+  CoinDeal deal_;
+};
+
+TEST_F(CoinTest, SharesVerify) {
+  Bytes name = bytes_of("coin-0");
+  for (const auto& share : shares_for(name, {0, 1, 2, 3, 4, 5, 6})) {
+    EXPECT_TRUE(deal_.public_key.verify_share(name, share));
+  }
+}
+
+TEST_F(CoinTest, DisjointQualifiedSetsAgree) {
+  Bytes name = bytes_of("coin-agree");
+  auto a = deal_.public_key.combine(name, shares_for(name, {0, 1, 2}));
+  auto b = deal_.public_key.combine(name, shares_for(name, {3, 4, 5}));
+  auto c = deal_.public_key.combine(name, shares_for(name, {6, 0, 4}));
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(*b, *c);
+}
+
+TEST_F(CoinTest, UnqualifiedSetFails) {
+  Bytes name = bytes_of("coin-few");
+  EXPECT_FALSE(deal_.public_key.combine(name, shares_for(name, {0, 1})).has_value());
+  EXPECT_FALSE(deal_.public_key.combine(name, {}).has_value());
+}
+
+TEST_F(CoinTest, DifferentNamesDifferentCoins) {
+  // 32 coins; all equal would mean the oracle is constant — astronomically
+  // unlikely for a working implementation.
+  std::set<Bytes> values;
+  for (int i = 0; i < 32; ++i) {
+    Bytes name = bytes_of("coin-" + std::to_string(i));
+    auto v = deal_.public_key.combine(name, shares_for(name, {1, 3, 5}));
+    ASSERT_TRUE(v.has_value());
+    values.insert(*v);
+  }
+  EXPECT_GT(values.size(), 16u);
+}
+
+TEST_F(CoinTest, CoinBitsBalanced) {
+  int ones = 0;
+  const int total = 200;
+  for (int i = 0; i < total; ++i) {
+    Bytes name = bytes_of("bit-" + std::to_string(i));
+    auto v = deal_.public_key.combine(name, shares_for(name, {0, 2, 4}));
+    ASSERT_TRUE(v.has_value());
+    if (CoinPublicKey::coin_bit(*v)) ++ones;
+  }
+  // Fair coin: expect roughly half; allow wide tolerance (5 sigma ~ 35).
+  EXPECT_GT(ones, 50);
+  EXPECT_LT(ones, 150);
+}
+
+TEST_F(CoinTest, CorruptedShareRejected) {
+  Bytes name = bytes_of("coin-corrupt");
+  auto shares = shares_for(name, {0, 1, 2});
+  // Tamper with the value but keep the proof: must fail verification.
+  CoinShare bad = shares[0];
+  bad.value = deal_.public_key.group().mul(bad.value, deal_.public_key.group().g());
+  EXPECT_FALSE(deal_.public_key.verify_share(name, bad));
+  // Share for a different coin name replayed here: must fail.
+  Bytes other = bytes_of("coin-other");
+  auto replay = shares_for(other, {3});
+  EXPECT_FALSE(deal_.public_key.verify_share(name, replay[0]));
+}
+
+TEST_F(CoinTest, OutOfRangeUnitRejected) {
+  Bytes name = bytes_of("coin-unit");
+  auto shares = shares_for(name, {0});
+  CoinShare bad = shares[0];
+  bad.unit = 99;
+  EXPECT_FALSE(deal_.public_key.verify_share(name, bad));
+}
+
+TEST_F(CoinTest, AdversaryShareViewDoesNotDetermineCoin) {
+  // With only t = 2 shares the combine refuses; this is the structural
+  // counterpart of unpredictability (the full reduction is DDH).
+  Bytes name = bytes_of("coin-secret");
+  auto adversary_view = shares_for(name, {5, 6});
+  EXPECT_FALSE(deal_.public_key.combine(name, adversary_view).has_value());
+}
+
+TEST_F(CoinTest, SerializationRoundTrip) {
+  Bytes name = bytes_of("coin-ser");
+  auto shares = shares_for(name, {2});
+  Writer w;
+  shares[0].encode(w, deal_.public_key.group());
+  Reader r(w.data());
+  CoinShare decoded = CoinShare::decode(r, deal_.public_key.group());
+  r.expect_done();
+  EXPECT_TRUE(deal_.public_key.verify_share(name, decoded));
+}
+
+TEST(CoinGeneralTest, WorksOverExample1Lsss) {
+  // Coin over the paper's Example 1 structure: any three servers covering
+  // two classes combine; a whole class alone cannot.
+  Rng rng(7);
+  auto scheme = std::make_shared<adversary::LsssScheme>(adversary::example1_access(), 9);
+  CoinDeal deal = CoinDeal::deal(Group::test_group(), scheme, rng);
+  Bytes name = bytes_of("general-coin");
+
+  auto collect = [&](std::initializer_list<int> parties) {
+    std::vector<CoinShare> out;
+    for (int p : parties) {
+      for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].share(deal.public_key, name,
+                                                                         rng)) {
+        EXPECT_TRUE(deal.public_key.verify_share(name, s));
+        out.push_back(s);
+      }
+    }
+    return out;
+  };
+
+  auto a = deal.public_key.combine(name, collect({0, 4, 8}));   // classes a, b, d
+  auto b = deal.public_key.combine(name, collect({5, 6, 7}));   // classes b, c
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, *b);
+  // All of class a (four servers, one class): corruptible, must fail.
+  EXPECT_FALSE(deal.public_key.combine(name, collect({0, 1, 2, 3})).has_value());
+  // Two arbitrary servers: corruptible, must fail.
+  EXPECT_FALSE(deal.public_key.combine(name, collect({4, 8})).has_value());
+}
+
+}  // namespace
+}  // namespace sintra::crypto

@@ -1,0 +1,210 @@
+// Unit tests for the common substrate: bytes, serialization, RNG, trace log.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace sintra {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(BytesTest, HexEmpty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, BytesOf) {
+  Bytes b = bytes_of("hi");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 'h');
+  EXPECT_EQ(b[1], 'i');
+}
+
+TEST(BytesTest, PrintableMasksControlBytes) {
+  Bytes data = {0x41, 0x00, 0x42, 0x7f};
+  EXPECT_EQ(printable(data), "A.B.");
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  EXPECT_TRUE(constant_time_equal(bytes_of("abc"), bytes_of("abc")));
+  EXPECT_FALSE(constant_time_equal(bytes_of("abc"), bytes_of("abd")));
+  EXPECT_FALSE(constant_time_equal(bytes_of("abc"), bytes_of("abcd")));
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(BytesTest, Append) {
+  Bytes dst = bytes_of("ab");
+  append(dst, bytes_of("cd"));
+  EXPECT_EQ(dst, bytes_of("abcd"));
+}
+
+TEST(SerializeTest, IntegerRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.boolean(true);
+  w.boolean(false);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerializeTest, BytesAndStrings) {
+  Writer w;
+  w.bytes(bytes_of("payload"));
+  w.str("label");
+  w.raw(bytes_of("xy"));
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), bytes_of("payload"));
+  EXPECT_EQ(r.str(), "label");
+  EXPECT_EQ(r.raw(2), bytes_of("xy"));
+  r.expect_done();
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  Writer w;
+  std::vector<std::uint32_t> values = {1, 2, 3, 42};
+  w.vec(values, [](Writer& wr, std::uint32_t v) { wr.u32(v); });
+  Reader r(w.data());
+  auto out = r.vec<std::uint32_t>([](Reader& rd) { return rd.u32(); });
+  EXPECT_EQ(out, values);
+}
+
+TEST(SerializeTest, TruncatedInputThrows) {
+  Writer w;
+  w.u32(7);
+  Bytes data = w.take();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_THROW(r.u32(), ProtocolError);
+}
+
+TEST(SerializeTest, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), ProtocolError);
+}
+
+TEST(SerializeTest, InvalidBooleanThrows) {
+  Bytes data = {2};
+  Reader r(data);
+  EXPECT_THROW(r.boolean(), ProtocolError);
+}
+
+TEST(SerializeTest, ImplausibleVectorCountThrows) {
+  Writer w;
+  w.u32(0xffffffffu);  // count far beyond remaining bytes
+  Reader r(w.data());
+  EXPECT_THROW(r.vec<std::uint8_t>([](Reader& rd) { return rd.u8(); }), ProtocolError);
+}
+
+TEST(SerializeTest, TruncatedStringThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8('x');
+  Reader r(w.data());
+  EXPECT_THROW(r.str(), ProtocolError);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GE(differing, 15);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Rng rng(9);
+  std::array<int, 4> histogram{};
+  for (int i = 0; i < 4000; ++i) histogram[rng.below(4)]++;
+  for (int count : histogram) EXPECT_GT(count, 800);  // roughly uniform
+}
+
+TEST(RngTest, BytesLength) {
+  Rng rng(3);
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 31u, 64u}) {
+    EXPECT_EQ(rng.bytes(len).size(), len);
+  }
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // The child stream must not replay the parent stream.
+  Rng parent2(5);
+  parent2.next();  // same position as parent after fork
+  EXPECT_NE(child.next(), parent2.next());
+}
+
+TEST(TraceLogTest, DisabledByDefault) {
+  TraceLog log;
+  log.emit(TraceLevel::kInfo, 0, "x", "y");
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(TraceLogTest, RecordsWhenEnabled) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.set_time_source([] { return std::uint64_t{99}; });
+  log.emit(TraceLevel::kWarn, 3, "abba", "decided");
+  ASSERT_EQ(log.events().size(), 1u);
+  EXPECT_EQ(log.events()[0].time, 99u);
+  EXPECT_EQ(log.events()[0].party, 3);
+  EXPECT_EQ(log.events()[0].component, "abba");
+}
+
+TEST(TraceLogTest, FilterByComponent) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.emit(TraceLevel::kInfo, 0, "a", "1");
+  log.emit(TraceLevel::kInfo, 0, "b", "2");
+  log.emit(TraceLevel::kInfo, 0, "a", "3");
+  EXPECT_EQ(log.by_component("a").size(), 2u);
+  EXPECT_EQ(log.by_component("b").size(), 1u);
+  EXPECT_EQ(log.by_component("c").size(), 0u);
+}
+
+}  // namespace
+}  // namespace sintra

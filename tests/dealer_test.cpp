@@ -1,0 +1,157 @@
+// Dealer tests: the one-shot trusted setup of §2 — key-material
+// consistency across all four subsystems, pairwise channel-key symmetry,
+// access-structure wiring, and the weighted-threshold construction.
+#include <gtest/gtest.h>
+
+#include "adversary/examples.hpp"
+#include "adversary/lsss.hpp"
+#include "crypto/dealer.hpp"
+#include "crypto/shamir.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+TEST(DealerTest, BundleShapesConsistent) {
+  Rng rng(1);
+  KeyBundle bundle = KeyBundle::deal_threshold(4, 1, rng);
+  EXPECT_EQ(bundle.num_parties(), 4);
+  const auto& pk = bundle.public_keys();
+  EXPECT_EQ(pk.coin.scheme().num_parties(), 4);
+  EXPECT_EQ(pk.cert_sig.scheme().num_parties(), 4);
+  EXPECT_EQ(pk.reply_sig.scheme().num_parties(), 4);
+  EXPECT_EQ(pk.encryption.scheme().num_parties(), 4);
+  // Low schemes qualify at t+1 = 2; the high (certificate) scheme at n-t = 3.
+  EXPECT_TRUE(pk.coin.scheme().qualified(full_set(2)));
+  EXPECT_FALSE(pk.cert_sig.scheme().qualified(full_set(2)));
+  EXPECT_TRUE(pk.cert_sig.scheme().qualified(full_set(3)));
+}
+
+TEST(DealerTest, ChannelKeysSymmetricAndDistinct) {
+  Rng rng(2);
+  KeyBundle bundle = KeyBundle::deal_threshold(5, 1, rng);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(bundle.share(i).channel_keys.size(), 5u);
+    for (int j = 0; j < 5; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(bundle.share(i).channel_keys[static_cast<std::size_t>(j)],
+                bundle.share(j).channel_keys[static_cast<std::size_t>(i)])
+          << i << "," << j;
+      EXPECT_EQ(bundle.share(i).channel_keys[static_cast<std::size_t>(j)].size(), 32u);
+    }
+  }
+  // Distinct pairs get distinct keys.
+  EXPECT_NE(bundle.share(0).channel_keys[1], bundle.share(0).channel_keys[2]);
+}
+
+TEST(DealerTest, SecretSharesMatchPublicVerification) {
+  Rng rng(3);
+  KeyBundle bundle = KeyBundle::deal_threshold(4, 1, rng);
+  const auto& coin_pk = bundle.public_keys().coin;
+  const auto& group = coin_pk.group();
+  for (int party = 0; party < 4; ++party) {
+    for (const auto& [unit, x] : bundle.share(party).coin.unit_shares()) {
+      EXPECT_EQ(group.exp_g(x), coin_pk.verification(unit));
+      EXPECT_EQ(coin_pk.scheme().unit_owner(unit), party);
+    }
+  }
+}
+
+TEST(DealerTest, IndependentDealsProduceIndependentKeys) {
+  Rng rng_a(4);
+  Rng rng_b(5);
+  KeyBundle a = KeyBundle::deal_threshold(4, 1, rng_a);
+  KeyBundle b = KeyBundle::deal_threshold(4, 1, rng_b);
+  EXPECT_NE(a.public_keys().encryption.h(), b.public_keys().encryption.h());
+  EXPECT_NE(a.public_keys().coin.verification(0), b.public_keys().coin.verification(0));
+  // Shares from deployment A are useless under deployment B's keys.
+  Bytes name = bytes_of("cross-deployment");
+  auto shares = a.share(0).coin.share(a.public_keys().coin, name, rng_a);
+  EXPECT_FALSE(b.public_keys().coin.verify_share(name, shares[0]));
+}
+
+TEST(DealerTest, RejectsMismatchedPartyCounts) {
+  Rng rng(6);
+  auto low = std::make_shared<const ThresholdScheme>(4, 1);
+  auto high = std::make_shared<const ThresholdScheme>(5, 2);
+  EXPECT_THROW(KeyBundle::deal(Group::test_group(), low, high, RsaParams::precomputed(128),
+                               rng),
+               ProtocolError);
+}
+
+TEST(DealerTest, ResilienceBoundEnforced) {
+  Rng rng(7);
+  EXPECT_THROW(KeyBundle::deal_threshold(3, 1, rng), ProtocolError);
+  EXPECT_NO_THROW(KeyBundle::deal_threshold(4, 1, rng));
+}
+
+TEST(WeightedThresholdTest, QualificationByWeight) {
+  // Party weights {3, 2, 1, 1}, threshold 4: {0,1} qualifies (5 >= 4),
+  // {1,2,3} qualifies (4), {0,3} qualifies (4), {1,2} does not (3).
+  using adversary::Formula;
+  Formula f = Formula::weighted_threshold({3, 2, 1, 1}, 4);
+  EXPECT_TRUE(f.eval(crypto::set_of({0, 1})));
+  EXPECT_TRUE(f.eval(crypto::set_of({1, 2, 3})));
+  EXPECT_TRUE(f.eval(crypto::set_of({0, 3})));
+  EXPECT_FALSE(f.eval(crypto::set_of({1, 2})));
+  EXPECT_FALSE(f.eval(crypto::set_of({0})));
+}
+
+TEST(WeightedThresholdTest, LsssSharesByWeight) {
+  // The heavy party holds more units; reconstruction respects weights.
+  using adversary::Formula;
+  using adversary::LsssScheme;
+  Rng rng(8);
+  LsssScheme scheme(Formula::weighted_threshold({3, 2, 1, 1}, 4), 4);
+  EXPECT_EQ(scheme.num_units(), 7);
+  EXPECT_EQ(scheme.units_of(0).size(), 3u);
+  EXPECT_EQ(scheme.units_of(1).size(), 2u);
+  BigInt q = Group::test_group()->q();
+  BigInt secret = BigInt::random_below(rng, q);
+  auto units = scheme.deal(secret, q, rng);
+  std::map<int, BigInt> available;
+  for (int u : scheme.units_of(0)) available[u] = units[static_cast<std::size_t>(u)];
+  for (int u : scheme.units_of(1)) available[u] = units[static_cast<std::size_t>(u)];
+  EXPECT_EQ(scheme.reconstruct(available, q), secret);
+  EXPECT_THROW(scheme.coefficients(crypto::set_of({1, 2})), ProtocolError);
+}
+
+TEST(WeightedThresholdTest, CoinOverWeightedScheme) {
+  // Full primitive over a weighted structure: the weight-3 party plus the
+  // weight-1 party combine (4 >= 4); two weight-1 parties cannot.
+  using adversary::Formula;
+  using adversary::LsssScheme;
+  Rng rng(9);
+  auto scheme =
+      std::make_shared<LsssScheme>(Formula::weighted_threshold({3, 2, 1, 1}, 4), 4);
+  auto deal = CoinDeal::deal(Group::test_group(), scheme, rng);
+  Bytes name = bytes_of("weighted-coin");
+  auto collect = [&](std::initializer_list<int> parties) {
+    std::vector<CoinShare> out;
+    for (int p : parties) {
+      for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].share(deal.public_key,
+                                                                         name, rng)) {
+        out.push_back(s);
+      }
+    }
+    return out;
+  };
+  EXPECT_TRUE(deal.public_key.combine(name, collect({0, 3})).has_value());
+  EXPECT_FALSE(deal.public_key.combine(name, collect({2, 3})).has_value());
+}
+
+TEST(DealerTest, GeneralizedBundleOverExample1) {
+  Rng rng(10);
+  auto deployment = adversary::example1_deployment(rng);
+  // Class-a parties hold several low-scheme units (they appear in several
+  // formula leaves); unit ownership must be consistent everywhere.
+  const auto& pk = deployment.keys->public_keys();
+  for (int party = 0; party < 9; ++party) {
+    for (const auto& [unit, x] : deployment.keys->share(party).coin.unit_shares()) {
+      EXPECT_EQ(pk.coin.scheme().unit_owner(unit), party);
+      EXPECT_EQ(pk.coin.group().exp_g(x), pk.coin.verification(unit));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sintra::crypto

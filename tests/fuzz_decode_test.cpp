@@ -1,0 +1,176 @@
+// Decoder robustness: every wire-format decoder in the system must reject
+// malformed input with ProtocolError — never crash, hang, or silently
+// accept — because every decoder is reachable from Byzantine peers.
+// Seeded pseudo-random fuzzing plus targeted truncation sweeps.
+#include <gtest/gtest.h>
+
+#include "app/ca.hpp"
+#include "app/directory.hpp"
+#include "app/notary.hpp"
+#include "crypto/coin.hpp"
+#include "crypto/tdh2.hpp"
+#include "crypto/shamir.hpp"
+#include "crypto/threshold_sig.hpp"
+#include "protocols/consistent.hpp"
+
+namespace sintra {
+namespace {
+
+using crypto::Group;
+
+/// Run `decode` over pseudo-random buffers; it must either succeed or
+/// throw ProtocolError.  Anything else (crash, other exception) fails.
+template <typename Fn>
+void fuzz(Fn&& decode, std::uint64_t seed, int iterations = 300) {
+  Rng rng(seed);
+  for (int i = 0; i < iterations; ++i) {
+    Bytes buffer = rng.bytes(rng.below(200));
+    try {
+      decode(buffer);
+    } catch (const ProtocolError&) {
+      // expected for garbage
+    }
+  }
+}
+
+/// Run `decode` over every truncation of a VALID encoding; all strict
+/// prefixes must throw (no silent partial parse).
+template <typename Fn>
+void truncation_sweep(const Bytes& valid, Fn&& decode) {
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(decode(truncated), ProtocolError) << "prefix length " << len;
+  }
+  EXPECT_NO_THROW(decode(valid));
+}
+
+TEST(FuzzTest, BigIntDecode) {
+  fuzz([](const Bytes& b) {
+    Reader r(b);
+    auto v = crypto::BigInt::decode(r);
+    r.expect_done();
+    (void)v;
+  }, 1);
+}
+
+TEST(FuzzTest, CoinShareDecode) {
+  auto group = Group::test_group();
+  fuzz([&](const Bytes& b) {
+    Reader r(b);
+    auto s = crypto::CoinShare::decode(r, *group);
+    r.expect_done();
+    (void)s;
+  }, 2);
+}
+
+TEST(FuzzTest, CoinShareTruncation) {
+  Rng rng(3);
+  auto deal = crypto::CoinDeal::deal(Group::test_group(),
+                                     std::make_shared<crypto::ThresholdScheme>(4, 1), rng);
+  auto shares = deal.secret_keys[0].share(deal.public_key, bytes_of("n"), rng);
+  Writer w;
+  shares[0].encode(w, deal.public_key.group());
+  truncation_sweep(w.data(), [&](const Bytes& b) {
+    Reader r(b);
+    crypto::CoinShare::decode(r, deal.public_key.group());
+    r.expect_done();
+  });
+}
+
+TEST(FuzzTest, SigShareDecode) {
+  fuzz([](const Bytes& b) {
+    Reader r(b);
+    auto s = crypto::SigShare::decode(r);
+    r.expect_done();
+    (void)s;
+  }, 4);
+}
+
+TEST(FuzzTest, Tdh2CiphertextDecode) {
+  auto group = Group::test_group();
+  fuzz([&](const Bytes& b) {
+    Reader r(b);
+    auto ct = crypto::Tdh2Ciphertext::decode(r, *group);
+    r.expect_done();
+    (void)ct;
+  }, 5);
+}
+
+TEST(FuzzTest, Tdh2CiphertextTruncation) {
+  Rng rng(6);
+  auto deal = crypto::Tdh2Deal::deal(Group::test_group(),
+                                     std::make_shared<crypto::ThresholdScheme>(4, 1), rng);
+  auto ct = deal.public_key.encrypt(bytes_of("msg"), bytes_of("l"), rng);
+  Writer w;
+  ct.encode(w, deal.public_key.group());
+  truncation_sweep(w.data(), [&](const Bytes& b) {
+    Reader r(b);
+    crypto::Tdh2Ciphertext::decode(r, deal.public_key.group());
+    r.expect_done();
+  });
+}
+
+TEST(FuzzTest, Tdh2DecShareDecode) {
+  auto group = Group::test_group();
+  fuzz([&](const Bytes& b) {
+    Reader r(b);
+    auto s = crypto::Tdh2DecShare::decode(r, *group);
+    r.expect_done();
+    (void)s;
+  }, 7);
+}
+
+TEST(FuzzTest, CertifiedMessageDecode) {
+  fuzz([](const Bytes& b) {
+    Reader r(b);
+    auto cm = protocols::CertifiedMessage::decode(r);
+    r.expect_done();
+    (void)cm;
+  }, 8);
+}
+
+TEST(FuzzTest, ServiceRequestDecoders) {
+  fuzz([](const Bytes& b) { app::CaRequest::decode(b); }, 9);
+  fuzz([](const Bytes& b) { app::CaResponse::decode(b); }, 10);
+  fuzz([](const Bytes& b) { app::DirRequest::decode(b); }, 11);
+  fuzz([](const Bytes& b) { app::DirResponse::decode(b); }, 12);
+  fuzz([](const Bytes& b) { app::NotaryRequest::decode(b); }, 13);
+  fuzz([](const Bytes& b) { app::NotaryResponse::decode(b); }, 14);
+}
+
+TEST(FuzzTest, StateMachinesNeverThrowOnGarbage) {
+  // execute() must be total: garbage requests produce error *responses*
+  // (the replicas must stay deterministic and alive).
+  Rng rng(15);
+  app::CertificationAuthority ca;
+  app::SecureDirectory dir;
+  app::Notary notary;
+  for (int i = 0; i < 200; ++i) {
+    Bytes garbage = rng.bytes(rng.below(100));
+    EXPECT_NO_THROW(ca.execute(garbage));
+    EXPECT_NO_THROW(dir.execute(garbage));
+    EXPECT_NO_THROW(notary.execute(garbage));
+  }
+}
+
+TEST(FuzzTest, GroupElementDecodeRejectsRandomBytes) {
+  // A random p-sized buffer is almost never in the order-q subgroup; the
+  // decoder must reject, not accept-and-corrupt.
+  auto group = Group::test_group();
+  Rng rng(16);
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    Bytes buffer = rng.bytes(group->element_bytes());
+    try {
+      Reader r(buffer);
+      group->decode_element(r);
+      ++accepted;
+    } catch (const ProtocolError&) {
+    }
+  }
+  // Subgroup density is q/p ~ 2^-128: zero acceptances expected.
+  EXPECT_EQ(accepted, 0);
+}
+
+}  // namespace
+}  // namespace sintra

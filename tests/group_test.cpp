@@ -1,0 +1,135 @@
+// Schnorr group tests: parameter validation (the hard-coded sets are
+// re-verified here), element/scalar algebra, and the random oracles into
+// the group.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/group.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+class GroupParamTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  [[nodiscard]] GroupPtr group() const {
+    const std::string which = GetParam();
+    if (which == "test") return Group::test_group();
+    if (which == "default") return Group::default_group();
+    return Group::big_group();
+  }
+};
+
+TEST_P(GroupParamTest, ParametersAreValid) {
+  GroupPtr g = group();
+  Rng rng(1);
+  EXPECT_TRUE(g->p().is_probable_prime(rng));
+  EXPECT_TRUE(g->q().is_probable_prime(rng));
+  EXPECT_TRUE(((g->p() - BigInt(1)) % g->q()).is_zero());
+  EXPECT_TRUE(g->is_element(g->g()));
+  EXPECT_FALSE(g->g().is_one());
+  // Generator has order exactly q (q prime, g != 1, g^q = 1).
+  EXPECT_TRUE(BigInt::pow_mod(g->g(), g->q(), g->p()).is_one());
+}
+
+TEST_P(GroupParamTest, ExponentiationLaws) {
+  GroupPtr g = group();
+  Rng rng(2);
+  BigInt a = g->random_scalar(rng);
+  BigInt b = g->random_scalar(rng);
+  // g^(a+b) = g^a * g^b
+  EXPECT_EQ(g->exp_g(g->scalar_add(a, b)), g->mul(g->exp_g(a), g->exp_g(b)));
+  // (g^a)^b = (g^b)^a
+  EXPECT_EQ(g->exp(g->exp_g(a), b), g->exp(g->exp_g(b), a));
+  // g^0 = 1
+  EXPECT_TRUE(g->exp_g(BigInt(0)).is_one());
+}
+
+TEST_P(GroupParamTest, InverseAndIdentity) {
+  GroupPtr g = group();
+  Rng rng(3);
+  BigInt a = g->exp_g(g->random_scalar(rng));
+  EXPECT_TRUE(g->mul(a, g->inv(a)).is_one());
+  EXPECT_EQ(g->mul(a, g->identity()), a);
+}
+
+TEST_P(GroupParamTest, MembershipRejectsOutsiders) {
+  GroupPtr g = group();
+  EXPECT_FALSE(g->is_element(BigInt(0)));
+  EXPECT_FALSE(g->is_element(g->p()));
+  EXPECT_FALSE(g->is_element(g->p() + BigInt(1)));
+  EXPECT_FALSE(g->is_element(BigInt(-2)));
+  // p-1 has order 2, not in the order-q subgroup (q odd).
+  EXPECT_FALSE(g->is_element(g->p() - BigInt(1)));
+}
+
+TEST_P(GroupParamTest, HashToElementLandsInSubgroup) {
+  GroupPtr g = group();
+  for (int i = 0; i < 5; ++i) {
+    Bytes seed = bytes_of("seed" + std::to_string(i));
+    BigInt e = g->hash_to_element("t", seed);
+    EXPECT_TRUE(g->is_element(e));
+    // Deterministic.
+    EXPECT_EQ(e, g->hash_to_element("t", seed));
+  }
+  EXPECT_NE(g->hash_to_element("t", bytes_of("a")), g->hash_to_element("t", bytes_of("b")));
+  EXPECT_NE(g->hash_to_element("t1", bytes_of("a")), g->hash_to_element("t2", bytes_of("a")));
+}
+
+TEST_P(GroupParamTest, HashToScalarInRange) {
+  GroupPtr g = group();
+  for (int i = 0; i < 10; ++i) {
+    BigInt s = g->hash_to_scalar("t", bytes_of("seed" + std::to_string(i)));
+    EXPECT_TRUE(g->is_scalar(s));
+  }
+}
+
+TEST_P(GroupParamTest, ElementSerializationRoundTrip) {
+  GroupPtr g = group();
+  Rng rng(4);
+  BigInt e = g->exp_g(g->random_scalar(rng));
+  Writer w;
+  g->encode_element(w, e);
+  EXPECT_EQ(w.data().size(), g->element_bytes());
+  Reader r(w.data());
+  EXPECT_EQ(g->decode_element(r), e);
+}
+
+TEST_P(GroupParamTest, DecodeRejectsNonElement) {
+  GroupPtr g = group();
+  // p - 1 is in range but not in the subgroup.
+  Writer w;
+  w.raw((g->p() - BigInt(1)).to_bytes_padded(g->element_bytes()));
+  Reader r(w.data());
+  EXPECT_THROW(g->decode_element(r), ProtocolError);
+}
+
+TEST_P(GroupParamTest, ScalarSerializationRejectsOverflow) {
+  GroupPtr g = group();
+  Writer w;
+  g->encode_scalar(w, g->q() - BigInt(1));
+  Reader r(w.data());
+  EXPECT_EQ(g->decode_scalar(r), g->q() - BigInt(1));
+  Writer w2;
+  w2.raw(g->q().to_bytes_padded(g->scalar_bytes()));
+  Reader r2(w2.data());
+  EXPECT_THROW(g->decode_scalar(r2), ProtocolError);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParameterSets, GroupParamTest,
+                         ::testing::Values("test", "default", "big"));
+
+TEST(GroupTest, ScalarInverse) {
+  GroupPtr g = Group::test_group();
+  Rng rng(5);
+  BigInt a = g->random_scalar(rng);
+  while (a.is_zero()) a = g->random_scalar(rng);
+  EXPECT_TRUE(g->scalar_mul(a, g->scalar_inv(a)).is_one());
+}
+
+TEST(GroupTest, BadConstructionRejected) {
+  // q does not divide p-1.
+  EXPECT_THROW(Group(BigInt(23), BigInt(7), BigInt(2), "bad"), LogicError);
+}
+
+}  // namespace
+}  // namespace sintra::crypto

@@ -1,0 +1,127 @@
+// Hybrid failure structure tests (§6): n > 3t_b + 2t_c quorum rules and a
+// full protocol run on six servers tolerating one Byzantine corruption
+// plus one crash — a configuration the pure Byzantine model cannot reach
+// with fewer than seven servers.
+#include <gtest/gtest.h>
+
+#include "adversary/hybrid.hpp"
+#include "protocols/atomic.hpp"
+#include "protocols/harness.hpp"
+
+namespace sintra::adversary {
+namespace {
+
+using crypto::full_set;
+using crypto::party_bit;
+
+TEST(HybridQuorumTest, ResilienceBound) {
+  EXPECT_NO_THROW(HybridQuorum(6, 1, 1));   // 6 > 3+2
+  EXPECT_THROW(HybridQuorum(5, 1, 1), ProtocolError);
+  EXPECT_NO_THROW(HybridQuorum(4, 1, 0));   // degenerates to pure Byzantine
+  EXPECT_NO_THROW(HybridQuorum(3, 0, 1));   // crash-only: n > 2t_c
+  EXPECT_THROW(HybridQuorum(2, 0, 1), ProtocolError);
+}
+
+TEST(HybridQuorumTest, RulesAtSixOneOne) {
+  HybridQuorum q(6, 1, 1);
+  // quorum: n - t_b - t_c = 4.
+  EXPECT_TRUE(q.is_quorum(full_set(4)));
+  EXPECT_FALSE(q.is_quorum(full_set(3)));
+  // fault-set-exceeding: t_b + 1 = 2 (only Byzantine parties lie).
+  EXPECT_TRUE(q.exceeds_fault_set(full_set(2)));
+  EXPECT_FALSE(q.exceeds_fault_set(full_set(1)));
+  // vote quorum: 2*t_b + t_c + 1 = 4.
+  EXPECT_TRUE(q.is_vote_quorum(full_set(4)));
+  EXPECT_FALSE(q.is_vote_quorum(full_set(3)));
+  // corruption (secrecy) bound is Byzantine-only.
+  EXPECT_TRUE(q.corruptible(party_bit(3)));
+  EXPECT_FALSE(q.corruptible(party_bit(3) | party_bit(5)));
+}
+
+TEST(HybridQuorumTest, MatchesPureByzantineWhenNoCrashes) {
+  HybridQuorum hybrid(7, 2, 0);
+  ThresholdQuorum pure(7, 2);
+  for (crypto::PartySet set = 0; set < (crypto::PartySet{1} << 7); ++set) {
+    EXPECT_EQ(hybrid.is_quorum(set), pure.is_quorum(set));
+    EXPECT_EQ(hybrid.exceeds_fault_set(set), pure.exceeds_fault_set(set));
+    EXPECT_EQ(hybrid.is_vote_quorum(set), pure.is_vote_quorum(set));
+    EXPECT_EQ(hybrid.corruptible(set), pure.corruptible(set));
+  }
+}
+
+TEST(HybridQuorumTest, QuorumIntersectionContainsHonestParty) {
+  // Safety foundation: any two quorums intersect in a party that is
+  // neither Byzantine nor crashed — checked exhaustively for (6,1,1).
+  HybridQuorum q(6, 1, 1);
+  const int n = 6;
+  for (crypto::PartySet a = 0; a < (crypto::PartySet{1} << n); ++a) {
+    if (!q.is_quorum(a)) continue;
+    for (crypto::PartySet b = 0; b < (crypto::PartySet{1} << n); ++b) {
+      if (!q.is_quorum(b)) continue;
+      // Intersection larger than any Byzantine set.
+      ASSERT_TRUE(q.exceeds_fault_set(a & b));
+    }
+  }
+}
+
+struct AbcState {
+  std::unique_ptr<protocols::AtomicBroadcast> abc;
+  std::vector<Bytes> log;
+};
+
+TEST(HybridDeploymentTest, SixServersOneByzantineOneCrash) {
+  // The win over pure Byzantine: 6 servers tolerate t_b=1 + t_c=1, while
+  // threshold t=2 would require n=7.  One party crashed, one party
+  // replaced by a spammer (Byzantine noise) — the rest keep total order.
+  Rng rng(11);
+  auto deployment = hybrid_deployment(6, 1, 1, rng);
+  net::RandomScheduler sched(11);
+  protocols::Cluster<AbcState> cluster(
+      deployment, sched,
+      [](net::Party& party, int) {
+        auto s = std::make_unique<AbcState>();
+        s->abc = std::make_unique<protocols::AtomicBroadcast>(
+            party, "abc",
+            [p = s.get()](int, Bytes payload) { p->log.push_back(std::move(payload)); });
+        return s;
+      },
+      /*corrupted(crash)=*/party_bit(5));
+  cluster.attach_custom(
+      4, std::make_unique<net::SpamProcess>(cluster.simulator(), 4, 9,
+                                            std::vector<std::string>{"abc", "abc/1/vba"}));
+  cluster.start();
+  cluster.protocol(0)->abc->submit(bytes_of("hybrid-a"));
+  cluster.protocol(1)->abc->submit(bytes_of("hybrid-b"));
+  ASSERT_TRUE(cluster.run_until_all([](AbcState& s) { return s.log.size() >= 2; }, 20000000));
+  const auto& reference = cluster.protocol(0)->log;
+  cluster.for_each([&](int, AbcState& s) { EXPECT_EQ(s.log, reference); });
+}
+
+TEST(HybridDeploymentTest, PureByzantineCannotReachThisConfig) {
+  // threshold t=2 on 6 servers violates n > 3t.
+  Rng rng(12);
+  EXPECT_THROW(Deployment::threshold(6, 2, rng), ProtocolError);
+}
+
+TEST(HybridDeploymentTest, CrashOnlyConfiguration) {
+  // t_b = 0, t_c = 2 on five servers: crash-fault-tolerant mode.
+  Rng rng(13);
+  auto deployment = hybrid_deployment(5, 0, 2, rng);
+  net::RandomScheduler sched(13);
+  protocols::Cluster<AbcState> cluster(
+      deployment, sched,
+      [](net::Party& party, int) {
+        auto s = std::make_unique<AbcState>();
+        s->abc = std::make_unique<protocols::AtomicBroadcast>(
+            party, "abc",
+            [p = s.get()](int, Bytes payload) { p->log.push_back(std::move(payload)); });
+        return s;
+      },
+      party_bit(1) | party_bit(3));
+  cluster.start();
+  cluster.protocol(0)->abc->submit(bytes_of("crash-only"));
+  ASSERT_TRUE(cluster.run_until_all([](AbcState& s) { return s.log.size() >= 1; }, 20000000));
+}
+
+}  // namespace
+}  // namespace sintra::adversary

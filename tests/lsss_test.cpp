@@ -1,0 +1,233 @@
+// Benaloh–Leichter LSSS tests: gate-by-gate dealing, Δ-cleared
+// reconstruction, agreement with formula evaluation, and randomized
+// property sweeps over formula shapes.
+#include <gtest/gtest.h>
+
+#include "adversary/examples.hpp"
+#include "adversary/lsss.hpp"
+#include "crypto/group.hpp"
+
+namespace sintra::adversary {
+namespace {
+
+using crypto::BigInt;
+using crypto::contains;
+using crypto::PartySet;
+using crypto::set_of;
+
+/// Deal + reconstruct through the LinearScheme interface.
+void expect_reconstructs(const LsssScheme& scheme, PartySet parties, const BigInt& modulus,
+                         Rng& rng) {
+  BigInt secret = BigInt::random_below(rng, modulus);
+  auto units = scheme.deal(secret, modulus, rng);
+  std::map<int, BigInt> available;
+  for (int u = 0; u < scheme.num_units(); ++u) {
+    if (contains(parties, scheme.unit_owner(u))) available[u] = units[static_cast<std::size_t>(u)];
+  }
+  EXPECT_EQ(scheme.reconstruct(available, modulus), secret);
+}
+
+TEST(LsssTest, SingleLeaf) {
+  LsssScheme scheme(Formula::leaf(0), 1);
+  EXPECT_EQ(scheme.num_units(), 1);
+  EXPECT_TRUE(scheme.qualified(set_of({0})));
+  EXPECT_FALSE(scheme.qualified(0));
+  Rng rng(1);
+  expect_reconstructs(scheme, set_of({0}), crypto::Group::test_group()->q(), rng);
+}
+
+TEST(LsssTest, PureAnd) {
+  LsssScheme scheme(Formula::land({Formula::leaf(0), Formula::leaf(1), Formula::leaf(2)}), 3);
+  EXPECT_TRUE(scheme.delta().is_one());  // additive gates need no clearing
+  Rng rng(2);
+  BigInt q = crypto::Group::test_group()->q();
+  expect_reconstructs(scheme, set_of({0, 1, 2}), q, rng);
+  EXPECT_FALSE(scheme.qualified(set_of({0, 1})));
+}
+
+TEST(LsssTest, PureOr) {
+  LsssScheme scheme(Formula::lor({Formula::leaf(0), Formula::leaf(1)}), 2);
+  EXPECT_TRUE(scheme.delta().is_one());
+  Rng rng(3);
+  BigInt q = crypto::Group::test_group()->q();
+  expect_reconstructs(scheme, set_of({0}), q, rng);
+  expect_reconstructs(scheme, set_of({1}), q, rng);
+}
+
+TEST(LsssTest, PureThresholdMatchesShamirSemantics) {
+  std::vector<Formula> leaves;
+  for (int i = 0; i < 5; ++i) leaves.push_back(Formula::leaf(i));
+  LsssScheme scheme(Formula::threshold(3, std::move(leaves)), 5);
+  Rng rng(4);
+  BigInt q = crypto::Group::test_group()->q();
+  expect_reconstructs(scheme, set_of({0, 2, 4}), q, rng);
+  expect_reconstructs(scheme, set_of({1, 2, 3, 4}), q, rng);
+  EXPECT_FALSE(scheme.qualified(set_of({0, 4})));
+  EXPECT_EQ(scheme.delta(), BigInt::factorial(5));
+}
+
+TEST(LsssTest, NestedGates) {
+  // (0 AND 1) OR Θ2(2,3,4)
+  auto f = Formula::lor({Formula::land({Formula::leaf(0), Formula::leaf(1)}),
+                         Formula::threshold(2, {Formula::leaf(2), Formula::leaf(3),
+                                                Formula::leaf(4)})});
+  LsssScheme scheme(f, 5);
+  Rng rng(5);
+  BigInt q = crypto::Group::test_group()->q();
+  expect_reconstructs(scheme, set_of({0, 1}), q, rng);
+  expect_reconstructs(scheme, set_of({2, 4}), q, rng);
+  expect_reconstructs(scheme, set_of({0, 3, 4}), q, rng);
+  EXPECT_FALSE(scheme.qualified(set_of({0, 2})));
+  EXPECT_FALSE(scheme.qualified(set_of({1})));
+}
+
+TEST(LsssTest, RepeatedLeavesGiveMultipleUnits) {
+  // Party 0 appears in two branches: holds two units (weighted share).
+  auto f = Formula::threshold(2, {Formula::leaf(0), Formula::leaf(0), Formula::leaf(1),
+                                  Formula::leaf(2)});
+  LsssScheme scheme(f, 3);
+  EXPECT_EQ(scheme.num_units(), 4);
+  EXPECT_EQ(scheme.units_of(0).size(), 2u);
+  // Party 0 alone satisfies the 2-of-4 gate via its two leaves.
+  EXPECT_TRUE(scheme.qualified(set_of({0})));
+  EXPECT_FALSE(scheme.qualified(set_of({1})));
+  Rng rng(6);
+  expect_reconstructs(scheme, set_of({0}), crypto::Group::test_group()->q(), rng);
+  expect_reconstructs(scheme, set_of({1, 2}), crypto::Group::test_group()->q(), rng);
+}
+
+TEST(LsssTest, UnqualifiedReconstructionThrows) {
+  LsssScheme scheme(Formula::land({Formula::leaf(0), Formula::leaf(1)}), 2);
+  EXPECT_THROW(scheme.coefficients(set_of({0})), ProtocolError);
+}
+
+TEST(LsssTest, UnsatisfiableFormulaRejected) {
+  // n smaller than mentioned parties.
+  EXPECT_THROW(LsssScheme(Formula::leaf(5), 3), ProtocolError);
+}
+
+TEST(LsssTest, Example1AllMinimalQualifiedSetsReconstruct) {
+  Rng rng(7);
+  LsssScheme scheme(example1_access(), 9);
+  BigInt q = crypto::Group::test_group()->q();
+  // Every 3-subset covering >= 2 classes is qualified and reconstructs.
+  int checked = 0;
+  for (int a = 0; a < 9; ++a) {
+    for (int b = a + 1; b < 9; ++b) {
+      for (int c = b + 1; c < 9; ++c) {
+        PartySet set = set_of({a, b, c});
+        std::set<int> classes = {kExample1Classes[a], kExample1Classes[b],
+                                 kExample1Classes[c]};
+        const bool expect_qualified = classes.size() >= 2;
+        EXPECT_EQ(scheme.qualified(set), expect_qualified) << a << b << c;
+        if (expect_qualified && checked < 12) {  // spot-check reconstruction
+          expect_reconstructs(scheme, set, q, rng);
+          ++checked;
+        }
+      }
+    }
+  }
+}
+
+TEST(LsssTest, Example2GridReconstructs) {
+  Rng rng(8);
+  LsssScheme scheme(example2_access(), 16);
+  BigInt q = crypto::Group::test_group()->q();
+  // 2x2 grid (locations {0,1} x OSes {0,1}) is the minimal interesting
+  // qualified shape.
+  PartySet grid = set_of({example2_party(0, 0), example2_party(0, 1), example2_party(1, 0),
+                          example2_party(1, 1)});
+  EXPECT_TRUE(scheme.qualified(grid));
+  expect_reconstructs(scheme, grid, q, rng);
+  // One full location: unqualified.
+  PartySet row = set_of({example2_party(2, 0), example2_party(2, 1), example2_party(2, 2),
+                         example2_party(2, 3)});
+  EXPECT_FALSE(scheme.qualified(row));
+  // One full OS: unqualified.
+  PartySet column = set_of({example2_party(0, 3), example2_party(1, 3), example2_party(2, 3),
+                            example2_party(3, 3)});
+  EXPECT_FALSE(scheme.qualified(column));
+}
+
+TEST(LsssTest, QualifiedMatchesFormulaExhaustively) {
+  // For a moderate formula, scheme.qualified must equal formula.eval on
+  // every one of the 2^6 subsets, and reconstruction must succeed exactly
+  // on the qualified ones.
+  auto f = Formula::land({Formula::threshold(2, {Formula::leaf(0), Formula::leaf(1),
+                                                 Formula::leaf(2)}),
+                          Formula::lor({Formula::leaf(3), Formula::leaf(4),
+                                        Formula::leaf(5)})});
+  LsssScheme scheme(f, 6);
+  Rng rng(9);
+  BigInt q = crypto::Group::test_group()->q();
+  BigInt secret = BigInt::random_below(rng, q);
+  auto units = scheme.deal(secret, q, rng);
+  for (PartySet set = 0; set < (PartySet{1} << 6); ++set) {
+    ASSERT_EQ(scheme.qualified(set), f.eval(set));
+    if (!scheme.qualified(set)) continue;
+    std::map<int, BigInt> available;
+    for (int u = 0; u < scheme.num_units(); ++u) {
+      if (contains(set, scheme.unit_owner(u))) available[u] = units[static_cast<std::size_t>(u)];
+    }
+    EXPECT_EQ(scheme.reconstruct(available, q), secret) << "set=" << set;
+  }
+}
+
+TEST(LsssTest, RandomFormulasProperty) {
+  // Randomized sweep: build random small formulas, deal, and check the
+  // Δ-identity on random qualified sets and rejection on unqualified ones.
+  Rng rng(10);
+  BigInt q = crypto::Group::test_group()->q();
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 4 + static_cast<int>(rng.below(4));
+    // Two-level formula: Θ_k over m children, each child Θ_j over leaves.
+    std::vector<Formula> children;
+    const int m = 2 + static_cast<int>(rng.below(3));
+    for (int c = 0; c < m; ++c) {
+      std::vector<Formula> leaves;
+      const int width = 2 + static_cast<int>(rng.below(3));
+      for (int l = 0; l < width; ++l) {
+        leaves.push_back(Formula::leaf(static_cast<int>(rng.below(static_cast<std::uint64_t>(n)))));
+      }
+      const int j = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(width)));
+      children.push_back(Formula::threshold(j, std::move(leaves)));
+    }
+    const int k = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(m)));
+    Formula f = Formula::threshold(k, std::move(children));
+    if (!f.eval(crypto::full_set(n))) continue;  // unsatisfiable shapes skipped
+    LsssScheme scheme(f, n);
+    BigInt secret = BigInt::random_below(rng, q);
+    auto units = scheme.deal(secret, q, rng);
+    for (PartySet set = 0; set < (PartySet{1} << n); ++set) {
+      if (!scheme.qualified(set)) continue;
+      std::map<int, BigInt> available;
+      for (int u = 0; u < scheme.num_units(); ++u) {
+        if (contains(set, scheme.unit_owner(u))) {
+          available[u] = units[static_cast<std::size_t>(u)];
+        }
+      }
+      ASSERT_EQ(scheme.reconstruct(available, q), secret)
+          << "trial=" << trial << " set=" << set;
+    }
+  }
+}
+
+TEST(LsssTest, WorksOverCompositeModulus) {
+  // The RSA path: dealing over a composite modulus with integer-coefficient
+  // reconstruction (Δ cleared).
+  Rng rng(11);
+  BigInt m = BigInt(1019) * BigInt(1283);
+  LsssScheme scheme(example1_access(), 9);
+  BigInt secret = BigInt::random_below(rng, m);
+  auto units = scheme.deal(secret, m, rng);
+  std::map<int, BigInt> available;
+  for (int u = 0; u < scheme.num_units(); ++u) {
+    if (contains(set_of({1, 5, 8}), scheme.unit_owner(u))) {
+      available[u] = units[static_cast<std::size_t>(u)];
+    }
+  }
+  EXPECT_EQ(scheme.reconstruct(available, m), secret);
+}
+
+}  // namespace
+}  // namespace sintra::adversary

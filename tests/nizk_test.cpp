@@ -1,0 +1,138 @@
+// NIZK tests: completeness, serialization, and soundness against tampered
+// statements/proofs — the robustness of every threshold primitive reduces
+// to these proofs rejecting forgeries.
+#include <gtest/gtest.h>
+
+#include "crypto/nizk.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+class NizkTest : public ::testing::Test {
+ protected:
+  GroupPtr group_ = Group::test_group();
+  Rng rng_{1234};
+};
+
+TEST_F(NizkTest, DleqCompleteness) {
+  for (int i = 0; i < 10; ++i) {
+    BigInt x = group_->random_scalar(rng_);
+    BigInt g2 = group_->hash_to_element("base", bytes_of(std::to_string(i)));
+    BigInt h1 = group_->exp_g(x);
+    BigInt h2 = group_->exp(g2, x);
+    auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
+    EXPECT_TRUE(proof.verify(*group_, "ctx", group_->g(), h1, g2, h2));
+  }
+}
+
+TEST_F(NizkTest, DleqRejectsWrongWitnessStatement) {
+  BigInt x = group_->random_scalar(rng_);
+  BigInt y = group_->random_scalar(rng_);
+  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
+  BigInt h1 = group_->exp_g(x);
+  BigInt h2 = group_->exp(g2, y);  // different exponent: statement false
+  auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
+  EXPECT_FALSE(proof.verify(*group_, "ctx", group_->g(), h1, g2, h2));
+}
+
+TEST_F(NizkTest, DleqContextBinding) {
+  BigInt x = group_->random_scalar(rng_);
+  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
+  BigInt h1 = group_->exp_g(x);
+  BigInt h2 = group_->exp(g2, x);
+  auto proof = DleqProof::prove(*group_, "ctx-a", group_->g(), h1, g2, h2, x, rng_);
+  EXPECT_FALSE(proof.verify(*group_, "ctx-b", group_->g(), h1, g2, h2));
+}
+
+TEST_F(NizkTest, DleqRejectsTamperedProof) {
+  BigInt x = group_->random_scalar(rng_);
+  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
+  BigInt h1 = group_->exp_g(x);
+  BigInt h2 = group_->exp(g2, x);
+  auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
+  DleqProof bad = proof;
+  bad.response = group_->scalar_add(bad.response, BigInt(1));
+  EXPECT_FALSE(bad.verify(*group_, "ctx", group_->g(), h1, g2, h2));
+  DleqProof bad2 = proof;
+  bad2.challenge = group_->scalar_add(bad2.challenge, BigInt(1));
+  EXPECT_FALSE(bad2.verify(*group_, "ctx", group_->g(), h1, g2, h2));
+}
+
+TEST_F(NizkTest, DleqRejectsSwappedStatement) {
+  BigInt x = group_->random_scalar(rng_);
+  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
+  BigInt h1 = group_->exp_g(x);
+  BigInt h2 = group_->exp(g2, x);
+  auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
+  // Swapping the two relations must invalidate the proof.
+  EXPECT_FALSE(proof.verify(*group_, "ctx", g2, h2, group_->g(), h1));
+}
+
+TEST_F(NizkTest, DleqRejectsNonElements) {
+  BigInt x = group_->random_scalar(rng_);
+  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
+  BigInt h1 = group_->exp_g(x);
+  BigInt h2 = group_->exp(g2, x);
+  auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
+  EXPECT_FALSE(proof.verify(*group_, "ctx", group_->g(), group_->p() - BigInt(1), g2, h2));
+}
+
+TEST_F(NizkTest, DleqSerializationRoundTrip) {
+  BigInt x = group_->random_scalar(rng_);
+  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
+  auto proof = DleqProof::prove(*group_, "ctx", group_->g(), group_->exp_g(x), g2,
+                                group_->exp(g2, x), x, rng_);
+  Writer w;
+  proof.encode(w, *group_);
+  Reader r(w.data());
+  DleqProof decoded = DleqProof::decode(r, *group_);
+  r.expect_done();
+  EXPECT_EQ(decoded.challenge, proof.challenge);
+  EXPECT_EQ(decoded.response, proof.response);
+}
+
+TEST_F(NizkTest, SchnorrCompleteness) {
+  for (int i = 0; i < 10; ++i) {
+    BigInt x = group_->random_scalar(rng_);
+    BigInt h = group_->exp_g(x);
+    auto proof = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
+    EXPECT_TRUE(proof.verify(*group_, "ctx", group_->g(), h));
+  }
+}
+
+TEST_F(NizkTest, SchnorrRejectsWrongStatement) {
+  BigInt x = group_->random_scalar(rng_);
+  BigInt h = group_->exp_g(x);
+  auto proof = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
+  BigInt other = group_->exp_g(group_->scalar_add(x, BigInt(1)));
+  EXPECT_FALSE(proof.verify(*group_, "ctx", group_->g(), other));
+}
+
+TEST_F(NizkTest, SchnorrContextBinding) {
+  BigInt x = group_->random_scalar(rng_);
+  BigInt h = group_->exp_g(x);
+  auto proof = SchnorrProof::prove(*group_, "instance-1", group_->g(), h, x, rng_);
+  EXPECT_FALSE(proof.verify(*group_, "instance-2", group_->g(), h));
+}
+
+TEST_F(NizkTest, SchnorrSerializationRoundTrip) {
+  BigInt x = group_->random_scalar(rng_);
+  BigInt h = group_->exp_g(x);
+  auto proof = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
+  Writer w;
+  proof.encode(w, *group_);
+  Reader r(w.data());
+  SchnorrProof decoded = SchnorrProof::decode(r, *group_);
+  EXPECT_TRUE(decoded.verify(*group_, "ctx", group_->g(), h));
+}
+
+TEST_F(NizkTest, ProofsAreRandomized) {
+  BigInt x = group_->random_scalar(rng_);
+  BigInt h = group_->exp_g(x);
+  auto p1 = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
+  auto p2 = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
+  EXPECT_NE(p1.response, p2.response);  // fresh commitment randomness
+}
+
+}  // namespace
+}  // namespace sintra::crypto

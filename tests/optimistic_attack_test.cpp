@@ -1,0 +1,256 @@
+// Byzantine-sequencer attacks on the optimistic protocol: equivocating
+// assignments, skipped sequence numbers, selective commit delivery, forged
+// certificates.  Safety must survive all of them; liveness is recovered by
+// the switch.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "protocols/harness.hpp"
+#include "protocols/optimistic.hpp"
+
+namespace sintra::protocols {
+namespace {
+
+using crypto::BigInt;
+using crypto::SigShare;
+
+struct OptState {
+  std::unique_ptr<OptimisticBroadcast> opt;
+  std::vector<Bytes> log;
+};
+
+Cluster<OptState> make_cluster(adversary::Deployment deployment, net::Scheduler& sched,
+                               std::uint64_t seed = 1) {
+  return Cluster<OptState>(
+      std::move(deployment), sched,
+      [](net::Party& party, int) {
+        auto state = std::make_unique<OptState>();
+        state->opt = std::make_unique<OptimisticBroadcast>(
+            party, "opt", /*sequencer=*/0,
+            [s = state.get()](Bytes payload) { s->log.push_back(std::move(payload)); });
+        return state;
+      },
+      0, 0, seed);
+}
+
+/// Byzantine sequencer that assigns DIFFERENT payloads to the same slot for
+/// different parties (equivocation) and signs nothing itself.
+class EquivocatingSequencer final : public net::Process {
+ public:
+  EquivocatingSequencer(net::Simulator& sim, int id) : sim_(sim), id_(id) {}
+  void on_start() override {
+    for (int to = 1; to < sim_.n(); ++to) {
+      Writer w;
+      w.u8(0);  // kAssign
+      w.u64(0);
+      w.bytes(bytes_of(to % 2 == 1 ? "AAAA" : "BBBB"));
+      net::Message m;
+      m.from = id_;
+      m.to = to;
+      m.tag = "opt";
+      m.payload = w.take();
+      sim_.submit(std::move(m));
+    }
+  }
+  void on_message(const net::Message&) override {}  // never combines/commits
+
+ private:
+  net::Simulator& sim_;
+  int id_;
+};
+
+TEST(OptimisticAttackTest, EquivocatingAssignsCannotSplitDeliveries) {
+  // The honest parties sign conflicting chains for slot 0 (2 sign "AAAA",
+  // 1 signs "BBBB"); neither reaches a full quorum, so no certificate and
+  // no delivery can form — and after the switch both sides agree on the
+  // empty fast prefix.
+  Rng rng(1);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(1);
+  auto cluster = make_cluster(deployment, sched);
+  cluster.attach_custom(0, std::make_unique<EquivocatingSequencer>(cluster.simulator(), 0));
+  cluster.start();
+  cluster.simulator().run(100000);
+  cluster.for_each([](int, OptState& s) { EXPECT_TRUE(s.log.empty()); });
+
+  // Recovery: switch and deliver pessimistically.
+  cluster.protocol(1)->opt->submit(bytes_of("recovered"));
+  cluster.protocol(1)->opt->switch_to_pessimistic();
+  ASSERT_TRUE(cluster.run_until_all([](OptState& s) { return s.log.size() >= 1; },
+                                    20000000));
+  cluster.for_each([](int, OptState& s) { EXPECT_EQ(s.log[0], bytes_of("recovered")); });
+}
+
+/// Sequencer that assigns slot 5 first (skips 0..4): honest parties sign
+/// sequentially, so nothing can ever be certified.
+class SkippingSequencer final : public net::Process {
+ public:
+  SkippingSequencer(net::Simulator& sim, int id) : sim_(sim), id_(id) {}
+  void on_start() override {
+    for (int to = 1; to < sim_.n(); ++to) {
+      Writer w;
+      w.u8(0);  // kAssign
+      w.u64(5);
+      w.bytes(bytes_of("orphan"));
+      net::Message m;
+      m.from = id_;
+      m.to = to;
+      m.tag = "opt";
+      m.payload = w.take();
+      sim_.submit(std::move(m));
+    }
+  }
+  void on_message(const net::Message&) override {}
+
+ private:
+  net::Simulator& sim_;
+  int id_;
+};
+
+TEST(OptimisticAttackTest, SkippedSlotsStallButStaySafe) {
+  Rng rng(2);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(2);
+  auto cluster = make_cluster(deployment, sched);
+  cluster.attach_custom(0, std::make_unique<SkippingSequencer>(cluster.simulator(), 0));
+  cluster.start();
+  cluster.simulator().run(100000);
+  cluster.for_each([](int, OptState& s) { EXPECT_TRUE(s.log.empty()); });
+}
+
+/// Sequencer that runs the protocol honestly but sends the COMMIT only to
+/// one party — testing that the ACK-stability rule prevents a delivery
+/// that the rest of the system could not recover.
+class SelectiveCommitSequencer final : public net::Process {
+ public:
+  SelectiveCommitSequencer(net::Simulator& sim, int id, adversary::Deployment deployment,
+                           std::uint64_t seed)
+      : party_(sim, id, std::move(deployment), seed) {
+    // Reuse the honest protocol object, but intercept its outgoing COMMIT
+    // broadcasts at the network layer is not possible here; instead we
+    // drive the slot manually below.
+  }
+  void on_start() override {
+    // ASSIGN slot 0 honestly to everyone.
+    Writer w;
+    w.u8(0);
+    w.u64(0);
+    w.bytes(bytes_of("selective"));
+    for (int to = 1; to < party_.n(); ++to) {
+      net::Message m;
+      m.from = party_.id();
+      m.to = to;
+      m.tag = "opt";
+      m.payload = w.data();
+      party_.simulator().submit(std::move(m));
+    }
+  }
+  void on_message(const net::Message& message) override {
+    if (message.tag != "opt") return;
+    try {
+      Reader r(message.payload);
+      if (r.u8() != 1) return;  // kShare
+      const std::uint64_t seq = r.u64();
+      auto shares = r.vec<SigShare>([](Reader& rd) { return SigShare::decode(rd); });
+      for (auto& share : shares) shares_.push_back(share);
+      senders_ |= crypto::party_bit(message.from);
+      if (committed_ || !party_.quorum().is_quorum(senders_)) return;
+      // Combine the real certificate but send COMMIT to party 1 ONLY.
+      auto genesis = crypto::hash_domain("sintra/opt/genesis", bytes_of(std::string("opt")));
+      Writer chain_w;
+      chain_w.raw(BytesView(genesis.data(), genesis.size()));
+      chain_w.u64(0);
+      chain_w.bytes(bytes_of("selective"));
+      auto chain = crypto::hash_domain("sintra/opt/chain", chain_w.data());
+      Writer stmt;
+      stmt.str("sintra/opt/slot");
+      stmt.str("opt");
+      stmt.u64(seq);
+      stmt.raw(BytesView(chain.data(), chain.size()));
+      auto cert = party_.public_keys().cert_sig.combine(stmt.data(), shares_);
+      if (!cert.has_value()) return;
+      committed_ = true;
+      Writer w;
+      w.u8(2);  // kCommit
+      w.u64(seq);
+      w.bytes(bytes_of("selective"));
+      cert->encode(w);
+      net::Message m;
+      m.from = party_.id();
+      m.to = 1;
+      m.tag = "opt";
+      m.payload = w.take();
+      party_.simulator().submit(std::move(m));
+    } catch (const ProtocolError&) {
+    }
+  }
+
+ private:
+  net::Party party_;
+  std::vector<SigShare> shares_;
+  crypto::PartySet senders_ = 0;
+  bool committed_ = false;
+};
+
+TEST(OptimisticAttackTest, SelectiveCommitCannotCauseUnrecoverableDelivery) {
+  // Party 1 alone receives the (real!) certificate; the ACK rule requires
+  // a vote quorum, so party 1 must NOT deliver — and after the switch, the
+  // claim set recovers the certified payload for everyone (party 1's claim
+  // carries the certificate), so nothing splits.
+  Rng rng(3);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(3);
+  auto cluster = make_cluster(deployment, sched);
+  cluster.attach_custom(0, std::make_unique<SelectiveCommitSequencer>(
+                               cluster.simulator(), 0, deployment, 55));
+  cluster.start();
+  cluster.simulator().run(200000);
+  // The stability rule held: nobody delivered on a certificate known to
+  // one party only.
+  for (int id = 1; id < 4; ++id) {
+    EXPECT_TRUE(cluster.protocol(id)->log.empty()) << "party " << id;
+  }
+  // Switch: party 1's claim carries the certificate; the agreed prefix
+  // includes the payload at every party (or is empty at every party,
+  // depending on whether the claim set includes party 1 — both are safe;
+  // what must NOT happen is divergence).
+  cluster.protocol(2)->opt->switch_to_pessimistic();
+  ASSERT_TRUE(cluster.run_until_all([](OptState& s) { return s.opt->pessimistic(); },
+                                    20000000));
+  cluster.simulator().run(1000000);
+  const auto& reference = cluster.protocol(1)->log;
+  for (int id = 2; id < 4; ++id) EXPECT_EQ(cluster.protocol(id)->log, reference);
+}
+
+/// A forged COMMIT with a random "certificate".
+TEST(OptimisticAttackTest, ForgedCommitRejected) {
+  Rng rng(4);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(4);
+  auto cluster = make_cluster(deployment, sched);
+  Rng forger(5);
+  cluster.attach_custom(
+      0, std::make_unique<net::HookProcess>(
+             [&cluster, &forger](const net::Message&) {
+               Writer w;
+               w.u8(2);  // kCommit
+               w.u64(0);
+               w.bytes(bytes_of("forged payload"));
+               BigInt::from_bytes(forger.bytes(32)).encode(w);
+               for (int to = 1; to < 4; ++to) {
+                 net::Message m;
+                 m.from = 0;
+                 m.to = to;
+                 m.tag = "opt";
+                 m.payload = w.data();
+                 cluster.simulator().submit(std::move(m));
+               }
+             },
+             nullptr));
+  cluster.start();
+  cluster.simulator().run(100000);
+  cluster.for_each([](int, OptState& s) { EXPECT_TRUE(s.log.empty()); });
+}
+
+}  // namespace
+}  // namespace sintra::protocols

@@ -1,0 +1,159 @@
+// Optimistic atomic broadcast tests (§6): fast-path speed, total order,
+// the safety of the switch (no delivery conflicts across the cut-over),
+// and liveness after falling back.
+#include <gtest/gtest.h>
+
+#include "protocols/harness.hpp"
+#include "protocols/optimistic.hpp"
+
+namespace sintra::protocols {
+namespace {
+
+using crypto::party_bit;
+
+struct OptState {
+  std::unique_ptr<OptimisticBroadcast> opt;
+  std::vector<Bytes> log;
+};
+
+Cluster<OptState> make_cluster(adversary::Deployment deployment, net::Scheduler& sched,
+                               crypto::PartySet corrupted = 0, std::uint64_t seed = 1) {
+  return Cluster<OptState>(
+      std::move(deployment), sched,
+      [](net::Party& party, int) {
+        auto state = std::make_unique<OptState>();
+        state->opt = std::make_unique<OptimisticBroadcast>(
+            party, "opt", /*sequencer=*/0,
+            [s = state.get()](Bytes payload) { s->log.push_back(std::move(payload)); });
+        return state;
+      },
+      corrupted, 0, seed);
+}
+
+void expect_identical_logs(Cluster<OptState>& cluster) {
+  const std::vector<Bytes>* reference = nullptr;
+  cluster.for_each([&](int, OptState& s) {
+    if (reference == nullptr) reference = &s.log;
+    else EXPECT_EQ(s.log, *reference) << "order diverged";
+  });
+}
+
+TEST(OptimisticTest, FastPathDeliversInOrder) {
+  Rng rng(1);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(1);
+  auto cluster = make_cluster(deployment, sched);
+  cluster.start();
+  for (int k = 0; k < 5; ++k) {
+    cluster.protocol(k % 4)->opt->submit(bytes_of("fast" + std::to_string(k)));
+  }
+  ASSERT_TRUE(cluster.run_until_all([](OptState& s) { return s.log.size() >= 5; }, 2000000));
+  expect_identical_logs(cluster);
+  cluster.for_each([](int, OptState& s) { EXPECT_FALSE(s.opt->pessimistic()); });
+}
+
+TEST(OptimisticTest, FastPathCheaperThanPessimistic) {
+  // The §6 claim: the optimistic path is much cheaper than the randomized
+  // protocol per delivery.  (Quantified fully in bench E10.)
+  Rng rng(2);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(2);
+  auto cluster = make_cluster(deployment, sched);
+  cluster.start();
+  cluster.protocol(1)->opt->submit(bytes_of("one"));
+  ASSERT_TRUE(cluster.run_until_all([](OptState& s) { return s.log.size() >= 1; }, 2000000));
+  EXPECT_LT(cluster.simulator().total_messages(), 60u);  // ABC needs ~150+
+}
+
+TEST(OptimisticTest, SwitchPreservesDeliveriesAndOrder) {
+  // Deliver a few fast, then switch, then continue pessimistically.  All
+  // parties must end with identical logs and no duplicates.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(seed * 7);
+    auto cluster = make_cluster(deployment, sched, 0, seed);
+    cluster.start();
+    cluster.protocol(0)->opt->submit(bytes_of("f1"));
+    cluster.protocol(1)->opt->submit(bytes_of("f2"));
+    ASSERT_TRUE(cluster.run_until_all([](OptState& s) { return s.log.size() >= 2; },
+                                      2000000));
+    // Switch signalled by one party.
+    cluster.protocol(2)->opt->switch_to_pessimistic();
+    ASSERT_TRUE(cluster.run_until_all([](OptState& s) { return s.opt->pessimistic(); },
+                                      10000000))
+        << "switch did not complete, seed " << seed;
+    // Continue after the switch.
+    cluster.protocol(3)->opt->submit(bytes_of("p1"));
+    cluster.protocol(1)->opt->submit(bytes_of("p2"));
+    ASSERT_TRUE(cluster.run_until_all([](OptState& s) { return s.log.size() >= 4; },
+                                      20000000))
+        << "pessimistic path stalled, seed " << seed;
+    expect_identical_logs(cluster);
+    // No duplicates.
+    cluster.for_each([](int, OptState& s) {
+      std::set<Bytes> unique(s.log.begin(), s.log.end());
+      EXPECT_EQ(unique.size(), s.log.size());
+    });
+  }
+}
+
+TEST(OptimisticTest, SwitchMidFlightLosesNothing) {
+  // Payloads submitted but not yet fast-delivered when the switch fires
+  // must still be delivered (via claim adoption or resubmission).
+  Rng rng(3);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(3);
+  auto cluster = make_cluster(deployment, sched, 0, 3);
+  cluster.start();
+  cluster.protocol(1)->opt->submit(bytes_of("in-flight-1"));
+  cluster.protocol(2)->opt->submit(bytes_of("in-flight-2"));
+  cluster.simulator().run(20);  // partial progress only
+  cluster.for_each([](int, OptState& s) { s.opt->switch_to_pessimistic(); });
+  ASSERT_TRUE(cluster.run_until_all([](OptState& s) { return s.log.size() >= 2; }, 30000000));
+  expect_identical_logs(cluster);
+}
+
+TEST(OptimisticTest, BlockedSequencerRecoversViaSwitch) {
+  // The scenario the extension exists for: the sequencer is blocked by the
+  // network adversary; the fast path stalls; after the switch the system
+  // delivers without it.
+  Rng rng(4);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::BlockPartyScheduler sched(4, /*victim=*/0);
+  auto cluster = make_cluster(deployment, sched, 0, 4);
+  cluster.start();
+  cluster.protocol(1)->opt->submit(bytes_of("stuck?"));
+  cluster.simulator().run(5000);
+  // No fast progress (sequencer unreachable); parties 1..3 deliver nothing.
+  for (int id = 1; id < 4; ++id) EXPECT_TRUE(cluster.protocol(id)->log.empty());
+  // The (external) failure detector fires at a non-blocked party.
+  cluster.protocol(1)->opt->switch_to_pessimistic();
+  bool done = cluster.simulator().run_until(
+      [&] {
+        for (int id = 1; id < 4; ++id) {
+          if (cluster.protocol(id)->log.empty()) return false;
+        }
+        return true;
+      },
+      30000000);
+  EXPECT_TRUE(done) << "pessimistic fallback failed to deliver";
+  // Identical order among the reachable parties.
+  for (int id = 2; id < 4; ++id) {
+    EXPECT_EQ(cluster.protocol(id)->log, cluster.protocol(1)->log);
+  }
+}
+
+TEST(OptimisticTest, CrashedNonSequencerHarmless) {
+  Rng rng(5);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(5);
+  auto cluster = make_cluster(deployment, sched, party_bit(3), 5);
+  cluster.start();
+  cluster.protocol(1)->opt->submit(bytes_of("still fast"));
+  ASSERT_TRUE(cluster.run_until_all([](OptState& s) { return s.log.size() >= 1; }, 2000000));
+  expect_identical_logs(cluster);
+}
+
+}  // namespace
+}  // namespace sintra::protocols

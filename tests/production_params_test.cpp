@@ -1,0 +1,102 @@
+// End-to-end smoke tests at PRODUCTION parameter sizes (768-bit Schnorr
+// group, 512-bit RSA modulus): the larger hard-coded parameter sets are
+// validated and the whole pipeline runs on them.  Kept to a handful of
+// cases because each signature costs ~10x the test-parameter cost.
+#include <gtest/gtest.h>
+
+#include "protocols/atomic.hpp"
+#include "protocols/harness.hpp"
+
+namespace sintra {
+namespace {
+
+TEST(ProductionParamsTest, GroupAndRsaParametersValid) {
+  Rng rng(1);
+  auto group = crypto::Group::default_group();
+  EXPECT_GE(group->p().bit_length(), 767u);
+  EXPECT_GE(group->q().bit_length(), 255u);
+  EXPECT_TRUE(group->p().is_probable_prime(rng, 16));
+  EXPECT_TRUE(group->q().is_probable_prime(rng, 16));
+
+  auto big = crypto::Group::big_group();
+  EXPECT_GE(big->p().bit_length(), 1535u);
+  EXPECT_TRUE(big->p().is_probable_prime(rng, 8));
+
+  auto rsa = crypto::RsaParams::precomputed(256);
+  EXPECT_TRUE(rsa.p.is_probable_prime(rng, 16));
+  EXPECT_TRUE(((rsa.p - crypto::BigInt(1)).shifted_right(1)).is_probable_prime(rng, 16));
+}
+
+TEST(ProductionParamsTest, CryptoPipelineAtProductionSizes) {
+  Rng rng(2);
+  auto config = adversary::CryptoConfig::production();
+  auto deployment = adversary::Deployment::threshold(4, 1, rng, config);
+  const auto& pk = deployment.keys->public_keys();
+
+  // Coin.
+  Bytes name = bytes_of("prod-coin");
+  std::vector<crypto::CoinShare> coin_shares;
+  for (int p = 0; p < 2; ++p) {
+    for (auto& s : deployment.keys->share(p).coin.share(pk.coin, name, rng)) {
+      EXPECT_TRUE(pk.coin.verify_share(name, s));
+      coin_shares.push_back(s);
+    }
+  }
+  EXPECT_TRUE(pk.coin.combine(name, coin_shares).has_value());
+
+  // Threshold signature (512-bit modulus).
+  Bytes message = bytes_of("prod message");
+  std::vector<crypto::SigShare> sig_shares;
+  for (int p = 0; p < 2; ++p) {
+    for (auto& s : deployment.keys->share(p).reply_sig.sign(pk.reply_sig, message, rng)) {
+      EXPECT_TRUE(pk.reply_sig.verify_share(message, s));
+      sig_shares.push_back(s);
+    }
+  }
+  auto sig = pk.reply_sig.combine(message, sig_shares);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(pk.reply_sig.verify(message, *sig));
+
+  // TDH2.
+  auto ct = pk.encryption.encrypt(bytes_of("prod secret"), bytes_of("l"), rng);
+  std::vector<crypto::Tdh2DecShare> dec_shares;
+  for (int p = 2; p < 4; ++p) {
+    for (auto& s : deployment.keys->share(p).decryption.decrypt_shares(pk.encryption, ct,
+                                                                       rng)) {
+      dec_shares.push_back(s);
+    }
+  }
+  auto plaintext = pk.encryption.combine(ct, dec_shares);
+  ASSERT_TRUE(plaintext.has_value());
+  EXPECT_EQ(*plaintext, bytes_of("prod secret"));
+}
+
+struct AbcState {
+  std::unique_ptr<protocols::AtomicBroadcast> abc;
+  std::vector<Bytes> log;
+};
+
+TEST(ProductionParamsTest, AtomicBroadcastAtProductionSizes) {
+  Rng rng(3);
+  auto deployment =
+      adversary::Deployment::threshold(4, 1, rng, adversary::CryptoConfig::production());
+  net::RandomScheduler sched(3);
+  protocols::Cluster<AbcState> cluster(
+      deployment, sched,
+      [](net::Party& party, int) {
+        auto s = std::make_unique<AbcState>();
+        s->abc = std::make_unique<protocols::AtomicBroadcast>(
+            party, "abc",
+            [p = s.get()](int, Bytes payload) { p->log.push_back(std::move(payload)); });
+        return s;
+      },
+      crypto::party_bit(3));
+  cluster.start();
+  cluster.protocol(0)->abc->submit(bytes_of("production run"));
+  ASSERT_TRUE(cluster.run_until_all([](AbcState& s) { return s.log.size() >= 1; }, 2000000));
+  cluster.for_each(
+      [](int, AbcState& s) { EXPECT_EQ(s.log[0], bytes_of("production run")); });
+}
+
+}  // namespace
+}  // namespace sintra

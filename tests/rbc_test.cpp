@@ -1,0 +1,198 @@
+// Reliable broadcast (Bracha) tests: validity, agreement, integrity —
+// including a Byzantine equivocating sender and hostile schedulers.
+#include <gtest/gtest.h>
+
+#include "protocols/broadcast.hpp"
+#include "protocols/harness.hpp"
+
+namespace sintra::protocols {
+namespace {
+
+using crypto::party_bit;
+
+struct RbcState {
+  std::unique_ptr<ReliableBroadcast> rbc;
+  std::optional<Bytes> delivered;
+};
+
+class RbcHarness {
+ public:
+  RbcHarness(int n, int t, int sender, net::Scheduler& sched, crypto::PartySet corrupted = 0,
+             std::uint64_t seed = 1)
+      : rng_(seed),
+        cluster_(adversary::Deployment::threshold(n, t, rng_), sched,
+                 [sender](net::Party& party, int) {
+                   auto state = std::make_unique<RbcState>();
+                   state->rbc = std::make_unique<ReliableBroadcast>(
+                       party, "rbc/0", sender,
+                       [s = state.get()](Bytes m) { s->delivered = std::move(m); });
+                   return state;
+                 },
+                 corrupted) {}
+
+  Cluster<RbcState>& cluster() { return cluster_; }
+
+ private:
+  Rng rng_;
+  Cluster<RbcState> cluster_;
+};
+
+TEST(RbcTest, HonestSenderAllDeliver) {
+  net::RandomScheduler sched(10);
+  RbcHarness h(4, 1, /*sender=*/0, sched);
+  h.cluster().start();
+  h.cluster().protocol(0)->rbc->start(bytes_of("payload"));
+  ASSERT_TRUE(h.cluster().run_until_all(
+      [](RbcState& s) { return s.delivered.has_value(); }, 100000));
+  h.cluster().for_each([](int, RbcState& s) { EXPECT_EQ(*s.delivered, bytes_of("payload")); });
+}
+
+TEST(RbcTest, WorksWithCrashedParties) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    net::RandomScheduler sched(seed);
+    RbcHarness h(4, 1, 0, sched, /*corrupted=*/party_bit(3), seed);
+    h.cluster().start();
+    h.cluster().protocol(0)->rbc->start(bytes_of("m"));
+    EXPECT_TRUE(h.cluster().run_until_all(
+        [](RbcState& s) { return s.delivered.has_value(); }, 100000))
+        << "seed " << seed;
+  }
+}
+
+TEST(RbcTest, LargerSystems) {
+  for (auto [n, t] : {std::pair{7, 2}, std::pair{10, 3}, std::pair{13, 4}}) {
+    net::RandomScheduler sched(static_cast<std::uint64_t>(n));
+    RbcHarness h(n, t, 1, sched, /*corrupted=*/party_bit(0) | party_bit(n - 1));
+    h.cluster().start();
+    h.cluster().protocol(1)->rbc->start(bytes_of("big"));
+    EXPECT_TRUE(h.cluster().run_until_all(
+        [](RbcState& s) { return s.delivered.has_value(); }, 400000))
+        << n;
+  }
+}
+
+TEST(RbcTest, AdversarialSchedulersStillDeliver) {
+  // LIFO and starvation schedulers are fair-in-the-limit; the protocol
+  // must terminate under them — the asynchronous-model guarantee.
+  {
+    net::LifoScheduler sched(3);
+    RbcHarness h(4, 1, 0, sched);
+    h.cluster().start();
+    h.cluster().protocol(0)->rbc->start(bytes_of("lifo"));
+    EXPECT_TRUE(h.cluster().run_until_all(
+        [](RbcState& s) { return s.delivered.has_value(); }, 200000));
+  }
+  {
+    net::StarvePartyScheduler sched(4, /*victim=*/2);
+    RbcHarness h(4, 1, 0, sched);
+    h.cluster().start();
+    h.cluster().protocol(0)->rbc->start(bytes_of("starve"));
+    EXPECT_TRUE(h.cluster().run_until_all(
+        [](RbcState& s) { return s.delivered.has_value(); }, 200000));
+  }
+}
+
+TEST(RbcTest, EmptyAndLargeMessages) {
+  for (std::size_t len : {0u, 1u, 10000u}) {
+    net::RandomScheduler sched(len + 1);
+    RbcHarness h(4, 1, 0, sched);
+    h.cluster().start();
+    h.cluster().protocol(0)->rbc->start(Bytes(len, 0x7e));
+    ASSERT_TRUE(h.cluster().run_until_all(
+        [](RbcState& s) { return s.delivered.has_value(); }, 100000));
+    h.cluster().for_each([&](int, RbcState& s) { EXPECT_EQ(s.delivered->size(), len); });
+  }
+}
+
+TEST(RbcTest, NonSenderCannotStart) {
+  net::RandomScheduler sched(5);
+  RbcHarness h(4, 1, 0, sched);
+  h.cluster().start();
+  EXPECT_THROW(h.cluster().protocol(1)->rbc->start(bytes_of("x")), ProtocolError);
+}
+
+TEST(RbcTest, SendFromNonSenderIgnored) {
+  // A corrupted party impersonating the sender role: its SEND is rejected
+  // (authenticated channels), so nothing is delivered.
+  net::RandomScheduler sched(6);
+  RbcHarness h(4, 1, /*sender=*/0, sched);
+  // Party 3 replaced by an attacker that sends SEND messages for "rbc/0".
+  auto& sim = h.cluster().simulator();
+  h.cluster().attach_custom(
+      3, std::make_unique<net::HookProcess>(
+             [&sim](const net::Message&) {
+               Writer w;
+               w.u8(0);  // kSend
+               w.bytes(bytes_of("forged"));
+               for (int to = 0; to < 4; ++to) {
+                 if (to == 3) continue;
+                 net::Message m;
+                 m.from = 3;
+                 m.to = to;
+                 m.tag = "rbc/0";
+                 m.payload = w.data();
+                 sim.submit(std::move(m));
+               }
+             },
+             nullptr));
+  h.cluster().start();
+  sim.run(10000);
+  h.cluster().for_each([](int, RbcState& s) { EXPECT_FALSE(s.delivered.has_value()); });
+}
+
+/// Byzantine sender that equivocates: SEND "A" to half, "B" to the rest.
+class EquivocatingSender final : public net::Process {
+ public:
+  EquivocatingSender(net::Simulator& sim, int id) : sim_(sim), id_(id) {}
+  void on_start() override {
+    for (int to = 0; to < sim_.n(); ++to) {
+      if (to == id_) continue;
+      Writer w;
+      w.u8(0);  // kSend
+      w.bytes(bytes_of(to % 2 == 0 ? "AAAA" : "BBBB"));
+      net::Message m;
+      m.from = id_;
+      m.to = to;
+      m.tag = "rbc/0";
+      m.payload = w.take();
+      sim_.submit(std::move(m));
+    }
+  }
+  void on_message(const net::Message&) override {}
+
+ private:
+  net::Simulator& sim_;
+  int id_;
+};
+
+TEST(RbcTest, EquivocatingSenderCannotSplitDelivery) {
+  // Core agreement property: whatever the corrupted sender does, honest
+  // parties never deliver different messages.  (They may deliver nothing.)
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    net::RandomScheduler sched(seed);
+    RbcHarness h(4, 1, /*sender=*/0, sched, 0, seed);
+    h.cluster().attach_custom(
+        0, std::make_unique<EquivocatingSender>(h.cluster().simulator(), 0));
+    h.cluster().start();
+    h.cluster().simulator().run(1000000);
+    std::optional<Bytes> first;
+    h.cluster().for_each([&](int, RbcState& s) {
+      if (!s.delivered.has_value()) return;
+      if (!first.has_value()) first = s.delivered;
+      EXPECT_EQ(*s.delivered, *first) << "agreement violated, seed " << seed;
+    });
+    // And if any honest party delivered, all must (totality of RBC):
+    bool any = false;
+    bool all = true;
+    h.cluster().for_each([&](int, RbcState& s) {
+      any = any || s.delivered.has_value();
+      all = all && s.delivered.has_value();
+    });
+    if (any) {
+      EXPECT_TRUE(all) << "totality violated, seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sintra::protocols

@@ -1,0 +1,205 @@
+// Proactive share refresh tests (§6): epoch refresh of the threshold coin
+// key — shares change, the secret and coin values do not, stale shares
+// stop combining with fresh ones, and crashed/Byzantine parties are
+// tolerated.
+#include <gtest/gtest.h>
+
+#include "crypto/shamir.hpp"
+#include "protocols/harness.hpp"
+#include "protocols/refresh.hpp"
+
+namespace sintra::protocols {
+namespace {
+
+using crypto::BigInt;
+using crypto::CoinShare;
+using crypto::party_bit;
+
+struct RefreshState {
+  std::unique_ptr<ShareRefresh> refresh;
+  std::optional<ShareRefresh::Result> result;
+};
+
+struct Harness {
+  Harness(int n, int t, crypto::PartySet corrupted, std::uint64_t seed)
+      : rng(seed),
+        deployment(adversary::Deployment::threshold(n, t, rng)),
+        sched(seed * 3 + 1),
+        cluster(
+            deployment, sched,
+            [&](net::Party& party, int id) {
+              auto state = std::make_unique<RefreshState>();
+              const auto& coin_sk = deployment.keys->share(id).coin;
+              state->refresh = std::make_unique<ShareRefresh>(
+                  party, "refresh", coin_sk.unit_shares().at(id),
+                  deployment.keys->public_keys().coin.verification_values(), t,
+                  [s = state.get()](ShareRefresh::Result r) { s->result = std::move(r); });
+              return state;
+            },
+            corrupted, 0, seed) {}
+
+  bool run() {
+    cluster.start();
+    cluster.for_each([](int, RefreshState& s) { s.refresh->start(); });
+    return cluster.run_until_all([](RefreshState& s) { return s.result.has_value(); },
+                                 30000000);
+  }
+
+  Rng rng;
+  adversary::Deployment deployment;
+  net::RandomScheduler sched;
+  Cluster<RefreshState> cluster;
+};
+
+TEST(RefreshTest, SharesChangeSecretDoesNot) {
+  Harness h(4, 1, 0, 5);
+  ASSERT_TRUE(h.run());
+  const auto& group = h.deployment.keys->public_keys().coin.group();
+
+  // All parties agree on the new verification values.
+  const auto& reference = h.cluster.protocol(0)->result->new_verification;
+  h.cluster.for_each([&](int id, RefreshState& s) {
+    EXPECT_EQ(s.result->new_verification, reference);
+    EXPECT_GT(s.result->dealings_applied, 0);
+    // New share consistent with the new public values.
+    EXPECT_EQ(group.exp_g(s.result->new_share),
+              reference[static_cast<std::size_t>(id)]);
+    // And different from the old share.
+    EXPECT_NE(s.result->new_share,
+              h.deployment.keys->share(id).coin.unit_shares().at(id));
+  });
+
+  // The shared secret is preserved: interpolate old and new shares.
+  crypto::ThresholdScheme scheme(4, 1);
+  std::map<int, BigInt> old_shares;
+  std::map<int, BigInt> new_shares;
+  for (int id : {0, 2}) {
+    old_shares[id] = h.deployment.keys->share(id).coin.unit_shares().at(id);
+    new_shares[id] = h.cluster.protocol(id)->result->new_share;
+  }
+  EXPECT_EQ(scheme.reconstruct(old_shares, group.q()),
+            scheme.reconstruct(new_shares, group.q()));
+}
+
+TEST(RefreshTest, MixedOldAndNewSharesAreInconsistent) {
+  // The proactive property at the algebra level: a t-set of OLD shares
+  // plus fresh shares interpolate to garbage — old share knowledge does
+  // not carry into the new epoch.
+  Harness h(4, 1, 0, 7);
+  ASSERT_TRUE(h.run());
+  const auto& group = h.deployment.keys->public_keys().coin.group();
+  crypto::ThresholdScheme scheme(4, 1);
+  std::map<int, BigInt> mixed;
+  mixed[0] = h.deployment.keys->share(0).coin.unit_shares().at(0);  // old epoch
+  mixed[1] = h.cluster.protocol(1)->result->new_share;              // new epoch
+  std::map<int, BigInt> pure;
+  pure[0] = h.cluster.protocol(0)->result->new_share;
+  pure[1] = h.cluster.protocol(1)->result->new_share;
+  EXPECT_NE(scheme.reconstruct(mixed, group.q()), scheme.reconstruct(pure, group.q()));
+}
+
+TEST(RefreshTest, RefreshedCoinStillCombinesAndAgrees) {
+  // End-to-end: rebuild coin keys from the refreshed shares and toss a
+  // coin — it combines from disjoint share sets and both match.
+  Harness h(4, 1, 0, 9);
+  ASSERT_TRUE(h.run());
+  auto scheme = std::make_shared<crypto::ThresholdScheme>(4, 1);
+  auto group = crypto::Group::test_group();
+  crypto::CoinPublicKey new_pk(group, scheme,
+                               h.cluster.protocol(0)->result->new_verification);
+  Bytes name = bytes_of("epoch-2-coin");
+  Rng rng(99);
+  std::vector<CoinShare> a;
+  std::vector<CoinShare> b;
+  for (int id = 0; id < 4; ++id) {
+    crypto::CoinSecretKey sk(id, {{id, h.cluster.protocol(id)->result->new_share}});
+    for (auto& share : sk.share(new_pk, name, rng)) {
+      EXPECT_TRUE(new_pk.verify_share(name, share));
+      (id < 2 ? a : b).push_back(share);
+    }
+  }
+  auto va = new_pk.combine(name, a);
+  auto vb = new_pk.combine(name, b);
+  ASSERT_TRUE(va && vb);
+  EXPECT_EQ(*va, *vb);
+
+  // The refreshed key is the SAME key: a coin for the same name under the
+  // old keys gives the same value (the secret did not change).
+  const auto& old_pk = h.deployment.keys->public_keys().coin;
+  std::vector<CoinShare> old_shares;
+  for (int id = 0; id < 2; ++id) {
+    for (auto& share : h.deployment.keys->share(id).coin.share(old_pk, name, rng)) {
+      old_shares.push_back(share);
+    }
+  }
+  auto old_value = old_pk.combine(name, old_shares);
+  ASSERT_TRUE(old_value.has_value());
+  EXPECT_EQ(*old_value, *va);
+}
+
+TEST(RefreshTest, ToleratesCrashedParty) {
+  Harness h(4, 1, party_bit(2), 11);
+  ASSERT_TRUE(h.run());
+  const auto* first = h.cluster.protocol(0);
+  h.cluster.for_each([&](int, RefreshState& s) {
+    EXPECT_EQ(s.result->new_verification, first->result->new_verification);
+    EXPECT_GT(s.result->dealings_applied, 0);
+  });
+}
+
+TEST(RefreshTest, LargerSystem) {
+  Harness h(7, 2, party_bit(1) | party_bit(4), 13);
+  ASSERT_TRUE(h.run());
+  const auto* first = h.cluster.protocol(0);
+  h.cluster.for_each([&](int, RefreshState& s) {
+    EXPECT_EQ(s.result->new_verification, first->result->new_verification);
+  });
+}
+
+TEST(RefreshTest, SequentialEpochs) {
+  // Two refresh epochs in a row (separate protocol instances); shares keep
+  // moving, the secret keeps still.
+  Rng rng(15);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  auto group = crypto::Group::test_group();
+  crypto::ThresholdScheme scheme(4, 1);
+
+  std::vector<BigInt> shares;
+  std::vector<BigInt> verification = deployment.keys->public_keys().coin.verification_values();
+  for (int id = 0; id < 4; ++id) {
+    shares.push_back(deployment.keys->share(id).coin.unit_shares().at(id));
+  }
+  BigInt original_secret;
+  {
+    std::map<int, BigInt> m{{0, shares[0]}, {1, shares[1]}};
+    original_secret = scheme.reconstruct(m, group->q());
+  }
+
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    net::RandomScheduler sched(static_cast<std::uint64_t>(epoch) * 17 + 3);
+    Cluster<RefreshState> cluster(
+        deployment, sched,
+        [&](net::Party& party, int id) {
+          auto state = std::make_unique<RefreshState>();
+          state->refresh = std::make_unique<ShareRefresh>(
+              party, "refresh-e" + std::to_string(epoch), shares[static_cast<std::size_t>(id)],
+              verification, 1,
+              [s = state.get()](ShareRefresh::Result r) { s->result = std::move(r); });
+          return state;
+        },
+        0, 0, static_cast<std::uint64_t>(epoch) + 21);
+    cluster.start();
+    cluster.for_each([](int, RefreshState& s) { s.refresh->start(); });
+    ASSERT_TRUE(cluster.run_until_all([](RefreshState& s) { return s.result.has_value(); },
+                                      30000000));
+    for (int id = 0; id < 4; ++id) {
+      shares[static_cast<std::size_t>(id)] = cluster.protocol(id)->result->new_share;
+    }
+    verification = cluster.protocol(0)->result->new_verification;
+    std::map<int, BigInt> m{{2, shares[2]}, {3, shares[3]}};
+    EXPECT_EQ(scheme.reconstruct(m, group->q()), original_secret) << "epoch " << epoch;
+  }
+}
+
+}  // namespace
+}  // namespace sintra::protocols

@@ -1,0 +1,108 @@
+// SHA-256 / HMAC known-answer tests (FIPS 180-4, RFC 4231) and properties
+// of the domain-separated oracle helpers.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+std::string hex_of(const Digest& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(hex_of(sha256(Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(hex_of(sha256(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sha256(bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Bytes data(1000000, 'a');
+  EXPECT_EQ(hex_of(sha256(data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Bytes data = bytes_of("the quick brown fox jumps over the lazy dog, repeatedly");
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    Sha256 h;
+    h.update(BytesView(data.data(), split));
+    h.update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), sha256(data));
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    Bytes data(len, 0x5a);
+    // Incremental byte-by-byte must equal one-shot.
+    Sha256 h;
+    for (std::uint8_t b : data) h.update(BytesView(&b, 1));
+    EXPECT_EQ(h.finish(), sha256(data)) << "len=" << len;
+  }
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_of(hmac_sha256(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(hex_of(hmac_sha256(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_of(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashed) {
+  Bytes key(131, 0xaa);  // longer than a block
+  EXPECT_EQ(hex_of(hmac_sha256(key, bytes_of("Test Using Larger Than Block-Size Key - Hash "
+                                             "Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(DomainHashTest, DomainsSeparate) {
+  Bytes data = bytes_of("x");
+  EXPECT_NE(hash_domain("a", data), hash_domain("b", data));
+}
+
+TEST(DomainHashTest, NotPrefixConfusable) {
+  // ("ab", "c") and ("a", "bc") must differ thanks to the separator byte.
+  EXPECT_NE(hash_domain("ab", bytes_of("c")), hash_domain("a", bytes_of("bc")));
+}
+
+TEST(HashExpandTest, LengthExact) {
+  for (std::size_t len : {0u, 1u, 31u, 32u, 33u, 64u, 100u, 257u}) {
+    EXPECT_EQ(hash_expand("d", bytes_of("seed"), len).size(), len);
+  }
+}
+
+TEST(HashExpandTest, PrefixConsistent) {
+  Bytes longer = hash_expand("d", bytes_of("seed"), 96);
+  Bytes shorter = hash_expand("d", bytes_of("seed"), 40);
+  EXPECT_TRUE(std::equal(shorter.begin(), shorter.end(), longer.begin()));
+}
+
+TEST(HashExpandTest, SeedSensitive) {
+  EXPECT_NE(hash_expand("d", bytes_of("s1"), 64), hash_expand("d", bytes_of("s2"), 64));
+  EXPECT_NE(hash_expand("d1", bytes_of("s"), 64), hash_expand("d2", bytes_of("s"), 64));
+}
+
+}  // namespace
+}  // namespace sintra::crypto

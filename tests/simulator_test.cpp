@@ -1,0 +1,339 @@
+// Network substrate tests: delivery semantics, scheduler behaviours,
+// party routing/buffering, traffic accounting.
+#include <gtest/gtest.h>
+
+#include "net/corruption.hpp"
+#include "net/party.hpp"
+
+namespace sintra::net {
+namespace {
+
+/// Records everything it receives.
+class Recorder final : public Process {
+ public:
+  void on_message(const Message& message) override { received.push_back(message); }
+  std::vector<Message> received;
+};
+
+/// Sends one message to `to` on start.
+class OneShot final : public Process {
+ public:
+  OneShot(Simulator& sim, int id, int to) : sim_(sim), id_(id), to_(to) {}
+  void on_start() override {
+    Message m;
+    m.from = id_;
+    m.to = to_;
+    m.tag = "t/x";
+    m.payload = bytes_of("hello");
+    sim_.submit(std::move(m));
+  }
+  void on_message(const Message&) override {}
+
+ private:
+  Simulator& sim_;
+  int id_;
+  int to_;
+};
+
+TEST(SimulatorTest, DeliversSubmittedMessage) {
+  FifoScheduler sched;
+  Simulator sim(2, sched);
+  sim.attach(0, std::make_unique<OneShot>(sim, 0, 1));
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* rec = recorder.get();
+  sim.attach(1, std::move(recorder));
+  sim.start();
+  EXPECT_EQ(sim.run(100), 1u);
+  ASSERT_EQ(rec->received.size(), 1u);
+  EXPECT_EQ(rec->received[0].from, 0);
+  EXPECT_EQ(rec->received[0].payload, bytes_of("hello"));
+}
+
+TEST(SimulatorTest, QuiescenceDetected) {
+  FifoScheduler sched;
+  Simulator sim(1, sched);
+  sim.attach(0, std::make_unique<Recorder>());
+  sim.start();
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.run(10), 0u);
+}
+
+TEST(SimulatorTest, RejectsBadEndpoints) {
+  FifoScheduler sched;
+  Simulator sim(2, sched);
+  Message m;
+  m.from = 0;
+  m.to = 7;
+  EXPECT_THROW(sim.submit(std::move(m)), ProtocolError);
+}
+
+TEST(SimulatorTest, SenderSpoofingRejected) {
+  // Authenticated channels: a process cannot submit under another id.
+  class Spoofer final : public Process {
+   public:
+    Spoofer(Simulator& sim, int id) : sim_(sim), id_(id) {}
+    void on_start() override {
+      Message m;
+      m.from = id_ == 0 ? 1 : 0;  // claim to be somebody else
+      m.to = id_;
+      m.tag = "x";
+      EXPECT_THROW(sim_.submit(std::move(m)), ProtocolError);
+      // Own identity is fine.
+      Message ok;
+      ok.from = id_;
+      ok.to = (id_ + 1) % 2;
+      ok.tag = "x";
+      sim_.submit(std::move(ok));
+    }
+    void on_message(const Message&) override {}
+
+   private:
+    Simulator& sim_;
+    int id_;
+  };
+  FifoScheduler sched;
+  Simulator sim(2, sched);
+  sim.attach(0, std::make_unique<Spoofer>(sim, 0));
+  sim.attach(1, std::make_unique<Spoofer>(sim, 1));
+  sim.start();
+  EXPECT_EQ(sim.pending_count(), 2u);  // only the honest sends got through
+}
+
+TEST(SimulatorTest, TrafficAccountingByTagPrefix) {
+  FifoScheduler sched;
+  Simulator sim(2, sched);
+  sim.attach(0, std::make_unique<Recorder>());
+  sim.attach(1, std::make_unique<Recorder>());
+  sim.start();
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.tag = "abba/inst/" + std::to_string(i);
+    m.payload = Bytes(10);
+    sim.submit(std::move(m));
+  }
+  Message other;
+  other.from = 1;
+  other.to = 0;
+  other.tag = "rbc/y";
+  sim.submit(std::move(other));
+  ASSERT_TRUE(sim.traffic().contains("abba"));
+  EXPECT_EQ(sim.traffic().at("abba").messages, 3u);
+  EXPECT_EQ(sim.traffic().at("rbc").messages, 1u);
+}
+
+TEST(SchedulerTest, FifoPreservesSubmissionOrder) {
+  FifoScheduler sched;
+  Simulator sim(2, sched);
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* rec = recorder.get();
+  sim.attach(0, std::make_unique<Recorder>());
+  sim.attach(1, std::move(recorder));
+  sim.start();
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.tag = "t/" + std::to_string(i);
+    sim.submit(std::move(m));
+  }
+  sim.run(100);
+  ASSERT_EQ(rec->received.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(rec->received[static_cast<std::size_t>(i)].tag,
+                                        "t/" + std::to_string(i));
+}
+
+TEST(SchedulerTest, RandomIsFairInTheLimit) {
+  RandomScheduler sched(42);
+  Simulator sim(2, sched);
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* rec = recorder.get();
+  sim.attach(0, std::make_unique<Recorder>());
+  sim.attach(1, std::move(recorder));
+  sim.start();
+  for (int i = 0; i < 50; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.tag = "t/x";
+    sim.submit(std::move(m));
+  }
+  sim.run(1000);
+  EXPECT_EQ(rec->received.size(), 50u);  // everything eventually delivered
+}
+
+TEST(SchedulerTest, StarveDelaysVictimUntilNothingElse) {
+  StarvePartyScheduler sched(1, /*victim=*/1);
+  Simulator sim(3, sched);
+  auto recorder1 = std::make_unique<Recorder>();
+  Recorder* rec1 = recorder1.get();
+  auto recorder2 = std::make_unique<Recorder>();
+  Recorder* rec2 = recorder2.get();
+  sim.attach(0, std::make_unique<Recorder>());
+  sim.attach(1, std::move(recorder1));
+  sim.attach(2, std::move(recorder2));
+  sim.start();
+  // One message to the victim, one to party 2.
+  Message to_victim;
+  to_victim.from = 0;
+  to_victim.to = 1;
+  to_victim.tag = "a";
+  sim.submit(std::move(to_victim));
+  Message to_other;
+  to_other.from = 0;
+  to_other.to = 2;
+  to_other.tag = "b";
+  sim.submit(std::move(to_other));
+  // First step must deliver the non-victim message.
+  sim.step();
+  EXPECT_EQ(rec2->received.size(), 1u);
+  EXPECT_EQ(rec1->received.size(), 0u);
+  // But the victim message is delivered once it is the only one left.
+  sim.step();
+  EXPECT_EQ(rec1->received.size(), 1u);
+}
+
+TEST(SchedulerTest, StarveSetPrefersNonVictims) {
+  StarveSetScheduler sched(1, /*victims=*/0b110);  // parties 1 and 2
+  Simulator sim(4, sched);
+  std::array<Recorder*, 4> recs{};
+  for (int i = 0; i < 4; ++i) {
+    auto r = std::make_unique<Recorder>();
+    recs[static_cast<std::size_t>(i)] = r.get();
+    sim.attach(i, std::move(r));
+  }
+  sim.start();
+  for (int to : {1, 2, 3}) {
+    Message m;
+    m.from = 0;
+    m.to = to;
+    m.tag = "x";
+    sim.submit(std::move(m));
+  }
+  sim.step();
+  EXPECT_EQ(recs[3]->received.size(), 1u);  // non-victim served first
+}
+
+// ---- Party routing ---------------------------------------------------------
+
+adversary::Deployment test_deployment() {
+  Rng rng(77);
+  return adversary::Deployment::threshold(4, 1, rng);
+}
+
+TEST(PartyTest, RoutesToRegisteredHandler) {
+  FifoScheduler sched;
+  Simulator sim(4, sched);
+  auto deployment = test_deployment();
+  auto party = std::make_unique<Party>(sim, 0, deployment, 1);
+  Party* p = party.get();
+  int calls = 0;
+  p->register_handler("proto/a", [&](int from, Reader& r) {
+    EXPECT_EQ(from, 1);
+    EXPECT_EQ(r.u32(), 42u);
+    ++calls;
+  });
+  sim.attach(0, std::move(party));
+  for (int i = 1; i < 4; ++i) sim.attach(i, std::make_unique<Recorder>());
+  sim.start();
+  Writer w;
+  w.u32(42);
+  Message m;
+  m.from = 1;
+  m.to = 0;
+  m.tag = "proto/a";
+  m.payload = w.take();
+  sim.submit(std::move(m));
+  sim.run(10);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(PartyTest, BuffersUnknownTagsUntilRegistration) {
+  FifoScheduler sched;
+  Simulator sim(4, sched);
+  auto deployment = test_deployment();
+  auto party = std::make_unique<Party>(sim, 0, deployment, 1);
+  Party* p = party.get();
+  sim.attach(0, std::move(party));
+  for (int i = 1; i < 4; ++i) sim.attach(i, std::make_unique<Recorder>());
+  sim.start();
+  Message m;
+  m.from = 2;
+  m.to = 0;
+  m.tag = "late/tag";
+  m.payload = bytes_of("x");
+  sim.submit(std::move(m));
+  sim.run(10);
+  int calls = 0;
+  p->register_handler("late/tag", [&](int, Reader&) { ++calls; });
+  EXPECT_EQ(calls, 1);  // replayed on registration
+}
+
+TEST(PartyTest, SelfSendBypassesNetwork) {
+  FifoScheduler sched;
+  Simulator sim(4, sched);
+  auto deployment = test_deployment();
+  auto party = std::make_unique<Party>(sim, 0, deployment, 1);
+  Party* p = party.get();
+  int calls = 0;
+  p->register_handler("self/x", [&](int from, Reader&) {
+    EXPECT_EQ(from, 0);
+    ++calls;
+  });
+  sim.attach(0, std::move(party));
+  for (int i = 1; i < 4; ++i) sim.attach(i, std::make_unique<Recorder>());
+  sim.start();
+  p->send(0, "self/x", Bytes{});
+  EXPECT_EQ(calls, 1);               // delivered synchronously
+  EXPECT_EQ(sim.pending_count(), 0u);  // never hit the network
+}
+
+TEST(PartyTest, HandlerExceptionsDropMessageOnly) {
+  FifoScheduler sched;
+  Simulator sim(4, sched);
+  auto deployment = test_deployment();
+  auto party = std::make_unique<Party>(sim, 0, deployment, 1);
+  Party* p = party.get();
+  int good = 0;
+  p->register_handler("bad", [&](int, Reader&) { throw ProtocolError("malformed"); });
+  p->register_handler("good", [&](int, Reader&) { ++good; });
+  sim.attach(0, std::move(party));
+  for (int i = 1; i < 4; ++i) sim.attach(i, std::make_unique<Recorder>());
+  sim.start();
+  Message bad;
+  bad.from = 1;
+  bad.to = 0;
+  bad.tag = "bad";
+  sim.submit(std::move(bad));
+  Message good_msg;
+  good_msg.from = 1;
+  good_msg.to = 0;
+  good_msg.tag = "good";
+  sim.submit(std::move(good_msg));
+  sim.run(10);
+  EXPECT_EQ(good, 1);  // the throwing handler did not take the party down
+}
+
+TEST(PartyTest, DuplicateHandlerRejected) {
+  FifoScheduler sched;
+  Simulator sim(4, sched);
+  auto deployment = test_deployment();
+  Party party(sim, 0, deployment, 1);
+  party.register_handler("dup", [](int, Reader&) {});
+  EXPECT_THROW(party.register_handler("dup", [](int, Reader&) {}), LogicError);
+}
+
+TEST(SpamProcessTest, SpamIsBoundedAndHarmless) {
+  RandomScheduler sched(3);
+  Simulator sim(2, sched);
+  sim.attach(0, std::make_unique<SpamProcess>(sim, 0, 9, std::vector<std::string>{"junk/t"}));
+  sim.attach(1, std::make_unique<Recorder>());
+  sim.start();
+  // Spammer feeds on its own deliveries; must terminate due to its cap.
+  std::uint64_t steps = sim.run(100000);
+  EXPECT_LT(steps, 100000u);
+}
+
+}  // namespace
+}  // namespace sintra::net

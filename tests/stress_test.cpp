@@ -1,0 +1,192 @@
+// Randomized full-stack stress sweeps: many seeds x corruption patterns x
+// schedulers x system sizes, asserting the safety and liveness invariants
+// of the complete pipeline on every combination.  This is the "soak"
+// counterpart to the targeted protocol tests.
+#include <gtest/gtest.h>
+
+#include "adversary/hybrid.hpp"
+#include "protocols/atomic.hpp"
+#include "protocols/causal.hpp"
+#include "protocols/harness.hpp"
+
+namespace sintra {
+namespace {
+
+using crypto::PartySet;
+using crypto::party_bit;
+
+struct AbcState {
+  std::unique_ptr<protocols::AtomicBroadcast> abc;
+  std::vector<std::pair<int, Bytes>> log;
+};
+
+struct Config {
+  int n;
+  int t;
+  std::uint64_t seed;
+};
+
+class StressTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(StressTest, RandomCorruptionRandomSchedulerFullPipeline) {
+  const auto [n, t, seed] = GetParam();
+  Rng meta(seed);
+  Rng rng(seed * 3 + 1);
+  auto deployment = adversary::Deployment::threshold(n, t, rng);
+
+  // Random corruption set of size t.
+  PartySet corrupted = 0;
+  while (crypto::popcount(corrupted) < t) {
+    corrupted |= party_bit(static_cast<int>(meta.below(static_cast<std::uint64_t>(n))));
+  }
+
+  // Random scheduler flavour.
+  std::unique_ptr<net::Scheduler> sched;
+  switch (meta.below(3)) {
+    case 0: sched = std::make_unique<net::RandomScheduler>(seed); break;
+    case 1: sched = std::make_unique<net::LifoScheduler>(seed); break;
+    default: {
+      int victim = 0;
+      do {
+        victim = static_cast<int>(meta.below(static_cast<std::uint64_t>(n)));
+      } while (crypto::contains(corrupted, victim));
+      sched = std::make_unique<net::StarvePartyScheduler>(seed, victim);
+      break;
+    }
+  }
+
+  protocols::Cluster<AbcState> cluster(
+      deployment, *sched,
+      [](net::Party& party, int) {
+        auto s = std::make_unique<AbcState>();
+        s->abc = std::make_unique<protocols::AtomicBroadcast>(
+            party, "abc", [p = s.get()](int origin, Bytes payload) {
+              p->log.emplace_back(origin, std::move(payload));
+            });
+        return s;
+      },
+      corrupted, 0, seed);
+  cluster.start();
+
+  // Random workload: 1-3 payloads per honest party, some submitted later.
+  int total = 0;
+  std::vector<std::pair<int, Bytes>> late;
+  cluster.for_each([&](int id, AbcState&) {
+    const int count = 1 + static_cast<int>(meta.below(3));
+    for (int k = 0; k < count; ++k) {
+      Bytes payload = bytes_of("p" + std::to_string(id) + "." + std::to_string(k));
+      if (meta.below(4) == 0) {
+        late.emplace_back(id, std::move(payload));
+      } else {
+        cluster.protocol(id)->abc->submit(std::move(payload));
+      }
+      ++total;
+    }
+  });
+  cluster.simulator().run(50000);  // partial progress
+  for (auto& [id, payload] : late) cluster.protocol(id)->abc->submit(std::move(payload));
+
+  // Liveness: everything delivers.
+  ASSERT_TRUE(cluster.run_until_all(
+      [&](AbcState& s) { return s.log.size() >= static_cast<std::size_t>(total); },
+      100000000))
+      << "n=" << n << " seed=" << seed;
+
+  // Safety: identical order; no duplicates; exactly the submitted set.
+  const auto& reference = [&]() -> const std::vector<std::pair<int, Bytes>>& {
+    for (int id = 0; id < n; ++id) {
+      if (cluster.protocol(id) != nullptr) return cluster.protocol(id)->log;
+    }
+    throw std::logic_error("no honest party");
+  }();
+  cluster.for_each([&](int, AbcState& s) { EXPECT_EQ(s.log, reference); });
+  std::set<Bytes> seen;
+  for (const auto& [origin, payload] : reference) {
+    EXPECT_TRUE(seen.insert(payload).second) << "duplicate delivery";
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StressTest,
+    ::testing::Values(Config{4, 1, 101}, Config{4, 1, 102}, Config{4, 1, 103},
+                      Config{4, 1, 104}, Config{7, 2, 201}, Config{7, 2, 202},
+                      Config{7, 2, 203}, Config{10, 3, 301}, Config{10, 3, 302}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "n" + std::to_string(info.param.n) + "_seed" + std::to_string(info.param.seed);
+    });
+
+struct ScState {
+  std::unique_ptr<protocols::SecureCausalBroadcast> sc;
+  std::vector<Bytes> log;
+};
+
+TEST(StressTest, CausalPipelineSweep) {
+  // Secure causal pipeline under several seeds with a crash fault.
+  for (std::uint64_t seed = 401; seed <= 404; ++seed) {
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(seed);
+    protocols::Cluster<ScState> cluster(
+        deployment, sched,
+        [](net::Party& party, int) {
+          auto s = std::make_unique<ScState>();
+          s->sc = std::make_unique<protocols::SecureCausalBroadcast>(
+              party, "sc", [p = s.get()](std::uint64_t, Bytes plaintext, Bytes) {
+                p->log.push_back(std::move(plaintext));
+              });
+          return s;
+        },
+        party_bit(static_cast<int>(seed % 4)), 0, seed);
+    cluster.start();
+    Rng crng(seed + 7);
+    const auto& pk = deployment.keys->public_keys().encryption;
+    const int total = 5;
+    for (int k = 0; k < total; ++k) {
+      auto ct = pk.encrypt(bytes_of("doc" + std::to_string(k)), bytes_of("svc"), crng);
+      int submitter = (k + 1 + static_cast<int>(seed)) % 4;
+      if (cluster.protocol(submitter) == nullptr) submitter = (submitter + 1) % 4;
+      cluster.protocol(submitter)->sc->submit(ct);
+    }
+    ASSERT_TRUE(cluster.run_until_all(
+        [&](ScState& s) { return s.log.size() >= static_cast<std::size_t>(total); },
+        100000000))
+        << "seed " << seed;
+    const std::vector<Bytes>* reference = nullptr;
+    cluster.for_each([&](int, ScState& s) {
+      if (reference == nullptr) reference = &s.log;
+      else EXPECT_EQ(s.log, *reference);
+    });
+  }
+}
+
+TEST(StressTest, HybridPipelineSweep) {
+  for (std::uint64_t seed = 501; seed <= 503; ++seed) {
+    Rng rng(seed);
+    auto deployment = adversary::hybrid_deployment(6, 1, 1, rng);
+    net::RandomScheduler sched(seed);
+    protocols::Cluster<AbcState> cluster(
+        deployment, sched,
+        [](net::Party& party, int) {
+          auto s = std::make_unique<AbcState>();
+          s->abc = std::make_unique<protocols::AtomicBroadcast>(
+              party, "abc", [p = s.get()](int origin, Bytes payload) {
+                p->log.emplace_back(origin, std::move(payload));
+              });
+          return s;
+        },
+        party_bit(static_cast<int>(seed % 6)) |
+            party_bit(static_cast<int>((seed + 3) % 6)),
+        0, seed);
+    cluster.start();
+    int submitter = static_cast<int>((seed + 1) % 6);
+    while (cluster.protocol(submitter) == nullptr) submitter = (submitter + 1) % 6;
+    cluster.protocol(submitter)->abc->submit(bytes_of("hybrid-stress"));
+    ASSERT_TRUE(
+        cluster.run_until_all([](AbcState& s) { return s.log.size() >= 1; }, 50000000))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sintra

@@ -1,0 +1,262 @@
+// Adversary-structure tests (§4): monotonicity, Q³/Q², the threshold
+// special case, quorum rules, and the paper's two example structures.
+#include <gtest/gtest.h>
+
+#include "adversary/examples.hpp"
+
+namespace sintra::adversary {
+namespace {
+
+using crypto::full_set;
+using crypto::party_bit;
+using crypto::PartySet;
+using crypto::set_of;
+
+TEST(StructureTest, SubsumedSetsRemoved) {
+  AdversaryStructure s(4, {set_of({0, 1}), set_of({0}), set_of({2})});
+  EXPECT_EQ(s.maximal_sets().size(), 2u);
+  EXPECT_TRUE(s.corruptible(set_of({0})));
+  EXPECT_TRUE(s.corruptible(set_of({0, 1})));
+  EXPECT_TRUE(s.corruptible(set_of({2})));
+  EXPECT_FALSE(s.corruptible(set_of({3})));
+  EXPECT_FALSE(s.corruptible(set_of({0, 2})));
+}
+
+TEST(StructureTest, MonotoneByConstruction) {
+  AdversaryStructure s(5, {set_of({0, 1, 2})});
+  // Every subset of a corruptible set is corruptible.
+  for (PartySet sub = 0; sub <= set_of({0, 1, 2}); ++sub) {
+    if ((sub & ~set_of({0, 1, 2})) == 0) {
+      EXPECT_TRUE(s.corruptible(sub));
+    }
+  }
+}
+
+TEST(StructureTest, EmptySetAlwaysCorruptible) {
+  AdversaryStructure s(3, {0});
+  EXPECT_TRUE(s.corruptible(0));
+  EXPECT_FALSE(s.corruptible(party_bit(0)));
+}
+
+TEST(StructureTest, ThresholdSpecialCase) {
+  AdversaryStructure s = AdversaryStructure::threshold(7, 2);
+  EXPECT_EQ(s.maximal_sets().size(), 21u);  // C(7,2)
+  EXPECT_TRUE(s.corruptible(set_of({3, 6})));
+  EXPECT_FALSE(s.corruptible(set_of({0, 1, 2})));
+  EXPECT_TRUE(s.satisfies_q3());
+  EXPECT_EQ(s.max_corruptions(), 2);
+}
+
+TEST(StructureTest, ThresholdQ3Boundary) {
+  EXPECT_TRUE(AdversaryStructure::threshold(4, 1).satisfies_q3());
+  EXPECT_FALSE(AdversaryStructure::threshold(3, 1).satisfies_q3());
+  EXPECT_TRUE(AdversaryStructure::threshold(7, 2).satisfies_q3());
+  EXPECT_FALSE(AdversaryStructure::threshold(6, 2).satisfies_q3());
+  EXPECT_FALSE(AdversaryStructure::threshold(9, 3).satisfies_q3());
+  EXPECT_TRUE(AdversaryStructure::threshold(10, 3).satisfies_q3());
+}
+
+TEST(StructureTest, Q2Boundary) {
+  EXPECT_TRUE(AdversaryStructure::threshold(3, 1).satisfies_q2());
+  EXPECT_FALSE(AdversaryStructure::threshold(2, 1).satisfies_q2());
+}
+
+TEST(StructureTest, ZeroThreshold) {
+  AdversaryStructure s = AdversaryStructure::threshold(3, 0);
+  EXPECT_TRUE(s.corruptible(0));
+  EXPECT_FALSE(s.corruptible(party_bit(1)));
+  EXPECT_TRUE(s.satisfies_q3());
+}
+
+TEST(StructureTest, Example1MatchesPaper) {
+  // "A1* consists of {1,...,4} and of all pairs of servers that are not
+  // both of class a": 1 + (C(9,2) - C(4,2)) = 31 maximal sets.
+  auto s = example1_access().to_adversary_structure(9);
+  EXPECT_EQ(s.maximal_sets().size(), 31u);
+  EXPECT_TRUE(s.satisfies_q3());
+  EXPECT_EQ(s.max_corruptions(), 4);
+
+  // The whole of class a (servers 0..3) is corruptible.
+  EXPECT_TRUE(s.corruptible(set_of({0, 1, 2, 3})));
+  // Any pair not both class a.
+  EXPECT_TRUE(s.corruptible(set_of({4, 8})));
+  EXPECT_TRUE(s.corruptible(set_of({0, 7})));
+  // A pair inside class a is corruptible (subset of class a).
+  EXPECT_TRUE(s.corruptible(set_of({0, 1})));
+  // Three servers across two classes are NOT corruptible.
+  EXPECT_FALSE(s.corruptible(set_of({0, 4, 8})));
+  // Class a plus one more is not corruptible.
+  EXPECT_FALSE(s.corruptible(set_of({0, 1, 2, 3, 4})));
+}
+
+TEST(StructureTest, Example1BestThresholdIsTwo) {
+  // "tolerates the corruption of at most two arbitrary servers": a pure
+  // threshold scheme on 9 servers tolerating Q3 allows t = 2, and A1
+  // strictly contains that threshold structure.
+  auto s = example1_access().to_adversary_structure(9);
+  EXPECT_EQ(s.best_q3_threshold(), 2);
+}
+
+TEST(StructureTest, Example2IntendedStructure) {
+  AdversaryStructure s = example2_structure();
+  EXPECT_EQ(s.maximal_sets().size(), 16u);
+  EXPECT_TRUE(s.satisfies_q3());
+  EXPECT_EQ(s.max_corruptions(), 7);  // 4 + 4 - 1 (shared cell)
+
+  // One location + one OS simultaneously: corruptible.
+  PartySet bad = 0;
+  for (int k = 0; k < 4; ++k) {
+    bad |= party_bit(example2_party(1, k));
+    bad |= party_bit(example2_party(k, 2));
+  }
+  EXPECT_TRUE(s.corruptible(bad));
+  // Two full locations: NOT corruptible (8 servers, no single OS covers).
+  PartySet two_locations = 0;
+  for (int k = 0; k < 4; ++k) {
+    two_locations |= party_bit(example2_party(0, k));
+    two_locations |= party_bit(example2_party(1, k));
+  }
+  EXPECT_FALSE(s.corruptible(two_locations));
+}
+
+TEST(StructureTest, Example2BeatsAnyThreshold) {
+  // "all solutions based on thresholds can tolerate at most five
+  // corruptions among the 16 servers" (Q3 forces t <= 5), while the
+  // generalized structure tolerates specific sets of 7.
+  AdversaryStructure s = example2_structure();
+  EXPECT_EQ(s.max_corruptions(), 7);
+  EXPECT_FALSE(AdversaryStructure::threshold(16, 6).satisfies_q3());
+  EXPECT_TRUE(AdversaryStructure::threshold(16, 5).satisfies_q3());
+}
+
+TEST(StructureTest, Example2FormulaDerivedStructureViolatesQ3) {
+  // Documented subtlety (DESIGN.md): deriving A from the Example 2 sharing
+  // formula (maximal unqualified sets) yields a strictly larger family
+  // that VIOLATES Q3 — e.g. one full location plus one scattered server
+  // per other location is unqualified but fits in no location ∪ OS set.
+  auto derived = example2_access().to_adversary_structure(16);
+  EXPECT_FALSE(derived.satisfies_q3());
+  EXPECT_GT(derived.maximal_sets().size(), 16u);
+}
+
+TEST(StructureTest, DescribeIsReadable) {
+  AdversaryStructure s(3, {set_of({0, 1})});
+  EXPECT_NE(s.describe().find("{0,1}"), std::string::npos);
+}
+
+TEST(FormulaTest, ThresholdGateEvaluation) {
+  auto f = Formula::threshold(2, {Formula::leaf(0), Formula::leaf(1), Formula::leaf(2)});
+  EXPECT_FALSE(f.eval(0));
+  EXPECT_FALSE(f.eval(set_of({1})));
+  EXPECT_TRUE(f.eval(set_of({0, 2})));
+  EXPECT_TRUE(f.eval(set_of({0, 1, 2})));
+}
+
+TEST(FormulaTest, AndOrGates) {
+  auto land = Formula::land({Formula::leaf(0), Formula::leaf(1)});
+  EXPECT_TRUE(land.eval(set_of({0, 1})));
+  EXPECT_FALSE(land.eval(set_of({0})));
+  auto lor = Formula::lor({Formula::leaf(0), Formula::leaf(1)});
+  EXPECT_TRUE(lor.eval(set_of({1})));
+  EXPECT_FALSE(lor.eval(set_of({2})));
+}
+
+TEST(FormulaTest, NestedCounts) {
+  auto f = Formula::land({Formula::lor({Formula::leaf(0), Formula::leaf(1)}),
+                          Formula::leaf(0)});
+  EXPECT_EQ(f.num_leaves(), 3);
+  EXPECT_EQ(f.max_party(), 2);
+}
+
+TEST(FormulaTest, InvalidGatesRejected) {
+  EXPECT_THROW(Formula::threshold(0, {Formula::leaf(0)}), ProtocolError);
+  EXPECT_THROW(Formula::threshold(2, {Formula::leaf(0)}), ProtocolError);
+  EXPECT_THROW(Formula::threshold(1, {}), ProtocolError);
+  EXPECT_THROW(Formula::leaf(-1), ProtocolError);
+}
+
+TEST(FormulaTest, ThresholdFormulaStructureMatches) {
+  // Θ_{t+1}^n access formula derives exactly the threshold structure.
+  std::vector<Formula> leaves;
+  for (int i = 0; i < 5; ++i) leaves.push_back(Formula::leaf(i));
+  auto access = Formula::threshold(2, std::move(leaves));  // t = 1
+  auto derived = access.to_adversary_structure(5);
+  auto expected = AdversaryStructure::threshold(5, 1);
+  EXPECT_EQ(derived.maximal_sets().size(), expected.maximal_sets().size());
+  for (PartySet set : expected.maximal_sets()) EXPECT_TRUE(derived.corruptible(set));
+}
+
+TEST(FormulaTest, QuorumFormula) {
+  auto structure = AdversaryStructure::threshold(4, 1);
+  auto quorum = Formula::quorum_formula(structure);
+  // Satisfied exactly by sets containing some 3-complement.
+  EXPECT_TRUE(quorum.eval(set_of({0, 1, 2})));
+  EXPECT_TRUE(quorum.eval(set_of({1, 2, 3})));
+  EXPECT_TRUE(quorum.eval(full_set(4)));
+  EXPECT_FALSE(quorum.eval(set_of({0, 1})));
+}
+
+TEST(QuorumTest, ThresholdRules) {
+  ThresholdQuorum q(7, 2);
+  EXPECT_TRUE(q.is_quorum(full_set(5)));
+  EXPECT_FALSE(q.is_quorum(full_set(4)));
+  EXPECT_TRUE(q.exceeds_fault_set(full_set(3)));
+  EXPECT_FALSE(q.exceeds_fault_set(full_set(2)));
+  EXPECT_TRUE(q.is_vote_quorum(full_set(5)));
+  EXPECT_FALSE(q.is_vote_quorum(full_set(4)));
+  EXPECT_TRUE(q.corruptible(set_of({1, 5})));
+  EXPECT_FALSE(q.corruptible(set_of({1, 5, 6})));
+  EXPECT_THROW(ThresholdQuorum(6, 2), ProtocolError);
+}
+
+TEST(QuorumTest, GeneralRulesMatchThresholdOnThresholdStructure) {
+  // The generalized predicates instantiated with a threshold structure
+  // must coincide with the popcount rules — on every subset.
+  ThresholdQuorum threshold(7, 2);
+  GeneralQuorum general(AdversaryStructure::threshold(7, 2));
+  for (PartySet set = 0; set < (PartySet{1} << 7); ++set) {
+    EXPECT_EQ(general.corruptible(set), threshold.corruptible(set)) << set;
+    EXPECT_EQ(general.is_quorum(set), threshold.is_quorum(set)) << set;
+    EXPECT_EQ(general.exceeds_fault_set(set), threshold.exceeds_fault_set(set)) << set;
+    EXPECT_EQ(general.is_vote_quorum(set), threshold.is_vote_quorum(set)) << set;
+  }
+}
+
+TEST(QuorumTest, GeneralQuorumOnExample1) {
+  GeneralQuorum q(example1_access().to_adversary_structure(9));
+  // Complement of class a is a quorum.
+  EXPECT_TRUE(q.is_quorum(set_of({4, 5, 6, 7, 8})));
+  // Complement of a pair is a quorum.
+  EXPECT_TRUE(q.is_quorum(full_set(9) & ~set_of({4, 8})));
+  // Class a alone is not (its complement — class a — IS corruptible, but
+  // the heard set must contain a full complement of some corruptible set;
+  // {0,1,2,3}'s complement is {4..8}, and P∖{0,1,2,3} ∉ heard).
+  EXPECT_FALSE(q.is_quorum(set_of({0, 1, 2, 3})));
+  // Vote quorum: removing any corruptible set must leave a non-corruptible
+  // remainder.
+  EXPECT_TRUE(q.is_vote_quorum(full_set(9)));
+  EXPECT_FALSE(q.is_vote_quorum(set_of({0, 1, 2, 3, 4})));
+}
+
+TEST(QuorumTest, GeneralQuorumRejectsNonQ3) {
+  EXPECT_THROW(GeneralQuorum(AdversaryStructure::threshold(6, 2)), ProtocolError);
+}
+
+TEST(DeploymentTest, ThresholdRequiresQ3) {
+  Rng rng(1);
+  EXPECT_THROW(adversary::Deployment::threshold(6, 2, rng), ProtocolError);
+}
+
+TEST(DeploymentTest, GeneralRejectsIncompatibleStructure) {
+  // An explicit structure containing a set that the sharing formula would
+  // qualify must be rejected.
+  Rng rng(2);
+  std::vector<Formula> leaves;
+  for (int i = 0; i < 4; ++i) leaves.push_back(Formula::leaf(i));
+  Formula access = Formula::threshold(2, std::move(leaves));  // any 2 reconstruct
+  AdversaryStructure structure(4, {set_of({0, 1})});          // but {0,1} "corruptible"
+  EXPECT_THROW(Deployment::general_with_structure(access, structure, rng), ProtocolError);
+}
+
+}  // namespace
+}  // namespace sintra::adversary

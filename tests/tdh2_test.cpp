@@ -1,0 +1,201 @@
+// TDH2 threshold cryptosystem tests: round-trips, ciphertext integrity
+// (the CCA2 mechanics: proof of well-formedness, label binding), share
+// robustness, and the generalized-structure instantiation.
+#include <gtest/gtest.h>
+
+#include "adversary/examples.hpp"
+#include "crypto/shamir.hpp"
+#include "crypto/tdh2.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+class Tdh2Test : public ::testing::Test {
+ protected:
+  Tdh2Test()
+      : rng_(321),
+        deal_(Tdh2Deal::deal(Group::test_group(), std::make_shared<ThresholdScheme>(4, 1),
+                             rng_)) {}
+
+  std::vector<Tdh2DecShare> shares_for(const Tdh2Ciphertext& ct,
+                                       std::initializer_list<int> parties) {
+    std::vector<Tdh2DecShare> out;
+    for (int p : parties) {
+      for (auto& s : deal_.secret_keys[static_cast<std::size_t>(p)].decrypt_shares(
+               deal_.public_key, ct, rng_)) {
+        out.push_back(s);
+      }
+    }
+    return out;
+  }
+
+  Rng rng_;
+  Tdh2Deal deal_;
+};
+
+TEST_F(Tdh2Test, EncryptDecryptRoundTrip) {
+  Bytes message = bytes_of("the secret bid is 42 dollars");
+  auto ct = deal_.public_key.encrypt(message, bytes_of("auction"), rng_);
+  EXPECT_TRUE(deal_.public_key.check_ciphertext(ct));
+  auto plaintext = deal_.public_key.combine(ct, shares_for(ct, {0, 1}));
+  ASSERT_TRUE(plaintext.has_value());
+  EXPECT_EQ(*plaintext, message);
+}
+
+TEST_F(Tdh2Test, EmptyAndLargeMessages) {
+  for (std::size_t len : {0u, 1u, 31u, 32u, 33u, 1000u}) {
+    Bytes message(len, 0xc3);
+    auto ct = deal_.public_key.encrypt(message, bytes_of("l"), rng_);
+    auto plaintext = deal_.public_key.combine(ct, shares_for(ct, {2, 3}));
+    ASSERT_TRUE(plaintext.has_value());
+    EXPECT_EQ(*plaintext, message) << "len=" << len;
+  }
+}
+
+TEST_F(Tdh2Test, DisjointShareSetsAgree) {
+  Bytes message = bytes_of("same plaintext");
+  auto ct = deal_.public_key.encrypt(message, bytes_of("l"), rng_);
+  auto a = deal_.public_key.combine(ct, shares_for(ct, {0, 1}));
+  auto b = deal_.public_key.combine(ct, shares_for(ct, {2, 3}));
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(Tdh2Test, UnqualifiedSetFails) {
+  auto ct = deal_.public_key.encrypt(bytes_of("m"), bytes_of("l"), rng_);
+  EXPECT_FALSE(deal_.public_key.combine(ct, shares_for(ct, {0})).has_value());
+  EXPECT_FALSE(deal_.public_key.combine(ct, {}).has_value());
+}
+
+TEST_F(Tdh2Test, TamperedCiphertextDataRejected) {
+  auto ct = deal_.public_key.encrypt(bytes_of("message"), bytes_of("l"), rng_);
+  Tdh2Ciphertext bad = ct;
+  bad.data[0] ^= 1;
+  EXPECT_FALSE(deal_.public_key.check_ciphertext(bad));
+  // Honest parties refuse to produce shares for it.
+  EXPECT_TRUE(deal_.secret_keys[0].decrypt_shares(deal_.public_key, bad, rng_).empty());
+  EXPECT_FALSE(deal_.public_key.combine(bad, shares_for(ct, {0, 1})).has_value());
+}
+
+TEST_F(Tdh2Test, TamperedLabelRejected) {
+  // Label binding: altering the label invalidates the ciphertext — the
+  // property that stops cross-context replay of requests.
+  auto ct = deal_.public_key.encrypt(bytes_of("message"), bytes_of("notary"), rng_);
+  Tdh2Ciphertext bad = ct;
+  bad.label = bytes_of("other-service");
+  EXPECT_FALSE(deal_.public_key.check_ciphertext(bad));
+}
+
+TEST_F(Tdh2Test, TamperedElementsRejected) {
+  auto ct = deal_.public_key.encrypt(bytes_of("message"), bytes_of("l"), rng_);
+  const Group& g = deal_.public_key.group();
+  Tdh2Ciphertext bad = ct;
+  bad.u = g.mul(bad.u, g.g());
+  EXPECT_FALSE(deal_.public_key.check_ciphertext(bad));
+  Tdh2Ciphertext bad2 = ct;
+  bad2.u_bar = g.mul(bad2.u_bar, g.g());
+  EXPECT_FALSE(deal_.public_key.check_ciphertext(bad2));
+  Tdh2Ciphertext bad3 = ct;
+  bad3.f = g.scalar_add(bad3.f, BigInt(1));
+  EXPECT_FALSE(deal_.public_key.check_ciphertext(bad3));
+}
+
+TEST_F(Tdh2Test, RelatedCiphertextCannotBeForged) {
+  // The front-running attack surface: an adversary who sees ct cannot make
+  // a *different* valid ciphertext of related content without the random
+  // exponent r.  Mauling any component breaks the Fiat–Shamir proof.
+  auto ct = deal_.public_key.encrypt(bytes_of("patent claims: X"), bytes_of("l"), rng_);
+  Tdh2Ciphertext maul = ct;
+  for (auto& b : maul.data) b ^= 0x20;  // attempt plaintext mauling via XOR
+  EXPECT_FALSE(deal_.public_key.check_ciphertext(maul));
+}
+
+TEST_F(Tdh2Test, BadDecryptionShareRejected) {
+  auto ct = deal_.public_key.encrypt(bytes_of("m"), bytes_of("l"), rng_);
+  auto shares = shares_for(ct, {0, 1});
+  Tdh2DecShare bad = shares[0];
+  bad.value = deal_.public_key.group().mul(bad.value, deal_.public_key.group().g());
+  EXPECT_FALSE(deal_.public_key.verify_share(ct, bad));
+}
+
+TEST_F(Tdh2Test, ShareBoundToCiphertext) {
+  // A share produced for ct1 must not verify against ct2.
+  auto ct1 = deal_.public_key.encrypt(bytes_of("m1"), bytes_of("l"), rng_);
+  auto ct2 = deal_.public_key.encrypt(bytes_of("m2"), bytes_of("l"), rng_);
+  auto shares = shares_for(ct1, {0});
+  EXPECT_TRUE(deal_.public_key.verify_share(ct1, shares[0]));
+  EXPECT_FALSE(deal_.public_key.verify_share(ct2, shares[0]));
+}
+
+TEST_F(Tdh2Test, CiphertextSerializationRoundTrip) {
+  auto ct = deal_.public_key.encrypt(bytes_of("wire format"), bytes_of("l"), rng_);
+  Writer w;
+  ct.encode(w, deal_.public_key.group());
+  Reader r(w.data());
+  Tdh2Ciphertext decoded = Tdh2Ciphertext::decode(r, deal_.public_key.group());
+  r.expect_done();
+  EXPECT_TRUE(deal_.public_key.check_ciphertext(decoded));
+  EXPECT_EQ(decoded.id(deal_.public_key.group()), ct.id(deal_.public_key.group()));
+  auto plaintext = deal_.public_key.combine(decoded, shares_for(decoded, {1, 2}));
+  ASSERT_TRUE(plaintext.has_value());
+  EXPECT_EQ(*plaintext, bytes_of("wire format"));
+}
+
+TEST_F(Tdh2Test, DecShareSerializationRoundTrip) {
+  auto ct = deal_.public_key.encrypt(bytes_of("m"), bytes_of("l"), rng_);
+  auto shares = shares_for(ct, {3});
+  Writer w;
+  shares[0].encode(w, deal_.public_key.group());
+  Reader r(w.data());
+  auto decoded = Tdh2DecShare::decode(r, deal_.public_key.group());
+  EXPECT_TRUE(deal_.public_key.verify_share(ct, decoded));
+}
+
+TEST_F(Tdh2Test, EncryptionIsRandomized) {
+  Bytes message = bytes_of("same message");
+  auto ct1 = deal_.public_key.encrypt(message, bytes_of("l"), rng_);
+  auto ct2 = deal_.public_key.encrypt(message, bytes_of("l"), rng_);
+  EXPECT_NE(ct1.u, ct2.u);
+  EXPECT_NE(ct1.data, ct2.data);
+}
+
+TEST(Tdh2GeneralTest, WorksOverExample2Lsss) {
+  // Decryption over the paper's Example 2 grid: the 3x3 honest grid
+  // decrypts, a full location+OS corruption set cannot.
+  Rng rng(55);
+  auto scheme = std::make_shared<adversary::LsssScheme>(adversary::example2_access(), 16);
+  auto deal = Tdh2Deal::deal(Group::test_group(), scheme, rng);
+  Bytes message = bytes_of("multinational secret");
+  auto ct = deal.public_key.encrypt(message, bytes_of("dir"), rng);
+
+  auto collect = [&](const std::vector<int>& parties) {
+    std::vector<Tdh2DecShare> out;
+    for (int p : parties) {
+      for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].decrypt_shares(
+               deal.public_key, ct, rng)) {
+        out.push_back(s);
+      }
+    }
+    return out;
+  };
+
+  // Honest 3x3 grid: locations 1..3 x OSes 1..3.
+  std::vector<int> grid;
+  for (int loc = 1; loc < 4; ++loc) {
+    for (int os = 1; os < 4; ++os) grid.push_back(adversary::example2_party(loc, os));
+  }
+  auto plaintext = deal.public_key.combine(ct, collect(grid));
+  ASSERT_TRUE(plaintext.has_value());
+  EXPECT_EQ(*plaintext, message);
+
+  // The adversary: all of location 0 plus all of OS 0 (7 servers).
+  std::vector<int> bad;
+  for (int k = 0; k < 4; ++k) {
+    bad.push_back(adversary::example2_party(0, k));
+    if (k != 0) bad.push_back(adversary::example2_party(k, 0));
+  }
+  EXPECT_FALSE(deal.public_key.combine(ct, collect(bad)).has_value());
+}
+
+}  // namespace
+}  // namespace sintra::crypto

@@ -1,0 +1,201 @@
+// Threshold RSA signature tests (Shoup's scheme): share validity,
+// combination, robustness, dual thresholds, and the generalized-structure
+// instantiation used for protocol certificates.
+#include <gtest/gtest.h>
+
+#include "adversary/examples.hpp"
+#include "crypto/shamir.hpp"
+#include "crypto/threshold_sig.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+class ThresholdSigTest : public ::testing::Test {
+ protected:
+  ThresholdSigTest()
+      : rng_(123),
+        deal_(ThresholdSigDeal::deal(RsaParams::precomputed(128),
+                                     std::make_shared<ThresholdScheme>(5, 1), rng_)) {}
+
+  std::vector<SigShare> shares_for(BytesView message, std::initializer_list<int> parties) {
+    std::vector<SigShare> out;
+    for (int p : parties) {
+      for (auto& s : deal_.secret_keys[static_cast<std::size_t>(p)].sign(deal_.public_key,
+                                                                         message, rng_)) {
+        out.push_back(s);
+      }
+    }
+    return out;
+  }
+
+  Rng rng_;
+  ThresholdSigDeal deal_;
+};
+
+TEST_F(ThresholdSigTest, PrecomputedParamsAreSafePrimes) {
+  Rng rng(1);
+  for (int bits : {128, 256, 512}) {
+    RsaParams params = RsaParams::precomputed(bits);
+    EXPECT_TRUE(params.p.is_probable_prime(rng));
+    EXPECT_TRUE(params.q.is_probable_prime(rng));
+    EXPECT_TRUE(((params.p - BigInt(1)).shifted_right(1)).is_probable_prime(rng));
+    EXPECT_TRUE(((params.q - BigInt(1)).shifted_right(1)).is_probable_prime(rng));
+    EXPECT_EQ(params.p.bit_length(), static_cast<std::size_t>(bits));
+  }
+  EXPECT_THROW(RsaParams::precomputed(100), ProtocolError);
+}
+
+TEST_F(ThresholdSigTest, SharesVerify) {
+  Bytes message = bytes_of("sign me");
+  for (const auto& share : shares_for(message, {0, 1, 2, 3, 4})) {
+    EXPECT_TRUE(deal_.public_key.verify_share(message, share));
+  }
+}
+
+TEST_F(ThresholdSigTest, CombineAndVerify) {
+  Bytes message = bytes_of("attack at dawn");
+  auto sig = deal_.public_key.combine(message, shares_for(message, {0, 1}));
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(deal_.public_key.verify(message, *sig));
+  EXPECT_FALSE(deal_.public_key.verify(bytes_of("attack at dusk"), *sig));
+}
+
+TEST_F(ThresholdSigTest, DisjointSubsetsProduceVerifyingSignatures) {
+  Bytes message = bytes_of("consistent");
+  auto a = deal_.public_key.combine(message, shares_for(message, {0, 1}));
+  auto b = deal_.public_key.combine(message, shares_for(message, {2, 3}));
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(deal_.public_key.verify(message, *a));
+  EXPECT_TRUE(deal_.public_key.verify(message, *b));
+  // RSA signatures are unique: both subsets yield the same signature.
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(ThresholdSigTest, UnqualifiedSetFails) {
+  Bytes message = bytes_of("too few");
+  EXPECT_FALSE(deal_.public_key.combine(message, shares_for(message, {0})).has_value());
+}
+
+TEST_F(ThresholdSigTest, TamperedShareValueRejected) {
+  Bytes message = bytes_of("robust");
+  auto shares = shares_for(message, {0, 1});
+  SigShare bad = shares[0];
+  bad.value = BigInt::mul_mod(bad.value, BigInt(2), deal_.public_key.modulus());
+  EXPECT_FALSE(deal_.public_key.verify_share(message, bad));
+}
+
+TEST_F(ThresholdSigTest, ShareForOtherMessageRejected) {
+  Bytes m1 = bytes_of("message one");
+  Bytes m2 = bytes_of("message two");
+  auto shares = shares_for(m1, {2});
+  EXPECT_FALSE(deal_.public_key.verify_share(m2, shares[0]));
+}
+
+TEST_F(ThresholdSigTest, OversizedProofFieldsRejected) {
+  Bytes message = bytes_of("bounds");
+  auto shares = shares_for(message, {0});
+  SigShare bad = shares[0];
+  bad.challenge = BigInt(1).shifted_left(200);  // beyond 128-bit challenge space
+  EXPECT_FALSE(deal_.public_key.verify_share(message, bad));
+  SigShare bad2 = shares[0];
+  bad2.response = BigInt(1).shifted_left(4096);
+  EXPECT_FALSE(deal_.public_key.verify_share(message, bad2));
+  SigShare bad3 = shares[0];
+  bad3.unit = 77;
+  EXPECT_FALSE(deal_.public_key.verify_share(message, bad3));
+}
+
+TEST_F(ThresholdSigTest, ForgedSignatureRejected) {
+  Bytes message = bytes_of("forge me");
+  EXPECT_FALSE(deal_.public_key.verify(message, BigInt(12345)));
+  EXPECT_FALSE(deal_.public_key.verify(message, BigInt(0)));
+  EXPECT_FALSE(deal_.public_key.verify(message, deal_.public_key.modulus()));
+}
+
+TEST_F(ThresholdSigTest, SerializationRoundTrip) {
+  Bytes message = bytes_of("serialize");
+  auto shares = shares_for(message, {3});
+  Writer w;
+  shares[0].encode(w);
+  Reader r(w.data());
+  SigShare decoded = SigShare::decode(r);
+  r.expect_done();
+  EXPECT_TRUE(deal_.public_key.verify_share(message, decoded));
+}
+
+TEST(ThresholdSigDualTest, HighThresholdScheme) {
+  // The certificate key uses the n−t threshold: with n = 7, t = 2 any 5
+  // combine and 4 do not — the quorum-certificate semantics of the stack.
+  Rng rng(5);
+  auto deal = ThresholdSigDeal::deal(RsaParams::precomputed(128),
+                                     std::make_shared<ThresholdScheme>(7, 4), rng);
+  Bytes message = bytes_of("quorum cert");
+  std::vector<SigShare> shares;
+  for (int p = 0; p < 5; ++p) {
+    for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].sign(deal.public_key, message,
+                                                                      rng)) {
+      shares.push_back(s);
+    }
+  }
+  std::vector<SigShare> four(shares.begin(), shares.begin() + 4);
+  EXPECT_FALSE(deal.public_key.combine(message, four).has_value());
+  auto sig = deal.public_key.combine(message, shares);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(deal.public_key.verify(message, *sig));
+}
+
+TEST(ThresholdSigGeneralTest, WorksOverExample1QuorumLsss) {
+  // Certificate signatures over the generalized quorum structure of
+  // Example 1: P ∖ S for S ∈ A* qualifies, a corruptible set does not.
+  Rng rng(9);
+  auto structure = adversary::example1_access().to_adversary_structure(9);
+  auto scheme = std::make_shared<adversary::LsssScheme>(
+      adversary::Formula::quorum_formula(structure), 9);
+  auto deal = ThresholdSigDeal::deal(RsaParams::precomputed(128), scheme, rng);
+  Bytes message = bytes_of("general cert");
+
+  auto sign_set = [&](std::vector<int> parties) {
+    std::vector<SigShare> out;
+    for (int p : parties) {
+      for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].sign(deal.public_key,
+                                                                        message, rng)) {
+        EXPECT_TRUE(deal.public_key.verify_share(message, s));
+        out.push_back(s);
+      }
+    }
+    return out;
+  };
+
+  // Complement of the class-a set {0,1,2,3}: a legitimate quorum.
+  auto sig = deal.public_key.combine(message, sign_set({4, 5, 6, 7, 8}));
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(deal.public_key.verify(message, *sig));
+  // Complement of a pair: also a quorum.
+  auto sig2 = deal.public_key.combine(message, sign_set({0, 1, 2, 3, 6, 7, 8}));
+  ASSERT_TRUE(sig2.has_value());
+  EXPECT_EQ(*sig, *sig2);  // RSA uniqueness across recombination sets
+  // The class-a set itself: corruptible, cannot certify.
+  EXPECT_FALSE(deal.public_key.combine(message, sign_set({0, 1, 2, 3})).has_value());
+}
+
+TEST(ThresholdSigGenerateTest, FreshSafePrimesWork) {
+  // End-to-end with generated (small) safe primes instead of precomputed.
+  Rng rng(17);
+  RsaParams params = RsaParams::generate(rng, 96);
+  auto deal =
+      ThresholdSigDeal::deal(params, std::make_shared<ThresholdScheme>(4, 1), rng);
+  Bytes message = bytes_of("fresh params");
+  std::vector<SigShare> shares;
+  for (int p = 0; p < 2; ++p) {
+    for (auto& s : deal.secret_keys[static_cast<std::size_t>(p)].sign(deal.public_key, message,
+                                                                      rng)) {
+      shares.push_back(s);
+    }
+  }
+  auto sig = deal.public_key.combine(message, shares);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(deal.public_key.verify(message, *sig));
+}
+
+}  // namespace
+}  // namespace sintra::crypto

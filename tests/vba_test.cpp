@@ -1,0 +1,151 @@
+// Multi-valued validated Byzantine agreement tests: agreement, external
+// validity ("no value nobody proposed"), termination, fetch path.
+#include <gtest/gtest.h>
+
+#include "protocols/harness.hpp"
+#include "protocols/vba.hpp"
+
+namespace sintra::protocols {
+namespace {
+
+using crypto::party_bit;
+
+struct VbaState {
+  std::unique_ptr<Vba> vba;
+  std::optional<Bytes> decision;
+};
+
+/// Predicate: value must start with the prefix "ok:".
+bool ok_prefix(BytesView value) {
+  return value.size() >= 3 && value[0] == 'o' && value[1] == 'k' && value[2] == ':';
+}
+
+Cluster<VbaState> make_cluster(adversary::Deployment deployment, net::Scheduler& sched,
+                               crypto::PartySet corrupted = 0, std::uint64_t seed = 1) {
+  return Cluster<VbaState>(
+      std::move(deployment), sched,
+      [](net::Party& party, int) {
+        auto state = std::make_unique<VbaState>();
+        state->vba = std::make_unique<Vba>(
+            party, "vba/0", ok_prefix,
+            [s = state.get()](Bytes value) { s->decision = std::move(value); });
+        return state;
+      },
+      corrupted, 0, seed);
+}
+
+TEST(VbaTest, AgreementOnSomeProposal) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(seed * 11);
+    auto cluster = make_cluster(deployment, sched, 0, seed);
+    cluster.start();
+    std::set<Bytes> proposals;
+    cluster.for_each([&](int id, VbaState& s) {
+      Bytes value = bytes_of("ok:proposal-" + std::to_string(id));
+      proposals.insert(value);
+      s.vba->propose(std::move(value));
+    });
+    ASSERT_TRUE(cluster.run_until_all([](VbaState& s) { return s.decision.has_value(); },
+                                      3000000))
+        << "seed " << seed;
+    std::optional<Bytes> common;
+    cluster.for_each([&](int, VbaState& s) {
+      if (!common.has_value()) common = s.decision;
+      EXPECT_EQ(*s.decision, *common) << "agreement violated";
+    });
+    // External validity + "someone proposed it".
+    EXPECT_TRUE(proposals.contains(*common));
+    EXPECT_TRUE(ok_prefix(*common));
+  }
+}
+
+TEST(VbaTest, ProposalViolatingPredicateRejectedLocally) {
+  Rng rng(1);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(1);
+  auto cluster = make_cluster(deployment, sched);
+  cluster.start();
+  EXPECT_THROW(cluster.protocol(0)->vba->propose(bytes_of("bad-prefix")), ProtocolError);
+}
+
+TEST(VbaTest, ToleratesCrashedParties) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(7, 2, rng);
+    net::RandomScheduler sched(seed * 13);
+    auto cluster = make_cluster(deployment, sched, party_bit(1) | party_bit(4), seed);
+    cluster.start();
+    cluster.for_each([](int id, VbaState& s) {
+      s.vba->propose(bytes_of("ok:" + std::to_string(id)));
+    });
+    EXPECT_TRUE(cluster.run_until_all([](VbaState& s) { return s.decision.has_value(); },
+                                      5000000))
+        << "seed " << seed;
+  }
+}
+
+TEST(VbaTest, IdenticalProposalsDecideThatValue) {
+  Rng rng(9);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(9);
+  auto cluster = make_cluster(deployment, sched);
+  cluster.start();
+  cluster.for_each([](int, VbaState& s) { s.vba->propose(bytes_of("ok:same")); });
+  ASSERT_TRUE(cluster.run_until_all([](VbaState& s) { return s.decision.has_value(); },
+                                    3000000));
+  cluster.for_each([](int, VbaState& s) { EXPECT_EQ(*s.decision, bytes_of("ok:same")); });
+}
+
+TEST(VbaTest, AdversarialSchedulerTerminates) {
+  Rng rng(21);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::LifoScheduler sched(5);
+  auto cluster = make_cluster(deployment, sched, 0, 21);
+  cluster.start();
+  cluster.for_each([](int id, VbaState& s) {
+    s.vba->propose(bytes_of("ok:v" + std::to_string(id)));
+  });
+  EXPECT_TRUE(cluster.run_until_all([](VbaState& s) { return s.decision.has_value(); },
+                                    5000000));
+}
+
+TEST(VbaTest, CandidateCountSmall) {
+  // Expected-constant candidate loop: across seeds the loop should hit an
+  // early candidate (statistically; the bound here is generous).
+  int max_tried = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(seed * 23);
+    auto cluster = make_cluster(deployment, sched, 0, seed);
+    cluster.start();
+    cluster.for_each([](int id, VbaState& s) {
+      s.vba->propose(bytes_of("ok:" + std::to_string(id)));
+    });
+    ASSERT_TRUE(cluster.run_until_all([](VbaState& s) { return s.decision.has_value(); },
+                                      3000000));
+    cluster.for_each([&](int, VbaState& s) {
+      max_tried = std::max(max_tried, s.vba->candidates_tried());
+    });
+  }
+  EXPECT_LE(max_tried, 8);
+}
+
+TEST(VbaTest, LargerSystem) {
+  Rng rng(31);
+  auto deployment = adversary::Deployment::threshold(10, 3, rng);
+  net::RandomScheduler sched(31);
+  auto cluster = make_cluster(deployment, sched, party_bit(0) | party_bit(5) | party_bit(9),
+                              31);
+  cluster.start();
+  cluster.for_each([](int id, VbaState& s) {
+    s.vba->propose(bytes_of("ok:" + std::to_string(id)));
+  });
+  EXPECT_TRUE(cluster.run_until_all([](VbaState& s) { return s.decision.has_value(); },
+                                    20000000));
+}
+
+}  // namespace
+}  // namespace sintra::protocols
