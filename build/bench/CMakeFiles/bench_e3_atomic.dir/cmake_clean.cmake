@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_atomic.dir/bench_e3_atomic.cpp.o"
+  "CMakeFiles/bench_e3_atomic.dir/bench_e3_atomic.cpp.o.d"
+  "bench_e3_atomic"
+  "bench_e3_atomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_causality.dir/bench_e4_causality.cpp.o"
+  "CMakeFiles/bench_e4_causality.dir/bench_e4_causality.cpp.o.d"
+  "bench_e4_causality"
+  "bench_e4_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e6_example2.cpp" "bench/CMakeFiles/bench_e6_example2.dir/bench_e6_example2.cpp.o" "gcc" "bench/CMakeFiles/bench_e6_example2.dir/bench_e6_example2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sintra_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_crypto.dir/bench_e7_crypto.cpp.o"
+  "CMakeFiles/bench_e7_crypto.dir/bench_e7_crypto.cpp.o.d"
+  "bench_e7_crypto"
+  "bench_e7_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

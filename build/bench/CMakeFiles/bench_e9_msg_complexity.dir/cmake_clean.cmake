@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_msg_complexity.dir/bench_e9_msg_complexity.cpp.o"
+  "CMakeFiles/bench_e9_msg_complexity.dir/bench_e9_msg_complexity.cpp.o.d"
+  "bench_e9_msg_complexity"
+  "bench_e9_msg_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_msg_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certification_authority.dir/certification_authority.cpp.o"
+  "CMakeFiles/certification_authority.dir/certification_authority.cpp.o.d"
+  "certification_authority"
+  "certification_authority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certification_authority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

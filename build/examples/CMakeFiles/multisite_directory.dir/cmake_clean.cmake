@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisite_directory.dir/multisite_directory.cpp.o"
+  "CMakeFiles/multisite_directory.dir/multisite_directory.cpp.o.d"
+  "multisite_directory"
+  "multisite_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisite_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notary_frontrun.dir/notary_frontrun.cpp.o"
+  "CMakeFiles/notary_frontrun.dir/notary_frontrun.cpp.o.d"
+  "notary_frontrun"
+  "notary_frontrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notary_frontrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for notary_frontrun.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimistic_failover.dir/optimistic_failover.cpp.o"
+  "CMakeFiles/optimistic_failover.dir/optimistic_failover.cpp.o.d"
+  "optimistic_failover"
+  "optimistic_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimistic_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

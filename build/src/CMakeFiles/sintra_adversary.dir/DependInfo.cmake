@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/examples.cpp" "src/CMakeFiles/sintra_adversary.dir/adversary/examples.cpp.o" "gcc" "src/CMakeFiles/sintra_adversary.dir/adversary/examples.cpp.o.d"
+  "/root/repo/src/adversary/formula.cpp" "src/CMakeFiles/sintra_adversary.dir/adversary/formula.cpp.o" "gcc" "src/CMakeFiles/sintra_adversary.dir/adversary/formula.cpp.o.d"
+  "/root/repo/src/adversary/hybrid.cpp" "src/CMakeFiles/sintra_adversary.dir/adversary/hybrid.cpp.o" "gcc" "src/CMakeFiles/sintra_adversary.dir/adversary/hybrid.cpp.o.d"
+  "/root/repo/src/adversary/lsss.cpp" "src/CMakeFiles/sintra_adversary.dir/adversary/lsss.cpp.o" "gcc" "src/CMakeFiles/sintra_adversary.dir/adversary/lsss.cpp.o.d"
+  "/root/repo/src/adversary/quorum.cpp" "src/CMakeFiles/sintra_adversary.dir/adversary/quorum.cpp.o" "gcc" "src/CMakeFiles/sintra_adversary.dir/adversary/quorum.cpp.o.d"
+  "/root/repo/src/adversary/structure.cpp" "src/CMakeFiles/sintra_adversary.dir/adversary/structure.cpp.o" "gcc" "src/CMakeFiles/sintra_adversary.dir/adversary/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sintra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_adversary.dir/adversary/examples.cpp.o"
+  "CMakeFiles/sintra_adversary.dir/adversary/examples.cpp.o.d"
+  "CMakeFiles/sintra_adversary.dir/adversary/formula.cpp.o"
+  "CMakeFiles/sintra_adversary.dir/adversary/formula.cpp.o.d"
+  "CMakeFiles/sintra_adversary.dir/adversary/hybrid.cpp.o"
+  "CMakeFiles/sintra_adversary.dir/adversary/hybrid.cpp.o.d"
+  "CMakeFiles/sintra_adversary.dir/adversary/lsss.cpp.o"
+  "CMakeFiles/sintra_adversary.dir/adversary/lsss.cpp.o.d"
+  "CMakeFiles/sintra_adversary.dir/adversary/quorum.cpp.o"
+  "CMakeFiles/sintra_adversary.dir/adversary/quorum.cpp.o.d"
+  "CMakeFiles/sintra_adversary.dir/adversary/structure.cpp.o"
+  "CMakeFiles/sintra_adversary.dir/adversary/structure.cpp.o.d"
+  "libsintra_adversary.a"
+  "libsintra_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/auth.cpp" "src/CMakeFiles/sintra_app.dir/app/auth.cpp.o" "gcc" "src/CMakeFiles/sintra_app.dir/app/auth.cpp.o.d"
+  "/root/repo/src/app/ca.cpp" "src/CMakeFiles/sintra_app.dir/app/ca.cpp.o" "gcc" "src/CMakeFiles/sintra_app.dir/app/ca.cpp.o.d"
+  "/root/repo/src/app/client.cpp" "src/CMakeFiles/sintra_app.dir/app/client.cpp.o" "gcc" "src/CMakeFiles/sintra_app.dir/app/client.cpp.o.d"
+  "/root/repo/src/app/directory.cpp" "src/CMakeFiles/sintra_app.dir/app/directory.cpp.o" "gcc" "src/CMakeFiles/sintra_app.dir/app/directory.cpp.o.d"
+  "/root/repo/src/app/notary.cpp" "src/CMakeFiles/sintra_app.dir/app/notary.cpp.o" "gcc" "src/CMakeFiles/sintra_app.dir/app/notary.cpp.o.d"
+  "/root/repo/src/app/replica.cpp" "src/CMakeFiles/sintra_app.dir/app/replica.cpp.o" "gcc" "src/CMakeFiles/sintra_app.dir/app/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sintra_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_app.dir/app/auth.cpp.o"
+  "CMakeFiles/sintra_app.dir/app/auth.cpp.o.d"
+  "CMakeFiles/sintra_app.dir/app/ca.cpp.o"
+  "CMakeFiles/sintra_app.dir/app/ca.cpp.o.d"
+  "CMakeFiles/sintra_app.dir/app/client.cpp.o"
+  "CMakeFiles/sintra_app.dir/app/client.cpp.o.d"
+  "CMakeFiles/sintra_app.dir/app/directory.cpp.o"
+  "CMakeFiles/sintra_app.dir/app/directory.cpp.o.d"
+  "CMakeFiles/sintra_app.dir/app/notary.cpp.o"
+  "CMakeFiles/sintra_app.dir/app/notary.cpp.o.d"
+  "CMakeFiles/sintra_app.dir/app/replica.cpp.o"
+  "CMakeFiles/sintra_app.dir/app/replica.cpp.o.d"
+  "libsintra_app.a"
+  "libsintra_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/sintra_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/sintra_common.dir/common/logging.cpp.o"
+  "CMakeFiles/sintra_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/sintra_common.dir/common/rng.cpp.o"
+  "CMakeFiles/sintra_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/sintra_common.dir/common/serialize.cpp.o"
+  "CMakeFiles/sintra_common.dir/common/serialize.cpp.o.d"
+  "libsintra_common.a"
+  "libsintra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

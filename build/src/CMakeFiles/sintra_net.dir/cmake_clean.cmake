@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_net.dir/net/corruption.cpp.o"
+  "CMakeFiles/sintra_net.dir/net/corruption.cpp.o.d"
+  "CMakeFiles/sintra_net.dir/net/party.cpp.o"
+  "CMakeFiles/sintra_net.dir/net/party.cpp.o.d"
+  "CMakeFiles/sintra_net.dir/net/scheduler.cpp.o"
+  "CMakeFiles/sintra_net.dir/net/scheduler.cpp.o.d"
+  "CMakeFiles/sintra_net.dir/net/simulator.cpp.o"
+  "CMakeFiles/sintra_net.dir/net/simulator.cpp.o.d"
+  "libsintra_net.a"
+  "libsintra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/abba.cpp" "src/CMakeFiles/sintra_protocols.dir/protocols/abba.cpp.o" "gcc" "src/CMakeFiles/sintra_protocols.dir/protocols/abba.cpp.o.d"
+  "/root/repo/src/protocols/atomic.cpp" "src/CMakeFiles/sintra_protocols.dir/protocols/atomic.cpp.o" "gcc" "src/CMakeFiles/sintra_protocols.dir/protocols/atomic.cpp.o.d"
+  "/root/repo/src/protocols/baselines/pbft_like.cpp" "src/CMakeFiles/sintra_protocols.dir/protocols/baselines/pbft_like.cpp.o" "gcc" "src/CMakeFiles/sintra_protocols.dir/protocols/baselines/pbft_like.cpp.o.d"
+  "/root/repo/src/protocols/baselines/reliable_only.cpp" "src/CMakeFiles/sintra_protocols.dir/protocols/baselines/reliable_only.cpp.o" "gcc" "src/CMakeFiles/sintra_protocols.dir/protocols/baselines/reliable_only.cpp.o.d"
+  "/root/repo/src/protocols/broadcast.cpp" "src/CMakeFiles/sintra_protocols.dir/protocols/broadcast.cpp.o" "gcc" "src/CMakeFiles/sintra_protocols.dir/protocols/broadcast.cpp.o.d"
+  "/root/repo/src/protocols/causal.cpp" "src/CMakeFiles/sintra_protocols.dir/protocols/causal.cpp.o" "gcc" "src/CMakeFiles/sintra_protocols.dir/protocols/causal.cpp.o.d"
+  "/root/repo/src/protocols/consistent.cpp" "src/CMakeFiles/sintra_protocols.dir/protocols/consistent.cpp.o" "gcc" "src/CMakeFiles/sintra_protocols.dir/protocols/consistent.cpp.o.d"
+  "/root/repo/src/protocols/optimistic.cpp" "src/CMakeFiles/sintra_protocols.dir/protocols/optimistic.cpp.o" "gcc" "src/CMakeFiles/sintra_protocols.dir/protocols/optimistic.cpp.o.d"
+  "/root/repo/src/protocols/refresh.cpp" "src/CMakeFiles/sintra_protocols.dir/protocols/refresh.cpp.o" "gcc" "src/CMakeFiles/sintra_protocols.dir/protocols/refresh.cpp.o.d"
+  "/root/repo/src/protocols/vba.cpp" "src/CMakeFiles/sintra_protocols.dir/protocols/vba.cpp.o" "gcc" "src/CMakeFiles/sintra_protocols.dir/protocols/vba.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sintra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sintra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_protocols.dir/protocols/abba.cpp.o"
+  "CMakeFiles/sintra_protocols.dir/protocols/abba.cpp.o.d"
+  "CMakeFiles/sintra_protocols.dir/protocols/atomic.cpp.o"
+  "CMakeFiles/sintra_protocols.dir/protocols/atomic.cpp.o.d"
+  "CMakeFiles/sintra_protocols.dir/protocols/baselines/pbft_like.cpp.o"
+  "CMakeFiles/sintra_protocols.dir/protocols/baselines/pbft_like.cpp.o.d"
+  "CMakeFiles/sintra_protocols.dir/protocols/baselines/reliable_only.cpp.o"
+  "CMakeFiles/sintra_protocols.dir/protocols/baselines/reliable_only.cpp.o.d"
+  "CMakeFiles/sintra_protocols.dir/protocols/broadcast.cpp.o"
+  "CMakeFiles/sintra_protocols.dir/protocols/broadcast.cpp.o.d"
+  "CMakeFiles/sintra_protocols.dir/protocols/causal.cpp.o"
+  "CMakeFiles/sintra_protocols.dir/protocols/causal.cpp.o.d"
+  "CMakeFiles/sintra_protocols.dir/protocols/consistent.cpp.o"
+  "CMakeFiles/sintra_protocols.dir/protocols/consistent.cpp.o.d"
+  "CMakeFiles/sintra_protocols.dir/protocols/optimistic.cpp.o"
+  "CMakeFiles/sintra_protocols.dir/protocols/optimistic.cpp.o.d"
+  "CMakeFiles/sintra_protocols.dir/protocols/refresh.cpp.o"
+  "CMakeFiles/sintra_protocols.dir/protocols/refresh.cpp.o.d"
+  "CMakeFiles/sintra_protocols.dir/protocols/vba.cpp.o"
+  "CMakeFiles/sintra_protocols.dir/protocols/vba.cpp.o.d"
+  "libsintra_protocols.a"
+  "libsintra_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

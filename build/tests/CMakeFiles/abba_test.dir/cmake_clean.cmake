@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abba_test.dir/abba_test.cpp.o"
+  "CMakeFiles/abba_test.dir/abba_test.cpp.o.d"
+  "abba_test"
+  "abba_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_attack_test.dir/byzantine_attack_test.cpp.o"
+  "CMakeFiles/byzantine_attack_test.dir/byzantine_attack_test.cpp.o.d"
+  "byzantine_attack_test"
+  "byzantine_attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

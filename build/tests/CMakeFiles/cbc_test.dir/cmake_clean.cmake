@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_test.dir/cbc_test.cpp.o"
+  "CMakeFiles/cbc_test.dir/cbc_test.cpp.o.d"
+  "cbc_test"
+  "cbc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

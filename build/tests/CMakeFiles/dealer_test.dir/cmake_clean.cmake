@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dealer_test.dir/dealer_test.cpp.o"
+  "CMakeFiles/dealer_test.dir/dealer_test.cpp.o.d"
+  "dealer_test"
+  "dealer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dealer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

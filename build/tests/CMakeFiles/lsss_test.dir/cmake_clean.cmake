@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsss_test.dir/lsss_test.cpp.o"
+  "CMakeFiles/lsss_test.dir/lsss_test.cpp.o.d"
+  "lsss_test"
+  "lsss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

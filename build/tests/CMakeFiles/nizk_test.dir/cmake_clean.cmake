@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nizk_test.dir/nizk_test.cpp.o"
+  "CMakeFiles/nizk_test.dir/nizk_test.cpp.o.d"
+  "nizk_test"
+  "nizk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nizk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

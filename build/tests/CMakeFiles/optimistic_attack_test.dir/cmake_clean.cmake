@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimistic_attack_test.dir/optimistic_attack_test.cpp.o"
+  "CMakeFiles/optimistic_attack_test.dir/optimistic_attack_test.cpp.o.d"
+  "optimistic_attack_test"
+  "optimistic_attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimistic_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

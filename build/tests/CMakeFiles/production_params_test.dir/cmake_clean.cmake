@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_params_test.dir/production_params_test.cpp.o"
+  "CMakeFiles/production_params_test.dir/production_params_test.cpp.o.d"
+  "production_params_test"
+  "production_params_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_property_test.dir/quorum_property_test.cpp.o"
+  "CMakeFiles/quorum_property_test.dir/quorum_property_test.cpp.o.d"
+  "quorum_property_test"
+  "quorum_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

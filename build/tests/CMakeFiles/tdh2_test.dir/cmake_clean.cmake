@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdh2_test.dir/tdh2_test.cpp.o"
+  "CMakeFiles/tdh2_test.dir/tdh2_test.cpp.o.d"
+  "tdh2_test"
+  "tdh2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdh2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_sig_test.dir/threshold_sig_test.cpp.o"
+  "CMakeFiles/threshold_sig_test.dir/threshold_sig_test.cpp.o.d"
+  "threshold_sig_test"
+  "threshold_sig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_sig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vba_test.dir/vba_test.cpp.o"
+  "CMakeFiles/vba_test.dir/vba_test.cpp.o.d"
+  "vba_test"
+  "vba_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vss_test.dir/vss_test.cpp.o"
+  "CMakeFiles/vss_test.dir/vss_test.cpp.o.d"
+  "vss_test"
+  "vss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
