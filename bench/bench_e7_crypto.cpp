@@ -21,6 +21,71 @@ std::shared_ptr<const LinearScheme> scheme_for(int n, int t) {
   return std::make_shared<ThresholdScheme>(n, t);
 }
 
+GroupPtr group_for(std::int64_t which) {
+  return which == 0 ? Group::test_group() : Group::big_group();
+}
+
+// ---- modular-exponentiation substrate ---------------------------------------
+// Arg(0): 0 = test group (256/128), 1 = big group (1536/256).
+
+void BM_ExpFixedBaseG(benchmark::State& state) {
+  GroupPtr g = group_for(state.range(0));
+  Rng rng(10);
+  const BigInt s = g->random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->exp_g(s));
+  }
+}
+BENCHMARK(BM_ExpFixedBaseG)->Arg(0)->Arg(1);
+
+void BM_ExpGenericBase(benchmark::State& state) {
+  GroupPtr g = group_for(state.range(0));
+  Rng rng(10);
+  const BigInt base = g->exp_g(g->random_scalar(rng));
+  const BigInt s = g->random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->exp(base, s));
+  }
+}
+BENCHMARK(BM_ExpGenericBase)->Arg(0)->Arg(1);
+
+void BM_ExpReferencePath(benchmark::State& state) {
+  GroupPtr g = group_for(state.range(0));
+  Rng rng(10);
+  const BigInt base = g->exp_g(g->random_scalar(rng));
+  const BigInt s = g->random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::pow_mod_reference(base, s, g->p()));
+  }
+}
+BENCHMARK(BM_ExpReferencePath)->Arg(0)->Arg(1);
+
+void BM_Exp2(benchmark::State& state) {
+  GroupPtr g = group_for(state.range(0));
+  Rng rng(10);
+  const BigInt b1 = g->exp_g(g->random_scalar(rng));
+  const BigInt b2 = g->exp_g(g->random_scalar(rng));
+  const BigInt e1 = g->random_scalar(rng);
+  const BigInt e2 = g->random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->exp2(b1, e1, b2, e2));
+  }
+}
+BENCHMARK(BM_Exp2)->Arg(0)->Arg(1);
+
+void BM_MultiExp(benchmark::State& state) {
+  GroupPtr g = Group::test_group();
+  Rng rng(10);
+  std::vector<std::pair<BigInt, BigInt>> pairs;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    pairs.emplace_back(g->exp_g(g->random_scalar(rng)), g->random_scalar(rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->multi_exp(pairs));
+  }
+}
+BENCHMARK(BM_MultiExp)->Arg(2)->Arg(5)->Arg(11);
+
 // ---- coin -------------------------------------------------------------------
 
 void BM_CoinShare(benchmark::State& state) {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Run the E7 crypto micro-benchmarks and capture the results as JSON so
+# future PRs have a perf trajectory to compare against.
+#
+# Usage: bench/run_bench.sh [build-dir] [output-json]
+# Defaults: build/ and BENCH_E7.json at the repo root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_E7.json}"
+
+bench_bin="$build_dir/bench/bench_e7_crypto"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not built (run: cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+"$bench_bin" --benchmark_out="$out_json" --benchmark_out_format=json \
+             --benchmark_format=console
+echo "wrote $out_json"

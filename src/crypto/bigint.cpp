@@ -1,6 +1,7 @@
 #include "crypto/bigint.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "common/assert.hpp"
 
@@ -441,6 +442,30 @@ BigInt BigInt::pow_mod(const BigInt& base, const BigInt& exponent, const BigInt&
   SINTRA_REQUIRE(!exponent.negative_, "BigInt: negative exponent");
   SINTRA_REQUIRE(!m.is_zero() && !m.negative_, "BigInt: modulus must be positive");
   if (m.is_one()) return BigInt();
+  // Montgomery REDC only works for odd moduli, and its per-call setup (one
+  // wide divmod for R^2 mod m) only pays off once the exponent drives more
+  // than a handful of modular multiplications.
+  if (m.is_odd() && m.limbs_.size() >= 2 && exponent.bit_length() > 16) {
+    return Montgomery(m).pow(base, exponent);
+  }
+  return pow_mod_reference(base, exponent, m);
+}
+
+BigInt BigInt::pow2_mod(const BigInt& b1, const BigInt& e1, const BigInt& b2, const BigInt& e2,
+                        const BigInt& m) {
+  SINTRA_REQUIRE(!e1.negative_ && !e2.negative_, "BigInt: negative exponent");
+  SINTRA_REQUIRE(!m.is_zero() && !m.negative_, "BigInt: modulus must be positive");
+  if (m.is_one()) return BigInt();
+  if (m.is_odd() && m.limbs_.size() >= 2) {
+    return Montgomery(m).pow2(b1, e1, b2, e2);
+  }
+  return mul_mod(pow_mod_reference(b1, e1, m), pow_mod_reference(b2, e2, m), m);
+}
+
+BigInt BigInt::pow_mod_reference(const BigInt& base, const BigInt& exponent, const BigInt& m) {
+  SINTRA_REQUIRE(!exponent.negative_, "BigInt: negative exponent");
+  SINTRA_REQUIRE(!m.is_zero() && !m.negative_, "BigInt: modulus must be positive");
+  if (m.is_one()) return BigInt();
   BigInt result(1);
   BigInt b = base.mod(m);
   const std::size_t bits = exponent.bit_length();
@@ -548,6 +573,206 @@ bool BigInt::miller_rabin_witness(const BigInt& base) const {
     if (x == n_minus_1) return true;
   }
   return false;
+}
+
+// ---- Montgomery ------------------------------------------------------------
+
+Montgomery::Montgomery(BigInt modulus) : m_big_(std::move(modulus)) {
+  SINTRA_REQUIRE(!m_big_.is_zero() && !m_big_.is_negative(),
+                 "Montgomery: modulus must be positive");
+  SINTRA_REQUIRE(m_big_.is_odd(), "Montgomery: modulus must be odd");
+  m_ = m_big_.limbs_;
+  n_ = m_.size();
+  // n0_ = -m^{-1} mod 2^64 by Newton iteration (doubles correct bits each
+  // round; 6 rounds cover 64 bits starting from the 5-bit-correct seed m0).
+  const std::uint64_t m0 = m_[0];
+  std::uint64_t inv = m0;  // correct mod 2^5 for odd m0
+  for (int i = 0; i < 6; ++i) inv *= 2 - m0 * inv;
+  n0_ = ~inv + 1;  // -inv mod 2^64
+  r2_ = BigInt(1).shifted_left(128 * n_).mod(m_big_);
+  one_mont_ = BigInt(1).shifted_left(64 * n_).mod(m_big_);
+}
+
+Montgomery::Limbs Montgomery::load(const BigInt& a) const {
+  Limbs out(n_, 0);
+  std::copy(a.limbs_.begin(), a.limbs_.end(), out.begin());
+  return out;
+}
+
+BigInt Montgomery::store(const Limbs& limbs) const {
+  BigInt out;
+  out.limbs_ = limbs;
+  out.trim();
+  return out;
+}
+
+void Montgomery::mont_mul_limbs(const std::uint64_t* a, const std::uint64_t* b,
+                                std::uint64_t* out, std::uint64_t* t) const {
+  // Fused CIOS: for each limb of a, accumulate a[i]*b into t, then add the
+  // multiple u*m that zeroes t[0] and shift right one limb.  The invariant
+  // value(t) < 2m holds throughout, so t fits in n_+1 limbs and a single
+  // conditional subtraction at the end lands the result in [0, m).
+  const std::size_t n = n_;
+  std::fill(t, t + n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t ai = a[i];
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      unsigned __int128 cur = t[j] + static_cast<unsigned __int128>(ai) * b[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    unsigned __int128 top = static_cast<unsigned __int128>(t[n]) + carry;
+    t[n] = static_cast<std::uint64_t>(top);
+    const std::uint64_t overflow = static_cast<std::uint64_t>(top >> 64);
+
+    const std::uint64_t u = t[0] * n0_;
+    unsigned __int128 cur = t[0] + static_cast<unsigned __int128>(u) * m_[0];
+    carry = cur >> 64;  // low limb is zero by choice of u
+    for (std::size_t j = 1; j < n; ++j) {
+      cur = t[j] + static_cast<unsigned __int128>(u) * m_[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    top = static_cast<unsigned __int128>(t[n]) + carry;
+    t[n - 1] = static_cast<std::uint64_t>(top);
+    t[n] = overflow + static_cast<std::uint64_t>(top >> 64);
+  }
+  // Conditional subtract: result = t mod m.
+  bool geq = t[n] != 0;
+  if (!geq) {
+    geq = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (t[i] != m_[i]) {
+        geq = t[i] > m_[i];
+        break;
+      }
+    }
+  }
+  if (geq) {
+    unsigned __int128 borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      unsigned __int128 diff = static_cast<unsigned __int128>(t[i]) - m_[i] - borrow;
+      out[i] = static_cast<std::uint64_t>(diff);
+      borrow = (diff >> 64) ? 1 : 0;
+    }
+  } else {
+    std::copy(t, t + n, out);
+  }
+}
+
+BigInt Montgomery::to_mont(const BigInt& a) const {
+  Limbs av = load(a.mod(m_big_));
+  Limbs r2v = load(r2_);
+  Limbs t(n_ + 1);
+  mont_mul_limbs(av.data(), r2v.data(), av.data(), t.data());
+  return store(av);
+}
+
+BigInt Montgomery::from_mont(const BigInt& a) const {
+  Limbs av = load(a);
+  Limbs one(n_, 0);
+  one[0] = 1;
+  Limbs t(n_ + 1);
+  mont_mul_limbs(av.data(), one.data(), av.data(), t.data());
+  return store(av);
+}
+
+BigInt Montgomery::mul(const BigInt& a_mont, const BigInt& b_mont) const {
+  Limbs av = load(a_mont);
+  Limbs bv = load(b_mont);
+  Limbs t(n_ + 1);
+  mont_mul_limbs(av.data(), bv.data(), av.data(), t.data());
+  return store(av);
+}
+
+BigInt Montgomery::mul_mod(const BigInt& a, const BigInt& b) const {
+  return from_mont(mul(to_mont(a), to_mont(b)));
+}
+
+BigInt Montgomery::pow(const BigInt& base, const BigInt& exponent) const {
+  SINTRA_REQUIRE(!exponent.is_negative(), "Montgomery: negative exponent");
+  const std::size_t bits = exponent.bit_length();
+  Limbs b = load(to_mont(base));
+  Limbs result = load(one_mont_);
+  Limbs t(n_ + 1);
+  if (bits <= 16) {
+    for (std::size_t i = bits; i-- > 0;) {
+      mont_mul_limbs(result.data(), result.data(), result.data(), t.data());
+      if (exponent.bit(i)) mont_mul_limbs(result.data(), b.data(), result.data(), t.data());
+    }
+    return from_mont(store(result));
+  }
+  // 4-bit fixed window, matching the reference path's schedule.
+  constexpr std::size_t kWindow = 4;
+  std::vector<Limbs> table(1ULL << kWindow);
+  table[0] = load(one_mont_);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    table[i] = Limbs(n_);
+    mont_mul_limbs(table[i - 1].data(), b.data(), table[i].data(), t.data());
+  }
+  std::size_t i = bits;
+  while (i > 0) {
+    std::size_t take = std::min(kWindow, i);
+    std::uint32_t window = 0;
+    for (std::size_t k = 0; k < take; ++k) {
+      window = window << 1 | static_cast<std::uint32_t>(exponent.bit(i - 1 - k));
+    }
+    for (std::size_t k = 0; k < take; ++k) {
+      mont_mul_limbs(result.data(), result.data(), result.data(), t.data());
+    }
+    if (window != 0) {
+      mont_mul_limbs(result.data(), table[window].data(), result.data(), t.data());
+    }
+    i -= take;
+  }
+  return from_mont(store(result));
+}
+
+BigInt Montgomery::pow2(const BigInt& b1, const BigInt& e1, const BigInt& b2,
+                        const BigInt& e2) const {
+  return multi_pow({{b1, e1}, {b2, e2}});
+}
+
+BigInt Montgomery::multi_pow(const std::vector<std::pair<BigInt, BigInt>>& pairs) const {
+  // Interleaved 2-bit windows over one shared squaring chain (Shamir's
+  // trick generalized to k bases): squarings = max exponent length instead
+  // of the sum over all bases.
+  std::size_t bits = 0;
+  for (const auto& [base, exp] : pairs) {
+    SINTRA_REQUIRE(!exp.is_negative(), "Montgomery: negative exponent");
+    bits = std::max(bits, exp.bit_length());
+  }
+  Limbs result = load(one_mont_);
+  Limbs t(n_ + 1);
+  if (bits == 0) return from_mont(store(result));
+  // Per-base table of base^1..base^3 in Montgomery form.
+  std::vector<std::array<Limbs, 3>> tables;
+  tables.reserve(pairs.size());
+  for (const auto& [base, exp] : pairs) {
+    std::array<Limbs, 3> tab;
+    tab[0] = load(to_mont(base));
+    tab[1] = Limbs(n_);
+    tab[2] = Limbs(n_);
+    mont_mul_limbs(tab[0].data(), tab[0].data(), tab[1].data(), t.data());
+    mont_mul_limbs(tab[1].data(), tab[0].data(), tab[2].data(), t.data());
+    tables.push_back(std::move(tab));
+  }
+  std::size_t top = (bits + 1) & ~std::size_t{1};  // round up to a 2-bit boundary
+  for (std::size_t i = top; i > 0; i -= 2) {
+    mont_mul_limbs(result.data(), result.data(), result.data(), t.data());
+    mont_mul_limbs(result.data(), result.data(), result.data(), t.data());
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const BigInt& exp = pairs[k].second;
+      const std::uint32_t window =
+          (static_cast<std::uint32_t>(exp.bit(i - 1)) << 1) |
+          static_cast<std::uint32_t>(exp.bit(i - 2));
+      if (window != 0) {
+        mont_mul_limbs(result.data(), tables[k][window - 1].data(), result.data(), t.data());
+      }
+    }
+  }
+  return from_mont(store(result));
 }
 
 void BigInt::encode(Writer& w) const {

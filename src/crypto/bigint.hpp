@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -92,8 +93,18 @@ class BigInt {
   static BigInt add_mod(const BigInt& a, const BigInt& b, const BigInt& m);
   static BigInt sub_mod(const BigInt& a, const BigInt& b, const BigInt& m);
   static BigInt mul_mod(const BigInt& a, const BigInt& b, const BigInt& m);
-  /// a^e mod m; e must be non-negative.
+  /// a^e mod m; e must be non-negative.  Dispatches to Montgomery REDC for
+  /// odd multi-limb moduli and falls back to the schoolbook-divmod path
+  /// otherwise; both paths return bit-identical results.
   static BigInt pow_mod(const BigInt& base, const BigInt& exponent, const BigInt& m);
+  /// The original windowed square-and-multiply with full divmod reduction.
+  /// Kept as the differential-testing oracle for the Montgomery fast path
+  /// and as the fallback for even moduli.
+  static BigInt pow_mod_reference(const BigInt& base, const BigInt& exponent, const BigInt& m);
+  /// b1^e1 * b2^e2 mod m (Shamir's trick / interleaved windows when the
+  /// Montgomery path applies); e1, e2 must be non-negative.
+  static BigInt pow2_mod(const BigInt& b1, const BigInt& e1, const BigInt& b2, const BigInt& e2,
+                         const BigInt& m);
   /// Multiplicative inverse mod m; throws ProtocolError if gcd(a, m) != 1.
   static BigInt inverse_mod(const BigInt& a, const BigInt& m);
 
@@ -146,6 +157,64 @@ class BigInt {
 
   bool negative_ = false;
   std::vector<std::uint64_t> limbs_;  ///< little-endian, trimmed
+
+  friend class Montgomery;
+};
+
+/// Montgomery-form modular arithmetic for a fixed odd modulus m.
+///
+/// Values in "Montgomery domain" represent x as x*R mod m with R = 2^(64*n)
+/// for n the limb count of m.  The core operation is the fused CIOS
+/// multiply-and-reduce (mont_mul), which replaces the schoolbook
+/// multiply + Knuth-D divmod of the reference path with pure carry-save
+/// limb work — the inner loop of every exponentiation in the threshold
+/// stack.  Construction costs one wide divmod (R^2 mod m); every Group
+/// caches one context per modulus so that cost is paid once per deployment.
+class Montgomery {
+ public:
+  /// `modulus` must be positive and odd.
+  explicit Montgomery(BigInt modulus);
+
+  [[nodiscard]] const BigInt& modulus() const { return m_big_; }
+  [[nodiscard]] std::size_t limb_count() const { return n_; }
+
+  /// a*R mod m (a may be any integer; it is first reduced into [0, m)).
+  [[nodiscard]] BigInt to_mont(const BigInt& a) const;
+  /// a*R^{-1} mod m for a in [0, m).
+  [[nodiscard]] BigInt from_mont(const BigInt& a) const;
+  /// Montgomery product of two Montgomery-domain values: a*b*R^{-1} mod m.
+  [[nodiscard]] BigInt mul(const BigInt& a_mont, const BigInt& b_mont) const;
+  /// Normal-domain modular multiplication via two REDC passes.
+  [[nodiscard]] BigInt mul_mod(const BigInt& a, const BigInt& b) const;
+  /// Normal-domain base^exponent mod m; exponent must be non-negative.
+  [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exponent) const;
+  /// b1^e1 * b2^e2 mod m with interleaved 2-bit windows (one shared
+  /// squaring chain); exponents must be non-negative.
+  [[nodiscard]] BigInt pow2(const BigInt& b1, const BigInt& e1, const BigInt& b2,
+                            const BigInt& e2) const;
+  /// prod_i base_i^{exp_i} mod m, all exponents non-negative.  Generalizes
+  /// pow2 to k bases with one shared squaring chain.
+  [[nodiscard]] BigInt multi_pow(const std::vector<std::pair<BigInt, BigInt>>& pairs) const;
+
+  /// R mod m — the Montgomery-domain representation of 1.
+  [[nodiscard]] const BigInt& one_mont() const { return one_mont_; }
+
+ private:
+  using Limbs = std::vector<std::uint64_t>;
+
+  /// out[0..n) = a*b*R^{-1} mod m for a, b of exactly n limbs (< m).
+  /// `scratch` must have n+1 limbs; out may alias a or b.
+  void mont_mul_limbs(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+                      std::uint64_t* scratch) const;
+  [[nodiscard]] Limbs load(const BigInt& a) const;  ///< zero-padded to n limbs
+  [[nodiscard]] BigInt store(const Limbs& limbs) const;
+
+  BigInt m_big_;
+  BigInt r2_;        ///< R^2 mod m
+  BigInt one_mont_;  ///< R mod m
+  Limbs m_;          ///< modulus, exactly n_ limbs
+  std::uint64_t n0_ = 0;  ///< -m^{-1} mod 2^64
+  std::size_t n_ = 0;
 };
 
 // ---- template definitions -------------------------------------------------

@@ -68,13 +68,15 @@ std::optional<Bytes> CoinPublicKey::combine(BytesView name,
   if (!scheme_->qualified(parties)) return std::nullopt;
 
   // Recombine in the exponent: prod sigma_j^{c_j} = base^{Delta * x}, then
-  // clear Delta modulo the group order.
-  BigInt combined = group_->identity();
+  // clear Delta modulo the group order.  One simultaneous multi-exponent
+  // shares the squaring chain across all shares.
+  std::vector<std::pair<BigInt, BigInt>> powers;
   for (const auto& [unit, coeff] : scheme_->coefficients(parties)) {
     auto it = by_unit.find(unit);
     SINTRA_INVARIANT(it != by_unit.end(), "coin: coefficient for missing share");
-    combined = group_->mul(combined, group_->exp(it->second, coeff.mod(group_->q())));
+    powers.emplace_back(it->second, coeff);
   }
+  const BigInt combined = group_->multi_exp(powers);
   const BigInt delta_inv = group_->scalar_inv(scheme_->delta().mod(group_->q()));
   const BigInt sigma = group_->exp(combined, delta_inv);
 

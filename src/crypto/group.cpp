@@ -51,13 +51,73 @@ std::shared_ptr<const Group> make_group(const Params& params, std::string name) 
 }
 }  // namespace
 
+namespace {
+std::string element_key(const BigInt& a) {
+  Bytes raw = a.to_bytes();
+  return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+}
+
+constexpr std::size_t kMaxRegisteredBases = 64;
+constexpr std::size_t kMaxElementMemo = 8192;
+}  // namespace
+
 Group::Group(BigInt p, BigInt q, BigInt g, std::string name)
-    : p_(std::move(p)), q_(std::move(q)), g_(std::move(g)), name_(std::move(name)) {
+    : p_(std::move(p)), q_(std::move(q)), g_(std::move(g)), name_(std::move(name)),
+      mont_p_(p_) {
   SINTRA_INVARIANT(((p_ - BigInt(1)) % q_).is_zero(), "Group: q must divide p-1");
   cofactor_ = (p_ - BigInt(1)) / q_;
   element_bytes_ = (p_.bit_length() + 7) / 8;
   scalar_bytes_ = (q_.bit_length() + 7) / 8;
   SINTRA_INVARIANT(is_element(g_) && !g_.is_one(), "Group: bad generator");
+  g_table_ = build_fixed_base(g_);
+}
+
+Group::FixedBaseTable Group::build_fixed_base(const BigInt& base) const {
+  FixedBaseTable table;
+  const std::size_t blocks = (q_.bit_length() + 3) / 4;
+  table.blocks.resize(blocks);
+  BigInt cur = mont_p_.to_mont(base);  // base^(16^i) in Montgomery form
+  for (std::size_t i = 0; i < blocks; ++i) {
+    auto& block = table.blocks[i];
+    block.reserve(15);
+    block.push_back(cur);
+    for (int j = 2; j <= 15; ++j) block.push_back(mont_p_.mul(block.back(), cur));
+    cur = mont_p_.mul(block.back(), cur);
+  }
+  return table;
+}
+
+BigInt Group::exp_fixed(const FixedBaseTable& table, const BigInt& scalar) const {
+  BigInt result = mont_p_.one_mont();
+  for (std::size_t i = 0; i < table.blocks.size(); ++i) {
+    const std::uint32_t digit = (static_cast<std::uint32_t>(scalar.bit(4 * i + 3)) << 3) |
+                                (static_cast<std::uint32_t>(scalar.bit(4 * i + 2)) << 2) |
+                                (static_cast<std::uint32_t>(scalar.bit(4 * i + 1)) << 1) |
+                                static_cast<std::uint32_t>(scalar.bit(4 * i));
+    if (digit != 0) result = mont_p_.mul(result, table.blocks[i][digit - 1]);
+  }
+  return mont_p_.from_mont(result);
+}
+
+const Group::FixedBaseTable* Group::registered_table(const BigInt& base) const {
+  std::lock_guard<std::mutex> lock(base_cache_mutex_);
+  auto it = base_cache_.find(element_key(base));
+  return it == base_cache_.end() ? nullptr : &it->second;
+}
+
+void Group::precompute_base(const BigInt& base) const {
+  std::string key = element_key(base);
+  {
+    std::lock_guard<std::mutex> lock(base_cache_mutex_);
+    if (base_cache_.size() >= kMaxRegisteredBases) return;
+    if (base_cache_.find(key) != base_cache_.end()) return;
+  }
+  // Build outside the lock (hundreds of multiplications); a racing
+  // duplicate build is harmless — first insert wins.
+  FixedBaseTable table = build_fixed_base(base);
+  std::lock_guard<std::mutex> lock(base_cache_mutex_);
+  if (base_cache_.size() >= kMaxRegisteredBases) return;
+  base_cache_.emplace(std::move(key), std::move(table));
 }
 
 std::shared_ptr<const Group> Group::test_group() {
@@ -80,11 +140,26 @@ BigInt Group::mul(const BigInt& a, const BigInt& b) const {
 }
 
 BigInt Group::exp(const BigInt& base, const BigInt& scalar) const {
-  return BigInt::pow_mod(base, scalar.mod(q_), p_);
+  const BigInt e = scalar.mod(q_);
+  if (base == g_) return exp_fixed(g_table_, e);
+  if (const FixedBaseTable* table = registered_table(base)) return exp_fixed(*table, e);
+  return mont_p_.pow(base, e);
 }
 
 BigInt Group::exp_g(const BigInt& scalar) const {
-  return exp(g_, scalar);
+  return exp_fixed(g_table_, scalar.mod(q_));
+}
+
+BigInt Group::exp2(const BigInt& b1, const BigInt& e1, const BigInt& b2,
+                   const BigInt& e2) const {
+  return mont_p_.pow2(b1, e1.mod(q_), b2, e2.mod(q_));
+}
+
+BigInt Group::multi_exp(const std::vector<std::pair<BigInt, BigInt>>& pairs) const {
+  std::vector<std::pair<BigInt, BigInt>> reduced;
+  reduced.reserve(pairs.size());
+  for (const auto& [base, exp] : pairs) reduced.emplace_back(base, exp.mod(q_));
+  return mont_p_.multi_pow(reduced);
 }
 
 BigInt Group::inv(const BigInt& a) const {
@@ -93,7 +168,16 @@ BigInt Group::inv(const BigInt& a) const {
 
 bool Group::is_element(const BigInt& a) const {
   if (a.is_negative() || a.is_zero() || a >= p_) return false;
-  return BigInt::pow_mod(a, q_, p_).is_one();
+  std::string key = element_key(a);
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    if (element_memo_.count(key) != 0) return true;
+  }
+  if (!mont_p_.pow(a, q_).is_one()) return false;
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  if (element_memo_.size() >= kMaxElementMemo) element_memo_.clear();
+  element_memo_.insert(std::move(key));
+  return true;
 }
 
 BigInt Group::scalar_add(const BigInt& a, const BigInt& b) const {
@@ -121,14 +205,14 @@ BigInt Group::hash_to_element(std::string_view domain, BytesView data) const {
   // statistically close to uniform mod p.
   Bytes wide = hash_expand(domain, data, element_bytes_ + 16);
   BigInt residue = BigInt::from_bytes(wide).mod(p_);
-  BigInt element = BigInt::pow_mod(residue, cofactor_, p_);
+  BigInt element = mont_p_.pow(residue, cofactor_);
   if (element.is_zero() || element.is_one()) {
     // Astronomically unlikely; re-hash deterministically so the oracle
     // stays a function.
     Bytes retry = wide;
     retry.push_back(0x42);
     residue = BigInt::from_bytes(hash_expand(domain, retry, element_bytes_ + 16)).mod(p_);
-    element = BigInt::pow_mod(residue, cofactor_, p_);
+    element = mont_p_.pow(residue, cofactor_);
   }
   return element;
 }

@@ -13,8 +13,13 @@
 // one for protocol simulations, and a large one for crypto benchmarks.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "crypto/bigint.hpp"
 
@@ -38,16 +43,34 @@ class Group {
 
   // -- element operations ---------------------------------------------------
   [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
+  /// base^scalar via the cached Montgomery context; uses a windowed
+  /// fixed-base table when `base` is g or was registered with
+  /// precompute_base (zero squarings on those paths).
   [[nodiscard]] BigInt exp(const BigInt& base, const BigInt& scalar) const;
-  /// g^scalar.
+  /// g^scalar via the eagerly-built fixed-base table.
   [[nodiscard]] BigInt exp_g(const BigInt& scalar) const;
+  /// b1^e1 * b2^e2 with one shared squaring chain (Shamir's trick) — the
+  /// workhorse of every proof verification (a = g^z * h^{-c}).
+  [[nodiscard]] BigInt exp2(const BigInt& b1, const BigInt& e1, const BigInt& b2,
+                            const BigInt& e2) const;
+  /// prod_i base_i^{exp_i} with one shared squaring chain; used by the
+  /// Lagrange-in-the-exponent share combiners.
+  [[nodiscard]] BigInt multi_exp(const std::vector<std::pair<BigInt, BigInt>>& pairs) const;
   [[nodiscard]] BigInt inv(const BigInt& a) const;
   [[nodiscard]] BigInt identity() const { return BigInt(1); }
+
+  /// Build and cache a fixed-base table for `base` (a long-lived public
+  /// key), accelerating all later exp(base, ·) calls.  No-op once the
+  /// bounded cache is full; safe to call from multiple threads.
+  void precompute_base(const BigInt& base) const;
 
   /// True iff `a` is in [1, p) and a^q == 1 (i.e. a member of the order-q
   /// subgroup).  Every deserialized element must pass this before use;
   /// accepting non-subgroup elements from Byzantine peers would leak bits
-  /// of exponents (small-subgroup attacks).
+  /// of exponents (small-subgroup attacks).  Positive results are memoized
+  /// (bounded) so repeated decodes/checks of the same wire element skip the
+  /// full subgroup exponentiation; strictness is unchanged because the memo
+  /// only ever holds elements that passed the full check.
   [[nodiscard]] bool is_element(const BigInt& a) const;
 
   // -- scalar (exponent) operations ------------------------------------------
@@ -81,6 +104,18 @@ class Group {
   [[nodiscard]] std::size_t scalar_bytes() const { return scalar_bytes_; }
 
  private:
+  /// Windowed fixed-base precomputation: blocks[i][j-1] = base^(j * 16^i)
+  /// in Montgomery form, so an exponentiation is one table multiply per
+  /// 4-bit digit of the scalar and no squarings at all.
+  struct FixedBaseTable {
+    std::vector<std::vector<BigInt>> blocks;
+  };
+
+  [[nodiscard]] FixedBaseTable build_fixed_base(const BigInt& base) const;
+  /// scalar must already be reduced into [0, q).
+  [[nodiscard]] BigInt exp_fixed(const FixedBaseTable& table, const BigInt& scalar) const;
+  [[nodiscard]] const FixedBaseTable* registered_table(const BigInt& base) const;
+
   BigInt p_;
   BigInt q_;
   BigInt g_;
@@ -88,6 +123,18 @@ class Group {
   std::string name_;
   std::size_t element_bytes_;
   std::size_t scalar_bytes_;
+  Montgomery mont_p_;       ///< REDC context for Z_p (declared after p_)
+  FixedBaseTable g_table_;  ///< eager fixed-base table for the generator
+
+  // Bounded cache of fixed-base tables for registered long-lived bases.
+  // Entries are never evicted (registration refuses past the bound), so
+  // pointers into the map stay valid for the Group's lifetime.
+  mutable std::mutex base_cache_mutex_;
+  mutable std::map<std::string, FixedBaseTable> base_cache_;
+
+  // Memo of elements that passed the full subgroup-membership check.
+  mutable std::mutex memo_mutex_;
+  mutable std::unordered_set<std::string> element_memo_;
 };
 
 using GroupPtr = std::shared_ptr<const Group>;

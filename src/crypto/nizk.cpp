@@ -49,10 +49,12 @@ bool DleqProof::verify(const Group& group, std::string_view context, const BigIn
       !group.is_element(h2)) {
     return false;
   }
-  // a = g^z * h^{-c}; recompute the challenge from reconstructed commitments.
+  // a = g^z * h^{-c}; recompute the challenge from reconstructed
+  // commitments.  Both products use the simultaneous double-exponentiation
+  // fast path (one shared squaring chain instead of two).
   const BigInt neg_c = group.scalar_sub(BigInt(0), challenge);
-  const BigInt a1 = group.mul(group.exp(g1, response), group.exp(h1, neg_c));
-  const BigInt a2 = group.mul(group.exp(g2, response), group.exp(h2, neg_c));
+  const BigInt a1 = group.exp2(g1, response, h1, neg_c);
+  const BigInt a2 = group.exp2(g2, response, h2, neg_c);
   return dleq_challenge(group, context, g1, h1, g2, h2, a1, a2) == challenge;
 }
 
@@ -83,7 +85,7 @@ bool SchnorrProof::verify(const Group& group, std::string_view context, const Bi
   if (!group.is_scalar(challenge) || !group.is_scalar(response)) return false;
   if (!group.is_element(g) || !group.is_element(h)) return false;
   const BigInt neg_c = group.scalar_sub(BigInt(0), challenge);
-  const BigInt a = group.mul(group.exp(g, response), group.exp(h, neg_c));
+  const BigInt a = group.exp2(g, response, h, neg_c);
   return schnorr_challenge(group, context, g, h, a) == challenge;
 }
 

@@ -91,6 +91,10 @@ Tdh2PublicKey::Tdh2PublicKey(GroupPtr group, std::shared_ptr<const LinearScheme>
     : group_(std::move(group)), scheme_(std::move(scheme)), h_(std::move(h)),
       verification_(std::move(verification)) {
   g_bar_ = group_->hash_to_element(kGbarDomain, bytes_of(group_->name()));
+  // h and g_bar are exponentiated on every encrypt; register fixed-base
+  // tables so those calls skip all squarings.
+  group_->precompute_base(h_);
+  group_->precompute_base(g_bar_);
 }
 
 Tdh2Ciphertext Tdh2PublicKey::encrypt(BytesView message, BytesView label, Rng& rng) const {
@@ -114,8 +118,8 @@ bool Tdh2PublicKey::check_ciphertext(const Tdh2Ciphertext& ct) const {
   if (!group_->is_element(ct.u) || !group_->is_element(ct.u_bar)) return false;
   if (!group_->is_scalar(ct.e) || !group_->is_scalar(ct.f)) return false;
   const BigInt neg_e = group_->scalar_sub(BigInt(0), ct.e);
-  const BigInt w = group_->mul(group_->exp_g(ct.f), group_->exp(ct.u, neg_e));
-  const BigInt w_bar = group_->mul(group_->exp(g_bar_, ct.f), group_->exp(ct.u_bar, neg_e));
+  const BigInt w = group_->exp2(group_->g(), ct.f, ct.u, neg_e);
+  const BigInt w_bar = group_->exp2(g_bar_, ct.f, ct.u_bar, neg_e);
   return ciphertext_challenge(*group_, ct.data, ct.label, ct.u, w, ct.u_bar, w_bar) == ct.e;
 }
 
@@ -157,12 +161,13 @@ std::optional<Bytes> Tdh2PublicKey::combine(const Tdh2Ciphertext& ct,
   }
   if (!scheme_->qualified(parties)) return std::nullopt;
 
-  BigInt combined = group_->identity();
+  std::vector<std::pair<BigInt, BigInt>> powers;
   for (const auto& [unit, coeff] : scheme_->coefficients(parties)) {
     auto it = by_unit.find(unit);
     SINTRA_INVARIANT(it != by_unit.end(), "tdh2: coefficient for missing share");
-    combined = group_->mul(combined, group_->exp(it->second, coeff.mod(group_->q())));
+    powers.emplace_back(it->second, coeff);
   }
+  const BigInt combined = group_->multi_exp(powers);
   const BigInt delta_inv = group_->scalar_inv(scheme_->delta().mod(group_->q()));
   const BigInt shared = group_->exp(combined, delta_inv);
   return xor_bytes(ct.data, mask_bytes(*group_, shared, ct.data.size()));

@@ -26,12 +26,13 @@ constexpr PrimePair kRsa512 = {
     "0xee9844956870c9fb5890681b7adb224748fe51c2715fd187c6b2e350f6b61b1f"
     "4ad2244739279d34d54c38e9b69cfc42b4303571c02b4b2fae67dadf0ac64cc7"};
 
-/// Exponentiate with a possibly negative integer exponent mod `modulus`.
-BigInt pow_signed(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
+/// Exponentiate with a possibly negative integer exponent mod the context's
+/// modulus (inverting the base clears the sign).
+BigInt pow_signed(const BigInt& base, const BigInt& exponent, const Montgomery& mont) {
   if (exponent.is_negative()) {
-    return BigInt::pow_mod(BigInt::inverse_mod(base, modulus), -exponent, modulus);
+    return mont.pow(BigInt::inverse_mod(base, mont.modulus()), -exponent);
   }
-  return BigInt::pow_mod(base, exponent, modulus);
+  return mont.pow(base, exponent);
 }
 
 BigInt share_challenge(const BigInt& modulus, int unit, const BigInt& v, const BigInt& v_unit,
@@ -89,7 +90,8 @@ ThresholdSigPublicKey::ThresholdSigPublicKey(BigInt modulus, BigInt e, BigInt v,
                                              std::vector<BigInt> verification,
                                              std::shared_ptr<const LinearScheme> scheme)
     : modulus_(std::move(modulus)), e_(std::move(e)), v_(std::move(v)),
-      verification_(std::move(verification)), scheme_(std::move(scheme)) {
+      verification_(std::move(verification)), scheme_(std::move(scheme)),
+      mont_(std::make_shared<const Montgomery>(modulus_)) {
   // Responses are bounded by r_max + c_max * d_max; see sign().
   response_bytes_ =
       (modulus_.bit_length() + 8 * kChallengeBytes + kSlackBits) / 8 + 2;
@@ -113,14 +115,15 @@ std::vector<SigShare> ThresholdSigSecretKey::sign(const ThresholdSigPublicKey& p
 
   std::vector<SigShare> out;
   out.reserve(unit_shares_.size());
+  const Montgomery& mont = pk.mont();
   for (const auto& [unit, d] : unit_shares_) {
     SigShare share;
     share.unit = unit;
-    share.value = BigInt::pow_mod(x_squared, d, modulus);
+    share.value = mont.pow(x_squared, d);
 
     const BigInt r = BigInt::random_bits(rng, r_bits);
-    const BigInt a1 = BigInt::pow_mod(pk.v(), r, modulus);
-    const BigInt a2 = BigInt::pow_mod(x_squared, r, modulus);
+    const BigInt a1 = mont.pow(pk.v(), r);
+    const BigInt a2 = mont.pow(x_squared, r);
     share.challenge = share_challenge(modulus, unit, pk.v(), pk.verification(unit), x_squared,
                                       share.value, a1, a2);
     share.response = r + share.challenge * d;
@@ -140,18 +143,28 @@ bool ThresholdSigPublicKey::verify_share(BytesView message, const SigShare& shar
       share.response.to_bytes().size() > response_bytes_) {
     return false;
   }
-  if (!BigInt::gcd(share.value, modulus_).is_one()) return false;
 
   const BigInt x = hash_to_base(message);
   const BigInt x_squared = BigInt::mul_mod(x, x, modulus_);
   const BigInt& v_unit = verification_.at(static_cast<std::size_t>(share.unit));
-  // Reconstruct commitments: a = base^z * target^{-c}.
-  const BigInt a1 =
-      BigInt::mul_mod(BigInt::pow_mod(v_, share.response, modulus_),
-                      pow_signed(v_unit, -share.challenge, modulus_), modulus_);
-  const BigInt a2 =
-      BigInt::mul_mod(BigInt::pow_mod(x_squared, share.response, modulus_),
-                      pow_signed(share.value, -share.challenge, modulus_), modulus_);
+  // Batch-invert v_unit and share.value (Montgomery's trick): one extended
+  // Euclid pass instead of two, and its failure doubles as the
+  // gcd(share.value, Nm) != 1 rejection (v_unit is a unit by construction,
+  // so a shared factor can only come from the adversarial share value).
+  BigInt inv_prod;
+  try {
+    inv_prod = BigInt::inverse_mod(BigInt::mul_mod(v_unit, share.value, modulus_), modulus_);
+  } catch (const ProtocolError&) {
+    return false;
+  }
+  const BigInt v_unit_inv = BigInt::mul_mod(inv_prod, share.value, modulus_);
+  const BigInt value_inv = BigInt::mul_mod(inv_prod, v_unit, modulus_);
+  // Reconstruct commitments: a = base^z * target^{-c}.  The negative
+  // exponent becomes a positive one on the inverse, so both factors fold
+  // into one simultaneous double exponentiation over the shared squaring
+  // chain of the (much longer) response exponent.
+  const BigInt a1 = mont_->pow2(v_, share.response, v_unit_inv, share.challenge);
+  const BigInt a2 = mont_->pow2(x_squared, share.response, value_inv, share.challenge);
   return share_challenge(modulus_, share.unit, v_, v_unit, x_squared, share.value, a1, a2) ==
          share.challenge;
 }
@@ -171,7 +184,7 @@ std::optional<BigInt> ThresholdSigPublicKey::combine(BytesView message,
   for (const auto& [unit, coeff] : scheme_->coefficients(parties)) {
     auto it = by_unit.find(unit);
     SINTRA_INVARIANT(it != by_unit.end(), "tsig: coefficient for missing share");
-    w = BigInt::mul_mod(w, pow_signed(it->second, coeff * BigInt(2), modulus_), modulus_);
+    w = BigInt::mul_mod(w, pow_signed(it->second, coeff * BigInt(2), *mont_), modulus_);
   }
 
   // a * (4 Delta) + b * e = 1; requires gcd(4 Delta, e) = 1, which holds for
@@ -184,14 +197,14 @@ std::optional<BigInt> ThresholdSigPublicKey::combine(BytesView message,
 
   const BigInt x = hash_to_base(message);
   const BigInt y =
-      BigInt::mul_mod(pow_signed(w, a, modulus_), pow_signed(x, b, modulus_), modulus_);
+      BigInt::mul_mod(pow_signed(w, a, *mont_), pow_signed(x, b, *mont_), modulus_);
   if (!verify(message, y)) return std::nullopt;
   return y;
 }
 
 bool ThresholdSigPublicKey::verify(BytesView message, const BigInt& signature) const {
   if (signature.is_negative() || signature.is_zero() || signature >= modulus_) return false;
-  return BigInt::pow_mod(signature, e_, modulus_) == hash_to_base(message);
+  return mont_->pow(signature, e_) == hash_to_base(message);
 }
 
 ThresholdSigDeal ThresholdSigDeal::deal(const RsaParams& params,
