@@ -1,0 +1,51 @@
+#include "net/fault.hpp"
+
+namespace sintra::net {
+
+namespace {
+bool chance(Rng& rng, std::uint32_t per_1024) {
+  return per_1024 > 0 && rng.below(1024) < per_1024;
+}
+}  // namespace
+
+std::optional<Message> FaultInjector::maybe_replay(std::uint64_t now) {
+  (void)now;
+  if (history_.empty() || !chance(rng_, policy_.replay_chance)) return std::nullopt;
+  const std::size_t index = static_cast<std::size_t>(rng_.below(history_.size()));
+  Message replayed = history_[index];
+  int& count = replays_[replayed.id];
+  if (++count >= policy_.max_replays) {
+    // Replay budget exhausted: forget the message so the bounded history
+    // keeps room for fresher traffic.
+    history_.erase(history_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+  ++stats_.replayed;
+  return replayed;
+}
+
+bool FaultInjector::should_drop(const Message& message) {
+  if (!chance(rng_, policy_.drop_chance)) return false;
+  int& count = drops_[message.id];
+  if (count >= policy_.max_drops) return false;  // retrying link must deliver
+  ++count;
+  ++stats_.dropped;
+  return true;
+}
+
+bool FaultInjector::should_duplicate(const Message& message) {
+  if (!chance(rng_, policy_.duplicate_chance)) return false;
+  int& count = copies_[message.id];
+  if (count >= policy_.max_copies) return false;
+  ++count;
+  ++stats_.duplicated;
+  return true;
+}
+
+void FaultInjector::record_delivered(const Message& message) {
+  if (policy_.replay_chance == 0 || policy_.history_window == 0) return;
+  if (replays_[message.id] >= policy_.max_replays) return;
+  history_.push_back(message);
+  while (history_.size() > policy_.history_window) history_.pop_front();
+}
+
+}  // namespace sintra::net

@@ -1,0 +1,206 @@
+// Unreliable-delivery fault injection — at-least-once semantics and
+// crash-recovering processes on top of the asynchronous simulator.
+//
+// The base simulator delivers every submitted message exactly once to a
+// process that never restarts.  Real deployments face *at-least-once*
+// delivery: retrying links duplicate traffic, an adversary (or a buggy
+// middlebox) replays captured messages arbitrarily later, links drop a
+// packet and retransmit it after a delay, and replicas crash and rejoin
+// from persisted state.  The paper's safety claims must survive all of
+// this; the classes here inject exactly those faults so the test tree can
+// check that they do.
+//
+//  * FaultPolicy / FaultInjector — a seeded, policy-driven wrapper hooked
+//    into Simulator::step(): duplicates in-flight messages (bounded copy
+//    count), replays previously delivered messages at arbitrary later
+//    steps (bounded history and per-message replay count), and
+//    drops-then-retransmits picked messages (a retrying link; bounded
+//    drops per message, so the link stays fair-in-the-limit).
+//  * RestartingProcess — crash-recovery harness for any Process: tears
+//    the inner process down mid-run (destroying all volatile state),
+//    swallows traffic while down into a reliable-link stash, and
+//    reattaches a fresh instance from the Process::snapshot() taken at
+//    crash time, then feeds it the stash.  With Party's write-ahead log
+//    (Party::enable_wal) the rebuilt protocol stack deterministically
+//    replays to its pre-crash state and rejoins the run.
+//
+// Every fault is bounded, so a run under fault injection still quiesces:
+// the extra deliveries per message are at most max_copies + max_replays,
+// and a message is dropped at most max_drops times before it must be
+// delivered.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/simulator.hpp"
+
+namespace sintra::net {
+
+/// Knobs for FaultInjector.  Chances are "x in 1024" per opportunity;
+/// 0 disables that fault.  All bounds are per message id.
+struct FaultPolicy {
+  std::uint32_t duplicate_chance = 0;  ///< on delivery: re-enqueue a copy
+  int max_copies = 2;                  ///< extra copies per message
+  std::uint32_t replay_chance = 0;     ///< per step: re-inject a past delivery
+  std::size_t history_window = 128;    ///< bounded memory of past deliveries
+  int max_replays = 3;                 ///< replays per message
+  std::uint32_t drop_chance = 0;       ///< on pick: drop now, retransmit later
+  int max_drops = 3;                   ///< drops before the link must deliver
+
+  static FaultPolicy none() { return {}; }
+  /// Retrying link that over-delivers: every message may arrive several times.
+  static FaultPolicy duplicates() {
+    FaultPolicy p;
+    p.duplicate_chance = 256;  // ~1 in 4 deliveries gets an extra copy
+    p.max_copies = 2;
+    return p;
+  }
+  /// Network adversary replaying captured traffic much later.
+  static FaultPolicy replays() {
+    FaultPolicy p;
+    p.replay_chance = 256;
+    p.history_window = 128;
+    p.max_replays = 2;
+    return p;
+  }
+  /// Lossy link with retransmission: delivery delayed, never lost.
+  static FaultPolicy retrying_link() {
+    FaultPolicy p;
+    p.drop_chance = 256;
+    p.max_drops = 3;
+    return p;
+  }
+  /// Everything at once.
+  static FaultPolicy chaos() {
+    FaultPolicy p;
+    p.duplicate_chance = 128;
+    p.max_copies = 2;
+    p.replay_chance = 128;
+    p.history_window = 64;
+    p.max_replays = 2;
+    p.drop_chance = 128;
+    p.max_drops = 2;
+    return p;
+  }
+};
+
+/// Seeded fault source consulted by Simulator::step().  Attach with
+/// Simulator::set_fault_injector(); must outlive the simulator's run.
+class FaultInjector {
+ public:
+  struct Stats {
+    std::uint64_t duplicated = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  FaultInjector(std::uint64_t seed, FaultPolicy policy) : rng_(seed), policy_(policy) {}
+
+  /// A previously delivered message to re-inject at this step, if any.
+  std::optional<Message> maybe_replay(std::uint64_t now);
+  /// True if the picked message should be dropped now and retransmitted
+  /// later (the simulator re-enqueues it).
+  bool should_drop(const Message& message);
+  /// True if a copy of the message should stay in flight after delivery.
+  bool should_duplicate(const Message& message);
+  /// Record a delivery into the bounded replay history.
+  void record_delivered(const Message& message);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  Rng rng_;
+  FaultPolicy policy_;
+  std::deque<Message> history_;           ///< bounded window of past deliveries
+  std::map<std::uint64_t, int> copies_;   ///< id -> duplicates injected
+  std::map<std::uint64_t, int> replays_;  ///< id -> replays injected
+  std::map<std::uint64_t, int> drops_;    ///< id -> drops so far
+  Stats stats_;
+};
+
+/// Crash-recovery harness around any Process.
+///
+/// The inner process is built by `factory` (which must also perform the
+/// application-level start calls — a rebuilt party has to restart its own
+/// protocols).  After `crash_after` deliveries the inner process is
+/// destroyed together with all its volatile state; only the bytes from
+/// Process::snapshot() survive, modeling state persisted before the crash.
+/// While down, incoming messages are stashed (the paper's model gives
+/// reliable authenticated links: traffic to a crashed replica is held and
+/// redelivered, not lost).  After `down_for` stashed messages — or an
+/// explicit force_restart() from the harness — the factory rebuilds the
+/// process, restore() replays the persisted state, and the stash is fed in
+/// arrival order.  At most `max_restarts` crash/restart cycles happen per
+/// run so fault-injected runs still terminate.
+class RestartingProcess final : public Process {
+ public:
+  using Factory = std::function<std::unique_ptr<Process>()>;
+
+  RestartingProcess(Factory factory, std::uint64_t crash_after, std::uint64_t down_for,
+                    int max_restarts = 1)
+      : factory_(std::move(factory)), crash_after_(crash_after), down_for_(down_for),
+        max_restarts_(max_restarts) {}
+
+  void on_start() override {
+    inner_ = factory_();
+    inner_->on_start();
+  }
+
+  void on_message(const Message& message) override {
+    if (down_) {
+      stash_.push_back(message);
+      if (stash_.size() >= down_for_) restart();
+      return;
+    }
+    inner_->on_message(message);
+    if (restarts_ < max_restarts_ && ++delivered_ >= crash_after_) crash();
+  }
+
+  /// Restart now (harness context) if the process is down — used when the
+  /// network quiesces before `down_for` messages have arrived.
+  void force_restart() {
+    if (down_) restart();
+  }
+
+  [[nodiscard]] bool down() const { return down_; }
+  [[nodiscard]] int restarts() const { return restarts_; }
+  [[nodiscard]] Process* inner() { return inner_.get(); }
+
+ private:
+  void crash() {
+    snapshot_ = inner_->snapshot();
+    inner_.reset();  // all volatile state gone
+    down_ = true;
+    delivered_ = 0;
+  }
+
+  void restart() {
+    down_ = false;
+    ++restarts_;
+    inner_ = factory_();            // re-registers handlers, restarts protocols
+    inner_->restore(snapshot_);     // deterministic replay of persisted state
+    snapshot_.clear();
+    std::vector<Message> stash = std::move(stash_);
+    stash_.clear();
+    for (const Message& message : stash) inner_->on_message(message);
+  }
+
+  Factory factory_;
+  std::uint64_t crash_after_;
+  std::uint64_t down_for_;
+  int max_restarts_;
+  std::unique_ptr<Process> inner_;
+  Bytes snapshot_;
+  std::vector<Message> stash_;
+  std::uint64_t delivered_ = 0;
+  bool down_ = false;
+  int restarts_ = 0;
+};
+
+}  // namespace sintra::net

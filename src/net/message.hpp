@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/bytes.hpp"
 
@@ -24,10 +25,11 @@ struct Message {
   [[nodiscard]] std::size_t wire_size() const { return tag.size() + payload.size() + 16; }
 };
 
-/// Top-level component of a tag ("abc/5/vba" -> "abc").
-inline std::string tag_prefix(const std::string& tag) {
+/// Top-level component of a tag ("abc/5/vba" -> "abc").  Returns a view
+/// into `tag` — no allocation; the caller must keep the tag alive.
+inline std::string_view tag_prefix(std::string_view tag) {
   const std::size_t slash = tag.find('/');
-  return slash == std::string::npos ? tag : tag.substr(0, slash);
+  return slash == std::string_view::npos ? tag : tag.substr(0, slash);
 }
 
 }  // namespace sintra::net

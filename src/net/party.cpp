@@ -38,8 +38,45 @@ void Party::register_handler(const std::string& tag, Handler handler) {
 }
 
 void Party::on_message(const Message& message) {
+  // Persist before processing — a crash after dispatch must not lose the
+  // message (at-least-once: a redelivery after restore is harmless, a
+  // loss is not).
+  if (wal_enabled_) wal_.push_back(message);
   dispatch(message);
   drain_local();
+}
+
+Bytes Party::snapshot() const {
+  Writer w;
+  w.vec(wal_, [](Writer& out, const Message& message) {
+    out.u32(static_cast<std::uint32_t>(message.from));
+    out.str(message.tag);
+    out.bytes(message.payload);
+  });
+  return w.take();
+}
+
+void Party::restore(BytesView persisted) {
+  Reader r(persisted);
+  std::vector<Message> replay = r.vec<Message>([this](Reader& in) {
+    Message message;
+    message.from = static_cast<int>(in.u32());
+    message.to = id_;
+    message.tag = in.str();
+    message.payload = in.bytes();
+    return message;
+  });
+  r.expect_done();
+  // Replay through the (rebuilt) handlers with logging off: the replayed
+  // messages are already in the log we are about to reinstate.
+  const bool was_enabled = wal_enabled_;
+  wal_enabled_ = false;
+  for (const Message& message : replay) {
+    dispatch(message);
+    drain_local();
+  }
+  wal_enabled_ = was_enabled;
+  wal_ = std::move(replay);
 }
 
 void Party::dispatch(const Message& message) {

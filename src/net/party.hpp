@@ -53,6 +53,17 @@ class Party : public Process {
 
   void on_message(const Message& message) override;
 
+  /// Crash recovery (net/fault.hpp).  With the WAL enabled, every network
+  /// message is appended to a write-ahead log before dispatch; snapshot()
+  /// serializes that log, and restore() replays it through the (freshly
+  /// rebuilt) protocol stack.  Because protocol state is a deterministic
+  /// function of the party's seed and its received-message sequence, the
+  /// replayed party rejoins exactly where it crashed.
+  void enable_wal() { wal_enabled_ = true; }
+  [[nodiscard]] const std::vector<Message>& wal() const { return wal_; }
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(BytesView persisted) override;
+
   /// Trace helper (no-op without an attached log).
   void trace(const std::string& component, std::string text);
 
@@ -68,6 +79,8 @@ class Party : public Process {
   std::map<std::string, std::deque<Message>> buffered_;
   std::deque<Message> local_;
   bool dispatching_ = false;
+  bool wal_enabled_ = false;
+  std::vector<Message> wal_;  ///< received network messages, arrival order
 };
 
 }  // namespace sintra::net

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "net/message.hpp"
 
@@ -76,12 +77,26 @@ class StarvePartyScheduler final : public Scheduler {
   std::function<int(std::uint64_t)> victim_at_;
 };
 
+/// Rejects victim masks naming parties outside 0..n-1 (such bits would
+/// silently never match any traffic, making the adversary weaker than the
+/// experiment believes).
+inline void check_victim_mask(std::uint64_t victim_mask, int n) {
+  SINTRA_REQUIRE(n >= 1 && n <= 64, "scheduler: party count out of range");
+  // n == 64 accepts any mask; guard the shift — `x >> 64` is UB.
+  SINTRA_REQUIRE(n == 64 || (victim_mask >> n) == 0,
+                 "scheduler: victim mask names party >= n");
+}
+
 /// Starves a whole set of parties (e.g. one site/class of a generalized
 /// structure): their traffic moves only when nothing else can.
 class StarveSetScheduler final : public Scheduler {
  public:
-  StarveSetScheduler(std::uint64_t seed, std::uint64_t victim_mask)
-      : rng_(seed), victims_(victim_mask) {}
+  /// `n` is the simulation's party count; every set bit of `victim_mask`
+  /// must name a real party — a bit >= n would silently never match.
+  StarveSetScheduler(std::uint64_t seed, std::uint64_t victim_mask, int n)
+      : rng_(seed), victims_(victim_mask) {
+    check_victim_mask(victim_mask, n);
+  }
 
   std::optional<std::size_t> pick(const std::vector<Message>& pending,
                                   std::uint64_t now) override;
@@ -115,8 +130,11 @@ class BlockPartyScheduler final : public Scheduler {
 /// site or class of a generalized structure) for the rest of the run.
 class BlockSetScheduler final : public Scheduler {
  public:
-  BlockSetScheduler(std::uint64_t seed, std::uint64_t victim_mask)
-      : rng_(seed), victims_(victim_mask) {}
+  /// `n` as in StarveSetScheduler: every mask bit must name a real party.
+  BlockSetScheduler(std::uint64_t seed, std::uint64_t victim_mask, int n)
+      : rng_(seed), victims_(victim_mask) {
+    check_victim_mask(victim_mask, n);
+  }
 
   std::optional<std::size_t> pick(const std::vector<Message>& pending,
                                   std::uint64_t now) override;

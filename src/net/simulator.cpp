@@ -1,6 +1,7 @@
 #include "net/simulator.hpp"
 
 #include "common/assert.hpp"
+#include "net/fault.hpp"
 
 namespace sintra::net {
 
@@ -41,13 +42,24 @@ void Simulator::submit(Message message) {
                  "Simulator: sender spoofing rejected");
   message.id = next_id_++;
   message.sent_at = steps_;
-  TrafficStats& stats = traffic_[tag_prefix(message.tag)];
-  stats.messages += 1;
-  stats.bytes += message.wire_size();
+  // Heterogeneous lookup: tag_prefix is a view into the tag, so the hot
+  // path allocates a key string only the first time a prefix is seen.
+  const std::string_view prefix = tag_prefix(message.tag);
+  auto it = traffic_.find(prefix);
+  if (it == traffic_.end()) it = traffic_.emplace(std::string(prefix), TrafficStats{}).first;
+  it->second.messages += 1;
+  it->second.bytes += message.wire_size();
   pending_.push_back(std::move(message));
 }
 
 bool Simulator::step() {
+  if (injector_ != nullptr) {
+    // Replayed traffic re-enters the in-flight set and competes for
+    // scheduling like any other message (same id as the original).
+    if (std::optional<Message> replayed = injector_->maybe_replay(steps_)) {
+      pending_.push_back(std::move(*replayed));
+    }
+  }
   if (pending_.empty()) return false;
   const std::optional<std::size_t> choice = scheduler_.pick(pending_, steps_);
   if (!choice.has_value()) return false;  // scheduler withholds all remaining traffic
@@ -57,6 +69,16 @@ bool Simulator::step() {
   pending_[index] = std::move(pending_.back());
   pending_.pop_back();
   ++steps_;
+  if (injector_ != nullptr && injector_->should_drop(message)) {
+    // Retrying link: the pick is consumed but the message goes back in
+    // flight, to be retransmitted at a later (scheduler-chosen) step.
+    pending_.push_back(std::move(message));
+    return true;
+  }
+  if (injector_ != nullptr) {
+    if (injector_->should_duplicate(message)) pending_.push_back(message);
+    injector_->record_delivered(message);
+  }
   active_process_ = message.to;
   processes_[static_cast<std::size_t>(message.to)]->on_message(message);
   active_process_ = -1;

@@ -26,7 +26,15 @@ class Process {
   virtual ~Process() = default;
   virtual void on_start() {}
   virtual void on_message(const Message& message) = 0;
+
+  /// Crash-recovery hooks (see net/fault.hpp).  snapshot() returns the
+  /// state this process persists across a crash (default: nothing);
+  /// restore() reinstates it into a freshly built instance.
+  [[nodiscard]] virtual Bytes snapshot() const { return {}; }
+  virtual void restore(BytesView persisted) { (void)persisted; }
 };
+
+class FaultInjector;  // net/fault.hpp
 
 /// Per-protocol traffic counters (key = tag prefix).
 struct TrafficStats {
@@ -49,6 +57,11 @@ class Simulator {
   /// their host; `from` must be the submitting party (enforced by Party).
   void submit(Message message);
 
+  /// Attach an unreliable-delivery fault source (nullptr to detach).  The
+  /// injector is consulted at every step and may duplicate, replay, or
+  /// drop-and-retransmit traffic; it must outlive the simulation.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   /// Deliver one pending message (chosen by the scheduler).
   /// Returns false when nothing is pending.
   bool step();
@@ -64,19 +77,23 @@ class Simulator {
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
   [[nodiscard]] TraceLog* log() { return log_; }
 
-  [[nodiscard]] const std::map<std::string, TrafficStats>& traffic() const { return traffic_; }
+  /// Keyed by tag prefix; transparent comparator so submit() can look up
+  /// by string_view without materializing a std::string per message.
+  using TrafficMap = std::map<std::string, TrafficStats, std::less<>>;
+  [[nodiscard]] const TrafficMap& traffic() const { return traffic_; }
   [[nodiscard]] std::uint64_t total_messages() const { return next_id_; }
 
  private:
   int n_;
   Scheduler& scheduler_;
   TraceLog* log_;
+  FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Message> pending_;
   std::uint64_t next_id_ = 0;
   std::uint64_t steps_ = 0;
   int active_process_ = -1;  ///< process currently executing (-1 = harness)
-  std::map<std::string, TrafficStats> traffic_;
+  TrafficMap traffic_;
 };
 
 }  // namespace sintra::net

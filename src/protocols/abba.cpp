@@ -44,9 +44,21 @@ Abba::Round& Abba::round_state(int round) {
 }
 
 void Abba::start(bool input) {
-  SINTRA_REQUIRE(!started_, "abba: already started");
+  if (started_) {
+    // At-least-once re-entry (crash-recovery replay re-runs application
+    // start calls): same input re-broadcasts INPUT, which receivers
+    // dedup via input_voted_; a flipped input would equivocate — reject.
+    SINTRA_REQUIRE(my_input_.has_value() && *my_input_ == input, "abba: conflicting re-start");
+    broadcast_input();
+    return;
+  }
   started_ = true;
   my_input_ = input;
+  broadcast_input();
+}
+
+void Abba::broadcast_input() {
+  const bool input = *my_input_;
   Writer w;
   w.u8(kInput);
   w.u8(input ? 1 : 0);

@@ -67,6 +67,8 @@ class Abba final : public ProtocolInstance {
 
   Abba(net::Party& host, std::string tag, DecideFn decide);
 
+  /// Re-entry with the same input re-broadcasts INPUT (crash-recovery
+  /// replay); a flipped input throws.
   void start(bool input);
 
   [[nodiscard]] bool decided() const { return decided_; }
@@ -109,6 +111,7 @@ class Abba final : public ProtocolInstance {
   };
 
   void handle(int from, Reader& reader) override;
+  void broadcast_input();
   void on_input(int from, Reader& reader);
   void try_first_prevote();
   void on_prevote(int from, Reader& reader);

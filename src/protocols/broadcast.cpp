@@ -27,38 +27,66 @@ ReliableBroadcast::ReliableBroadcast(net::Party& host, std::string tag, int send
 
 void ReliableBroadcast::start(Bytes message) {
   SINTRA_REQUIRE(me() == sender_, "rbc: only the designated sender may start");
-  broadcast(make_msg(kSend, message));
+  if (started_) {
+    // At-least-once re-entry (crash-recovery replay re-runs application
+    // start calls): same message re-broadcasts SEND, which receivers
+    // dedup; a different message would equivocate and is rejected.
+    SINTRA_REQUIRE(message == sent_message_, "rbc: conflicting re-start");
+    broadcast(make_msg(kSend, sent_message_));
+    return;
+  }
+  started_ = true;
+  sent_message_ = message;
+  broadcast(make_msg(kSend, std::move(message)));
+}
+
+std::size_t ReliableBroadcast::retained_bytes() const {
+  std::size_t total = sent_message_.size();
+  for (const auto& [digest, tally] : tallies_) total += digest.size() + tally.message.size();
+  return total;
 }
 
 void ReliableBroadcast::handle(int from, Reader& reader) {
   const std::uint8_t type = reader.u8();
   Bytes message = reader.bytes();
   reader.expect_done();
+  if (delivered_) return;  // instance done; tallies already freed
 
-  const Bytes digest = digest_of(tag_, message);
-  Tally& tally = tallies_[digest];
-  if (!tally.have_content) {
-    tally.message = message;
-    tally.have_content = true;
-  }
-
+  // Memory bound: only the *first* message of each type from each party
+  // counts (honest parties send one of each).  This caps live tallies at
+  // 2n+1 per instance and makes the handler idempotent under duplicated
+  // and replayed traffic — a spammer's follow-up messages are dropped
+  // before they can touch, let alone grow, the tally map.
   switch (type) {
     case kSend: {
       SINTRA_REQUIRE(from == sender_, "rbc: SEND from non-sender");
+      if (send_seen_) return;
+      send_seen_ = true;
+      Tally& tally = tallies_[digest_of(tag_, message)];
+      tally.message = std::move(message);
+      tally.have_content = true;
       if (!echoed_) {
         echoed_ = true;
-        broadcast(make_msg(kEcho, message));
+        broadcast(make_msg(kEcho, tally.message));
       }
       break;
     }
     case kEcho: {
+      if (echoed_by_ & crypto::party_bit(from)) return;
+      echoed_by_ |= crypto::party_bit(from);
+      Tally& tally = tallies_[digest_of(tag_, message)];
       tally.echoes |= crypto::party_bit(from);
-      maybe_progress(digest);
+      retain_if_supported(tally, message);
+      maybe_progress(tally);
       break;
     }
     case kReady: {
+      if (readied_by_ & crypto::party_bit(from)) return;
+      readied_by_ |= crypto::party_bit(from);
+      Tally& tally = tallies_[digest_of(tag_, message)];
       tally.readies |= crypto::party_bit(from);
-      maybe_progress(digest);
+      retain_if_supported(tally, message);
+      maybe_progress(tally);
       break;
     }
     default:
@@ -66,19 +94,36 @@ void ReliableBroadcast::handle(int from, Reader& reader) {
   }
 }
 
-void ReliableBroadcast::maybe_progress(const Bytes& digest) {
-  Tally& tally = tallies_[digest];
+void ReliableBroadcast::retain_if_supported(Tally& tally, const Bytes& message) {
+  // Anti-DoS: content is retained only once the digest has support beyond
+  // a fault set (so at least one honest party vouches for it) — a spammer
+  // echoing unique garbage costs us a digest + bitmask per party, never
+  // the bodies.  (The designated sender's SEND is the other retention
+  // path, handled in `handle`.)  Any quorum exceeds a fault set (Q³), so
+  // content is always in hand by the time READY/deliver thresholds hit.
+  if (tally.have_content) return;
+  if (quorum().exceeds_fault_set(tally.echoes) || quorum().exceeds_fault_set(tally.readies)) {
+    tally.message = message;
+    tally.have_content = true;
+  }
+}
+
+void ReliableBroadcast::maybe_progress(Tally& tally) {
   // READY once a quorum echoed, or a fault-set-exceeding set is already
   // ready (amplification — ensures agreement even for a corrupted sender).
   if (!readied_ &&
       (quorum().is_quorum(tally.echoes) || quorum().exceeds_fault_set(tally.readies))) {
+    SINTRA_INVARIANT(tally.have_content, "rbc: READY threshold without content");
     readied_ = true;
     broadcast(make_msg(kReady, tally.message));
   }
   if (!delivered_ && quorum().is_vote_quorum(tally.readies)) {
+    SINTRA_INVARIANT(tally.have_content, "rbc: deliver threshold without content");
     delivered_ = true;
     host_.trace("rbc", tag_ + " delivered");
-    deliver_(tally.message);
+    Bytes message = std::move(tally.message);
+    tallies_.clear();  // instance complete — free all tally memory
+    deliver_(std::move(message));
   }
 }
 

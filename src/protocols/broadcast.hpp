@@ -30,30 +30,44 @@ class ReliableBroadcast final : public ProtocolInstance {
   /// `sender` is the designated broadcaster for this instance.
   ReliableBroadcast(net::Party& host, std::string tag, int sender, DeliverFn deliver);
 
-  /// Start broadcasting (only the designated sender calls this).
+  /// Start broadcasting (only the designated sender calls this).  Safe to
+  /// call again with the same message (re-broadcasts SEND — used by
+  /// crash-recovery replay); a conflicting re-start throws.
   void start(Bytes message);
 
   [[nodiscard]] bool delivered() const { return delivered_; }
+
+  /// Introspection for memory-bound tests: live tally entries and bytes
+  /// of retained message content.
+  [[nodiscard]] std::size_t tally_count() const { return tallies_.size(); }
+  [[nodiscard]] std::size_t retained_bytes() const;
 
  private:
   enum MsgType : std::uint8_t { kSend = 0, kEcho = 1, kReady = 2 };
 
   void handle(int from, Reader& reader) override;
-  void maybe_progress(const Bytes& digest);
+  struct Tally;
+  void retain_if_supported(Tally& tally, const Bytes& message);
+  void maybe_progress(Tally& tally);
 
   struct Tally {
     crypto::PartySet echoes = 0;
     crypto::PartySet readies = 0;
-    Bytes message;       ///< content (first seen copy)
+    Bytes message;       ///< content; retained only once supported (see .cpp)
     bool have_content = false;
   };
 
   int sender_;
   DeliverFn deliver_;
+  bool started_ = false;
+  bool send_seen_ = false;  ///< first SEND from the designated sender counts
   bool echoed_ = false;
   bool readied_ = false;
   bool delivered_ = false;
-  std::map<Bytes, Tally> tallies_;  ///< digest -> tally
+  Bytes sent_message_;            ///< what we started with (sender only)
+  crypto::PartySet echoed_by_ = 0;   ///< parties whose ECHO already counted
+  crypto::PartySet readied_by_ = 0;  ///< parties whose READY already counted
+  std::map<Bytes, Tally> tallies_;  ///< digest -> tally; bounded (<= 2n+1)
 };
 
 }  // namespace sintra::protocols

@@ -36,7 +36,14 @@ ConsistentBroadcast::ConsistentBroadcast(net::Party& host, std::string tag, int 
 
 void ConsistentBroadcast::start(Bytes message) {
   SINTRA_REQUIRE(me() == sender_, "cbc: only the designated sender may start");
-  my_message_ = std::move(message);
+  if (started_) {
+    // At-least-once re-entry: re-broadcast the same SEND (receivers sign
+    // only once); a different message would break uniqueness — reject.
+    SINTRA_REQUIRE(message == my_message_, "cbc: conflicting re-start");
+  } else {
+    started_ = true;
+    my_message_ = std::move(message);
+  }
   Writer w;
   w.u8(kSend);
   w.bytes(my_message_);
@@ -63,6 +70,9 @@ void ConsistentBroadcast::handle(int from, Reader& reader) {
     }
     case kShare: {
       if (me() != sender_ || finalized_) break;
+      // One share message per party: a duplicated/replayed copy must not
+      // append its shares again (combine expects distinct units).
+      if (share_owners_ & crypto::party_bit(from)) break;
       auto incoming = reader.vec<crypto::SigShare>(
           [](Reader& r) { return crypto::SigShare::decode(r); });
       reader.expect_done();

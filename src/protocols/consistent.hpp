@@ -48,7 +48,9 @@ class ConsistentBroadcast final : public ProtocolInstance {
 
   ConsistentBroadcast(net::Party& host, std::string tag, int sender, DeliverFn deliver);
 
-  /// Start broadcasting (designated sender only).
+  /// Start broadcasting (designated sender only).  Re-entry with the same
+  /// message re-broadcasts SEND (crash-recovery replay); a conflicting
+  /// message throws.
   void start(Bytes message);
 
   [[nodiscard]] bool delivered() const { return delivered_; }
@@ -60,6 +62,7 @@ class ConsistentBroadcast final : public ProtocolInstance {
 
   int sender_;
   DeliverFn deliver_;
+  bool started_ = false;
   bool signed_ = false;
   bool delivered_ = false;
   bool finalized_ = false;

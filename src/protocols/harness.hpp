@@ -5,9 +5,11 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "net/corruption.hpp"
+#include "net/fault.hpp"
 #include "net/party.hpp"
 #include "net/scheduler.hpp"
 
@@ -24,6 +26,10 @@ class HostedParty final : public net::Process {
         protocol_(std::forward<Factory>(factory)(party_)) {}
 
   void on_message(const net::Message& message) override { party_.on_message(message); }
+
+  // Crash recovery: what a hosted party persists is its Party's WAL.
+  [[nodiscard]] Bytes snapshot() const override { return party_.snapshot(); }
+  void restore(BytesView persisted) override { party_.restore(persisted); }
 
   [[nodiscard]] net::Party& party() { return party_; }
   [[nodiscard]] P& protocol() { return *protocol_; }
@@ -111,6 +117,139 @@ class Cluster {
   adversary::Deployment deployment_;
   net::Simulator simulator_;
   std::vector<HostedParty<P>*> hosts_;
+};
+
+/// Cluster variant for fault-injection experiments (see net/fault.hpp and
+/// tests/chaos_test.cpp): every party runs with its write-ahead log
+/// enabled, any party can be scheduled to crash and restart mid-run, and a
+/// FaultInjector can duplicate/replay/drop the cluster's traffic.
+///
+/// Unlike Cluster, the factory here must *also start* the protocol (feed
+/// the input, submit the payload, ...): a crash-restarted party rebuilds
+/// its whole stack through the factory, and the application-level start
+/// calls are part of what it must redo — which is why the protocols'
+/// start() entry points tolerate same-input re-entry.
+template <typename P>
+class ChaosCluster {
+ public:
+  /// Build AND start party `id`'s protocol object on `party`.
+  using Factory = std::function<std::unique_ptr<P>(net::Party& party, int id)>;
+
+  ChaosCluster(adversary::Deployment deployment, net::Scheduler& scheduler, Factory factory,
+               std::uint64_t seed = 1)
+      : deployment_(std::move(deployment)),
+        simulator_(deployment_.n(), scheduler),
+        factory_(std::move(factory)),
+        seed_(seed),
+        hosts_(static_cast<std::size_t>(deployment_.n()), nullptr),
+        restarting_(static_cast<std::size_t>(deployment_.n()), nullptr) {}
+
+  /// Attach an unreliable-delivery policy (call before start()).
+  void set_fault_policy(std::uint64_t seed, net::FaultPolicy policy) {
+    injector_ = std::make_unique<net::FaultInjector>(seed, policy);
+    simulator_.set_fault_injector(injector_.get());
+  }
+
+  /// Schedule party `id` to crash after `crash_after` deliveries and come
+  /// back after `down_for` stashed messages (call before start()).
+  void set_restarting(int id, std::uint64_t crash_after, std::uint64_t down_for,
+                      int max_restarts = 1) {
+    restart_plans_[id] = Plan{crash_after, down_for, max_restarts};
+  }
+
+  void start() {
+    for (int id = 0; id < deployment_.n(); ++id) {
+      auto build = [this, id]() -> std::unique_ptr<net::Process> {
+        auto host = std::make_unique<HostedParty<P>>(
+            simulator_, id, deployment_, seed_ * 7919 + static_cast<std::uint64_t>(id),
+            [this, id](net::Party& party) {
+              party.enable_wal();
+              return factory_(party, id);
+            });
+        hosts_[static_cast<std::size_t>(id)] = host.get();
+        return host;
+      };
+      auto plan = restart_plans_.find(id);
+      if (plan != restart_plans_.end()) {
+        auto process = std::make_unique<net::RestartingProcess>(
+            build, plan->second.crash_after, plan->second.down_for, plan->second.max_restarts);
+        restarting_[static_cast<std::size_t>(id)] = process.get();
+        simulator_.attach(id, std::move(process));
+      } else {
+        simulator_.attach(id, build());
+      }
+    }
+    simulator_.start();
+  }
+
+  [[nodiscard]] net::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const adversary::Deployment& deployment() const { return deployment_; }
+  [[nodiscard]] int n() const { return deployment_.n(); }
+  [[nodiscard]] const net::FaultInjector* injector() const { return injector_.get(); }
+  [[nodiscard]] net::RestartingProcess* restarting(int id) {
+    return restarting_[static_cast<std::size_t>(id)];
+  }
+
+  /// The current protocol incarnation at `id` (nullptr while crashed).
+  [[nodiscard]] P* protocol(int id) {
+    auto* process = restarting_[static_cast<std::size_t>(id)];
+    if (process != nullptr && process->down()) return nullptr;
+    auto* host = hosts_[static_cast<std::size_t>(id)];
+    return host == nullptr ? nullptr : &host->protocol();
+  }
+
+  /// Run until `done(protocol)` holds at every currently-up party.  When
+  /// the network quiesces with a party still down (not enough traffic
+  /// arrived to trigger its scheduled restart), the restart is forced and
+  /// the run continues — a crashed replica that never restarts is outside
+  /// the crash-*recovery* model.
+  bool run_until_all(const std::function<bool(P&)>& done, std::uint64_t max_steps) {
+    const std::uint64_t deadline = simulator_.now() + max_steps;
+    auto all_done = [&] {
+      for (int id = 0; id < n(); ++id) {
+        auto* process = restarting_[static_cast<std::size_t>(id)];
+        if (process != nullptr && process->down()) return false;
+        P* p = protocol(id);
+        if (p != nullptr && !done(*p)) return false;
+      }
+      return true;
+    };
+    while (true) {
+      if (simulator_.run_until(all_done, deadline - simulator_.now())) return true;
+      if (simulator_.now() >= deadline) return false;
+      bool kicked = false;
+      for (auto* process : restarting_) {
+        if (process != nullptr && process->down()) {
+          process->force_restart();
+          kicked = true;
+        }
+      }
+      if (!kicked) return false;  // quiescent with everyone up: stuck
+    }
+  }
+
+  /// Apply `fn` to every currently-up protocol instance.
+  void for_each(const std::function<void(int id, P&)>& fn) {
+    for (int id = 0; id < n(); ++id) {
+      if (P* p = protocol(id)) fn(id, *p);
+    }
+  }
+
+ private:
+  struct Plan {
+    std::uint64_t crash_after;
+    std::uint64_t down_for;
+    int max_restarts;
+  };
+
+  adversary::Deployment deployment_;
+  net::Simulator simulator_;
+  Factory factory_;
+  std::uint64_t seed_;
+  std::unique_ptr<net::FaultInjector> injector_;
+  std::map<int, Plan> restart_plans_;
+  std::vector<HostedParty<P>*> hosts_;
+  std::vector<net::RestartingProcess*> restarting_;
 };
 
 }  // namespace sintra::protocols

@@ -32,7 +32,9 @@ BigInt ShareRefresh::mask_for(int dealer, int recipient) const {
 }
 
 void ShareRefresh::start() {
-  SINTRA_REQUIRE(!started_, "refresh: already started");
+  // At-least-once re-entry (crash-recovery replay): our dealing already
+  // went through atomic broadcast, which dedupes — nothing to redo.
+  if (started_) return;
   started_ = true;
   const auto& group = host_.public_keys().coin.group();
   FeldmanDealing dealing =

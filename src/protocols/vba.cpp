@@ -22,8 +22,10 @@ Vba::Vba(net::Party& host, std::string tag, Predicate predicate, DecideFn decide
 }
 
 void Vba::propose(Bytes value) {
-  SINTRA_REQUIRE(!proposed_, "vba: already proposed");
   SINTRA_REQUIRE(predicate_(value), "vba: proposal violates the validity predicate");
+  // Re-entry (crash-recovery replay) is delegated to our consistent
+  // broadcast: it re-broadcasts the same proposal and rejects a
+  // conflicting one.
   proposed_ = true;
   proposals_cb_[static_cast<std::size_t>(me())]->start(std::move(value));
 }

@@ -122,7 +122,7 @@ TEST(AbbaTest, AdversarialSchedulers) {
     switch (which) {
       case 0: sched = std::make_unique<net::LifoScheduler>(7); break;
       case 1: sched = std::make_unique<net::StarvePartyScheduler>(7, 1); break;
-      default: sched = std::make_unique<net::StarveSetScheduler>(7, 0b0011); break;
+      default: sched = std::make_unique<net::StarveSetScheduler>(7, 0b0011, 4); break;
     }
     auto cluster = make_cluster(deployment, *sched, 0, 50);
     EXPECT_TRUE(run_agreement(cluster, {1, 0, 0, 1}).has_value()) << "scheduler " << which;

@@ -11,7 +11,11 @@
 #include "crypto/tdh2.hpp"
 #include "crypto/shamir.hpp"
 #include "crypto/threshold_sig.hpp"
+#include "protocols/abba.hpp"
+#include "protocols/broadcast.hpp"
 #include "protocols/consistent.hpp"
+#include "protocols/harness.hpp"
+#include "protocols/vba.hpp"
 
 namespace sintra {
 namespace {
@@ -151,6 +155,157 @@ TEST(FuzzTest, StateMachinesNeverThrowOnGarbage) {
     EXPECT_NO_THROW(dir.execute(garbage));
     EXPECT_NO_THROW(notary.execute(garbage));
   }
+}
+
+// ---- Captured-traffic mutation (issue 2) -------------------------------
+//
+// Random-buffer fuzzing rarely reaches past the first length prefix.  A
+// network adversary replays *real* traffic — duplicated, truncated, and
+// re-ordered copies of messages it has seen.  These tests capture a
+// genuine protocol run, mutate every captured message, feed the result
+// into every party's handlers, and assert that nothing crashes (malformed
+// input must surface as ProtocolError, which Party swallows) and that the
+// protocol still completes correctly afterwards (no state corruption).
+
+/// Scheduler wrapper recording every message it releases for delivery.
+class CapturingScheduler final : public net::Scheduler {
+ public:
+  CapturingScheduler(net::Scheduler& inner, std::vector<net::Message>& out)
+      : inner_(inner), out_(out) {}
+
+  std::optional<std::size_t> pick(const std::vector<net::Message>& pending,
+                                  std::uint64_t now) override {
+    auto choice = inner_.pick(pending, now);
+    if (choice.has_value()) out_.push_back(pending[*choice]);
+    return choice;
+  }
+
+ private:
+  net::Scheduler& inner_;
+  std::vector<net::Message>& out_;
+};
+
+/// Feed duplicated, truncated, and re-ordered copies of the captured
+/// traffic to every honest party of `cluster`.  Everything goes through
+/// Party::on_message — exactly the code path network input takes.
+template <typename State>
+void replay_mutated(protocols::Cluster<State>& cluster,
+                    const std::vector<net::Message>& captured) {
+  for (int id = 0; id < cluster.n(); ++id) {
+    net::Party* party = cluster.party(id);
+    if (party == nullptr) continue;
+    // Re-ordered: newest first.  Each message delivered twice (duplicate)
+    // plus several truncations of its payload.
+    for (auto it = captured.rbegin(); it != captured.rend(); ++it) {
+      net::Message m = *it;
+      m.to = id;
+      ASSERT_NO_THROW(party->on_message(m)) << "tag " << m.tag;
+      ASSERT_NO_THROW(party->on_message(m)) << "duplicate, tag " << m.tag;
+      for (std::size_t len : {std::size_t{0}, m.payload.size() / 2,
+                              m.payload.size() == 0 ? std::size_t{0} : m.payload.size() - 1}) {
+        net::Message truncated = m;
+        truncated.payload.resize(len);
+        ASSERT_NO_THROW(party->on_message(truncated))
+            << "truncated to " << len << ", tag " << m.tag;
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, MutatedCapturedRbcTraffic) {
+  Rng rng(42);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  struct Holder {
+    std::unique_ptr<protocols::ReliableBroadcast> rbc;
+    std::optional<Bytes> delivered;
+  };
+  auto factory = [](net::Party& party, int) {
+    auto holder = std::make_unique<Holder>();
+    holder->rbc = std::make_unique<protocols::ReliableBroadcast>(
+        party, "rbc/0", 0, [h = holder.get()](Bytes m) { h->delivered = std::move(m); });
+    return holder;
+  };
+
+  std::vector<net::Message> captured;
+  {
+    net::RandomScheduler base(7);
+    CapturingScheduler sched(base, captured);
+    protocols::Cluster<Holder> cluster(deployment, sched, factory);
+    cluster.start();
+    cluster.protocol(0)->rbc->start(bytes_of("capture"));
+    ASSERT_TRUE(cluster.run_until_all(
+        [](Holder& h) { return h.delivered.has_value(); }, 100000));
+  }
+  ASSERT_FALSE(captured.empty());
+
+  net::RandomScheduler sched(8);
+  protocols::Cluster<Holder> cluster(deployment, sched, factory);
+  cluster.start();
+  replay_mutated(cluster, captured);
+  // No corruption: the instance still reaches (or already reached, since
+  // the replayed traffic is genuinely valid) agreement on the payload.
+  cluster.protocol(0)->rbc->start(bytes_of("capture"));
+  ASSERT_TRUE(cluster.run_until_all(
+      [](Holder& h) { return h.delivered.has_value(); }, 100000));
+  cluster.for_each([](int, Holder& h) { EXPECT_EQ(*h.delivered, bytes_of("capture")); });
+}
+
+TEST(FuzzTest, MutatedCapturedAbbaAndVbaTraffic) {
+  Rng rng(43);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  struct Holder {
+    std::unique_ptr<protocols::Abba> abba;
+    std::unique_ptr<protocols::Vba> vba;
+    std::optional<bool> abba_decision;
+    std::optional<Bytes> vba_decision;
+  };
+  auto factory = [](net::Party& party, int) {
+    auto holder = std::make_unique<Holder>();
+    holder->abba = std::make_unique<protocols::Abba>(
+        party, "ba/0", [h = holder.get()](bool v, int) { h->abba_decision = v; });
+    holder->vba = std::make_unique<protocols::Vba>(
+        party, "vba/0", [](BytesView) { return true; },
+        [h = holder.get()](Bytes v) { h->vba_decision = std::move(v); });
+    return holder;
+  };
+  auto start_all = [](protocols::Cluster<Holder>& cluster) {
+    cluster.for_each([](int id, Holder& h) {
+      h.abba->start(id % 2 == 0);
+      h.vba->propose(bytes_of("v" + std::to_string(id)));
+    });
+  };
+  auto done = [](Holder& h) {
+    return h.abba_decision.has_value() && h.vba_decision.has_value();
+  };
+
+  std::vector<net::Message> captured;
+  {
+    net::RandomScheduler base(9);
+    CapturingScheduler sched(base, captured);
+    protocols::Cluster<Holder> cluster(deployment, sched, factory);
+    cluster.start();
+    start_all(cluster);
+    ASSERT_TRUE(cluster.run_until_all(done, 3000000));
+  }
+  ASSERT_FALSE(captured.empty());
+
+  // The capture covers ABBA's vote/coin handlers plus VBA's consistent-
+  // broadcast, vote, and fetch handlers — replay it mutated into all of
+  // them, then check both protocols still complete and agree.
+  net::RandomScheduler sched(10);
+  protocols::Cluster<Holder> cluster(deployment, sched, factory);
+  cluster.start();
+  replay_mutated(cluster, captured);
+  start_all(cluster);
+  ASSERT_TRUE(cluster.run_until_all(done, 3000000));
+  std::optional<bool> abba_common;
+  std::optional<Bytes> vba_common;
+  cluster.for_each([&](int, Holder& h) {
+    if (!abba_common.has_value()) abba_common = h.abba_decision;
+    if (!vba_common.has_value()) vba_common = h.vba_decision;
+    EXPECT_EQ(*h.abba_decision, *abba_common) << "abba agreement corrupted";
+    EXPECT_EQ(*h.vba_decision, *vba_common) << "vba agreement corrupted";
+  });
 }
 
 TEST(FuzzTest, GroupElementDecodeRejectsRandomBytes) {

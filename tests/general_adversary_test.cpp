@@ -79,7 +79,7 @@ TEST(GeneralAdversaryTest, Example2SiteOutageViaBlockingScheduler) {
   auto deployment = example2_deployment(rng);
   PartySet site = 0;
   for (int k = 0; k < 4; ++k) site |= party_bit(example2_party(2, k));  // Zurich offline
-  net::BlockSetScheduler sched(2, site);
+  net::BlockSetScheduler sched(2, site, deployment.n());
   auto cluster = make_abc_cluster(deployment, sched, 0, 2);
   cluster.start();
   cluster.protocol(example2_party(0, 0))->abc->submit(bytes_of("still alive"));

@@ -165,6 +165,87 @@ class EquivocatingSender final : public net::Process {
   int id_;
 };
 
+/// Floods a victim with well-formed ECHO/READY messages that each carry a
+/// unique large body — the unbounded-memory DoS of issue 2: before the
+/// fix, every distinct body grew a full tally entry (content included) at
+/// the victim.
+class TallySpamProcess final : public net::Process {
+ public:
+  TallySpamProcess(net::Simulator& sim, int id, int victim, int floods)
+      : sim_(sim), id_(id), victim_(victim), floods_(floods) {}
+
+  void on_start() override {
+    for (int i = 0; i < floods_; ++i) {
+      for (std::uint8_t type : {std::uint8_t{1}, std::uint8_t{2}}) {  // kEcho, kReady
+        Bytes body(1024, 0x5a);
+        body[0] = static_cast<std::uint8_t>(i & 0xff);
+        body[1] = static_cast<std::uint8_t>((i >> 8) & 0xff);
+        body[2] = type;
+        Writer w;
+        w.u8(type);
+        w.bytes(body);
+        net::Message m;
+        m.from = id_;
+        m.to = victim_;
+        m.tag = "rbc/0";
+        m.payload = w.take();
+        sim_.submit(std::move(m));
+      }
+    }
+  }
+  void on_message(const net::Message&) override {}
+
+ private:
+  net::Simulator& sim_;
+  int id_;
+  int victim_;
+  int floods_;
+};
+
+TEST(RbcTest, SpamFloodCannotGrowMemory) {
+  // 500 x 2 well-formed messages x 1 KiB of unique garbage (~1 MiB of
+  // spam) against party 1, while an honest broadcast runs.  The victim
+  // must keep a constant number of tallies, retain (almost) no spam
+  // bytes, and still deliver the honest sender's message exactly once.
+  net::RandomScheduler sched(21);
+  RbcHarness h(4, 1, /*sender=*/0, sched);
+  auto& sim = h.cluster().simulator();
+  h.cluster().attach_custom(3, std::make_unique<TallySpamProcess>(sim, 3, /*victim=*/1, 500));
+  h.cluster().start();
+  h.cluster().protocol(0)->rbc->start(bytes_of("legit"));
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        bool all = true;
+        h.cluster().for_each([&](int, RbcState& s) { all = all && s.delivered.has_value(); });
+        return all;
+      },
+      1000000));
+  sim.run(1000000);  // let the rest of the flood land
+  h.cluster().for_each([](int, RbcState& s) { EXPECT_EQ(*s.delivered, bytes_of("legit")); });
+  // Bounded memory: after delivery the tallies are freed entirely; at no
+  // point can they exceed one entry per (party, message type) pair.
+  ReliableBroadcast& victim = *h.cluster().protocol(1)->rbc;
+  EXPECT_EQ(victim.tally_count(), 0u);
+  EXPECT_LT(victim.retained_bytes(), 1024u) << "spam bodies were retained";
+}
+
+TEST(RbcTest, DuplicatedTrafficDeliversOnce) {
+  // At-least-once network: every message duplicated with high probability
+  // must not break agreement or cause double delivery.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    net::RandomScheduler sched(seed);
+    net::FaultInjector injector(seed, net::FaultPolicy::duplicates());
+    RbcHarness h(4, 1, /*sender=*/0, sched, 0, seed);
+    h.cluster().simulator().set_fault_injector(&injector);
+    h.cluster().start();
+    h.cluster().protocol(0)->rbc->start(bytes_of("dup"));
+    ASSERT_TRUE(h.cluster().run_until_all(
+        [](RbcState& s) { return s.delivered.has_value(); }, 200000))
+        << "seed " << seed;
+    h.cluster().for_each([](int, RbcState& s) { EXPECT_EQ(*s.delivered, bytes_of("dup")); });
+  }
+}
+
 TEST(RbcTest, EquivocatingSenderCannotSplitDelivery) {
   // Core agreement property: whatever the corrupted sender does, honest
   // parties never deliver different messages.  (They may deliver nothing.)

@@ -195,7 +195,7 @@ TEST(SchedulerTest, StarveDelaysVictimUntilNothingElse) {
 }
 
 TEST(SchedulerTest, StarveSetPrefersNonVictims) {
-  StarveSetScheduler sched(1, /*victims=*/0b110);  // parties 1 and 2
+  StarveSetScheduler sched(1, /*victims=*/0b110, /*n=*/4);  // parties 1 and 2
   Simulator sim(4, sched);
   std::array<Recorder*, 4> recs{};
   for (int i = 0; i < 4; ++i) {
