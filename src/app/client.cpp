@@ -4,13 +4,47 @@
 
 namespace sintra::app {
 
-ServiceClient::ServiceClient(net::Simulator& simulator, int net_id,
+ServiceClient::ServiceClient(net::Network& network, int net_id,
                              adversary::Deployment deployment, std::string service_tag,
                              Replica::Mode mode, std::uint64_t seed, ReplyFn on_reply)
-    : simulator_(simulator), net_id_(net_id), deployment_(std::move(deployment)),
+    : network_(network), net_id_(net_id), deployment_(std::move(deployment)),
       service_tag_(std::move(service_tag)), mode_(mode), rng_(seed),
       on_reply_(std::move(on_reply)) {
   SINTRA_REQUIRE(net_id >= deployment_.n(), "client: endpoint collides with a server");
+}
+
+ServiceClient::~ServiceClient() {
+  for (auto& [id, pending] : pending_) {
+    if (pending.retry_timer != 0) network_.cancel_timer(pending.retry_timer);
+  }
+}
+
+void ServiceClient::enable_retry(std::uint64_t timeout, int max_retries) {
+  SINTRA_REQUIRE(timeout > 0 && max_retries >= 1, "client: bad retry parameters");
+  retry_timeout_ = timeout;
+  max_retries_ = max_retries;
+}
+
+void ServiceClient::arm_retry(std::uint64_t request_id, Pending& pending) {
+  if (retry_timeout_ == 0 || pending.attempts >= max_retries_) return;
+  pending.retry_timer = network_.schedule_timer(net_id_, pending.next_delay, [this, request_id] {
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;  // answered in the meantime
+    Pending& p = it->second;
+    p.retry_timer = 0;
+    ++p.attempts;
+    p.next_delay = std::min(p.next_delay * 2, retry_timeout_ * 16);
+    const bool last = p.attempts >= max_retries_;
+    if (gateway_ >= 0 && !last) {
+      // The relay did not respond in time: abandon it for the next
+      // replica and try again through that one.
+      gateway_ = (gateway_ + 1) % deployment_.n();
+      send_to_servers(p.wire_payload, /*broadcast_all=*/false);
+    } else {
+      send_to_servers(p.wire_payload, /*broadcast_all=*/true);
+    }
+    arm_retry(request_id, p);
+  });
 }
 
 void ServiceClient::send_to_servers(const Bytes& payload, bool broadcast_all) {
@@ -20,7 +54,7 @@ void ServiceClient::send_to_servers(const Bytes& payload, bool broadcast_all) {
     message.to = gateway_;
     message.tag = service_tag_;
     message.payload = payload;
-    simulator_.submit(std::move(message));
+    network_.submit(std::move(message));
     return;
   }
   for (int server = 0; server < deployment_.n(); ++server) {
@@ -29,7 +63,7 @@ void ServiceClient::send_to_servers(const Bytes& payload, bool broadcast_all) {
     message.to = server;
     message.tag = service_tag_;
     message.payload = payload;
-    simulator_.submit(std::move(message));
+    network_.submit(std::move(message));
   }
 }
 
@@ -66,7 +100,9 @@ std::uint64_t ServiceClient::request(Bytes body) {
     payload = cw.take();
   }
 
-  pending_.emplace(envelope.request_id, Pending{envelope, payload, {}});
+  auto [it, inserted] = pending_.emplace(envelope.request_id, Pending{envelope, payload, {}});
+  it->second.next_delay = retry_timeout_;
+  arm_retry(envelope.request_id, it->second);
   send_to_servers(payload, /*broadcast_all=*/false);
   return envelope.request_id;
 }
@@ -114,6 +150,7 @@ void ServiceClient::on_message(const net::Message& message) {
 
     Receipt receipt{std::move(content), std::move(*signature)};
     RequestEnvelope envelope = pending->second.envelope;
+    if (pending->second.retry_timer != 0) network_.cancel_timer(pending->second.retry_timer);
     pending_.erase(pending);
     if (on_reply_) on_reply_(envelope.request_id, std::move(receipt));
   } catch (const ProtocolError&) {

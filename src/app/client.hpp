@@ -28,10 +28,12 @@ class ServiceClient final : public net::Process {
   };
   using ReplyFn = std::function<void(std::uint64_t request_id, Receipt receipt)>;
 
-  /// `net_id` is this client's simulator endpoint (>= number of servers).
-  ServiceClient(net::Simulator& simulator, int net_id, adversary::Deployment deployment,
+  /// `net_id` is this client's network endpoint (>= number of servers).
+  /// Runs on any Network substrate (simulator or real transport).
+  ServiceClient(net::Network& network, int net_id, adversary::Deployment deployment,
                 std::string service_tag, Replica::Mode mode, std::uint64_t seed,
                 ReplyFn on_reply);
+  ~ServiceClient() override;
 
   /// Issue a request; returns its id.  In causal mode the envelope is
   /// TDH2-encrypted before it leaves the client.
@@ -48,6 +50,15 @@ class ServiceClient final : public net::Process {
   /// fallback).  No-op if the request already completed.
   void resend(std::uint64_t request_id);
 
+  /// Automatic retry on Network timers: a request with no accepted reply
+  /// after `timeout` network time units is re-driven.  While a gateway is
+  /// configured, each retry first rotates to the next replica (a
+  /// non-responding relay is abandoned in favour of the remaining ones);
+  /// the final attempt — and every retry in broadcast mode — goes to all
+  /// servers.  The timeout doubles per attempt (capped at 16x), at most
+  /// `max_retries` retries per request.
+  void enable_retry(std::uint64_t timeout, int max_retries = 4);
+
   void on_message(const net::Message& message) override;
 
   /// Verify a receipt independently (what a third party would do).
@@ -62,11 +73,15 @@ class ServiceClient final : public net::Process {
     Bytes wire_payload;  ///< what was sent (for resend)
     /// reply digest -> (supporters, shares, content)
     std::map<Bytes, std::tuple<crypto::PartySet, std::vector<crypto::SigShare>, Bytes>> votes;
+    net::Network::TimerId retry_timer = 0;  ///< 0 = not armed
+    int attempts = 0;                       ///< retries fired so far
+    std::uint64_t next_delay = 0;           ///< backoff for the next retry
   };
 
   void send_to_servers(const Bytes& payload, bool broadcast_all);
+  void arm_retry(std::uint64_t request_id, Pending& pending);
 
-  net::Simulator& simulator_;
+  net::Network& network_;
   int net_id_;
   adversary::Deployment deployment_;
   std::string service_tag_;
@@ -74,6 +89,8 @@ class ServiceClient final : public net::Process {
   Rng rng_;
   ReplyFn on_reply_;
   int gateway_ = -1;  ///< -1 = broadcast to all servers
+  std::uint64_t retry_timeout_ = 0;  ///< 0 = automatic retry disabled
+  int max_retries_ = 0;
   std::uint64_t next_request_id_ = 1;
   std::map<std::uint64_t, Pending> pending_;
 };

@@ -101,14 +101,14 @@ void Replica::execute_and_reply(const RequestEnvelope& envelope) {
   w.u64(envelope.request_id);
   w.bytes(reply);
   w.vec(shares, [](Writer& wr, const crypto::SigShare& s) { s.encode(wr); });
-  if (envelope.client >= 0 && envelope.client < host_.simulator().n() &&
+  if (envelope.client >= 0 && envelope.client < host_.network().n() &&
       envelope.client != me()) {
     net::Message message;
     message.from = me();
     message.to = envelope.client;
     message.tag = tag_ + "/reply";
     message.payload = w.take();
-    host_.simulator().submit(std::move(message));
+    host_.network().submit(std::move(message));
   }
 }
 

@@ -1,6 +1,7 @@
 #include "crypto/dealer.hpp"
 
 #include "common/assert.hpp"
+#include "crypto/sha256.hpp"
 #include "crypto/shamir.hpp"
 
 namespace sintra::crypto {
@@ -42,6 +43,10 @@ KeyBundle KeyBundle::deal(GroupPtr group, std::shared_ptr<const LinearScheme> lo
   PublicKeys public_keys{std::move(coin.public_key), std::move(cert_sig.public_key),
                          std::move(reply_sig.public_key), std::move(encryption.public_key)};
   return KeyBundle(std::move(public_keys), std::move(shares));
+}
+
+Bytes derive_link_key(BytesView channel_key) {
+  return hash_expand("sintra/transport/link-key", channel_key, 32);
 }
 
 KeyBundle KeyBundle::deal_threshold(int n, int t, Rng& rng) {

@@ -50,6 +50,12 @@ struct PublicKeys {
   Tdh2PublicKey encryption;         ///< low
 };
 
+/// Transport link-MAC key for the channel shared with a peer, derived
+/// from the dealer's pairwise channel key.  Domain-separated so the raw
+/// channel key can keep masking proactive-refresh sub-shares without the
+/// transport MACs leaking anything about those masks.
+Bytes derive_link_key(BytesView channel_key);
+
 /// Dealer output: public keys plus one PartyKeyShare per party.
 class KeyBundle {
  public:

@@ -28,6 +28,7 @@ Sha256::Sha256()
              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
 Sha256& Sha256::update(BytesView data) {
+  if (data.empty()) return *this;  // empty spans carry a null data() — no memcpy source
   total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t offset = 0;
   if (buffered_ > 0) {

@@ -1,0 +1,55 @@
+// The substrate interface a Party (and through it the whole protocol
+// stack) runs against.
+//
+// Two implementations exist: the deterministic single-threaded Simulator
+// (net/simulator.hpp), where "time" is the delivery-step counter, and the
+// NetworkedNode adapter (net/transport/networked_node.hpp), where messages
+// travel over a real transport and time is the monotonic clock in
+// milliseconds.  Protocol code never depends on which one it is on: it
+// sends messages and schedules timers in abstract network time units.
+//
+// Timers exist on this interface (rather than in the protocols) because
+// the two substrates disagree fundamentally about what time is — the
+// simulator fires timers only when the network stalls, which is what keeps
+// timeout-driven code (failure detectors, client retries) deterministic
+// under test while behaving like wall-clock timeouts in deployment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/logging.hpp"
+#include "net/message.hpp"
+
+namespace sintra::net {
+
+class Network {
+ public:
+  using TimerId = std::uint64_t;
+  using TimerFn = std::function<void()>;
+
+  virtual ~Network() = default;
+
+  /// Submit a message for asynchronous delivery.  `from` must be the
+  /// submitting party (authenticated-links assumption; enforced
+  /// structurally by the simulator, cryptographically by the transport).
+  virtual void submit(Message message) = 0;
+
+  /// Number of network endpoints (servers first, then client endpoints).
+  [[nodiscard]] virtual int n() const = 0;
+
+  /// Current network time (steps in simulation, milliseconds on a real
+  /// transport).
+  [[nodiscard]] virtual std::uint64_t now() const = 0;
+
+  /// Run `fn` in `owner`'s execution context after `delay` time units
+  /// (owner -1 = the harness/environment).  The returned id stays valid
+  /// until the timer fires or is cancelled.
+  virtual TimerId schedule_timer(int owner, std::uint64_t delay, TimerFn fn) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Structured trace sink (nullptr when tracing is off).
+  [[nodiscard]] virtual TraceLog* log() { return nullptr; }
+};
+
+}  // namespace sintra::net

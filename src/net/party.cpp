@@ -4,8 +4,8 @@
 
 namespace sintra::net {
 
-Party::Party(Simulator& simulator, int id, adversary::Deployment deployment, std::uint64_t seed)
-    : simulator_(simulator), id_(id), deployment_(std::move(deployment)),
+Party::Party(Network& network, int id, adversary::Deployment deployment, std::uint64_t seed)
+    : network_(network), id_(id), deployment_(std::move(deployment)),
       rng_(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(id + 1))) {}
 
 void Party::send(int to, const std::string& tag, Bytes payload) {
@@ -15,11 +15,17 @@ void Party::send(int to, const std::string& tag, Bytes payload) {
   message.tag = tag;
   message.payload = std::move(payload);
   if (to == id_) {
+    // A self-message from outside any handler is an external input (an
+    // application-level submit).  Replay cannot regenerate it, so it goes
+    // into the write-ahead log; self-messages produced *inside* handlers
+    // are deterministically re-created when the triggering message is
+    // replayed and must stay out of the log or they would run twice.
+    if (wal_enabled_ && !dispatching_) wal_.push_back(message);
     local_.push_back(std::move(message));
     if (!dispatching_) drain_local();
     return;
   }
-  simulator_.submit(std::move(message));
+  network_.submit(std::move(message));
 }
 
 void Party::broadcast(const std::string& tag, const Bytes& payload) {
@@ -106,7 +112,7 @@ void Party::drain_local() {
 }
 
 void Party::trace(const std::string& component, std::string text) {
-  if (TraceLog* log = simulator_.log()) {
+  if (TraceLog* log = network_.log()) {
     log->emit(TraceLevel::kInfo, id_, component, std::move(text));
   }
 }

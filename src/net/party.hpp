@@ -21,11 +21,14 @@ namespace sintra::net {
 class Party : public Process {
  public:
   /// Handler for one protocol instance; `from` is authenticated by the
-  /// simulator.  Handlers may throw ProtocolError to reject malformed
-  /// (Byzantine) input — the party drops the message and keeps running.
+  /// network substrate.  Handlers may throw ProtocolError to reject
+  /// malformed (Byzantine) input — the party drops the message and keeps
+  /// running.
   using Handler = std::function<void(int from, Reader& reader)>;
 
-  Party(Simulator& simulator, int id, adversary::Deployment deployment, std::uint64_t seed);
+  /// `network` is either the deterministic Simulator or a NetworkedNode
+  /// over a real transport; the protocol stack cannot tell the difference.
+  Party(Network& network, int id, adversary::Deployment deployment, std::uint64_t seed);
 
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] int n() const { return deployment_.n(); }
@@ -38,11 +41,19 @@ class Party : public Process {
     return deployment_.keys->share(id_);
   }
   [[nodiscard]] Rng& rng() { return rng_; }
-  [[nodiscard]] Simulator& simulator() { return simulator_; }
+  [[nodiscard]] Network& network() { return network_; }
 
   void send(int to, const std::string& tag, Bytes payload);
   /// Send to every party, self included (self copy delivered locally).
   void broadcast(const std::string& tag, const Bytes& payload);
+
+  /// Timer in this party's execution context, in network time units
+  /// (delivery steps under the simulator, milliseconds over a real
+  /// transport).  See Network::schedule_timer for the semantics.
+  Network::TimerId schedule_timer(std::uint64_t delay, Network::TimerFn fn) {
+    return network_.schedule_timer(id_, delay, std::move(fn));
+  }
+  void cancel_timer(Network::TimerId id) { network_.cancel_timer(id); }
 
   /// Register the handler for `tag`; any buffered messages for it are
   /// re-dispatched in arrival order.
@@ -54,11 +65,13 @@ class Party : public Process {
   void on_message(const Message& message) override;
 
   /// Crash recovery (net/fault.hpp).  With the WAL enabled, every network
-  /// message is appended to a write-ahead log before dispatch; snapshot()
-  /// serializes that log, and restore() replays it through the (freshly
-  /// rebuilt) protocol stack.  Because protocol state is a deterministic
-  /// function of the party's seed and its received-message sequence, the
-  /// replayed party rejoins exactly where it crashed.
+  /// message is appended to a write-ahead log before dispatch, and so is
+  /// every *external* self-message (an application submit outside any
+  /// handler — replay cannot regenerate those); snapshot() serializes the
+  /// log, and restore() replays it through the (freshly rebuilt) protocol
+  /// stack.  Because protocol state is a deterministic function of the
+  /// party's seed, its received-message sequence and its logged inputs,
+  /// the replayed party rejoins exactly where it crashed.
   void enable_wal() { wal_enabled_ = true; }
   [[nodiscard]] const std::vector<Message>& wal() const { return wal_; }
   [[nodiscard]] Bytes snapshot() const override;
@@ -71,7 +84,7 @@ class Party : public Process {
   void dispatch(const Message& message);
   void drain_local();
 
-  Simulator& simulator_;
+  Network& network_;
   int id_;
   adversary::Deployment deployment_;
   Rng rng_;
@@ -80,7 +93,7 @@ class Party : public Process {
   std::deque<Message> local_;
   bool dispatching_ = false;
   bool wal_enabled_ = false;
-  std::vector<Message> wal_;  ///< received network messages, arrival order
+  std::vector<Message> wal_;  ///< received messages + external inputs, arrival order
 };
 
 }  // namespace sintra::net

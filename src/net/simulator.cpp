@@ -52,6 +52,28 @@ void Simulator::submit(Message message) {
   pending_.push_back(std::move(message));
 }
 
+Network::TimerId Simulator::schedule_timer(int owner, std::uint64_t delay, TimerFn fn) {
+  SINTRA_REQUIRE(owner >= -1 && owner < n_, "Simulator: timer owner out of range");
+  // The wrapper re-enters the owner's execution context so that messages
+  // sent from a timer callback pass the sender-spoofing check.
+  return wheel_.schedule_after(delay, [this, owner, fn = std::move(fn)] {
+    const int previous = active_process_;
+    active_process_ = owner;
+    fn();
+    active_process_ = previous;
+  });
+}
+
+void Simulator::cancel_timer(TimerId id) { wheel_.cancel(id); }
+
+bool Simulator::fire_next_timer() {
+  const std::optional<std::uint64_t> next = wheel_.next_deadline();
+  if (!next.has_value()) return false;
+  steps_ = std::max(steps_, *next);
+  wheel_.advance_to(steps_);
+  return true;
+}
+
 bool Simulator::step() {
   if (injector_ != nullptr) {
     // Replayed traffic re-enters the in-flight set and competes for
@@ -60,15 +82,20 @@ bool Simulator::step() {
       pending_.push_back(std::move(*replayed));
     }
   }
-  if (pending_.empty()) return false;
+  // No deliverable traffic (empty network or a withholding scheduler)
+  // means time passes: pending timeouts fire.
+  if (pending_.empty()) return fire_next_timer();
   const std::optional<std::size_t> choice = scheduler_.pick(pending_, steps_);
-  if (!choice.has_value()) return false;  // scheduler withholds all remaining traffic
+  if (!choice.has_value()) return fire_next_timer();
   const std::size_t index = *choice;
   SINTRA_INVARIANT(index < pending_.size(), "Simulator: scheduler returned bad index");
   Message message = std::move(pending_[index]);
   pending_[index] = std::move(pending_.back());
   pending_.pop_back();
   ++steps_;
+  // One scheduling decision = one tick of network time (dropped picks
+  // included — a retrying link burns time too).
+  wheel_.advance_to(steps_);
   if (injector_ != nullptr && injector_->should_drop(message)) {
     // Retrying link: the pick is consumed but the message goes back in
     // flight, to be retransmitted at a later (scheduler-chosen) step.

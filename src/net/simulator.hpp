@@ -16,7 +16,9 @@
 
 #include "common/logging.hpp"
 #include "net/message.hpp"
+#include "net/network.hpp"
 #include "net/scheduler.hpp"
+#include "net/transport/timer_wheel.hpp"
 
 namespace sintra::net {
 
@@ -42,7 +44,7 @@ struct TrafficStats {
   std::uint64_t bytes = 0;
 };
 
-class Simulator {
+class Simulator final : public Network {
  public:
   Simulator(int n, Scheduler& scheduler, TraceLog* log = nullptr);
 
@@ -55,7 +57,17 @@ class Simulator {
 
   /// Submit a message for asynchronous delivery.  Called by processes via
   /// their host; `from` must be the submitting party (enforced by Party).
-  void submit(Message message);
+  void submit(Message message) override;
+
+  /// Deterministic timers (Network interface): delays are in delivery
+  /// steps.  A timer fires either when the step counter crosses its
+  /// deadline, or — crucially — when the network goes quiescent (or the
+  /// scheduler withholds everything) with the timer still pending: the
+  /// clock then jumps to the next deadline.  "Time passes when no progress
+  /// happens" is exactly the failure-detector abstraction the baselines
+  /// need, without giving the protocols any synchrony to lean on.
+  TimerId schedule_timer(int owner, std::uint64_t delay, TimerFn fn) override;
+  void cancel_timer(TimerId id) override;
 
   /// Attach an unreliable-delivery fault source (nullptr to detach).  The
   /// injector is consulted at every step and may duplicate, replay, or
@@ -72,10 +84,11 @@ class Simulator {
   /// Run until `done()` or quiescent/max_steps.  True iff done() held.
   bool run_until(const std::function<bool()>& done, std::uint64_t max_steps);
 
-  [[nodiscard]] int n() const { return n_; }
-  [[nodiscard]] std::uint64_t now() const { return steps_; }
+  [[nodiscard]] int n() const override { return n_; }
+  [[nodiscard]] std::uint64_t now() const override { return steps_; }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
-  [[nodiscard]] TraceLog* log() { return log_; }
+  [[nodiscard]] std::size_t pending_timers() const { return wheel_.pending(); }
+  [[nodiscard]] TraceLog* log() override { return log_; }
 
   /// Keyed by tag prefix; transparent comparator so submit() can look up
   /// by string_view without materializing a std::string per message.
@@ -84,10 +97,18 @@ class Simulator {
   [[nodiscard]] std::uint64_t total_messages() const { return next_id_; }
 
  private:
+  /// Jump the clock to the next timer deadline and fire it (used when the
+  /// network makes no delivery progress).  False when no timer is pending.
+  bool fire_next_timer();
+
   int n_;
   Scheduler& scheduler_;
   TraceLog* log_;
   FaultInjector* injector_ = nullptr;
+  // The wheel must be declared before processes_: protocol destructors
+  // cancel their timers through the Network interface, so the wheel has to
+  // outlive the processes during ~Simulator.
+  transport::TimerWheel wheel_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Message> pending_;
   std::uint64_t next_id_ = 0;

@@ -1,0 +1,114 @@
+#include "net/transport/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace sintra::net::transport {
+
+EventLoop::EventLoop() : start_(std::chrono::steady_clock::now()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  SINTRA_INVARIANT(epoll_fd_ >= 0, "event_loop: epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  SINTRA_INVARIANT(wake_fd_ >= 0, "event_loop: eventfd failed");
+  add_fd(wake_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t count = 0;
+    // Drain the wakeup counter; posted work runs in the main loop body.
+    while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  SINTRA_INVARIANT(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                   "event_loop: EPOLL_CTL_ADD failed");
+  handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  SINTRA_INVARIANT(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+                   "event_loop: EPOLL_CTL_MOD failed");
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+EventLoop::TimerId EventLoop::schedule_after(std::uint64_t delay_ms, std::function<void()> fn) {
+  return wheel_.schedule_at(std::max(now_ms() + delay_ms, wheel_.now() + 1), std::move(fn));
+}
+
+void EventLoop::cancel_timer(TimerId id) { wheel_.cancel(id); }
+
+std::uint64_t EventLoop::now_ms() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now() - start_)
+                                        .count());
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::run() {
+  std::array<epoll_event, 64> events{};
+  while (!stop_.load(std::memory_order_acquire)) {
+    drain_posted();
+    wheel_.advance_to(now_ms());
+    int timeout_ms = 100;
+    if (const auto next = wheel_.next_deadline()) {
+      const std::uint64_t now = now_ms();
+      timeout_ms = *next <= now ? 0
+                                : static_cast<int>(std::min<std::uint64_t>(*next - now, 100));
+    }
+    const int ready = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                                   timeout_ms);
+    for (int i = 0; i < ready; ++i) {
+      auto it = handlers_.find(events[static_cast<std::size_t>(i)].data.fd);
+      if (it == handlers_.end()) continue;  // removed by an earlier handler
+      auto handler = it->second;            // keep alive across the call
+      (*handler)(events[static_cast<std::size_t>(i)].events);
+    }
+    wheel_.advance_to(now_ms());
+    drain_posted();
+  }
+}
+
+}  // namespace sintra::net::transport

@@ -1,0 +1,72 @@
+// Single-threaded epoll event loop with a timer wheel — the reactor under
+// the TCP transport.
+//
+// From-scratch POSIX (epoll + eventfd), no libraries.  One thread calls
+// run(); every fd handler and timer callback executes on that thread, so
+// the transport's connection state needs no locks.  Other threads interact
+// only through post() (and stop()), which enqueue under a mutex and wake
+// the loop via an eventfd.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport/timer_wheel.hpp"
+
+namespace sintra::net::transport {
+
+class EventLoop {
+ public:
+  /// Bitmask of EPOLLIN/EPOLLOUT/... the fd became ready for.
+  using FdHandler = std::function<void(std::uint32_t events)>;
+  using TimerId = TimerWheel::TimerId;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- loop-thread API (also safe before run() starts) ---------------
+  void add_fd(int fd, std::uint32_t events, FdHandler handler);
+  void modify_fd(int fd, std::uint32_t events);
+  /// Stop watching `fd`.  The loop never closes fds; the caller owns them.
+  void remove_fd(int fd);
+
+  /// Millisecond timers on the loop thread.
+  TimerId schedule_after(std::uint64_t delay_ms, std::function<void()> fn);
+  void cancel_timer(TimerId id);
+
+  /// Monotonic milliseconds since loop construction.
+  [[nodiscard]] std::uint64_t now_ms() const;
+
+  // --- any-thread API -------------------------------------------------
+  /// Run `fn` on the loop thread as soon as possible.
+  void post(std::function<void()> fn);
+  /// Make run() return after the current iteration.
+  void stop();
+
+  /// Block processing events until stop().
+  void run();
+
+ private:
+  void drain_posted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::chrono::steady_clock::time_point start_;
+  // shared_ptr so a handler that removes itself (or another fd) mid-batch
+  // cannot free a handler the dispatch loop is still holding.
+  std::map<int, std::shared_ptr<FdHandler>> handlers_;
+  TimerWheel wheel_;
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace sintra::net::transport

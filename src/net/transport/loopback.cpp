@@ -1,0 +1,272 @@
+#include "net/transport/loopback.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sintra::net::transport {
+
+namespace {
+constexpr std::size_t kHistoryCap = 256;
+}
+
+LoopbackHub::LoopbackHub(int n, std::uint64_t seed)
+    : LoopbackHub(n, seed, FaultProfile{}, LinkConfig{}) {}
+
+LoopbackHub::LoopbackHub(int n, std::uint64_t seed, FaultProfile profile, LinkConfig link)
+    : n_(n), rng_(seed), profile_(profile) {
+  SINTRA_REQUIRE(n >= 2, "loopback: need at least two nodes");
+  const std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  receivers_.resize(static_cast<std::size_t>(n));
+  links_.assign(nn, ReliableLink(link));
+  wires_.resize(nn);
+  decoders_.resize(nn);
+  pairs_.resize(nn / 2 + static_cast<std::size_t>(n));  // upper bound on pair count
+  pair_keys_.resize(pairs_.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      Writer w;
+      w.u64(seed);
+      w.u32(static_cast<std::uint32_t>(a));
+      w.u32(static_cast<std::uint32_t>(b));
+      pair_keys_[pair_index(a, b)] =
+          crypto::hash_expand("sintra/loopback/link-key", w.data(), 32);
+    }
+  }
+  // Every link starts connected with aligned (zero) cursors.
+  for (auto& l : links_) l.on_connected(0);
+}
+
+std::size_t LoopbackHub::wire_index(int from, int to) const {
+  SINTRA_REQUIRE(from >= 0 && from < n_ && to >= 0 && to < n_ && from != to,
+                 "loopback: bad endpoint");
+  return static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(to);
+}
+
+std::size_t LoopbackHub::pair_index(int a, int b) const {
+  const int low = std::min(a, b);
+  const int high = std::max(a, b);
+  // Triangular index over unordered pairs.
+  return static_cast<std::size_t>(low) * static_cast<std::size_t>(n_) -
+         static_cast<std::size_t>(low) * static_cast<std::size_t>(low + 1) / 2 +
+         static_cast<std::size_t>(high - low - 1);
+}
+
+ReliableLink& LoopbackHub::link_mut(int node, int peer) { return links_[wire_index(node, peer)]; }
+
+const ReliableLink& LoopbackHub::link(int node, int peer) const {
+  return links_[wire_index(node, peer)];
+}
+
+void LoopbackHub::set_receiver(int node, ReceiveFn receive) {
+  receivers_[static_cast<std::size_t>(node)] = std::move(receive);
+}
+
+bool LoopbackHub::pair_connected(int a, int b) const { return pairs_[pair_index(a, b)].connected; }
+
+void LoopbackHub::send(int from, int to, Bytes payload) {
+  link_mut(from, to).enqueue(std::move(payload));
+  flush(from, to);
+}
+
+void LoopbackHub::flush(int from, int to) {
+  if (!pairs_[pair_index(from, to)].connected) return;
+  ReliableLink& l = link_mut(from, to);
+  const BytesView key = pair_keys_[pair_index(from, to)];
+  std::vector<ReliableLink::OutFrame> frames = l.take_sendable();
+  for (ReliableLink::OutFrame& out : frames) {
+    DataBody data;
+    data.seq = out.seq;
+    data.ack = l.recv_cursor();
+    data.base = out.base;
+    data.payload = std::move(out.payload);
+    wires_[wire_index(from, to)].push_back(encode_frame(FrameType::kData, data.encode(), key));
+  }
+  if (!frames.empty()) l.mark_ack_sent();
+}
+
+void LoopbackHub::send_explicit_ack(int from, int to) {
+  if (!pairs_[pair_index(from, to)].connected) return;
+  ReliableLink& l = link_mut(from, to);
+  Writer w;
+  w.u64(l.recv_cursor());
+  wires_[wire_index(from, to)].push_back(
+      encode_frame(FrameType::kAck, w.data(), pair_keys_[pair_index(from, to)]));
+  l.mark_ack_sent();
+}
+
+void LoopbackHub::inject_raw(int from, int to, Bytes bytes) {
+  wires_[wire_index(from, to)].push_back(std::move(bytes));
+}
+
+void LoopbackHub::tear_down(int a, int b, std::uint64_t reconnect_in) {
+  PairState& pair = pairs_[pair_index(a, b)];
+  if (!pair.connected) return;
+  pair.connected = false;
+  pair.reconnect_in = reconnect_in;
+  wires_[wire_index(a, b)].clear();  // in-flight frames are lost with the connection
+  wires_[wire_index(b, a)].clear();
+  decoders_[wire_index(a, b)] = FrameDecoder();
+  decoders_[wire_index(b, a)] = FrameDecoder();
+  link_mut(a, b).on_disconnected();
+  link_mut(b, a).on_disconnected();
+  ++stats_.disconnects;
+}
+
+void LoopbackHub::disconnect(int a, int b) { tear_down(a, b, 0); }
+
+void LoopbackHub::connect(int a, int b) {
+  PairState& pair = pairs_[pair_index(a, b)];
+  if (pair.connected) return;
+  pair.connected = true;
+  pair.reconnect_in = 0;
+  // Cursor-exchange handshake (the HELLO recv_cursor of the TCP path):
+  // each side releases what the other delivered and rewinds the rest.
+  const std::uint64_t cursor_ab = link_mut(b, a).recv_cursor();
+  const std::uint64_t cursor_ba = link_mut(a, b).recv_cursor();
+  link_mut(a, b).on_connected(cursor_ab);
+  link_mut(b, a).on_connected(cursor_ba);
+  flush(a, b);
+  flush(b, a);
+}
+
+void LoopbackHub::deliver_wire_front(int from, int to) {
+  const std::size_t wi = wire_index(from, to);
+  Bytes frame_bytes = std::move(wires_[wi].front());
+  wires_[wi].pop_front();
+
+  // In-flight faults, FaultInjector-style.
+  if (profile_.drop_chance > 0 && rng_.below(1024) < profile_.drop_chance) {
+    ++stats_.dropped_frames;
+    return;  // lost; the link's retransmission recovers it
+  }
+  if (profile_.duplicate_chance > 0 && rng_.below(1024) < profile_.duplicate_chance) {
+    wires_[wi].push_back(frame_bytes);
+    ++stats_.duplicated_frames;
+  }
+
+  FrameDecoder& decoder = decoders_[wi];
+  decoder.feed(frame_bytes);
+  const BytesView key = pair_keys_[pair_index(from, to)];
+  Frame frame;
+  while (true) {
+    const FrameDecoder::Status status = decoder.next(key, frame);
+    if (status == FrameDecoder::Status::kNeedMore) break;
+    if (status == FrameDecoder::Status::kCorrupt) {
+      // Unauthenticated or garbled stream: fail closed, tear the pair
+      // down (mirrors the TCP transport's poisoned-stream teardown).
+      ++stats_.auth_failures;
+      tear_down(from, to, profile_.reconnect_after > 0 ? profile_.reconnect_after : 1);
+      return;
+    }
+    ++stats_.delivered_frames;
+    ReliableLink& recv_link = link_mut(to, from);
+    if (frame.type == FrameType::kData) {
+      Reader reader(frame.body);
+      DataBody data = DataBody::decode(reader);
+      recv_link.on_ack(data.ack);
+      ReliableLink::Incoming incoming = recv_link.on_data(data.seq, data.base,
+                                                          std::move(data.payload));
+      ReceiveFn& receive = receivers_[static_cast<std::size_t>(to)];
+      for (Bytes& payload : incoming.deliver) {
+        if (receive) receive(from, std::move(payload));
+      }
+      if (incoming.ack_now) send_explicit_ack(to, from);
+    } else if (frame.type == FrameType::kAck) {
+      Reader reader(frame.body);
+      const std::uint64_t ack = reader.u64();
+      reader.expect_done();
+      recv_link.on_ack(ack);
+    }
+    // kHello/kPing/kPong have no loopback meaning; authenticated → ignore.
+  }
+
+  // Capture for replay faults and possibly re-inject an old frame.  A
+  // replayed frame is a real adversary move: it carries a valid MAC, so
+  // only the link-layer duplicate suppression can reject it.
+  if (profile_.replay_chance > 0) {
+    history_.push_back(frame_bytes);
+    history_wire_.push_back(wi);
+    if (history_.size() > kHistoryCap) {
+      history_.pop_front();
+      history_wire_.pop_front();
+    }
+    if (replays_injected_ < profile_.replay_budget && !history_.empty() &&
+        rng_.below(1024) < profile_.replay_chance) {
+      const std::size_t pick = static_cast<std::size_t>(rng_.below(history_.size()));
+      wires_[history_wire_[pick]].push_back(history_[pick]);
+      ++replays_injected_;
+      ++stats_.replayed_frames;
+    }
+  }
+
+  if (profile_.disconnect_chance > 0 && disconnects_injected_ < profile_.max_disconnects &&
+      rng_.below(1024) < profile_.disconnect_chance) {
+    ++disconnects_injected_;
+    tear_down(from, to, std::max<std::uint64_t>(profile_.reconnect_after, 1));
+  }
+}
+
+bool LoopbackHub::step() {
+  // Progress pending auto-reconnects first: a fully severed network must
+  // still heal without any wire traffic, so a ticking countdown counts as
+  // progress even before it reaches zero.
+  bool progressed = false;
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a + 1; b < n_; ++b) {
+      PairState& pair = pairs_[pair_index(a, b)];
+      if (!pair.connected && pair.reconnect_in > 0) {
+        progressed = true;
+        if (--pair.reconnect_in == 0) connect(a, b);
+      }
+    }
+  }
+
+  std::vector<std::size_t> ready;
+  for (int from = 0; from < n_; ++from) {
+    for (int to = 0; to < n_; ++to) {
+      if (from != to && !wires_[wire_index(from, to)].empty() &&
+          pairs_[pair_index(from, to)].connected) {
+        ready.push_back(wire_index(from, to));
+      }
+    }
+  }
+  if (ready.empty()) return progressed;
+  const std::size_t wi = ready[static_cast<std::size_t>(rng_.below(ready.size()))];
+  const int from = static_cast<int>(wi) / n_;
+  const int to = static_cast<int>(wi) % n_;
+  deliver_wire_front(from, to);
+  return true;
+}
+
+void LoopbackHub::tick() {
+  for (int from = 0; from < n_; ++from) {
+    for (int to = 0; to < n_; ++to) {
+      if (from == to) continue;
+      if (!pairs_[pair_index(from, to)].connected) continue;
+      // Rewind-and-resend: anything retained but unacked goes out again.
+      link_mut(from, to).mark_all_for_retransmit();
+      flush(from, to);
+      if (link_mut(from, to).ack_pending()) send_explicit_ack(from, to);
+    }
+  }
+}
+
+std::size_t LoopbackHub::run_until_quiescent(std::size_t max_steps) {
+  std::size_t steps = 0;
+  bool ticked = false;
+  while (steps < max_steps) {
+    if (step()) {
+      ++steps;
+      ticked = false;
+      continue;
+    }
+    if (ticked) break;  // a tick produced no new traffic: quiescent
+    tick();
+    ticked = true;
+  }
+  return steps;
+}
+
+}  // namespace sintra::net::transport

@@ -1,0 +1,142 @@
+#include "net/transport/networked_node.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/serialize.hpp"
+
+namespace sintra::net::transport {
+
+NetworkedNode::NetworkedNode(Config config)
+    : config_(config), start_(std::chrono::steady_clock::now()) {
+  SINTRA_REQUIRE(config_.n >= 1 && config_.node_id >= 0 && config_.node_id < config_.n,
+                 "networked_node: node_id out of range");
+  SINTRA_REQUIRE(config_.max_inbox >= 1, "networked_node: inbox must hold something");
+}
+
+std::uint64_t NetworkedNode::now() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now() - start_)
+                                        .count());
+}
+
+Bytes NetworkedNode::encode_payload(const Message& message) {
+  Writer w;
+  w.str(message.tag);
+  w.bytes(message.payload);
+  return w.take();
+}
+
+Message NetworkedNode::decode_payload(int from, int to, BytesView payload) {
+  Reader reader(payload);
+  Message message;
+  message.from = from;
+  message.to = to;
+  message.tag = reader.str();
+  message.payload = reader.bytes();
+  reader.expect_done();
+  return message;
+}
+
+void NetworkedNode::submit(Message message) {
+  // Authenticated links: this node can only originate traffic as itself.
+  // (The transport MAC enforces the same on the receiving side.)
+  SINTRA_REQUIRE(message.from == config_.node_id, "networked_node: forged from");
+  SINTRA_REQUIRE(message.to >= 0 && message.to < config_.n, "networked_node: bad to");
+  message.id = next_id_++;
+  message.sent_at = now();
+  if (message.to == config_.node_id) {
+    // Self-send loops back through the inbox, like the simulator.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.self_messages;
+    }
+    enqueue_inbound(std::move(message));
+    return;
+  }
+  SINTRA_REQUIRE(static_cast<bool>(send_), "networked_node: no transport bound");
+  send_(message.to, encode_payload(message));
+}
+
+void NetworkedNode::on_transport_receive(int from, Bytes payload) {
+  if (from < 0 || from >= config_.n || from == config_.node_id) return;
+  Message message;
+  try {
+    message = decode_payload(from, config_.node_id, payload);
+  } catch (const ProtocolError&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.malformed;
+    return;
+  }
+  message.sent_at = now();
+  enqueue_inbound(std::move(message));
+}
+
+void NetworkedNode::enqueue_inbound(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (inbox_.size() >= config_.max_inbox) {
+      // Backpressure: drop the oldest queued message.  The transport's
+      // link layer already delivered it, so this is the node's explicit
+      // overload shedding — counted, bounded, never fatal.
+      inbox_.pop_front();
+      ++stats_.dropped_inbox;
+    }
+    inbox_.push_back(std::move(message));
+  }
+  inbox_cv_.notify_one();
+}
+
+std::size_t NetworkedNode::poll() {
+  wheel_.advance_to(now());
+  std::deque<Message> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch.swap(inbox_);
+  }
+  std::size_t dispatched = 0;
+  for (Message& message : batch) {
+    if (persist_) persist_(message);  // write-ahead: log before acting
+    if (process_ != nullptr) {
+      process_->on_message(message);
+      ++dispatched;
+    }
+  }
+  if (dispatched > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.dispatched += dispatched;
+  }
+  wheel_.advance_to(now());
+  return dispatched;
+}
+
+bool NetworkedNode::run_until(const std::function<bool()>& done, std::uint64_t timeout_ms) {
+  const std::uint64_t deadline = now() + timeout_ms;
+  while (true) {
+    poll();
+    if (done()) return true;
+    const std::uint64_t current = now();
+    if (current >= deadline) return done();
+    std::uint64_t wait = std::min<std::uint64_t>(deadline - current, 50);
+    if (const auto next = wheel_.next_deadline()) {
+      wait = std::min(wait, *next > current ? *next - current : 1);
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    inbox_cv_.wait_for(lock, std::chrono::milliseconds(wait),
+                       [this] { return !inbox_.empty(); });
+  }
+}
+
+Network::TimerId NetworkedNode::schedule_timer(int owner, std::uint64_t delay_ms, TimerFn fn) {
+  (void)owner;  // single-process substrate: everything runs as this node
+  return wheel_.schedule_at(std::max(now() + delay_ms, wheel_.now() + 1), std::move(fn));
+}
+
+void NetworkedNode::cancel_timer(TimerId id) { wheel_.cancel(id); }
+
+NetworkedNode::Stats NetworkedNode::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sintra::net::transport

@@ -1,0 +1,113 @@
+// NetworkedNode — the Network implementation that runs one Process (a
+// Party and its whole protocol stack, unchanged) over a real transport.
+//
+// The adapter owns the boundary between the transport's reactor thread
+// and the protocol thread.  The transport delivers authenticated payloads
+// on its own thread; on_transport_receive() decodes them into Messages
+// and pushes them into a bounded inbox (drop-oldest beyond the quota, so
+// a flooding peer costs memory-bounded buffering, never the process).
+// The protocol thread drains the inbox with poll()/run_until(); every
+// message is handed to the optional persist hook (the write-ahead log)
+// *before* dispatch, which is what makes crash recovery replayable.
+//
+// Time here is the monotonic clock in milliseconds: Network::now() and
+// schedule_timer() delays are wall-clock, unlike the simulator's delivery
+// steps — protocol code sees the same interface either way (see
+// net/network.hpp for why timers live on the substrate).
+//
+// Threading contract: submit(), schedule_timer(), cancel_timer(), poll()
+// and run_until() belong to the protocol thread.  on_transport_receive()
+// may be called from any thread.  stats() is thread-safe.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "net/network.hpp"
+#include "net/simulator.hpp"
+#include "net/transport/timer_wheel.hpp"
+
+namespace sintra::net::transport {
+
+class NetworkedNode final : public Network {
+ public:
+  struct Config {
+    int node_id = 0;
+    int n = 0;                      ///< network endpoints (servers + clients)
+    std::size_t max_inbox = 8192;   ///< bounded inbox; beyond: drop-oldest
+  };
+
+  /// Hands an encoded payload to the transport for reliable delivery.
+  using SendFn = std::function<void(int peer, Bytes payload)>;
+  /// Write-ahead hook, called for every inbound message before dispatch.
+  using PersistFn = std::function<void(const Message& message)>;
+
+  explicit NetworkedNode(Config config);
+
+  // --- Network (protocol thread) --------------------------------------
+  void submit(Message message) override;
+  [[nodiscard]] int n() const override { return config_.n; }
+  /// Monotonic milliseconds since construction.
+  [[nodiscard]] std::uint64_t now() const override;
+  TimerId schedule_timer(int owner, std::uint64_t delay_ms, TimerFn fn) override;
+  void cancel_timer(TimerId id) override;
+  [[nodiscard]] TraceLog* log() override { return log_; }
+  void set_log(TraceLog* log) { log_ = log; }
+
+  // --- wiring ----------------------------------------------------------
+  /// The process receiving deliveries (caller owns it and calls on_start).
+  void attach(Process& process) { process_ = &process; }
+  void bind_transport(SendFn send) { send_ = std::move(send); }
+  void set_persist(PersistFn persist) { persist_ = std::move(persist); }
+
+  /// Transport-side entry (any thread): decode and enqueue one payload.
+  /// Malformed payloads from an authenticated peer are counted and
+  /// dropped — Byzantine input must not crash the node.
+  void on_transport_receive(int from, Bytes payload);
+
+  // --- protocol-thread pump --------------------------------------------
+  /// Fire due timers, then dispatch every queued message.  Returns the
+  /// number of messages dispatched.
+  std::size_t poll();
+
+  /// Pump until `done()` or `timeout_ms` elapses; sleeps on the inbox
+  /// condition variable between batches.  Returns done()'s final value.
+  bool run_until(const std::function<bool()>& done, std::uint64_t timeout_ms);
+
+  struct Stats {
+    std::uint64_t dispatched = 0;     ///< messages handed to the process
+    std::uint64_t self_messages = 0;  ///< local submits looped back
+    std::uint64_t dropped_inbox = 0;  ///< inbox quota overflow (oldest dropped)
+    std::uint64_t malformed = 0;      ///< undecodable transport payloads
+  };
+  [[nodiscard]] Stats stats() const;
+
+  // --- wire form of a Message over the transport -----------------------
+  static Bytes encode_payload(const Message& message);
+  /// Throws ProtocolError on malformed input.
+  static Message decode_payload(int from, int to, BytesView payload);
+
+ private:
+  void enqueue_inbound(Message message);
+
+  Config config_;
+  Process* process_ = nullptr;
+  SendFn send_;
+  PersistFn persist_;
+  TraceLog* log_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+
+  TimerWheel wheel_;  ///< protocol-thread only
+  std::uint64_t next_id_ = 1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable inbox_cv_;
+  std::deque<Message> inbox_;
+  Stats stats_;
+};
+
+}  // namespace sintra::net::transport

@@ -1,0 +1,81 @@
+#include "net/transport/timer_wheel.hpp"
+
+#include <algorithm>
+
+namespace sintra::net::transport {
+
+TimerWheel::TimerId TimerWheel::schedule_at(std::uint64_t deadline, Callback fn) {
+  deadline = std::max(deadline, now_ + 1);
+  const TimerId id = next_id_++;
+  buckets_[deadline % kSlots].push_back(Entry{id, deadline, std::move(fn)});
+  ++pending_;
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  for (auto& bucket : buckets_) {
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if (it->id == id) {
+        bucket.erase(it);
+        --pending_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void TimerWheel::advance_to(std::uint64_t t) {
+  if (t <= now_ || pending_ == 0) {
+    now_ = std::max(now_, t);
+    return;
+  }
+  // Collect everything due.  A jump of >= kSlots ticks passes every bucket
+  // at least once, so scan each bucket exactly once instead of tick by
+  // tick; otherwise walk only the slots the clock actually crosses.
+  // Callbacks may schedule new timers; anything they put at or before `t`
+  // must fire within this same advance (a periodic timer rescheduling
+  // itself), so harvest-and-execute repeats until a pass finds nothing.
+  // Termination: schedule_at clamps deadlines past the current now_, so
+  // every round's due set starts strictly later than the previous one.
+  while (pending_ > 0) {
+    std::vector<Entry> due;
+    auto harvest = [&](std::vector<Entry>& bucket) {
+      for (auto it = bucket.begin(); it != bucket.end();) {
+        if (it->deadline <= t) {
+          due.push_back(std::move(*it));
+          it = bucket.erase(it);
+          --pending_;
+        } else {
+          ++it;
+        }
+      }
+    };
+    if (t - now_ >= kSlots) {
+      for (auto& bucket : buckets_) harvest(bucket);
+    } else {
+      for (std::uint64_t tick = now_ + 1; tick <= t; ++tick) harvest(buckets_[tick % kSlots]);
+    }
+    if (due.empty()) break;
+    std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+      return a.deadline != b.deadline ? a.deadline < b.deadline : a.id < b.id;
+    });
+    for (Entry& entry : due) {
+      now_ = std::max(now_, entry.deadline);
+      entry.fn();
+    }
+  }
+  now_ = std::max(now_, t);
+}
+
+std::optional<std::uint64_t> TimerWheel::next_deadline() const {
+  std::optional<std::uint64_t> best;
+  for (const auto& bucket : buckets_) {
+    for (const Entry& entry : bucket) {
+      if (!best.has_value() || entry.deadline < *best) best = entry.deadline;
+    }
+  }
+  return best;
+}
+
+}  // namespace sintra::net::transport

@@ -1,0 +1,70 @@
+// Hashed timer wheel — the single timeout facility of the stack.
+//
+// Three drivers share this structure:
+//  * the Simulator advances it by one tick per delivery step (and jumps to
+//    the next deadline when the network quiesces), giving the deterministic
+//    "time" that failure detectors and client retries are tested against;
+//  * the epoll EventLoop advances it to the monotonic clock, driving
+//    heartbeats, reconnect backoff and delayed acks of the TCP transport;
+//  * the NetworkedNode advances it inside its dispatch loop for
+//    application-level timers over a real transport.
+//
+// Classic O(1) hashed wheel: a power-of-two array of buckets indexed by
+// deadline & mask; an entry parks in the bucket of its deadline and is
+// skipped (not cascaded) when the wheel passes the slot early.  Firing
+// order is deterministic: by (deadline, id), ids in schedule order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace sintra::net::transport {
+
+class TimerWheel {
+ public:
+  using TimerId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  explicit TimerWheel(std::uint64_t start = 0) : now_(start) {}
+
+  /// Schedule `fn` at absolute tick `deadline` (clamped to now+1: a timer
+  /// never fires inside the call that schedules it).
+  TimerId schedule_at(std::uint64_t deadline, Callback fn);
+
+  /// Schedule `fn` after `delay` ticks (delay 0 behaves as 1).
+  TimerId schedule_after(std::uint64_t delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending timer; false if it already fired or never existed.
+  bool cancel(TimerId id);
+
+  /// Advance the clock to `t`, firing every timer with deadline <= t in
+  /// (deadline, schedule-order) order.  Callbacks may schedule and cancel
+  /// timers; newly scheduled timers fire only on a later advance.
+  void advance_to(std::uint64_t t);
+
+  [[nodiscard]] std::uint64_t now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+  /// Earliest deadline among pending timers (nullopt when idle).
+  [[nodiscard]] std::optional<std::uint64_t> next_deadline() const;
+
+ private:
+  static constexpr std::size_t kSlots = 256;  // power of two
+
+  struct Entry {
+    TimerId id;
+    std::uint64_t deadline;
+    Callback fn;
+  };
+
+  std::array<std::vector<Entry>, kSlots> buckets_;
+  std::uint64_t now_;
+  TimerId next_id_ = 1;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace sintra::net::transport

@@ -59,12 +59,23 @@ Bytes AtomicBroadcast::batch_statement(int round, int party, BytesView payload_b
 }
 
 void AtomicBroadcast::submit(Bytes payload) {
-  queue_.push_back(std::move(payload));
-  maybe_start_round(last_finished_ + 1);
+  Writer w;
+  w.u8(kSubmit);
+  w.bytes(payload);
+  send(me(), w.take());
 }
 
 void AtomicBroadcast::handle(int from, Reader& reader) {
-  // The only message on the main tag is a signed round batch.
+  const std::uint8_t type = reader.u8();
+  if (type == kSubmit) {
+    // A local submission looping back through the inbox (and the WAL).
+    SINTRA_REQUIRE(from == me(), "abc: submission from another party");
+    queue_.push_back(reader.bytes());
+    reader.expect_done();
+    maybe_start_round(last_finished_ + 1);
+    return;
+  }
+  SINTRA_REQUIRE(type == kBatch, "abc: unknown message type");
   const int round = static_cast<int>(reader.u32());
   SINTRA_REQUIRE(round >= 1 && round < 1 << 24, "abc: implausible round");
   Bytes payload_block = reader.bytes();
@@ -126,6 +137,7 @@ void AtomicBroadcast::maybe_start_round(int round) {
                                            batch_statement(round, me(), payload_block),
                                            host_.rng());
   Writer w;
+  w.u8(kBatch);
   w.u32(static_cast<std::uint32_t>(round));
   w.bytes(payload_block);
   w.vec(shares, [](Writer& wr, const SigShare& s) { s.encode(wr); });

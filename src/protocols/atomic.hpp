@@ -36,7 +36,10 @@ class AtomicBroadcast final : public ProtocolInstance {
 
   AtomicBroadcast(net::Party& host, std::string tag, DeliverFn deliver);
 
-  /// Queue a payload for total-order delivery.
+  /// Queue a payload for total-order delivery.  The submission rides the
+  /// network as a self-message so it lands in the Party write-ahead log:
+  /// crash recovery replays it at its original position and the rebuilt
+  /// sender state matches the pre-crash run exactly.
   void submit(Bytes payload);
 
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
@@ -44,6 +47,11 @@ class AtomicBroadcast final : public ProtocolInstance {
 
  private:
   static constexpr std::size_t kMaxBatch = 16;
+
+  enum MsgType : std::uint8_t {
+    kSubmit = 0,  ///< local submission looped through self (WAL capture)
+    kBatch = 1,   ///< signed round batch
+  };
 
   struct RoundData {
     crypto::PartySet batch_from = 0;

@@ -9,13 +9,41 @@ Bytes request_digest(BytesView payload) {
   auto d = crypto::hash_domain("sintra/pbft/req", payload);
   return Bytes(d.begin(), d.end());
 }
+
+// Bounds on the future-view buffer: how far ahead of the local view a
+// message may be to be worth keeping, and how many messages per view.
+// Liveness-only — overflow means the re-driven request path recovers.
+constexpr int kFutureViewLookahead = 8;
+constexpr std::size_t kFuturePerViewCap = 256;
 }  // namespace
 
 PbftLikeBroadcast::PbftLikeBroadcast(net::Party& host, std::string tag, DeliverFn deliver)
     : ProtocolInstance(host, std::move(tag)), deliver_(std::move(deliver)) {}
 
+PbftLikeBroadcast::~PbftLikeBroadcast() {
+  if (fd_timer_ != 0) host_.cancel_timer(fd_timer_);
+}
+
+void PbftLikeBroadcast::enable_failure_detector(std::uint64_t timeout) {
+  SINTRA_REQUIRE(timeout > 0, "pbft: failure-detector timeout must be positive");
+  fd_timeout_ = timeout;
+  if (!pending_.empty()) arm_failure_detector();
+}
+
+void PbftLikeBroadcast::arm_failure_detector() {
+  if (fd_timeout_ == 0 || fd_timer_ != 0) return;
+  fd_progress_mark_ = delivered_count_;
+  fd_timer_ = host_.schedule_timer(fd_timeout_, [this] {
+    fd_timer_ = 0;
+    if (pending_.empty()) return;  // nothing outstanding — the detector idles
+    if (delivered_count_ == fd_progress_mark_) on_timeout();
+    arm_failure_detector();  // keep suspecting until progress resumes
+  });
+}
+
 void PbftLikeBroadcast::submit(Bytes payload) {
   pending_.push_back(payload);
+  arm_failure_detector();
   if (me() == leader()) {
     leader_propose(std::move(payload));
     return;
@@ -40,9 +68,21 @@ void PbftLikeBroadcast::leader_propose(Bytes payload) {
 
 void PbftLikeBroadcast::on_timeout() {
   // Failure detector suspects the leader: vote to move to the next view.
+  // The vote carries this party's prepared/committed slots so the new
+  // leader can re-propose them (see ViewChangeState in the header).
   Writer w;
   w.u8(kViewChange);
   w.u32(static_cast<std::uint32_t>(view_ + 1));
+  std::uint32_t count = 0;
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.commit_sent || slot.committed) ++count;
+  }
+  w.u32(count);
+  for (const auto& [seq, slot] : slots_) {
+    if (!slot.commit_sent && !slot.committed) continue;
+    w.u64(seq);
+    w.bytes(slot.payload);
+  }
   broadcast(w.take());
 }
 
@@ -61,7 +101,19 @@ void PbftLikeBroadcast::handle(int from, Reader& reader) {
       Bytes payload = reader.bytes();
       reader.expect_done();
       SINTRA_REQUIRE(seq < 1 << 24, "pbft: implausible sequence");
-      if (view != view_ || from != leader()) return;
+      if (view > view_) {
+        // Only that view's leader can legitimately pre-prepare in it.
+        if (from == view % host_.n()) {
+          Writer w;
+          w.u8(kPrePrepare);
+          w.u32(static_cast<std::uint32_t>(view));
+          w.u64(seq);
+          w.bytes(payload);
+          stash_future(view, from, w.take());
+        }
+        return;
+      }
+      if (view < view_ || from != leader()) return;
       SlotState& slot = slots_[seq];
       if (slot.prepared_sent) return;
       slot.payload = std::move(payload);
@@ -81,7 +133,16 @@ void PbftLikeBroadcast::handle(int from, Reader& reader) {
       Bytes payload = reader.bytes();
       reader.expect_done();
       SINTRA_REQUIRE(seq < 1 << 24, "pbft: implausible sequence");
-      if (view != view_) return;
+      if (view > view_) {
+        Writer w;
+        w.u8(kPrepare);
+        w.u32(static_cast<std::uint32_t>(view));
+        w.u64(seq);
+        w.bytes(payload);
+        stash_future(view, from, w.take());
+        return;
+      }
+      if (view < view_) return;
       SlotState& slot = slots_[seq];
       if (!slot.have_payload) {
         slot.payload = std::move(payload);
@@ -103,7 +164,15 @@ void PbftLikeBroadcast::handle(int from, Reader& reader) {
       const std::uint64_t seq = reader.u64();
       reader.expect_done();
       SINTRA_REQUIRE(seq < 1 << 24, "pbft: implausible sequence");
-      if (view != view_) return;
+      if (view > view_) {
+        Writer w;
+        w.u8(kCommit);
+        w.u32(static_cast<std::uint32_t>(view));
+        w.u64(seq);
+        stash_future(view, from, w.take());
+        return;
+      }
+      if (view < view_) return;
       SlotState& slot = slots_[seq];
       slot.commits |= crypto::party_bit(from);
       if (!slot.committed && slot.have_payload && quorum().is_vote_quorum(slot.commits)) {
@@ -114,12 +183,21 @@ void PbftLikeBroadcast::handle(int from, Reader& reader) {
     }
     case kViewChange: {
       const int view = static_cast<int>(reader.u32());
-      reader.expect_done();
+      const std::uint32_t count = reader.u32();
       SINTRA_REQUIRE(view >= 0 && view < 1 << 20, "pbft: implausible view");
+      SINTRA_REQUIRE(count < 1u << 16, "pbft: implausible view-change size");
+      std::map<std::uint64_t, Bytes> reported;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t seq = reader.u64();
+        SINTRA_REQUIRE(seq < 1 << 24, "pbft: implausible sequence");
+        reported.emplace(seq, reader.bytes());
+      }
+      reader.expect_done();
       if (view <= view_) return;
-      crypto::PartySet& votes = view_votes_[view];
-      votes |= crypto::party_bit(from);
-      if (quorum().is_vote_quorum(votes)) enter_view(view);
+      ViewChangeState& vc = view_votes_[view];
+      vc.votes |= crypto::party_bit(from);
+      for (auto& [seq, payload] : reported) vc.prepared.emplace(seq, std::move(payload));
+      if (quorum().is_vote_quorum(vc.votes)) enter_view(view, std::move(vc.prepared));
       return;
     }
     default:
@@ -127,21 +205,55 @@ void PbftLikeBroadcast::handle(int from, Reader& reader) {
   }
 }
 
-void PbftLikeBroadcast::enter_view(int view) {
+void PbftLikeBroadcast::stash_future(int view, int from, Bytes raw) {
+  // Phase traffic for a view we have not entered yet.  Parties enter a
+  // view when *they* observe the vote quorum, so during a view change the
+  // new round's messages can race ahead of a party's own transition;
+  // dropping them would stall slots forever even with every party honest.
+  if (view > view_ + kFutureViewLookahead) return;
+  auto& bucket = future_[view];
+  if (bucket.size() >= kFuturePerViewCap) return;
+  bucket.emplace_back(from, std::move(raw));
+}
+
+void PbftLikeBroadcast::enter_view(int view, std::map<std::uint64_t, Bytes> adopted) {
   view_ = view;
   host_.trace("pbft", tag_ + " entering view " + std::to_string(view));
-  // Un-committed slots are abandoned; clients (here: the pending queue)
-  // re-drive their requests through the new leader.
+  view_votes_.erase(view_votes_.begin(), view_votes_.upper_bound(view_));
+  // Un-committed, un-prepared slots are abandoned (the pending queue
+  // re-drives those requests); prepared ones survive inside the
+  // view-change votes.  Committed slots are kept — their payload is final
+  // — but their round state resets so they can take part when the new
+  // leader re-proposes them for parties that missed the commit.
   for (auto it = slots_.begin(); it != slots_.end();) {
     if (!it->second.committed) {
       it = slots_.erase(it);
     } else {
+      it->second.prepares = 0;
+      it->second.commits = 0;
+      it->second.prepared_sent = false;
+      it->second.commit_sent = false;
       ++it;
     }
   }
   next_seq_ = next_deliver_;
   seen_requests_.clear();
   if (me() == leader()) {
+    // Re-propose, at their original sequence numbers, everything the
+    // view-change quorum reported prepared plus everything committed
+    // locally: a slot that committed anywhere is guaranteed to be among
+    // these, so no party's delivered prefix can be orphaned.
+    for (const auto& [seq, slot] : slots_) adopted.emplace(seq, slot.payload);
+    for (const auto& [seq, payload] : adopted) {
+      seen_requests_.insert(request_digest(payload));
+      Writer w;
+      w.u8(kPrePrepare);
+      w.u32(static_cast<std::uint32_t>(view_));
+      w.u64(seq);
+      w.bytes(payload);
+      broadcast(w.take());
+      next_seq_ = std::max(next_seq_, seq + 1);
+    }
     for (const Bytes& payload : pending_) leader_propose(payload);
   } else {
     for (const Bytes& payload : pending_) {
@@ -149,6 +261,16 @@ void PbftLikeBroadcast::enter_view(int view) {
       w.u8(kForward);
       w.bytes(payload);
       send(leader(), w.take());
+    }
+  }
+  // Replay round traffic that arrived before we made the transition;
+  // buffers for views we skipped past are stale and dropped.
+  while (!future_.empty() && future_.begin()->first <= view_) {
+    auto node = future_.extract(future_.begin());
+    if (node.key() != view_) continue;
+    for (auto& [sender, raw] : node.mapped()) {
+      Reader replay(raw);
+      handle(sender, replay);
     }
   }
 }

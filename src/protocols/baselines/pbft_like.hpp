@@ -37,13 +37,23 @@ class PbftLikeBroadcast final : public ProtocolInstance {
   using DeliverFn = std::function<void(Bytes payload)>;
 
   PbftLikeBroadcast(net::Party& host, std::string tag, DeliverFn deliver);
+  ~PbftLikeBroadcast() override;
 
   /// Queue a payload; it is forwarded to the current leader.
   void submit(Bytes payload);
 
   /// Failure-detector signal: suspect the current leader and vote for a
-  /// view change.  Called by the harness (the "timeout").
+  /// view change.  Called by the harness (the "timeout") or, once
+  /// enable_failure_detector() arms it, by a substrate timer.
   void on_timeout();
+
+  /// Arm an automatic failure detector on the host's Network timers:
+  /// while local submissions are outstanding and no delivery happens for
+  /// `timeout` network time units, on_timeout() fires and the detector
+  /// re-arms (suspecting each unresponsive leader in turn).  Opt-in —
+  /// without it the protocol stays purely message-driven, which is what
+  /// the scheduling-adversary experiments measure.
+  void enable_failure_detector(std::uint64_t timeout);
 
   [[nodiscard]] int view() const { return view_; }
   [[nodiscard]] int leader() const { return view_ % host_.n(); }
@@ -71,9 +81,14 @@ class PbftLikeBroadcast final : public ProtocolInstance {
   void handle(int from, Reader& reader) override;
   void leader_propose(Bytes payload);
   void maybe_deliver();
-  void enter_view(int view);
+  void enter_view(int view, std::map<std::uint64_t, Bytes> adopted);
+  void arm_failure_detector();
+  void stash_future(int view, int from, Bytes raw);
 
   DeliverFn deliver_;
+  std::uint64_t fd_timeout_ = 0;        ///< 0 = failure detector disabled
+  net::Network::TimerId fd_timer_ = 0;  ///< 0 = not armed
+  std::uint64_t fd_progress_mark_ = 0;  ///< delivered_count_ when armed
   int view_ = 0;
   std::uint64_t next_seq_ = 0;       ///< leader: next sequence to assign
   std::uint64_t next_deliver_ = 0;
@@ -81,7 +96,23 @@ class PbftLikeBroadcast final : public ProtocolInstance {
   std::map<std::uint64_t, SlotState> slots_;        ///< keyed by sequence
   std::set<Bytes> seen_requests_;                   ///< leader-side dedupe
   std::deque<Bytes> pending_;                       ///< undelivered local submissions
-  std::map<int, crypto::PartySet> view_votes_;
+  /// View-change votes carry the voter's prepared/committed slots: any
+  /// slot that committed anywhere was prepared at a vote quorum, so the
+  /// union over a quorum of votes always contains it and the new leader
+  /// re-proposes it at its original sequence number (the lightweight
+  /// stand-in for PBFT's new-view certificates — see the scope note).
+  struct ViewChangeState {
+    crypto::PartySet votes = 0;
+    std::map<std::uint64_t, Bytes> prepared;
+  };
+  std::map<int, ViewChangeState> view_votes_;
+  /// Phase messages for views we have not entered yet, replayed on entry.
+  /// Parties enter a view when *they* see the vote quorum, so during a
+  /// view change the new leader's PRE-PREPARE can legitimately arrive at a
+  /// party still in the old view; dropping it (rather than buffering)
+  /// loses liveness even with a perfect failure detector.  Bounded per
+  /// view and in lookahead, so Byzantine traffic cannot grow it.
+  std::map<int, std::vector<std::pair<int, Bytes>>> future_;
 };
 
 }  // namespace sintra::protocols

@@ -20,9 +20,9 @@ template <typename P>
 class HostedParty final : public net::Process {
  public:
   template <typename Factory>
-  HostedParty(net::Simulator& simulator, int id, adversary::Deployment deployment,
+  HostedParty(net::Network& network, int id, adversary::Deployment deployment,
               std::uint64_t seed, Factory&& factory)
-      : party_(simulator, id, std::move(deployment), seed),
+      : party_(network, id, std::move(deployment), seed),
         protocol_(std::forward<Factory>(factory)(party_)) {}
 
   void on_message(const net::Message& message) override { party_.on_message(message); }

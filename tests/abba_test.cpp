@@ -187,7 +187,7 @@ class EquivocatingVoter final : public net::Process {
         m.to = to;
         m.tag = "ba/0";
         m.payload = w.data();
-        party_.simulator().submit(std::move(m));
+        party_.network().submit(std::move(m));
       }
     }
   }

@@ -403,6 +403,88 @@ TEST(EndToEndTest, GatewayModeWithCorruptGatewayAndResend) {
   EXPECT_EQ(CaResponse::decode(replies.at(id).reply).status, CaResponse::Status::kOk);
 }
 
+TEST(EndToEndTest, AutomaticRetryAbandonsCrashedGateway) {
+  // The timer-driven version of the resend() fallback: nobody watches the
+  // clock by hand.  The gateway replica is crashed; the client's retry
+  // timer fires (simulator: on network quiescence; deployment: wall
+  // clock), rotates to the next replica, and the request completes with
+  // no manual intervention — the non-responding-replica failover of §5.
+  Rng rng(53);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(53);
+  protocols::Cluster<SvcState> cluster(
+      deployment, sched,
+      [&](net::Party& party, int) {
+        auto state = std::make_unique<SvcState>();
+        state->replica = std::make_unique<Replica>(
+            party, "svc", Replica::Mode::kAtomic,
+            std::make_unique<CertificationAuthority>());
+        return state;
+      },
+      /*corrupted=*/crypto::party_bit(3), /*extra_endpoints=*/1, 53);
+  std::map<std::uint64_t, ServiceClient::Receipt> replies;
+  auto client_owner = std::make_unique<ServiceClient>(
+      cluster.simulator(), 4, deployment, "svc", Replica::Mode::kAtomic, 59,
+      [&](std::uint64_t id, ServiceClient::Receipt receipt) {
+        replies.emplace(id, std::move(receipt));
+      });
+  ServiceClient* client = client_owner.get();
+  cluster.attach_client(4, std::move(client_owner));
+  cluster.start();
+
+  client->enable_retry(/*timeout=*/200);
+  client->set_gateway(3);  // the crashed server swallows the request
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "auto-retry";
+  issue.credentials = "credential:auto-retry";
+  Bytes body = issue.encode();
+  std::uint64_t id = client->request(Bytes(body));
+  ASSERT_TRUE(cluster.simulator().run_until([&] { return replies.contains(id); }, 10000000));
+  EXPECT_EQ(CaResponse::decode(replies.at(id).reply).status, CaResponse::Status::kOk);
+  EXPECT_TRUE(client->verify_receipt(id, body, replies.at(id)));
+  EXPECT_EQ(client->outstanding(), 0u);  // completion cancelled the timer
+}
+
+TEST(EndToEndTest, AutomaticRetryInBroadcastModeResendsToAll) {
+  // Broadcast mode with automatic retry enabled and a crashed replica:
+  // the service answers on first delivery, and the retry machinery must
+  // not duplicate the state change (requests are idempotent by id).
+  Rng rng(61);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(61);
+  protocols::Cluster<SvcState> cluster(
+      deployment, sched,
+      [&](net::Party& party, int) {
+        auto state = std::make_unique<SvcState>();
+        state->replica = std::make_unique<Replica>(
+            party, "svc", Replica::Mode::kAtomic,
+            std::make_unique<CertificationAuthority>());
+        return state;
+      },
+      /*corrupted=*/crypto::party_bit(2), /*extra_endpoints=*/1, 61);
+  std::map<std::uint64_t, ServiceClient::Receipt> replies;
+  auto client_owner = std::make_unique<ServiceClient>(
+      cluster.simulator(), 4, deployment, "svc", Replica::Mode::kAtomic, 67,
+      [&](std::uint64_t id, ServiceClient::Receipt receipt) {
+        replies.emplace(id, std::move(receipt));
+      });
+  ServiceClient* client = client_owner.get();
+  cluster.attach_client(4, std::move(client_owner));
+  cluster.start();
+
+  client->enable_retry(/*timeout=*/200);
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "bcast-retry";
+  issue.credentials = "credential:bcast-retry";
+  std::uint64_t id = client->request(issue.encode());
+  ASSERT_TRUE(cluster.simulator().run_until([&] { return replies.contains(id); }, 10000000));
+  auto response = CaResponse::decode(replies.at(id).reply);
+  EXPECT_EQ(response.status, CaResponse::Status::kOk);
+  EXPECT_EQ(response.serial, 1u);  // exactly one issuance despite any retries
+}
+
 TEST(EndToEndTest, GatewayModeWithHonestGateway) {
   Rng rng(47);
   auto deployment = adversary::Deployment::threshold(4, 1, rng);

@@ -122,6 +122,49 @@ TEST(PbftBaselineTest, AdaptiveStarvationDefeatsViewChanges) {
   cluster.for_each([](int, PbftState& s) { EXPECT_TRUE(s.delivered.empty()); });
 }
 
+TEST(PbftBaselineTest, CrashedLeaderAutoViewChangeViaTimerWheel) {
+  // Same recovery as ViewChangeRotatesLeaderAndRecovers, but nobody calls
+  // on_timeout() by hand: the failure detector is armed on the Network
+  // timer interface, and the simulator fires it when the crashed leader's
+  // silence quiesces the network.  Each honest party with an outstanding
+  // request suspects independently; the view change still needs a quorum
+  // of suspicions, exactly as with a wall-clock timeout in deployment.
+  Rng rng(8);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(8);
+  auto cluster = make_pbft(deployment, sched, crypto::party_bit(0));  // leader crashed
+  cluster.start();
+  cluster.for_each([](int, PbftState& s) { s.pbft->enable_failure_detector(50); });
+  cluster.for_each([](int id, PbftState& s) {
+    s.pbft->submit(bytes_of("r" + std::to_string(id)));
+  });
+  ASSERT_TRUE(cluster.run_until_all([](PbftState& s) { return s.delivered.size() >= 3; },
+                                    500000));
+  auto& reference = cluster.protocol(1)->delivered;
+  cluster.for_each([&](int, PbftState& s) {
+    EXPECT_GE(s.pbft->view(), 1);  // the automatic view change happened
+    EXPECT_EQ(s.delivered, reference);
+  });
+}
+
+TEST(PbftBaselineTest, FailureDetectorIdlesWithoutPendingRequests) {
+  // The armed detector must not keep the network alive (or force view
+  // changes) when there is nothing outstanding — otherwise every idle
+  // cluster would churn through views forever.
+  Rng rng(9);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(9);
+  auto cluster = make_pbft(deployment, sched);
+  cluster.start();
+  cluster.for_each([](int, PbftState& s) { s.pbft->enable_failure_detector(50); });
+  cluster.protocol(1)->pbft->submit(bytes_of("served"));
+  ASSERT_TRUE(cluster.run_until_all([](PbftState& s) { return s.delivered.size() >= 1; },
+                                    100000));
+  // Drain: detectors fire once more, find nothing pending, and disarm.
+  cluster.simulator().run(30000);
+  cluster.for_each([](int, PbftState& s) { EXPECT_EQ(s.pbft->view(), 0); });
+}
+
 // ---- reliable-only --------------------------------------------------------
 
 struct RoState {

@@ -132,7 +132,7 @@ class ForgingVoter final : public net::Process {
       m.to = to;
       m.tag = "ba/0";
       m.payload = payload;
-      party_.simulator().submit(std::move(m));
+      party_.network().submit(std::move(m));
     }
   }
 

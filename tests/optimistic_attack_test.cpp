@@ -142,7 +142,7 @@ class SelectiveCommitSequencer final : public net::Process {
       m.to = to;
       m.tag = "opt";
       m.payload = w.data();
-      party_.simulator().submit(std::move(m));
+      party_.network().submit(std::move(m));
     }
   }
   void on_message(const net::Message& message) override {
@@ -180,7 +180,7 @@ class SelectiveCommitSequencer final : public net::Process {
       m.to = 1;
       m.tag = "opt";
       m.payload = w.take();
-      party_.simulator().submit(std::move(m));
+      party_.network().submit(std::move(m));
     } catch (const ProtocolError&) {
     }
   }

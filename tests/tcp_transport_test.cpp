@@ -1,0 +1,258 @@
+// TCP transport integration tests over real localhost sockets: framing +
+// MAC on live connections, bidirectional exactly-once in-order delivery,
+// peer restart with reconnect + retransmission, and rejection of
+// unauthenticated streams.  Timing-tolerant: asserts wait on predicates
+// with generous deadlines rather than sleeping fixed amounts.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "crypto/sha256.hpp"
+#include "net/transport/tcp_transport.hpp"
+
+namespace sintra::net::transport {
+namespace {
+
+bool wait_for(const std::function<bool()>& pred, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+Bytes pair_key(std::uint64_t seed, int a, int b) {
+  Writer w;
+  w.u64(seed);
+  w.u32(static_cast<std::uint32_t>(std::min(a, b)));
+  w.u32(static_cast<std::uint32_t>(std::max(a, b)));
+  return crypto::hash_expand("test/tcp/link-key", w.data(), 32);
+}
+
+TcpTransport::Config make_config(int node_id, int n, std::uint64_t seed) {
+  TcpTransport::Config config;
+  config.node_id = node_id;
+  config.endpoints.resize(static_cast<std::size_t>(n));
+  config.link_keys.resize(static_cast<std::size_t>(n));
+  for (int peer = 0; peer < n; ++peer) {
+    if (peer != node_id) config.link_keys[static_cast<std::size_t>(peer)] =
+        pair_key(seed, node_id, peer);
+  }
+  config.seed = seed + static_cast<std::uint64_t>(node_id);
+  config.heartbeat_interval_ms = 50;
+  config.heartbeat_timeout_ms = 600;
+  config.reconnect_min_ms = 10;
+  config.reconnect_max_ms = 100;
+  config.ack_flush_ms = 5;
+  return config;
+}
+
+/// Thread-safe per-peer payload collector.
+struct Collector {
+  std::mutex mutex;
+  std::map<int, std::vector<Bytes>> received;
+
+  TcpTransport::ReceiveFn fn() {
+    return [this](int from, Bytes payload) {
+      std::lock_guard<std::mutex> lock(mutex);
+      received[from].push_back(std::move(payload));
+    };
+  }
+  std::vector<Bytes> from(int peer) {
+    std::lock_guard<std::mutex> lock(mutex);
+    return received[peer];
+  }
+  std::size_t count(int peer) {
+    std::lock_guard<std::mutex> lock(mutex);
+    return received[peer].size();
+  }
+};
+
+Bytes numbered(int node, int i) { return bytes_of("n" + std::to_string(node) + "/" + std::to_string(i)); }
+
+TEST(TcpTransportTest, BidirectionalExactlyOnceInOrder) {
+  const std::uint64_t seed = 11;
+  Collector ca, cb;
+  auto config_a = make_config(0, 2, seed);
+  TcpTransport a(config_a, ca.fn());
+  a.start();
+  auto config_b = make_config(1, 2, seed);
+  config_b.endpoints[0].port = a.listen_port();
+  TcpTransport b(config_b, cb.fn());
+  b.start();
+
+  constexpr int kCount = 200;
+  for (int i = 0; i < kCount; ++i) {
+    a.send(1, numbered(0, i));
+    b.send(0, numbered(1, i));
+  }
+  ASSERT_TRUE(wait_for([&] { return ca.count(1) >= kCount && cb.count(0) >= kCount; }, 5000));
+  const auto at_b = cb.from(0);
+  const auto at_a = ca.from(1);
+  ASSERT_EQ(at_b.size(), static_cast<std::size_t>(kCount));
+  ASSERT_EQ(at_a.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(at_b[static_cast<std::size_t>(i)], numbered(0, i));
+    EXPECT_EQ(at_a[static_cast<std::size_t>(i)], numbered(1, i));
+  }
+  EXPECT_GE(a.stats().connects, 1u);
+  EXPECT_EQ(a.stats().auth_failures, 0u);
+  b.stop();
+  a.stop();
+}
+
+TEST(TcpTransportTest, ThreeNodesAllPairs) {
+  const std::uint64_t seed = 23;
+  constexpr int kN = 3;
+  constexpr int kCount = 50;
+  std::vector<std::unique_ptr<Collector>> collectors;
+  std::vector<std::unique_ptr<TcpTransport>> nodes;
+  std::vector<std::uint16_t> ports(kN, 0);
+  for (int id = 0; id < kN; ++id) {
+    auto config = make_config(id, kN, seed);
+    for (int low = 0; low < id; ++low) config.endpoints[static_cast<std::size_t>(low)].port =
+        ports[static_cast<std::size_t>(low)];
+    collectors.push_back(std::make_unique<Collector>());
+    nodes.push_back(std::make_unique<TcpTransport>(config, collectors.back()->fn()));
+    nodes.back()->start();
+    ports[static_cast<std::size_t>(id)] = nodes.back()->listen_port();
+  }
+  for (int from = 0; from < kN; ++from) {
+    for (int to = 0; to < kN; ++to) {
+      if (from == to) continue;
+      for (int i = 0; i < kCount; ++i) nodes[static_cast<std::size_t>(from)]->send(to, numbered(from, i));
+    }
+  }
+  ASSERT_TRUE(wait_for(
+      [&] {
+        for (int to = 0; to < kN; ++to) {
+          for (int from = 0; from < kN; ++from) {
+            if (from != to && collectors[static_cast<std::size_t>(to)]->count(from) < kCount) return false;
+          }
+        }
+        return true;
+      },
+      10000));
+  for (int to = 0; to < kN; ++to) {
+    for (int from = 0; from < kN; ++from) {
+      if (from == to) continue;
+      const auto got = collectors[static_cast<std::size_t>(to)]->from(from);
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(kCount)) << from << "->" << to;
+      for (int i = 0; i < kCount; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], numbered(from, i));
+    }
+  }
+  for (auto& node : nodes) node->stop();
+}
+
+TEST(TcpTransportTest, PeerRestartTriggersReconnectAndRetransmission) {
+  const std::uint64_t seed = 37;
+  Collector ca;
+  auto config_a = make_config(0, 2, seed);
+  TcpTransport a(config_a, ca.fn());
+  a.start();
+
+  auto config_b = make_config(1, 2, seed);
+  config_b.endpoints[0].port = a.listen_port();
+
+  constexpr int kBatch = 30;
+  std::vector<Bytes> full_stream;
+  for (int i = 0; i < 2 * kBatch; ++i) full_stream.push_back(numbered(0, i));
+
+  Collector cb1;
+  auto b1 = std::make_unique<TcpTransport>(config_b, cb1.fn());
+  b1->start();
+  for (int i = 0; i < kBatch; ++i) a.send(1, full_stream[static_cast<std::size_t>(i)]);
+  ASSERT_TRUE(wait_for([&] { return cb1.count(0) >= kBatch; }, 5000));
+  b1->stop();  // crash: the incarnation's link state dies with it
+
+  // Traffic sent while the peer is down is retained for retransmission.
+  for (int i = kBatch; i < 2 * kBatch; ++i) a.send(1, full_stream[static_cast<std::size_t>(i)]);
+
+  Collector cb2;
+  auto b2 = std::make_unique<TcpTransport>(config_b, cb2.fn());
+  b2->start();  // redials; the HELLO cursor exchange drives retransmission
+  ASSERT_TRUE(wait_for([&] {
+    const auto got = cb2.from(0);
+    return !got.empty() && got.back() == full_stream.back();
+  }, 10000));
+
+  // The fresh incarnation must see a contiguous, duplicate-free suffix of
+  // the stream covering at least everything sent while it was down
+  // (acked frames from the first incarnation are pruned; unacked ones
+  // may legitimately be re-delivered — at-least-once across crashes).
+  const auto got = cb2.from(0);
+  ASSERT_FALSE(got.empty());
+  auto start = std::find(full_stream.begin(), full_stream.end(), got.front());
+  ASSERT_NE(start, full_stream.end());
+  ASSERT_LE(start - full_stream.begin(), kBatch) << "batch-2 prefix lost";
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(full_stream.end() - start));
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], *(start + static_cast<std::ptrdiff_t>(i)));
+  }
+  EXPECT_GE(a.stats().disconnects, 1u);
+  EXPECT_GE(a.stats().connects, 2u);
+  b2->stop();
+  a.stop();
+}
+
+TEST(TcpTransportTest, GarbageStreamRejectedWithoutDisruption) {
+  const std::uint64_t seed = 51;
+  Collector ca, cb;
+  auto config_a = make_config(0, 2, seed);
+  TcpTransport a(config_a, ca.fn());
+  a.start();
+  auto config_b = make_config(1, 2, seed);
+  config_b.endpoints[0].port = a.listen_port();
+  TcpTransport b(config_b, cb.fn());
+  b.start();
+  ASSERT_TRUE(wait_for([&] { return a.stats().connects >= 1; }, 5000));
+
+  // An attacker connects and spews bytes that cannot authenticate.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(a.listen_port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  Bytes garbage(512, 0xEE);
+  ASSERT_GT(::write(fd, garbage.data(), garbage.size()), 0);
+
+  // The real peers keep working, before and after the attack.
+  b.send(0, bytes_of("legit"));
+  ASSERT_TRUE(wait_for([&] { return ca.count(1) >= 1; }, 5000));
+  EXPECT_EQ(ca.from(1)[0], bytes_of("legit"));
+  ::close(fd);
+  b.stop();
+  a.stop();
+}
+
+TEST(TcpTransportTest, WrongLinkKeyNeverEstablishes) {
+  Collector ca, cb;
+  auto config_a = make_config(0, 2, /*seed=*/61);
+  TcpTransport a(config_a, ca.fn());
+  a.start();
+  auto config_b = make_config(1, 2, /*seed=*/62);  // different dealer: wrong keys
+  config_b.endpoints[0].port = a.listen_port();
+  TcpTransport b(config_b, cb.fn());
+  b.start();
+  b.send(0, bytes_of("should never arrive"));
+  // The MAC check rejects the impostor's HELLO; give it time to try.
+  EXPECT_TRUE(wait_for([&] { return a.stats().auth_failures >= 1; }, 5000));
+  EXPECT_EQ(ca.count(1), 0u);
+  EXPECT_EQ(a.stats().connects, 0u);
+  b.stop();
+  a.stop();
+}
+
+}  // namespace
+}  // namespace sintra::net::transport

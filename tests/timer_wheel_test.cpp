@@ -1,0 +1,105 @@
+// Timer wheel unit tests: firing order, cancellation, rescheduling from
+// callbacks, slot wrap-around, and deadline queries.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/transport/timer_wheel.hpp"
+
+namespace sintra::net::transport {
+namespace {
+
+TEST(TimerWheelTest, FiresInDeadlineThenScheduleOrder) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  wheel.schedule_at(10, [&] { fired.push_back(1); });
+  wheel.schedule_at(5, [&] { fired.push_back(2); });
+  wheel.schedule_at(10, [&] { fired.push_back(3); });
+  wheel.schedule_at(7, [&] { fired.push_back(4); });
+  wheel.advance_to(20);
+  EXPECT_EQ(fired, (std::vector<int>{2, 4, 1, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, DoesNotFireEarly) {
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.schedule_at(100, [&] { ++fired; });
+  wheel.advance_to(99);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.pending(), 1u);
+  wheel.advance_to(100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, ZeroDelayClampsToNextTick) {
+  TimerWheel wheel;
+  int fired = 0;
+  const auto id = wheel.schedule_after(0, [&] { ++fired; });
+  EXPECT_NE(id, 0u);
+  wheel.advance_to(wheel.now());  // no time passes: must not fire
+  EXPECT_EQ(fired, 0);
+  wheel.advance_to(wheel.now() + 1);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, CancelPreventsFiring) {
+  TimerWheel wheel;
+  int fired = 0;
+  const auto id = wheel.schedule_at(5, [&] { ++fired; });
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // already cancelled
+  wheel.advance_to(10);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, CallbackMayReschedule) {
+  TimerWheel wheel;
+  std::vector<std::uint64_t> fire_times;
+  std::function<void()> periodic = [&] {
+    fire_times.push_back(wheel.now());
+    if (fire_times.size() < 3) wheel.schedule_after(10, periodic);
+  };
+  wheel.schedule_at(10, periodic);
+  wheel.advance_to(100);
+  EXPECT_EQ(fire_times, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(TimerWheelTest, LongJumpPastManySlots) {
+  // A jump far beyond the wheel size must fire everything exactly once.
+  TimerWheel wheel;
+  int fired = 0;
+  for (std::uint64_t d = 1; d <= 1000; ++d) wheel.schedule_at(d, [&] { ++fired; });
+  wheel.advance_to(1'000'000);
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, SameSlotDifferentRotation) {
+  // Deadlines 1 and 257 share bucket (1 & 255): the early advance must
+  // fire only the due one.
+  TimerWheel wheel;
+  std::vector<int> fired;
+  wheel.schedule_at(257, [&] { fired.push_back(257); });
+  wheel.schedule_at(1, [&] { fired.push_back(1); });
+  wheel.advance_to(10);
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  wheel.advance_to(300);
+  EXPECT_EQ(fired, (std::vector<int>{1, 257}));
+}
+
+TEST(TimerWheelTest, NextDeadlineTracksEarliest) {
+  TimerWheel wheel;
+  EXPECT_FALSE(wheel.next_deadline().has_value());
+  wheel.schedule_at(50, [] {});
+  const auto id = wheel.schedule_at(20, [] {});
+  ASSERT_TRUE(wheel.next_deadline().has_value());
+  EXPECT_EQ(*wheel.next_deadline(), 20u);
+  wheel.cancel(id);
+  ASSERT_TRUE(wheel.next_deadline().has_value());
+  EXPECT_EQ(*wheel.next_deadline(), 50u);
+}
+
+}  // namespace
+}  // namespace sintra::net::transport
