@@ -34,6 +34,7 @@ class LyingReplica final : public net::Process {
       app::CaResponse forged;
       forged.status = app::CaResponse::Status::kDenied;
       Writer w;
+      w.u8(app::kReplyOk);
       w.u64(envelope.request_id);
       w.bytes(forged.encode());
       w.u32(0);

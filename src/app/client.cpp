@@ -112,6 +112,28 @@ void ServiceClient::on_message(const net::Message& message) {
   if (message.from < 0 || message.from >= deployment_.n()) return;
   try {
     Reader reader(message.payload);
+    const std::uint8_t status = reader.u8();
+    if (status == kReplyBusy) {
+      // An overloaded (honest) server shed our request.  Honor its
+      // retry-after as a backoff floor — capped, so a corrupted server
+      // cannot stall us beyond the normal retry ceiling.  Request id 0
+      // (causal mode: the server cannot attribute the ciphertext) backs
+      // off every outstanding request.
+      const std::uint64_t request_id = reader.u64();
+      std::uint64_t retry_after = reader.u64();
+      reader.expect_done();
+      ++busy_replies_;
+      if (retry_timeout_ != 0) {
+        retry_after = std::min(retry_after, retry_timeout_ * 16);
+        for (auto& [id, p] : pending_) {
+          if (request_id == 0 || id == request_id) {
+            p.next_delay = std::max(p.next_delay, retry_after);
+          }
+        }
+      }
+      return;
+    }
+    if (status != kReplyOk) return;  // unknown status from a corrupted server
     const std::uint64_t request_id = reader.u64();
     Bytes reply = reader.bytes();
     auto shares =

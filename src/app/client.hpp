@@ -66,6 +66,8 @@ class ServiceClient final : public net::Process {
                                     const Receipt& receipt) const;
 
   [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+  /// Busy replies received (load-shedding servers observed).
+  [[nodiscard]] std::uint64_t busy_replies() const { return busy_replies_; }
 
  private:
   struct Pending {
@@ -92,6 +94,7 @@ class ServiceClient final : public net::Process {
   std::uint64_t retry_timeout_ = 0;  ///< 0 = automatic retry disabled
   int max_retries_ = 0;
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t busy_replies_ = 0;
   std::map<std::uint64_t, Pending> pending_;
 };
 

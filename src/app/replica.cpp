@@ -53,23 +53,51 @@ void Replica::handle(int from, Reader& reader) {
   // A client request.  In atomic mode the payload is a plain envelope; in
   // causal mode it is a TDH2 ciphertext of one (so the envelope — client
   // identity included — stays confidential until ordering).
-  (void)from;
   if (mode_ == Mode::kAtomic) {
     Bytes envelope_bytes = reader.raw(reader.remaining());
     // Parse defensively so garbage is rejected before it is ordered.
     Reader probe(envelope_bytes);
-    RequestEnvelope::decode(probe);
+    const RequestEnvelope envelope = RequestEnvelope::decode(probe);
     probe.expect_done();
+    const RequestKey key{envelope.client, envelope.request_id};
+    // Admission control, in order: (1) a cached reply answers duplicates
+    // without re-execution or re-ordering (exactly-once); (2) an inflight
+    // duplicate is already on its way through ordering — drop silently;
+    // (3) a full queue sheds the request with an explicit Busy so the
+    // client backs off instead of hammering the retry path.
+    if (auto cached = reply_cache_.find(key); cached != reply_cache_.end()) {
+      execute_and_reply(envelope);
+      return;
+    }
+    if (inflight_.contains(key)) return;
+    const auto per_client = inflight_per_client_.find(envelope.client);
+    if (inflight_.size() >= admission_.max_inflight ||
+        (per_client != inflight_per_client_.end() &&
+         per_client->second >= admission_.max_per_client)) {
+      send_busy(envelope.client, envelope.request_id);
+      return;
+    }
+    inflight_.insert(key);
+    ++inflight_per_client_[envelope.client];
     atomic_->submit(std::move(envelope_bytes));
   } else {
+    // Causal mode: the ciphertext hides the request key, so admission is
+    // count-based and the Busy goes to the sending endpoint (request id 0:
+    // the client treats it as a general backoff hint).
+    if (causal_inflight_ >= admission_.max_inflight) {
+      send_busy(from, 0);
+      return;
+    }
     const auto& pk = host_.public_keys().encryption;
     crypto::Tdh2Ciphertext ciphertext = crypto::Tdh2Ciphertext::decode(reader, pk.group());
     reader.expect_done();
+    ++causal_inflight_;
     causal_->submit(ciphertext);
   }
 }
 
 void Replica::on_ordered_envelope(Bytes envelope_bytes) {
+  if (mode_ == Mode::kCausal && causal_inflight_ > 0) --causal_inflight_;
   RequestEnvelope envelope;
   try {
     Reader reader(envelope_bytes);
@@ -78,18 +106,35 @@ void Replica::on_ordered_envelope(Bytes envelope_bytes) {
   } catch (const ProtocolError&) {
     return;  // ordered garbage (corrupted submitter): skip deterministically
   }
+  // Ordering completed (whether we or a peer submitted it): the request is
+  // no longer inflight here.
+  const RequestKey key{envelope.client, envelope.request_id};
+  if (inflight_.erase(key) > 0) {
+    auto per_client = inflight_per_client_.find(envelope.client);
+    if (per_client != inflight_per_client_.end() && --per_client->second == 0) {
+      inflight_per_client_.erase(per_client);
+    }
+  }
   execute_and_reply(envelope);
 }
 
+void Replica::cache_reply(const RequestKey& key, Bytes reply) {
+  reply_cache_.emplace(key, std::move(reply));
+  reply_cache_fifo_.push_back(key);
+  if (reply_cache_fifo_.size() > admission_.reply_cache_cap) {
+    reply_cache_.erase(reply_cache_fifo_.front());
+    reply_cache_fifo_.pop_front();
+  }
+}
+
 void Replica::execute_and_reply(const RequestEnvelope& envelope) {
-  const auto key = std::make_pair(envelope.client, envelope.request_id);
+  const RequestKey key{envelope.client, envelope.request_id};
   Bytes reply;
   if (auto it = reply_cache_.find(key); it != reply_cache_.end()) {
     reply = it->second;  // duplicate: at-most-once execution, re-reply
   } else {
     reply = state_machine_->execute(envelope.body);
-    executed_.insert(key);
-    reply_cache_.emplace(key, reply);
+    cache_reply(key, reply);
     ++executed_count_;
   }
 
@@ -98,18 +143,33 @@ void Replica::execute_and_reply(const RequestEnvelope& envelope) {
   auto shares = host_.keys().reply_sig.sign(host_.public_keys().reply_sig, statement,
                                             host_.rng());
   Writer w;
+  w.u8(kReplyOk);
   w.u64(envelope.request_id);
   w.bytes(reply);
   w.vec(shares, [](Writer& wr, const crypto::SigShare& s) { s.encode(wr); });
-  if (envelope.client >= 0 && envelope.client < host_.network().n() &&
-      envelope.client != me()) {
-    net::Message message;
-    message.from = me();
-    message.to = envelope.client;
-    message.tag = tag_ + "/reply";
-    message.payload = w.take();
-    host_.network().submit(std::move(message));
-  }
+  send_reply(envelope.client, w.take());
+}
+
+void Replica::send_busy(int client, std::uint64_t request_id) {
+  // Unsigned on purpose: Busy is an advisory liveness hint, and the
+  // client's backoff reaction is capped, so a corrupted server gains
+  // nothing beyond what dropping the request already achieves.
+  ++busy_sent_;
+  Writer w;
+  w.u8(kReplyBusy);
+  w.u64(request_id);
+  w.u64(admission_.retry_after);
+  send_reply(client, w.take());
+}
+
+void Replica::send_reply(int client, Bytes payload) {
+  if (client < 0 || client >= host_.network().n() || client == me()) return;
+  net::Message message;
+  message.from = me();
+  message.to = client;
+  message.tag = tag_ + "/reply";
+  message.payload = std::move(payload);
+  host_.network().submit(std::move(message));
 }
 
 }  // namespace sintra::app

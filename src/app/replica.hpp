@@ -14,6 +14,7 @@
 // public key (app/client.hpp).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -47,6 +48,27 @@ struct RequestEnvelope {
 Bytes reply_statement(const std::string& service_tag, const RequestEnvelope& request,
                       BytesView reply);
 
+/// Reply status byte (first byte of every server->client reply).
+enum ReplyStatus : std::uint8_t {
+  kReplyOk = 0,    ///< u64 request_id, bytes reply, vec signature shares
+  kReplyBusy = 1,  ///< u64 request_id (0 = unattributable), u64 retry_after
+};
+
+/// Admission-control knobs (per replica).  A replica keeps at most
+/// `max_inflight` submitted-but-unordered requests (and `max_per_client`
+/// per client); beyond that it sheds load with an explicit Busy reply
+/// carrying `retry_after`, which ServiceClient honors as a backoff floor.
+/// The duplicate-reply cache is FIFO-bounded at `reply_cache_cap` entries:
+/// a duplicate of a still-cached request is re-answered without
+/// re-execution (exactly-once); one older than the cache window would
+/// re-execute, which deterministic state machines tolerate.
+struct Admission {
+  std::size_t max_inflight = 256;
+  std::size_t max_per_client = 64;
+  std::uint64_t retry_after = 50;  ///< network time units, advisory
+  std::size_t reply_cache_cap = 1024;
+};
+
 class Replica final : public protocols::ProtocolInstance {
  public:
   enum class Mode {
@@ -57,21 +79,41 @@ class Replica final : public protocols::ProtocolInstance {
   Replica(net::Party& host, std::string tag, Mode mode,
           std::unique_ptr<StateMachine> state_machine);
 
+  /// Override the admission-control knobs (tests shrink them to force
+  /// shedding).  Call before traffic flows.
+  void set_admission(Admission admission) { admission_ = admission; }
+
   [[nodiscard]] Mode mode() const { return mode_; }
   [[nodiscard]] std::uint64_t executed_count() const { return executed_count_; }
+  [[nodiscard]] std::uint64_t busy_sent() const { return busy_sent_; }
+  [[nodiscard]] std::size_t inflight() const {
+    return mode_ == Mode::kAtomic ? inflight_.size() : causal_inflight_;
+  }
 
  private:
+  using RequestKey = std::pair<int, std::uint64_t>;  ///< (client, request_id)
+
   void handle(int from, Reader& reader) override;  ///< client requests
   void on_ordered_envelope(Bytes envelope_bytes);
   void execute_and_reply(const RequestEnvelope& envelope);
+  void send_reply(int client, Bytes payload);
+  void send_busy(int client, std::uint64_t request_id);
+  void cache_reply(const RequestKey& key, Bytes reply);
 
   Mode mode_;
+  Admission admission_;
   std::unique_ptr<StateMachine> state_machine_;
   std::unique_ptr<protocols::AtomicBroadcast> atomic_;       ///< kAtomic
   std::unique_ptr<protocols::SecureCausalBroadcast> causal_; ///< kCausal
-  std::set<std::pair<int, std::uint64_t>> executed_;         ///< at-most-once
-  std::map<std::pair<int, std::uint64_t>, Bytes> reply_cache_;
+  /// Admitted but not yet ordered (atomic mode: keyed, exact dedupe;
+  /// causal mode: ciphertexts hide the key, so only a counter).
+  std::set<RequestKey> inflight_;
+  std::map<int, std::size_t> inflight_per_client_;
+  std::size_t causal_inflight_ = 0;
+  std::map<RequestKey, Bytes> reply_cache_;  ///< duplicate-request re-replies
+  std::deque<RequestKey> reply_cache_fifo_;  ///< cache eviction order
   std::uint64_t executed_count_ = 0;
+  std::uint64_t busy_sent_ = 0;
 };
 
 }  // namespace sintra::app

@@ -1,0 +1,80 @@
+#include "net/budget.hpp"
+
+#include "common/assert.hpp"
+
+namespace sintra::net {
+
+bool ResourceBudget::in_subtree(const std::string& key, const std::string& prefix) {
+  if (key.size() < prefix.size()) return false;
+  if (key.compare(0, prefix.size(), prefix) != 0) return false;
+  return key.size() == prefix.size() || key[prefix.size()] == '/';
+}
+
+bool ResourceBudget::try_charge(int peer, const std::string& instance, std::size_t bytes) {
+  const std::size_t peer_now = peer_total(peer);
+  auto inst_it = instance_totals_.find(instance);
+  const std::size_t inst_now = inst_it == instance_totals_.end() ? 0 : inst_it->second;
+  if (peer_now + bytes > config_.per_peer_cap || inst_now + bytes > config_.per_instance_cap ||
+      total_ + bytes > config_.total_cap) {
+    ++rejected_;
+    return false;
+  }
+  charges_[instance][peer] += bytes;
+  instance_totals_[instance] = inst_now + bytes;
+  peer_totals_[peer] = peer_now + bytes;
+  total_ += bytes;
+  if (total_ > peak_) peak_ = total_;
+  return true;
+}
+
+void ResourceBudget::release(int peer, const std::string& instance, std::size_t bytes) {
+  auto inst = charges_.find(instance);
+  SINTRA_INVARIANT(inst != charges_.end(), "budget: release for unknown instance");
+  auto entry = inst->second.find(peer);
+  SINTRA_INVARIANT(entry != inst->second.end() && entry->second >= bytes,
+                   "budget: release exceeds charge");
+  entry->second -= bytes;
+  if (entry->second == 0) inst->second.erase(entry);
+  if (inst->second.empty()) charges_.erase(inst);
+  auto inst_total = instance_totals_.find(instance);
+  inst_total->second -= bytes;
+  if (inst_total->second == 0) instance_totals_.erase(inst_total);
+  auto peer_total_it = peer_totals_.find(peer);
+  peer_total_it->second -= bytes;
+  if (peer_total_it->second == 0) peer_totals_.erase(peer_total_it);
+  total_ -= bytes;
+}
+
+void ResourceBudget::release_instance(const std::string& prefix) {
+  auto it = charges_.lower_bound(prefix);
+  while (it != charges_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    if (!in_subtree(it->first, prefix)) {
+      ++it;
+      continue;
+    }
+    for (const auto& [peer, bytes] : it->second) {
+      auto peer_it = peer_totals_.find(peer);
+      peer_it->second -= bytes;
+      if (peer_it->second == 0) peer_totals_.erase(peer_it);
+      total_ -= bytes;
+    }
+    instance_totals_.erase(it->first);
+    it = charges_.erase(it);
+  }
+}
+
+std::size_t ResourceBudget::peer_total(int peer) const {
+  auto it = peer_totals_.find(peer);
+  return it == peer_totals_.end() ? 0 : it->second;
+}
+
+std::size_t ResourceBudget::instance_total(const std::string& prefix) const {
+  std::size_t sum = 0;
+  for (auto it = instance_totals_.lower_bound(prefix);
+       it != instance_totals_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+    if (in_subtree(it->first, prefix)) sum += it->second;
+  }
+  return sum;
+}
+
+}  // namespace sintra::net

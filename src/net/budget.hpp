@@ -1,0 +1,97 @@
+// Resource governance for a party's buffered protocol state (issue 4).
+//
+// The trust assumption only protects safety: a Byzantine minority can
+// still try to exhaust a correct party's memory by spraying messages for
+// far-future rounds/views/epochs and never-completed instances, all of
+// which honest parties must buffer *somewhere* to stay live.  Every such
+// buffer in the stack now meters its bytes through the host Party's
+// ResourceBudget, keyed by (charging peer, owning instance tag):
+//
+//   * per-peer cap     — one corrupted peer cannot consume another peer's
+//                        headroom; flooding self-limits to the attacker's
+//                        own allowance while honest traffic flows;
+//   * per-instance cap — one runaway instance cannot starve the rest of
+//                        the stack;
+//   * total cap        — the party's overall buffered-bytes bound, the
+//                        number the memory-budget tests assert against.
+//
+// Charges are grouped by instance tag so an instance being garbage-
+// collected (or a whole retired tag subtree) releases everything it held
+// with one release_instance() call.  The budget never evicts anything
+// itself — eviction policy lives with the owning buffer, which knows which
+// entries are first-per-(party, role, slot) and which are farthest-future;
+// the budget only answers "may these bytes be retained" and keeps the
+// counters (peak, rejections, evictions) the overload tests snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sintra::net {
+
+/// Caps for a party's buffered bytes.  Defaults are deliberately generous
+/// (honest traffic in the simulations is orders of magnitude below them);
+/// overload tests configure tight caps explicitly via Party::set_budget.
+struct BudgetConfig {
+  std::size_t per_peer_cap = 1 << 20;      ///< bytes one peer may occupy
+  std::size_t per_instance_cap = 2 << 20;  ///< bytes one instance tag may hold
+  std::size_t total_cap = 8 << 20;         ///< bytes across the whole party
+
+  static BudgetConfig unlimited() {
+    BudgetConfig c;
+    c.per_peer_cap = c.per_instance_cap = c.total_cap = static_cast<std::size_t>(-1);
+    return c;
+  }
+};
+
+class ResourceBudget {
+ public:
+  ResourceBudget() = default;
+  explicit ResourceBudget(BudgetConfig config) : config_(config) {}
+
+  void configure(BudgetConfig config) { config_ = config; }
+  [[nodiscard]] const BudgetConfig& config() const { return config_; }
+
+  /// Attempt to account `bytes` buffered on behalf of `peer` under
+  /// `instance` (a protocol tag).  False — with no state change — when any
+  /// cap would be exceeded; the caller then evicts or drops.
+  bool try_charge(int peer, const std::string& instance, std::size_t bytes);
+
+  /// Return previously charged bytes (buffer entry consumed or evicted).
+  void release(int peer, const std::string& instance, std::size_t bytes);
+
+  /// Drop every charge under `prefix`: charges whose instance tag equals
+  /// `prefix` or lives in its tag subtree ("abc/3" covers "abc/3/vba/...").
+  /// Used by instance GC and tag retirement.
+  void release_instance(const std::string& prefix);
+
+  /// Record an eviction decision made by an owning buffer (for the tests'
+  /// "the attack actually hit the governance" assertions).
+  void note_eviction() { ++evictions_; }
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t peak_total() const { return peak_; }
+  [[nodiscard]] std::size_t peer_total(int peer) const;
+  /// Bytes charged under `prefix` (same subtree semantics as
+  /// release_instance).
+  [[nodiscard]] std::size_t instance_total(const std::string& prefix) const;
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  [[nodiscard]] static bool in_subtree(const std::string& key, const std::string& prefix);
+
+  BudgetConfig config_;
+  /// instance tag -> (peer -> bytes); exact tags, subtree queries walk.
+  std::map<std::string, std::map<int, std::size_t>> charges_;
+  std::map<std::string, std::size_t> instance_totals_;
+  std::map<int, std::size_t> peer_totals_;
+  std::size_t total_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace sintra::net

@@ -9,6 +9,7 @@
 
 #include <functional>
 
+#include "adversary/quorum.hpp"
 #include "net/simulator.hpp"
 
 namespace sintra::net {
@@ -38,6 +39,57 @@ class SpamProcess final : public Process {
   Rng rng_;
   std::vector<std::string> tags_;
   std::uint64_t sent_ = 0;
+};
+
+/// Byzantine resource-exhaustion attacker (the flooder attack suite): a
+/// corrupted party spraying protocol-shaped traffic at the honest
+/// parties' buffering paths.  Each profile targets one buffer:
+///  - kAbbaRounds: far-future ABBA pre-/main-votes, which honest parties
+///    park in their deferred-round buffer until the round arrives;
+///  - kAbcRounds: VALIDLY SIGNED future-round atomic-broadcast batches —
+///    the flooder holds its dealt key share, so these pass signature
+///    verification and occupy round buffers legitimately;
+///  - kPbftViews: future-view PBFT phase traffic (the view stash);
+///  - kBogusTags: messages for instance tags that will never register
+///    (the Party's unhandled-traffic buffer);
+///  - kRequests: a runaway client spraying distinct requests at every
+///    replica (the admission-control queue).
+/// Every profile is volume-bounded so flooded runs still quiesce; the
+/// point is not to break termination but to show ResourceBudget holding
+/// every honest party's buffered bytes under its cap while the protocols
+/// keep delivering.
+class FlooderProcess final : public Process {
+ public:
+  enum class Profile {
+    kAbbaRounds,
+    kAbcRounds,
+    kPbftViews,
+    kBogusTags,
+    kRequests,
+  };
+
+  /// `target_tag` is the attacked instance's tag (the ABBA/ABC/PBFT tag,
+  /// or the service tag for kRequests, or a prefix for kBogusTags).
+  FlooderProcess(Simulator& simulator, int id, adversary::Deployment deployment,
+                 std::uint64_t seed, Profile profile, std::string target_tag);
+
+  void on_start() override { burst(); }
+  void on_message(const Message&) override { burst(); }
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+ private:
+  void burst();
+  void spray(int to, std::string tag, Bytes payload);
+
+  Simulator& simulator_;
+  int id_;
+  adversary::Deployment deployment_;
+  Rng rng_;
+  Profile profile_;
+  std::string target_tag_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t cursor_ = 0;  ///< round/view/request-id cursor
 };
 
 /// Fully scripted Byzantine process: delegates to a function.

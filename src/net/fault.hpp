@@ -147,6 +147,13 @@ class RestartingProcess final : public Process {
       : factory_(std::move(factory)), crash_after_(crash_after), down_for_(down_for),
         max_restarts_(max_restarts) {}
 
+  /// Drop traffic received while down instead of stashing it, modeling a
+  /// crash that also loses the link buffers.  The rejoined process misses
+  /// those messages entirely — exactly the stall the liveness watchdogs
+  /// (StallWatchdog, PbftLike's failure detector) exist to recover from,
+  /// so the watchdog tests arm this to produce genuine stalls.
+  void set_lossy_downtime(bool lossy) { lossy_ = lossy; }
+
   void on_start() override {
     inner_ = factory_();
     inner_->on_start();
@@ -154,6 +161,10 @@ class RestartingProcess final : public Process {
 
   void on_message(const Message& message) override {
     if (down_) {
+      if (lossy_) {
+        if (++lost_ >= down_for_) restart();
+        return;
+      }
       stash_.push_back(message);
       if (stash_.size() >= down_for_) restart();
       return;
@@ -182,6 +193,7 @@ class RestartingProcess final : public Process {
 
   void restart() {
     down_ = false;
+    lost_ = 0;
     ++restarts_;
     inner_ = factory_();            // re-registers handlers, restarts protocols
     inner_->restore(snapshot_);     // deterministic replay of persisted state
@@ -199,7 +211,9 @@ class RestartingProcess final : public Process {
   Bytes snapshot_;
   std::vector<Message> stash_;
   std::uint64_t delivered_ = 0;
+  std::uint64_t lost_ = 0;  ///< messages dropped while down (lossy mode)
   bool down_ = false;
+  bool lossy_ = false;
   int restarts_ = 0;
 };
 

@@ -3,6 +3,19 @@
 #include "common/assert.hpp"
 
 namespace sintra::net {
+namespace {
+
+/// Caps on the handler-less buffer's *shape* (its bytes are governed by
+/// the ResourceBudget): a flood of minimum-size messages for many distinct
+/// bogus tags stays bounded in map entries, not only in bytes.
+constexpr std::size_t kMaxBufferedPerTag = 256;
+constexpr std::size_t kMaxBufferedTags = 4096;
+/// Retired-tag tombstones kept (FIFO).  Old tombstones expiring is safe:
+/// traffic for a long-retired tag is then buffered again, budget-bounded,
+/// and never re-dispatched (the instance's handler is gone for good).
+constexpr std::size_t kMaxRetired = 4096;
+
+}  // namespace
 
 Party::Party(Network& network, int id, adversary::Deployment deployment, std::uint64_t seed)
     : network_(network), id_(id), deployment_(std::move(deployment)),
@@ -37,10 +50,70 @@ void Party::register_handler(const std::string& tag, Handler handler) {
   handlers_.emplace(tag, std::move(handler));
   auto buffered = buffered_.find(tag);
   if (buffered != buffered_.end()) {
-    for (Message& message : buffered->second) local_.push_back(std::move(message));
+    for (Message& message : buffered->second) {
+      // Leaving the handler-less buffer: the owning protocol re-charges if
+      // it parks the message again.
+      budget_.release(message.from, message.tag, buffered_cost(message));
+      local_.push_back(std::move(message));
+    }
     buffered_.erase(buffered);
     if (!dispatching_) drain_local();
   }
+}
+
+void Party::unregister_handler(const std::string& tag) { handlers_.erase(tag); }
+
+void Party::retire_tag(const std::string& prefix) {
+  if (retired_.insert(prefix).second) {
+    retired_order_.push_back(prefix);
+    if (retired_order_.size() > kMaxRetired) {
+      retired_.erase(retired_order_.front());
+      retired_order_.pop_front();
+    }
+  }
+  const auto in_subtree = [&prefix](const std::string& tag) {
+    return tag.size() >= prefix.size() && tag.compare(0, prefix.size(), prefix) == 0 &&
+           (tag.size() == prefix.size() || tag[prefix.size()] == '/');
+  };
+  for (auto it = buffered_.lower_bound(prefix);
+       it != buffered_.end() && it->first.compare(0, prefix.size(), prefix) == 0;) {
+    if (in_subtree(it->first)) {
+      it = buffered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Any leftover charges under the subtree (buffered traffic, stragglers
+  // an instance missed) go with it.
+  budget_.release_instance(prefix);
+  // WAL compaction: replaying traffic for a retired tag would only be
+  // dropped again, so the entries are dead weight in every snapshot.
+  std::erase_if(wal_, [&](const Message& message) { return in_subtree(message.tag); });
+}
+
+bool Party::is_retired(std::string_view tag) const {
+  if (retired_.empty()) return false;
+  for (std::size_t pos = 0; pos <= tag.size(); ++pos) {
+    if (pos == tag.size() || tag[pos] == '/') {
+      if (retired_.contains(tag.substr(0, pos))) return true;
+    }
+  }
+  return false;
+}
+
+void Party::register_checkpoint(const std::string& prefix, CheckpointSave save,
+                                CheckpointLoad load) {
+  SINTRA_INVARIANT(!checkpoints_.contains(prefix),
+                   "Party: duplicate checkpoint prefix " + prefix);
+  checkpoints_.emplace(prefix, Checkpoint{std::move(save), std::move(load)});
+}
+
+void Party::unregister_checkpoint(const std::string& prefix) { checkpoints_.erase(prefix); }
+
+void Party::prune_wal(const std::string& tag,
+                      const std::function<bool(const Message&)>& prunable) {
+  std::erase_if(wal_,
+                [&](const Message& message) { return message.tag == tag && prunable(message); });
 }
 
 void Party::on_message(const Message& message) {
@@ -54,6 +127,14 @@ void Party::on_message(const Message& message) {
 
 Bytes Party::snapshot() const {
   Writer w;
+  w.u8(2);  // snapshot version
+  w.u32(static_cast<std::uint32_t>(checkpoints_.size()));
+  for (const auto& [prefix, checkpoint] : checkpoints_) {
+    w.str(prefix);
+    w.bytes(checkpoint.save());
+  }
+  w.u32(static_cast<std::uint32_t>(retired_order_.size()));
+  for (const std::string& tag : retired_order_) w.str(tag);
   w.vec(wal_, [](Writer& out, const Message& message) {
     out.u32(static_cast<std::uint32_t>(message.from));
     out.str(message.tag);
@@ -64,6 +145,20 @@ Bytes Party::snapshot() const {
 
 void Party::restore(BytesView persisted) {
   Reader r(persisted);
+  const auto version = r.u8();
+  SINTRA_INVARIANT(version == 2, "Party: unknown snapshot version");
+  std::vector<std::pair<std::string, Bytes>> blobs;
+  const auto checkpoint_count = r.u32();
+  blobs.reserve(checkpoint_count);
+  for (std::uint32_t i = 0; i < checkpoint_count; ++i) {
+    std::string prefix = r.str();
+    blobs.emplace_back(std::move(prefix), r.bytes());
+  }
+  const auto retired_count = r.u32();
+  for (std::uint32_t i = 0; i < retired_count; ++i) {
+    std::string tag = r.str();
+    if (retired_.insert(tag).second) retired_order_.push_back(std::move(tag));
+  }
   std::vector<Message> replay = r.vec<Message>([this](Reader& in) {
     Message message;
     message.from = static_cast<int>(in.u32());
@@ -73,10 +168,22 @@ void Party::restore(BytesView persisted) {
     return message;
   });
   r.expect_done();
-  // Replay through the (rebuilt) handlers with logging off: the replayed
-  // messages are already in the log we are about to reinstate.
+  // Load checkpoints, then replay the (compacted) log suffix through the
+  // rebuilt handlers with logging off: the replayed messages are already
+  // in the log we are about to reinstate.  A blob with no registered
+  // loader belongs to an instance the rebuilt stack has not created yet
+  // (e.g. a lazily built sub-instance) — such instances never compact
+  // their WAL entries, so skipping the blob loses nothing.
   const bool was_enabled = wal_enabled_;
   wal_enabled_ = false;
+  for (const auto& [prefix, blob] : blobs) {
+    auto checkpoint = checkpoints_.find(prefix);
+    if (checkpoint == checkpoints_.end()) continue;
+    Reader in(blob);
+    checkpoint->second.load(in);
+    in.expect_done();
+    drain_local();
+  }
   for (const Message& message : replay) {
     dispatch(message);
     drain_local();
@@ -88,7 +195,10 @@ void Party::restore(BytesView persisted) {
 void Party::dispatch(const Message& message) {
   auto handler = handlers_.find(message.tag);
   if (handler == handlers_.end()) {
-    buffered_[message.tag].push_back(message);
+    // Late traffic for a retired instance is dropped outright; everything
+    // else is buffered under the resource budget until (if ever) an
+    // instance registers for the tag.
+    if (!is_retired(message.tag)) buffer_unhandled(message);
     return;
   }
   dispatching_ = true;
@@ -101,6 +211,24 @@ void Party::dispatch(const Message& message) {
                        std::to_string(message.from) + ": " + error.what());
   }
   dispatching_ = false;
+}
+
+void Party::buffer_unhandled(const Message& message) {
+  auto it = buffered_.find(message.tag);
+  if (it == buffered_.end() && buffered_.size() >= kMaxBufferedTags) {
+    trace("party", "buffer tag-cap drop on " + message.tag);
+    return;
+  }
+  if (it != buffered_.end() && it->second.size() >= kMaxBufferedPerTag) {
+    trace("party", "buffer count-cap drop on " + message.tag);
+    return;
+  }
+  if (!budget_.try_charge(message.from, message.tag, buffered_cost(message))) {
+    trace("party", "buffer budget drop on " + message.tag + " from " +
+                       std::to_string(message.from));
+    return;
+  }
+  buffered_[message.tag].push_back(message);
 }
 
 void Party::drain_local() {

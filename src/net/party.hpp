@@ -6,14 +6,25 @@
 // to itself model internal state transitions, which no network scheduler
 // can delay (they are delivered from a local queue before control returns
 // to the simulator).
+//
+// Resource governance (issue 4): traffic buffered here for not-yet-
+// registered tags is metered through a ResourceBudget (per-peer, per-
+// instance and total byte caps), so a Byzantine peer spraying bogus
+// instance tags cannot grow the buffer without bound.  Completed protocol
+// instances retire their tag subtrees — late traffic for a retired tag is
+// dropped instead of buffered, and the tag's write-ahead-log entries are
+// pruned once a registered checkpoint captures their effects (WAL
+// compaction: restarts stop resurrecting dead state).
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 
 #include "adversary/quorum.hpp"
 #include "common/serialize.hpp"
+#include "net/budget.hpp"
 #include "net/simulator.hpp"
 
 namespace sintra::net {
@@ -25,6 +36,11 @@ class Party : public Process {
   /// malformed (Byzantine) input — the party drops the message and keeps
   /// running.
   using Handler = std::function<void(int from, Reader& reader)>;
+  /// WAL-compaction checkpoint for one instance: save() serializes the
+  /// instance's durable state at snapshot time; load() reinstates it into
+  /// a freshly rebuilt instance before the remaining WAL suffix replays.
+  using CheckpointSave = std::function<Bytes()>;
+  using CheckpointLoad = std::function<void(Reader&)>;
 
   /// `network` is either the deterministic Simulator or a NetworkedNode
   /// over a real transport; the protocol stack cannot tell the difference.
@@ -43,6 +59,12 @@ class Party : public Process {
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] Network& network() { return network_; }
 
+  /// Buffered-bytes governance.  Configure caps before traffic flows;
+  /// protocol buffers charge through this object (see net/budget.hpp).
+  [[nodiscard]] ResourceBudget& budget() { return budget_; }
+  [[nodiscard]] const ResourceBudget& budget() const { return budget_; }
+  void set_budget(BudgetConfig config) { budget_.configure(config); }
+
   void send(int to, const std::string& tag, Bytes payload);
   /// Send to every party, self included (self copy delivered locally).
   void broadcast(const std::string& tag, const Bytes& payload);
@@ -58,21 +80,47 @@ class Party : public Process {
   /// Register the handler for `tag`; any buffered messages for it are
   /// re-dispatched in arrival order.
   void register_handler(const std::string& tag, Handler handler);
+  /// Remove the handler for `tag` (instance destruction).  No-op if the
+  /// tag is not registered.
+  void unregister_handler(const std::string& tag);
   [[nodiscard]] bool has_handler(const std::string& tag) const {
     return handlers_.contains(tag);
   }
+
+  /// Instance GC: tombstone `prefix` — late traffic for the tag or its
+  /// subtree is dropped (not buffered), buffered messages under it are
+  /// freed, its WAL entries are pruned and its budget charges released.
+  /// The tombstone set is bounded (oldest retired first) and persists
+  /// across crash-restore so replay does not resurrect retired state.
+  void retire_tag(const std::string& prefix);
+  [[nodiscard]] bool is_retired(std::string_view tag) const;
+
+  /// Register a WAL-compaction checkpoint for the instance owning
+  /// `prefix`.  Only sound for instances that exist at stack-build time
+  /// (the loader must be registered before restore() runs) and whose
+  /// checkpoint captures the effects of every WAL entry they prune.
+  void register_checkpoint(const std::string& prefix, CheckpointSave save, CheckpointLoad load);
+  void unregister_checkpoint(const std::string& prefix);
+
+  /// Drop WAL entries with exactly tag `tag` that `prunable` approves.
+  /// Only sound when a registered checkpoint captures their effects.
+  void prune_wal(const std::string& tag, const std::function<bool(const Message&)>& prunable);
 
   void on_message(const Message& message) override;
 
   /// Crash recovery (net/fault.hpp).  With the WAL enabled, every network
   /// message is appended to a write-ahead log before dispatch, and so is
   /// every *external* self-message (an application submit outside any
-  /// handler — replay cannot regenerate those); snapshot() serializes the
-  /// log, and restore() replays it through the (freshly rebuilt) protocol
-  /// stack.  Because protocol state is a deterministic function of the
-  /// party's seed, its received-message sequence and its logged inputs,
-  /// the replayed party rejoins exactly where it crashed.
+  /// handler — replay cannot regenerate those); snapshot() serializes
+  /// registered instance checkpoints, the retired-tag set and the
+  /// (compacted) log; restore() loads the checkpoints and replays the log
+  /// suffix through the (freshly rebuilt) protocol stack.  Replay is
+  /// deterministic up to signature randomness: a compacted party re-derives
+  /// fresh (still valid) signature shares where the original incarnation
+  /// had drawn different randomness, which receivers verify rather than
+  /// compare — the rebuilt party rejoins exactly where it crashed.
   void enable_wal() { wal_enabled_ = true; }
+  [[nodiscard]] bool wal_enabled() const { return wal_enabled_; }
   [[nodiscard]] const std::vector<Message>& wal() const { return wal_; }
   [[nodiscard]] Bytes snapshot() const override;
   void restore(BytesView persisted) override;
@@ -83,13 +131,25 @@ class Party : public Process {
  private:
   void dispatch(const Message& message);
   void drain_local();
+  void buffer_unhandled(const Message& message);
+  [[nodiscard]] static std::size_t buffered_cost(const Message& message) {
+    return message.tag.size() + message.payload.size() + 16;
+  }
 
   Network& network_;
   int id_;
   adversary::Deployment deployment_;
   Rng rng_;
+  ResourceBudget budget_;
   std::map<std::string, Handler> handlers_;
   std::map<std::string, std::deque<Message>> buffered_;
+  std::set<std::string, std::less<>> retired_;
+  std::deque<std::string> retired_order_;  ///< FIFO for the tombstone cap
+  struct Checkpoint {
+    CheckpointSave save;
+    CheckpointLoad load;
+  };
+  std::map<std::string, Checkpoint> checkpoints_;
   std::deque<Message> local_;
   bool dispatching_ = false;
   bool wal_enabled_ = false;

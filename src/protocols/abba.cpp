@@ -19,7 +19,61 @@ std::vector<SigShare> decode_shares(Reader& r) {
 }  // namespace
 
 Abba::Abba(net::Party& host, std::string tag, DecideFn decide)
-    : ProtocolInstance(host, std::move(tag)), decide_(std::move(decide)) {}
+    : ProtocolInstance(host, std::move(tag)), decide_(std::move(decide)) {
+  host_.register_checkpoint(
+      tag_, [this] { return checkpoint_save(); }, [this](Reader& r) { checkpoint_load(r); });
+}
+
+Abba::~Abba() { host_.unregister_checkpoint(tag_); }
+
+Bytes Abba::checkpoint_save() const {
+  Writer w;
+  w.boolean(started_);
+  w.u8(my_input_.has_value() ? (*my_input_ ? 1 : 0) : 2);
+  w.boolean(decided_);
+  if (decided_) {
+    w.u8(*decision_ ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(decide_round_));
+    w.bytes(decide_raw_);
+  }
+  return w.take();
+}
+
+void Abba::checkpoint_load(Reader& reader) {
+  started_ = reader.boolean();
+  const std::uint8_t input = reader.u8();
+  if (input <= 1) my_input_ = input == 1;
+  if (reader.boolean()) {
+    decided_ = true;
+    decision_ = reader.u8() == 1;
+    decide_round_ = static_cast<int>(reader.u32());
+    decide_raw_ = reader.bytes();
+    // Re-fire the decision into the rebuilt parent/harness — the WAL
+    // entries that produced it may have been compacted away, so the
+    // callback is the only way that state comes back.
+    if (decide_) decide_(*decision_, decide_round_);
+  }
+}
+
+void Abba::enable_watchdog(std::uint64_t timeout) {
+  if (!watchdog_) watchdog_ = std::make_unique<StallWatchdog>(host_);
+  watchdog_->arm(
+      timeout, [this] { return decided_; }, [this] { return progress_; },
+      [this] { resummarize(); });
+}
+
+void Abba::resummarize() {
+  // Re-send our own (already broadcast, receiver-deduped) current state so
+  // a peer that lost it — a restart with a lossy network — can catch up.
+  if (decided_) {
+    if (!decide_raw_.empty()) broadcast(decide_raw_);
+    return;
+  }
+  if (started_) broadcast_input();
+  if (!last_prevote_raw_.empty()) broadcast(last_prevote_raw_);
+  if (!last_mainvote_raw_.empty()) broadcast(last_mainvote_raw_);
+  if (!last_coin_raw_.empty()) broadcast(last_coin_raw_);
+}
 
 Bytes Abba::statement(std::string_view kind, int round, std::uint8_t value) const {
   Writer w;
@@ -82,6 +136,7 @@ void Abba::on_input(int from, Reader& reader) {
     SINTRA_REQUIRE(reply_pk.verify_share(stmt, share), "abba: invalid input share");
   }
   input_voted_ |= crypto::party_bit(from);
+  ++progress_;
   input_support_[value] |= crypto::party_bit(from);
   for (const SigShare& share : shares) input_shares_[value].push_back(share);
   if (!anchor_[value].has_value() && reply_pk.scheme().qualified(input_support_[value])) {
@@ -119,11 +174,60 @@ void Abba::send_prevote(int round, bool value, Justification justification,
   auto shares = host_.keys().cert_sig.sign(host_.public_keys().cert_sig,
                                            statement("pre", round, value ? 1 : 0), host_.rng());
   encode_shares(w, shares);
-  broadcast(w.take());
+  last_prevote_raw_ = w.take();
+  broadcast(last_prevote_raw_);
+}
+
+void Abba::park_deferred(std::uint8_t type, int round, int from, Reader& reader) {
+  // Far-future horizon: a message more than kDeferWindow rounds ahead of
+  // us can only be adversarial (honest parties run within one round of
+  // each other) — drop it outright instead of parking.
+  static constexpr int kDeferWindow = 64;
+  if (round > current_round_ + kDeferWindow) return;
+  for (const auto& [parked_round, parked_from, parked_raw] : deferred_) {
+    if (parked_round == round && parked_from == from && !parked_raw.empty() &&
+        parked_raw[0] == type) {
+      return;  // first-per-(peer, type, round) only
+    }
+  }
+  Writer w;
+  w.u8(type);
+  w.u32(static_cast<std::uint32_t>(round));
+  w.raw(BytesView(reader.raw(reader.remaining())));
+  Bytes raw = w.take();
+  const std::size_t cost = raw.size() + 16;
+  auto& budget = host_.budget();
+  while (!budget.try_charge(from, tag_, cost)) {
+    // Over budget: evict this peer's farthest-future parked message, but
+    // never one nearer than the incoming round — when the incoming message
+    // is itself the farthest future, it is the one that goes.
+    std::size_t victim = deferred_.size();
+    int victim_round = round;
+    for (std::size_t i = 0; i < deferred_.size(); ++i) {
+      const auto& [parked_round, parked_from, parked_raw] = deferred_[i];
+      if (parked_from == from && parked_round > victim_round) {
+        victim = i;
+        victim_round = parked_round;
+      }
+    }
+    if (victim == deferred_.size()) return;
+    budget.release(from, tag_, std::get<2>(deferred_[victim]).size() + 16);
+    deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(victim));
+    budget.note_eviction();
+  }
+  deferred_.emplace_back(round, from, std::move(raw));
 }
 
 void Abba::handle(int from, Reader& reader) {
-  if (decided_) return;
+  if (decided_) {
+    // Instance done, rounds freed.  A peer still talking missed the
+    // decision; answer once with the transferable decide certificate.
+    if (from != me() && !decide_raw_.empty() && !(helped_ & crypto::party_bit(from))) {
+      helped_ |= crypto::party_bit(from);
+      host_.send(from, tag_, Bytes(decide_raw_));
+    }
+    return;
+  }
   const std::uint8_t type = reader.u8();
   switch (type) {
     case kInput: return on_input(from, reader);
@@ -139,13 +243,9 @@ void Abba::on_prevote(int from, Reader& reader) {
   const int round = static_cast<int>(reader.u32());
   SINTRA_REQUIRE(round >= 1 && round < 1 << 20, "abba: implausible round");
   if (round > current_round_ + 1) {
-    // Far ahead of us; park the whole message until we catch up.
-    Writer w;
-    w.u8(kPreVote);
-    w.u32(static_cast<std::uint32_t>(round));
-    w.raw(BytesView(reader.raw(reader.remaining())));
-    deferred_.emplace_back(round, from, w.take());
-    return;
+    // Far ahead of us; park the whole message (budget-bounded, farthest-
+    // future evicted first) until we catch up.
+    return park_deferred(kPreVote, round, from, reader);
   }
   const std::uint8_t value_byte = reader.u8();
   SINTRA_REQUIRE(value_byte <= 1, "abba: bad pre-vote value");
@@ -191,6 +291,7 @@ void Abba::accept_prevote(int round, int from, bool value,
     SINTRA_REQUIRE(cert_pk.verify_share(stmt, share), "abba: invalid pre-vote share");
   }
   state.prevoted |= crypto::party_bit(from);
+  ++progress_;
   const int v = value ? 1 : 0;
   state.prevote_support[v] |= crypto::party_bit(from);
   for (const SigShare& share : shares) state.prevote_shares[v].push_back(share);
@@ -230,19 +331,15 @@ void Abba::maybe_mainvote(int round) {
   auto shares = host_.keys().cert_sig.sign(host_.public_keys().cert_sig,
                                            statement("main", round, vote), host_.rng());
   encode_shares(w, shares);
-  broadcast(w.take());
+  last_mainvote_raw_ = w.take();
+  broadcast(last_mainvote_raw_);
 }
 
 void Abba::on_mainvote(int from, Reader& reader) {
   const int round = static_cast<int>(reader.u32());
   SINTRA_REQUIRE(round >= 1 && round < 1 << 20, "abba: implausible round");
   if (round > current_round_ + 1) {
-    Writer w;
-    w.u8(kMainVote);
-    w.u32(static_cast<std::uint32_t>(round));
-    w.raw(BytesView(reader.raw(reader.remaining())));
-    deferred_.emplace_back(round, from, w.take());
-    return;
+    return park_deferred(kMainVote, round, from, reader);
   }
   const std::uint8_t vote = reader.u8();
   SINTRA_REQUIRE(vote <= kAbstain, "abba: bad main-vote value");
@@ -265,6 +362,7 @@ void Abba::on_mainvote(int from, Reader& reader) {
     SINTRA_REQUIRE(cert_pk.verify_share(stmt, share), "abba: invalid main-vote share");
   }
   state.mainvoted |= crypto::party_bit(from);
+  ++progress_;
   state.mainvote_support[vote] |= crypto::party_bit(from);
   for (const SigShare& share : shares) state.mainvote_shares[vote].push_back(share);
 
@@ -320,19 +418,15 @@ void Abba::release_coin(int round) {
   w.vec(shares, [&](Writer& wr, const CoinShare& s) {
     s.encode(wr, host_.public_keys().coin.group());
   });
-  broadcast(w.take());
+  last_coin_raw_ = w.take();
+  broadcast(last_coin_raw_);
 }
 
 void Abba::on_coin_share(int from, Reader& reader) {
   const int round = static_cast<int>(reader.u32());
   SINTRA_REQUIRE(round >= 1 && round < 1 << 20, "abba: implausible round");
   if (round > current_round_ + 1) {
-    Writer w;
-    w.u8(kCoinShare);
-    w.u32(static_cast<std::uint32_t>(round));
-    w.raw(BytesView(reader.raw(reader.remaining())));
-    deferred_.emplace_back(round, from, w.take());
-    return;
+    return park_deferred(kCoinShare, round, from, reader);
   }
   const auto& coin_pk = host_.public_keys().coin;
   auto shares = reader.vec<CoinShare>(
@@ -347,6 +441,7 @@ void Abba::on_coin_share(int from, Reader& reader) {
     SINTRA_REQUIRE(coin_pk.verify_share(name, share), "abba: invalid coin share");
   }
   state.coin_support |= crypto::party_bit(from);
+  ++progress_;
   for (const CoinShare& share : shares) state.coin_shares.push_back(share);
   maybe_combine_coin(round);
 }
@@ -380,18 +475,26 @@ void Abba::advance(int round, bool value, Justification justification, const Big
   if (decided_) return;
   if (round > current_round_) {
     current_round_ = round;
+    ++progress_;
     host_.trace("abba", tag_ + " advancing to round " + std::to_string(round));
   }
   send_prevote(round, value, justification, evidence);
 
-  // Replay parked far-future messages that are now in range.
+  // Replay parked far-future messages that are now in range (their budget
+  // charge is released as they leave the buffer; re-parked entries keep
+  // theirs).  Parked messages were never validated — a bad one is dropped
+  // without disturbing the rest.
   auto parked = std::move(deferred_);
   deferred_.clear();
   for (auto& [msg_round, from, raw] : parked) {
-    if (decided_) break;
+    if (decided_) break;  // decide() already released every charge
     if (msg_round <= current_round_ + 1) {
-      Reader reader(raw);
-      handle(from, reader);
+      host_.budget().release(from, tag_, raw.size() + 16);
+      try {
+        Reader reader(raw);
+        handle(from, reader);
+      } catch (const ProtocolError&) {
+      }
     } else {
       deferred_.emplace_back(msg_round, from, std::move(raw));
     }
@@ -414,14 +517,34 @@ void Abba::decide(bool value, int round, const BigInt& sigma_main) {
   if (decided_) return;
   decided_ = true;
   decision_ = value;
+  decide_round_ = round;
   Writer w;
   w.u8(kDecide);
   w.u32(static_cast<std::uint32_t>(round));
   w.u8(value ? 1 : 0);
   sigma_main.encode(w);
-  broadcast(w.take());
+  decide_raw_ = w.take();
+  broadcast(decide_raw_);
   host_.trace("abba", tag_ + " decided " + std::to_string(static_cast<int>(value)) +
                           " in round " + std::to_string(round));
+  // Instance GC: the transferable decide certificate (kept in decide_raw_)
+  // subsumes every tally, share and parked message — free them now.  Safe
+  // inline: no caller touches round state after decide() returns (audited:
+  // on_mainvote returns immediately, on_decide holds no Round reference,
+  // and maybe_combine_coin's chain cannot reach decide()).
+  rounds_.clear();
+  deferred_.clear();
+  for (auto& shares : input_shares_) {
+    shares.clear();
+    shares.shrink_to_fit();
+  }
+  host_.budget().release_instance(tag_);
+  if (watchdog_) watchdog_->disarm();
+  if (compaction_) {
+    // WAL compaction: the checkpoint carries the decision across restarts,
+    // so replaying this instance's message history is dead weight.
+    host_.prune_wal(tag_, [](const net::Message&) { return true; });
+  }
   if (decide_) decide_(value, round);
 }
 

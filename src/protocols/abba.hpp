@@ -53,9 +53,11 @@
 #include <array>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "protocols/base.hpp"
+#include "protocols/watchdog.hpp"
 
 namespace sintra::protocols {
 
@@ -66,13 +68,34 @@ class Abba final : public ProtocolInstance {
   using DecideFn = std::function<void(bool value, int round)>;
 
   Abba(net::Party& host, std::string tag, DecideFn decide);
+  ~Abba() override;
 
   /// Re-entry with the same input re-broadcasts INPUT (crash-recovery
   /// replay); a flipped input throws.
   void start(bool input);
 
+  /// Liveness watchdog: on a stall, re-broadcast our own current-state
+  /// messages (input / pre-vote / main-vote / coin share, or the decide
+  /// certificate) — idempotent, receivers dedup.
+  void enable_watchdog(std::uint64_t timeout);
+  [[nodiscard]] std::uint64_t recoveries() const {
+    return watchdog_ ? watchdog_->recoveries() : 0;
+  }
+
+  /// WAL compaction (opt-in): once decided, this instance's WAL entries
+  /// are pruned — the registered checkpoint carries the decision across a
+  /// restart instead of a full message replay.  Only sound for instances
+  /// that exist when Party::restore runs (factory-built, not lazily
+  /// spawned sub-instances — their checkpoint blob would find no loader
+  /// and the pruned entries could not be replayed either).
+  void enable_compaction() { compaction_ = true; }
+
   [[nodiscard]] bool decided() const { return decided_; }
   [[nodiscard]] std::optional<bool> decision() const { return decision_; }
+
+  /// Introspection for the memory-budget tests.
+  [[nodiscard]] std::size_t live_rounds() const { return rounds_.size(); }
+  [[nodiscard]] std::size_t deferred_count() const { return deferred_.size(); }
 
  private:
   enum MsgType : std::uint8_t {
@@ -111,6 +134,10 @@ class Abba final : public ProtocolInstance {
   };
 
   void handle(int from, Reader& reader) override;
+  void park_deferred(std::uint8_t type, int round, int from, Reader& reader);
+  void resummarize();
+  [[nodiscard]] Bytes checkpoint_save() const;
+  void checkpoint_load(Reader& reader);
   void broadcast_input();
   void on_input(int from, Reader& reader);
   void try_first_prevote();
@@ -138,7 +165,9 @@ class Abba final : public ProtocolInstance {
   DecideFn decide_;
   bool started_ = false;
   bool decided_ = false;
+  bool compaction_ = false;
   std::optional<bool> decision_;
+  int decide_round_ = 0;
   std::optional<bool> my_input_;
   // Input anchoring.
   crypto::PartySet input_voted_ = 0;
@@ -148,6 +177,13 @@ class Abba final : public ProtocolInstance {
   int current_round_ = 1;
   std::map<int, Round> rounds_;
   std::vector<std::tuple<int, int, Bytes>> deferred_;  ///< (round, from, raw) for far-future rounds
+  Bytes decide_raw_;  ///< the kDecide broadcast (responder + checkpoint material)
+  Bytes last_prevote_raw_;    ///< watchdog resummary material
+  Bytes last_mainvote_raw_;
+  Bytes last_coin_raw_;
+  crypto::PartySet helped_ = 0;  ///< peers already re-sent the decide cert
+  std::uint64_t progress_ = 0;   ///< counted protocol events (watchdog token)
+  std::unique_ptr<StallWatchdog> watchdog_;
 };
 
 }  // namespace sintra::protocols

@@ -45,7 +45,59 @@ struct BatchEntry {
 }  // namespace
 
 AtomicBroadcast::AtomicBroadcast(net::Party& host, std::string tag, DeliverFn deliver)
-    : ProtocolInstance(host, std::move(tag)), deliver_(std::move(deliver)) {}
+    : ProtocolInstance(host, std::move(tag)), deliver_(std::move(deliver)) {
+  host_.register_checkpoint(
+      tag_, [this] { return checkpoint_save(); }, [this](Reader& r) { checkpoint_load(r); });
+}
+
+AtomicBroadcast::~AtomicBroadcast() { host_.unregister_checkpoint(tag_); }
+
+Bytes AtomicBroadcast::checkpoint_save() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(last_finished_));
+  w.u32(static_cast<std::uint32_t>(delivered_log_.size()));
+  for (const auto& [origin, payload] : delivered_log_) {
+    w.u32(static_cast<std::uint32_t>(origin));
+    w.bytes(payload);
+  }
+  w.u32(static_cast<std::uint32_t>(queue_.size()));
+  for (const Bytes& payload : queue_) w.bytes(payload);
+  return w.take();
+}
+
+void AtomicBroadcast::checkpoint_load(Reader& reader) {
+  last_finished_ = static_cast<int>(reader.u32());
+  const std::uint32_t log_count = reader.u32();
+  for (std::uint32_t i = 0; i < log_count; ++i) {
+    const int origin = static_cast<int>(reader.u32());
+    Bytes payload = reader.bytes();
+    note_delivered(payload_digest(payload));
+    ++delivered_count_;
+    delivered_log_.emplace_back(origin, payload);
+    // Re-fire into the rebuilt parent/application — the WAL entries that
+    // produced these deliveries were compacted away.
+    deliver_(origin, std::move(payload));
+  }
+  const std::uint32_t queue_count = reader.u32();
+  for (std::uint32_t i = 0; i < queue_count; ++i) queue_.push_back(reader.bytes());
+  // Re-enter the next round (the pre-crash incarnation had broadcast its
+  // batch for it; receivers dedup the fresh copy via batch_from).
+  maybe_start_round(last_finished_ + 1);
+}
+
+void AtomicBroadcast::release_round_charges(RoundData& rd) {
+  for (const auto& [peer, bytes] : rd.charges) host_.budget().release(peer, tag_, bytes);
+  rd.charges.clear();
+}
+
+void AtomicBroadcast::note_delivered(Bytes digest) {
+  delivered_.insert(digest);
+  delivered_fifo_.push_back(std::move(digest));
+  if (delivered_fifo_.size() > kDeliveredCap) {
+    delivered_.erase(delivered_fifo_.front());
+    delivered_fifo_.pop_front();
+  }
+}
 
 Bytes AtomicBroadcast::batch_statement(int round, int party, BytesView payload_block) const {
   Writer w;
@@ -66,12 +118,22 @@ void AtomicBroadcast::submit(Bytes payload) {
 }
 
 void AtomicBroadcast::handle(int from, Reader& reader) {
+  // Flush VBA instances parked by GC — we are at a fresh dispatch, no Vba
+  // handler is on the stack.
+  retired_vbas_.clear();
   const std::uint8_t type = reader.u8();
   if (type == kSubmit) {
     // A local submission looping back through the inbox (and the WAL).
     SINTRA_REQUIRE(from == me(), "abc: submission from another party");
-    queue_.push_back(reader.bytes());
+    Bytes payload = reader.bytes();
     reader.expect_done();
+    // Content dedupe: a checkpoint-restored queue plus a not-yet-pruned
+    // kSubmit WAL entry must not enqueue the same payload twice.
+    if (delivered_.contains(payload_digest(payload))) return;
+    for (const Bytes& queued : queue_) {
+      if (queued == payload) return;
+    }
+    queue_.push_back(std::move(payload));
     maybe_start_round(last_finished_ + 1);
     return;
   }
@@ -81,10 +143,22 @@ void AtomicBroadcast::handle(int from, Reader& reader) {
   Bytes payload_block = reader.bytes();
   auto shares = reader.vec<SigShare>([](Reader& rd) { return SigShare::decode(rd); });
   reader.expect_done();
+  SINTRA_REQUIRE(!shares.empty(), "abc: batch without signature shares");
+  if (round <= last_finished_) return;  // stale: that round already completed
+  if (round > last_finished_ + kRoundLookahead) {
+    // Far-future spray: honest parties stay within a round or two of each
+    // other, so this cannot matter yet — drop instead of buffering.
+    host_.trace("abc", tag_ + " dropped far-future batch r" + std::to_string(round) +
+                           " from " + std::to_string(from));
+    return;
+  }
+  auto existing = rounds_.find(round);
+  if (existing != rounds_.end() && crypto::contains(existing->second.batch_from, from)) {
+    return;  // one batch per party per round
+  }
 
-  RoundData& rd = rounds_[round];
-  if (crypto::contains(rd.batch_from, from)) return;  // one batch per party per round
-
+  // Verify before any state is allocated for the round — unverifiable
+  // traffic must not create map entries.
   const auto& cert_pk = host_.public_keys().cert_sig;
   const Bytes stmt = batch_statement(round, from, payload_block);
   for (const SigShare& share : shares) {
@@ -100,6 +174,18 @@ void AtomicBroadcast::handle(int from, Reader& reader) {
   block.expect_done();
   entry.shares = std::move(shares);
 
+  // Even validly signed future batches are budget-metered: a corrupted
+  // party *can* sign real batches for rounds far ahead and they sit here
+  // until the round arrives.
+  const std::size_t cost = payload_block.size() + 64;
+  if (!host_.budget().try_charge(from, tag_, cost)) {
+    host_.trace("abc", tag_ + " budget-dropped batch r" + std::to_string(round) + " from " +
+                           std::to_string(from));
+    return;
+  }
+
+  RoundData& rd = rounds_[round];
+  rd.charges.emplace_back(from, cost);
   rd.batch_from |= crypto::party_bit(from);
   Writer w;
   entry.encode(w);
@@ -208,8 +294,9 @@ void AtomicBroadcast::on_round_decided(int round, const Bytes& batch_set) {
     for (const Bytes& payload : entry.payloads) {
       Bytes digest = payload_digest(payload);
       if (delivered_.contains(digest)) continue;
-      delivered_.insert(std::move(digest));
+      note_delivered(std::move(digest));
       ++delivered_count_;
+      if (host_.wal_enabled()) delivered_log_.emplace_back(entry.party, payload);
       deliver_(entry.party, payload);
     }
   }
@@ -217,8 +304,49 @@ void AtomicBroadcast::on_round_decided(int round, const Bytes& batch_set) {
   std::erase_if(queue_, [this](const Bytes& p) { return delivered_.contains(payload_digest(p)); });
 
   last_finished_ = round;
+  // The round's buffered batches did their job; only the VBA stays (for
+  // kRetention more rounds, answering laggards' fetches).
+  auto completed = rounds_.find(round);
+  if (completed != rounds_.end()) {
+    release_round_charges(completed->second);
+    completed->second.batches.clear();
+    completed->second.batches.shrink_to_fit();
+  }
+  gc_completed_rounds();
   host_.trace("abc", tag_ + " finished round " + std::to_string(round));
   maybe_start_round(round + 1);
+}
+
+void AtomicBroadcast::gc_completed_rounds() {
+  const int gc_round = last_finished_ - kRetention;
+  for (auto it = rounds_.begin(); it != rounds_.end() && it->first <= gc_round;) {
+    release_round_charges(it->second);
+    if (it->second.vba) {
+      // Never destroy a Vba that may be on the call stack (this runs from
+      // a *younger* round's decide callback, but defensive deferral is
+      // cheap): park it; the next handle() entry flushes.
+      retired_vbas_.push_back(std::move(it->second.vba));
+    }
+    const std::string vba_tag = tag_ + "/" + std::to_string(it->first) + "/vba";
+    it = rounds_.erase(it);
+    // Tombstone the round's VBA subtree (late traffic dropped, buffered
+    // and logged messages for it freed)...
+    host_.retire_tag(vba_tag);
+  }
+  // ...and compact this instance's own log: completed rounds' batches are
+  // subsumed by the delivery-log checkpoint, as are all submissions (the
+  // checkpoint carries the live queue_).
+  if (gc_round >= 1 && host_.wal_enabled()) {
+    host_.prune_wal(tag_, [gc_round](const net::Message& message) {
+      if (message.payload.empty()) return false;
+      const std::uint8_t type = message.payload[0];
+      if (type == kSubmit) return true;
+      if (type != kBatch || message.payload.size() < 5) return false;
+      Reader r(message.payload);
+      r.u8();
+      return static_cast<int>(r.u32()) <= gc_round;
+    });
+  }
 }
 
 }  // namespace sintra::protocols

@@ -35,6 +35,7 @@ class AtomicBroadcast final : public ProtocolInstance {
   using DeliverFn = std::function<void(int origin, Bytes payload)>;
 
   AtomicBroadcast(net::Party& host, std::string tag, DeliverFn deliver);
+  ~AtomicBroadcast() override;
 
   /// Queue a payload for total-order delivery.  The submission rides the
   /// network as a self-message so it lands in the Party write-ahead log:
@@ -45,8 +46,25 @@ class AtomicBroadcast final : public ProtocolInstance {
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
   [[nodiscard]] int rounds_completed() const { return last_finished_; }
 
+  /// Introspection for the memory-budget tests.
+  [[nodiscard]] std::size_t live_rounds() const { return rounds_.size(); }
+  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+
  private:
   static constexpr std::size_t kMaxBatch = 16;
+  /// Batches are accepted at most this many rounds ahead of the last
+  /// completed one; honest parties run within a round or two of each
+  /// other, so anything farther is adversarial and dropped.
+  static constexpr int kRoundLookahead = 32;
+  /// Completed rounds (and their VBA instances) linger this many rounds
+  /// before being garbage-collected, so laggards can still fetch the
+  /// recent decisions.  (A laggard more than kRetention rounds behind
+  /// relies on peers' retained instances; carrying explicit VBA decision
+  /// certificates would close that corner and is future work.)
+  static constexpr int kRetention = 2;
+  /// Delivered-payload digests kept for content dedupe (FIFO-bounded so a
+  /// long-running service does not grow without bound).
+  static constexpr std::size_t kDeliveredCap = 4096;
 
   enum MsgType : std::uint8_t {
     kSubmit = 0,  ///< local submission looped through self (WAL capture)
@@ -56,6 +74,7 @@ class AtomicBroadcast final : public ProtocolInstance {
   struct RoundData {
     crypto::PartySet batch_from = 0;
     std::vector<Bytes> batches;  ///< encoded (party, payloads, shares) entries
+    std::vector<std::pair<int, std::size_t>> charges;  ///< (peer, bytes) held
     bool started = false;
     bool proposed = false;
     std::unique_ptr<Vba> vba;
@@ -65,15 +84,30 @@ class AtomicBroadcast final : public ProtocolInstance {
   void maybe_start_round(int round);
   void maybe_propose(int round);
   void on_round_decided(int round, const Bytes& batch_set);
+  void release_round_charges(RoundData& rd);
+  void note_delivered(Bytes digest);
+  void gc_completed_rounds();
+  [[nodiscard]] Bytes checkpoint_save() const;
+  void checkpoint_load(Reader& reader);
   [[nodiscard]] Bytes batch_statement(int round, int party, BytesView payload_block) const;
   [[nodiscard]] bool validate_batch_set(int round, BytesView batch_set) const;
 
   DeliverFn deliver_;
   std::deque<Bytes> queue_;               ///< undelivered local submissions
   std::set<Bytes> delivered_;             ///< digests of delivered payloads
+  std::deque<Bytes> delivered_fifo_;      ///< digest eviction order (kDeliveredCap)
+  /// Ordered (origin, payload) delivery log, kept only with the WAL on:
+  /// it is the checkpoint that lets completed rounds' WAL entries be
+  /// pruned — the loader re-fires deliver_ for each entry so parent state
+  /// (replica execution, causal layer) is rebuilt without a full replay.
+  std::vector<std::pair<int, Bytes>> delivered_log_;
   std::uint64_t delivered_count_ = 0;
   int last_finished_ = 0;                 ///< highest completed round
   std::map<int, RoundData> rounds_;
+  /// VBA instances awaiting destruction: a Vba must never be destroyed
+  /// from inside its own callback chain, so GC parks them here and the
+  /// next handle() entry (outside any Vba handler) flushes the list.
+  std::vector<std::unique_ptr<Vba>> retired_vbas_;
 };
 
 }  // namespace sintra::protocols

@@ -18,7 +18,12 @@ class ProtocolInstance {
   ProtocolInstance(net::Party& host, std::string tag) : host_(host), tag_(std::move(tag)) {
     host_.register_handler(tag_, [this](int from, Reader& reader) { handle(from, reader); });
   }
-  virtual ~ProtocolInstance() = default;
+  virtual ~ProtocolInstance() {
+    host_.unregister_handler(tag_);
+    // Nothing under this tag subtree can legitimately hold budget once the
+    // instance is gone (sub-instances released theirs when they died).
+    host_.budget().release_instance(tag_);
+  }
 
   ProtocolInstance(const ProtocolInstance&) = delete;
   ProtocolInstance& operator=(const ProtocolInstance&) = delete;

@@ -15,10 +15,53 @@ Bytes request_digest(BytesView payload) {
 // Liveness-only — overflow means the re-driven request path recovers.
 constexpr int kFutureViewLookahead = 8;
 constexpr std::size_t kFuturePerViewCap = 256;
+// Live sequence window: slots are only created within this many sequences
+// of the delivery cursor — a flooder spraying far sequence numbers in the
+// current view allocates nothing.
+constexpr std::uint64_t kSeqWindow = 512;
+// Delivered slots kept (payloads included) for view-change re-proposal to
+// laggards; older ones are pruned and their budget charge released.
+constexpr std::uint64_t kCommittedRetention = 128;
+// Leader-side request-dedupe digests kept (FIFO).
+constexpr std::size_t kSeenCap = 4096;
 }  // namespace
 
 PbftLikeBroadcast::PbftLikeBroadcast(net::Party& host, std::string tag, DeliverFn deliver)
     : ProtocolInstance(host, std::move(tag)), deliver_(std::move(deliver)) {}
+
+bool PbftLikeBroadcast::seq_in_window(std::uint64_t seq) const {
+  // The live window reaches BACK over the retention range, not just
+  // forward: a party that already delivered a slot must keep taking part
+  // in its prepare/commit rounds after a view change, or laggards behind
+  // it can never assemble a vote quorum for that slot.
+  const std::uint64_t floor =
+      next_deliver_ > kCommittedRetention ? next_deliver_ - kCommittedRetention : 0;
+  return seq >= floor && seq < next_deliver_ + kSeqWindow;
+}
+
+bool PbftLikeBroadcast::charge_slot_payload(SlotState& slot, int from, std::size_t bytes) {
+  if (!host_.budget().try_charge(from, tag_, bytes)) return false;
+  slot.charged_peer = from;
+  slot.charged_bytes = bytes;
+  return true;
+}
+
+void PbftLikeBroadcast::release_slot(SlotState& slot) {
+  if (slot.charged_peer >= 0 && slot.charged_bytes > 0) {
+    host_.budget().release(slot.charged_peer, tag_, slot.charged_bytes);
+  }
+  slot.charged_peer = -1;
+  slot.charged_bytes = 0;
+}
+
+void PbftLikeBroadcast::note_seen_request(Bytes digest) {
+  seen_requests_.insert(digest);
+  seen_fifo_.push_back(std::move(digest));
+  if (seen_fifo_.size() > kSeenCap) {
+    seen_requests_.erase(seen_fifo_.front());
+    seen_fifo_.pop_front();
+  }
+}
 
 PbftLikeBroadcast::~PbftLikeBroadcast() {
   if (fd_timer_ != 0) host_.cancel_timer(fd_timer_);
@@ -33,10 +76,20 @@ void PbftLikeBroadcast::enable_failure_detector(std::uint64_t timeout) {
 void PbftLikeBroadcast::arm_failure_detector() {
   if (fd_timeout_ == 0 || fd_timer_ != 0) return;
   fd_progress_mark_ = delivered_count_;
-  fd_timer_ = host_.schedule_timer(fd_timeout_, [this] {
+  // CL99's timeout growth: each fruitless suspicion doubles the next
+  // timeout (capped).  Without this, a base timeout shorter than one
+  // three-phase round makes views rotate faster than any slot can commit
+  // and the protocol livelocks through correct leaders.
+  const std::uint64_t delay = fd_timeout_ << std::min(fd_backoff_, std::uint32_t{6});
+  fd_timer_ = host_.schedule_timer(delay, [this] {
     fd_timer_ = 0;
     if (pending_.empty()) return;  // nothing outstanding — the detector idles
-    if (delivered_count_ == fd_progress_mark_) on_timeout();
+    if (delivered_count_ == fd_progress_mark_) {
+      ++fd_backoff_;
+      on_timeout();
+    } else {
+      fd_backoff_ = 0;  // progress happened: trust the timeout again
+    }
     arm_failure_detector();  // keep suspecting until progress resumes
   });
 }
@@ -55,9 +108,9 @@ void PbftLikeBroadcast::submit(Bytes payload) {
 }
 
 void PbftLikeBroadcast::leader_propose(Bytes payload) {
-  const Bytes digest = request_digest(payload);
+  Bytes digest = request_digest(payload);
   if (seen_requests_.contains(digest)) return;
-  seen_requests_.insert(digest);
+  note_seen_request(std::move(digest));
   Writer w;
   w.u8(kPrePrepare);
   w.u32(static_cast<std::uint32_t>(view_));
@@ -114,10 +167,23 @@ void PbftLikeBroadcast::handle(int from, Reader& reader) {
         return;
       }
       if (view < view_ || from != leader()) return;
-      SlotState& slot = slots_[seq];
+      // Live sequence window: beyond it a flooding leader would otherwise
+      // allocate slots at will.
+      if (!seq_in_window(seq)) return;
+      auto found = slots_.find(seq);
+      if (found == slots_.end()) {
+        SlotState fresh;
+        if (!charge_slot_payload(fresh, from, payload.size() + 16)) return;
+        fresh.payload = std::move(payload);
+        fresh.have_payload = true;
+        found = slots_.emplace(seq, std::move(fresh)).first;
+      } else if (!found->second.have_payload) {
+        if (!charge_slot_payload(found->second, from, payload.size() + 16)) return;
+        found->second.payload = std::move(payload);
+        found->second.have_payload = true;
+      }
+      SlotState& slot = found->second;
       if (slot.prepared_sent) return;
-      slot.payload = std::move(payload);
-      slot.have_payload = true;
       slot.prepared_sent = true;
       Writer w;
       w.u8(kPrepare);
@@ -143,11 +209,25 @@ void PbftLikeBroadcast::handle(int from, Reader& reader) {
         return;
       }
       if (view < view_) return;
-      SlotState& slot = slots_[seq];
-      if (!slot.have_payload) {
-        slot.payload = std::move(payload);
-        slot.have_payload = true;
+      if (!seq_in_window(seq)) return;
+      auto found = slots_.find(seq);
+      if (found == slots_.end()) {
+        SlotState fresh;
+        // Charge failure degrades gracefully: the prepare vote still
+        // counts, only the payload copy is declined (a later message can
+        // still supply it).
+        if (charge_slot_payload(fresh, from, payload.size() + 16)) {
+          fresh.payload = std::move(payload);
+          fresh.have_payload = true;
+        }
+        found = slots_.emplace(seq, std::move(fresh)).first;
+      } else if (!found->second.have_payload) {
+        if (charge_slot_payload(found->second, from, payload.size() + 16)) {
+          found->second.payload = std::move(payload);
+          found->second.have_payload = true;
+        }
       }
+      SlotState& slot = found->second;
       slot.prepares |= crypto::party_bit(from);
       if (!slot.commit_sent && quorum().is_vote_quorum(slot.prepares)) {
         slot.commit_sent = true;
@@ -173,6 +253,7 @@ void PbftLikeBroadcast::handle(int from, Reader& reader) {
         return;
       }
       if (view < view_) return;
+      if (!seq_in_window(seq)) return;
       SlotState& slot = slots_[seq];
       slot.commits |= crypto::party_bit(from);
       if (!slot.committed && slot.have_payload && quorum().is_vote_quorum(slot.commits)) {
@@ -193,10 +274,19 @@ void PbftLikeBroadcast::handle(int from, Reader& reader) {
         reported.emplace(seq, reader.bytes());
       }
       reader.expect_done();
-      if (view <= view_) return;
+      if (view <= view_ || view > view_ + kFutureViewLookahead) return;
       ViewChangeState& vc = view_votes_[view];
       vc.votes |= crypto::party_bit(from);
-      for (auto& [seq, payload] : reported) vc.prepared.emplace(seq, std::move(payload));
+      for (auto& [seq, payload] : reported) {
+        if (vc.prepared.contains(seq)) continue;
+        // The vote always counts; only the payload copy is subject to the
+        // budget.  Per-peer caps mean an attacker inflating its reported
+        // set drops its own payloads while honest (small) sets stick.
+        const std::size_t cost = payload.size() + 24;
+        if (!host_.budget().try_charge(from, tag_, cost)) continue;
+        vc.charges.emplace_back(from, cost);
+        vc.prepared.emplace(seq, std::move(payload));
+      }
       if (quorum().is_vote_quorum(vc.votes)) enter_view(view, std::move(vc.prepared));
       return;
     }
@@ -213,13 +303,39 @@ void PbftLikeBroadcast::stash_future(int view, int from, Bytes raw) {
   if (view > view_ + kFutureViewLookahead) return;
   auto& bucket = future_[view];
   if (bucket.size() >= kFuturePerViewCap) return;
+  const std::size_t cost = raw.size() + 16;
+  while (!host_.budget().try_charge(from, tag_, cost)) {
+    // Evict the same peer's most recent stash in the farthest future view
+    // (first message per (peer, view) survives longest); if the incoming
+    // message is itself the farthest, it is the one dropped.
+    bool evicted = false;
+    for (auto it = future_.rbegin(); it != future_.rend() && it->first > view; ++it) {
+      auto& entries = it->second;
+      for (std::size_t i = entries.size(); i-- > 0;) {
+        if (entries[i].first != from) continue;
+        host_.budget().release(from, tag_, entries[i].second.size() + 16);
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+        host_.budget().note_eviction();
+        evicted = true;
+        break;
+      }
+      if (evicted) break;
+    }
+    if (!evicted) return;
+  }
   bucket.emplace_back(from, std::move(raw));
 }
 
 void PbftLikeBroadcast::enter_view(int view, std::map<std::uint64_t, Bytes> adopted) {
   view_ = view;
   host_.trace("pbft", tag_ + " entering view " + std::to_string(view));
-  view_votes_.erase(view_votes_.begin(), view_votes_.upper_bound(view_));
+  for (auto it = view_votes_.begin();
+       it != view_votes_.end() && it->first <= view_;) {
+    for (const auto& [peer, bytes] : it->second.charges) {
+      host_.budget().release(peer, tag_, bytes);
+    }
+    it = view_votes_.erase(it);
+  }
   // Un-committed, un-prepared slots are abandoned (the pending queue
   // re-drives those requests); prepared ones survive inside the
   // view-change votes.  Committed slots are kept — their payload is final
@@ -227,6 +343,7 @@ void PbftLikeBroadcast::enter_view(int view, std::map<std::uint64_t, Bytes> adop
   // leader re-proposes them for parties that missed the commit.
   for (auto it = slots_.begin(); it != slots_.end();) {
     if (!it->second.committed) {
+      release_slot(it->second);
       it = slots_.erase(it);
     } else {
       it->second.prepares = 0;
@@ -238,6 +355,7 @@ void PbftLikeBroadcast::enter_view(int view, std::map<std::uint64_t, Bytes> adop
   }
   next_seq_ = next_deliver_;
   seen_requests_.clear();
+  seen_fifo_.clear();
   if (me() == leader()) {
     // Re-propose, at their original sequence numbers, everything the
     // view-change quorum reported prepared plus everything committed
@@ -245,7 +363,7 @@ void PbftLikeBroadcast::enter_view(int view, std::map<std::uint64_t, Bytes> adop
     // these, so no party's delivered prefix can be orphaned.
     for (const auto& [seq, slot] : slots_) adopted.emplace(seq, slot.payload);
     for (const auto& [seq, payload] : adopted) {
-      seen_requests_.insert(request_digest(payload));
+      note_seen_request(request_digest(payload));
       Writer w;
       w.u8(kPrePrepare);
       w.u32(static_cast<std::uint32_t>(view_));
@@ -267,10 +385,17 @@ void PbftLikeBroadcast::enter_view(int view, std::map<std::uint64_t, Bytes> adop
   // buffers for views we skipped past are stale and dropped.
   while (!future_.empty() && future_.begin()->first <= view_) {
     auto node = future_.extract(future_.begin());
-    if (node.key() != view_) continue;
+    const bool replay = node.key() == view_;
     for (auto& [sender, raw] : node.mapped()) {
-      Reader replay(raw);
-      handle(sender, replay);
+      host_.budget().release(sender, tag_, raw.size() + 16);
+      if (!replay) continue;
+      Reader r(raw);
+      try {
+        handle(sender, r);
+      } catch (const ProtocolError&) {
+        // Stashed raws were never validated; one bad one must not kill
+        // the rest of the replay.
+      }
     }
   }
 }
@@ -278,13 +403,21 @@ void PbftLikeBroadcast::enter_view(int view, std::map<std::uint64_t, Bytes> adop
 void PbftLikeBroadcast::maybe_deliver() {
   while (true) {
     auto it = slots_.find(next_deliver_);
-    if (it == slots_.end() || !it->second.committed) return;
+    if (it == slots_.end() || !it->second.committed) break;
     ++next_deliver_;
     ++delivered_count_;
     const Bytes digest = request_digest(it->second.payload);
     std::erase_if(pending_,
                   [&](const Bytes& p) { return request_digest(p) == digest; });
     deliver_(it->second.payload);
+  }
+  // Retention prune: delivered slots far behind the cursor have served
+  // their view-change re-proposal purpose; release their payload charges.
+  while (!slots_.empty() &&
+         slots_.begin()->first + kCommittedRetention < next_deliver_ &&
+         slots_.begin()->second.committed) {
+    release_slot(slots_.begin()->second);
+    slots_.erase(slots_.begin());
   }
 }
 

@@ -76,6 +76,8 @@ class PbftLikeBroadcast final : public ProtocolInstance {
     bool committed = false;
     crypto::PartySet prepares = 0;
     crypto::PartySet commits = 0;
+    int charged_peer = -1;        ///< peer billed for the stored payload
+    std::size_t charged_bytes = 0;
   };
 
   void handle(int from, Reader& reader) override;
@@ -84,17 +86,23 @@ class PbftLikeBroadcast final : public ProtocolInstance {
   void enter_view(int view, std::map<std::uint64_t, Bytes> adopted);
   void arm_failure_detector();
   void stash_future(int view, int from, Bytes raw);
+  [[nodiscard]] bool seq_in_window(std::uint64_t seq) const;
+  bool charge_slot_payload(SlotState& slot, int from, std::size_t bytes);
+  void release_slot(SlotState& slot);
+  void note_seen_request(Bytes digest);
 
   DeliverFn deliver_;
   std::uint64_t fd_timeout_ = 0;        ///< 0 = failure detector disabled
   net::Network::TimerId fd_timer_ = 0;  ///< 0 = not armed
   std::uint64_t fd_progress_mark_ = 0;  ///< delivered_count_ when armed
+  std::uint32_t fd_backoff_ = 0;        ///< fruitless suspicions since progress
   int view_ = 0;
   std::uint64_t next_seq_ = 0;       ///< leader: next sequence to assign
   std::uint64_t next_deliver_ = 0;
   std::uint64_t delivered_count_ = 0;
   std::map<std::uint64_t, SlotState> slots_;        ///< keyed by sequence
   std::set<Bytes> seen_requests_;                   ///< leader-side dedupe
+  std::deque<Bytes> seen_fifo_;                     ///< dedupe-set eviction order
   std::deque<Bytes> pending_;                       ///< undelivered local submissions
   /// View-change votes carry the voter's prepared/committed slots: any
   /// slot that committed anywhere was prepared at a vote quorum, so the
@@ -104,6 +112,7 @@ class PbftLikeBroadcast final : public ProtocolInstance {
   struct ViewChangeState {
     crypto::PartySet votes = 0;
     std::map<std::uint64_t, Bytes> prepared;
+    std::vector<std::pair<int, std::size_t>> charges;  ///< (peer, bytes) held
   };
   std::map<int, ViewChangeState> view_votes_;
   /// Phase messages for views we have not entered yet, replayed on entry.

@@ -46,11 +46,39 @@ std::size_t ReliableBroadcast::retained_bytes() const {
   return total;
 }
 
+void ReliableBroadcast::enable_watchdog(std::uint64_t timeout) {
+  if (!watchdog_) watchdog_ = std::make_unique<StallWatchdog>(host_);
+  watchdog_->arm(
+      timeout, [this] { return delivered_; }, [this] { return progress_; },
+      [this] { resummarize(); });
+}
+
+void ReliableBroadcast::resummarize() {
+  // Re-send our own (already broadcast, deduped by receivers) messages so
+  // a peer that lost them — a restart with a lossy network — can catch up.
+  if (started_ && me() == sender_) broadcast(make_msg(kSend, sent_message_));
+  if (echoed_ && !echo_raw_.empty()) broadcast(echo_raw_);
+  if (readied_ && !ready_raw_.empty()) broadcast(ready_raw_);
+  // A party with no state of its own to resend (a crash-restarted party
+  // whose whole view of the instance was lost) still needs a way back in:
+  // probe the peers, who answer once each with their own SEND/ECHO/READY.
+  broadcast(make_msg(kSummary, {}));
+}
+
 void ReliableBroadcast::handle(int from, Reader& reader) {
   const std::uint8_t type = reader.u8();
   Bytes message = reader.bytes();
   reader.expect_done();
-  if (delivered_) return;  // instance done; tallies already freed
+  if (delivered_) {
+    // Instance done, tallies freed.  A peer still talking is a straggler
+    // (it missed thresholds we reached); answer once with our READY so it
+    // can amplify/deliver, then stay silent toward it.
+    if (from != me() && !ready_raw_.empty() && !(helped_ & crypto::party_bit(from))) {
+      helped_ |= crypto::party_bit(from);
+      send(from, Bytes(ready_raw_));
+    }
+    return;
+  }
 
   // Memory bound: only the *first* message of each type from each party
   // counts (honest parties send one of each).  This caps live tallies at
@@ -62,18 +90,21 @@ void ReliableBroadcast::handle(int from, Reader& reader) {
       SINTRA_REQUIRE(from == sender_, "rbc: SEND from non-sender");
       if (send_seen_) return;
       send_seen_ = true;
+      ++progress_;
       Tally& tally = tallies_[digest_of(tag_, message)];
       tally.message = std::move(message);
       tally.have_content = true;
       if (!echoed_) {
         echoed_ = true;
-        broadcast(make_msg(kEcho, tally.message));
+        echo_raw_ = make_msg(kEcho, tally.message);
+        broadcast(echo_raw_);
       }
       break;
     }
     case kEcho: {
       if (echoed_by_ & crypto::party_bit(from)) return;
       echoed_by_ |= crypto::party_bit(from);
+      ++progress_;
       Tally& tally = tallies_[digest_of(tag_, message)];
       tally.echoes |= crypto::party_bit(from);
       retain_if_supported(tally, message);
@@ -83,10 +114,22 @@ void ReliableBroadcast::handle(int from, Reader& reader) {
     case kReady: {
       if (readied_by_ & crypto::party_bit(from)) return;
       readied_by_ |= crypto::party_bit(from);
+      ++progress_;
       Tally& tally = tallies_[digest_of(tag_, message)];
       tally.readies |= crypto::party_bit(from);
       retain_if_supported(tally, message);
       maybe_progress(tally);
+      break;
+    }
+    case kSummary: {
+      // Watchdog probe from a peer that lost state: push it our own
+      // messages directly.  Answered once per peer, ever — a Byzantine
+      // prober gets one bounded reply, not an amplification lever.
+      if (from == me() || (summary_answered_ & crypto::party_bit(from))) return;
+      summary_answered_ |= crypto::party_bit(from);
+      if (started_ && me() == sender_) send(from, make_msg(kSend, sent_message_));
+      if (echoed_ && !echo_raw_.empty()) send(from, Bytes(echo_raw_));
+      if (readied_ && !ready_raw_.empty()) send(from, Bytes(ready_raw_));
       break;
     }
     default:
@@ -115,12 +158,14 @@ void ReliableBroadcast::maybe_progress(Tally& tally) {
       (quorum().is_quorum(tally.echoes) || quorum().exceeds_fault_set(tally.readies))) {
     SINTRA_INVARIANT(tally.have_content, "rbc: READY threshold without content");
     readied_ = true;
-    broadcast(make_msg(kReady, tally.message));
+    ready_raw_ = make_msg(kReady, tally.message);
+    broadcast(ready_raw_);
   }
   if (!delivered_ && quorum().is_vote_quorum(tally.readies)) {
     SINTRA_INVARIANT(tally.have_content, "rbc: deliver threshold without content");
     delivered_ = true;
     host_.trace("rbc", tag_ + " delivered");
+    if (watchdog_) watchdog_->disarm();
     Bytes message = std::move(tally.message);
     tallies_.clear();  // instance complete — free all tally memory
     deliver_(std::move(message));

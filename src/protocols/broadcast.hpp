@@ -18,8 +18,10 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "protocols/base.hpp"
+#include "protocols/watchdog.hpp"
 
 namespace sintra::protocols {
 
@@ -35,6 +37,15 @@ class ReliableBroadcast final : public ProtocolInstance {
   /// crash-recovery replay); a conflicting re-start throws.
   void start(Bytes message);
 
+  /// Liveness watchdog: if the instance makes no progress for `timeout`
+  /// network time units, rebroadcast our own SEND/ECHO/READY (a state
+  /// summary — idempotent, receivers dedup) so a peer that lost them
+  /// (lossy restart) can catch up.
+  void enable_watchdog(std::uint64_t timeout);
+  [[nodiscard]] std::uint64_t recoveries() const {
+    return watchdog_ ? watchdog_->recoveries() : 0;
+  }
+
   [[nodiscard]] bool delivered() const { return delivered_; }
 
   /// Introspection for memory-bound tests: live tally entries and bytes
@@ -43,7 +54,7 @@ class ReliableBroadcast final : public ProtocolInstance {
   [[nodiscard]] std::size_t retained_bytes() const;
 
  private:
-  enum MsgType : std::uint8_t { kSend = 0, kEcho = 1, kReady = 2 };
+  enum MsgType : std::uint8_t { kSend = 0, kEcho = 1, kReady = 2, kSummary = 3 };
 
   void handle(int from, Reader& reader) override;
   struct Tally;
@@ -57,6 +68,8 @@ class ReliableBroadcast final : public ProtocolInstance {
     bool have_content = false;
   };
 
+  void resummarize();
+
   int sender_;
   DeliverFn deliver_;
   bool started_ = false;
@@ -68,6 +81,12 @@ class ReliableBroadcast final : public ProtocolInstance {
   crypto::PartySet echoed_by_ = 0;   ///< parties whose ECHO already counted
   crypto::PartySet readied_by_ = 0;  ///< parties whose READY already counted
   std::map<Bytes, Tally> tallies_;  ///< digest -> tally; bounded (<= 2n+1)
+  Bytes echo_raw_;   ///< our ECHO as sent (watchdog resummary material)
+  Bytes ready_raw_;  ///< our READY as sent; doubles as the straggler answer
+  crypto::PartySet helped_ = 0;  ///< peers already given a post-delivery READY
+  crypto::PartySet summary_answered_ = 0;  ///< peers whose SUMMARY probe we answered
+  std::uint64_t progress_ = 0;   ///< counted protocol events (watchdog token)
+  std::unique_ptr<StallWatchdog> watchdog_;
 };
 
 }  // namespace sintra::protocols

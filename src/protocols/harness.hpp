@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "net/corruption.hpp"
 #include "net/fault.hpp"
@@ -151,19 +152,36 @@ class ChaosCluster {
   }
 
   /// Schedule party `id` to crash after `crash_after` deliveries and come
-  /// back after `down_for` stashed messages (call before start()).
+  /// back after `down_for` stashed messages (call before start()).  With
+  /// `lossy`, downtime traffic is dropped instead of stashed: the rejoined
+  /// party genuinely missed it and must be recovered by a watchdog.
   void set_restarting(int id, std::uint64_t crash_after, std::uint64_t down_for,
-                      int max_restarts = 1) {
-    restart_plans_[id] = Plan{crash_after, down_for, max_restarts};
+                      int max_restarts = 1, bool lossy = false) {
+    restart_plans_[id] = Plan{crash_after, down_for, max_restarts, lossy};
   }
+
+  /// Replace party `id` with a scripted process (e.g. a FlooderProcess);
+  /// the slot is then Byzantine, not an honest host.  Call before start().
+  void set_custom(int id, std::function<std::unique_ptr<net::Process>()> factory) {
+    custom_[id] = std::move(factory);
+  }
+
+  /// Resource budget installed on every honest party at (re)build time, so
+  /// it also applies to crash-restarted incarnations.  Call before start().
+  void set_budget(net::BudgetConfig config) { budget_ = config; }
 
   void start() {
     for (int id = 0; id < deployment_.n(); ++id) {
+      if (auto custom = custom_.find(id); custom != custom_.end()) {
+        simulator_.attach(id, custom->second());
+        continue;
+      }
       auto build = [this, id]() -> std::unique_ptr<net::Process> {
         auto host = std::make_unique<HostedParty<P>>(
             simulator_, id, deployment_, seed_ * 7919 + static_cast<std::uint64_t>(id),
             [this, id](net::Party& party) {
               party.enable_wal();
+              if (budget_.has_value()) party.set_budget(*budget_);
               return factory_(party, id);
             });
         hosts_[static_cast<std::size_t>(id)] = host.get();
@@ -173,6 +191,7 @@ class ChaosCluster {
       if (plan != restart_plans_.end()) {
         auto process = std::make_unique<net::RestartingProcess>(
             build, plan->second.crash_after, plan->second.down_for, plan->second.max_restarts);
+        process->set_lossy_downtime(plan->second.lossy);
         restarting_[static_cast<std::size_t>(id)] = process.get();
         simulator_.attach(id, std::move(process));
       } else {
@@ -196,6 +215,15 @@ class ChaosCluster {
     if (process != nullptr && process->down()) return nullptr;
     auto* host = hosts_[static_cast<std::size_t>(id)];
     return host == nullptr ? nullptr : &host->protocol();
+  }
+
+  /// The current Party incarnation at `id` (nullptr while crashed or for a
+  /// custom slot) — budget counters live here.
+  [[nodiscard]] net::Party* party(int id) {
+    auto* process = restarting_[static_cast<std::size_t>(id)];
+    if (process != nullptr && process->down()) return nullptr;
+    auto* host = hosts_[static_cast<std::size_t>(id)];
+    return host == nullptr ? nullptr : &host->party();
   }
 
   /// Run until `done(protocol)` holds at every currently-up party.  When
@@ -240,6 +268,7 @@ class ChaosCluster {
     std::uint64_t crash_after;
     std::uint64_t down_for;
     int max_restarts;
+    bool lossy = false;
   };
 
   adversary::Deployment deployment_;
@@ -248,6 +277,8 @@ class ChaosCluster {
   std::uint64_t seed_;
   std::unique_ptr<net::FaultInjector> injector_;
   std::map<int, Plan> restart_plans_;
+  std::map<int, std::function<std::unique_ptr<net::Process>()>> custom_;
+  std::optional<net::BudgetConfig> budget_;
   std::vector<HostedParty<P>*> hosts_;
   std::vector<net::RestartingProcess*> restarting_;
 };

@@ -146,6 +146,13 @@ void ShareRefresh::maybe_finish() {
   host_.trace("refresh", tag_ + " applied " + std::to_string(result.dealings_applied) +
                              " dealings");
   result_ = result;
+  // Epoch GC: the result carries everything callers need; the commitment
+  // vectors (t+1 group elements per candidate) and verdict masks are dead
+  // weight once the epoch concludes.
+  candidates_.clear();
+  candidates_.shrink_to_fit();
+  verdicts_.clear();
+  verdicts_.shrink_to_fit();
   if (done_) done_(*result_);
 }
 

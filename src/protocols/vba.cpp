@@ -176,6 +176,11 @@ void Vba::on_abba_decided(int candidate_index, bool value) {
 void Vba::finish(int sender) {
   if (decided_) return;
   decided_ = true;
+  // Instance GC: the combined permutation subsumes the coin shares.  The
+  // proposals stay — we keep answering laggards' kFetch until the parent
+  // retires this instance.
+  perm_shares_.clear();
+  perm_shares_.shrink_to_fit();
   host_.trace("vba", tag_ + " decided on proposal of " + std::to_string(sender));
   decide_(proposals_[static_cast<std::size_t>(sender)]->message);
 }

@@ -301,6 +301,7 @@ class LyingReplica final : public net::Process {
       Reader r(message.payload);
       RequestEnvelope envelope = RequestEnvelope::decode(r);
       Writer w;
+      w.u8(kReplyOk);
       w.u64(envelope.request_id);
       CaResponse forged;
       forged.status = CaResponse::Status::kDenied;

@@ -266,6 +266,7 @@ class ShareMisattributor final : public net::Process {
       auto shares = deployment_.keys->share(id_).reply_sig.sign(
           deployment_.keys->public_keys().reply_sig, stmt, rng_);
       Writer w;
+      w.u8(app::kReplyOk);
       w.u64(envelope.request_id);
       w.bytes(reply);
       w.vec(shares, [](Writer& wr, const SigShare& s) { s.encode(wr); });

@@ -13,6 +13,7 @@
 
 #include <cstdlib>
 
+#include "net/corruption.hpp"
 #include "protocols/abba.hpp"
 #include "protocols/atomic.hpp"
 #include "protocols/broadcast.hpp"
@@ -400,6 +401,243 @@ TEST(ChaosTest, EverythingAtOnce) {
     // The injector must have actually exercised the faults (otherwise the
     // sweep silently tests nothing).
     EXPECT_GT(stats.duplicated + stats.replayed + stats.dropped, 0u);
+  }
+}
+
+// ------------------------------- flooder + crash-restart combinations --
+//
+// Issue 4's combined stressor: a Byzantine flooder saturating a protocol's
+// buffering path while an honest party crash-restarts mid-run.  Each cell
+// asserts the protocol's safety property for the correct parties AND that
+// every correct party's buffered bytes stayed under its ResourceBudget cap
+// throughout (peak, not just final occupancy).
+
+/// Caps for the combined cells: far below the flood volume, comfortably
+/// above honest traffic (including a restarted party's WAL replay).
+net::BudgetConfig flood_budget() {
+  net::BudgetConfig config;
+  config.per_peer_cap = 8 << 10;
+  config.per_instance_cap = 64 << 10;
+  config.total_cap = 128 << 10;
+  return config;
+}
+
+template <typename State>
+void expect_budget_held(ChaosCluster<State>& cluster, const net::BudgetConfig& config) {
+  cluster.for_each([&](int id, State&) {
+    const net::Party* party = cluster.party(id);
+    ASSERT_NE(party, nullptr);
+    EXPECT_LE(party->budget().peak_total(), config.total_cap)
+        << "party " << id << " exceeded its total budget under flood";
+    EXPECT_LE(party->budget().peer_total(3), config.per_peer_cap)
+        << "party " << id << " holds over-cap residue for the flooder";
+  });
+}
+
+/// Replaces party 3 with a FlooderProcess spraying `profile` traffic at
+/// `tag`, and arms a crash-restart plan for party 1.
+template <typename State>
+void arm_flood_and_restart(ChaosCluster<State>& cluster, adversary::Deployment& deployment,
+                           std::uint64_t seed, net::FlooderProcess::Profile profile,
+                           std::string tag) {
+  cluster.set_custom(3, [&cluster, &deployment, seed, profile, tag] {
+    return std::make_unique<net::FlooderProcess>(cluster.simulator(), 3, deployment,
+                                                 seed * 13, profile, tag);
+  });
+  cluster.set_restarting(1, /*crash_after=*/6, /*down_for=*/4);
+  cluster.set_budget(flood_budget());
+}
+
+TEST(ChaosTest, FloodedRbcSurvivesCrashRestart) {
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(chaos_seeds()); ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    auto sched = scheduler_for(seed);
+    ChaosCluster<RbcState> cluster(
+        deployment, *sched,
+        [](net::Party& party, int id) {
+          auto state = std::make_unique<RbcState>();
+          state->rbc = std::make_unique<ReliableBroadcast>(
+              party, "rbc/0", /*sender=*/0,
+              [s = state.get()](Bytes m) { s->delivered.push_back(std::move(m)); });
+          if (id == 0) state->rbc->start(bytes_of("flooded-payload"));
+          return state;
+        },
+        seed);
+    arm_flood_and_restart(cluster, deployment, seed,
+                          net::FlooderProcess::Profile::kBogusTags, "rbc");
+    cluster.start();
+    ASSERT_TRUE(
+        cluster.run_until_all([](RbcState& s) { return !s.delivered.empty(); }, 1000000))
+        << "flood + restart broke rbc liveness";
+    cluster.for_each([](int, RbcState& s) {
+      ASSERT_EQ(s.delivered.size(), 1u);
+      EXPECT_EQ(s.delivered[0], bytes_of("flooded-payload"));
+    });
+    expect_budget_held(cluster, flood_budget());
+  }
+}
+
+TEST(ChaosTest, FloodedAbbaSurvivesCrashRestart) {
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(chaos_seeds()); ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    auto sched = scheduler_for(seed);
+    ChaosCluster<AbbaState> cluster(
+        deployment, *sched,
+        [](net::Party& party, int id) {
+          auto state = std::make_unique<AbbaState>();
+          state->abba = std::make_unique<Abba>(
+              party, "ba/0",
+              [s = state.get()](bool v, int) { s->decisions.push_back(v); });
+          state->abba->start(id % 2 == 0);
+          return state;
+        },
+        seed);
+    arm_flood_and_restart(cluster, deployment, seed,
+                          net::FlooderProcess::Profile::kAbbaRounds, "ba/0");
+    cluster.start();
+    ASSERT_TRUE(
+        cluster.run_until_all([](AbbaState& s) { return !s.decisions.empty(); }, 3000000))
+        << "flood + restart broke abba termination";
+    std::optional<bool> common;
+    cluster.for_each([&](int id, AbbaState& s) {
+      ASSERT_EQ(s.decisions.size(), 1u);
+      if (!common.has_value()) common = s.decisions[0];
+      EXPECT_EQ(s.decisions[0], *common) << "party " << id << " disagrees";
+    });
+    expect_budget_held(cluster, flood_budget());
+  }
+}
+
+TEST(ChaosTest, FloodedVbaSurvivesCrashRestart) {
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(chaos_seeds()); ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    auto sched = scheduler_for(seed);
+    ChaosCluster<VbaState> cluster(
+        deployment, *sched,
+        [](net::Party& party, int id) {
+          auto state = std::make_unique<VbaState>();
+          state->vba = std::make_unique<Vba>(
+              party, "vba/0", ok_prefix,
+              [s = state.get()](Bytes v) { s->decisions.push_back(std::move(v)); });
+          state->vba->propose(bytes_of("ok:proposal-" + std::to_string(id)));
+          return state;
+        },
+        seed);
+    arm_flood_and_restart(cluster, deployment, seed,
+                          net::FlooderProcess::Profile::kBogusTags, "vba/0");
+    cluster.start();
+    ASSERT_TRUE(
+        cluster.run_until_all([](VbaState& s) { return !s.decisions.empty(); }, 3000000))
+        << "flood + restart broke vba termination";
+    std::optional<Bytes> common;
+    cluster.for_each([&](int id, VbaState& s) {
+      ASSERT_EQ(s.decisions.size(), 1u);
+      if (!common.has_value()) common = s.decisions[0];
+      EXPECT_EQ(s.decisions[0], *common) << "party " << id << " disagrees";
+    });
+    ASSERT_TRUE(common.has_value());
+    EXPECT_TRUE(ok_prefix(*common));
+    expect_budget_held(cluster, flood_budget());
+  }
+}
+
+TEST(ChaosTest, FloodedAtomicSurvivesCrashRestart) {
+  // The heaviest cell: validly signed future-round batches (the flooder
+  // holds a dealt key share) against the atomic broadcast round buffers,
+  // while party 1 crash-restarts from its WAL.
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(chaos_seeds()); ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    auto sched = scheduler_for(seed);
+    ChaosCluster<AbcState> cluster(
+        deployment, *sched,
+        [](net::Party& party, int id) {
+          auto state = std::make_unique<AbcState>();
+          state->abc = std::make_unique<AtomicBroadcast>(
+              party, "abc", [s = state.get()](int origin, Bytes payload) {
+                s->delivered.emplace_back(origin, std::move(payload));
+              });
+          if (id == 0 || id == 2) state->abc->submit(bytes_of("m" + std::to_string(id)));
+          return state;
+        },
+        seed);
+    arm_flood_and_restart(cluster, deployment, seed,
+                          net::FlooderProcess::Profile::kAbcRounds, "abc");
+    cluster.start();
+    auto honest_count = [](AbcState& s) {
+      std::size_t count = 0;
+      for (const auto& [origin, payload] : s.delivered) {
+        if (origin != 3) ++count;
+      }
+      return count;
+    };
+    ASSERT_TRUE(cluster.run_until_all(
+        [&](AbcState& s) { return honest_count(s) >= 2; }, 8000000))
+        << "flood + restart broke atomic broadcast liveness";
+    const std::vector<std::pair<int, Bytes>>* reference = nullptr;
+    cluster.for_each([&](int id, AbcState& s) {
+      if (reference == nullptr) reference = &s.delivered;
+      const std::size_t common = std::min(reference->size(), s.delivered.size());
+      for (std::size_t i = 0; i < common; ++i) {
+        EXPECT_EQ(s.delivered[i], (*reference)[i])
+            << "total order violated at " << i << ", party " << id;
+      }
+    });
+    expect_budget_held(cluster, flood_budget());
+  }
+}
+
+TEST(ChaosTest, FloodedCausalSurvivesCrashRestart) {
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(chaos_seeds()); ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    auto deployment = adversary::Deployment::threshold(4, 1, rng);
+    auto sched = scheduler_for(seed);
+    Rng crng(seed + 900);
+    const auto& pk = deployment.keys->public_keys().encryption;
+    const auto ct1 = pk.encrypt(bytes_of("first"), bytes_of("svc"), crng);
+    const auto ct2 = pk.encrypt(bytes_of("second"), bytes_of("svc"), crng);
+    ChaosCluster<ScState> cluster(
+        deployment, *sched,
+        [&ct1, &ct2](net::Party& party, int id) {
+          auto state = std::make_unique<ScState>();
+          state->sc = std::make_unique<SecureCausalBroadcast>(
+              party, "sc", [s = state.get()](std::uint64_t seq, Bytes plaintext, Bytes) {
+                s->delivered.emplace_back(seq, std::move(plaintext));
+              });
+          if (id == 0) state->sc->submit(ct1);
+          if (id == 1) state->sc->submit(ct2);
+          return state;
+        },
+        seed);
+    arm_flood_and_restart(cluster, deployment, seed,
+                          net::FlooderProcess::Profile::kBogusTags, "sc");
+    cluster.start();
+    ASSERT_TRUE(cluster.run_until_all([](ScState& s) { return s.delivered.size() >= 2; },
+                                      5000000))
+        << "flood + restart broke causal liveness";
+    const std::vector<std::pair<std::uint64_t, Bytes>>* reference = nullptr;
+    cluster.for_each([&](int id, ScState& s) {
+      for (std::size_t i = 0; i < s.delivered.size(); ++i) {
+        EXPECT_EQ(s.delivered[i].first, i) << "sequence gap or repeat at party " << id;
+      }
+      if (reference == nullptr) {
+        reference = &s.delivered;
+        return;
+      }
+      const std::size_t common = std::min(reference->size(), s.delivered.size());
+      for (std::size_t i = 0; i < common; ++i) {
+        EXPECT_EQ(s.delivered[i], (*reference)[i]) << "sequencing diverged at " << i;
+      }
+    });
+    expect_budget_held(cluster, flood_budget());
   }
 }
 
