@@ -1,0 +1,272 @@
+// Experiment E13 — the verification pipeline (google-benchmark).
+//
+// Two layers, matching the two halves of the pipeline:
+//
+//   1. Micro: batch verification (crypto/batch.hpp) against one-at-a-time
+//      verification for the same share sets — coin (DLEQ), threshold-RSA
+//      signature, and TDH2 decryption shares, at k = 4 and k = 16.  The
+//      headline acceptance number is Sig k=16: batch must be >= 3x the
+//      individual path.  Combine-then-verify is measured separately —
+//      it is the path honest executions actually take.
+//
+//   2. Macro: E3-style atomic broadcast, full protocol stack over
+//      NetworkedNode + LoopbackHub (the Simulator mandates sequential
+//      mode, so worker threads can only show up on the real adapter),
+//      with a WorkPool of 0/1/2/4 workers per node.  0 workers is the
+//      sequential inline baseline; with workers the combines of the four
+//      nodes overlap while the single pump thread keeps moving frames.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adversary/examples.hpp"
+#include "common/work_pool.hpp"
+#include "crypto/batch.hpp"
+#include "crypto/dealer.hpp"
+#include "crypto/shamir.hpp"
+#include "net/transport/loopback.hpp"
+#include "net/transport/networked_node.hpp"
+#include "protocols/atomic.hpp"
+#include "protocols/harness.hpp"
+
+using namespace sintra;
+using namespace sintra::crypto;
+
+namespace {
+
+std::shared_ptr<const LinearScheme> scheme_for(int n, int t) {
+  return std::make_shared<ThresholdScheme>(n, t);
+}
+
+// ---- micro: batch vs individual share verification --------------------------
+// All share sets are dealt at (n=16, t=5); Arg(0) picks how many of the
+// 16 shares the verifier is handed (the batch API cost is per set size,
+// not per dealing).
+
+void BM_CoinVerifyIndividual(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  auto deal = CoinDeal::deal(Group::test_group(), scheme_for(16, 5), rng);
+  Bytes name = bytes_of("e13");
+  std::vector<CoinShare> shares;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (auto& s : deal.secret_keys[p].share(deal.public_key, name, rng)) shares.push_back(s);
+  }
+  for (auto _ : state) {
+    bool all = true;
+    for (const auto& s : shares) all = deal.public_key.verify_share(name, s) && all;
+    benchmark::DoNotOptimize(all);
+  }
+}
+BENCHMARK(BM_CoinVerifyIndividual)->Arg(4)->Arg(16);
+
+void BM_CoinVerifyBatch(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  auto deal = CoinDeal::deal(Group::test_group(), scheme_for(16, 5), rng);
+  Bytes name = bytes_of("e13");
+  std::vector<CoinShare> shares;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (auto& s : deal.secret_keys[p].share(deal.public_key, name, rng)) shares.push_back(s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch::verify_coin_shares(deal.public_key, name, shares, rng));
+  }
+}
+BENCHMARK(BM_CoinVerifyBatch)->Arg(4)->Arg(16);
+
+void BM_SigVerifyIndividual(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(22);
+  auto deal = ThresholdSigDeal::deal(RsaParams::precomputed(128), scheme_for(16, 5), rng);
+  Bytes message = bytes_of("e13 sign this");
+  std::vector<SigShare> shares;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (auto& s : deal.secret_keys[p].sign(deal.public_key, message, rng)) shares.push_back(s);
+  }
+  for (auto _ : state) {
+    bool all = true;
+    for (const auto& s : shares) all = deal.public_key.verify_share(message, s) && all;
+    benchmark::DoNotOptimize(all);
+  }
+}
+BENCHMARK(BM_SigVerifyIndividual)->Arg(4)->Arg(16);
+
+void BM_SigVerifyBatch(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(22);
+  auto deal = ThresholdSigDeal::deal(RsaParams::precomputed(128), scheme_for(16, 5), rng);
+  Bytes message = bytes_of("e13 sign this");
+  std::vector<SigShare> shares;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (auto& s : deal.secret_keys[p].sign(deal.public_key, message, rng)) shares.push_back(s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch::verify_sig_shares(deal.public_key, message, shares, rng));
+  }
+}
+BENCHMARK(BM_SigVerifyBatch)->Arg(4)->Arg(16);
+
+void BM_SigCombineOptimistic(benchmark::State& state) {
+  // The honest-execution fast path: combine a threshold set unverified
+  // and check the single combined signature (one e = 65537 exponentiation).
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(22);
+  auto deal = ThresholdSigDeal::deal(RsaParams::precomputed(128), scheme_for(16, 5), rng);
+  Bytes message = bytes_of("e13 sign this");
+  std::vector<SigShare> shares;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (auto& s : deal.secret_keys[p].sign(deal.public_key, message, rng)) shares.push_back(s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch::combine_sig_optimistic(deal.public_key, message, shares, rng));
+  }
+}
+BENCHMARK(BM_SigCombineOptimistic)->Arg(16);
+
+void BM_Tdh2VerifyIndividual(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(23);
+  auto deal = Tdh2Deal::deal(Group::test_group(), scheme_for(16, 5), rng);
+  auto ct = deal.public_key.encrypt(bytes_of("message"), bytes_of("l"), rng);
+  std::vector<Tdh2DecShare> shares;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (auto& s : deal.secret_keys[p].decrypt_shares(deal.public_key, ct, rng)) {
+      shares.push_back(s);
+    }
+  }
+  for (auto _ : state) {
+    bool all = true;
+    for (const auto& s : shares) all = deal.public_key.verify_share(ct, s) && all;
+    benchmark::DoNotOptimize(all);
+  }
+}
+BENCHMARK(BM_Tdh2VerifyIndividual)->Arg(4)->Arg(16);
+
+void BM_Tdh2VerifyBatch(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(23);
+  auto deal = Tdh2Deal::deal(Group::test_group(), scheme_for(16, 5), rng);
+  auto ct = deal.public_key.encrypt(bytes_of("message"), bytes_of("l"), rng);
+  std::vector<Tdh2DecShare> shares;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (auto& s : deal.secret_keys[p].decrypt_shares(deal.public_key, ct, rng)) {
+      shares.push_back(s);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch::verify_dec_shares(deal.public_key, ct, shares, rng));
+  }
+}
+BENCHMARK(BM_Tdh2VerifyBatch)->Arg(4)->Arg(16);
+
+// ---- macro: E3 atomic broadcast with 0/1/2/4 pool workers -------------------
+
+using net::transport::LoopbackHub;
+using net::transport::NetworkedNode;
+using protocols::AtomicBroadcast;
+using protocols::HostedParty;
+
+struct AbcState {
+  std::unique_ptr<AtomicBroadcast> abc;
+  std::size_t delivered = 0;
+};
+
+/// The networked_node_test cluster, plus one WorkPool per node: the
+/// deterministic single-pump-thread stand-in for the TCP deployment, which
+/// is exactly where worker threads are allowed to exist.
+struct PipelineCluster {
+  LoopbackHub hub;
+  std::vector<std::unique_ptr<common::WorkPool>> pools;
+  std::vector<std::unique_ptr<NetworkedNode>> nodes;
+  std::vector<std::unique_ptr<HostedParty<AbcState>>> hosts;
+
+  PipelineCluster(const adversary::Deployment& deployment, std::uint64_t seed,
+                  std::size_t workers)
+      : hub(deployment.n(), seed) {
+    const int n = deployment.n();
+    for (int id = 0; id < n; ++id) {
+      NetworkedNode::Config config;
+      config.node_id = id;
+      config.n = n;
+      auto node = std::make_unique<NetworkedNode>(config);
+      auto pool = std::make_unique<common::WorkPool>(workers);
+      auto host = std::make_unique<HostedParty<AbcState>>(
+          *node, id, deployment, seed * 7919 + static_cast<std::uint64_t>(id),
+          [](net::Party& party) {
+            auto state = std::make_unique<AbcState>();
+            state->abc = std::make_unique<AtomicBroadcast>(
+                party, "abc", [s = state.get()](int, Bytes) { ++s->delivered; });
+            return state;
+          });
+      host->party().set_work_pool(pool.get());
+      node->set_work_pool(pool.get());
+      node->attach(*host);
+      node->bind_transport(
+          [this, id](int peer, Bytes payload) { hub.send(id, peer, std::move(payload)); });
+      hub.set_receiver(id, [raw = node.get()](int from, Bytes payload) {
+        raw->on_transport_receive(from, std::move(payload));
+      });
+      pools.push_back(std::move(pool));
+      nodes.push_back(std::move(node));
+      hosts.push_back(std::move(host));
+    }
+  }
+
+  bool run_until_each_delivered(std::size_t payloads, std::size_t max_iters = 50'000'000) {
+    auto done = [&] {
+      for (auto& host : hosts) {
+        if (host->protocol().delivered < payloads) return false;
+      }
+      return true;
+    };
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+      if (done()) return true;
+      bool progressed = false;
+      for (auto& node : nodes) progressed = (node->poll() > 0) || progressed;
+      progressed = hub.step() || progressed;
+      if (!progressed) {
+        // Nothing on the wires and no drained completions: either a
+        // combine is still in flight on a worker (yield and re-poll) or
+        // retransmission is due (tick is a no-op when it isn't).
+        hub.tick();
+        std::this_thread::yield();
+      }
+    }
+    return done();
+  }
+};
+
+void BM_E3AtomicPipeline(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  constexpr int kN = 4;
+  constexpr std::size_t kPayloads = 8;
+  Rng rng(31);
+  // Keys dealt once, outside timing (Deployment is shared_ptr-backed).
+  auto deployment = adversary::Deployment::threshold(kN, 1, rng);
+  std::uint64_t seed = 1;
+  bool live = true;
+  for (auto _ : state) {
+    // Cluster build (thread spawn) and teardown (worker joins) stay
+    // outside the timed region; only submit-to-last-delivery is measured.
+    state.PauseTiming();
+    auto cluster = std::make_unique<PipelineCluster>(deployment, ++seed, workers);
+    state.ResumeTiming();
+    for (std::size_t k = 0; k < kPayloads; ++k) {
+      cluster->hosts[k % kN]->protocol().abc->submit(bytes_of("pay" + std::to_string(k)));
+    }
+    live = cluster->run_until_each_delivered(kPayloads) && live;
+    state.PauseTiming();
+    cluster.reset();
+    state.ResumeTiming();
+  }
+  if (!live) state.SkipWithError("atomic broadcast did not deliver");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kPayloads));
+}
+BENCHMARK(BM_E3AtomicPipeline)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

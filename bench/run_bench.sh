@@ -1,21 +1,85 @@
 #!/usr/bin/env bash
-# Run the E7 crypto micro-benchmarks and capture the results as JSON so
-# future PRs have a perf trajectory to compare against.
+# Run the google-benchmark suites (E7 crypto micro-benchmarks, E13
+# verification pipeline) and capture the results as JSON so future PRs
+# have a perf trajectory to compare against.  When a committed baseline
+# JSON exists at the repo root, any benchmark that comes out >20% slower
+# than its committed time prints a REGRESSION warning (and the script
+# exits 1 under --strict).
 #
-# Usage: bench/run_bench.sh [build-dir] [output-json]
-# Defaults: build/ and BENCH_E7.json at the repo root.
+# Usage: bench/run_bench.sh [--strict] [build-dir]
+# Defaults: build/; output JSONs land at the repo root (BENCH_E7.json,
+# BENCH_E13.json), overwriting the committed baselines — inspect the
+# diff before committing new numbers.
 set -euo pipefail
+
+strict=0
+if [[ "${1:-}" == "--strict" ]]; then
+  strict=1
+  shift
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-out_json="${2:-$repo_root/BENCH_E7.json}"
 
-bench_bin="$build_dir/bench/bench_e7_crypto"
-if [[ ! -x "$bench_bin" ]]; then
-  echo "error: $bench_bin not built (run: cmake -B build -S . && cmake --build build -j)" >&2
-  exit 1
+# compare <old.json> <new.json>: warn on >20% real_time slowdowns.
+compare_json() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows; compare per-benchmark base measurements.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = float(b["real_time"])
+    return out
+
+old, new = load(sys.argv[1]), load(sys.argv[2])
+regressed = 0
+for name, new_t in sorted(new.items()):
+    old_t = old.get(name)
+    if old_t is None or old_t <= 0:
+        continue
+    ratio = new_t / old_t
+    if ratio > 1.20:
+        regressed += 1
+        print(f"REGRESSION: {name}: {old_t:.0f} -> {new_t:.0f} ns "
+              f"({(ratio - 1) * 100:.0f}% slower than committed baseline)")
+sys.exit(1 if regressed else 0)
+EOF
+}
+
+status=0
+for exp in e7_crypto e13_pipeline; do
+  id="${exp%%_*}"
+  id="${id^^}"  # e7 -> E7
+  bench_bin="$build_dir/bench/bench_${exp}"
+  out_json="$repo_root/BENCH_${id}.json"
+  if [[ ! -x "$bench_bin" ]]; then
+    echo "error: $bench_bin not built (run: cmake -B build -S . && cmake --build build -j)" >&2
+    exit 1
+  fi
+  baseline=""
+  if [[ -f "$out_json" ]]; then
+    baseline="$(mktemp)"
+    cp "$out_json" "$baseline"
+  fi
+  "$bench_bin" --benchmark_out="$out_json" --benchmark_out_format=json \
+               --benchmark_format=console
+  echo "wrote $out_json"
+  if [[ -n "$baseline" ]]; then
+    if ! compare_json "$baseline" "$out_json"; then
+      echo "warning: ${id} benchmarks regressed >20% vs the committed JSON" >&2
+      status=1
+    fi
+    rm -f "$baseline"
+  fi
+done
+
+if [[ $strict -eq 1 ]]; then
+  exit $status
 fi
-
-"$bench_bin" --benchmark_out="$out_json" --benchmark_out_format=json \
-             --benchmark_format=console
-echo "wrote $out_json"
+exit 0

@@ -1,0 +1,105 @@
+#include "common/work_pool.hpp"
+
+namespace sintra::common {
+
+WorkPool::WorkPool(std::size_t threads, std::size_t max_queue) : max_queue_(max_queue) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkPool::~WorkPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Any never-drained completions die with the pool; jobs already taken by
+  // workers finished before the joins above.
+}
+
+void WorkPool::set_notify(Notify notify) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  notify_ = std::move(notify);
+}
+
+Bytes WorkPool::run_guarded(const Job& job) {
+  try {
+    return job();
+  } catch (...) {
+    // A malformed batch must not kill a worker or wedge the pipeline; the
+    // completion sees empty Bytes and treats the batch as failed.
+    return {};
+  }
+}
+
+void WorkPool::submit(Job job, Completion completion) {
+  if (sequential()) {
+    completion(run_guarded(job));
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!stop_ && queue_.size() < max_queue_) {
+      queue_.push_back(Pending{std::move(job), std::move(completion)});
+      ++in_flight_;
+      lock.unlock();
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  // Queue full (or pool shutting down): degrade to the synchronous
+  // pre-pipeline behavior on the caller instead of blocking or dropping.
+  completion(run_guarded(job));
+}
+
+void WorkPool::worker_loop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to do
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Bytes result = run_guarded(pending.job);
+    Notify notify;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_.push_back(Done{std::move(result), std::move(pending.completion)});
+      --in_flight_;
+      notify = notify_;
+    }
+    idle_cv_.notify_all();
+    if (notify) notify();
+  }
+}
+
+bool WorkPool::has_completions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !done_.empty();
+}
+
+std::size_t WorkPool::drain() {
+  std::deque<Done> ready;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ready.swap(done_);
+  }
+  for (Done& done : ready) done.completion(std::move(done.result));
+  return ready.size();
+}
+
+void WorkPool::wait_idle() {
+  for (;;) {
+    drain();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (in_flight_ == 0 && done_.empty()) return;
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0 || !done_.empty(); });
+  }
+}
+
+}  // namespace sintra::common

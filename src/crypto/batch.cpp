@@ -1,0 +1,534 @@
+#include "crypto/batch.hpp"
+
+#include "common/assert.hpp"
+
+namespace sintra::crypto::batch {
+
+namespace {
+
+// Weight length of the small-exponent test.  For the prime-order group the
+// acceptance probability of a bad batch is 2^-min(ell, |q|).  For Z_Nm* the
+// weights must stay below the prime factors of |QR_Nm| = p'q' so that they
+// are invertible mod the (secret) group order; p' and q' are at least
+// 127 bits for the smallest supported modulus, so 112-bit weights are safe
+// and give 2^-112 soundness per batch attempt.
+constexpr std::size_t kGroupWeightBits = 128;
+constexpr std::size_t kRsaWeightBits = 112;
+
+/// One prepared verification equation over batch-shared bases (g1, g2):
+///   g1^z == a1 * h1^c   and   g2^z == a2 * h2^c.
+/// `ok` is false when the item failed its structural pre-checks (range,
+/// subgroup membership) and can never verify.
+struct DleqEquation {
+  bool ok = false;
+  BigInt h1;
+  BigInt h2;
+  BigInt a1;
+  BigInt a2;
+  BigInt c;
+  BigInt z;
+};
+
+bool check_dleq_equations(const Group& group, const BigInt& g1, const BigInt& g2,
+                          const std::vector<const DleqEquation*>& eqs, Rng& rng) {
+  for (const DleqEquation* eq : eqs) {
+    if (!eq->ok) return false;
+  }
+  if (eqs.empty()) return true;
+  // Random linear combination with independent weights per equation:
+  //   g1^{sum z r} * g2^{sum z r'}
+  //     == prod a1^{r} * h1^{c r} * a2^{r'} * h2^{c r'}
+  BigInt lhs1(0);
+  BigInt lhs2(0);
+  std::vector<std::pair<BigInt, BigInt>> rhs;
+  rhs.reserve(4 * eqs.size());
+  for (const DleqEquation* eq : eqs) {
+    const BigInt r = BigInt::random_bits(rng, kGroupWeightBits);
+    const BigInt r2 = BigInt::random_bits(rng, kGroupWeightBits);
+    lhs1 = group.scalar_add(lhs1, group.scalar_mul(eq->z, r));
+    lhs2 = group.scalar_add(lhs2, group.scalar_mul(eq->z, r2));
+    rhs.emplace_back(eq->a1, r);
+    rhs.emplace_back(eq->h1, group.scalar_mul(eq->c, r));
+    rhs.emplace_back(eq->a2, r2);
+    rhs.emplace_back(eq->h2, group.scalar_mul(eq->c, r2));
+  }
+  return group.exp2(g1, lhs1, g2, lhs2) == group.multi_exp(rhs);
+}
+
+/// One prepared Schnorr equation over the batch-shared base g:
+///   g^z == a * h^c.
+struct SchnorrEquation {
+  bool ok = false;
+  BigInt h;
+  BigInt a;
+  BigInt c;
+  BigInt z;
+};
+
+bool check_schnorr_equations(const Group& group, const BigInt& g,
+                             const std::vector<const SchnorrEquation*>& eqs, Rng& rng) {
+  for (const SchnorrEquation* eq : eqs) {
+    if (!eq->ok) return false;
+  }
+  if (eqs.empty()) return true;
+  BigInt lhs(0);
+  std::vector<std::pair<BigInt, BigInt>> rhs;
+  rhs.reserve(2 * eqs.size());
+  for (const SchnorrEquation* eq : eqs) {
+    const BigInt r = BigInt::random_bits(rng, kGroupWeightBits);
+    lhs = group.scalar_add(lhs, group.scalar_mul(eq->z, r));
+    rhs.emplace_back(eq->a, r);
+    rhs.emplace_back(eq->h, group.scalar_mul(eq->c, r));
+  }
+  return group.exp(g, lhs) == group.multi_exp(rhs);
+}
+
+/// Recursive bisection: ranges that batch-verify are clean; single-proof
+/// leaves fall back to the strict individual verifier (which also rules on
+/// proofs whose commitments sit outside the order-q subgroup — the batch
+/// equation tolerates those with probability 1/cofactor, strictness
+/// doesn't).
+template <typename BatchOk, typename StrictOk>
+void bisect(std::size_t lo, std::size_t hi, const BatchOk& batch_ok, const StrictOk& strict_ok,
+            std::vector<std::size_t>& out) {
+  if (lo >= hi) return;
+  if (hi - lo == 1) {
+    if (!strict_ok(lo)) out.push_back(lo);
+    return;
+  }
+  if (batch_ok(lo, hi)) return;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  bisect(lo, mid, batch_ok, strict_ok, out);
+  bisect(mid, hi, batch_ok, strict_ok, out);
+}
+
+template <typename Equation, typename CheckFn, typename StrictOk>
+std::vector<std::size_t> find_invalid_generic(const std::vector<Equation>& eqs,
+                                              const CheckFn& check, const StrictOk& strict_ok) {
+  std::vector<std::size_t> bad;
+  const auto batch_ok = [&](std::size_t lo, std::size_t hi) {
+    std::vector<const Equation*> range;
+    range.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) range.push_back(&eqs[i]);
+    return check(range);
+  };
+  bisect(0, eqs.size(), batch_ok, strict_ok, bad);
+  return bad;
+}
+
+std::vector<const DleqEquation*> all_of(const std::vector<DleqEquation>& eqs) {
+  std::vector<const DleqEquation*> out;
+  out.reserve(eqs.size());
+  for (const DleqEquation& eq : eqs) out.push_back(&eq);
+  return out;
+}
+
+DleqEquation prepare_dleq(const Group& group, std::string_view context, const BigInt& g1,
+                          const BigInt& h1, const BigInt& g2, const BigInt& h2,
+                          const DleqProof& proof) {
+  DleqEquation eq;
+  if (!group.is_scalar(proof.z)) return eq;
+  if (!group.is_residue(proof.a1) || !group.is_residue(proof.a2)) return eq;
+  if (!group.is_element(h1) || !group.is_element(h2)) return eq;
+  eq.ok = true;
+  eq.h1 = h1;
+  eq.h2 = h2;
+  eq.a1 = proof.a1;
+  eq.a2 = proof.a2;
+  eq.c = dleq_challenge(group, context, g1, h1, g2, h2, proof.a1, proof.a2);
+  eq.z = proof.z;
+  return eq;
+}
+
+std::vector<DleqEquation> prepare_coin(const CoinPublicKey& pk, const BigInt& base,
+                                       const std::vector<CoinShare>& shares) {
+  const Group& group = pk.group();
+  std::vector<DleqEquation> eqs;
+  eqs.reserve(shares.size());
+  for (const CoinShare& share : shares) {
+    if (share.unit < 0 || share.unit >= pk.scheme().num_units()) {
+      eqs.emplace_back();
+      continue;
+    }
+    eqs.push_back(prepare_dleq(group, coin_share_context(share.unit), group.g(),
+                               pk.verification(share.unit), base, share.value, share.proof));
+  }
+  return eqs;
+}
+
+std::vector<DleqEquation> prepare_dec(const Tdh2PublicKey& pk, const Tdh2Ciphertext& ct,
+                                      const std::vector<Tdh2DecShare>& shares) {
+  const Group& group = pk.group();
+  const Bytes ct_id = ct.id(group);
+  std::vector<DleqEquation> eqs;
+  eqs.reserve(shares.size());
+  for (const Tdh2DecShare& share : shares) {
+    if (share.unit < 0 || share.unit >= pk.scheme().num_units()) {
+      eqs.emplace_back();
+      continue;
+    }
+    eqs.push_back(prepare_dleq(group, tdh2_share_context(share.unit, ct_id), group.g(),
+                               pk.verification(share.unit), ct.u, share.value, share.proof));
+  }
+  return eqs;
+}
+
+std::vector<DleqEquation> prepare_cts(const Tdh2PublicKey& pk,
+                                      const std::vector<Tdh2Ciphertext>& cts) {
+  const Group& group = pk.group();
+  std::vector<DleqEquation> eqs;
+  eqs.reserve(cts.size());
+  for (const Tdh2Ciphertext& ct : cts) {
+    DleqEquation eq;
+    if (group.is_element(ct.u) && group.is_element(ct.u_bar) && group.is_residue(ct.w) &&
+        group.is_residue(ct.w_bar) && group.is_scalar(ct.f)) {
+      eq.ok = true;
+      eq.h1 = ct.u;
+      eq.h2 = ct.u_bar;
+      eq.a1 = ct.w;
+      eq.a2 = ct.w_bar;
+      eq.c = tdh2_ciphertext_challenge(group, ct.data, ct.label, ct.u, ct.w, ct.u_bar, ct.w_bar);
+      eq.z = ct.f;
+    }
+    eqs.push_back(std::move(eq));
+  }
+  return eqs;
+}
+
+}  // namespace
+
+bool verify_dleq(const Group& group, const BigInt& g1, const BigInt& g2,
+                 const std::vector<DleqItem>& items, Rng& rng) {
+  if (items.size() == 1) {
+    return items[0].proof.verify(group, items[0].context, g1, items[0].h1, g2, items[0].h2);
+  }
+  std::vector<DleqEquation> eqs;
+  eqs.reserve(items.size());
+  for (const DleqItem& item : items) {
+    eqs.push_back(prepare_dleq(group, item.context, g1, item.h1, g2, item.h2, item.proof));
+  }
+  return check_dleq_equations(group, g1, g2, all_of(eqs), rng);
+}
+
+std::vector<std::size_t> find_invalid_dleq(const Group& group, const BigInt& g1, const BigInt& g2,
+                                           const std::vector<DleqItem>& items, Rng& rng) {
+  std::vector<DleqEquation> eqs;
+  eqs.reserve(items.size());
+  for (const DleqItem& item : items) {
+    eqs.push_back(prepare_dleq(group, item.context, g1, item.h1, g2, item.h2, item.proof));
+  }
+  return find_invalid_generic(
+      eqs,
+      [&](const std::vector<const DleqEquation*>& range) {
+        return check_dleq_equations(group, g1, g2, range, rng);
+      },
+      [&](std::size_t i) {
+        return items[i].proof.verify(group, items[i].context, g1, items[i].h1, g2, items[i].h2);
+      });
+}
+
+bool verify_schnorr(const Group& group, const BigInt& g, const std::vector<SchnorrItem>& items,
+                    Rng& rng) {
+  if (items.size() == 1) {
+    return items[0].proof.verify(group, items[0].context, g, items[0].h);
+  }
+  std::vector<const SchnorrEquation*> refs;
+  std::vector<SchnorrEquation> eqs;
+  eqs.reserve(items.size());
+  for (const SchnorrItem& item : items) {
+    SchnorrEquation eq;
+    if (group.is_scalar(item.proof.z) && group.is_residue(item.proof.a) &&
+        group.is_element(item.h)) {
+      eq.ok = true;
+      eq.h = item.h;
+      eq.a = item.proof.a;
+      eq.c = schnorr_challenge(group, item.context, g, item.h, item.proof.a);
+      eq.z = item.proof.z;
+    }
+    eqs.push_back(std::move(eq));
+  }
+  refs.reserve(eqs.size());
+  for (const SchnorrEquation& eq : eqs) refs.push_back(&eq);
+  return check_schnorr_equations(group, g, refs, rng);
+}
+
+std::vector<std::size_t> find_invalid_schnorr(const Group& group, const BigInt& g,
+                                              const std::vector<SchnorrItem>& items, Rng& rng) {
+  std::vector<SchnorrEquation> eqs;
+  eqs.reserve(items.size());
+  for (const SchnorrItem& item : items) {
+    SchnorrEquation eq;
+    if (group.is_scalar(item.proof.z) && group.is_residue(item.proof.a) &&
+        group.is_element(item.h)) {
+      eq.ok = true;
+      eq.h = item.h;
+      eq.a = item.proof.a;
+      eq.c = schnorr_challenge(group, item.context, g, item.h, item.proof.a);
+      eq.z = item.proof.z;
+    }
+    eqs.push_back(std::move(eq));
+  }
+  return find_invalid_generic(
+      eqs,
+      [&](const std::vector<const SchnorrEquation*>& range) {
+        return check_schnorr_equations(group, g, range, rng);
+      },
+      [&](std::size_t i) { return items[i].proof.verify(group, items[i].context, g, items[i].h); });
+}
+
+bool verify_coin_shares(const CoinPublicKey& pk, BytesView name,
+                        const std::vector<CoinShare>& shares, Rng& rng) {
+  if (shares.size() == 1) return pk.verify_share(name, shares[0]);
+  if (shares.empty()) return true;
+  const BigInt base = pk.coin_base(name);
+  const std::vector<DleqEquation> eqs = prepare_coin(pk, base, shares);
+  return check_dleq_equations(pk.group(), pk.group().g(), base, all_of(eqs), rng);
+}
+
+std::vector<std::size_t> find_invalid_coin_shares(const CoinPublicKey& pk, BytesView name,
+                                                  const std::vector<CoinShare>& shares, Rng& rng) {
+  const BigInt base = pk.coin_base(name);
+  const std::vector<DleqEquation> eqs = prepare_coin(pk, base, shares);
+  return find_invalid_generic(
+      eqs,
+      [&](const std::vector<const DleqEquation*>& range) {
+        return check_dleq_equations(pk.group(), pk.group().g(), base, range, rng);
+      },
+      [&](std::size_t i) { return pk.verify_share(name, shares[i]); });
+}
+
+CoinCombineResult combine_coin_optimistic(const CoinPublicKey& pk, BytesView name,
+                                          const std::vector<CoinShare>& shares, Rng& rng) {
+  CoinCombineResult result;
+  // No cheap check exists for a combined coin value (it is just a hash of
+  // the recombined group element), so the optimistic gate is the batch
+  // proof check itself: one batched equation in the happy path, bisection
+  // + strict re-verification only when a Byzantine share is present.
+  if (verify_coin_shares(pk, name, shares, rng)) {
+    result.value = pk.combine(name, shares);
+    return result;
+  }
+  result.bad = find_invalid_coin_shares(pk, name, shares, rng);
+  // Drop every share of a party that produced a bad one: the combiner
+  // needs complete per-party unit sets, and a sender who faked one share
+  // forfeits its others.
+  PartySet bad_parties = 0;
+  for (std::size_t i : result.bad) {
+    const int unit = shares[i].unit;
+    if (unit >= 0 && unit < pk.scheme().num_units()) {
+      bad_parties |= party_bit(pk.scheme().unit_owner(unit));
+    }
+  }
+  std::vector<CoinShare> good;
+  good.reserve(shares.size());
+  std::size_t next_bad = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const bool listed = next_bad < result.bad.size() && result.bad[next_bad] == i;
+    if (listed) ++next_bad;
+    if (listed || (bad_parties & party_bit(pk.scheme().unit_owner(shares[i].unit)))) continue;
+    good.push_back(shares[i]);
+  }
+  if (!good.empty()) result.value = pk.combine(name, good);
+  return result;
+}
+
+bool verify_dec_shares(const Tdh2PublicKey& pk, const Tdh2Ciphertext& ct,
+                       const std::vector<Tdh2DecShare>& shares, Rng& rng) {
+  if (shares.size() == 1) return pk.verify_share(ct, shares[0]);
+  if (shares.empty()) return true;
+  const std::vector<DleqEquation> eqs = prepare_dec(pk, ct, shares);
+  return check_dleq_equations(pk.group(), pk.group().g(), ct.u, all_of(eqs), rng);
+}
+
+std::vector<std::size_t> find_invalid_dec_shares(const Tdh2PublicKey& pk,
+                                                 const Tdh2Ciphertext& ct,
+                                                 const std::vector<Tdh2DecShare>& shares,
+                                                 Rng& rng) {
+  const std::vector<DleqEquation> eqs = prepare_dec(pk, ct, shares);
+  return find_invalid_generic(
+      eqs,
+      [&](const std::vector<const DleqEquation*>& range) {
+        return check_dleq_equations(pk.group(), pk.group().g(), ct.u, range, rng);
+      },
+      [&](std::size_t i) { return pk.verify_share(ct, shares[i]); });
+}
+
+bool verify_ciphertexts(const Tdh2PublicKey& pk, const std::vector<Tdh2Ciphertext>& cts,
+                        Rng& rng) {
+  if (cts.size() == 1) return pk.check_ciphertext(cts[0]);
+  if (cts.empty()) return true;
+  const std::vector<DleqEquation> eqs = prepare_cts(pk, cts);
+  return check_dleq_equations(pk.group(), pk.group().g(), pk.g_bar(), all_of(eqs), rng);
+}
+
+std::vector<std::size_t> find_invalid_ciphertexts(const Tdh2PublicKey& pk,
+                                                  const std::vector<Tdh2Ciphertext>& cts,
+                                                  Rng& rng) {
+  const std::vector<DleqEquation> eqs = prepare_cts(pk, cts);
+  return find_invalid_generic(
+      eqs,
+      [&](const std::vector<const DleqEquation*>& range) {
+        return check_dleq_equations(pk.group(), pk.group().g(), pk.g_bar(), range, rng);
+      },
+      [&](std::size_t i) { return pk.check_ciphertext(cts[i]); });
+}
+
+namespace {
+
+/// Prepared threshold-RSA share equation:
+///   v^z == a1 * v_unit^c   and   x2^z == a2 * value^c   (mod Nm)
+/// kept in positive-exponent two-sided form (no inverses exist cheaply in
+/// the unknown-order group).
+struct SigEquation {
+  bool ok = false;
+  std::size_t statement = 0;  ///< index of the x^2 this share signs
+  BigInt v_unit;
+  BigInt value;
+  BigInt a1;
+  BigInt a2;
+  BigInt c;
+  BigInt z;
+};
+
+SigEquation prepare_sig(const ThresholdSigPublicKey& pk, const BigInt& x_squared,
+                        std::size_t statement, const SigShare& share) {
+  const BigInt& modulus = pk.modulus();
+  SigEquation eq;
+  const auto in_range = [&](const BigInt& a) {
+    return !a.is_negative() && !a.is_zero() && a < modulus;
+  };
+  if (share.unit < 0 || share.unit >= pk.scheme().num_units()) return eq;
+  if (!in_range(share.value) || !in_range(share.a1) || !in_range(share.a2)) return eq;
+  if (share.response.is_negative() || share.response.to_bytes().size() > pk.response_bytes()) {
+    return eq;
+  }
+  eq.ok = true;
+  eq.statement = statement;
+  eq.v_unit = pk.verification(share.unit);
+  eq.value = share.value;
+  eq.a1 = share.a1;
+  eq.a2 = share.a2;
+  eq.c = sig_share_challenge(modulus, share.unit, pk.v(), eq.v_unit, x_squared, share.value,
+                             share.a1, share.a2);
+  eq.z = share.response;
+  return eq;
+}
+
+/// `x_squareds[s]` is the statement base of every equation with
+/// .statement == s.  One shared squaring chain covers the long accumulated
+/// exponents of v and each x^2; a second covers the short per-share terms.
+bool check_sig_equations(const ThresholdSigPublicKey& pk, const std::vector<BigInt>& x_squareds,
+                         const std::vector<const SigEquation*>& eqs, Rng& rng) {
+  for (const SigEquation* eq : eqs) {
+    if (!eq->ok) return false;
+  }
+  if (eqs.empty()) return true;
+  const Montgomery& mont = pk.mont();
+  BigInt acc_v(0);
+  std::vector<BigInt> acc_x(x_squareds.size(), BigInt(0));
+  std::vector<std::pair<BigInt, BigInt>> rhs;
+  rhs.reserve(4 * eqs.size());
+  for (const SigEquation* eq : eqs) {
+    const BigInt r = BigInt::random_bits(rng, kRsaWeightBits);
+    const BigInt r2 = BigInt::random_bits(rng, kRsaWeightBits);
+    acc_v = acc_v + eq->z * r;
+    acc_x[eq->statement] = acc_x[eq->statement] + eq->z * r2;
+    rhs.emplace_back(eq->a1, r);
+    rhs.emplace_back(eq->v_unit, eq->c * r);
+    rhs.emplace_back(eq->a2, r2);
+    rhs.emplace_back(eq->value, eq->c * r2);
+  }
+  std::vector<std::pair<BigInt, BigInt>> lhs;
+  lhs.reserve(1 + x_squareds.size());
+  lhs.emplace_back(pk.v(), std::move(acc_v));
+  for (std::size_t s = 0; s < x_squareds.size(); ++s) {
+    if (!acc_x[s].is_zero()) lhs.emplace_back(x_squareds[s], std::move(acc_x[s]));
+  }
+  return mont.multi_pow(lhs) == mont.multi_pow(rhs);
+}
+
+BigInt statement_base(const ThresholdSigPublicKey& pk, BytesView message) {
+  const BigInt x = pk.hash_to_base(message);
+  return BigInt::mul_mod(x, x, pk.modulus());
+}
+
+}  // namespace
+
+bool verify_sig_shares(const ThresholdSigPublicKey& pk, BytesView message,
+                       const std::vector<SigShare>& shares, Rng& rng) {
+  if (shares.size() == 1) return pk.verify_share(message, shares[0]);
+  if (shares.empty()) return true;
+  const std::vector<BigInt> x_squareds = {statement_base(pk, message)};
+  std::vector<SigEquation> eqs;
+  eqs.reserve(shares.size());
+  for (const SigShare& share : shares) eqs.push_back(prepare_sig(pk, x_squareds[0], 0, share));
+  std::vector<const SigEquation*> refs;
+  refs.reserve(eqs.size());
+  for (const SigEquation& eq : eqs) refs.push_back(&eq);
+  return check_sig_equations(pk, x_squareds, refs, rng);
+}
+
+std::vector<std::size_t> find_invalid_sig_shares(const ThresholdSigPublicKey& pk,
+                                                 BytesView message,
+                                                 const std::vector<SigShare>& shares, Rng& rng) {
+  const std::vector<BigInt> x_squareds = {statement_base(pk, message)};
+  std::vector<SigEquation> eqs;
+  eqs.reserve(shares.size());
+  for (const SigShare& share : shares) eqs.push_back(prepare_sig(pk, x_squareds[0], 0, share));
+  return find_invalid_generic(
+      eqs,
+      [&](const std::vector<const SigEquation*>& range) {
+        return check_sig_equations(pk, x_squareds, range, rng);
+      },
+      [&](std::size_t i) { return pk.verify_share(message, shares[i]); });
+}
+
+bool verify_sig_share_groups(const ThresholdSigPublicKey& pk,
+                             const std::vector<SigShareGroup>& groups, Rng& rng) {
+  std::vector<BigInt> x_squareds;
+  x_squareds.reserve(groups.size());
+  std::vector<SigEquation> eqs;
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    x_squareds.push_back(statement_base(pk, groups[s].message));
+    for (const SigShare& share : groups[s].shares) {
+      eqs.push_back(prepare_sig(pk, x_squareds[s], s, share));
+    }
+  }
+  std::vector<const SigEquation*> refs;
+  refs.reserve(eqs.size());
+  for (const SigEquation& eq : eqs) refs.push_back(&eq);
+  return check_sig_equations(pk, x_squareds, refs, rng);
+}
+
+SigCombineResult combine_sig_optimistic(const ThresholdSigPublicKey& pk, BytesView message,
+                                        const std::vector<SigShare>& shares, Rng& rng) {
+  SigCombineResult result;
+  // Combining is cheap relative to verifying shares (Lagrange-in-the-
+  // exponent plus one e = 65537 check), so try the unverified set first.
+  result.signature = pk.combine(message, shares);
+  if (result.signature) return result;
+  result.bad = find_invalid_sig_shares(pk, message, shares, rng);
+  if (result.bad.empty()) return result;  // unqualified set, nothing to blame
+  // Drop every share of a party that produced a bad one (the combiner
+  // needs complete per-party unit sets).
+  PartySet bad_parties = 0;
+  for (std::size_t i : result.bad) {
+    const int unit = shares[i].unit;
+    if (unit >= 0 && unit < pk.scheme().num_units()) {
+      bad_parties |= party_bit(pk.scheme().unit_owner(unit));
+    }
+  }
+  std::vector<SigShare> good;
+  good.reserve(shares.size());
+  std::size_t next_bad = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const bool listed = next_bad < result.bad.size() && result.bad[next_bad] == i;
+    if (listed) ++next_bad;
+    if (listed || (bad_parties & party_bit(pk.scheme().unit_owner(shares[i].unit)))) continue;
+    good.push_back(shares[i]);
+  }
+  if (!good.empty()) result.signature = pk.combine(message, good);
+  return result;
+}
+
+}  // namespace sintra::crypto::batch

@@ -9,10 +9,11 @@ namespace {
 constexpr std::string_view kCoinBaseDomain = "sintra/coin/base";
 constexpr std::string_view kCoinOutDomain = "sintra/coin/out";
 
-std::string share_context(int unit) {
+}  // namespace
+
+std::string coin_share_context(int unit) {
   return "coin-share/" + std::to_string(unit);
 }
-}  // namespace
 
 void CoinShare::encode(Writer& w, const Group& group) const {
   w.u32(static_cast<std::uint32_t>(unit));
@@ -38,7 +39,7 @@ std::vector<CoinShare> CoinSecretKey::share(const CoinPublicKey& pk, BytesView n
     CoinShare share;
     share.unit = unit;
     share.value = group.exp(base, x);
-    share.proof = DleqProof::prove(group, share_context(unit), group.g(), pk.verification(unit),
+    share.proof = DleqProof::prove(group, coin_share_context(unit), group.g(), pk.verification(unit),
                                    base, share.value, x, rng);
     out.push_back(std::move(share));
   }
@@ -52,7 +53,7 @@ BigInt CoinPublicKey::coin_base(BytesView name) const {
 bool CoinPublicKey::verify_share(BytesView name, const CoinShare& share) const {
   if (share.unit < 0 || share.unit >= scheme_->num_units()) return false;
   const BigInt base = coin_base(name);
-  return share.proof.verify(*group_, share_context(share.unit), group_->g(),
+  return share.proof.verify(*group_, coin_share_context(share.unit), group_->g(),
                             verification_.at(static_cast<std::size_t>(share.unit)), base,
                             share.value);
 }

@@ -26,6 +26,9 @@ namespace sintra::crypto {
 
 class CoinPublicKey;
 
+/// DLEQ context string for a coin share (exposed for crypto/batch.hpp).
+std::string coin_share_context(int unit);
+
 /// One unit's coin share for a particular name, with its validity proof.
 struct CoinShare {
   int unit = 0;

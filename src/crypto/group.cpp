@@ -180,6 +180,10 @@ bool Group::is_element(const BigInt& a) const {
   return true;
 }
 
+bool Group::is_residue(const BigInt& a) const {
+  return !a.is_negative() && !a.is_zero() && a < p_;
+}
+
 BigInt Group::scalar_add(const BigInt& a, const BigInt& b) const {
   return BigInt::add_mod(a, b, q_);
 }
@@ -229,6 +233,12 @@ void Group::encode_element(Writer& w, const BigInt& a) const {
 BigInt Group::decode_element(Reader& r) const {
   BigInt a = BigInt::from_bytes(r.raw(element_bytes_));
   SINTRA_REQUIRE(is_element(a), "Group: not a subgroup element");
+  return a;
+}
+
+BigInt Group::decode_residue(Reader& r) const {
+  BigInt a = BigInt::from_bytes(r.raw(element_bytes_));
+  SINTRA_REQUIRE(is_residue(a), "Group: residue out of range");
   return a;
 }
 

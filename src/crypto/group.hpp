@@ -73,6 +73,15 @@ class Group {
   /// only ever holds elements that passed the full check.
   [[nodiscard]] bool is_element(const BigInt& a) const;
 
+  /// True iff `a` is in [1, p) — a nonzero residue, possibly outside the
+  /// order-q subgroup.  Sufficient for *commitment* values in commitment-form
+  /// proofs: they only ever appear on one side of an equality whose other
+  /// side is a product of subgroup elements, so a non-subgroup commitment
+  /// simply fails verification and no secret exponent ever touches it.
+  /// Statement elements (public keys, share values) still require the full
+  /// is_element check.
+  [[nodiscard]] bool is_residue(const BigInt& a) const;
+
   // -- scalar (exponent) operations ------------------------------------------
   [[nodiscard]] BigInt scalar_add(const BigInt& a, const BigInt& b) const;
   [[nodiscard]] BigInt scalar_sub(const BigInt& a, const BigInt& b) const;
@@ -97,6 +106,9 @@ class Group {
   void encode_element(Writer& w, const BigInt& a) const;
   /// Deserialize and validate subgroup membership; throws ProtocolError.
   [[nodiscard]] BigInt decode_element(Reader& r) const;
+  /// Deserialize a proof commitment with only the [1, p) range check (see
+  /// is_residue); throws ProtocolError on range violation.
+  [[nodiscard]] BigInt decode_residue(Reader& r) const;
   void encode_scalar(Writer& w, const BigInt& a) const;
   [[nodiscard]] BigInt decode_scalar(Reader& r) const;
 

@@ -4,7 +4,6 @@
 
 namespace sintra::crypto {
 
-namespace {
 BigInt dleq_challenge(const Group& group, std::string_view context, const BigInt& g1,
                       const BigInt& h1, const BigInt& g2, const BigInt& h2, const BigInt& a1,
                       const BigInt& a2) {
@@ -28,76 +27,81 @@ BigInt schnorr_challenge(const Group& group, std::string_view context, const Big
   group.encode_element(w, a);
   return group.hash_to_scalar("sintra/nizk/schnorr", w.data());
 }
-}  // namespace
 
 DleqProof DleqProof::prove(const Group& group, std::string_view context, const BigInt& g1,
                            const BigInt& h1, const BigInt& g2, const BigInt& h2, const BigInt& x,
                            Rng& rng) {
   const BigInt s = group.random_scalar(rng);
-  const BigInt a1 = group.exp(g1, s);
-  const BigInt a2 = group.exp(g2, s);
   DleqProof proof;
-  proof.challenge = dleq_challenge(group, context, g1, h1, g2, h2, a1, a2);
-  proof.response = group.scalar_add(s, group.scalar_mul(proof.challenge, x));
+  proof.a1 = group.exp(g1, s);
+  proof.a2 = group.exp(g2, s);
+  const BigInt c = dleq_challenge(group, context, g1, h1, g2, h2, proof.a1, proof.a2);
+  proof.z = group.scalar_add(s, group.scalar_mul(c, x));
   return proof;
 }
 
 bool DleqProof::verify(const Group& group, std::string_view context, const BigInt& g1,
                        const BigInt& h1, const BigInt& g2, const BigInt& h2) const {
-  if (!group.is_scalar(challenge) || !group.is_scalar(response)) return false;
+  if (!group.is_scalar(z)) return false;
+  // Commitments only need the cheap residue range check, not the O(|q|)
+  // subgroup test: both sides below are compared for *equality* and the
+  // left-hand side g^z * h^{-c} always lies in the order-q subgroup, so a
+  // commitment outside it simply fails the comparison.
+  if (!group.is_residue(a1) || !group.is_residue(a2)) return false;
   if (!group.is_element(g1) || !group.is_element(h1) || !group.is_element(g2) ||
       !group.is_element(h2)) {
     return false;
   }
-  // a = g^z * h^{-c}; recompute the challenge from reconstructed
-  // commitments.  Both products use the simultaneous double-exponentiation
-  // fast path (one shared squaring chain instead of two).
-  const BigInt neg_c = group.scalar_sub(BigInt(0), challenge);
-  const BigInt a1 = group.exp2(g1, response, h1, neg_c);
-  const BigInt a2 = group.exp2(g2, response, h2, neg_c);
-  return dleq_challenge(group, context, g1, h1, g2, h2, a1, a2) == challenge;
+  const BigInt c = dleq_challenge(group, context, g1, h1, g2, h2, a1, a2);
+  // g^z * h^{-c} == a; both products use the simultaneous
+  // double-exponentiation fast path (one shared squaring chain).
+  const BigInt neg_c = group.scalar_sub(BigInt(0), c);
+  return group.exp2(g1, z, h1, neg_c) == a1 && group.exp2(g2, z, h2, neg_c) == a2;
 }
 
 void DleqProof::encode(Writer& w, const Group& group) const {
-  group.encode_scalar(w, challenge);
-  group.encode_scalar(w, response);
+  group.encode_element(w, a1);
+  group.encode_element(w, a2);
+  group.encode_scalar(w, z);
 }
 
 DleqProof DleqProof::decode(Reader& r, const Group& group) {
   DleqProof proof;
-  proof.challenge = group.decode_scalar(r);
-  proof.response = group.decode_scalar(r);
+  proof.a1 = group.decode_residue(r);
+  proof.a2 = group.decode_residue(r);
+  proof.z = group.decode_scalar(r);
   return proof;
 }
 
 SchnorrProof SchnorrProof::prove(const Group& group, std::string_view context, const BigInt& g,
                                  const BigInt& h, const BigInt& x, Rng& rng) {
   const BigInt s = group.random_scalar(rng);
-  const BigInt a = group.exp(g, s);
   SchnorrProof proof;
-  proof.challenge = schnorr_challenge(group, context, g, h, a);
-  proof.response = group.scalar_add(s, group.scalar_mul(proof.challenge, x));
+  proof.a = group.exp(g, s);
+  const BigInt c = schnorr_challenge(group, context, g, h, proof.a);
+  proof.z = group.scalar_add(s, group.scalar_mul(c, x));
   return proof;
 }
 
 bool SchnorrProof::verify(const Group& group, std::string_view context, const BigInt& g,
                           const BigInt& h) const {
-  if (!group.is_scalar(challenge) || !group.is_scalar(response)) return false;
+  if (!group.is_scalar(z)) return false;
+  if (!group.is_residue(a)) return false;
   if (!group.is_element(g) || !group.is_element(h)) return false;
-  const BigInt neg_c = group.scalar_sub(BigInt(0), challenge);
-  const BigInt a = group.exp2(g, response, h, neg_c);
-  return schnorr_challenge(group, context, g, h, a) == challenge;
+  const BigInt c = schnorr_challenge(group, context, g, h, a);
+  const BigInt neg_c = group.scalar_sub(BigInt(0), c);
+  return group.exp2(g, z, h, neg_c) == a;
 }
 
 void SchnorrProof::encode(Writer& w, const Group& group) const {
-  group.encode_scalar(w, challenge);
-  group.encode_scalar(w, response);
+  group.encode_element(w, a);
+  group.encode_scalar(w, z);
 }
 
 SchnorrProof SchnorrProof::decode(Reader& r, const Group& group) {
   SchnorrProof proof;
-  proof.challenge = group.decode_scalar(r);
-  proof.response = group.decode_scalar(r);
+  proof.a = group.decode_residue(r);
+  proof.z = group.decode_scalar(r);
   return proof;
 }
 

@@ -14,6 +14,17 @@
 // Both are bound to a caller-supplied context string so proofs cannot be
 // replayed across protocol instances (the Fiat–Shamir hash covers context,
 // statement, and commitments).
+//
+// Proofs are stored in commitment form (a, z) rather than the compact
+// (c, z) form: the verifier recomputes c = H(context, statement, a) and
+// checks g^z == a * h^c.  Both forms are the same size here (commitments
+// cost one group element each where a challenge costs one scalar, and the
+// DLEQ commitment pair replaces one challenge), and commitment form is
+// what makes *batch* verification possible — a random linear combination
+// of the verification equations of many proofs collapses into a couple of
+// multi-exponentiations (see crypto/batch.hpp), which the compact form
+// forbids because each equation must be solved exactly to recompute its
+// own challenge hash.
 #pragma once
 
 #include <string_view>
@@ -22,10 +33,21 @@
 
 namespace sintra::crypto {
 
-/// Chaum–Pedersen DLEQ proof, stored in compact (challenge, response) form.
+/// Fiat–Shamir challenge for a DLEQ statement + commitment pair.  Exposed
+/// for the batch verifier, which must recompute per-proof challenges.
+BigInt dleq_challenge(const Group& group, std::string_view context, const BigInt& g1,
+                      const BigInt& h1, const BigInt& g2, const BigInt& h2, const BigInt& a1,
+                      const BigInt& a2);
+
+/// Fiat–Shamir challenge for a Schnorr statement + commitment.
+BigInt schnorr_challenge(const Group& group, std::string_view context, const BigInt& g,
+                         const BigInt& h, const BigInt& a);
+
+/// Chaum–Pedersen DLEQ proof in commitment form.
 struct DleqProof {
-  BigInt challenge;  ///< c in Z_q
-  BigInt response;   ///< z in Z_q
+  BigInt a1;  ///< commitment g1^s
+  BigInt a2;  ///< commitment g2^s
+  BigInt z;   ///< response s + c*x in Z_q
 
   /// Prove h1 = g1^x and h2 = g2^x.
   static DleqProof prove(const Group& group, std::string_view context, const BigInt& g1,
@@ -39,10 +61,10 @@ struct DleqProof {
   static DleqProof decode(Reader& r, const Group& group);
 };
 
-/// Schnorr proof of knowledge of x with h = g^x.
+/// Schnorr proof of knowledge of x with h = g^x, in commitment form.
 struct SchnorrProof {
-  BigInt challenge;
-  BigInt response;
+  BigInt a;  ///< commitment g^s
+  BigInt z;  ///< response s + c*x in Z_q
 
   static SchnorrProof prove(const Group& group, std::string_view context, const BigInt& g,
                             const BigInt& h, const BigInt& x, Rng& rng);

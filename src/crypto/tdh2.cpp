@@ -23,8 +23,11 @@ Bytes xor_bytes(BytesView a, BytesView b) {
   return out;
 }
 
-BigInt ciphertext_challenge(const Group& group, BytesView data, BytesView label, const BigInt& u,
-                            const BigInt& w_elem, const BigInt& u_bar, const BigInt& w_bar) {
+}  // namespace
+
+BigInt tdh2_ciphertext_challenge(const Group& group, BytesView data, BytesView label,
+                                 const BigInt& u, const BigInt& w_elem, const BigInt& u_bar,
+                                 const BigInt& w_bar) {
   Writer w;
   w.bytes(data);
   w.bytes(label);
@@ -35,30 +38,31 @@ BigInt ciphertext_challenge(const Group& group, BytesView data, BytesView label,
   return group.hash_to_scalar(kChallengeDomain, w.data());
 }
 
-std::string share_context(int unit, BytesView ct_id) {
+std::string tdh2_share_context(int unit, BytesView ct_id) {
   return "tdh2-share/" + std::to_string(unit) + "/" + to_hex(ct_id);
 }
-}  // namespace
 
 Bytes Tdh2Ciphertext::id(const Group& group) const {
-  Writer w;
-  w.bytes(data);
-  w.bytes(label);
-  group.encode_element(w, u);
-  group.encode_element(w, u_bar);
-  group.encode_scalar(w, e);
-  group.encode_scalar(w, f);
-  Digest digest = hash_domain("sintra/tdh2/ctid", w.data());
+  Writer wr;
+  wr.bytes(data);
+  wr.bytes(label);
+  group.encode_element(wr, u);
+  group.encode_element(wr, u_bar);
+  group.encode_element(wr, w);
+  group.encode_element(wr, w_bar);
+  group.encode_scalar(wr, f);
+  Digest digest = hash_domain("sintra/tdh2/ctid", wr.data());
   return Bytes(digest.begin(), digest.end());
 }
 
-void Tdh2Ciphertext::encode(Writer& w, const Group& group) const {
-  w.bytes(data);
-  w.bytes(label);
-  group.encode_element(w, u);
-  group.encode_element(w, u_bar);
-  group.encode_scalar(w, e);
-  group.encode_scalar(w, f);
+void Tdh2Ciphertext::encode(Writer& wr, const Group& group) const {
+  wr.bytes(data);
+  wr.bytes(label);
+  group.encode_element(wr, u);
+  group.encode_element(wr, u_bar);
+  group.encode_element(wr, w);
+  group.encode_element(wr, w_bar);
+  group.encode_scalar(wr, f);
 }
 
 Tdh2Ciphertext Tdh2Ciphertext::decode(Reader& r, const Group& group) {
@@ -67,7 +71,8 @@ Tdh2Ciphertext Tdh2Ciphertext::decode(Reader& r, const Group& group) {
   ct.label = r.bytes();
   ct.u = group.decode_element(r);
   ct.u_bar = group.decode_element(r);
-  ct.e = group.decode_scalar(r);
+  ct.w = group.decode_residue(r);
+  ct.w_bar = group.decode_residue(r);
   ct.f = group.decode_scalar(r);
   return ct;
 }
@@ -107,20 +112,23 @@ Tdh2Ciphertext Tdh2PublicKey::encrypt(BytesView message, BytesView label, Rng& r
   ct.u_bar = group_->exp(g_bar_, r);
   ct.data = xor_bytes(message, mask_bytes(*group_, group_->exp(h_, r), message.size()));
 
-  const BigInt w = group_->exp_g(s);
-  const BigInt w_bar = group_->exp(g_bar_, s);
-  ct.e = ciphertext_challenge(*group_, ct.data, ct.label, ct.u, w, ct.u_bar, w_bar);
-  ct.f = group_->scalar_add(s, group_->scalar_mul(r, ct.e));
+  ct.w = group_->exp_g(s);
+  ct.w_bar = group_->exp(g_bar_, s);
+  const BigInt e =
+      tdh2_ciphertext_challenge(*group_, ct.data, ct.label, ct.u, ct.w, ct.u_bar, ct.w_bar);
+  ct.f = group_->scalar_add(s, group_->scalar_mul(r, e));
   return ct;
 }
 
 bool Tdh2PublicKey::check_ciphertext(const Tdh2Ciphertext& ct) const {
   if (!group_->is_element(ct.u) || !group_->is_element(ct.u_bar)) return false;
-  if (!group_->is_scalar(ct.e) || !group_->is_scalar(ct.f)) return false;
-  const BigInt neg_e = group_->scalar_sub(BigInt(0), ct.e);
-  const BigInt w = group_->exp2(group_->g(), ct.f, ct.u, neg_e);
-  const BigInt w_bar = group_->exp2(g_bar_, ct.f, ct.u_bar, neg_e);
-  return ciphertext_challenge(*group_, ct.data, ct.label, ct.u, w, ct.u_bar, w_bar) == ct.e;
+  if (!group_->is_residue(ct.w) || !group_->is_residue(ct.w_bar)) return false;
+  if (!group_->is_scalar(ct.f)) return false;
+  const BigInt e =
+      tdh2_ciphertext_challenge(*group_, ct.data, ct.label, ct.u, ct.w, ct.u_bar, ct.w_bar);
+  const BigInt neg_e = group_->scalar_sub(BigInt(0), e);
+  return group_->exp2(group_->g(), ct.f, ct.u, neg_e) == ct.w &&
+         group_->exp2(g_bar_, ct.f, ct.u_bar, neg_e) == ct.w_bar;
 }
 
 std::vector<Tdh2DecShare> Tdh2SecretKey::decrypt_shares(const Tdh2PublicKey& pk,
@@ -135,7 +143,7 @@ std::vector<Tdh2DecShare> Tdh2SecretKey::decrypt_shares(const Tdh2PublicKey& pk,
     Tdh2DecShare share;
     share.unit = unit;
     share.value = group.exp(ct.u, x);
-    share.proof = DleqProof::prove(group, share_context(unit, ct_id), group.g(),
+    share.proof = DleqProof::prove(group, tdh2_share_context(unit, ct_id), group.g(),
                                    pk.verification(unit), ct.u, share.value, x, rng);
     out.push_back(std::move(share));
   }
@@ -145,7 +153,7 @@ std::vector<Tdh2DecShare> Tdh2SecretKey::decrypt_shares(const Tdh2PublicKey& pk,
 bool Tdh2PublicKey::verify_share(const Tdh2Ciphertext& ct, const Tdh2DecShare& share) const {
   if (share.unit < 0 || share.unit >= scheme_->num_units()) return false;
   const Bytes ct_id = ct.id(*group_);
-  return share.proof.verify(*group_, share_context(share.unit, ct_id), group_->g(),
+  return share.proof.verify(*group_, tdh2_share_context(share.unit, ct_id), group_->g(),
                             verification_.at(static_cast<std::size_t>(share.unit)), ct.u,
                             share.value);
 }

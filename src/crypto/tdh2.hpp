@@ -25,15 +25,18 @@ namespace sintra::crypto {
 
 class Tdh2PublicKey;
 
-/// Ciphertext (c, L, u, u_bar, e, f): symmetric part c, label L, ElGamal
-/// element u, consistency element u_bar, and the Fiat–Shamir proof (e, f).
+/// Ciphertext (c, L, u, u_bar, w, w_bar, f): symmetric part c, label L,
+/// ElGamal element u, consistency element u_bar, and the Fiat–Shamir
+/// well-formedness proof in commitment form (w = g^s, w_bar = gbar^s,
+/// response f) — see nizk.hpp for why commitment form enables batching.
 struct Tdh2Ciphertext {
   Bytes data;    ///< message XOR mask(h^r)
   Bytes label;
   BigInt u;      ///< g^r
   BigInt u_bar;  ///< gbar^r
-  BigInt e;      ///< challenge
-  BigInt f;      ///< response
+  BigInt w;      ///< proof commitment g^s
+  BigInt w_bar;  ///< proof commitment gbar^s
+  BigInt f;      ///< response s + e*r
 
   /// Collision-resistant identifier binding decryption shares to this exact
   /// ciphertext.
@@ -42,6 +45,15 @@ struct Tdh2Ciphertext {
   void encode(Writer& w, const Group& group) const;
   static Tdh2Ciphertext decode(Reader& r, const Group& group);
 };
+
+/// Fiat–Shamir challenge of the ciphertext well-formedness proof.  Exposed
+/// for the batch verifier in crypto/batch.hpp.
+BigInt tdh2_ciphertext_challenge(const Group& group, BytesView data, BytesView label,
+                                 const BigInt& u, const BigInt& w_elem, const BigInt& u_bar,
+                                 const BigInt& w_bar);
+
+/// DLEQ context string binding a decryption-share proof to (unit, ct id).
+std::string tdh2_share_context(int unit, BytesView ct_id);
 
 /// One unit's decryption share with validity proof.
 struct Tdh2DecShare {

@@ -35,9 +35,11 @@ BigInt pow_signed(const BigInt& base, const BigInt& exponent, const Montgomery& 
   return mont.pow(base, exponent);
 }
 
-BigInt share_challenge(const BigInt& modulus, int unit, const BigInt& v, const BigInt& v_unit,
-                       const BigInt& x_squared, const BigInt& share, const BigInt& a1,
-                       const BigInt& a2) {
+}  // namespace
+
+BigInt sig_share_challenge(const BigInt& modulus, int unit, const BigInt& v,
+                           const BigInt& v_unit, const BigInt& x_squared, const BigInt& share,
+                           const BigInt& a1, const BigInt& a2) {
   Writer w;
   w.u32(static_cast<std::uint32_t>(unit));
   w.bytes(modulus.to_bytes());
@@ -49,7 +51,6 @@ BigInt share_challenge(const BigInt& modulus, int unit, const BigInt& v, const B
   w.bytes(a2.to_bytes());
   return BigInt::from_bytes(hash_expand("sintra/tsig/challenge", w.data(), kChallengeBytes));
 }
-}  // namespace
 
 RsaParams RsaParams::precomputed(int prime_bits) {
   const PrimePair* pair = nullptr;
@@ -73,7 +74,8 @@ RsaParams RsaParams::generate(Rng& rng, int prime_bits) {
 void SigShare::encode(Writer& w) const {
   w.u32(static_cast<std::uint32_t>(unit));
   value.encode(w);
-  challenge.encode(w);
+  a1.encode(w);
+  a2.encode(w);
   response.encode(w);
 }
 
@@ -81,7 +83,8 @@ SigShare SigShare::decode(Reader& r) {
   SigShare share;
   share.unit = static_cast<int>(r.u32());
   share.value = BigInt::decode(r);
-  share.challenge = BigInt::decode(r);
+  share.a1 = BigInt::decode(r);
+  share.a2 = BigInt::decode(r);
   share.response = BigInt::decode(r);
   return share;
 }
@@ -122,11 +125,11 @@ std::vector<SigShare> ThresholdSigSecretKey::sign(const ThresholdSigPublicKey& p
     share.value = mont.pow(x_squared, d);
 
     const BigInt r = BigInt::random_bits(rng, r_bits);
-    const BigInt a1 = mont.pow(pk.v(), r);
-    const BigInt a2 = mont.pow(x_squared, r);
-    share.challenge = share_challenge(modulus, unit, pk.v(), pk.verification(unit), x_squared,
-                                      share.value, a1, a2);
-    share.response = r + share.challenge * d;
+    share.a1 = mont.pow(pk.v(), r);
+    share.a2 = mont.pow(x_squared, r);
+    const BigInt c = sig_share_challenge(modulus, unit, pk.v(), pk.verification(unit), x_squared,
+                                         share.value, share.a1, share.a2);
+    share.response = r + c * d;
     out.push_back(std::move(share));
   }
   return out;
@@ -135,10 +138,8 @@ std::vector<SigShare> ThresholdSigSecretKey::sign(const ThresholdSigPublicKey& p
 bool ThresholdSigPublicKey::verify_share(BytesView message, const SigShare& share) const {
   if (share.unit < 0 || share.unit >= scheme_->num_units()) return false;
   if (share.value.is_negative() || share.value.is_zero() || share.value >= modulus_) return false;
-  if (share.challenge.is_negative() ||
-      share.challenge.bit_length() > 8 * kChallengeBytes) {
-    return false;
-  }
+  if (share.a1.is_negative() || share.a1.is_zero() || share.a1 >= modulus_) return false;
+  if (share.a2.is_negative() || share.a2.is_zero() || share.a2 >= modulus_) return false;
   if (share.response.is_negative() ||
       share.response.to_bytes().size() > response_bytes_) {
     return false;
@@ -147,6 +148,8 @@ bool ThresholdSigPublicKey::verify_share(BytesView message, const SigShare& shar
   const BigInt x = hash_to_base(message);
   const BigInt x_squared = BigInt::mul_mod(x, x, modulus_);
   const BigInt& v_unit = verification_.at(static_cast<std::size_t>(share.unit));
+  const BigInt c = sig_share_challenge(modulus_, share.unit, v_, v_unit, x_squared, share.value,
+                                       share.a1, share.a2);
   // Batch-invert v_unit and share.value (Montgomery's trick): one extended
   // Euclid pass instead of two, and its failure doubles as the
   // gcd(share.value, Nm) != 1 rejection (v_unit is a unit by construction,
@@ -159,14 +162,12 @@ bool ThresholdSigPublicKey::verify_share(BytesView message, const SigShare& shar
   }
   const BigInt v_unit_inv = BigInt::mul_mod(inv_prod, share.value, modulus_);
   const BigInt value_inv = BigInt::mul_mod(inv_prod, v_unit, modulus_);
-  // Reconstruct commitments: a = base^z * target^{-c}.  The negative
-  // exponent becomes a positive one on the inverse, so both factors fold
-  // into one simultaneous double exponentiation over the shared squaring
-  // chain of the (much longer) response exponent.
-  const BigInt a1 = mont_->pow2(v_, share.response, v_unit_inv, share.challenge);
-  const BigInt a2 = mont_->pow2(x_squared, share.response, value_inv, share.challenge);
-  return share_challenge(modulus_, share.unit, v_, v_unit, x_squared, share.value, a1, a2) ==
-         share.challenge;
+  // Check base^z * target^{-c} == a.  The negative exponent becomes a
+  // positive one on the inverse, so both factors fold into one simultaneous
+  // double exponentiation over the shared squaring chain of the (much
+  // longer) response exponent.
+  return mont_->pow2(v_, share.response, v_unit_inv, c) == share.a1 &&
+         mont_->pow2(x_squared, share.response, value_inv, c) == share.a2;
 }
 
 std::optional<BigInt> ThresholdSigPublicKey::combine(BytesView message,

@@ -42,16 +42,25 @@ struct RsaParams {
 
 class ThresholdSigPublicKey;
 
-/// Signature share with validity proof.
+/// Signature share with validity proof, in commitment form (the verifier
+/// recomputes the Fiat–Shamir challenge from a1/a2; see nizk.hpp for why
+/// commitment form is what makes batch verification possible).
 struct SigShare {
   int unit = 0;
-  BigInt value;      ///< x^{2 d_unit} mod Nm
-  BigInt challenge;  ///< Fiat–Shamir challenge (128-bit)
-  BigInt response;   ///< integer response z = r + c*d_unit
+  BigInt value;     ///< x^{2 d_unit} mod Nm
+  BigInt a1;        ///< commitment v^r mod Nm
+  BigInt a2;        ///< commitment (x^2)^r mod Nm
+  BigInt response;  ///< integer response z = r + c*d_unit
 
   void encode(Writer& w) const;
   static SigShare decode(Reader& r);
 };
+
+/// Fiat–Shamir challenge for a signature-share proof (128-bit).  Exposed for
+/// the batch verifier in crypto/batch.hpp.
+BigInt sig_share_challenge(const BigInt& modulus, int unit, const BigInt& v,
+                           const BigInt& v_unit, const BigInt& x_squared, const BigInt& share,
+                           const BigInt& a1, const BigInt& a2);
 
 class ThresholdSigSecretKey {
  public:
@@ -100,6 +109,10 @@ class ThresholdSigPublicKey {
 
   /// Serialized signature width.
   [[nodiscard]] std::size_t signature_bytes() const { return (modulus_.bit_length() + 7) / 8; }
+
+  /// Width bound for proof responses (batch verifier applies the same
+  /// bound per share before accumulating).
+  [[nodiscard]] std::size_t response_bytes() const { return response_bytes_; }
 
  private:
   friend class ThresholdSigSecretKey;

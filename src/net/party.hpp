@@ -24,6 +24,7 @@
 
 #include "adversary/quorum.hpp"
 #include "common/serialize.hpp"
+#include "common/work_pool.hpp"
 #include "net/budget.hpp"
 #include "net/simulator.hpp"
 
@@ -125,6 +126,23 @@ class Party : public Process {
   [[nodiscard]] Bytes snapshot() const override;
   void restore(BytesView persisted) override;
 
+  /// Attach a crypto work pool (not owned; must be drained/destroyed
+  /// before the party dies).  Without one — or with a zero-thread pool —
+  /// offload() degrades to deterministic inline execution.
+  void set_work_pool(common::WorkPool* pool) { work_pool_ = pool; }
+  [[nodiscard]] common::WorkPool* work_pool() const { return work_pool_; }
+
+  /// Run `job` off the event loop and deliver its result to this party as
+  /// an ordinary self-message on `tag`, so protocol logic stays
+  /// single-threaded.  Inline mode (no pool / sequential pool) runs the
+  /// job immediately: called inside a handler, the verdict self-message
+  /// rides the local queue exactly like any other in-handler send, which
+  /// keeps seeded runs and WAL replay bit-exact.  Threaded mode delivers
+  /// the verdict when the owner thread drains the pool; verdicts count as
+  /// external inputs there (WAL-logged), so verdict handlers must be
+  /// idempotent and must require from == me().
+  void offload(const std::string& tag, common::WorkPool::Job job);
+
   /// Trace helper (no-op without an attached log).
   void trace(const std::string& component, std::string text);
 
@@ -153,6 +171,7 @@ class Party : public Process {
   std::deque<Message> local_;
   bool dispatching_ = false;
   bool wal_enabled_ = false;
+  common::WorkPool* work_pool_ = nullptr;
   std::vector<Message> wal_;  ///< received messages + external inputs, arrival order
 };
 

@@ -87,8 +87,16 @@ void NetworkedNode::enqueue_inbound(Message message) {
   inbox_cv_.notify_one();
 }
 
+void NetworkedNode::set_work_pool(common::WorkPool* pool) {
+  work_pool_ = pool;
+  if (work_pool_ != nullptr) {
+    work_pool_->set_notify([this] { inbox_cv_.notify_one(); });
+  }
+}
+
 std::size_t NetworkedNode::poll() {
   wheel_.advance_to(now());
+  if (work_pool_ != nullptr) work_pool_->drain();
   std::deque<Message> batch;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -122,8 +130,9 @@ bool NetworkedNode::run_until(const std::function<bool()>& done, std::uint64_t t
       wait = std::min(wait, *next > current ? *next - current : 1);
     }
     std::unique_lock<std::mutex> lock(mutex_);
-    inbox_cv_.wait_for(lock, std::chrono::milliseconds(wait),
-                       [this] { return !inbox_.empty(); });
+    inbox_cv_.wait_for(lock, std::chrono::milliseconds(wait), [this] {
+      return !inbox_.empty() || (work_pool_ != nullptr && work_pool_->has_completions());
+    });
   }
 }
 

@@ -27,6 +27,7 @@
 #include <functional>
 #include <mutex>
 
+#include "common/work_pool.hpp"
 #include "net/network.hpp"
 #include "net/simulator.hpp"
 #include "net/transport/timer_wheel.hpp"
@@ -64,6 +65,13 @@ class NetworkedNode final : public Network {
   void bind_transport(SendFn send) { send_ = std::move(send); }
   void set_persist(PersistFn persist) { persist_ = std::move(persist); }
 
+  /// Attach the crypto work pool (not owned).  poll() drains finished
+  /// verification jobs on the protocol thread — completions re-enter the
+  /// protocol as ordinary self-messages — and the pool's notify hook is
+  /// pointed at the inbox condition variable so run_until() wakes for
+  /// verdicts as promptly as for network traffic.
+  void set_work_pool(common::WorkPool* pool);
+
   /// Transport-side entry (any thread): decode and enqueue one payload.
   /// Malformed payloads from an authenticated peer are counted and
   /// dropped — Byzantine input must not crash the node.
@@ -98,6 +106,7 @@ class NetworkedNode final : public Network {
   Process* process_ = nullptr;
   SendFn send_;
   PersistFn persist_;
+  common::WorkPool* work_pool_ = nullptr;
   TraceLog* log_ = nullptr;
   std::chrono::steady_clock::time_point start_;
 

@@ -1,5 +1,6 @@
 #include "protocols/abba.hpp"
 
+#include "crypto/batch.hpp"
 #include "crypto/sha256.hpp"
 
 namespace sintra::protocols {
@@ -133,8 +134,9 @@ void Abba::on_input(int from, Reader& reader) {
   for (const SigShare& share : shares) {
     SINTRA_REQUIRE(reply_pk.scheme().unit_owner(share.unit) == from,
                    "abba: input share unit not owned by sender");
-    SINTRA_REQUIRE(reply_pk.verify_share(stmt, share), "abba: invalid input share");
   }
+  SINTRA_REQUIRE(crypto::batch::verify_sig_shares(reply_pk, stmt, shares, host_.rng()),
+                 "abba: invalid input share");
   input_voted_ |= crypto::party_bit(from);
   ++progress_;
   input_support_[value] |= crypto::party_bit(from);
@@ -234,6 +236,7 @@ void Abba::handle(int from, Reader& reader) {
     case kPreVote: return on_prevote(from, reader);
     case kMainVote: return on_mainvote(from, reader);
     case kCoinShare: return on_coin_share(from, reader);
+    case kCoinVerdict: return on_coin_verdict(from, reader);
     case kDecide: return on_decide(from, reader);
     default: throw ProtocolError("abba: unknown message type");
   }
@@ -288,8 +291,9 @@ void Abba::accept_prevote(int round, int from, bool value,
   for (const SigShare& share : shares) {
     SINTRA_REQUIRE(cert_pk.scheme().unit_owner(share.unit) == from,
                    "abba: pre-vote share unit not owned by sender");
-    SINTRA_REQUIRE(cert_pk.verify_share(stmt, share), "abba: invalid pre-vote share");
   }
+  SINTRA_REQUIRE(crypto::batch::verify_sig_shares(cert_pk, stmt, shares, host_.rng()),
+                 "abba: invalid pre-vote share");
   state.prevoted |= crypto::party_bit(from);
   ++progress_;
   const int v = value ? 1 : 0;
@@ -359,8 +363,9 @@ void Abba::on_mainvote(int from, Reader& reader) {
   for (const SigShare& share : shares) {
     SINTRA_REQUIRE(cert_pk.scheme().unit_owner(share.unit) == from,
                    "abba: main-vote share unit not owned by sender");
-    SINTRA_REQUIRE(cert_pk.verify_share(stmt, share), "abba: invalid main-vote share");
   }
+  SINTRA_REQUIRE(crypto::batch::verify_sig_shares(cert_pk, stmt, shares, host_.rng()),
+                 "abba: invalid main-vote share");
   state.mainvoted |= crypto::party_bit(from);
   ++progress_;
   state.mainvote_support[vote] |= crypto::party_bit(from);
@@ -433,12 +438,16 @@ void Abba::on_coin_share(int from, Reader& reader) {
       [&](Reader& r) { return CoinShare::decode(r, coin_pk.group()); });
   reader.expect_done();
   Round& state = round_state(round);
-  if (crypto::contains(state.coin_support, from) || state.coin.has_value()) return;
-  const Bytes name = coin_name(round);
+  if (crypto::contains(state.coin_support, from) || crypto::contains(state.coin_rejected, from) ||
+      state.coin.has_value()) {
+    return;
+  }
+  // Structural admission only: unit ownership and decode bounds.  The NIZK
+  // proofs are *not* checked here — they are deferred to one batched
+  // verification over the whole threshold set, run off the event loop.
   for (const CoinShare& share : shares) {
     SINTRA_REQUIRE(coin_pk.scheme().unit_owner(share.unit) == from,
                    "abba: coin share unit not owned by sender");
-    SINTRA_REQUIRE(coin_pk.verify_share(name, share), "abba: invalid coin share");
   }
   state.coin_support |= crypto::party_bit(from);
   ++progress_;
@@ -448,12 +457,85 @@ void Abba::on_coin_share(int from, Reader& reader) {
 
 void Abba::maybe_combine_coin(int round) {
   Round& state = round_state(round);
-  if (state.coin.has_value()) return;
+  if (state.coin.has_value() || state.coin_inflight) return;
   const auto& coin_pk = host_.public_keys().coin;
   if (!coin_pk.scheme().qualified(state.coin_support)) return;
-  auto value = coin_pk.combine(coin_name(round), state.coin_shares);
-  SINTRA_INVARIANT(value.has_value(), "abba: coin combine failed on qualified set");
-  state.coin = crypto::CoinPublicKey::coin_bit(*value);
+  state.coin_inflight = true;
+  const int attempt = ++state.coin_attempt;
+  // The random-linear-combination weights are seeded on the loop thread so
+  // sequential (deterministic-mode) runs replay bit-exactly.
+  const std::uint64_t seed = host_.rng().next();
+  // The job owns copies of everything except coin_pk, which is immutable
+  // for the party's lifetime and therefore safe to read from a worker.
+  host_.offload(tag_, [&coin_pk, name = coin_name(round), shares = state.coin_shares, round,
+                       attempt, seed]() -> Bytes {
+    Rng rng(seed);
+    auto result = crypto::batch::combine_coin_optimistic(coin_pk, name, shares, rng);
+    Writer w;
+    w.u8(kCoinVerdict);
+    w.u32(static_cast<std::uint32_t>(round));
+    w.u32(static_cast<std::uint32_t>(attempt));
+    w.vec(result.bad, [&](Writer& wr, const std::size_t& i) {
+      wr.u32(static_cast<std::uint32_t>(shares[i].unit));
+    });
+    if (result.value.has_value()) {
+      w.u8(1);
+      w.bytes(*result.value);
+    } else {
+      w.u8(0);
+    }
+    return w.take();
+  });
+}
+
+void Abba::on_coin_verdict(int from, Reader& reader) {
+  // Verdicts are verification results this party computed for itself; a
+  // peer has no business injecting one.
+  SINTRA_REQUIRE(from == me(), "abba: coin verdict from another party");
+  const int round = static_cast<int>(reader.u32());
+  const int attempt = static_cast<int>(reader.u32());
+  auto bad_units = reader.vec<std::uint32_t>([](Reader& r) { return r.u32(); });
+  const bool ok = reader.u8() == 1;
+  Bytes value;
+  if (ok) value = reader.bytes();
+  reader.expect_done();
+  SINTRA_REQUIRE(round >= 1 && round < 1 << 20, "abba: implausible verdict round");
+  Round& state = round_state(round);
+  // Idempotency: threaded-mode verdicts are WAL-logged *and* regenerated
+  // when the triggering shares replay, so a verdict acts only if it is the
+  // one the current in-flight attempt is waiting for.
+  if (!state.coin_inflight || attempt != state.coin_attempt || state.coin.has_value()) return;
+  state.coin_inflight = false;
+  const auto& coin_pk = host_.public_keys().coin;
+  crypto::PartySet culprits = 0;
+  for (std::uint32_t unit : bad_units) {
+    SINTRA_REQUIRE(static_cast<int>(unit) < coin_pk.scheme().num_units(),
+                   "abba: verdict unit out of range");
+    culprits |= crypto::party_bit(coin_pk.scheme().unit_owner(static_cast<int>(unit)));
+  }
+  if (culprits != 0) {
+    // Byzantine sender pays: its shares leave the set for good and the
+    // party is fingered for the caller.
+    suspected_ |= culprits;
+    state.coin_rejected |= culprits;
+    state.coin_support &= ~culprits;
+    std::erase_if(state.coin_shares, [&](const CoinShare& s) {
+      return (culprits & crypto::party_bit(coin_pk.scheme().unit_owner(s.unit))) != 0;
+    });
+    host_.trace("abba", tag_ + " coin r" + std::to_string(round) +
+                            " rejected invalid shares (suspects fingered)");
+  }
+  if (!ok) {
+    SINTRA_INVARIANT(culprits != 0, "abba: coin verdict failed without culprits");
+    maybe_combine_coin(round);  // remaining honest shares may still qualify
+    return;
+  }
+  adopt_coin(round, value);
+}
+
+void Abba::adopt_coin(int round, BytesView value) {
+  Round& state = round_state(round);
+  state.coin = crypto::CoinPublicKey::coin_bit(value);
   host_.trace("abba", tag_ + " coin r" + std::to_string(round) + " = " +
                           std::to_string(static_cast<int>(*state.coin)));
 

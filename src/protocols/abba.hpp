@@ -93,6 +93,10 @@ class Abba final : public ProtocolInstance {
   [[nodiscard]] bool decided() const { return decided_; }
   [[nodiscard]] std::optional<bool> decision() const { return decision_; }
 
+  /// Parties caught sending well-formed-but-invalid coin shares (fingered
+  /// by the batch verifier's bisection).
+  [[nodiscard]] crypto::PartySet suspected() const { return suspected_; }
+
   /// Introspection for the memory-budget tests.
   [[nodiscard]] std::size_t live_rounds() const { return rounds_.size(); }
   [[nodiscard]] std::size_t deferred_count() const { return deferred_.size(); }
@@ -104,6 +108,7 @@ class Abba final : public ProtocolInstance {
     kMainVote = 1,
     kCoinShare = 2,
     kDecide = 3,
+    kCoinVerdict = 5,  ///< self-message: off-loop coin batch-verify result
   };
   enum Justification : std::uint8_t { kJustAnchor = 0, kJustHard = 1, kJustCoin = 2 };
   static constexpr std::uint8_t kAbstain = 2;
@@ -123,10 +128,15 @@ class Abba final : public ProtocolInstance {
     bool sent_mainvote = false;
     bool round_closed = false;  ///< main-vote quorum processed
     bool waiting_for_coin = false;
-    // Coin.
+    // Coin.  Shares are buffered after structural checks only; the NIZK
+    // batch verification + combine runs off-loop (Party::offload) and
+    // reports back as a kCoinVerdict self-message.
     bool coin_released = false;
     crypto::PartySet coin_support = 0;
+    crypto::PartySet coin_rejected = 0;  ///< senders with a proven-bad share
     std::vector<crypto::CoinShare> coin_shares;
+    int coin_attempt = 0;        ///< verdicts are matched to the attempt
+    bool coin_inflight = false;  ///< a verification job is outstanding
     std::optional<bool> coin;
     /// COIN-justified pre-votes for round r+1 awaiting this round's coin:
     /// (voter, value, cert-signature shares); evidence already verified.
@@ -144,6 +154,7 @@ class Abba final : public ProtocolInstance {
   void on_prevote(int from, Reader& reader);
   void on_mainvote(int from, Reader& reader);
   void on_coin_share(int from, Reader& reader);
+  void on_coin_verdict(int from, Reader& reader);
   void on_decide(int from, Reader& reader);
 
   void accept_prevote(int round, int from, bool value,
@@ -152,6 +163,7 @@ class Abba final : public ProtocolInstance {
   void maybe_close_round(int round);
   void release_coin(int round);
   void maybe_combine_coin(int round);
+  void adopt_coin(int round, BytesView value);
   void advance(int round, bool value, Justification justification,
                const crypto::BigInt& evidence);
   void send_prevote(int round, bool value, Justification justification,
@@ -181,7 +193,8 @@ class Abba final : public ProtocolInstance {
   Bytes last_prevote_raw_;    ///< watchdog resummary material
   Bytes last_mainvote_raw_;
   Bytes last_coin_raw_;
-  crypto::PartySet helped_ = 0;  ///< peers already re-sent the decide cert
+  crypto::PartySet helped_ = 0;     ///< peers already re-sent the decide cert
+  crypto::PartySet suspected_ = 0;  ///< proven bad-share senders
   std::uint64_t progress_ = 0;   ///< counted protocol events (watchdog token)
   std::unique_ptr<StallWatchdog> watchdog_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/batch.hpp"
 #include "crypto/sha256.hpp"
 
 namespace sintra::protocols {
@@ -158,14 +159,16 @@ void AtomicBroadcast::handle(int from, Reader& reader) {
   }
 
   // Verify before any state is allocated for the round — unverifiable
-  // traffic must not create map entries.
+  // traffic must not create map entries.  The sender's shares all cover
+  // one statement, so the whole vector goes through one batched check.
   const auto& cert_pk = host_.public_keys().cert_sig;
   const Bytes stmt = batch_statement(round, from, payload_block);
   for (const SigShare& share : shares) {
     SINTRA_REQUIRE(cert_pk.scheme().unit_owner(share.unit) == from,
                    "abc: batch share unit not owned by sender");
-    SINTRA_REQUIRE(cert_pk.verify_share(stmt, share), "abc: invalid batch signature");
   }
+  SINTRA_REQUIRE(crypto::batch::verify_sig_shares(cert_pk, stmt, shares, host_.rng()),
+                 "abc: invalid batch signature");
 
   BatchEntry entry;
   entry.party = from;
@@ -253,20 +256,26 @@ bool AtomicBroadcast::validate_batch_set(int round, BytesView batch_set) const {
     reader.expect_done();
     const auto& cert_pk = host_.public_keys().cert_sig;
     crypto::PartySet senders = 0;
+    // One multi-statement batch over the whole proposal: each sender's
+    // shares group under that sender's batch statement, and all groups
+    // collapse into a single pair of multi-exponentiations.
+    std::vector<crypto::batch::SigShareGroup> groups;
+    groups.reserve(raw_entries.size());
     for (const Bytes& raw : raw_entries) {
       Reader entry_reader(raw);
       BatchEntry entry = BatchEntry::decode(entry_reader);
       entry_reader.expect_done();
       if (entry.party < 0 || entry.party >= host_.n()) return false;
       if (crypto::contains(senders, entry.party)) return false;  // duplicate sender
-      const Bytes stmt = batch_statement(round, entry.party, entry.payload_block());
       for (const SigShare& share : entry.shares) {
         if (cert_pk.scheme().unit_owner(share.unit) != entry.party) return false;
-        if (!cert_pk.verify_share(stmt, share)) return false;
       }
       if (entry.shares.empty()) return false;
       senders |= crypto::party_bit(entry.party);
+      groups.push_back({batch_statement(round, entry.party, entry.payload_block()),
+                        std::move(entry.shares)});
     }
+    if (!crypto::batch::verify_sig_share_groups(cert_pk, groups, host_.rng())) return false;
     // The paper's external validity condition: properly signed batches from
     // a full quorum, so honest parties' payloads are represented.
     return quorum().is_quorum(senders);

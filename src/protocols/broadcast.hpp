@@ -60,6 +60,7 @@ class ReliableBroadcast final : public ProtocolInstance {
   struct Tally;
   void retain_if_supported(Tally& tally, const Bytes& message);
   void maybe_progress(Tally& tally);
+  [[nodiscard]] const Bytes& digest_for(const Bytes& message);
 
   struct Tally {
     crypto::PartySet echoes = 0;
@@ -86,6 +87,9 @@ class ReliableBroadcast final : public ProtocolInstance {
   crypto::PartySet helped_ = 0;  ///< peers already given a post-delivery READY
   crypto::PartySet summary_answered_ = 0;  ///< peers whose SUMMARY probe we answered
   std::uint64_t progress_ = 0;   ///< counted protocol events (watchdog token)
+  Bytes digest_cache_key_;  ///< last hashed body (all-honest runs hash once)
+  Bytes digest_cache_val_;
+  bool digest_cache_set_ = false;
   std::unique_ptr<StallWatchdog> watchdog_;
 };
 

@@ -1,5 +1,6 @@
 #include "protocols/consistent.hpp"
 
+#include "crypto/batch.hpp"
 #include "crypto/sha256.hpp"
 
 namespace sintra::protocols {
@@ -69,31 +70,11 @@ void ConsistentBroadcast::handle(int from, Reader& reader) {
       break;
     }
     case kShare: {
-      if (me() != sender_ || finalized_) break;
-      // One share message per party: a duplicated/replayed copy must not
-      // append its shares again (combine expects distinct units).
-      if (share_owners_ & crypto::party_bit(from)) break;
-      auto incoming = reader.vec<crypto::SigShare>(
-          [](Reader& r) { return crypto::SigShare::decode(r); });
-      reader.expect_done();
-      const Bytes statement = consistent_statement(tag_, my_message_);
-      const auto& pk = host_.public_keys().cert_sig;
-      for (auto& share : incoming) {
-        SINTRA_REQUIRE(pk.scheme().unit_owner(share.unit) == from, "cbc: share unit not owned");
-        SINTRA_REQUIRE(pk.verify_share(statement, share), "cbc: invalid signature share");
-        shares_.push_back(std::move(share));
-      }
-      share_owners_ |= crypto::party_bit(from);
-      if (quorum().is_quorum(share_owners_)) {
-        auto certificate = pk.combine(statement, shares_);
-        SINTRA_INVARIANT(certificate.has_value(), "cbc: combine failed on verified quorum");
-        finalized_ = true;
-        Writer w;
-        w.u8(kFinal);
-        CertifiedMessage cm{my_message_, *certificate};
-        cm.encode(w);
-        broadcast(w.take());
-      }
+      on_share(from, reader);
+      break;
+    }
+    case kVerdict: {
+      on_verdict(from, reader);
       break;
     }
     case kFinal: {
@@ -110,6 +91,92 @@ void ConsistentBroadcast::handle(int from, Reader& reader) {
     default:
       throw ProtocolError("cbc: unknown message type");
   }
+}
+
+void ConsistentBroadcast::on_share(int from, Reader& reader) {
+  if (me() != sender_ || finalized_) return;
+  // One share message per party: a duplicated/replayed copy must not
+  // append its shares again (combine expects distinct units).
+  if ((share_owners_ | share_rejected_) & crypto::party_bit(from)) return;
+  auto incoming = reader.vec<crypto::SigShare>(
+      [](Reader& r) { return crypto::SigShare::decode(r); });
+  reader.expect_done();
+  const auto& pk = host_.public_keys().cert_sig;
+  // Structural admission only: the shares are *not* verified here.  The
+  // sender combines an unverified quorum optimistically and checks the one
+  // combined signature off the event loop — Byzantine signers pay for the
+  // bisection fallback, honest executions never verify a single share.
+  for (auto& share : incoming) {
+    SINTRA_REQUIRE(pk.scheme().unit_owner(share.unit) == from, "cbc: share unit not owned");
+    shares_.push_back(std::move(share));
+  }
+  share_owners_ |= crypto::party_bit(from);
+  maybe_combine();
+}
+
+void ConsistentBroadcast::maybe_combine() {
+  if (finalized_ || combine_inflight_ || !quorum().is_quorum(share_owners_)) return;
+  combine_inflight_ = true;
+  const int attempt = ++combine_attempt_;
+  const std::uint64_t seed = host_.rng().next();  // weight seed drawn on the loop thread
+  const auto& pk = host_.public_keys().cert_sig;
+  host_.offload(tag_, [&pk, stmt = consistent_statement(tag_, my_message_), shares = shares_,
+                       attempt, seed]() -> Bytes {
+    Rng rng(seed);
+    auto result = crypto::batch::combine_sig_optimistic(pk, stmt, shares, rng);
+    Writer w;
+    w.u8(kVerdict);
+    w.u32(static_cast<std::uint32_t>(attempt));
+    w.vec(result.bad, [&](Writer& wr, const std::size_t& i) {
+      wr.u32(static_cast<std::uint32_t>(shares[i].unit));
+    });
+    if (result.signature.has_value()) {
+      w.u8(1);
+      result.signature->encode(w);
+    } else {
+      w.u8(0);
+    }
+    return w.take();
+  });
+}
+
+void ConsistentBroadcast::on_verdict(int from, Reader& reader) {
+  SINTRA_REQUIRE(from == me(), "cbc: verdict from another party");
+  const int attempt = static_cast<int>(reader.u32());
+  auto bad_units = reader.vec<std::uint32_t>([](Reader& r) { return r.u32(); });
+  const bool ok = reader.u8() == 1;
+  std::optional<crypto::BigInt> certificate;
+  if (ok) certificate = crypto::BigInt::decode(reader);
+  reader.expect_done();
+  // Idempotent against WAL-replayed duplicates.
+  if (!combine_inflight_ || attempt != combine_attempt_ || finalized_) return;
+  combine_inflight_ = false;
+  const auto& pk = host_.public_keys().cert_sig;
+  crypto::PartySet culprits = 0;
+  for (std::uint32_t unit : bad_units) {
+    SINTRA_REQUIRE(static_cast<int>(unit) < pk.scheme().num_units(),
+                   "cbc: verdict unit out of range");
+    culprits |= crypto::party_bit(pk.scheme().unit_owner(static_cast<int>(unit)));
+  }
+  if (culprits != 0) {
+    suspected_ |= culprits;
+    share_rejected_ |= culprits;
+    share_owners_ &= ~culprits;
+    std::erase_if(shares_, [&](const crypto::SigShare& s) {
+      return (culprits & crypto::party_bit(pk.scheme().unit_owner(s.unit))) != 0;
+    });
+    host_.trace("cbc", tag_ + " rejected invalid signature shares (suspects fingered)");
+  }
+  if (!ok) {
+    maybe_combine();  // remaining honest shares may still form a quorum
+    return;
+  }
+  finalized_ = true;
+  Writer w;
+  w.u8(kFinal);
+  CertifiedMessage cm{my_message_, *certificate};
+  cm.encode(w);
+  broadcast(w.take());
 }
 
 }  // namespace sintra::protocols

@@ -54,11 +54,22 @@ class ConsistentBroadcast final : public ProtocolInstance {
   void start(Bytes message);
 
   [[nodiscard]] bool delivered() const { return delivered_; }
+  /// Parties whose signature shares the combine-then-verify fallback
+  /// proved invalid (sender side only).
+  [[nodiscard]] crypto::PartySet suspected() const { return suspected_; }
 
  private:
-  enum MsgType : std::uint8_t { kSend = 0, kShare = 1, kFinal = 2 };
+  enum MsgType : std::uint8_t {
+    kSend = 0,
+    kShare = 1,
+    kFinal = 2,
+    kVerdict = 3,  ///< self-message: off-loop combine-then-verify result
+  };
 
   void handle(int from, Reader& reader) override;
+  void on_share(int from, Reader& reader);
+  void maybe_combine();
+  void on_verdict(int from, Reader& reader);
 
   int sender_;
   DeliverFn deliver_;
@@ -68,6 +79,10 @@ class ConsistentBroadcast final : public ProtocolInstance {
   bool finalized_ = false;
   Bytes my_message_;  ///< sender: the message being certified
   crypto::PartySet share_owners_ = 0;
+  crypto::PartySet share_rejected_ = 0;  ///< senders with a proven-bad share
+  crypto::PartySet suspected_ = 0;
+  int combine_attempt_ = 0;
+  bool combine_inflight_ = false;
   std::vector<crypto::SigShare> shares_;
 };
 

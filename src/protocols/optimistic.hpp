@@ -57,6 +57,9 @@ class OptimisticBroadcast final : public ProtocolInstance {
   [[nodiscard]] bool pessimistic() const { return pessimistic_; }
   [[nodiscard]] bool switching() const { return switching_; }
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
+  /// Parties whose slot-signature shares the sequencer's combine-then-
+  /// verify fallback proved invalid.
+  [[nodiscard]] crypto::PartySet suspected() const { return suspected_; }
 
  private:
   enum MsgType : std::uint8_t {
@@ -66,6 +69,7 @@ class OptimisticBroadcast final : public ProtocolInstance {
     kAck = 3,
     kSwitch = 4,
     kClaim = 5,
+    kShareVerdict = 6,  ///< self-message: off-loop slot-combine result
   };
 
   struct Slot {
@@ -78,13 +82,18 @@ class OptimisticBroadcast final : public ProtocolInstance {
     // Sequencer bookkeeping:
     Bytes statement;              ///< canonical signed statement for the slot
     crypto::PartySet share_from = 0;
+    crypto::PartySet share_rejected = 0;  ///< senders with a proven-bad share
     std::vector<crypto::SigShare> shares;
+    int share_attempt = 0;
+    bool share_inflight = false;
     bool commit_sent = false;
   };
 
   void handle(int from, Reader& reader) override;
   void on_assign(int from, Reader& reader);
   void on_share(int from, Reader& reader);
+  void maybe_commit_slot(std::uint64_t seq);
+  void on_share_verdict(int from, Reader& reader);
   void on_commit(int from, Reader& reader);
   void on_ack(int from, Reader& reader);
   void on_switch(int from);
@@ -111,6 +120,7 @@ class OptimisticBroadcast final : public ProtocolInstance {
   bool switching_ = false;
   bool pessimistic_ = false;
   std::uint64_t delivered_count_ = 0;
+  crypto::PartySet suspected_ = 0;  ///< proven bad-share senders
 
   // Fast path.
   std::uint64_t next_assign_ = 0;       ///< sequencer: next seq to assign

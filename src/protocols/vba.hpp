@@ -52,13 +52,25 @@ class Vba final : public ProtocolInstance {
   /// Number of ABBA candidates examined before deciding (1 = first hit);
   /// exposed for the round-complexity experiments.
   [[nodiscard]] int candidates_tried() const { return candidate_index_ + 1; }
+  /// Parties caught sending well-formed-but-invalid permutation-coin
+  /// shares (fingered by the batch verifier's bisection).
+  [[nodiscard]] crypto::PartySet suspected() const { return suspected_; }
 
  private:
-  enum MsgType : std::uint8_t { kPermShare = 0, kFetch = 1, kProposal = 2 };
+  enum MsgType : std::uint8_t {
+    kPermShare = 0,
+    kFetch = 1,
+    kProposal = 2,
+    kPermVerdict = 3,  ///< self-message: off-loop perm-coin batch-verify result
+  };
 
   void handle(int from, Reader& reader) override;
   void on_proposal_delivered(int sender, CertifiedMessage cm);
   void maybe_release_perm_coin();
+  void on_perm_share(int from, Reader& reader);
+  void maybe_combine_perm();
+  void on_perm_verdict(int from, Reader& reader);
+  void adopt_permutation(BytesView coin_value);
   void maybe_start_candidate();
   void on_abba_decided(int candidate_index, bool value);
   void store_proposal(int sender, CertifiedMessage cm);
@@ -78,7 +90,11 @@ class Vba final : public ProtocolInstance {
 
   bool perm_released_ = false;
   crypto::PartySet perm_support_ = 0;
+  crypto::PartySet perm_rejected_ = 0;  ///< senders with a proven-bad share
   std::vector<crypto::CoinShare> perm_shares_;
+  int perm_attempt_ = 0;
+  bool perm_inflight_ = false;
+  crypto::PartySet suspected_ = 0;
   std::optional<std::vector<int>> permutation_;
 
   int candidate_index_ = -1;                      ///< current ABBA index (wraps mod n)

@@ -7,6 +7,8 @@
 #include "app/ca.hpp"
 #include "app/directory.hpp"
 #include "app/notary.hpp"
+#include "common/work_pool.hpp"
+#include "crypto/batch.hpp"
 #include "crypto/coin.hpp"
 #include "crypto/tdh2.hpp"
 #include "crypto/shamir.hpp"
@@ -306,6 +308,133 @@ TEST(FuzzTest, MutatedCapturedAbbaAndVbaTraffic) {
     EXPECT_EQ(*h.abba_decision, *abba_common) << "abba agreement corrupted";
     EXPECT_EQ(*h.vba_decision, *vba_common) << "vba agreement corrupted";
   });
+}
+
+// ---- batch-verifier inputs (issue 5) -----------------------------------
+//
+// The batch verifiers sit behind the deferred-verification pipeline, so
+// they see whatever share sets the structural admission checks let
+// through — including sets a Byzantine peer shaped to be truncated
+// (below threshold), duplicated (same unit twice), or numerically
+// garbage.  The contract: every such set either produces a result or
+// throws ProtocolError; through the pool, nothing may crash or wedge.
+
+/// Malformed input must surface as a result or ProtocolError — never a
+/// crash, another exception type, or a hang.
+template <typename Fn>
+void expect_total(Fn&& fn, const char* what) {
+  try {
+    fn();
+  } catch (const ProtocolError&) {
+    // fine: rejected explicitly
+  } catch (...) {
+    ADD_FAILURE() << what << ": non-ProtocolError exception escaped";
+  }
+}
+
+TEST(FuzzTest, BatchVerifiersSurviveTruncatedAndDuplicatedShareSets) {
+  Rng rng(17);
+  auto scheme = std::make_shared<crypto::ThresholdScheme>(4, 1);
+
+  auto coin = crypto::CoinDeal::deal(Group::test_group(), scheme, rng);
+  Bytes name = bytes_of("fuzz");
+  std::vector<crypto::CoinShare> coin_shares;
+  for (int p = 0; p < 3; ++p) {
+    for (auto& s : coin.secret_keys[static_cast<std::size_t>(p)].share(coin.public_key, name,
+                                                                       rng)) {
+      coin_shares.push_back(s);
+    }
+  }
+
+  auto sig = crypto::ThresholdSigDeal::deal(crypto::RsaParams::precomputed(128), scheme, rng);
+  Bytes message = bytes_of("fuzz sign");
+  std::vector<crypto::SigShare> sig_shares;
+  for (int p = 0; p < 3; ++p) {
+    for (auto& s : sig.secret_keys[static_cast<std::size_t>(p)].sign(sig.public_key, message,
+                                                                     rng)) {
+      sig_shares.push_back(s);
+    }
+  }
+
+  // Truncated below threshold, duplicated units, empty, and zeroed values:
+  // every variant must yield a result or a ProtocolError.
+  auto coin_variants = [&](std::vector<crypto::CoinShare> v) {
+    expect_total([&] { (void)crypto::batch::verify_coin_shares(coin.public_key, name, v, rng); },
+                 "verify_coin_shares");
+    expect_total(
+        [&] { (void)crypto::batch::find_invalid_coin_shares(coin.public_key, name, v, rng); },
+        "find_invalid_coin_shares");
+    expect_total(
+        [&] { (void)crypto::batch::combine_coin_optimistic(coin.public_key, name, v, rng); },
+        "combine_coin_optimistic");
+  };
+  auto sig_variants = [&](std::vector<crypto::SigShare> v) {
+    expect_total(
+        [&] { (void)crypto::batch::verify_sig_shares(sig.public_key, message, v, rng); },
+        "verify_sig_shares");
+    expect_total(
+        [&] { (void)crypto::batch::find_invalid_sig_shares(sig.public_key, message, v, rng); },
+        "find_invalid_sig_shares");
+    expect_total(
+        [&] { (void)crypto::batch::combine_sig_optimistic(sig.public_key, message, v, rng); },
+        "combine_sig_optimistic");
+  };
+
+  coin_variants({});
+  sig_variants({});
+  coin_variants({coin_shares[0]});                                   // below threshold
+  sig_variants({sig_shares[0]});
+  coin_variants({coin_shares[0], coin_shares[0], coin_shares[0]});   // duplicated unit
+  sig_variants({sig_shares[0], sig_shares[0], sig_shares[0]});
+  {
+    auto zeroed = coin_shares;
+    for (auto& s : zeroed) s.value = crypto::BigInt(0);
+    coin_variants(zeroed);
+  }
+  {
+    auto zeroed = sig_shares;
+    for (auto& s : zeroed) s.value = crypto::BigInt(0);
+    sig_variants(zeroed);
+  }
+}
+
+TEST(FuzzTest, MalformedBatchesNeverWedgeTheWorkPool) {
+  // The protocol wiring runs combines as pool jobs; a malformed set must
+  // come back as a verdict (possibly the empty-Bytes failure verdict),
+  // and the pool must keep serving afterwards — in both sequential and
+  // threaded mode.
+  Rng rng(18);
+  auto scheme = std::make_shared<crypto::ThresholdScheme>(4, 1);
+  auto sig = crypto::ThresholdSigDeal::deal(crypto::RsaParams::precomputed(128), scheme, rng);
+  Bytes message = bytes_of("fuzz sign");
+  std::vector<crypto::SigShare> dup;
+  for (auto& s : sig.secret_keys[0].sign(sig.public_key, message, rng)) {
+    dup.push_back(s);
+    dup.push_back(s);  // duplicated unit
+  }
+  for (std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+    common::WorkPool pool(threads);
+    int completions = 0;
+    for (int i = 0; i < 8; ++i) {
+      pool.submit(
+          [&, i]() -> Bytes {
+            Rng job_rng(static_cast<std::uint64_t>(i) + 100);
+            auto result =
+                crypto::batch::combine_sig_optimistic(sig.public_key, message, dup, job_rng);
+            Writer w;
+            w.u8(result.signature.has_value() ? 1 : 0);
+            return w.take();
+          },
+          [&](Bytes) { ++completions; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(completions, 8) << "threads=" << threads;
+    // Still alive for honest work.
+    bool ok = false;
+    pool.submit([] { return bytes_of("ok"); }, [&](Bytes b) { ok = (b == bytes_of("ok")); });
+    pool.wait_idle();
+    EXPECT_TRUE(ok) << "threads=" << threads;
+  }
 }
 
 TEST(FuzzTest, GroupElementDecodeRejectsRandomBytes) {

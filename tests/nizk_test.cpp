@@ -51,11 +51,14 @@ TEST_F(NizkTest, DleqRejectsTamperedProof) {
   BigInt h2 = group_->exp(g2, x);
   auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
   DleqProof bad = proof;
-  bad.response = group_->scalar_add(bad.response, BigInt(1));
+  bad.z = group_->scalar_add(bad.z, BigInt(1));
   EXPECT_FALSE(bad.verify(*group_, "ctx", group_->g(), h1, g2, h2));
   DleqProof bad2 = proof;
-  bad2.challenge = group_->scalar_add(bad2.challenge, BigInt(1));
+  bad2.a1 = group_->mul(bad2.a1, group_->g());
   EXPECT_FALSE(bad2.verify(*group_, "ctx", group_->g(), h1, g2, h2));
+  DleqProof bad3 = proof;
+  bad3.a2 = group_->mul(bad3.a2, group_->g());
+  EXPECT_FALSE(bad3.verify(*group_, "ctx", group_->g(), h1, g2, h2));
 }
 
 TEST_F(NizkTest, DleqRejectsSwappedStatement) {
@@ -87,8 +90,9 @@ TEST_F(NizkTest, DleqSerializationRoundTrip) {
   Reader r(w.data());
   DleqProof decoded = DleqProof::decode(r, *group_);
   r.expect_done();
-  EXPECT_EQ(decoded.challenge, proof.challenge);
-  EXPECT_EQ(decoded.response, proof.response);
+  EXPECT_EQ(decoded.a1, proof.a1);
+  EXPECT_EQ(decoded.a2, proof.a2);
+  EXPECT_EQ(decoded.z, proof.z);
 }
 
 TEST_F(NizkTest, SchnorrCompleteness) {
@@ -131,7 +135,7 @@ TEST_F(NizkTest, ProofsAreRandomized) {
   BigInt h = group_->exp_g(x);
   auto p1 = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
   auto p2 = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
-  EXPECT_NE(p1.response, p2.response);  // fresh commitment randomness
+  EXPECT_NE(p1.z, p2.z);  // fresh commitment randomness
 }
 
 }  // namespace

@@ -95,7 +95,7 @@ TEST_F(ThresholdSigTest, OversizedProofFieldsRejected) {
   Bytes message = bytes_of("bounds");
   auto shares = shares_for(message, {0});
   SigShare bad = shares[0];
-  bad.challenge = BigInt(1).shifted_left(200);  // beyond 128-bit challenge space
+  bad.a1 = deal_.public_key.modulus() + BigInt(1);  // commitment out of range
   EXPECT_FALSE(deal_.public_key.verify_share(message, bad));
   SigShare bad2 = shares[0];
   bad2.response = BigInt(1).shifted_left(4096);
@@ -103,6 +103,9 @@ TEST_F(ThresholdSigTest, OversizedProofFieldsRejected) {
   SigShare bad3 = shares[0];
   bad3.unit = 77;
   EXPECT_FALSE(deal_.public_key.verify_share(message, bad3));
+  SigShare bad4 = shares[0];
+  bad4.a2 = BigInt(0);
+  EXPECT_FALSE(deal_.public_key.verify_share(message, bad4));
 }
 
 TEST_F(ThresholdSigTest, ForgedSignatureRejected) {

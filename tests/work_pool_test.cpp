@@ -1,0 +1,198 @@
+// Work-pool tests: sequential determinism, owner-thread completion
+// delivery, exception containment, full-queue inline fallback, and
+// bit-exact Simulator runs with the pool attached (the pipeline must not
+// perturb seeded executions).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "adversary/examples.hpp"
+#include "common/work_pool.hpp"
+#include "protocols/abba.hpp"
+#include "protocols/harness.hpp"
+
+namespace sintra {
+namespace {
+
+using common::WorkPool;
+
+Bytes payload_of(std::uint8_t b) { return Bytes{b}; }
+
+TEST(WorkPoolTest, SequentialModeRunsInlineAtSubmit) {
+  WorkPool pool(0);
+  EXPECT_TRUE(pool.sequential());
+  const auto owner = std::this_thread::get_id();
+  std::vector<int> order;
+  pool.submit(
+      [&] {
+        EXPECT_EQ(std::this_thread::get_id(), owner);
+        order.push_back(1);
+        return payload_of(7);
+      },
+      [&](Bytes result) {
+        EXPECT_EQ(std::this_thread::get_id(), owner);
+        EXPECT_EQ(result, payload_of(7));
+        order.push_back(2);
+      });
+  // Job and completion both already ran, in order, before submit returned.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(pool.has_completions());
+  EXPECT_EQ(pool.drain(), 0u);
+}
+
+TEST(WorkPoolTest, ThreadedCompletionsRunOnOwnerThread) {
+  WorkPool pool(2);
+  EXPECT_EQ(pool.threads(), 2u);
+  const auto owner = std::this_thread::get_id();
+  std::atomic<int> off_owner_jobs{0};
+  std::vector<std::uint8_t> seen;
+  constexpr int kJobs = 32;
+  for (int i = 0; i < kJobs; ++i) {
+    pool.submit(
+        [&, i] {
+          if (std::this_thread::get_id() != owner) off_owner_jobs.fetch_add(1);
+          return payload_of(static_cast<std::uint8_t>(i));
+        },
+        [&](Bytes result) {
+          // Completions only ever run on the owner thread, inside drain().
+          EXPECT_EQ(std::this_thread::get_id(), owner);
+          ASSERT_EQ(result.size(), 1u);
+          seen.push_back(result[0]);
+        });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kJobs));
+  // At least some work actually left the owner thread.
+  EXPECT_GT(off_owner_jobs.load(), 0);
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kJobs; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(WorkPoolTest, ThrowingJobYieldsEmptyBytesAndPoolSurvives) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+    WorkPool pool(threads);
+    bool empty_seen = false;
+    pool.submit([]() -> Bytes { throw std::runtime_error("malformed batch"); },
+                [&](Bytes result) { empty_seen = result.empty(); });
+    pool.wait_idle();
+    EXPECT_TRUE(empty_seen) << "threads=" << threads;
+    // Pool still functional after the throw.
+    bool ok = false;
+    pool.submit([] { return payload_of(1); }, [&](Bytes result) { ok = !result.empty(); });
+    pool.wait_idle();
+    EXPECT_TRUE(ok) << "threads=" << threads;
+  }
+}
+
+TEST(WorkPoolTest, FullQueueFallsBackToInlineExecution) {
+  WorkPool pool(1, /*max_queue=*/1);
+  const auto owner = std::this_thread::get_id();
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> worker_busy{false};
+  pool.submit(
+      [&, opened] {
+        worker_busy.store(true);
+        opened.wait();
+        return payload_of(1);
+      },
+      [](Bytes) {});
+  while (!worker_busy.load()) std::this_thread::yield();
+  pool.submit([&, opened] { opened.wait(); return payload_of(2); }, [](Bytes) {});  // queued
+  // Queue is now full: the next submit must run inline on the caller and
+  // complete before returning — overload degrades to synchronous, never
+  // blocks, never drops.
+  bool inline_done = false;
+  pool.submit(
+      [&] {
+        EXPECT_EQ(std::this_thread::get_id(), owner);
+        return payload_of(3);
+      },
+      [&](Bytes result) {
+        EXPECT_EQ(result, payload_of(3));
+        inline_done = true;
+      });
+  EXPECT_TRUE(inline_done);
+  gate.set_value();
+  pool.wait_idle();
+}
+
+TEST(WorkPoolTest, HasCompletionsAndNotifyWakeTheOwner) {
+  WorkPool pool(1);
+  std::atomic<int> notified{0};
+  pool.set_notify([&] { notified.fetch_add(1); });
+  pool.submit([] { return payload_of(9); }, [](Bytes) {});
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!pool.has_completions()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "completion never surfaced";
+    std::this_thread::yield();
+  }
+  EXPECT_GE(notified.load(), 1);
+  EXPECT_EQ(pool.drain(), 1u);
+  EXPECT_FALSE(pool.has_completions());
+}
+
+// -- Simulator determinism with the pool attached -----------------------------
+
+struct AbbaState {
+  std::unique_ptr<protocols::Abba> abba;
+  std::optional<bool> decision;
+};
+
+struct RunFingerprint {
+  std::uint64_t steps = 0;
+  std::uint64_t messages = 0;
+  bool decision = false;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+/// One seeded 4-party ABBA run; when `pool` is non-null it is attached to
+/// every honest party (the Simulator mandates sequential mode).
+RunFingerprint run_abba(std::uint64_t seed, WorkPool* pool) {
+  Rng rng(seed);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(seed);
+  protocols::Cluster<AbbaState> cluster(
+      deployment, sched,
+      [](net::Party& party, int) {
+        auto state = std::make_unique<AbbaState>();
+        state->abba = std::make_unique<protocols::Abba>(
+            party, "ba/0", [s = state.get()](bool v, int) { s->decision = v; });
+        return state;
+      },
+      0, 0, seed);
+  if (pool != nullptr) {
+    for (int id = 0; id < cluster.n(); ++id) cluster.party(id)->set_work_pool(pool);
+  }
+  cluster.start();
+  cluster.for_each([&](int id, AbbaState& s) { s.abba->start(id % 2 == 0); });
+  EXPECT_TRUE(cluster.run_until_all(
+      [](AbbaState& s) { return s.decision.has_value(); }, 3000000));
+  RunFingerprint fp;
+  fp.steps = cluster.simulator().now();
+  fp.messages = cluster.simulator().total_messages();
+  cluster.for_each([&](int, AbbaState& s) { fp.decision = s.decision.value_or(false); });
+  return fp;
+}
+
+TEST(WorkPoolTest, SeededSimulatorRunsAreBitExactWithPoolEnabled) {
+  for (std::uint64_t seed : {1ull, 5ull, 23ull}) {
+    WorkPool pool_a(0);
+    WorkPool pool_b(0);
+    RunFingerprint with_pool_a = run_abba(seed, &pool_a);
+    RunFingerprint with_pool_b = run_abba(seed, &pool_b);
+    RunFingerprint without_pool = run_abba(seed, nullptr);
+    // Repeats with the pool agree, and the pool changes nothing at all
+    // versus the plain inline path.
+    EXPECT_EQ(with_pool_a, with_pool_b) << "seed " << seed;
+    EXPECT_EQ(with_pool_a, without_pool) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sintra
