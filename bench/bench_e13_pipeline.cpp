@@ -40,6 +40,19 @@ std::shared_ptr<const LinearScheme> scheme_for(int n, int t) {
   return std::make_shared<ThresholdScheme>(n, t);
 }
 
+// Backend selector, same convention as bench_e7_crypto (always the LAST
+// benchmark arg): 0 = test Schnorr, 1 = big Schnorr, 2 = secp256k1.  The
+// backend name is attached as the label for run_bench.sh's comparison.
+GroupPtr group_for(std::int64_t which) {
+  switch (which) {
+    case 0: return Group::test_group();
+    case 1: return Group::big_group();
+    default: return Group::curve_group();
+  }
+}
+
+void label_backend(benchmark::State& state, const Group& g) { state.SetLabel(g.name()); }
+
 // ---- micro: batch vs individual share verification --------------------------
 // All share sets are dealt at (n=16, t=5); Arg(0) picks how many of the
 // 16 shares the verifier is handed (the batch API cost is per set size,
@@ -48,7 +61,9 @@ std::shared_ptr<const LinearScheme> scheme_for(int n, int t) {
 void BM_CoinVerifyIndividual(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   Rng rng(21);
-  auto deal = CoinDeal::deal(Group::test_group(), scheme_for(16, 5), rng);
+  GroupPtr g = group_for(state.range(1));
+  label_backend(state, *g);
+  auto deal = CoinDeal::deal(g, scheme_for(16, 5), rng);
   Bytes name = bytes_of("e13");
   std::vector<CoinShare> shares;
   for (std::size_t p = 0; p < k; ++p) {
@@ -60,12 +75,15 @@ void BM_CoinVerifyIndividual(benchmark::State& state) {
     benchmark::DoNotOptimize(all);
   }
 }
-BENCHMARK(BM_CoinVerifyIndividual)->Arg(4)->Arg(16);
+BENCHMARK(BM_CoinVerifyIndividual)
+    ->Args({4, 0})->Args({16, 0})->Args({4, 1})->Args({16, 1})->Args({4, 2})->Args({16, 2});
 
 void BM_CoinVerifyBatch(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   Rng rng(21);
-  auto deal = CoinDeal::deal(Group::test_group(), scheme_for(16, 5), rng);
+  GroupPtr g = group_for(state.range(1));
+  label_backend(state, *g);
+  auto deal = CoinDeal::deal(g, scheme_for(16, 5), rng);
   Bytes name = bytes_of("e13");
   std::vector<CoinShare> shares;
   for (std::size_t p = 0; p < k; ++p) {
@@ -75,7 +93,8 @@ void BM_CoinVerifyBatch(benchmark::State& state) {
     benchmark::DoNotOptimize(batch::verify_coin_shares(deal.public_key, name, shares, rng));
   }
 }
-BENCHMARK(BM_CoinVerifyBatch)->Arg(4)->Arg(16);
+BENCHMARK(BM_CoinVerifyBatch)
+    ->Args({4, 0})->Args({16, 0})->Args({4, 1})->Args({16, 1})->Args({4, 2})->Args({16, 2});
 
 void BM_SigVerifyIndividual(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
@@ -129,7 +148,9 @@ BENCHMARK(BM_SigCombineOptimistic)->Arg(16);
 void BM_Tdh2VerifyIndividual(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   Rng rng(23);
-  auto deal = Tdh2Deal::deal(Group::test_group(), scheme_for(16, 5), rng);
+  GroupPtr g = group_for(state.range(1));
+  label_backend(state, *g);
+  auto deal = Tdh2Deal::deal(g, scheme_for(16, 5), rng);
   auto ct = deal.public_key.encrypt(bytes_of("message"), bytes_of("l"), rng);
   std::vector<Tdh2DecShare> shares;
   for (std::size_t p = 0; p < k; ++p) {
@@ -143,12 +164,15 @@ void BM_Tdh2VerifyIndividual(benchmark::State& state) {
     benchmark::DoNotOptimize(all);
   }
 }
-BENCHMARK(BM_Tdh2VerifyIndividual)->Arg(4)->Arg(16);
+BENCHMARK(BM_Tdh2VerifyIndividual)
+    ->Args({4, 0})->Args({16, 0})->Args({4, 1})->Args({16, 1})->Args({4, 2})->Args({16, 2});
 
 void BM_Tdh2VerifyBatch(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   Rng rng(23);
-  auto deal = Tdh2Deal::deal(Group::test_group(), scheme_for(16, 5), rng);
+  GroupPtr g = group_for(state.range(1));
+  label_backend(state, *g);
+  auto deal = Tdh2Deal::deal(g, scheme_for(16, 5), rng);
   auto ct = deal.public_key.encrypt(bytes_of("message"), bytes_of("l"), rng);
   std::vector<Tdh2DecShare> shares;
   for (std::size_t p = 0; p < k; ++p) {
@@ -160,7 +184,8 @@ void BM_Tdh2VerifyBatch(benchmark::State& state) {
     benchmark::DoNotOptimize(batch::verify_dec_shares(deal.public_key, ct, shares, rng));
   }
 }
-BENCHMARK(BM_Tdh2VerifyBatch)->Arg(4)->Arg(16);
+BENCHMARK(BM_Tdh2VerifyBatch)
+    ->Args({4, 0})->Args({16, 0})->Args({4, 1})->Args({16, 1})->Args({4, 2})->Args({16, 2});
 
 // ---- macro: E3 atomic broadcast with 0/1/2/4 pool workers -------------------
 
@@ -244,8 +269,11 @@ void BM_E3AtomicPipeline(benchmark::State& state) {
   constexpr int kN = 4;
   constexpr std::size_t kPayloads = 8;
   Rng rng(31);
+  adversary::CryptoConfig config;
+  config.group = group_for(state.range(1));
+  label_backend(state, *config.group);
   // Keys dealt once, outside timing (Deployment is shared_ptr-backed).
-  auto deployment = adversary::Deployment::threshold(kN, 1, rng);
+  auto deployment = adversary::Deployment::threshold(kN, 1, rng, config);
   std::uint64_t seed = 1;
   bool live = true;
   for (auto _ : state) {
@@ -265,7 +293,11 @@ void BM_E3AtomicPipeline(benchmark::State& state) {
   if (!live) state.SkipWithError("atomic broadcast did not deliver");
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kPayloads));
 }
-BENCHMARK(BM_E3AtomicPipeline)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E3AtomicPipeline)
+    ->Args({0, 0})->Args({1, 0})->Args({2, 0})->Args({4, 0})
+    ->Args({0, 1})->Args({2, 1})
+    ->Args({0, 2})->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -21,6 +21,42 @@ fi
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
+# backend_compare <bench.json>: group-backend comparison table.  Labeled
+# benchmarks carry the group backend name as their label and the backend
+# selector as their LAST argument; rows differing only in that selector
+# are the same operation on different backends, so print them side by
+# side with the speedup of each backend over the slowest.
+backend_compare() {
+  python3 - "$1" <<'EOF'
+import json, sys
+from collections import defaultdict
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+families = defaultdict(dict)  # (family-with-non-backend-args) -> label -> ns
+for b in data.get("benchmarks", []):
+    if b.get("run_type") == "aggregate" or not b.get("label"):
+        continue
+    parts = b["name"].split("/")
+    key = "/".join(parts[:-1])  # strip trailing backend selector
+    families[key][b["label"]] = float(b["real_time"])
+
+printed_header = False
+for key in sorted(families):
+    rows = families[key]
+    if len(rows) < 2:
+        continue
+    if not printed_header:
+        print("\n-- backend comparison (speedup vs slowest backend) --")
+        printed_header = True
+    slowest = max(rows.values())
+    cols = ", ".join(f"{label}: {ns:,.0f} ns ({slowest / ns:.1f}x)"
+                     for label, ns in sorted(rows.items(), key=lambda kv: -kv[1]))
+    print(f"{key}:  {cols}")
+EOF
+}
+
 # compare <old.json> <new.json>: warn on >20% real_time slowdowns.
 compare_json() {
   python3 - "$1" "$2" <<'EOF'
@@ -70,6 +106,7 @@ for exp in e7_crypto e13_pipeline; do
   "$bench_bin" --benchmark_out="$out_json" --benchmark_out_format=json \
                --benchmark_format=console
   echo "wrote $out_json"
+  backend_compare "$out_json"
   if [[ -n "$baseline" ]]; then
     if ! compare_json "$baseline" "$out_json"; then
       echo "warning: ${id} benchmarks regressed >20% vs the committed JSON" >&2

@@ -64,6 +64,10 @@ CryptoConfig CryptoConfig::production() {
   return CryptoConfig{crypto::Group::default_group(), 256};
 }
 
+CryptoConfig CryptoConfig::curve() {
+  return CryptoConfig{crypto::Group::curve_group(), 256};
+}
+
 Deployment Deployment::threshold(int n, int t, Rng& rng, const CryptoConfig& config) {
   auto quorum = std::make_shared<const ThresholdQuorum>(n, t);
   auto low = std::make_shared<const crypto::ThresholdScheme>(n, t);

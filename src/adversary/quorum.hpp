@@ -88,6 +88,9 @@ struct CryptoConfig {
 
   static CryptoConfig fast() { return {}; }
   static CryptoConfig production();
+  /// Elliptic-curve deployment: secp256k1 for all discrete-log subsystems,
+  /// production-sized RSA.  Fastest verify paths at the highest margin.
+  static CryptoConfig curve();
 };
 
 /// A complete system instance: the failure model plus all dealt keys.

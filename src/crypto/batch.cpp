@@ -21,15 +21,15 @@ constexpr std::size_t kRsaWeightBits = 112;
 /// subgroup membership) and can never verify.
 struct DleqEquation {
   bool ok = false;
-  BigInt h1;
-  BigInt h2;
-  BigInt a1;
-  BigInt a2;
+  Element h1;
+  Element h2;
+  Element a1;
+  Element a2;
   BigInt c;
   BigInt z;
 };
 
-bool check_dleq_equations(const Group& group, const BigInt& g1, const BigInt& g2,
+bool check_dleq_equations(const Group& group, const Element& g1, const Element& g2,
                           const std::vector<const DleqEquation*>& eqs, Rng& rng) {
   for (const DleqEquation* eq : eqs) {
     if (!eq->ok) return false;
@@ -40,7 +40,7 @@ bool check_dleq_equations(const Group& group, const BigInt& g1, const BigInt& g2
   //     == prod a1^{r} * h1^{c r} * a2^{r'} * h2^{c r'}
   BigInt lhs1(0);
   BigInt lhs2(0);
-  std::vector<std::pair<BigInt, BigInt>> rhs;
+  std::vector<std::pair<Element, BigInt>> rhs;
   rhs.reserve(4 * eqs.size());
   for (const DleqEquation* eq : eqs) {
     const BigInt r = BigInt::random_bits(rng, kGroupWeightBits);
@@ -59,20 +59,20 @@ bool check_dleq_equations(const Group& group, const BigInt& g1, const BigInt& g2
 ///   g^z == a * h^c.
 struct SchnorrEquation {
   bool ok = false;
-  BigInt h;
-  BigInt a;
+  Element h;
+  Element a;
   BigInt c;
   BigInt z;
 };
 
-bool check_schnorr_equations(const Group& group, const BigInt& g,
+bool check_schnorr_equations(const Group& group, const Element& g,
                              const std::vector<const SchnorrEquation*>& eqs, Rng& rng) {
   for (const SchnorrEquation* eq : eqs) {
     if (!eq->ok) return false;
   }
   if (eqs.empty()) return true;
   BigInt lhs(0);
-  std::vector<std::pair<BigInt, BigInt>> rhs;
+  std::vector<std::pair<Element, BigInt>> rhs;
   rhs.reserve(2 * eqs.size());
   for (const SchnorrEquation* eq : eqs) {
     const BigInt r = BigInt::random_bits(rng, kGroupWeightBits);
@@ -123,8 +123,8 @@ std::vector<const DleqEquation*> all_of(const std::vector<DleqEquation>& eqs) {
   return out;
 }
 
-DleqEquation prepare_dleq(const Group& group, std::string_view context, const BigInt& g1,
-                          const BigInt& h1, const BigInt& g2, const BigInt& h2,
+DleqEquation prepare_dleq(const Group& group, std::string_view context, const Element& g1,
+                          const Element& h1, const Element& g2, const Element& h2,
                           const DleqProof& proof) {
   DleqEquation eq;
   if (!group.is_scalar(proof.z)) return eq;
@@ -140,7 +140,7 @@ DleqEquation prepare_dleq(const Group& group, std::string_view context, const Bi
   return eq;
 }
 
-std::vector<DleqEquation> prepare_coin(const CoinPublicKey& pk, const BigInt& base,
+std::vector<DleqEquation> prepare_coin(const CoinPublicKey& pk, const Element& base,
                                        const std::vector<CoinShare>& shares) {
   const Group& group = pk.group();
   std::vector<DleqEquation> eqs;
@@ -197,7 +197,7 @@ std::vector<DleqEquation> prepare_cts(const Tdh2PublicKey& pk,
 
 }  // namespace
 
-bool verify_dleq(const Group& group, const BigInt& g1, const BigInt& g2,
+bool verify_dleq(const Group& group, const Element& g1, const Element& g2,
                  const std::vector<DleqItem>& items, Rng& rng) {
   if (items.size() == 1) {
     return items[0].proof.verify(group, items[0].context, g1, items[0].h1, g2, items[0].h2);
@@ -210,7 +210,7 @@ bool verify_dleq(const Group& group, const BigInt& g1, const BigInt& g2,
   return check_dleq_equations(group, g1, g2, all_of(eqs), rng);
 }
 
-std::vector<std::size_t> find_invalid_dleq(const Group& group, const BigInt& g1, const BigInt& g2,
+std::vector<std::size_t> find_invalid_dleq(const Group& group, const Element& g1, const Element& g2,
                                            const std::vector<DleqItem>& items, Rng& rng) {
   std::vector<DleqEquation> eqs;
   eqs.reserve(items.size());
@@ -227,7 +227,7 @@ std::vector<std::size_t> find_invalid_dleq(const Group& group, const BigInt& g1,
       });
 }
 
-bool verify_schnorr(const Group& group, const BigInt& g, const std::vector<SchnorrItem>& items,
+bool verify_schnorr(const Group& group, const Element& g, const std::vector<SchnorrItem>& items,
                     Rng& rng) {
   if (items.size() == 1) {
     return items[0].proof.verify(group, items[0].context, g, items[0].h);
@@ -252,7 +252,7 @@ bool verify_schnorr(const Group& group, const BigInt& g, const std::vector<Schno
   return check_schnorr_equations(group, g, refs, rng);
 }
 
-std::vector<std::size_t> find_invalid_schnorr(const Group& group, const BigInt& g,
+std::vector<std::size_t> find_invalid_schnorr(const Group& group, const Element& g,
                                               const std::vector<SchnorrItem>& items, Rng& rng) {
   std::vector<SchnorrEquation> eqs;
   eqs.reserve(items.size());
@@ -280,14 +280,14 @@ bool verify_coin_shares(const CoinPublicKey& pk, BytesView name,
                         const std::vector<CoinShare>& shares, Rng& rng) {
   if (shares.size() == 1) return pk.verify_share(name, shares[0]);
   if (shares.empty()) return true;
-  const BigInt base = pk.coin_base(name);
+  const Element base = pk.coin_base(name);
   const std::vector<DleqEquation> eqs = prepare_coin(pk, base, shares);
   return check_dleq_equations(pk.group(), pk.group().g(), base, all_of(eqs), rng);
 }
 
 std::vector<std::size_t> find_invalid_coin_shares(const CoinPublicKey& pk, BytesView name,
                                                   const std::vector<CoinShare>& shares, Rng& rng) {
-  const BigInt base = pk.coin_base(name);
+  const Element base = pk.coin_base(name);
   const std::vector<DleqEquation> eqs = prepare_coin(pk, base, shares);
   return find_invalid_generic(
       eqs,

@@ -54,34 +54,34 @@ namespace sintra::crypto::batch {
 /// h1 = g1^x, h2 = g2^x, proof bound to `context`.
 struct DleqItem {
   std::string context;
-  BigInt h1;
-  BigInt h2;
+  Element h1;
+  Element h2;
   DleqProof proof;
 };
 
 /// True iff every item's proof verifies (accepts a violating set with
 /// probability <= 2^-127).  Empty batches verify trivially.
-[[nodiscard]] bool verify_dleq(const Group& group, const BigInt& g1, const BigInt& g2,
+[[nodiscard]] bool verify_dleq(const Group& group, const Element& g1, const Element& g2,
                                const std::vector<DleqItem>& items, Rng& rng);
 
 /// Exact set of invalid item indices (ascending), via bisection with
 /// strict individual verification at the leaves.
-[[nodiscard]] std::vector<std::size_t> find_invalid_dleq(const Group& group, const BigInt& g1,
-                                                         const BigInt& g2,
+[[nodiscard]] std::vector<std::size_t> find_invalid_dleq(const Group& group, const Element& g1,
+                                                         const Element& g2,
                                                          const std::vector<DleqItem>& items,
                                                          Rng& rng);
 
 /// One Schnorr proof over the batch-shared base g: statement h = g^x.
 struct SchnorrItem {
   std::string context;
-  BigInt h;
+  Element h;
   SchnorrProof proof;
 };
 
-[[nodiscard]] bool verify_schnorr(const Group& group, const BigInt& g,
+[[nodiscard]] bool verify_schnorr(const Group& group, const Element& g,
                                   const std::vector<SchnorrItem>& items, Rng& rng);
 
-[[nodiscard]] std::vector<std::size_t> find_invalid_schnorr(const Group& group, const BigInt& g,
+[[nodiscard]] std::vector<std::size_t> find_invalid_schnorr(const Group& group, const Element& g,
                                                             const std::vector<SchnorrItem>& items,
                                                             Rng& rng);
 

@@ -32,7 +32,7 @@ CoinShare CoinShare::decode(Reader& r, const Group& group) {
 std::vector<CoinShare> CoinSecretKey::share(const CoinPublicKey& pk, BytesView name,
                                             Rng& rng) const {
   const Group& group = pk.group();
-  const BigInt base = pk.coin_base(name);
+  const Element base = pk.coin_base(name);
   std::vector<CoinShare> out;
   out.reserve(unit_shares_.size());
   for (const auto& [unit, x] : unit_shares_) {
@@ -46,13 +46,13 @@ std::vector<CoinShare> CoinSecretKey::share(const CoinPublicKey& pk, BytesView n
   return out;
 }
 
-BigInt CoinPublicKey::coin_base(BytesView name) const {
+Element CoinPublicKey::coin_base(BytesView name) const {
   return group_->hash_to_element(kCoinBaseDomain, name);
 }
 
 bool CoinPublicKey::verify_share(BytesView name, const CoinShare& share) const {
   if (share.unit < 0 || share.unit >= scheme_->num_units()) return false;
-  const BigInt base = coin_base(name);
+  const Element base = coin_base(name);
   return share.proof.verify(*group_, coin_share_context(share.unit), group_->g(),
                             verification_.at(static_cast<std::size_t>(share.unit)), base,
                             share.value);
@@ -61,7 +61,7 @@ bool CoinPublicKey::verify_share(BytesView name, const CoinShare& share) const {
 std::optional<Bytes> CoinPublicKey::combine(BytesView name,
                                             const std::vector<CoinShare>& shares) const {
   PartySet parties = 0;
-  std::map<int, BigInt> by_unit;
+  std::map<int, Element> by_unit;
   for (const CoinShare& share : shares) {
     by_unit.emplace(share.unit, share.value);
     parties |= party_bit(scheme_->unit_owner(share.unit));
@@ -71,15 +71,15 @@ std::optional<Bytes> CoinPublicKey::combine(BytesView name,
   // Recombine in the exponent: prod sigma_j^{c_j} = base^{Delta * x}, then
   // clear Delta modulo the group order.  One simultaneous multi-exponent
   // shares the squaring chain across all shares.
-  std::vector<std::pair<BigInt, BigInt>> powers;
+  std::vector<std::pair<Element, BigInt>> powers;
   for (const auto& [unit, coeff] : scheme_->coefficients(parties)) {
     auto it = by_unit.find(unit);
     SINTRA_INVARIANT(it != by_unit.end(), "coin: coefficient for missing share");
     powers.emplace_back(it->second, coeff);
   }
-  const BigInt combined = group_->multi_exp(powers);
+  const Element combined = group_->multi_exp(powers);
   const BigInt delta_inv = group_->scalar_inv(scheme_->delta().mod(group_->q()));
-  const BigInt sigma = group_->exp(combined, delta_inv);
+  const Element sigma = group_->exp(combined, delta_inv);
 
   Writer w;
   w.bytes(name);
@@ -97,7 +97,7 @@ CoinDeal CoinDeal::deal(GroupPtr group, std::shared_ptr<const LinearScheme> sche
   const BigInt secret = BigInt::random_below(rng, group->q());
   std::vector<BigInt> unit_values = scheme->deal(secret, group->q(), rng);
 
-  std::vector<BigInt> verification;
+  std::vector<Element> verification;
   verification.reserve(unit_values.size());
   for (const BigInt& x : unit_values) verification.push_back(group->exp_g(x));
 

@@ -32,7 +32,7 @@ std::string coin_share_context(int unit);
 /// One unit's coin share for a particular name, with its validity proof.
 struct CoinShare {
   int unit = 0;
-  BigInt value;      ///< Htilde(N)^{x_unit}
+  Element value;     ///< Htilde(N)^{x_unit}
   DleqProof proof;
 
   void encode(Writer& w, const Group& group) const;
@@ -62,18 +62,23 @@ class CoinSecretKey {
 class CoinPublicKey {
  public:
   CoinPublicKey(GroupPtr group, std::shared_ptr<const LinearScheme> scheme,
-                std::vector<BigInt> verification)
+                std::vector<Element> verification)
       : group_(std::move(group)), scheme_(std::move(scheme)),
-        verification_(std::move(verification)) {}
+        verification_(std::move(verification)) {
+    // Every share verification exponentiates a unit's verification key (the
+    // DLEQ equation g^z * vk^{-c}); registering them lets the backend build
+    // fixed-base tables for the keys it actually sees repeatedly.
+    for (const Element& vk : verification_) group_->precompute_base(vk);
+  }
 
   [[nodiscard]] const Group& group() const { return *group_; }
   [[nodiscard]] const LinearScheme& scheme() const { return *scheme_; }
-  [[nodiscard]] const BigInt& verification(int unit) const { return verification_.at(unit); }
+  [[nodiscard]] const Element& verification(int unit) const { return verification_.at(unit); }
   /// All per-unit verification values (for the proactive-refresh extension).
-  [[nodiscard]] const std::vector<BigInt>& verification_values() const { return verification_; }
+  [[nodiscard]] const std::vector<Element>& verification_values() const { return verification_; }
 
   /// The base element for a coin name: Htilde(N).
-  [[nodiscard]] BigInt coin_base(BytesView name) const;
+  [[nodiscard]] Element coin_base(BytesView name) const;
 
   /// Check a single share against its proof.
   [[nodiscard]] bool verify_share(BytesView name, const CoinShare& share) const;
@@ -89,7 +94,7 @@ class CoinPublicKey {
  private:
   GroupPtr group_;
   std::shared_ptr<const LinearScheme> scheme_;
-  std::vector<BigInt> verification_;  ///< unit -> g^{x_unit}
+  std::vector<Element> verification_;  ///< unit -> g^{x_unit}
 };
 
 /// Dealer output for the coin subsystem.

@@ -49,11 +49,11 @@ Bytes derive_link_key(BytesView channel_key) {
   return hash_expand("sintra/transport/link-key", channel_key, 32);
 }
 
-KeyBundle KeyBundle::deal_threshold(int n, int t, Rng& rng) {
+KeyBundle KeyBundle::deal_threshold(int n, int t, Rng& rng, GroupPtr group) {
   SINTRA_REQUIRE(n > 3 * t, "dealer: resilience requires n > 3t");
   auto low = std::make_shared<const ThresholdScheme>(n, t);
   auto high = std::make_shared<const ThresholdScheme>(n, n - t - 1);
-  return deal(Group::test_group(), std::move(low), std::move(high), RsaParams::precomputed(128),
+  return deal(std::move(group), std::move(low), std::move(high), RsaParams::precomputed(128),
               rng);
 }
 

@@ -68,8 +68,10 @@ class KeyBundle {
                         Rng& rng);
 
   /// Convenience: classical threshold deployment with n parties tolerating
-  /// t corruptions (n > 3t), test-sized crypto parameters.
-  static KeyBundle deal_threshold(int n, int t, Rng& rng);
+  /// t corruptions (n > 3t), test-sized RSA parameters; the discrete-log
+  /// subsystems run over `group` (test schnorr set by default).
+  static KeyBundle deal_threshold(int n, int t, Rng& rng,
+                                  GroupPtr group = Group::test_group());
 
   [[nodiscard]] const PublicKeys& public_keys() const { return public_keys_; }
   [[nodiscard]] const PartyKeyShare& share(int party) const {

@@ -1,0 +1,66 @@
+// Backend-opaque group element.
+//
+// The protocol layer (proofs, coin shares, ciphertexts, VSS commitments)
+// holds group elements without knowing how the active Group backend
+// represents them: a canonical residue of Z_p* for the Schnorr backend, a
+// normalized curve point for the elliptic-curve backend.  All arithmetic,
+// validation, and (de)serialization goes through the owning Group — an
+// Element by itself supports only equality, copying, and the default
+// "empty" state used by not-yet-filled message structs (an empty Element
+// never validates and never equals a real one).
+#pragma once
+
+#include <variant>
+
+#include "common/assert.hpp"
+#include "crypto/bigint.hpp"
+#include "crypto/curve256.hpp"
+
+namespace sintra::crypto {
+
+class Element {
+ public:
+  Element() = default;
+
+  static Element from_residue(BigInt value) {
+    Element e;
+    e.rep_ = std::move(value);
+    return e;
+  }
+
+  static Element from_point(const curve256::Point& value) {
+    Element e;
+    e.rep_ = value;
+    return e;
+  }
+
+  [[nodiscard]] bool empty() const { return std::holds_alternative<std::monostate>(rep_); }
+  [[nodiscard]] bool has_residue() const { return std::holds_alternative<BigInt>(rep_); }
+  [[nodiscard]] bool has_point() const { return std::holds_alternative<curve256::Point>(rep_); }
+
+  /// Schnorr-backend payload; callers must have checked has_residue() or
+  /// obtained the element from a schnorr Group.
+  [[nodiscard]] const BigInt& residue() const {
+    SINTRA_INVARIANT(has_residue(), "Element: not a residue representation");
+    return std::get<BigInt>(rep_);
+  }
+
+  /// Curve-backend payload (normalized point).
+  [[nodiscard]] const curve256::Point& point() const {
+    SINTRA_INVARIANT(has_point(), "Element: not a point representation");
+    return std::get<curve256::Point>(rep_);
+  }
+
+  friend bool operator==(const Element& a, const Element& b) {
+    if (a.rep_.index() != b.rep_.index()) return false;
+    if (a.has_residue()) return a.residue() == b.residue();
+    if (a.has_point()) return curve256::eq(a.point(), b.point());
+    return true;  // both empty
+  }
+  friend bool operator!=(const Element& a, const Element& b) { return !(a == b); }
+
+ private:
+  std::variant<std::monostate, BigInt, curve256::Point> rep_;
+};
+
+}  // namespace sintra::crypto

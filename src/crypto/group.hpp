@@ -1,88 +1,121 @@
-// Schnorr groups: the prime-order-q subgroup of Z_p* for p = qr + 1.
-//
-// This is the algebraic setting of both discrete-log-based threshold
-// primitives in the architecture:
+// Prime-order group abstraction behind every discrete-log-based threshold
+// primitive in the architecture:
 //  * the Diffie–Hellman threshold coin of Cachin–Kursawe–Shoup (coin.hpp),
 //  * the Shoup–Gennaro TDH2 threshold cryptosystem (tdh2.hpp),
-// and of the Chaum–Pedersen NIZK proofs that make both robust (nizk.hpp).
+//  * the Chaum–Pedersen NIZK proofs that make both robust (nizk.hpp),
+//  * Feldman VSS and proactive refresh (vss.hpp, protocols/refresh.hpp).
 //
-// Group elements are represented by their canonical residue in [0, p).
-// Exponents live in Z_q (see Scalar helpers).  Three vetted parameter sets
-// are hard-coded (generated offline with an independent implementation and
-// re-verified by the test suite): a small/fast one for unit tests, a default
-// one for protocol simulations, and a large one for crypto benchmarks.
+// Two interchangeable backends implement the interface:
+//  * SchnorrGroup (group_schnorr.hpp) — the prime-order-q subgroup of Z_p*
+//    for p = qr + 1, elements as canonical residues in [0, p).  Three vetted
+//    parameter sets are hard-coded: test (256/128), default (768/256) and
+//    big (1536/256).
+//  * EcGroup (group_curve.hpp) — secp256k1, elements as compressed curve
+//    points; 1–2 orders of magnitude faster per operation at a higher
+//    security margin than even the big Schnorr set.
+//
+// Element representation is backend-opaque (crypto/element.hpp): consumers
+// treat elements as values with equality only and route every operation,
+// validity check, and byte encoding through the Group.  Exponents live in
+// Z_q for the backend's group order q; the scalar field API is shared by
+// both backends, so Shamir sharing and LSSS code is backend-independent.
+// A deployment picks its backend at dealing time (the dealer's GroupPtr
+// parameter) and peers agree on it by the group's wire `name` (see
+// Group::by_name).  Threshold RSA is unaffected — it lives in Z_Nm*, not
+// here.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "crypto/bigint.hpp"
+#include "crypto/element.hpp"
 
 namespace sintra::crypto {
 
-/// Immutable description of a Schnorr group.  Shared by reference between
-/// all keys/ciphertexts/proofs of one deployment.
 class Group {
  public:
-  Group(BigInt p, BigInt q, BigInt g, std::string name);
+  virtual ~Group() = default;
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
 
-  /// Named parameter sets.
-  static std::shared_ptr<const Group> test_group();     ///< p 256-bit, q 128-bit
-  static std::shared_ptr<const Group> default_group();  ///< p 768-bit, q 256-bit
-  static std::shared_ptr<const Group> big_group();      ///< p 1536-bit, q 256-bit
+  /// Named parameter sets (shared singletons).
+  static std::shared_ptr<const Group> test_group();     ///< schnorr, p 256-bit, q 128-bit
+  static std::shared_ptr<const Group> default_group();  ///< schnorr, p 768-bit, q 256-bit
+  static std::shared_ptr<const Group> big_group();      ///< schnorr, p 1536-bit, q 256-bit
+  static std::shared_ptr<const Group> curve_group();    ///< secp256k1, 256-bit
+  /// Deployment negotiation: resolve a wire name (as carried in handshakes
+  /// and config) to its singleton; throws ProtocolError on unknown names.
+  static std::shared_ptr<const Group> by_name(std::string_view name);
 
-  [[nodiscard]] const BigInt& p() const { return p_; }
   [[nodiscard]] const BigInt& q() const { return q_; }
-  [[nodiscard]] const BigInt& g() const { return g_; }
+  [[nodiscard]] const Element& g() const { return g_; }
   [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t element_bytes() const { return element_bytes_; }
+  [[nodiscard]] std::size_t scalar_bytes() const { return scalar_bytes_; }
 
-  // -- element operations ---------------------------------------------------
-  [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
-  /// base^scalar via the cached Montgomery context; uses a windowed
-  /// fixed-base table when `base` is g or was registered with
-  /// precompute_base (zero squarings on those paths).
-  [[nodiscard]] BigInt exp(const BigInt& base, const BigInt& scalar) const;
+  // -- element operations (backend-dispatched) ------------------------------
+  [[nodiscard]] virtual Element mul(const Element& a, const Element& b) const = 0;
+  /// base^scalar; uses a windowed fixed-base table when `base` is g or was
+  /// registered with precompute_base (no squarings/doublings on those paths).
+  [[nodiscard]] virtual Element exp(const Element& base, const BigInt& scalar) const = 0;
   /// g^scalar via the eagerly-built fixed-base table.
-  [[nodiscard]] BigInt exp_g(const BigInt& scalar) const;
-  /// b1^e1 * b2^e2 with one shared squaring chain (Shamir's trick) — the
-  /// workhorse of every proof verification (a = g^z * h^{-c}).
-  [[nodiscard]] BigInt exp2(const BigInt& b1, const BigInt& e1, const BigInt& b2,
-                            const BigInt& e2) const;
-  /// prod_i base_i^{exp_i} with one shared squaring chain; used by the
-  /// Lagrange-in-the-exponent share combiners.
-  [[nodiscard]] BigInt multi_exp(const std::vector<std::pair<BigInt, BigInt>>& pairs) const;
-  [[nodiscard]] BigInt inv(const BigInt& a) const;
-  [[nodiscard]] BigInt identity() const { return BigInt(1); }
+  [[nodiscard]] virtual Element exp_g(const BigInt& scalar) const = 0;
+  /// b1^e1 * b2^e2 with one shared squaring/doubling chain (Shamir's trick)
+  /// — the workhorse of every proof verification (a = g^z * h^{-c}).
+  [[nodiscard]] virtual Element exp2(const Element& b1, const BigInt& e1, const Element& b2,
+                                     const BigInt& e2) const = 0;
+  /// b1^e1 * b2^e2 == expected — the whole of a Chaum–Pedersen equation
+  /// check in one call.  Semantically identical to `exp2(...) == expected`
+  /// (the default implementation), but a backend may verify without
+  /// producing the canonical representation: the curve backend compares
+  /// projectively and saves the field inversion that normalizing the exp2
+  /// result would cost.
+  [[nodiscard]] virtual bool exp2_equals(const Element& b1, const BigInt& e1, const Element& b2,
+                                         const BigInt& e2, const Element& expected) const;
+  /// prod_i base_i^{exp_i} with one shared chain; used by the Lagrange-in-
+  /// the-exponent share combiners and the batch verifier.
+  [[nodiscard]] virtual Element multi_exp(
+      const std::vector<std::pair<Element, BigInt>>& pairs) const = 0;
+  [[nodiscard]] virtual Element inv(const Element& a) const = 0;
+  /// The group identity, in the backend's own representation.
+  [[nodiscard]] virtual Element identity() const = 0;
 
   /// Build and cache a fixed-base table for `base` (a long-lived public
   /// key), accelerating all later exp(base, ·) calls.  No-op once the
   /// bounded cache is full; safe to call from multiple threads.
-  void precompute_base(const BigInt& base) const;
+  virtual void precompute_base(const Element& base) const = 0;
 
-  /// True iff `a` is in [1, p) and a^q == 1 (i.e. a member of the order-q
-  /// subgroup).  Every deserialized element must pass this before use;
-  /// accepting non-subgroup elements from Byzantine peers would leak bits
-  /// of exponents (small-subgroup attacks).  Positive results are memoized
-  /// (bounded) so repeated decodes/checks of the same wire element skip the
-  /// full subgroup exponentiation; strictness is unchanged because the memo
-  /// only ever holds elements that passed the full check.
-  [[nodiscard]] bool is_element(const BigInt& a) const;
+  /// Full membership check.  Every deserialized element must pass this
+  /// before use; accepting non-group elements from Byzantine peers would
+  /// leak bits of exponents (small-subgroup attacks).  Elements carrying
+  /// the wrong backend representation are simply not members.
+  [[nodiscard]] virtual bool is_element(const Element& a) const = 0;
 
-  /// True iff `a` is in [1, p) — a nonzero residue, possibly outside the
-  /// order-q subgroup.  Sufficient for *commitment* values in commitment-form
+  /// Relaxed check sufficient for *commitment* values in commitment-form
   /// proofs: they only ever appear on one side of an equality whose other
-  /// side is a product of subgroup elements, so a non-subgroup commitment
-  /// simply fails verification and no secret exponent ever touches it.
-  /// Statement elements (public keys, share values) still require the full
-  /// is_element check.
-  [[nodiscard]] bool is_residue(const BigInt& a) const;
+  /// side is a product of group elements, so a bad commitment simply fails
+  /// verification and no secret exponent ever touches it.  For the Schnorr
+  /// backend this is the cheap [1, p) range check; for the curve backend
+  /// membership is already a constant-cost on-curve check, so the two
+  /// coincide.  Statement elements still require the full is_element.
+  [[nodiscard]] virtual bool is_residue(const Element& a) const = 0;
 
-  // -- scalar (exponent) operations ------------------------------------------
+  /// Random oracle into the group with unknown discrete log.
+  [[nodiscard]] virtual Element hash_to_element(std::string_view domain, BytesView data) const = 0;
+
+  /// Serialize an element in the backend's canonical fixed-width form
+  /// (element_bytes() bytes on the wire).
+  virtual void encode_element(Writer& w, const Element& a) const = 0;
+  /// Deserialize and validate membership; throws ProtocolError.
+  [[nodiscard]] virtual Element decode_element(Reader& r) const = 0;
+  /// Deserialize a proof commitment with only the is_residue check; throws
+  /// ProtocolError on violation.
+  [[nodiscard]] virtual Element decode_residue(Reader& r) const = 0;
+
+  // -- scalar (exponent) field, shared across backends ----------------------
   [[nodiscard]] BigInt scalar_add(const BigInt& a, const BigInt& b) const;
   [[nodiscard]] BigInt scalar_sub(const BigInt& a, const BigInt& b) const;
   [[nodiscard]] BigInt scalar_mul(const BigInt& a, const BigInt& b) const;
@@ -94,59 +127,20 @@ class Group {
     return BigInt::random_below(rng, q_);
   }
 
-  /// Random oracle into the subgroup: H̃(domain, data) = u^r mod p where the
-  /// expanded hash is first reduced mod p and then raised to the cofactor r,
-  /// giving an element of order (dividing) q with unknown discrete log.
-  [[nodiscard]] BigInt hash_to_element(std::string_view domain, BytesView data) const;
-
   /// Random oracle into Z_q (Fiat–Shamir challenges).
   [[nodiscard]] BigInt hash_to_scalar(std::string_view domain, BytesView data) const;
 
-  /// Serialize an element padded to the byte width of p (canonical form).
-  void encode_element(Writer& w, const BigInt& a) const;
-  /// Deserialize and validate subgroup membership; throws ProtocolError.
-  [[nodiscard]] BigInt decode_element(Reader& r) const;
-  /// Deserialize a proof commitment with only the [1, p) range check (see
-  /// is_residue); throws ProtocolError on range violation.
-  [[nodiscard]] BigInt decode_residue(Reader& r) const;
   void encode_scalar(Writer& w, const BigInt& a) const;
   [[nodiscard]] BigInt decode_scalar(Reader& r) const;
 
-  [[nodiscard]] std::size_t element_bytes() const { return element_bytes_; }
-  [[nodiscard]] std::size_t scalar_bytes() const { return scalar_bytes_; }
+ protected:
+  Group(BigInt q, std::string name, std::size_t element_bytes);
 
- private:
-  /// Windowed fixed-base precomputation: blocks[i][j-1] = base^(j * 16^i)
-  /// in Montgomery form, so an exponentiation is one table multiply per
-  /// 4-bit digit of the scalar and no squarings at all.
-  struct FixedBaseTable {
-    std::vector<std::vector<BigInt>> blocks;
-  };
-
-  [[nodiscard]] FixedBaseTable build_fixed_base(const BigInt& base) const;
-  /// scalar must already be reduced into [0, q).
-  [[nodiscard]] BigInt exp_fixed(const FixedBaseTable& table, const BigInt& scalar) const;
-  [[nodiscard]] const FixedBaseTable* registered_table(const BigInt& base) const;
-
-  BigInt p_;
   BigInt q_;
-  BigInt g_;
-  BigInt cofactor_;  ///< (p-1)/q
   std::string name_;
   std::size_t element_bytes_;
   std::size_t scalar_bytes_;
-  Montgomery mont_p_;       ///< REDC context for Z_p (declared after p_)
-  FixedBaseTable g_table_;  ///< eager fixed-base table for the generator
-
-  // Bounded cache of fixed-base tables for registered long-lived bases.
-  // Entries are never evicted (registration refuses past the bound), so
-  // pointers into the map stay valid for the Group's lifetime.
-  mutable std::mutex base_cache_mutex_;
-  mutable std::map<std::string, FixedBaseTable> base_cache_;
-
-  // Memo of elements that passed the full subgroup-membership check.
-  mutable std::mutex memo_mutex_;
-  mutable std::unordered_set<std::string> element_memo_;
+  Element g_;  ///< set by the backend constructor
 };
 
 using GroupPtr = std::shared_ptr<const Group>;

@@ -4,9 +4,9 @@
 
 namespace sintra::crypto {
 
-BigInt dleq_challenge(const Group& group, std::string_view context, const BigInt& g1,
-                      const BigInt& h1, const BigInt& g2, const BigInt& h2, const BigInt& a1,
-                      const BigInt& a2) {
+BigInt dleq_challenge(const Group& group, std::string_view context, const Element& g1,
+                      const Element& h1, const Element& g2, const Element& h2, const Element& a1,
+                      const Element& a2) {
   Writer w;
   w.str(context);
   group.encode_element(w, g1);
@@ -18,8 +18,8 @@ BigInt dleq_challenge(const Group& group, std::string_view context, const BigInt
   return group.hash_to_scalar("sintra/nizk/dleq", w.data());
 }
 
-BigInt schnorr_challenge(const Group& group, std::string_view context, const BigInt& g,
-                         const BigInt& h, const BigInt& a) {
+BigInt schnorr_challenge(const Group& group, std::string_view context, const Element& g,
+                         const Element& h, const Element& a) {
   Writer w;
   w.str(context);
   group.encode_element(w, g);
@@ -28,8 +28,8 @@ BigInt schnorr_challenge(const Group& group, std::string_view context, const Big
   return group.hash_to_scalar("sintra/nizk/schnorr", w.data());
 }
 
-DleqProof DleqProof::prove(const Group& group, std::string_view context, const BigInt& g1,
-                           const BigInt& h1, const BigInt& g2, const BigInt& h2, const BigInt& x,
+DleqProof DleqProof::prove(const Group& group, std::string_view context, const Element& g1,
+                           const Element& h1, const Element& g2, const Element& h2, const BigInt& x,
                            Rng& rng) {
   const BigInt s = group.random_scalar(rng);
   DleqProof proof;
@@ -40,8 +40,8 @@ DleqProof DleqProof::prove(const Group& group, std::string_view context, const B
   return proof;
 }
 
-bool DleqProof::verify(const Group& group, std::string_view context, const BigInt& g1,
-                       const BigInt& h1, const BigInt& g2, const BigInt& h2) const {
+bool DleqProof::verify(const Group& group, std::string_view context, const Element& g1,
+                       const Element& h1, const Element& g2, const Element& h2) const {
   if (!group.is_scalar(z)) return false;
   // Commitments only need the cheap residue range check, not the O(|q|)
   // subgroup test: both sides below are compared for *equality* and the
@@ -53,10 +53,10 @@ bool DleqProof::verify(const Group& group, std::string_view context, const BigIn
     return false;
   }
   const BigInt c = dleq_challenge(group, context, g1, h1, g2, h2, a1, a2);
-  // g^z * h^{-c} == a; both products use the simultaneous
-  // double-exponentiation fast path (one shared squaring chain).
+  // g^z * h^{-c} == a; exp2_equals lets the backend use the simultaneous
+  // double-exponentiation fast path and compare without canonicalizing.
   const BigInt neg_c = group.scalar_sub(BigInt(0), c);
-  return group.exp2(g1, z, h1, neg_c) == a1 && group.exp2(g2, z, h2, neg_c) == a2;
+  return group.exp2_equals(g1, z, h1, neg_c, a1) && group.exp2_equals(g2, z, h2, neg_c, a2);
 }
 
 void DleqProof::encode(Writer& w, const Group& group) const {
@@ -73,8 +73,8 @@ DleqProof DleqProof::decode(Reader& r, const Group& group) {
   return proof;
 }
 
-SchnorrProof SchnorrProof::prove(const Group& group, std::string_view context, const BigInt& g,
-                                 const BigInt& h, const BigInt& x, Rng& rng) {
+SchnorrProof SchnorrProof::prove(const Group& group, std::string_view context, const Element& g,
+                                 const Element& h, const BigInt& x, Rng& rng) {
   const BigInt s = group.random_scalar(rng);
   SchnorrProof proof;
   proof.a = group.exp(g, s);
@@ -83,14 +83,14 @@ SchnorrProof SchnorrProof::prove(const Group& group, std::string_view context, c
   return proof;
 }
 
-bool SchnorrProof::verify(const Group& group, std::string_view context, const BigInt& g,
-                          const BigInt& h) const {
+bool SchnorrProof::verify(const Group& group, std::string_view context, const Element& g,
+                          const Element& h) const {
   if (!group.is_scalar(z)) return false;
   if (!group.is_residue(a)) return false;
   if (!group.is_element(g) || !group.is_element(h)) return false;
   const BigInt c = schnorr_challenge(group, context, g, h, a);
   const BigInt neg_c = group.scalar_sub(BigInt(0), c);
-  return group.exp2(g, z, h, neg_c) == a;
+  return group.exp2_equals(g, z, h, neg_c, a);
 }
 
 void SchnorrProof::encode(Writer& w, const Group& group) const {

@@ -35,27 +35,27 @@ namespace sintra::crypto {
 
 /// Fiat–Shamir challenge for a DLEQ statement + commitment pair.  Exposed
 /// for the batch verifier, which must recompute per-proof challenges.
-BigInt dleq_challenge(const Group& group, std::string_view context, const BigInt& g1,
-                      const BigInt& h1, const BigInt& g2, const BigInt& h2, const BigInt& a1,
-                      const BigInt& a2);
+BigInt dleq_challenge(const Group& group, std::string_view context, const Element& g1,
+                      const Element& h1, const Element& g2, const Element& h2, const Element& a1,
+                      const Element& a2);
 
 /// Fiat–Shamir challenge for a Schnorr statement + commitment.
-BigInt schnorr_challenge(const Group& group, std::string_view context, const BigInt& g,
-                         const BigInt& h, const BigInt& a);
+BigInt schnorr_challenge(const Group& group, std::string_view context, const Element& g,
+                         const Element& h, const Element& a);
 
 /// Chaum–Pedersen DLEQ proof in commitment form.
 struct DleqProof {
-  BigInt a1;  ///< commitment g1^s
-  BigInt a2;  ///< commitment g2^s
+  Element a1;  ///< commitment g1^s
+  Element a2;  ///< commitment g2^s
   BigInt z;   ///< response s + c*x in Z_q
 
   /// Prove h1 = g1^x and h2 = g2^x.
-  static DleqProof prove(const Group& group, std::string_view context, const BigInt& g1,
-                         const BigInt& h1, const BigInt& g2, const BigInt& h2, const BigInt& x,
+  static DleqProof prove(const Group& group, std::string_view context, const Element& g1,
+                         const Element& h1, const Element& g2, const Element& h2, const BigInt& x,
                          Rng& rng);
 
-  [[nodiscard]] bool verify(const Group& group, std::string_view context, const BigInt& g1,
-                            const BigInt& h1, const BigInt& g2, const BigInt& h2) const;
+  [[nodiscard]] bool verify(const Group& group, std::string_view context, const Element& g1,
+                            const Element& h1, const Element& g2, const Element& h2) const;
 
   void encode(Writer& w, const Group& group) const;
   static DleqProof decode(Reader& r, const Group& group);
@@ -63,14 +63,14 @@ struct DleqProof {
 
 /// Schnorr proof of knowledge of x with h = g^x, in commitment form.
 struct SchnorrProof {
-  BigInt a;  ///< commitment g^s
+  Element a;  ///< commitment g^s
   BigInt z;  ///< response s + c*x in Z_q
 
-  static SchnorrProof prove(const Group& group, std::string_view context, const BigInt& g,
-                            const BigInt& h, const BigInt& x, Rng& rng);
+  static SchnorrProof prove(const Group& group, std::string_view context, const Element& g,
+                            const Element& h, const BigInt& x, Rng& rng);
 
-  [[nodiscard]] bool verify(const Group& group, std::string_view context, const BigInt& g,
-                            const BigInt& h) const;
+  [[nodiscard]] bool verify(const Group& group, std::string_view context, const Element& g,
+                            const Element& h) const;
 
   void encode(Writer& w, const Group& group) const;
   static SchnorrProof decode(Reader& r, const Group& group);

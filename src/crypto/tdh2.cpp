@@ -10,7 +10,7 @@ constexpr std::string_view kMaskDomain = "sintra/tdh2/mask";
 constexpr std::string_view kGbarDomain = "sintra/tdh2/gbar";
 constexpr std::string_view kChallengeDomain = "sintra/tdh2/challenge";
 
-Bytes mask_bytes(const Group& group, const BigInt& shared, std::size_t len) {
+Bytes mask_bytes(const Group& group, const Element& shared, std::size_t len) {
   Writer w;
   group.encode_element(w, shared);
   return hash_expand(kMaskDomain, w.data(), len);
@@ -26,8 +26,8 @@ Bytes xor_bytes(BytesView a, BytesView b) {
 }  // namespace
 
 BigInt tdh2_ciphertext_challenge(const Group& group, BytesView data, BytesView label,
-                                 const BigInt& u, const BigInt& w_elem, const BigInt& u_bar,
-                                 const BigInt& w_bar) {
+                                 const Element& u, const Element& w_elem, const Element& u_bar,
+                                 const Element& w_bar) {
   Writer w;
   w.bytes(data);
   w.bytes(label);
@@ -91,15 +91,17 @@ Tdh2DecShare Tdh2DecShare::decode(Reader& r, const Group& group) {
   return share;
 }
 
-Tdh2PublicKey::Tdh2PublicKey(GroupPtr group, std::shared_ptr<const LinearScheme> scheme, BigInt h,
-                             std::vector<BigInt> verification)
+Tdh2PublicKey::Tdh2PublicKey(GroupPtr group, std::shared_ptr<const LinearScheme> scheme, Element h,
+                             std::vector<Element> verification)
     : group_(std::move(group)), scheme_(std::move(scheme)), h_(std::move(h)),
       verification_(std::move(verification)) {
   g_bar_ = group_->hash_to_element(kGbarDomain, bytes_of(group_->name()));
-  // h and g_bar are exponentiated on every encrypt; register fixed-base
-  // tables so those calls skip all squarings.
+  // h and g_bar are exponentiated on every encrypt, and each unit's
+  // verification key on every share verification; registration is cheap
+  // (tables build lazily on repeated use).
   group_->precompute_base(h_);
   group_->precompute_base(g_bar_);
+  for (const Element& vk : verification_) group_->precompute_base(vk);
 }
 
 Tdh2Ciphertext Tdh2PublicKey::encrypt(BytesView message, BytesView label, Rng& rng) const {
@@ -127,8 +129,8 @@ bool Tdh2PublicKey::check_ciphertext(const Tdh2Ciphertext& ct) const {
   const BigInt e =
       tdh2_ciphertext_challenge(*group_, ct.data, ct.label, ct.u, ct.w, ct.u_bar, ct.w_bar);
   const BigInt neg_e = group_->scalar_sub(BigInt(0), e);
-  return group_->exp2(group_->g(), ct.f, ct.u, neg_e) == ct.w &&
-         group_->exp2(g_bar_, ct.f, ct.u_bar, neg_e) == ct.w_bar;
+  return group_->exp2_equals(group_->g(), ct.f, ct.u, neg_e, ct.w) &&
+         group_->exp2_equals(g_bar_, ct.f, ct.u_bar, neg_e, ct.w_bar);
 }
 
 std::vector<Tdh2DecShare> Tdh2SecretKey::decrypt_shares(const Tdh2PublicKey& pk,
@@ -162,31 +164,31 @@ std::optional<Bytes> Tdh2PublicKey::combine(const Tdh2Ciphertext& ct,
                                             const std::vector<Tdh2DecShare>& shares) const {
   if (!check_ciphertext(ct)) return std::nullopt;
   PartySet parties = 0;
-  std::map<int, BigInt> by_unit;
+  std::map<int, Element> by_unit;
   for (const Tdh2DecShare& share : shares) {
     by_unit.emplace(share.unit, share.value);
     parties |= party_bit(scheme_->unit_owner(share.unit));
   }
   if (!scheme_->qualified(parties)) return std::nullopt;
 
-  std::vector<std::pair<BigInt, BigInt>> powers;
+  std::vector<std::pair<Element, BigInt>> powers;
   for (const auto& [unit, coeff] : scheme_->coefficients(parties)) {
     auto it = by_unit.find(unit);
     SINTRA_INVARIANT(it != by_unit.end(), "tdh2: coefficient for missing share");
     powers.emplace_back(it->second, coeff);
   }
-  const BigInt combined = group_->multi_exp(powers);
+  const Element combined = group_->multi_exp(powers);
   const BigInt delta_inv = group_->scalar_inv(scheme_->delta().mod(group_->q()));
-  const BigInt shared = group_->exp(combined, delta_inv);
+  const Element shared = group_->exp(combined, delta_inv);
   return xor_bytes(ct.data, mask_bytes(*group_, shared, ct.data.size()));
 }
 
 Tdh2Deal Tdh2Deal::deal(GroupPtr group, std::shared_ptr<const LinearScheme> scheme, Rng& rng) {
   const BigInt secret = BigInt::random_below(rng, group->q());
-  const BigInt h = group->exp_g(secret);
+  const Element h = group->exp_g(secret);
   std::vector<BigInt> unit_values = scheme->deal(secret, group->q(), rng);
 
-  std::vector<BigInt> verification;
+  std::vector<Element> verification;
   verification.reserve(unit_values.size());
   for (const BigInt& x : unit_values) verification.push_back(group->exp_g(x));
 

@@ -32,10 +32,10 @@ class Tdh2PublicKey;
 struct Tdh2Ciphertext {
   Bytes data;    ///< message XOR mask(h^r)
   Bytes label;
-  BigInt u;      ///< g^r
-  BigInt u_bar;  ///< gbar^r
-  BigInt w;      ///< proof commitment g^s
-  BigInt w_bar;  ///< proof commitment gbar^s
+  Element u;      ///< g^r
+  Element u_bar;  ///< gbar^r
+  Element w;      ///< proof commitment g^s
+  Element w_bar;  ///< proof commitment gbar^s
   BigInt f;      ///< response s + e*r
 
   /// Collision-resistant identifier binding decryption shares to this exact
@@ -49,8 +49,8 @@ struct Tdh2Ciphertext {
 /// Fiat–Shamir challenge of the ciphertext well-formedness proof.  Exposed
 /// for the batch verifier in crypto/batch.hpp.
 BigInt tdh2_ciphertext_challenge(const Group& group, BytesView data, BytesView label,
-                                 const BigInt& u, const BigInt& w_elem, const BigInt& u_bar,
-                                 const BigInt& w_bar);
+                                 const Element& u, const Element& w_elem, const Element& u_bar,
+                                 const Element& w_bar);
 
 /// DLEQ context string binding a decryption-share proof to (unit, ct id).
 std::string tdh2_share_context(int unit, BytesView ct_id);
@@ -58,7 +58,7 @@ std::string tdh2_share_context(int unit, BytesView ct_id);
 /// One unit's decryption share with validity proof.
 struct Tdh2DecShare {
   int unit = 0;
-  BigInt value;  ///< u^{x_unit}
+  Element value;  ///< u^{x_unit}
   DleqProof proof;
 
   void encode(Writer& w, const Group& group) const;
@@ -86,14 +86,14 @@ class Tdh2SecretKey {
 
 class Tdh2PublicKey {
  public:
-  Tdh2PublicKey(GroupPtr group, std::shared_ptr<const LinearScheme> scheme, BigInt h,
-                std::vector<BigInt> verification);
+  Tdh2PublicKey(GroupPtr group, std::shared_ptr<const LinearScheme> scheme, Element h,
+                std::vector<Element> verification);
 
   [[nodiscard]] const Group& group() const { return *group_; }
   [[nodiscard]] const LinearScheme& scheme() const { return *scheme_; }
-  [[nodiscard]] const BigInt& h() const { return h_; }
-  [[nodiscard]] const BigInt& g_bar() const { return g_bar_; }
-  [[nodiscard]] const BigInt& verification(int unit) const { return verification_.at(unit); }
+  [[nodiscard]] const Element& h() const { return h_; }
+  [[nodiscard]] const Element& g_bar() const { return g_bar_; }
+  [[nodiscard]] const Element& verification(int unit) const { return verification_.at(unit); }
 
   [[nodiscard]] Tdh2Ciphertext encrypt(BytesView message, BytesView label, Rng& rng) const;
 
@@ -110,9 +110,9 @@ class Tdh2PublicKey {
  private:
   GroupPtr group_;
   std::shared_ptr<const LinearScheme> scheme_;
-  BigInt h_;
-  BigInt g_bar_;
-  std::vector<BigInt> verification_;  ///< unit -> g^{x_unit}
+  Element h_;
+  Element g_bar_;
+  std::vector<Element> verification_;  ///< unit -> g^{x_unit}
 };
 
 struct Tdh2Deal {

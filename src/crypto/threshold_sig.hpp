@@ -89,7 +89,10 @@ class ThresholdSigPublicKey {
   [[nodiscard]] const LinearScheme& scheme() const { return *scheme_; }
   [[nodiscard]] const BigInt& verification(int unit) const { return verification_.at(unit); }
 
-  /// Full-domain hash of the message into Z_Nm*.
+  /// Full-domain hash of the message into Z_Nm*.  This is RSA-domain FDH
+  /// over the signature modulus — unrelated to Group::hash_to_element, and
+  /// deliberately untouched by the group-backend choice: threshold RSA
+  /// stays in Z_Nm* BigInt arithmetic under every deployment.
   [[nodiscard]] BigInt hash_to_base(BytesView message) const;
 
   [[nodiscard]] bool verify_share(BytesView message, const SigShare& share) const;

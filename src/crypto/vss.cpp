@@ -16,34 +16,34 @@ FeldmanDealing FeldmanDealing::deal(const Group& group, const BigInt& secret, in
   return dealing;
 }
 
-BigInt FeldmanDealing::share_image(const Group& group, const std::vector<BigInt>& commitments,
+Element FeldmanDealing::share_image(const Group& group, const std::vector<Element>& commitments,
                                    int party) {
   // prod_j C_j^{x^j} with x = party + 1, via Horner in the exponent:
   // acc = C_t; acc = acc^x * C_{t-1}; ...
   const BigInt x(party + 1);
-  BigInt acc = commitments.back();
+  Element acc = commitments.back();
   for (std::size_t j = commitments.size() - 1; j-- > 0;) {
     acc = group.mul(group.exp(acc, x), commitments[j]);
   }
   return acc;
 }
 
-bool FeldmanDealing::verify_share(const Group& group, const std::vector<BigInt>& commitments,
+bool FeldmanDealing::verify_share(const Group& group, const std::vector<Element>& commitments,
                                   int party, const BigInt& share) {
   if (commitments.empty() || !group.is_scalar(share)) return false;
-  for (const BigInt& c : commitments) {
+  for (const Element& c : commitments) {
     if (!group.is_element(c)) return false;
   }
   return group.exp_g(share) == share_image(group, commitments, party);
 }
 
 void FeldmanDealing::encode_commitments(Writer& w, const Group& group) const {
-  w.vec(commitments, [&](Writer& wr, const BigInt& c) { group.encode_element(wr, c); });
+  w.vec(commitments, [&](Writer& wr, const Element& c) { group.encode_element(wr, c); });
 }
 
-std::vector<BigInt> FeldmanDealing::decode_commitments(Reader& r, const Group& group, int t) {
+std::vector<Element> FeldmanDealing::decode_commitments(Reader& r, const Group& group, int t) {
   auto commitments =
-      r.vec<BigInt>([&](Reader& rd) { return group.decode_element(rd); });
+      r.vec<Element>([&](Reader& rd) { return group.decode_element(rd); });
   SINTRA_REQUIRE(static_cast<int>(commitments.size()) == t + 1,
                  "FeldmanDealing: wrong commitment count");
   return commitments;

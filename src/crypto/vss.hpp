@@ -21,24 +21,24 @@ namespace sintra::crypto {
 /// A verifiable dealing: per-party shares plus coefficient commitments.
 struct FeldmanDealing {
   std::vector<BigInt> shares;       ///< share for party i at point i+1
-  std::vector<BigInt> commitments;  ///< C_j = g^{a_j}, j = 0..t
+  std::vector<Element> commitments;  ///< C_j = g^{a_j}, j = 0..t
 
   /// Deal `secret` with threshold t among n parties.
   static FeldmanDealing deal(const Group& group, const BigInt& secret, int n, int t, Rng& rng);
 
   /// Publicly verify party `party`'s share against the commitments.
-  static bool verify_share(const Group& group, const std::vector<BigInt>& commitments,
+  static bool verify_share(const Group& group, const std::vector<Element>& commitments,
                            int party, const BigInt& share);
 
   /// The public image g^secret of the dealt secret.
-  [[nodiscard]] const BigInt& public_image() const { return commitments.at(0); }
+  [[nodiscard]] const Element& public_image() const { return commitments.at(0); }
 
   /// Expected value of g^{share_i} for any party, from commitments only.
-  static BigInt share_image(const Group& group, const std::vector<BigInt>& commitments,
+  static Element share_image(const Group& group, const std::vector<Element>& commitments,
                             int party);
 
   void encode_commitments(Writer& w, const Group& group) const;
-  static std::vector<BigInt> decode_commitments(Reader& r, const Group& group, int t);
+  static std::vector<Element> decode_commitments(Reader& r, const Group& group, int t);
 };
 
 }  // namespace sintra::crypto

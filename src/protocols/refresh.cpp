@@ -8,7 +8,8 @@ using crypto::BigInt;
 using crypto::FeldmanDealing;
 
 ShareRefresh::ShareRefresh(net::Party& host, std::string tag, BigInt old_share,
-                           std::vector<BigInt> old_verification, int threshold, DoneFn done)
+                           std::vector<crypto::Element> old_verification, int threshold,
+                           DoneFn done)
     : ProtocolInstance(host, std::move(tag)), old_share_(std::move(old_share)),
       old_verification_(std::move(old_verification)), threshold_(threshold),
       done_(std::move(done)),
@@ -77,8 +78,8 @@ void ShareRefresh::on_ordered(int origin, Bytes payload) {
       candidate.dealer = origin;
       candidate.my_subshare = group.scalar_sub(masked[static_cast<std::size_t>(me())],
                                                mask_for(origin, me()));
-      // A refresh dealing must share zero: C_0 = g^0 = 1.
-      const bool shares_zero = commitments.at(0).is_one();
+      // A refresh dealing must share zero: C_0 = g^0 = identity.
+      const bool shares_zero = commitments.at(0) == group.identity();
       candidate.valid = shares_zero && FeldmanDealing::verify_share(group, commitments, me(),
                                                                     candidate.my_subshare);
       candidate.commitments = std::move(commitments);

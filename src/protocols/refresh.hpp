@@ -47,7 +47,7 @@ class ShareRefresh final : public ProtocolInstance {
  public:
   struct Result {
     crypto::BigInt new_share;
-    std::vector<crypto::BigInt> new_verification;  ///< g^{x'_j} per party
+    std::vector<crypto::Element> new_verification;  ///< g^{x'_j} per party
     int dealings_applied = 0;
   };
   using DoneFn = std::function<void(Result)>;
@@ -56,7 +56,7 @@ class ShareRefresh final : public ProtocolInstance {
   /// a secret x with per-party verification values `old_verification`
   /// (g^{x_j}); `threshold` is the sharing degree t.
   ShareRefresh(net::Party& host, std::string tag, crypto::BigInt old_share,
-               std::vector<crypto::BigInt> old_verification, int threshold, DoneFn done);
+               std::vector<crypto::Element> old_verification, int threshold, DoneFn done);
 
   /// Start the epoch (every honest party calls this).
   void start();
@@ -78,7 +78,7 @@ class ShareRefresh final : public ProtocolInstance {
   void maybe_finish();
 
   crypto::BigInt old_share_;
-  std::vector<crypto::BigInt> old_verification_;
+  std::vector<crypto::Element> old_verification_;
   int threshold_;
   DoneFn done_;
   AtomicBroadcast abc_;
@@ -87,7 +87,7 @@ class ShareRefresh final : public ProtocolInstance {
 
   struct Candidate {
     int dealer;
-    std::vector<crypto::BigInt> commitments;
+    std::vector<crypto::Element> commitments;
     crypto::BigInt my_subshare;  ///< decrypted; validity in `valid`
     bool valid = false;
   };

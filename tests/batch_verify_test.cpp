@@ -25,8 +25,8 @@ class BatchDleqTest : public ::testing::Test {
   batch::DleqItem make_item(int i) {
     const std::string ctx = "dleq-item-" + std::to_string(i);
     BigInt x = group_->random_scalar(rng_);
-    BigInt h1 = group_->exp_g(x);
-    BigInt h2 = group_->exp(g2_, x);
+    Element h1 = group_->exp_g(x);
+    Element h2 = group_->exp(g2_, x);
     DleqProof proof = DleqProof::prove(*group_, ctx, group_->g(), h1, g2_, h2, x, rng_);
     return batch::DleqItem{ctx, std::move(h1), std::move(h2), std::move(proof)};
   }
@@ -48,7 +48,7 @@ class BatchDleqTest : public ::testing::Test {
 
   Rng rng_;
   GroupPtr group_;
-  BigInt g2_;
+  Element g2_;
 };
 
 TEST_F(BatchDleqTest, CleanBatchMatchesIndividual) {
@@ -105,7 +105,7 @@ TEST_F(BatchDleqTest, CrossEquationCompensationRejected) {
   // the second's by d.  A batch that reused one weight for both equations
   // of a DLEQ proof would cancel these; independent weights must not.
   auto items = make_items(4);
-  const BigInt d = group_->exp_g(BigInt(42));
+  const Element d = group_->exp_g(BigInt(42));
   items[2].proof.a1 = group_->mul(items[2].proof.a1, d);
   items[2].proof.a2 = group_->mul(items[2].proof.a2, group_->inv(d));
   ASSERT_FALSE(all_individual(items));
@@ -125,7 +125,7 @@ class BatchSchnorrTest : public ::testing::Test {
     for (int i = 0; i < k; ++i) {
       const std::string ctx = "schnorr-item-" + std::to_string(i);
       BigInt x = group_->random_scalar(rng_);
-      BigInt h = group_->exp_g(x);
+      Element h = group_->exp_g(x);
       SchnorrProof proof = SchnorrProof::prove(*group_, ctx, group_->g(), h, x, rng_);
       items.push_back(batch::SchnorrItem{ctx, std::move(h), std::move(proof)});
     }

@@ -388,7 +388,7 @@ TEST(FuzzTest, BatchVerifiersSurviveTruncatedAndDuplicatedShareSets) {
   sig_variants({sig_shares[0], sig_shares[0], sig_shares[0]});
   {
     auto zeroed = coin_shares;
-    for (auto& s : zeroed) s.value = crypto::BigInt(0);
+    for (auto& s : zeroed) s.value = coin.public_key.group().identity();
     coin_variants(zeroed);
   }
   {
@@ -454,6 +454,184 @@ TEST(FuzzTest, GroupElementDecodeRejectsRandomBytes) {
   }
   // Subgroup density is q/p ~ 2^-128: zero acceptances expected.
   EXPECT_EQ(accepted, 0);
+}
+
+// ---- curve-element inputs (issue 6) ------------------------------------
+//
+// The secp256k1 backend introduces a second wire format for group
+// elements (33-byte compressed SEC1).  Every malformed-point class a peer
+// can ship — truncated, bad prefix byte, x out of field range, x with no
+// curve solution, non-canonical infinity — must be rejected by the
+// decoder and, through it, by every protocol-message decoder that embeds
+// curve elements.
+
+/// A valid compressed encoding of a random curve element.
+Bytes curve_point_bytes(std::uint64_t seed) {
+  auto group = Group::curve_group();
+  Rng rng(seed);
+  Writer w;
+  group->encode_element(w, group->exp_g(group->random_scalar(rng)));
+  return w.take();
+}
+
+/// Malformed 33-byte encodings covering every rejection class.
+std::vector<Bytes> malformed_curve_encodings() {
+  std::vector<Bytes> bad;
+  Bytes valid = curve_point_bytes(19);
+  // Bad prefix byte (only 0x02/0x03 introduce a finite point).
+  for (std::uint8_t prefix : {0x00, 0x01, 0x04, 0x05, 0xFF}) {
+    Bytes b = valid;
+    b[0] = prefix;
+    if (prefix == 0x00) {
+      // prefix 0 is only legal as all-zero infinity; keep x nonzero so
+      // this exercises the non-canonical-infinity reject.
+      b[1] |= 1;
+    }
+    bad.push_back(std::move(b));
+  }
+  // x >= p (field element out of range).
+  {
+    Bytes b(33, 0xFF);
+    b[0] = 0x02;
+    bad.push_back(std::move(b));
+  }
+  // x with no curve solution: x = 0 with the finite-point prefix asks for
+  // y^2 = 7, which is a non-residue mod p.
+  {
+    Bytes b(33, 0x00);
+    b[0] = 0x02;
+    bad.push_back(std::move(b));
+  }
+  return bad;
+}
+
+TEST(FuzzTest, CurveElementDecodeRejectsMalformed) {
+  auto group = Group::curve_group();
+  for (const Bytes& b : malformed_curve_encodings()) {
+    Reader r(b);
+    EXPECT_THROW(group->decode_element(r), ProtocolError)
+        << "prefix 0x" << std::hex << int(b[0]);
+  }
+  // Random 33-byte buffers: ~half of well-prefixed x values have a curve
+  // solution, so some acceptances are expected — but never a crash and
+  // never an off-curve element.
+  Rng rng(20);
+  for (int i = 0; i < 300; ++i) {
+    Bytes buffer = rng.bytes(group->element_bytes());
+    try {
+      Reader r(buffer);
+      crypto::Element e = group->decode_element(r);
+      EXPECT_TRUE(group->is_element(e));
+    } catch (const ProtocolError&) {
+    }
+  }
+  // Every strict truncation of a valid encoding throws.
+  truncation_sweep(curve_point_bytes(21), [&](const Bytes& b) {
+    Reader r(b);
+    group->decode_element(r);
+    r.expect_done();
+  });
+}
+
+TEST(FuzzTest, CurveProtocolDecodersRejectMalformedPoints) {
+  // Drive the malformed encodings through the protocol-message decoders
+  // that embed curve elements: coin shares (value), TDH2 ciphertexts
+  // (u, u_bar, w, w_bar) and decryption shares.  Each splice must throw,
+  // never crash or accept.
+  auto group = Group::curve_group();
+  Rng rng(22);
+  auto scheme = std::make_shared<crypto::ThresholdScheme>(4, 1);
+
+  auto coin = crypto::CoinDeal::deal(group, scheme, rng);
+  Bytes name = bytes_of("curve-fuzz");
+  auto coin_shares = coin.secret_keys[0].share(coin.public_key, name, rng);
+  Writer cw;
+  coin_shares[0].encode(cw, *group);
+  const Bytes coin_wire = cw.take();
+
+  auto tdh2 = crypto::Tdh2Deal::deal(group, scheme, rng);
+  auto ct = tdh2.public_key.encrypt(bytes_of("msg"), bytes_of("l"), rng);
+  Writer tw;
+  ct.encode(tw, *group);
+  const Bytes ct_wire = tw.take();
+
+  for (const Bytes& bad : malformed_curve_encodings()) {
+    // Splice the malformed point over every aligned 33-byte window where a
+    // point encoding can sit; windows that land on non-point fields may
+    // still decode, which is fine — the point windows must throw.
+    for (std::size_t off = 0; off + bad.size() <= coin_wire.size(); ++off) {
+      Bytes spliced = coin_wire;
+      std::copy(bad.begin(), bad.end(), spliced.begin() + static_cast<std::ptrdiff_t>(off));
+      expect_total(
+          [&] {
+            Reader r(spliced);
+            (void)crypto::CoinShare::decode(r, *group);
+            r.expect_done();
+          },
+          "CoinShare::decode(curve)");
+    }
+    for (std::size_t off = 0; off + bad.size() <= ct_wire.size(); ++off) {
+      Bytes spliced = ct_wire;
+      std::copy(bad.begin(), bad.end(), spliced.begin() + static_cast<std::ptrdiff_t>(off));
+      expect_total(
+          [&] {
+            Reader r(spliced);
+            (void)crypto::Tdh2Ciphertext::decode(r, *group);
+            r.expect_done();
+          },
+          "Tdh2Ciphertext::decode(curve)");
+    }
+  }
+
+  // Seeded random-buffer fuzz of the same decoders on the curve backend.
+  fuzz([&](const Bytes& b) {
+    Reader r(b);
+    auto s = crypto::CoinShare::decode(r, *group);
+    r.expect_done();
+    (void)s;
+  }, 23);
+  fuzz([&](const Bytes& b) {
+    Reader r(b);
+    auto c = crypto::Tdh2Ciphertext::decode(r, *group);
+    r.expect_done();
+    (void)c;
+  }, 24);
+  fuzz([&](const Bytes& b) {
+    Reader r(b);
+    auto s = crypto::Tdh2DecShare::decode(r, *group);
+    r.expect_done();
+    (void)s;
+  }, 25);
+}
+
+TEST(FuzzTest, CurveBatchVerifierRejectsTamperedShares) {
+  // Batch verification on the curve backend: tampered and identity-valued
+  // shares must be caught, not folded into an accepting batch.
+  auto group = Group::curve_group();
+  Rng rng(26);
+  auto scheme = std::make_shared<crypto::ThresholdScheme>(4, 1);
+  auto coin = crypto::CoinDeal::deal(group, scheme, rng);
+  Bytes name = bytes_of("curve-batch-fuzz");
+  std::vector<crypto::CoinShare> shares;
+  for (int p = 0; p < 3; ++p) {
+    for (auto& s : coin.secret_keys[static_cast<std::size_t>(p)].share(coin.public_key, name,
+                                                                       rng)) {
+      shares.push_back(s);
+    }
+  }
+  ASSERT_TRUE(crypto::batch::verify_coin_shares(coin.public_key, name, shares, rng));
+  auto tampered = shares;
+  tampered[1].value = group->mul(tampered[1].value, group->g());
+  EXPECT_FALSE(crypto::batch::verify_coin_shares(coin.public_key, name, tampered, rng));
+  auto invalid = crypto::batch::find_invalid_coin_shares(coin.public_key, name, tampered, rng);
+  EXPECT_EQ(invalid, std::vector<std::size_t>{1});
+  auto identity_valued = shares;
+  for (auto& s : identity_valued) s.value = group->identity();
+  expect_total(
+      [&] {
+        (void)crypto::batch::verify_coin_shares(coin.public_key, name, identity_valued, rng);
+      },
+      "verify_coin_shares(curve identity)");
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 // schoolbook reference path (pow_mod_reference, mul_mod) over random inputs
 // for all built-in group moduli and the precomputed RSA moduli, including
 // the edge cases (zero, one, base >= m, maximum-width operands).
-#include "crypto/group.hpp"
+#include "crypto/group_schnorr.hpp"
 #include "crypto/threshold_sig.hpp"
 
 #include <gtest/gtest.h>
@@ -16,10 +16,10 @@ namespace {
 
 std::vector<BigInt> interesting_moduli() {
   std::vector<BigInt> moduli;
-  moduli.push_back(Group::test_group()->p());
-  moduli.push_back(Group::default_group()->p());
-  moduli.push_back(Group::big_group()->p());
-  moduli.push_back(Group::test_group()->q());
+  moduli.push_back(SchnorrGroup::test()->p());
+  moduli.push_back(SchnorrGroup::production()->p());
+  moduli.push_back(SchnorrGroup::big()->p());
+  moduli.push_back(SchnorrGroup::test()->q());
   for (int bits : {128, 256, 512}) {
     RsaParams params = RsaParams::precomputed(bits);
     moduli.push_back(params.p * params.q);
@@ -137,71 +137,73 @@ TEST(MontgomeryTest, DispatcherFallsBackForEvenAndTinyModuli) {
 
 class GroupFastPathTest : public ::testing::TestWithParam<const char*> {
  protected:
-  [[nodiscard]] GroupPtr group() const {
+  [[nodiscard]] std::shared_ptr<const SchnorrGroup> group() const {
     std::string which = GetParam();
-    if (which == "test") return Group::test_group();
-    if (which == "default") return Group::default_group();
-    return Group::big_group();
+    if (which == "test") return SchnorrGroup::test();
+    if (which == "default") return SchnorrGroup::production();
+    return SchnorrGroup::big();
   }
 };
 
 TEST_P(GroupFastPathTest, ExpMatchesReference) {
-  GroupPtr g = group();
+  auto g = group();
   Rng rng(106);
   for (int i = 0; i < 8; ++i) {
     const BigInt s = g->random_scalar(rng);
-    const BigInt h = g->exp_g(s);  // fixed-base path
-    EXPECT_EQ(h, BigInt::pow_mod_reference(g->g(), s, g->p()));
+    const Element h = g->exp_g(s);  // fixed-base path
+    EXPECT_EQ(h.residue(), BigInt::pow_mod_reference(g->g().residue(), s, g->p()));
     // Generic-base path on a fresh element.
     const BigInt s2 = g->random_scalar(rng);
-    EXPECT_EQ(g->exp(h, s2), BigInt::pow_mod_reference(h, s2, g->p()));
+    EXPECT_EQ(g->exp(h, s2).residue(), BigInt::pow_mod_reference(h.residue(), s2, g->p()));
   }
   // Scalars at and beyond the group order reduce mod q on every path.
-  EXPECT_TRUE(g->exp_g(g->q()).is_one());
+  EXPECT_EQ(g->exp_g(g->q()), g->identity());
   EXPECT_EQ(g->exp_g(g->q() + BigInt(5)), g->exp_g(BigInt(5)));
-  EXPECT_TRUE(g->exp_g(BigInt(0)).is_one());
+  EXPECT_EQ(g->exp_g(BigInt(0)), g->identity());
 }
 
 TEST_P(GroupFastPathTest, RegisteredBaseMatchesGenericPath) {
-  GroupPtr g = group();
+  auto g = group();
   Rng rng(107);
-  const BigInt h = g->exp_g(g->random_scalar(rng));
+  const Element h = g->exp_g(g->random_scalar(rng));
   g->precompute_base(h);
   for (int i = 0; i < 8; ++i) {
     const BigInt s = g->random_scalar(rng);
-    EXPECT_EQ(g->exp(h, s), BigInt::pow_mod_reference(h, s, g->p()));
+    EXPECT_EQ(g->exp(h, s).residue(), BigInt::pow_mod_reference(h.residue(), s, g->p()));
   }
 }
 
 TEST_P(GroupFastPathTest, Exp2AndMultiExpMatchReference) {
-  GroupPtr g = group();
+  auto g = group();
   Rng rng(108);
   for (int i = 0; i < 6; ++i) {
-    const BigInt b1 = g->exp_g(g->random_scalar(rng));
-    const BigInt b2 = g->exp_g(g->random_scalar(rng));
+    const Element b1 = g->exp_g(g->random_scalar(rng));
+    const Element b2 = g->exp_g(g->random_scalar(rng));
     const BigInt e1 = g->random_scalar(rng);
     const BigInt e2 = g->random_scalar(rng);
-    const BigInt want = g->mul(BigInt::pow_mod_reference(b1, e1, g->p()),
-                               BigInt::pow_mod_reference(b2, e2, g->p()));
+    const Element want = g->mul(
+        Element::from_residue(BigInt::pow_mod_reference(b1.residue(), e1, g->p())),
+        Element::from_residue(BigInt::pow_mod_reference(b2.residue(), e2, g->p())));
     EXPECT_EQ(g->exp2(b1, e1, b2, e2), want);
     EXPECT_EQ(g->multi_exp({{b1, e1}, {b2, e2}}), want);
   }
-  EXPECT_TRUE(g->multi_exp({}).is_one());
+  EXPECT_EQ(g->multi_exp({}), g->identity());
 }
 
 TEST_P(GroupFastPathTest, MembershipMemoPreservesStrictness) {
-  GroupPtr g = group();
+  auto g = group();
   Rng rng(109);
-  const BigInt h = g->exp_g(g->random_scalar(rng));
+  const Element h = g->exp_g(g->random_scalar(rng));
   // Repeated checks (memoized after the first) stay positive...
   EXPECT_TRUE(g->is_element(h));
   EXPECT_TRUE(g->is_element(h));
   // ...and non-members stay negative on every retry.
-  const BigInt outside = g->p() - BigInt(1);  // order 2, never in the q-subgroup
+  // p-1 has order 2, never in the q-subgroup.
+  const Element outside = Element::from_residue(g->p() - BigInt(1));
   EXPECT_FALSE(g->is_element(outside));
   EXPECT_FALSE(g->is_element(outside));
-  EXPECT_FALSE(g->is_element(BigInt(0)));
-  EXPECT_FALSE(g->is_element(g->p()));
+  EXPECT_FALSE(g->is_element(Element::from_residue(BigInt(0))));
+  EXPECT_FALSE(g->is_element(Element::from_residue(g->p())));
   // Round-trip decode twice: the second decode hits the memo and must
   // return the identical element.
   Writer w;

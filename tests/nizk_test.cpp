@@ -3,6 +3,7 @@
 // to these proofs rejecting forgeries.
 #include <gtest/gtest.h>
 
+#include "crypto/group_schnorr.hpp"
 #include "crypto/nizk.hpp"
 
 namespace sintra::crypto {
@@ -17,9 +18,9 @@ class NizkTest : public ::testing::Test {
 TEST_F(NizkTest, DleqCompleteness) {
   for (int i = 0; i < 10; ++i) {
     BigInt x = group_->random_scalar(rng_);
-    BigInt g2 = group_->hash_to_element("base", bytes_of(std::to_string(i)));
-    BigInt h1 = group_->exp_g(x);
-    BigInt h2 = group_->exp(g2, x);
+    Element g2 = group_->hash_to_element("base", bytes_of(std::to_string(i)));
+    Element h1 = group_->exp_g(x);
+    Element h2 = group_->exp(g2, x);
     auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
     EXPECT_TRUE(proof.verify(*group_, "ctx", group_->g(), h1, g2, h2));
   }
@@ -28,27 +29,27 @@ TEST_F(NizkTest, DleqCompleteness) {
 TEST_F(NizkTest, DleqRejectsWrongWitnessStatement) {
   BigInt x = group_->random_scalar(rng_);
   BigInt y = group_->random_scalar(rng_);
-  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
-  BigInt h1 = group_->exp_g(x);
-  BigInt h2 = group_->exp(g2, y);  // different exponent: statement false
+  Element g2 = group_->hash_to_element("base", bytes_of("b"));
+  Element h1 = group_->exp_g(x);
+  Element h2 = group_->exp(g2, y);  // different exponent: statement false
   auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
   EXPECT_FALSE(proof.verify(*group_, "ctx", group_->g(), h1, g2, h2));
 }
 
 TEST_F(NizkTest, DleqContextBinding) {
   BigInt x = group_->random_scalar(rng_);
-  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
-  BigInt h1 = group_->exp_g(x);
-  BigInt h2 = group_->exp(g2, x);
+  Element g2 = group_->hash_to_element("base", bytes_of("b"));
+  Element h1 = group_->exp_g(x);
+  Element h2 = group_->exp(g2, x);
   auto proof = DleqProof::prove(*group_, "ctx-a", group_->g(), h1, g2, h2, x, rng_);
   EXPECT_FALSE(proof.verify(*group_, "ctx-b", group_->g(), h1, g2, h2));
 }
 
 TEST_F(NizkTest, DleqRejectsTamperedProof) {
   BigInt x = group_->random_scalar(rng_);
-  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
-  BigInt h1 = group_->exp_g(x);
-  BigInt h2 = group_->exp(g2, x);
+  Element g2 = group_->hash_to_element("base", bytes_of("b"));
+  Element h1 = group_->exp_g(x);
+  Element h2 = group_->exp(g2, x);
   auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
   DleqProof bad = proof;
   bad.z = group_->scalar_add(bad.z, BigInt(1));
@@ -63,9 +64,9 @@ TEST_F(NizkTest, DleqRejectsTamperedProof) {
 
 TEST_F(NizkTest, DleqRejectsSwappedStatement) {
   BigInt x = group_->random_scalar(rng_);
-  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
-  BigInt h1 = group_->exp_g(x);
-  BigInt h2 = group_->exp(g2, x);
+  Element g2 = group_->hash_to_element("base", bytes_of("b"));
+  Element h1 = group_->exp_g(x);
+  Element h2 = group_->exp(g2, x);
   auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
   // Swapping the two relations must invalidate the proof.
   EXPECT_FALSE(proof.verify(*group_, "ctx", g2, h2, group_->g(), h1));
@@ -73,16 +74,19 @@ TEST_F(NizkTest, DleqRejectsSwappedStatement) {
 
 TEST_F(NizkTest, DleqRejectsNonElements) {
   BigInt x = group_->random_scalar(rng_);
-  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
-  BigInt h1 = group_->exp_g(x);
-  BigInt h2 = group_->exp(g2, x);
+  Element g2 = group_->hash_to_element("base", bytes_of("b"));
+  Element h1 = group_->exp_g(x);
+  Element h2 = group_->exp(g2, x);
   auto proof = DleqProof::prove(*group_, "ctx", group_->g(), h1, g2, h2, x, rng_);
-  EXPECT_FALSE(proof.verify(*group_, "ctx", group_->g(), group_->p() - BigInt(1), g2, h2));
+  // Valid residue (passes the range check) outside the order-q subgroup.
+  const BigInt p = SchnorrGroup::test()->p();
+  EXPECT_FALSE(
+      proof.verify(*group_, "ctx", group_->g(), Element::from_residue(p - BigInt(1)), g2, h2));
 }
 
 TEST_F(NizkTest, DleqSerializationRoundTrip) {
   BigInt x = group_->random_scalar(rng_);
-  BigInt g2 = group_->hash_to_element("base", bytes_of("b"));
+  Element g2 = group_->hash_to_element("base", bytes_of("b"));
   auto proof = DleqProof::prove(*group_, "ctx", group_->g(), group_->exp_g(x), g2,
                                 group_->exp(g2, x), x, rng_);
   Writer w;
@@ -98,7 +102,7 @@ TEST_F(NizkTest, DleqSerializationRoundTrip) {
 TEST_F(NizkTest, SchnorrCompleteness) {
   for (int i = 0; i < 10; ++i) {
     BigInt x = group_->random_scalar(rng_);
-    BigInt h = group_->exp_g(x);
+    Element h = group_->exp_g(x);
     auto proof = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
     EXPECT_TRUE(proof.verify(*group_, "ctx", group_->g(), h));
   }
@@ -106,22 +110,22 @@ TEST_F(NizkTest, SchnorrCompleteness) {
 
 TEST_F(NizkTest, SchnorrRejectsWrongStatement) {
   BigInt x = group_->random_scalar(rng_);
-  BigInt h = group_->exp_g(x);
+  Element h = group_->exp_g(x);
   auto proof = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
-  BigInt other = group_->exp_g(group_->scalar_add(x, BigInt(1)));
+  Element other = group_->exp_g(group_->scalar_add(x, BigInt(1)));
   EXPECT_FALSE(proof.verify(*group_, "ctx", group_->g(), other));
 }
 
 TEST_F(NizkTest, SchnorrContextBinding) {
   BigInt x = group_->random_scalar(rng_);
-  BigInt h = group_->exp_g(x);
+  Element h = group_->exp_g(x);
   auto proof = SchnorrProof::prove(*group_, "instance-1", group_->g(), h, x, rng_);
   EXPECT_FALSE(proof.verify(*group_, "instance-2", group_->g(), h));
 }
 
 TEST_F(NizkTest, SchnorrSerializationRoundTrip) {
   BigInt x = group_->random_scalar(rng_);
-  BigInt h = group_->exp_g(x);
+  Element h = group_->exp_g(x);
   auto proof = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
   Writer w;
   proof.encode(w, *group_);
@@ -132,7 +136,7 @@ TEST_F(NizkTest, SchnorrSerializationRoundTrip) {
 
 TEST_F(NizkTest, ProofsAreRandomized) {
   BigInt x = group_->random_scalar(rng_);
-  BigInt h = group_->exp_g(x);
+  Element h = group_->exp_g(x);
   auto p1 = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
   auto p2 = SchnorrProof::prove(*group_, "ctx", group_->g(), h, x, rng_);
   EXPECT_NE(p1.z, p2.z);  // fresh commitment randomness

@@ -4,6 +4,7 @@
 // cases because each signature costs ~10x the test-parameter cost.
 #include <gtest/gtest.h>
 
+#include "crypto/group_schnorr.hpp"
 #include "protocols/atomic.hpp"
 #include "protocols/harness.hpp"
 
@@ -12,15 +13,20 @@ namespace {
 
 TEST(ProductionParamsTest, GroupAndRsaParametersValid) {
   Rng rng(1);
-  auto group = crypto::Group::default_group();
+  auto group = crypto::SchnorrGroup::production();
   EXPECT_GE(group->p().bit_length(), 767u);
   EXPECT_GE(group->q().bit_length(), 255u);
   EXPECT_TRUE(group->p().is_probable_prime(rng, 16));
   EXPECT_TRUE(group->q().is_probable_prime(rng, 16));
 
-  auto big = crypto::Group::big_group();
+  auto big = crypto::SchnorrGroup::big();
   EXPECT_GE(big->p().bit_length(), 1535u);
   EXPECT_TRUE(big->p().is_probable_prime(rng, 8));
+
+  // The curve backend's scalar field: secp256k1's group order n is prime.
+  auto curve = crypto::Group::curve_group();
+  EXPECT_EQ(curve->q().bit_length(), 256u);
+  EXPECT_TRUE(curve->q().is_probable_prime(rng, 16));
 
   auto rsa = crypto::RsaParams::precomputed(256);
   EXPECT_TRUE(rsa.p.is_probable_prime(rng, 16));

@@ -165,7 +165,8 @@ TEST(RefreshTest, SequentialEpochs) {
   crypto::ThresholdScheme scheme(4, 1);
 
   std::vector<BigInt> shares;
-  std::vector<BigInt> verification = deployment.keys->public_keys().coin.verification_values();
+  std::vector<crypto::Element> verification =
+      deployment.keys->public_keys().coin.verification_values();
   for (int id = 0; id < 4; ++id) {
     shares.push_back(deployment.keys->share(id).coin.unit_shares().at(id));
   }

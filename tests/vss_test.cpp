@@ -32,7 +32,7 @@ TEST_F(VssTest, PublicImageIsGToSecret) {
 
 TEST_F(VssTest, ZeroSharingHasIdentityImage) {
   auto dealing = FeldmanDealing::deal(*group_, BigInt(0), 4, 1, rng_);
-  EXPECT_TRUE(dealing.public_image().is_one());
+  EXPECT_EQ(dealing.public_image(), group_->identity());
   for (int i = 0; i < 4; ++i) {
     EXPECT_TRUE(FeldmanDealing::verify_share(*group_, dealing.commitments, i,
                                              dealing.shares[static_cast<std::size_t>(i)]));
@@ -90,7 +90,7 @@ TEST_F(VssTest, ZeroDealingRefreshPreservesSecretAndImages) {
     new_shares.push_back(group_->scalar_add(base.shares[static_cast<std::size_t>(i)],
                                             zero.shares[static_cast<std::size_t>(i)]));
     // Public update of the verification value:
-    BigInt updated = group_->mul(
+    Element updated = group_->mul(
         group_->exp_g(base.shares[static_cast<std::size_t>(i)]),
         FeldmanDealing::share_image(*group_, zero.commitments, i));
     EXPECT_EQ(updated, group_->exp_g(new_shares.back()));
