@@ -57,6 +57,50 @@ for key in sorted(families):
 EOF
 }
 
+# executor_scaling <bench.json>: multi-core scaling table for the
+# BM_E3AtomicExecutors family (issue 7).  Rows are named
+# BM_E3AtomicExecutors/<executors>/<backend>; print each backend's curve
+# as speedup over its own sequential (E=0) row.  On a 1-core container
+# the curve collapses to ~1x — the multi-core CI bench job records the
+# real one.  Returns 1 when the host has >=4 CPUs, an E=4 row exists,
+# and its speedup is below the 1.5x acceptance floor.
+executor_scaling() {
+  python3 - "$1" <<'EOF'
+import json, sys
+from collections import defaultdict
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+curves = defaultdict(dict)  # backend label -> executors -> ms
+for b in data.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    parts = b["name"].split("/")
+    if parts[0] != "BM_E3AtomicExecutors" or len(parts) != 3:
+        continue
+    curves[b.get("label", parts[2])][int(parts[1])] = float(b["real_time"])
+
+if not curves:
+    sys.exit(0)
+num_cpus = data.get("context", {}).get("num_cpus", 1)
+print(f"\n-- executor scaling, E3 atomic ({num_cpus} CPUs) --")
+failed = False
+for label in sorted(curves):
+    curve = curves[label]
+    base = curve.get(0)
+    if base is None or base <= 0:
+        continue
+    cols = ", ".join(f"E={e}: {base / t:.2f}x" for e, t in sorted(curve.items()))
+    print(f"{label}:  {cols}")
+    if num_cpus >= 4 and 4 in curve and base / curve[4] < 1.5:
+        print(f"SCALING: {label}: {base / curve[4]:.2f}x at 4 executors "
+              f"(< 1.5x acceptance floor on a {num_cpus}-core host)")
+        failed = True
+sys.exit(1 if failed else 0)
+EOF
+}
+
 # compare <old.json> <new.json>: warn on >20% real_time slowdowns.
 compare_json() {
   python3 - "$1" "$2" <<'EOF'
@@ -107,6 +151,12 @@ for exp in e7_crypto e13_pipeline; do
                --benchmark_format=console
   echo "wrote $out_json"
   backend_compare "$out_json"
+  if [[ "$id" == "E13" ]]; then
+    if ! executor_scaling "$out_json"; then
+      echo "warning: E3 atomic executor scaling below the 1.5x floor" >&2
+      status=1
+    fi
+  fi
   if [[ -n "$baseline" ]]; then
     if ! compare_json "$baseline" "$out_json"; then
       echo "warning: ${id} benchmarks regressed >20% vs the committed JSON" >&2

@@ -1,0 +1,116 @@
+// Per-instance protocol executors (the multi-core protocol layer).
+//
+// The deterministic Simulator runs every state machine on one thread; the
+// networked deployments were doing the same, leaving the E3 atomic bench
+// pinned at a 1-core ceiling.  An ExecutorPool gives each *protocol
+// instance tree* its own serial execution lane: the executor for a message
+// is a stable hash of the instance tag's root segment (the part before the
+// first '/'), so "abc0" and every sub-instance it spawns ("abc0/rbc/…",
+// "abc0/vba/…") land on the same executor and run in arrival order, while
+// independent top-level instances ("abc1", "abc2", …) run concurrently on
+// other executors.  That is exactly the unit that owns its own mutable
+// state — sub-instances call back into their parent, so splitting a tree
+// across threads would race; splitting *trees* across threads cannot.
+//
+// Inboxes are mutex-light MPSC: producers take a short push lock per task;
+// the consumer swaps the whole backlog out under one lock acquisition and
+// runs the batch lock-free.  There is no per-task lock round-trip on the
+// hot consumer path and never a lock held while protocol code runs.
+//
+// Determinism contract: executor routing never reorders messages within an
+// instance tree (stable assignment + FIFO inbox), and WAL writes stay on
+// the single pump thread in arrival order, so replay — which always runs
+// sequentially — is bit-exact regardless of how many executors the
+// original run used.
+//
+// `executors == 0` selects sequential mode: post() runs the task inline on
+// the caller, which is byte-for-byte the old single-threaded behavior.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace sintra::common {
+
+class ExecutorPool {
+ public:
+  using Task = std::function<void()>;
+  /// Called (from an executor thread) after a batch of tasks ran; used to
+  /// wake an event loop whose wake-up condition the tasks may have made
+  /// true (e.g. "all payloads delivered").
+  using Notify = std::function<void()>;
+
+  /// `executors == 0` selects sequential inline mode.
+  explicit ExecutorPool(std::size_t executors);
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  [[nodiscard]] std::size_t executors() const { return lanes_.size(); }
+  [[nodiscard]] bool sequential() const { return lanes_.empty(); }
+
+  void set_notify(Notify notify);
+
+  /// Root segment of an instance tag: everything before the first '/'
+  /// ("abc2/rbc/5/echo" -> "abc2").  The whole tree shares one executor.
+  [[nodiscard]] static std::string_view tag_root(std::string_view tag);
+
+  /// Stable 64-bit FNV-1a over the root segment — independent of pool
+  /// size, process, run; the basis of deterministic executor assignment.
+  [[nodiscard]] static std::uint64_t tag_hash(std::string_view tag);
+
+  /// Executor index for an instance tag (0 in sequential mode).
+  [[nodiscard]] std::size_t executor_for(std::string_view tag) const;
+
+  /// Enqueue a task on executor `index`'s MPSC inbox (any thread).
+  /// Sequential mode — and a stopped pool — runs the task inline.
+  void post(std::size_t index, Task task);
+
+  /// Block until every posted task has finished (any thread but not an
+  /// executor thread).
+  void wait_idle();
+
+  /// Drain-and-join: executors run every task already posted, then exit.
+  /// Idempotent; the destructor calls it.  Tasks posted after stop() run
+  /// inline on the caller.
+  void stop();
+
+  struct Stats {
+    std::uint64_t posted = 0;             ///< tasks handed to post()
+    std::uint64_t batches = 0;            ///< consumer swap-outs (lock acquisitions)
+    std::vector<std::uint64_t> executed;  ///< tasks run, per executor
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Lane {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<Task> queue;
+    std::thread thread;
+    std::uint64_t executed = 0;  // guarded by mutex
+    std::uint64_t batches = 0;   // guarded by mutex
+  };
+
+  void lane_loop(Lane& lane);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> posted_{0};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::mutex notify_mutex_;
+  Notify notify_;
+};
+
+}  // namespace sintra::common

@@ -68,6 +68,14 @@ Bytes Reader::bytes() {
   return raw(len);
 }
 
+BytesView Reader::bytes_view() {
+  std::uint32_t len = u32();
+  need(len);
+  BytesView view = data_.subspan(pos_, len);
+  pos_ += len;
+  return view;
+}
+
 std::string Reader::str() {
   std::uint32_t len = u32();
   need(len);

@@ -61,6 +61,9 @@ class Reader {
   bool boolean();
 
   Bytes bytes();
+  /// Length-prefixed slice of the underlying buffer — no copy.  The view
+  /// is only valid while the buffer passed to the Reader lives.
+  BytesView bytes_view();
   std::string str();
   Bytes raw(std::size_t count);
 

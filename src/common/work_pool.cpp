@@ -9,15 +9,31 @@ WorkPool::WorkPool(std::size_t threads, std::size_t max_queue) : max_queue_(max_
   }
 }
 
-WorkPool::~WorkPool() {
+WorkPool::~WorkPool() { stop(); }
+
+void WorkPool::stop() {
+  std::deque<Pending> orphaned;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
+    // Steal the queue so no completion can be lost even if a worker exits
+    // without taking its job (all workers see an empty queue below and
+    // fall through to join).
+    orphaned.swap(queue_);
+    in_flight_ -= orphaned.size();
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
-  // Any never-drained completions die with the pool; jobs already taken by
-  // workers finished before the joins above.
+  workers_.clear();
+  // Verification verdicts are mandatory: run every job the workers never
+  // took inline on the stopping thread, then fire every undrained
+  // completion.  After this, each submitted completion has run exactly
+  // once — nothing dies with the pool.
+  for (Pending& pending : orphaned) {
+    pending.completion(run_guarded(pending.job));
+  }
+  drain();
+  idle_cv_.notify_all();
 }
 
 void WorkPool::set_notify(Notify notify) {

@@ -43,6 +43,13 @@ class WorkPool {
   explicit WorkPool(std::size_t threads, std::size_t max_queue = 256);
   ~WorkPool();
 
+  /// Shut the pool down without losing work: workers finish every queued
+  /// job, then the calling thread runs any job the workers never took
+  /// inline and drains every undrained completion.  After stop() every
+  /// completion ever submitted has fired exactly once.  Idempotent; the
+  /// destructor calls it.  Owner thread only (completions run here).
+  void stop();
+
   WorkPool(const WorkPool&) = delete;
   WorkPool& operator=(const WorkPool&) = delete;
 

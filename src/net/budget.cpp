@@ -11,7 +11,8 @@ bool ResourceBudget::in_subtree(const std::string& key, const std::string& prefi
 }
 
 bool ResourceBudget::try_charge(int peer, const std::string& instance, std::size_t bytes) {
-  const std::size_t peer_now = peer_total(peer);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t peer_now = peer_total_unlocked(peer);
   auto inst_it = instance_totals_.find(instance);
   const std::size_t inst_now = inst_it == instance_totals_.end() ? 0 : inst_it->second;
   if (peer_now + bytes > config_.per_peer_cap || inst_now + bytes > config_.per_instance_cap ||
@@ -28,6 +29,7 @@ bool ResourceBudget::try_charge(int peer, const std::string& instance, std::size
 }
 
 void ResourceBudget::release(int peer, const std::string& instance, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto inst = charges_.find(instance);
   SINTRA_INVARIANT(inst != charges_.end(), "budget: release for unknown instance");
   auto entry = inst->second.find(peer);
@@ -46,6 +48,7 @@ void ResourceBudget::release(int peer, const std::string& instance, std::size_t 
 }
 
 void ResourceBudget::release_instance(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = charges_.lower_bound(prefix);
   while (it != charges_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
     if (!in_subtree(it->first, prefix)) {
@@ -63,12 +66,18 @@ void ResourceBudget::release_instance(const std::string& prefix) {
   }
 }
 
-std::size_t ResourceBudget::peer_total(int peer) const {
+std::size_t ResourceBudget::peer_total_unlocked(int peer) const {
   auto it = peer_totals_.find(peer);
   return it == peer_totals_.end() ? 0 : it->second;
 }
 
+std::size_t ResourceBudget::peer_total(int peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peer_total_unlocked(peer);
+}
+
 std::size_t ResourceBudget::instance_total(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t sum = 0;
   for (auto it = instance_totals_.lower_bound(prefix);
        it != instance_totals_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace sintra::net {
@@ -54,6 +55,11 @@ class ResourceBudget {
   void configure(BudgetConfig config) { config_ = config; }
   [[nodiscard]] const BudgetConfig& config() const { return config_; }
 
+  // All accounting below is internally synchronized: under an executor
+  // pool, handlers on different executor threads charge and release
+  // concurrently (the charge maps are the one piece of state every
+  // instance tree shares).
+
   /// Attempt to account `bytes` buffered on behalf of `peer` under
   /// `instance` (a protocol tag).  False — with no state change — when any
   /// cap would be exceeded; the caller then evicts or drops.
@@ -69,19 +75,37 @@ class ResourceBudget {
 
   /// Record an eviction decision made by an owning buffer (for the tests'
   /// "the attack actually hit the governance" assertions).
-  void note_eviction() { ++evictions_; }
+  void note_eviction() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++evictions_;
+  }
 
-  [[nodiscard]] std::size_t total() const { return total_; }
-  [[nodiscard]] std::size_t peak_total() const { return peak_; }
+  [[nodiscard]] std::size_t total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+  [[nodiscard]] std::size_t peak_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
   [[nodiscard]] std::size_t peer_total(int peer) const;
   /// Bytes charged under `prefix` (same subtree semantics as
   /// release_instance).
   [[nodiscard]] std::size_t instance_total(const std::string& prefix) const;
-  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
-  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+  }
+  [[nodiscard]] std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
 
  private:
   [[nodiscard]] static bool in_subtree(const std::string& key, const std::string& prefix);
+  [[nodiscard]] std::size_t peer_total_unlocked(int peer) const;
+
+  mutable std::mutex mutex_;
 
   BudgetConfig config_;
   /// instance tag -> (peer -> bytes); exact tags, subtree queries walk.

@@ -19,7 +19,58 @@ constexpr std::size_t kMaxRetired = 4096;
 
 Party::Party(Network& network, int id, adversary::Deployment deployment, std::uint64_t seed)
     : network_(network), id_(id), deployment_(std::move(deployment)),
+      seed_(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(id + 1))),
       rng_(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(id + 1))) {}
+
+Party::DispatchCtx& Party::ctx() {
+  if (!concurrent()) return main_ctx_;
+  // One context per (thread, party).  Entries are value-semantic and tiny;
+  // they persist until thread exit, which caps the map at parties-this-
+  // thread-ever-dispatched-for.  A recycled map slot (new Party at an old
+  // address) is detected through rng_owner_seed and reseeded.
+  static thread_local std::map<const Party*, DispatchCtx> per_thread;
+  return per_thread[this];
+}
+
+Rng& Party::rng() {
+  if (!concurrent()) return rng_;
+  DispatchCtx& c = ctx();
+  if (!c.rng.has_value() || c.rng_owner_seed != seed_) {
+    // Unique slot per (thread, party) stream: two executor threads drawing
+    // nonces concurrently must never share a stream (nonce reuse would
+    // break every sigma protocol in the stack), and distinct slots give
+    // distinct seeds by construction.
+    const std::uint64_t slot = rng_slots_.fetch_add(1, std::memory_order_relaxed) + 1;
+    c.rng.emplace(seed_ + 0x9e3779b97f4a7c15ULL * slot);
+    c.rng_owner_seed = seed_;
+  }
+  return *c.rng;
+}
+
+Network::TimerId Party::schedule_timer(std::uint64_t delay, Network::TimerFn fn) {
+  if (concurrent()) {
+    // The wheel fires on the pump thread; re-post the callback to the
+    // executor of the instance tree that armed it so it serializes with
+    // that tree's message handlers.  The scheduling tree is the one being
+    // dispatched right now (or the with_instance scope during stack
+    // construction).
+    std::string root(ctx().current_root);
+    common::ExecutorPool* pool = executors_;
+    auto wrapped = [pool, root = std::move(root), fn = std::move(fn)]() {
+      pool->post(pool->executor_for(root), fn);
+    };
+    return network_.schedule_timer(id_, delay, std::move(wrapped));
+  }
+  return network_.schedule_timer(id_, delay, std::move(fn));
+}
+
+void Party::with_instance(std::string_view root, const std::function<void()>& fn) {
+  DispatchCtx& c = ctx();
+  std::string previous = std::move(c.current_root);
+  c.current_root.assign(root);
+  fn();
+  c.current_root = std::move(previous);
+}
 
 void Party::send(int to, const std::string& tag, Bytes payload) {
   Message message;
@@ -28,14 +79,28 @@ void Party::send(int to, const std::string& tag, Bytes payload) {
   message.tag = tag;
   message.payload = std::move(payload);
   if (to == id_) {
+    DispatchCtx& c = ctx();
+    if (c.dispatching) {
+      // In-handler self-message: runs on this thread, in order, before
+      // control returns — same-instance-tree by construction.
+      c.local.push_back(std::move(message));
+      return;
+    }
+    if (concurrent()) {
+      // External self-input under executors: loop it through the network
+      // inbox so the pump thread WAL-logs it in arrival order and routes
+      // it to the owning executor like any other message.
+      network_.submit(std::move(message));
+      return;
+    }
     // A self-message from outside any handler is an external input (an
     // application-level submit).  Replay cannot regenerate it, so it goes
     // into the write-ahead log; self-messages produced *inside* handlers
     // are deterministically re-created when the triggering message is
     // replayed and must stay out of the log or they would run twice.
-    if (wal_enabled_ && !dispatching_) wal_.push_back(message);
-    local_.push_back(std::move(message));
-    if (!dispatching_) drain_local();
+    if (wal_enabled_) wal_.push_back(message);
+    c.local.push_back(std::move(message));
+    drain_local();
     return;
   }
   network_.submit(std::move(message));
@@ -55,24 +120,35 @@ void Party::offload(const std::string& tag, common::WorkPool::Job job) {
 }
 
 void Party::register_handler(const std::string& tag, Handler handler) {
-  SINTRA_INVARIANT(!handlers_.contains(tag), "Party: duplicate handler tag " + tag);
-  handlers_.emplace(tag, std::move(handler));
-  auto buffered = buffered_.find(tag);
-  if (buffered != buffered_.end()) {
-    for (Message& message : buffered->second) {
-      // Leaving the handler-less buffer: the owning protocol re-charges if
-      // it parks the message again.
-      budget_.release(message.from, message.tag, buffered_cost(message));
-      local_.push_back(std::move(message));
+  DispatchCtx& c = ctx();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    SINTRA_INVARIANT(!handlers_.contains(tag), "Party: duplicate handler tag " + tag);
+    handlers_.emplace(tag, std::move(handler));
+    auto buffered = buffered_.find(tag);
+    if (buffered != buffered_.end()) {
+      for (Message& message : buffered->second) {
+        // Leaving the handler-less buffer: the owning protocol re-charges
+        // if it parks the message again.
+        budget_.release(message.from, message.tag, buffered_cost(message));
+        c.local.push_back(std::move(message));
+      }
+      buffered_.erase(buffered);
     }
-    buffered_.erase(buffered);
-    if (!dispatching_) drain_local();
   }
+  // Re-dispatch happens on the registering thread — for a sub-instance
+  // created inside a handler that is the owning tree's executor, so
+  // ordering within the tree is preserved.
+  if (!c.dispatching) drain_local();
 }
 
-void Party::unregister_handler(const std::string& tag) { handlers_.erase(tag); }
+void Party::unregister_handler(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  handlers_.erase(tag);
+}
 
 void Party::retire_tag(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   if (retired_.insert(prefix).second) {
     retired_order_.push_back(prefix);
     if (retired_order_.size() > kMaxRetired) {
@@ -100,7 +176,7 @@ void Party::retire_tag(const std::string& prefix) {
   std::erase_if(wal_, [&](const Message& message) { return in_subtree(message.tag); });
 }
 
-bool Party::is_retired(std::string_view tag) const {
+bool Party::is_retired_unlocked(std::string_view tag) const {
   if (retired_.empty()) return false;
   for (std::size_t pos = 0; pos <= tag.size(); ++pos) {
     if (pos == tag.size() || tag[pos] == '/') {
@@ -110,17 +186,27 @@ bool Party::is_retired(std::string_view tag) const {
   return false;
 }
 
+bool Party::is_retired(std::string_view tag) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return is_retired_unlocked(tag);
+}
+
 void Party::register_checkpoint(const std::string& prefix, CheckpointSave save,
                                 CheckpointLoad load) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   SINTRA_INVARIANT(!checkpoints_.contains(prefix),
                    "Party: duplicate checkpoint prefix " + prefix);
   checkpoints_.emplace(prefix, Checkpoint{std::move(save), std::move(load)});
 }
 
-void Party::unregister_checkpoint(const std::string& prefix) { checkpoints_.erase(prefix); }
+void Party::unregister_checkpoint(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  checkpoints_.erase(prefix);
+}
 
 void Party::prune_wal(const std::string& tag,
                       const std::function<bool(const Message&)>& prunable) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   std::erase_if(wal_,
                 [&](const Message& message) { return message.tag == tag && prunable(message); });
 }
@@ -128,20 +214,46 @@ void Party::prune_wal(const std::string& tag,
 void Party::on_message(const Message& message) {
   // Persist before processing — a crash after dispatch must not lose the
   // message (at-least-once: a redelivery after restore is harmless, a
-  // loss is not).
-  if (wal_enabled_) wal_.push_back(message);
+  // loss is not).  Under executors this still runs on the single pump
+  // thread, so the WAL records the one true arrival order and replay —
+  // always inline and single-threaded — is bit-exact however many
+  // executors the original run used.
+  if (wal_enabled_) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    wal_.push_back(message);
+  }
+  if (concurrent()) {
+    executors_->post(executors_->executor_for(message.tag),
+                     [this, message]() {
+                       dispatch(message);
+                       drain_local();
+                     });
+    return;
+  }
   dispatch(message);
   drain_local();
 }
 
 Bytes Party::snapshot() const {
+  // Snapshots are taken from a quiesced stack; the lock is released around
+  // the save() callbacks because they run protocol code that may call back
+  // into locking Party methods.
+  std::vector<std::pair<std::string, CheckpointSave>> savers;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    savers.reserve(checkpoints_.size());
+    for (const auto& [prefix, checkpoint] : checkpoints_) {
+      savers.emplace_back(prefix, checkpoint.save);
+    }
+  }
   Writer w;
   w.u8(2);  // snapshot version
-  w.u32(static_cast<std::uint32_t>(checkpoints_.size()));
-  for (const auto& [prefix, checkpoint] : checkpoints_) {
+  w.u32(static_cast<std::uint32_t>(savers.size()));
+  for (const auto& [prefix, save] : savers) {
     w.str(prefix);
-    w.bytes(checkpoint.save());
+    w.bytes(save());
   }
+  std::lock_guard<std::mutex> lock(state_mutex_);
   w.u32(static_cast<std::uint32_t>(retired_order_.size()));
   for (const std::string& tag : retired_order_) w.str(tag);
   w.vec(wal_, [](Writer& out, const Message& message) {
@@ -164,9 +276,12 @@ void Party::restore(BytesView persisted) {
     blobs.emplace_back(std::move(prefix), r.bytes());
   }
   const auto retired_count = r.u32();
-  for (std::uint32_t i = 0; i < retired_count; ++i) {
-    std::string tag = r.str();
-    if (retired_.insert(tag).second) retired_order_.push_back(std::move(tag));
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (std::uint32_t i = 0; i < retired_count; ++i) {
+      std::string tag = r.str();
+      if (retired_.insert(tag).second) retired_order_.push_back(std::move(tag));
+    }
   }
   std::vector<Message> replay = r.vec<Message>([this](Reader& in) {
     Message message;
@@ -183,13 +298,21 @@ void Party::restore(BytesView persisted) {
   // loader belongs to an instance the rebuilt stack has not created yet
   // (e.g. a lazily built sub-instance) — such instances never compact
   // their WAL entries, so skipping the blob loses nothing.
+  // Restore always runs inline on the calling thread, never through the
+  // executor pool: replay is single-threaded and bit-exact by contract,
+  // whatever executor count produced the WAL being replayed.
   const bool was_enabled = wal_enabled_;
   wal_enabled_ = false;
   for (const auto& [prefix, blob] : blobs) {
-    auto checkpoint = checkpoints_.find(prefix);
-    if (checkpoint == checkpoints_.end()) continue;
+    CheckpointLoad load;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      auto checkpoint = checkpoints_.find(prefix);
+      if (checkpoint == checkpoints_.end()) continue;
+      load = checkpoint->second.load;
+    }
     Reader in(blob);
-    checkpoint->second.load(in);
+    load(in);
     in.expect_done();
     drain_local();
   }
@@ -198,28 +321,42 @@ void Party::restore(BytesView persisted) {
     drain_local();
   }
   wal_enabled_ = was_enabled;
+  std::lock_guard<std::mutex> lock(state_mutex_);
   wal_ = std::move(replay);
 }
 
 void Party::dispatch(const Message& message) {
-  auto handler = handlers_.find(message.tag);
-  if (handler == handlers_.end()) {
-    // Late traffic for a retired instance is dropped outright; everything
-    // else is buffered under the resource budget until (if ever) an
-    // instance registers for the tag.
-    if (!is_retired(message.tag)) buffer_unhandled(message);
-    return;
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto it = handlers_.find(message.tag);
+    if (it == handlers_.end()) {
+      // Late traffic for a retired instance is dropped outright;
+      // everything else is buffered under the resource budget until (if
+      // ever) an instance registers for the tag.
+      if (!is_retired_unlocked(message.tag)) buffer_unhandled(message);
+      return;
+    }
+    // Copy the closure out so no lock is held while protocol code runs; a
+    // concurrent unregister (always from another instance tree) cannot
+    // invalidate it.
+    handler = it->second;
   }
-  dispatching_ = true;
+  DispatchCtx& c = ctx();
+  const bool was_dispatching = c.dispatching;
+  std::string previous_root = std::move(c.current_root);
+  c.dispatching = true;
+  c.current_root.assign(common::ExecutorPool::tag_root(message.tag));
   try {
     Reader reader(message.payload);
-    handler->second(message.from, reader);
+    handler(message.from, reader);
   } catch (const ProtocolError& error) {
     // Malformed or adversarial input: drop and continue.
     trace("party", "dropped message on " + message.tag + " from " +
                        std::to_string(message.from) + ": " + error.what());
   }
-  dispatching_ = false;
+  c.dispatching = was_dispatching;
+  c.current_root = std::move(previous_root);
 }
 
 void Party::buffer_unhandled(const Message& message) {
@@ -241,9 +378,10 @@ void Party::buffer_unhandled(const Message& message) {
 }
 
 void Party::drain_local() {
-  while (!local_.empty()) {
-    Message message = std::move(local_.front());
-    local_.pop_front();
+  DispatchCtx& c = ctx();
+  while (!c.local.empty()) {
+    Message message = std::move(c.local.front());
+    c.local.pop_front();
     dispatch(message);
   }
 }

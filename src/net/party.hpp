@@ -17,12 +17,18 @@
 // compaction: restarts stop resurrecting dead state).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <set>
+#include <string_view>
 
 #include "adversary/quorum.hpp"
+#include "common/executor.hpp"
 #include "common/serialize.hpp"
 #include "common/work_pool.hpp"
 #include "net/budget.hpp"
@@ -57,7 +63,7 @@ class Party : public Process {
   [[nodiscard]] const crypto::PartyKeyShare& keys() const {
     return deployment_.keys->share(id_);
   }
-  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] Rng& rng();
   [[nodiscard]] Network& network() { return network_; }
 
   /// Buffered-bytes governance.  Configure caps before traffic flows;
@@ -72,10 +78,11 @@ class Party : public Process {
 
   /// Timer in this party's execution context, in network time units
   /// (delivery steps under the simulator, milliseconds over a real
-  /// transport).  See Network::schedule_timer for the semantics.
-  Network::TimerId schedule_timer(std::uint64_t delay, Network::TimerFn fn) {
-    return network_.schedule_timer(id_, delay, std::move(fn));
-  }
+  /// transport).  See Network::schedule_timer for the semantics.  In
+  /// concurrent mode the callback is re-posted to the executor of the
+  /// instance tree that scheduled it, so timers never race with message
+  /// handlers of the same tree.
+  Network::TimerId schedule_timer(std::uint64_t delay, Network::TimerFn fn);
   void cancel_timer(Network::TimerId id) { network_.cancel_timer(id); }
 
   /// Register the handler for `tag`; any buffered messages for it are
@@ -85,6 +92,7 @@ class Party : public Process {
   /// tag is not registered.
   void unregister_handler(const std::string& tag);
   [[nodiscard]] bool has_handler(const std::string& tag) const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
     return handlers_.contains(tag);
   }
 
@@ -132,6 +140,31 @@ class Party : public Process {
   void set_work_pool(common::WorkPool* pool) { work_pool_ = pool; }
   [[nodiscard]] common::WorkPool* work_pool() const { return work_pool_; }
 
+  /// Attach an executor pool (not owned; stop() it before the party dies).
+  /// With a pool of one or more executors, on_message routes each message
+  /// to the executor owning its instance tree (stable hash of the tag's
+  /// root segment), so independent top-level instances run concurrently
+  /// while each tree keeps strict arrival order.  WAL appends stay on the
+  /// pump thread in arrival order and restore() always replays inline and
+  /// single-threaded, so replay is bit-exact regardless of executor count.
+  /// A null pool — or a zero-executor pool — is the old inline behavior.
+  /// Concurrent mode requires the network to be a NetworkedNode (the
+  /// Simulator is single-threaded by contract) and protocol stacks to be
+  /// constructed inside with_instance() so construction-time timers know
+  /// their tree.
+  void set_executors(common::ExecutorPool* pool) { executors_ = pool; }
+  [[nodiscard]] common::ExecutorPool* executors() const { return executors_; }
+  /// True when messages are dispatched on executor threads.
+  [[nodiscard]] bool concurrent() const {
+    return executors_ != nullptr && !executors_->sequential();
+  }
+
+  /// Scope construction (or any out-of-band touch) of the instance tree
+  /// rooted at `root`: handlers registered and timers scheduled inside
+  /// `fn` are attributed to `root`'s executor.  No-op wrapper outside
+  /// concurrent mode.
+  void with_instance(std::string_view root, const std::function<void()>& fn);
+
   /// Run `job` off the event loop and deliver its result to this party as
   /// an ordinary self-message on `tag`, so protocol logic stays
   /// single-threaded.  Inline mode (no pool / sequential pool) runs the
@@ -147,9 +180,28 @@ class Party : public Process {
   void trace(const std::string& component, std::string text);
 
  private:
+  /// Per-dispatching-thread context.  Sequential mode uses the single
+  /// main_ctx_ member (zero-cost, bit-exact old behavior); concurrent mode
+  /// gives every executor thread its own: the in-handler local queue and
+  /// the dispatching flag are properties of one call stack, and the
+  /// per-thread Rng (seeded from the party seed and a unique slot counter,
+  /// so no two threads ever share a randomness stream — distinct streams
+  /// are what keeps signature/nonce randomness from repeating) removes the
+  /// one piece of shared mutable state handlers touch on every message.
+  struct DispatchCtx {
+    std::deque<Message> local;
+    bool dispatching = false;
+    std::string current_root;  ///< instance-tree root being executed
+    std::optional<Rng> rng;
+    std::uint64_t rng_owner_seed = 0;  ///< guards against recycled thread slots
+  };
+  [[nodiscard]] DispatchCtx& ctx();
+
   void dispatch(const Message& message);
   void drain_local();
+  /// Callers hold state_mutex_ (concurrent mode) or are single-threaded.
   void buffer_unhandled(const Message& message);
+  [[nodiscard]] bool is_retired_unlocked(std::string_view tag) const;
   [[nodiscard]] static std::size_t buffered_cost(const Message& message) {
     return message.tag.size() + message.payload.size() + 16;
   }
@@ -157,8 +209,14 @@ class Party : public Process {
   Network& network_;
   int id_;
   adversary::Deployment deployment_;
+  std::uint64_t seed_;
   Rng rng_;
   ResourceBudget budget_;
+  /// Guards handlers_/buffered_/retired_/retired_order_/checkpoints_/wal_
+  /// against concurrent executor threads.  Never held while a protocol
+  /// handler runs (the handler closure is copied out first), so handlers
+  /// are free to call back into register/retire/prune.
+  mutable std::mutex state_mutex_;
   std::map<std::string, Handler> handlers_;
   std::map<std::string, std::deque<Message>> buffered_;
   std::set<std::string, std::less<>> retired_;
@@ -168,10 +226,11 @@ class Party : public Process {
     CheckpointLoad load;
   };
   std::map<std::string, Checkpoint> checkpoints_;
-  std::deque<Message> local_;
-  bool dispatching_ = false;
+  DispatchCtx main_ctx_;
   bool wal_enabled_ = false;
   common::WorkPool* work_pool_ = nullptr;
+  common::ExecutorPool* executors_ = nullptr;
+  std::atomic<std::uint64_t> rng_slots_{0};
   std::vector<Message> wal_;  ///< received messages + external inputs, arrival order
 };
 

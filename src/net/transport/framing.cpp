@@ -16,7 +16,7 @@ crypto::Digest frame_mac(FrameType type, BytesView body, BytesView mac_key) {
 
 bool known_type(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint8_t>(FrameType::kPong);
+         type <= static_cast<std::uint8_t>(FrameType::kDataBatch);
 }
 
 }  // namespace
@@ -57,6 +57,53 @@ DataBody DataBody::decode(Reader& reader) {
   data.payload = reader.bytes();
   reader.expect_done();
   return data;
+}
+
+Bytes DataBatchBody::encode() const {
+  Writer w;
+  w.u64(ack);
+  w.u64(base);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const Record& record : records) {
+    w.u64(record.seq);
+    w.bytes(record.payload);
+  }
+  return w.take();
+}
+
+DataBatchBody DataBatchBody::decode(Reader& reader) {
+  DataBatchBody batch;
+  batch.ack = reader.u64();
+  batch.base = reader.u64();
+  const std::uint32_t count = reader.u32();
+  SINTRA_REQUIRE(count <= reader.remaining(), "framing: implausible batch count");
+  batch.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Record record;
+    record.seq = reader.u64();
+    record.payload = reader.bytes();
+    batch.records.push_back(std::move(record));
+  }
+  reader.expect_done();
+  return batch;
+}
+
+DataBatchView DataBatchView::decode(BytesView body) {
+  Reader reader(body);
+  DataBatchView batch;
+  batch.ack = reader.u64();
+  batch.base = reader.u64();
+  const std::uint32_t count = reader.u32();
+  SINTRA_REQUIRE(count <= reader.remaining(), "framing: implausible batch count");
+  batch.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Record record;
+    record.seq = reader.u64();
+    record.payload = reader.bytes_view();  // slice, not copy
+    batch.records.push_back(record);
+  }
+  reader.expect_done();
+  return batch;
 }
 
 Bytes encode_frame(FrameType type, BytesView body, BytesView mac_key) {
@@ -113,6 +160,18 @@ void FrameDecoder::feed(BytesView data) {
 }
 
 FrameDecoder::Status FrameDecoder::next(BytesView mac_key, Frame& out) {
+  FrameType type = FrameType::kPing;
+  BytesView body;
+  const Status status = next_view(mac_key, type, body);
+  if (status == Status::kFrame) {
+    out.type = type;
+    out.body.assign(body.begin(), body.end());
+  }
+  return status;
+}
+
+FrameDecoder::Status FrameDecoder::next_view(BytesView mac_key, FrameType& out_type,
+                                             BytesView& out_body) {
   if (corrupt_) return Status::kCorrupt;
   const std::size_t available = buffer_.size() - pos_;
   if (available < 4) return Status::kNeedMore;
@@ -138,8 +197,8 @@ FrameDecoder::Status FrameDecoder::next(BytesView mac_key, Frame& out) {
     corrupt_ = true;
     return Status::kCorrupt;
   }
-  out.type = type;
-  out.body.assign(body.begin(), body.end());
+  out_type = type;
+  out_body = body;
   pos_ += total;
   return Status::kFrame;
 }

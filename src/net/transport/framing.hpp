@@ -21,10 +21,20 @@
 // Writer/Reader encoding used by every protocol message:
 //   HELLO: u16 version, u32 node_id, u64 nonce, u64 recv_cursor
 //   DATA:  u64 seq, u64 ack, u64 base, bytes payload
+//   BATCH: u64 ack, u64 base, u32 count, count x { u64 seq, bytes payload }
 //   ACK:   u64 ack
 //   PING/PONG: empty
 // `ack` is cumulative ("I delivered every seq < ack"); `base` is the
 // sender's lowest retained seq (the quota gap floor, see link.hpp).
+//
+// BATCH is the coalesced super-frame (issue 7): every DATA payload bound
+// for a peer in one event-loop flush rides one frame — one length prefix,
+// one HMAC over the whole batch, one syscall — amortizing per-message
+// authentication the way TNIC amortizes attestation.  The cursors
+// (ack/base) are link-level state valid for the entire flush, so they
+// appear once per batch rather than once per message.  Receivers slice
+// payload views straight out of the decoder's buffer (DataBatchView) —
+// the zero-copy receive path.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +45,7 @@
 
 namespace sintra::net::transport {
 
-constexpr std::uint16_t kProtocolVersion = 1;
+constexpr std::uint16_t kProtocolVersion = 2;  // v2: BATCH super-frames
 constexpr std::size_t kMacSize = crypto::kSha256DigestSize;
 /// Upper bound on a frame body; larger lengths are treated as an attack on
 /// the receiver's memory and poison the stream.
@@ -48,7 +58,13 @@ enum class FrameType : std::uint8_t {
   kAck = 3,
   kPing = 4,
   kPong = 5,
+  kDataBatch = 6,
 };
+
+/// Soft budget for one BATCH super-frame's payload bytes; a flush larger
+/// than this splits into several batches so no frame approaches
+/// kMaxFrameBody (a single over-budget payload still gets its own batch).
+constexpr std::size_t kMaxBatchBytes = 1u << 20;  // 1 MiB
 
 struct Frame {
   FrameType type = FrameType::kPing;
@@ -73,6 +89,34 @@ struct DataBody {
 
   [[nodiscard]] Bytes encode() const;
   static DataBody decode(Reader& reader);  ///< throws ProtocolError
+};
+
+struct DataBatchBody {
+  std::uint64_t ack = 0;
+  std::uint64_t base = 0;
+  struct Record {
+    std::uint64_t seq = 0;
+    Bytes payload;
+  };
+  std::vector<Record> records;
+
+  [[nodiscard]] Bytes encode() const;
+  static DataBatchBody decode(Reader& reader);  ///< throws ProtocolError
+};
+
+/// Zero-copy decode of a BATCH body: payloads are slices of the frame
+/// body, valid only while the underlying buffer lives (for a decoder
+/// view, until the next feed()).
+struct DataBatchView {
+  std::uint64_t ack = 0;
+  std::uint64_t base = 0;
+  struct Record {
+    std::uint64_t seq = 0;
+    BytesView payload;
+  };
+  std::vector<Record> records;
+
+  static DataBatchView decode(BytesView body);  ///< throws ProtocolError
 };
 
 /// Encode one frame, MAC'd under `mac_key`.
@@ -105,6 +149,11 @@ class FrameDecoder {
   /// Extract the next frame, authenticating with `mac_key`.  After
   /// kCorrupt every further call returns kCorrupt.
   Status next(BytesView mac_key, Frame& out);
+
+  /// Like next(), but the body comes back as a view into the decoder's
+  /// internal buffer — no copy.  The view (and any sub-slices taken from
+  /// it, e.g. DataBatchView payloads) stays valid until the next feed().
+  Status next_view(BytesView mac_key, FrameType& out_type, BytesView& out_body);
 
   [[nodiscard]] bool corrupt() const { return corrupt_; }
   [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }

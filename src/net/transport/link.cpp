@@ -33,11 +33,17 @@ std::vector<ReliableLink::OutFrame> ReliableLink::take_sendable() {
     frame.payload = outbound_[static_cast<std::size_t>(seq - base_seq_)];
     frames.push_back(std::move(frame));
     ++stats_.sent;
-  }
-  // Everything below the old send cursor that goes out again is a resend.
-  if (!frames.empty() && frames.front().seq < send_cursor_high_) {
-    stats_.retransmitted += std::min<std::uint64_t>(send_cursor_high_, next_seq_) -
-                            frames.front().seq;
+    // Per-frame accounting, exact by construction: a frame is a resend iff
+    // its seq was ever on a wire before.  The old range arithmetic
+    // (`min(high, next) - front`) assumed the sendable range's low end is
+    // where resends start, which entangles the stat with how quota
+    // eviction moves base_seq_/send_from_; counting each frame against the
+    // high-water mark cannot miscount no matter how the cursors moved.
+    if (seq < send_cursor_high_) {
+      ++stats_.retransmitted;
+    } else {
+      ++stats_.first_transmissions;
+    }
   }
   send_cursor_high_ = std::max(send_cursor_high_, next_seq_);
   send_from_ = next_seq_;
@@ -61,6 +67,17 @@ void ReliableLink::on_connected(std::uint64_t peer_recv_cursor) {
   connected_ = true;
   on_ack(peer_recv_cursor);
   mark_all_for_retransmit();
+}
+
+ReliableLink::FastPath ReliableLink::accept_inorder(std::uint64_t seq, std::uint64_t base) {
+  FastPath fast;
+  if (base > recv_next_ || seq != recv_next_ || !reorder_.empty()) return fast;
+  fast.taken = true;
+  ++recv_next_;
+  ++stats_.delivered;
+  ++unacked_deliveries_;
+  if (unacked_deliveries_ >= config_.ack_every) fast.ack_now = true;
+  return fast;
 }
 
 ReliableLink::Incoming ReliableLink::on_data(std::uint64_t seq, std::uint64_t base,

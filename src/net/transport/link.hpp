@@ -53,6 +53,7 @@ class ReliableLink {
     std::uint64_t enqueued = 0;
     std::uint64_t sent = 0;             ///< frames handed to the wire (incl. resends)
     std::uint64_t retransmitted = 0;    ///< of `sent`, how many were resends
+    std::uint64_t first_transmissions = 0;  ///< of `sent`, how many were first sends
     std::uint64_t delivered = 0;        ///< payloads handed up, exactly once, in order
     std::uint64_t duplicates = 0;       ///< already-delivered seqs discarded
     std::uint64_t reordered = 0;        ///< frames parked in the reorder window
@@ -99,6 +100,19 @@ class ReliableLink {
 
   /// Process a received DATA frame (already authenticated).
   Incoming on_data(std::uint64_t seq, std::uint64_t base, Bytes payload);
+
+  struct FastPath {
+    bool taken = false;    ///< state advanced; caller delivers its own view
+    bool ack_now = false;  ///< send an explicit ack immediately
+  };
+
+  /// Zero-copy receive fast path for the common case: strictly in-order
+  /// arrival (seq == recv_cursor), no quota gap, empty reorder window.
+  /// On taken=true the cursor and stats have advanced and the caller
+  /// hands its (unowned) payload view straight up — no Bytes copy is ever
+  /// made.  On taken=false no state changed; run on_data() with an owning
+  /// copy instead.
+  FastPath accept_inorder(std::uint64_t seq, std::uint64_t base);
 
   /// Cumulative receive progress: every seq < cursor was delivered (or
   /// explicitly skipped past a quota gap).  This is the ack value and the

@@ -70,20 +70,46 @@ void LoopbackHub::send(int from, int to, Bytes payload) {
   flush(from, to);
 }
 
+void LoopbackHub::send_many(int from, int to, std::vector<Bytes> payloads) {
+  ReliableLink& l = link_mut(from, to);
+  for (Bytes& payload : payloads) l.enqueue(std::move(payload));
+  flush(from, to);
+}
+
 void LoopbackHub::flush(int from, int to) {
   if (!pairs_[pair_index(from, to)].connected) return;
   ReliableLink& l = link_mut(from, to);
   const BytesView key = pair_keys_[pair_index(from, to)];
   std::vector<ReliableLink::OutFrame> frames = l.take_sendable();
+  if (frames.empty()) return;
+  // Coalesce the whole flush into BATCH super-frames: one frame — one
+  // HMAC — per kMaxBatchBytes of payload, not per message.  Identical
+  // framing to the TCP path so tests can assert the amortization
+  // deterministically here.
+  DataBatchBody batch;
+  batch.ack = l.recv_cursor();
+  std::size_t batch_bytes = 0;
+  const auto emit = [&] {
+    if (batch.records.empty()) return;
+    wires_[wire_index(from, to)].push_back(
+        encode_frame(FrameType::kDataBatch, batch.encode(), key));
+    ++stats_.batches_sent;
+    ++stats_.hmacs_computed;
+    stats_.coalesced_payloads += batch.records.size();
+    batch.records.clear();
+    batch_bytes = 0;
+  };
   for (ReliableLink::OutFrame& out : frames) {
-    DataBody data;
-    data.seq = out.seq;
-    data.ack = l.recv_cursor();
-    data.base = out.base;
-    data.payload = std::move(out.payload);
-    wires_[wire_index(from, to)].push_back(encode_frame(FrameType::kData, data.encode(), key));
+    if (batch_bytes > 0 && batch_bytes + out.payload.size() > kMaxBatchBytes) emit();
+    // `base` can only advance within one take_sendable (quota eviction
+    // between frames never happens mid-take), so the last frame's base is
+    // valid for the whole batch.
+    batch.base = out.base;
+    batch_bytes += out.payload.size();
+    batch.records.push_back(DataBatchBody::Record{out.seq, std::move(out.payload)});
   }
-  if (!frames.empty()) l.mark_ack_sent();
+  emit();
+  l.mark_ack_sent();
 }
 
 void LoopbackHub::send_explicit_ack(int from, int to) {
@@ -93,6 +119,7 @@ void LoopbackHub::send_explicit_ack(int from, int to) {
   w.u64(l.recv_cursor());
   wires_[wire_index(from, to)].push_back(
       encode_frame(FrameType::kAck, w.data(), pair_keys_[pair_index(from, to)]));
+  ++stats_.hmacs_computed;
   l.mark_ack_sent();
 }
 
@@ -149,9 +176,10 @@ void LoopbackHub::deliver_wire_front(int from, int to) {
   FrameDecoder& decoder = decoders_[wi];
   decoder.feed(frame_bytes);
   const BytesView key = pair_keys_[pair_index(from, to)];
-  Frame frame;
   while (true) {
-    const FrameDecoder::Status status = decoder.next(key, frame);
+    FrameType type = FrameType::kPing;
+    BytesView body;
+    const FrameDecoder::Status status = decoder.next_view(key, type, body);
     if (status == FrameDecoder::Status::kNeedMore) break;
     if (status == FrameDecoder::Status::kCorrupt) {
       // Unauthenticated or garbled stream: fail closed, tear the pair
@@ -162,24 +190,54 @@ void LoopbackHub::deliver_wire_front(int from, int to) {
     }
     ++stats_.delivered_frames;
     ReliableLink& recv_link = link_mut(to, from);
-    if (frame.type == FrameType::kData) {
-      Reader reader(frame.body);
-      DataBody data = DataBody::decode(reader);
-      recv_link.on_ack(data.ack);
-      ReliableLink::Incoming incoming = recv_link.on_data(data.seq, data.base,
-                                                          std::move(data.payload));
-      ReceiveFn& receive = receivers_[static_cast<std::size_t>(to)];
-      for (Bytes& payload : incoming.deliver) {
-        if (receive) receive(from, std::move(payload));
+    ReceiveFn& receive = receivers_[static_cast<std::size_t>(to)];
+    bool ack_now = false;
+    try {
+      if (type == FrameType::kDataBatch) {
+        // Zero-copy path: payload views are slices of the decoder buffer;
+        // in-order records go straight up without ever becoming a Bytes.
+        const DataBatchView batch = DataBatchView::decode(body);
+        recv_link.on_ack(batch.ack);
+        for (const DataBatchView::Record& record : batch.records) {
+          const ReliableLink::FastPath fast =
+              recv_link.accept_inorder(record.seq, batch.base);
+          if (fast.taken) {
+            if (receive) receive(from, record.payload);
+            ack_now = ack_now || fast.ack_now;
+            continue;
+          }
+          ReliableLink::Incoming incoming = recv_link.on_data(
+              record.seq, batch.base, Bytes(record.payload.begin(), record.payload.end()));
+          for (const Bytes& payload : incoming.deliver) {
+            if (receive) receive(from, payload);
+          }
+          ack_now = ack_now || incoming.ack_now;
+        }
+      } else if (type == FrameType::kData) {
+        Reader reader(body);
+        DataBody data = DataBody::decode(reader);
+        recv_link.on_ack(data.ack);
+        ReliableLink::Incoming incoming =
+            recv_link.on_data(data.seq, data.base, std::move(data.payload));
+        for (const Bytes& payload : incoming.deliver) {
+          if (receive) receive(from, payload);
+        }
+        ack_now = incoming.ack_now;
+      } else if (type == FrameType::kAck) {
+        Reader reader(body);
+        const std::uint64_t ack = reader.u64();
+        reader.expect_done();
+        recv_link.on_ack(ack);
       }
-      if (incoming.ack_now) send_explicit_ack(to, from);
-    } else if (frame.type == FrameType::kAck) {
-      Reader reader(frame.body);
-      const std::uint64_t ack = reader.u64();
-      reader.expect_done();
-      recv_link.on_ack(ack);
+      // kHello/kPing/kPong have no loopback meaning; authenticated → ignore.
+    } catch (const ProtocolError&) {
+      // Authenticated but structurally malformed body (a buggy or
+      // Byzantine peer behind a valid MAC): poisoned stream, fail closed.
+      ++stats_.auth_failures;
+      tear_down(from, to, profile_.reconnect_after > 0 ? profile_.reconnect_after : 1);
+      return;
     }
-    // kHello/kPing/kPong have no loopback meaning; authenticated → ignore.
+    if (ack_now) send_explicit_ack(to, from);
   }
 
   // Capture for replay faults and possibly re-inject an old frame.  A

@@ -64,10 +64,19 @@ class LoopbackHub {
     std::uint64_t replayed_frames = 0;
     std::uint64_t disconnects = 0;
     std::uint64_t auth_failures = 0;  ///< corrupt streams (tears the pair down)
+    // Coalescing proof counters: every flush of k payloads produces
+    // ceil(k-payload-bytes / kMaxBatchBytes) BATCH super-frames — for
+    // ordinary traffic, one frame and one HMAC however many payloads.
+    std::uint64_t batches_sent = 0;        ///< BATCH super-frames emitted
+    std::uint64_t coalesced_payloads = 0;  ///< payloads riding those frames
+    std::uint64_t hmacs_computed = 0;      ///< send-side HMACs (all frame types)
   };
 
-  /// `receive(from, payload)` runs synchronously inside step().
-  using ReceiveFn = std::function<void(int from, Bytes payload)>;
+  /// `receive(from, payload)` runs synchronously inside step().  The view
+  /// is a slice of the decoded frame, valid only during the call — the
+  /// zero-copy receive path (receivers that keep the payload copy it,
+  /// which for a NetworkedNode is the one copy into the owning Message).
+  using ReceiveFn = std::function<void(int from, BytesView payload)>;
 
   // (No default argument for `profile`: a nested class's member
   // initializers are not usable in default arguments of the enclosing
@@ -79,6 +88,10 @@ class LoopbackHub {
 
   /// Reliable-send a payload from `from` to `to` (like TcpTransport::send).
   void send(int from, int to, Bytes payload);
+
+  /// Enqueue a whole pump-cycle batch and flush once: all payloads ride
+  /// one BATCH super-frame (one HMAC) per kMaxBatchBytes of traffic.
+  void send_many(int from, int to, std::vector<Bytes> payloads);
 
   /// Deliver one frame picked at random (or progress a pending
   /// reconnect).  Returns false when nothing can make progress.

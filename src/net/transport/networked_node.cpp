@@ -12,6 +12,7 @@ NetworkedNode::NetworkedNode(Config config)
   SINTRA_REQUIRE(config_.n >= 1 && config_.node_id >= 0 && config_.node_id < config_.n,
                  "networked_node: node_id out of range");
   SINTRA_REQUIRE(config_.max_inbox >= 1, "networked_node: inbox must hold something");
+  outbox_.resize(static_cast<std::size_t>(config_.n));
 }
 
 std::uint64_t NetworkedNode::now() const {
@@ -43,22 +44,30 @@ void NetworkedNode::submit(Message message) {
   // (The transport MAC enforces the same on the receiving side.)
   SINTRA_REQUIRE(message.from == config_.node_id, "networked_node: forged from");
   SINTRA_REQUIRE(message.to >= 0 && message.to < config_.n, "networked_node: bad to");
-  message.id = next_id_++;
   message.sent_at = now();
   if (message.to == config_.node_id) {
     // Self-send loops back through the inbox, like the simulator.
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      message.id = next_id_++;
       ++stats_.self_messages;
     }
     enqueue_inbound(std::move(message));
     return;
   }
-  SINTRA_REQUIRE(static_cast<bool>(send_), "networked_node: no transport bound");
-  send_(message.to, encode_payload(message));
+  // Remote sends park in the per-peer outbox; only the pump thread talks
+  // to the transport (single-threaded transports stay safe under executor
+  // threads) and it hands over whole per-peer batches for coalescing.
+  Bytes encoded = encode_payload(message);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    message.id = next_id_++;
+    outbox_[static_cast<std::size_t>(message.to)].push_back(std::move(encoded));
+  }
+  inbox_cv_.notify_one();  // wake the pump to flush
 }
 
-void NetworkedNode::on_transport_receive(int from, Bytes payload) {
+void NetworkedNode::on_transport_receive(int from, BytesView payload) {
   if (from < 0 || from >= config_.n || from == config_.node_id) return;
   Message message;
   try {
@@ -94,8 +103,46 @@ void NetworkedNode::set_work_pool(common::WorkPool* pool) {
   }
 }
 
+void NetworkedNode::set_executors(common::ExecutorPool* pool) {
+  executors_ = pool;
+  if (executors_ != nullptr) {
+    executors_->set_notify([this] { inbox_cv_.notify_one(); });
+  }
+}
+
+void NetworkedNode::flush_outbound() {
+  for (int peer = 0; peer < config_.n; ++peer) {
+    std::deque<Bytes> pending;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (outbox_[static_cast<std::size_t>(peer)].empty()) continue;
+      pending.swap(outbox_[static_cast<std::size_t>(peer)]);
+    }
+    // Only a node that actually has remote traffic needs a transport;
+    // standalone nodes (self-sends, timers) never reach this point.
+    SINTRA_REQUIRE(static_cast<bool>(send_) || static_cast<bool>(send_many_),
+                   "networked_node: no transport bound");
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.outbound_flushes;
+      stats_.outbound_payloads += pending.size();
+    }
+    if (send_many_) {
+      std::vector<Bytes> batch;
+      batch.reserve(pending.size());
+      for (Bytes& payload : pending) batch.push_back(std::move(payload));
+      send_many_(peer, std::move(batch));
+    } else {
+      for (Bytes& payload : pending) send_(peer, std::move(payload));
+    }
+  }
+}
+
 std::size_t NetworkedNode::poll() {
-  wheel_.advance_to(now());
+  {
+    std::lock_guard<std::recursive_mutex> timer_lock(timer_mutex_);
+    wheel_.advance_to(now());
+  }
   if (work_pool_ != nullptr) work_pool_->drain();
   std::deque<Message> batch;
   {
@@ -114,7 +161,13 @@ std::size_t NetworkedNode::poll() {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.dispatched += dispatched;
   }
-  wheel_.advance_to(now());
+  {
+    std::lock_guard<std::recursive_mutex> timer_lock(timer_mutex_);
+    wheel_.advance_to(now());
+  }
+  // Everything the dispatch batch (or executor handlers meanwhile)
+  // buffered for a peer leaves as one batch — the coalescing unit.
+  flush_outbound();
   return dispatched;
 }
 
@@ -126,22 +179,34 @@ bool NetworkedNode::run_until(const std::function<bool()>& done, std::uint64_t t
     const std::uint64_t current = now();
     if (current >= deadline) return done();
     std::uint64_t wait = std::min<std::uint64_t>(deadline - current, 50);
-    if (const auto next = wheel_.next_deadline()) {
-      wait = std::min(wait, *next > current ? *next - current : 1);
+    {
+      std::lock_guard<std::recursive_mutex> timer_lock(timer_mutex_);
+      if (const auto next = wheel_.next_deadline()) {
+        wait = std::min(wait, *next > current ? *next - current : 1);
+      }
     }
     std::unique_lock<std::mutex> lock(mutex_);
     inbox_cv_.wait_for(lock, std::chrono::milliseconds(wait), [this] {
-      return !inbox_.empty() || (work_pool_ != nullptr && work_pool_->has_completions());
+      if (!inbox_.empty()) return true;
+      if (work_pool_ != nullptr && work_pool_->has_completions()) return true;
+      for (const auto& pending : outbox_) {
+        if (!pending.empty()) return true;
+      }
+      return false;
     });
   }
 }
 
 Network::TimerId NetworkedNode::schedule_timer(int owner, std::uint64_t delay_ms, TimerFn fn) {
   (void)owner;  // single-process substrate: everything runs as this node
+  std::lock_guard<std::recursive_mutex> lock(timer_mutex_);
   return wheel_.schedule_at(std::max(now() + delay_ms, wheel_.now() + 1), std::move(fn));
 }
 
-void NetworkedNode::cancel_timer(TimerId id) { wheel_.cancel(id); }
+void NetworkedNode::cancel_timer(TimerId id) {
+  std::lock_guard<std::recursive_mutex> lock(timer_mutex_);
+  wheel_.cancel(id);
+}
 
 NetworkedNode::Stats NetworkedNode::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -10,14 +10,23 @@
 // message is handed to the optional persist hook (the write-ahead log)
 // *before* dispatch, which is what makes crash recovery replayable.
 //
+// Outbound traffic is buffered per peer and flushed by the pump thread at
+// the tail of every poll(): that is what lets protocol handlers running
+// on executor threads (Party::set_executors) send without touching the
+// transport — only the pump thread ever calls into it, which both keeps
+// single-threaded transports (LoopbackHub) safe and hands the transport
+// every payload of a pump cycle at once, the unit the coalesced BATCH
+// super-frame amortizes one HMAC and one syscall over.
+//
 // Time here is the monotonic clock in milliseconds: Network::now() and
 // schedule_timer() delays are wall-clock, unlike the simulator's delivery
 // steps — protocol code sees the same interface either way (see
 // net/network.hpp for why timers live on the substrate).
 //
-// Threading contract: submit(), schedule_timer(), cancel_timer(), poll()
-// and run_until() belong to the protocol thread.  on_transport_receive()
-// may be called from any thread.  stats() is thread-safe.
+// Threading contract: poll() and run_until() belong to the pump
+// (protocol) thread.  submit(), schedule_timer(), cancel_timer() may be
+// called from the pump thread or from executor threads;
+// on_transport_receive() from any thread.  stats() is thread-safe.
 #pragma once
 
 #include <chrono>
@@ -26,7 +35,9 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <vector>
 
+#include "common/executor.hpp"
 #include "common/work_pool.hpp"
 #include "net/network.hpp"
 #include "net/simulator.hpp"
@@ -44,12 +55,16 @@ class NetworkedNode final : public Network {
 
   /// Hands an encoded payload to the transport for reliable delivery.
   using SendFn = std::function<void(int peer, Bytes payload)>;
+  /// Batched form: every payload buffered for `peer` during one pump
+  /// cycle, in order — the transport turns the whole vector into one
+  /// coalesced super-frame.
+  using SendManyFn = std::function<void(int peer, std::vector<Bytes> payloads)>;
   /// Write-ahead hook, called for every inbound message before dispatch.
   using PersistFn = std::function<void(const Message& message)>;
 
   explicit NetworkedNode(Config config);
 
-  // --- Network (protocol thread) --------------------------------------
+  // --- Network (pump or executor threads) ------------------------------
   void submit(Message message) override;
   [[nodiscard]] int n() const override { return config_.n; }
   /// Monotonic milliseconds since construction.
@@ -63,6 +78,9 @@ class NetworkedNode final : public Network {
   /// The process receiving deliveries (caller owns it and calls on_start).
   void attach(Process& process) { process_ = &process; }
   void bind_transport(SendFn send) { send_ = std::move(send); }
+  /// Optional batched transport entry; preferred over the per-payload
+  /// SendFn when bound (the per-payload form remains the fallback).
+  void bind_transport_batched(SendManyFn send_many) { send_many_ = std::move(send_many); }
   void set_persist(PersistFn persist) { persist_ = std::move(persist); }
 
   /// Attach the crypto work pool (not owned).  poll() drains finished
@@ -72,25 +90,41 @@ class NetworkedNode final : public Network {
   /// verdicts as promptly as for network traffic.
   void set_work_pool(common::WorkPool* pool);
 
+  /// Attach the protocol executor pool (not owned; also hand it to the
+  /// Party via Party::set_executors).  The node only wires the pool's
+  /// notify hook to the inbox condition variable, so run_until() wakes
+  /// when executor-side work changes the done() condition or buffers
+  /// outbound sends for the pump to flush.
+  void set_executors(common::ExecutorPool* pool);
+
   /// Transport-side entry (any thread): decode and enqueue one payload.
+  /// The view is only read during the call (the decoded Message owns its
+  /// bytes), so transports can pass slices of their receive buffers —
+  /// the zero-copy path from a BATCH super-frame to the inbox.
   /// Malformed payloads from an authenticated peer are counted and
   /// dropped — Byzantine input must not crash the node.
-  void on_transport_receive(int from, Bytes payload);
+  void on_transport_receive(int from, BytesView payload);
 
   // --- protocol-thread pump --------------------------------------------
-  /// Fire due timers, then dispatch every queued message.  Returns the
+  /// Fire due timers, dispatch every queued message, then flush buffered
+  /// outbound payloads to the transport (batched per peer).  Returns the
   /// number of messages dispatched.
   std::size_t poll();
 
   /// Pump until `done()` or `timeout_ms` elapses; sleeps on the inbox
   /// condition variable between batches.  Returns done()'s final value.
+  /// With executors attached, done() runs on the pump thread while
+  /// handlers run on executor threads — it must read atomics (or
+  /// otherwise synchronized state), not raw protocol fields.
   bool run_until(const std::function<bool()>& done, std::uint64_t timeout_ms);
 
   struct Stats {
-    std::uint64_t dispatched = 0;     ///< messages handed to the process
-    std::uint64_t self_messages = 0;  ///< local submits looped back
-    std::uint64_t dropped_inbox = 0;  ///< inbox quota overflow (oldest dropped)
-    std::uint64_t malformed = 0;      ///< undecodable transport payloads
+    std::uint64_t dispatched = 0;      ///< messages handed to the process
+    std::uint64_t self_messages = 0;   ///< local submits looped back
+    std::uint64_t dropped_inbox = 0;   ///< inbox quota overflow (oldest dropped)
+    std::uint64_t malformed = 0;       ///< undecodable transport payloads
+    std::uint64_t outbound_flushes = 0;  ///< per-peer batches handed to the transport
+    std::uint64_t outbound_payloads = 0; ///< payloads inside those batches
   };
   [[nodiscard]] Stats stats() const;
 
@@ -101,21 +135,29 @@ class NetworkedNode final : public Network {
 
  private:
   void enqueue_inbound(Message message);
+  void flush_outbound();
 
   Config config_;
   Process* process_ = nullptr;
   SendFn send_;
+  SendManyFn send_many_;
   PersistFn persist_;
   common::WorkPool* work_pool_ = nullptr;
+  common::ExecutorPool* executors_ = nullptr;
   TraceLog* log_ = nullptr;
   std::chrono::steady_clock::time_point start_;
 
-  TimerWheel wheel_;  ///< protocol-thread only
-  std::uint64_t next_id_ = 1;
+  /// Guards wheel_: timers are scheduled from executor threads while the
+  /// pump advances the wheel.  Recursive because firing callbacks (held
+  /// lock) may re-schedule from the same thread in sequential mode.
+  mutable std::recursive_mutex timer_mutex_;
+  TimerWheel wheel_;
+  std::uint64_t next_id_ = 1;  ///< guarded by mutex_
 
   mutable std::mutex mutex_;
   std::condition_variable inbox_cv_;
   std::deque<Message> inbox_;
+  std::vector<std::deque<Bytes>> outbox_;  ///< per peer, flushed by the pump
   Stats stats_;
 };
 

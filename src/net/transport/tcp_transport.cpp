@@ -5,10 +5,12 @@
 #include <sys/epoll.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 
 #include "common/assert.hpp"
 
@@ -20,6 +22,7 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 constexpr std::size_t kMaxPreHelloBytes = 64 * 1024;
 constexpr std::size_t kMaxPendingAccepts = 128;
 constexpr std::size_t kMaxConnOutbuf = 64u << 20;
+constexpr std::size_t kMaxIov = 64;  ///< scatter-gather entries per sendmsg
 constexpr int kMaxBackoffShift = 16;
 
 int make_socket() {
@@ -51,8 +54,12 @@ struct TcpTransport::Conn {
   bool want_write = false;   ///< EPOLLOUT armed
   FrameDecoder decoder;
   Bytes pending_buf;  ///< accept side: raw bytes until the HELLO verifies
-  Bytes outbuf;
-  std::size_t outpos = 0;
+  /// Outbound queue of encoded frames, drained by scatter-gather
+  /// sendmsg() — frames stay discrete so try_write never re-copies them
+  /// into a flat buffer.
+  std::deque<Bytes> outq;
+  std::size_t outpos = 0;    ///< bytes of outq.front() already written
+  std::size_t outbytes = 0;  ///< total bytes across outq
   std::uint64_t last_recv_ms = 0;
   std::uint64_t my_nonce = 0;
   Bytes session_key;
@@ -63,6 +70,7 @@ struct TcpTransport::Peer {
   ReliableLink link;
   std::shared_ptr<Conn> conn;
   int backoff_attempt = 0;
+  bool flush_posted = false;  ///< a deferred flush_link task is queued
   EventLoop::TimerId redial_timer = 0;
   EventLoop::TimerId ack_timer = 0;
   std::uint64_t link_retransmitted_seen = 0;  ///< for the stats delta
@@ -154,7 +162,33 @@ void TcpTransport::send(int peer, Bytes payload) {
   loop_.post([this, peer, payload = std::move(payload)]() mutable {
     Peer& p = *peers_[static_cast<std::size_t>(peer)];
     p.link.enqueue(std::move(payload));
+    // Defer the flush: every send() posted in the same reactor batch
+    // enqueues first, then one flush task coalesces them into one BATCH
+    // frame (the loop drains posted tasks in whole batches, and a task
+    // posted mid-drain runs after the current batch).
+    schedule_flush(peer);
+  });
+}
+
+void TcpTransport::send_many(int peer, std::vector<Bytes> payloads) {
+  SINTRA_REQUIRE(peer >= 0 && peer < static_cast<int>(peers_.size()) && peer != config_.node_id,
+                 "tcp: send to bad peer");
+  if (payloads.empty()) return;
+  loop_.post([this, peer, payloads = std::move(payloads)]() mutable {
+    Peer& p = *peers_[static_cast<std::size_t>(peer)];
+    for (Bytes& payload : payloads) p.link.enqueue(std::move(payload));
     if (p.conn != nullptr && p.conn->established) flush_link(peer);
+  });
+}
+
+void TcpTransport::schedule_flush(int peer) {
+  Peer& p = *peers_[static_cast<std::size_t>(peer)];
+  if (p.flush_posted) return;
+  p.flush_posted = true;
+  loop_.post([this, peer] {
+    Peer& owner = *peers_[static_cast<std::size_t>(peer)];
+    owner.flush_posted = false;
+    if (owner.conn != nullptr && owner.conn->established) flush_link(peer);
   });
 }
 
@@ -177,7 +211,9 @@ void TcpTransport::dial(int peer) {
   set_nodelay(fd);
   sockaddr_in addr = make_addr(config_.endpoints[static_cast<std::size_t>(peer)]);
   const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc != 0 && errno != EINPROGRESS) {
+  // EINTR on a nonblocking connect means the attempt proceeds
+  // asynchronously (POSIX) — treat it exactly like EINPROGRESS.
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
     ::close(fd);
     schedule_redial(peer);
     return;
@@ -230,7 +266,10 @@ void TcpTransport::on_dial_writable(int peer) {
 void TcpTransport::on_accept_ready() {
   while (true) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;
+    if (fd < 0) {
+      if (errno == EINTR) continue;  // interrupted, not out of connections
+      return;
+    }
     if (pending_accepts_.size() >= kMaxPendingAccepts) {
       ::close(fd);  // accept-flood guard
       continue;
@@ -264,6 +303,7 @@ void TcpTransport::on_pending_readable(int fd) {
       }
       continue;
     }
+    if (got < 0 && errno == EINTR) continue;  // interrupted read: retry
     if (got == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
       reject();
       return;
@@ -356,10 +396,12 @@ void TcpTransport::send_hello(Conn& conn, int peer) {
   hello.node_id = static_cast<std::uint32_t>(config_.node_id);
   hello.nonce = conn.my_nonce;
   hello.recv_cursor = p.link.recv_cursor();
-  queue_bytes(conn, encode_frame(FrameType::kHello, hello.encode(), link_key(peer)));
+  // A fresh connection's outq cannot be over quota; the check is vacuous.
+  (void)queue_bytes(conn, encode_frame(FrameType::kHello, hello.encode(), link_key(peer)));
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.frames_sent;
+    ++stats_.hmacs_computed;
   }
 }
 
@@ -405,11 +447,12 @@ void TcpTransport::on_conn_event(int peer, std::uint32_t events) {
     if (got > 0) {
       conn->last_recv_ms = loop_.now_ms();
       conn->decoder.feed(BytesView(buf, static_cast<std::size_t>(got)));
-      Frame frame;
       while (p.conn == conn) {
         const BytesView key = conn->established ? BytesView(conn->session_key)
                                                 : BytesView(link_key(peer));
-        const FrameDecoder::Status status = conn->decoder.next(key, frame);
+        FrameType type = FrameType::kPing;
+        BytesView body;
+        const FrameDecoder::Status status = conn->decoder.next_view(key, type, body);
         if (status == FrameDecoder::Status::kNeedMore) break;
         if (status == FrameDecoder::Status::kCorrupt) {
           {
@@ -419,10 +462,11 @@ void TcpTransport::on_conn_event(int peer, std::uint32_t events) {
           drop_connection(peer, /*redial=*/true);
           return;
         }
-        handle_frame(peer, frame);
+        handle_frame(peer, type, body);
       }
       continue;
     }
+    if (got < 0 && errno == EINTR) continue;  // interrupted read: retry, not a dead peer
     if (got == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
       drop_connection(peer, /*redial=*/true);
       return;
@@ -431,18 +475,33 @@ void TcpTransport::on_conn_event(int peer, std::uint32_t events) {
   }
 }
 
-void TcpTransport::handle_frame(int peer, const Frame& frame) {
+void TcpTransport::handle_frame(int peer, FrameType type, BytesView body) {
   Peer& p = *peers_[static_cast<std::size_t>(peer)];
   Conn& conn = *p.conn;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.frames_received;
   }
+  // Shared ack policy for DATA/BATCH: explicit ack now when the link asks,
+  // else arm the delayed-ack timer so acks still flow under one-way load.
+  const auto after_deliveries = [this, peer, &p](bool ack_now) {
+    if (ack_now) {
+      send_ack(peer);
+    } else if (p.link.ack_pending() && p.ack_timer == 0) {
+      p.ack_timer = loop_.schedule_after(config_.ack_flush_ms, [this, peer] {
+        Peer& owner = *peers_[static_cast<std::size_t>(peer)];
+        owner.ack_timer = 0;
+        if (owner.conn != nullptr && owner.conn->established && owner.link.ack_pending()) {
+          send_ack(peer);
+        }
+      });
+    }
+  };
   try {
     if (!conn.established) {
       // Dialer side: the peer's HELLO completes the handshake.
-      SINTRA_REQUIRE(frame.type == FrameType::kHello, "tcp: expected HELLO");
-      Reader reader(frame.body);
+      SINTRA_REQUIRE(type == FrameType::kHello, "tcp: expected HELLO");
+      Reader reader(body);
       const HelloBody hello = HelloBody::decode(reader);
       SINTRA_REQUIRE(hello.version == kProtocolVersion, "tcp: version mismatch");
       SINTRA_REQUIRE(static_cast<int>(hello.node_id) == peer, "tcp: HELLO claims wrong id");
@@ -460,9 +519,39 @@ void TcpTransport::handle_frame(int peer, const Frame& frame) {
       try_write(peer);
       return;
     }
-    switch (frame.type) {
+    switch (type) {
+      case FrameType::kDataBatch: {
+        // Coalesced super-frame: one ack/base for the whole batch, then
+        // per-record delivery.  In-order records take the zero-copy fast
+        // path — the payload view (a slice of the decoder buffer) goes
+        // straight to the receiver, never becoming an owned Bytes here.
+        const DataBatchView batch = DataBatchView::decode(body);
+        p.link.on_ack(batch.ack);
+        bool ack_now = false;
+        std::uint64_t delivered = 0;
+        for (const DataBatchView::Record& record : batch.records) {
+          const ReliableLink::FastPath fast = p.link.accept_inorder(record.seq, batch.base);
+          if (fast.taken) {
+            ++delivered;
+            receive_(peer, record.payload);
+            ack_now = ack_now || fast.ack_now;
+            continue;
+          }
+          ReliableLink::Incoming incoming = p.link.on_data(
+              record.seq, batch.base, Bytes(record.payload.begin(), record.payload.end()));
+          delivered += incoming.deliver.size();
+          for (const Bytes& payload : incoming.deliver) receive_(peer, payload);
+          ack_now = ack_now || incoming.ack_now;
+        }
+        if (delivered > 0) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.payloads_delivered += delivered;
+        }
+        after_deliveries(ack_now);
+        return;
+      }
       case FrameType::kData: {
-        Reader reader(frame.body);
+        Reader reader(body);
         DataBody data = DataBody::decode(reader);
         p.link.on_ack(data.ack);
         ReliableLink::Incoming incoming =
@@ -471,22 +560,12 @@ void TcpTransport::handle_frame(int peer, const Frame& frame) {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           stats_.payloads_delivered += incoming.deliver.size();
         }
-        for (Bytes& payload : incoming.deliver) receive_(peer, std::move(payload));
-        if (incoming.ack_now) {
-          send_ack(peer);
-        } else if (p.link.ack_pending() && p.ack_timer == 0) {
-          p.ack_timer = loop_.schedule_after(config_.ack_flush_ms, [this, peer] {
-            Peer& owner = *peers_[static_cast<std::size_t>(peer)];
-            owner.ack_timer = 0;
-            if (owner.conn != nullptr && owner.conn->established && owner.link.ack_pending()) {
-              send_ack(peer);
-            }
-          });
-        }
+        for (const Bytes& payload : incoming.deliver) receive_(peer, payload);
+        after_deliveries(incoming.ack_now);
         return;
       }
       case FrameType::kAck: {
-        Reader reader(frame.body);
+        Reader reader(body);
         const std::uint64_t ack = reader.u64();
         reader.expect_done();
         p.link.on_ack(ack);
@@ -515,15 +594,50 @@ void TcpTransport::flush_link(int peer) {
   Peer& p = *peers_[static_cast<std::size_t>(peer)];
   if (p.conn == nullptr || !p.conn->established) return;
   std::vector<ReliableLink::OutFrame> frames = p.link.take_sendable();
-  for (ReliableLink::OutFrame& out : frames) {
-    DataBody data;
-    data.seq = out.seq;
-    data.ack = p.link.recv_cursor();
-    data.base = out.base;
-    data.payload = std::move(out.payload);
-    send_frame(peer, FrameType::kData, data.encode());
+  if (!frames.empty()) {
+    // Coalesce the whole flush into BATCH super-frames: one length
+    // prefix and one HMAC per kMaxBatchBytes of payload instead of one
+    // per message.  ack/base are link-level cursors valid for the whole
+    // flush (take_sendable never moves base mid-take), so they ride once
+    // per batch.
+    const BytesView key(p.conn->session_key);
+    DataBatchBody batch;
+    batch.ack = p.link.recv_cursor();
+    batch.base = frames.front().base;
+    std::size_t batch_bytes = 0;
+    bool ok = true;
+    const auto emit = [&]() {
+      if (batch.records.empty()) return true;
+      const std::uint64_t count = batch.records.size();
+      Bytes encoded = encode_frame(FrameType::kDataBatch, batch.encode(), key);
+      batch.records.clear();
+      batch_bytes = 0;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.frames_sent;
+        ++stats_.batches_sent;
+        ++stats_.hmacs_computed;
+        stats_.frames_coalesced += count;
+      }
+      return queue_bytes(*p.conn, std::move(encoded));
+    };
+    for (ReliableLink::OutFrame& out : frames) {
+      if (batch_bytes > 0 && batch_bytes + out.payload.size() > kMaxBatchBytes) {
+        if (!(ok = emit())) break;
+      }
+      batch_bytes += out.payload.size();
+      batch.records.push_back({out.seq, std::move(out.payload)});
+    }
+    if (ok) ok = emit();
+    if (!ok) {
+      // Outbuf quota blown: the peer stopped reading long ago.  Drop the
+      // connection so the link rewinds and retransmits after reconnect —
+      // never silently discard frames the link already counted as sent.
+      drop_connection(peer, /*redial=*/true);
+      return;
+    }
+    p.link.mark_ack_sent();  // acks piggybacked on the batch
   }
-  if (!frames.empty()) p.link.mark_ack_sent();  // acks piggybacked
   const std::uint64_t resent = p.link.stats().retransmitted;
   if (resent != p.link_retransmitted_seen) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -548,38 +662,75 @@ void TcpTransport::send_frame(int peer, FrameType type, BytesView body) {
   if (p.conn == nullptr) return;
   const BytesView key =
       p.conn->established ? BytesView(p.conn->session_key) : BytesView(link_key(peer));
-  queue_bytes(*p.conn, encode_frame(type, body, key));
+  const bool ok = queue_bytes(*p.conn, encode_frame(type, body, key));
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.frames_sent;
+    ++stats_.hmacs_computed;
   }
+  if (!ok) drop_connection(peer, /*redial=*/true);
 }
 
-void TcpTransport::queue_bytes(Conn& conn, Bytes bytes) {
-  if (conn.outbuf.size() - conn.outpos + bytes.size() > kMaxConnOutbuf) {
-    // The peer stopped reading long ago; treat the connection as dead
-    // rather than buffering without bound.
-    return;
+bool TcpTransport::queue_bytes(Conn& conn, Bytes bytes) {
+  if (conn.outbytes - conn.outpos + bytes.size() > kMaxConnOutbuf) {
+    // The peer stopped reading long ago; the connection is dead.  Report
+    // the overflow so the caller tears it down — dropping the connection
+    // rewinds the link and retransmits on reconnect, whereas silently
+    // discarding the frame here would desync link accounting from the
+    // wire (frames counted sent but never transmitted).
+    return false;
   }
-  if (conn.outpos > 0 && conn.outpos == conn.outbuf.size()) {
-    conn.outbuf.clear();
-    conn.outpos = 0;
-  }
-  append(conn.outbuf, bytes);
+  conn.outbytes += bytes.size();
+  conn.outq.push_back(std::move(bytes));
+  return true;
 }
 
 void TcpTransport::try_write(int peer) {
   Peer& p = *peers_[static_cast<std::size_t>(peer)];
   std::shared_ptr<Conn> conn = p.conn;
   if (conn == nullptr || conn->connecting || conn->fd < 0) return;
-  while (conn->outpos < conn->outbuf.size()) {
-    const ssize_t wrote = ::write(conn->fd, conn->outbuf.data() + conn->outpos,
-                                  conn->outbuf.size() - conn->outpos);
+  while (!conn->outq.empty()) {
+    // Scatter-gather: hand the kernel up to kMaxIov queued frames in one
+    // sendmsg — one syscall per flush, no flattening copy.  MSG_NOSIGNAL
+    // turns a peer that closed mid-send into an EPIPE errno handled
+    // below instead of a process-killing SIGPIPE.
+    iovec iov[kMaxIov];
+    std::size_t iovcnt = 0;
+    std::size_t skip = conn->outpos;
+    for (const Bytes& chunk : conn->outq) {
+      if (iovcnt == kMaxIov) break;
+      iov[iovcnt].iov_base = const_cast<std::uint8_t*>(chunk.data() + skip);
+      iov[iovcnt].iov_len = chunk.size() - skip;
+      ++iovcnt;
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    const ssize_t wrote = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (wrote > 0) {
-      conn->outpos += static_cast<std::size_t>(wrote);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.writev_calls;
+      }
+      std::size_t remaining = static_cast<std::size_t>(wrote);
+      while (remaining > 0) {
+        Bytes& front = conn->outq.front();
+        const std::size_t avail = front.size() - conn->outpos;
+        if (remaining >= avail) {
+          remaining -= avail;
+          conn->outbytes -= front.size();
+          conn->outq.pop_front();
+          conn->outpos = 0;
+        } else {
+          conn->outpos += remaining;
+          remaining = 0;
+        }
+      }
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    if (wrote < 0 && errno == EINTR) continue;  // interrupted send: retry
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       if (!conn->want_write) {
         conn->want_write = true;
         loop_.modify_fd(conn->fd, EPOLLIN | EPOLLOUT);
@@ -589,8 +740,6 @@ void TcpTransport::try_write(int peer) {
     drop_connection(peer, /*redial=*/true);
     return;
   }
-  conn->outbuf.clear();
-  conn->outpos = 0;
   if (conn->want_write) {
     conn->want_write = false;
     loop_.modify_fd(conn->fd, EPOLLIN);

@@ -68,10 +68,20 @@ class TcpTransport {
     std::uint64_t disconnects = 0;    ///< torn-down established connections
     std::uint64_t auth_failures = 0;  ///< corrupt/unauthenticated streams
     std::uint64_t retransmitted = 0;  ///< link-level resent frames
+    // Coalescing proof counters: a flush of k payloads costs
+    // ceil(bytes / kMaxBatchBytes) BATCH frames and HMACs, not k, and
+    // the whole outbuf drains through scatter-gather sendmsg calls.
+    std::uint64_t batches_sent = 0;       ///< BATCH super-frames emitted
+    std::uint64_t frames_coalesced = 0;   ///< payloads riding BATCH frames
+    std::uint64_t hmacs_computed = 0;     ///< send-side HMACs (all frame types)
+    std::uint64_t writev_calls = 0;       ///< sendmsg() syscalls issued
   };
 
-  /// `receive(from, payload)` runs on the reactor thread.
-  using ReceiveFn = std::function<void(int from, Bytes payload)>;
+  /// `receive(from, payload)` runs on the reactor thread.  The view is a
+  /// slice of the connection's decode buffer, valid only during the call
+  /// — receivers that keep the payload copy it (for NetworkedNode, the
+  /// one copy into the owning Message).
+  using ReceiveFn = std::function<void(int from, BytesView payload)>;
 
   TcpTransport(Config config, ReceiveFn receive);
   ~TcpTransport();
@@ -84,7 +94,15 @@ class TcpTransport {
   void stop();
 
   /// Queue `payload` for reliable delivery to `peer` (any thread).
+  /// Multiple send()s posted before the reactor turns over coalesce into
+  /// one BATCH frame (the enqueue tasks run first, a single deferred
+  /// flush task runs after them).
   void send(int peer, Bytes payload);
+
+  /// Queue a whole pump-cycle batch (any thread): every payload is
+  /// enqueued and flushed as one unit — one BATCH super-frame, one HMAC,
+  /// per kMaxBatchBytes of traffic.
+  void send_many(int peer, std::vector<Bytes> payloads);
 
   /// The actually bound listen port (after start(); useful with port 0).
   [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
@@ -107,10 +125,13 @@ class TcpTransport {
   void drop_connection(int peer, bool redial);
   void close_conn(Conn& conn);
   void on_conn_event(int peer, std::uint32_t events);
-  void handle_frame(int peer, const Frame& frame);
+  void handle_frame(int peer, FrameType type, BytesView body);
+  void schedule_flush(int peer);
   void flush_link(int peer);
   void send_frame(int peer, FrameType type, BytesView body);
-  void queue_bytes(Conn& conn, Bytes bytes);
+  /// False when the outbuf quota is exceeded — the caller must drop the
+  /// connection (a peer that stopped reading is dead, not deferrable).
+  [[nodiscard]] bool queue_bytes(Conn& conn, Bytes bytes);
   void try_write(int peer);
   void heartbeat_sweep();
   void send_ack(int peer);

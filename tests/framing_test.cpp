@@ -115,6 +115,90 @@ TEST(FramingTest, HelloAndDataBodiesRoundTrip) {
   EXPECT_EQ(data2.payload, bytes_of("payload"));
 }
 
+TEST(FramingTest, BatchBodyRoundTripsThroughOwningAndViewDecoders) {
+  DataBatchBody batch;
+  batch.ack = 9;
+  batch.base = 4;
+  batch.records.push_back({4, bytes_of("first")});
+  batch.records.push_back({5, Bytes{}});  // empty payloads are legal
+  batch.records.push_back({6, bytes_of("third")});
+  const Bytes body = batch.encode();
+
+  Reader reader(body);
+  const DataBatchBody owned = DataBatchBody::decode(reader);
+  EXPECT_EQ(owned.ack, 9u);
+  EXPECT_EQ(owned.base, 4u);
+  ASSERT_EQ(owned.records.size(), 3u);
+  EXPECT_EQ(owned.records[0].seq, 4u);
+  EXPECT_EQ(owned.records[0].payload, bytes_of("first"));
+  EXPECT_EQ(owned.records[1].payload, Bytes{});
+  EXPECT_EQ(owned.records[2].payload, bytes_of("third"));
+
+  const DataBatchView view = DataBatchView::decode(body);
+  EXPECT_EQ(view.ack, 9u);
+  EXPECT_EQ(view.base, 4u);
+  ASSERT_EQ(view.records.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(view.records[i].seq, owned.records[i].seq);
+    EXPECT_EQ(Bytes(view.records[i].payload.begin(), view.records[i].payload.end()),
+              owned.records[i].payload);
+    // Zero-copy: every non-empty view payload points into `body`.
+    if (!view.records[i].payload.empty()) {
+      EXPECT_GE(view.records[i].payload.data(), body.data());
+      EXPECT_LE(view.records[i].payload.data() + view.records[i].payload.size(),
+                body.data() + body.size());
+    }
+  }
+}
+
+TEST(FramingTest, NextViewMatchesNextAndSlicesTheDecoderBuffer) {
+  const Bytes key = test_key('k');
+  DataBatchBody batch;
+  batch.ack = 1;
+  batch.records.push_back({1, bytes_of("coalesced")});
+  const Bytes wire = encode_frame(FrameType::kDataBatch, batch.encode(), key);
+
+  FrameDecoder by_copy;
+  by_copy.feed(wire);
+  Frame frame;
+  ASSERT_EQ(by_copy.next(key, frame), FrameDecoder::Status::kFrame);
+
+  FrameDecoder by_view;
+  by_view.feed(wire);
+  FrameType type{};
+  BytesView body;
+  ASSERT_EQ(by_view.next_view(key, type, body), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(type, frame.type);
+  EXPECT_EQ(Bytes(body.begin(), body.end()), frame.body);
+  // The view's sub-slices survive until the next feed().
+  const DataBatchView view = DataBatchView::decode(body);
+  ASSERT_EQ(view.records.size(), 1u);
+  EXPECT_EQ(Bytes(view.records[0].payload.begin(), view.records[0].payload.end()),
+            bytes_of("coalesced"));
+  ASSERT_EQ(by_view.next_view(key, type, body), FrameDecoder::Status::kNeedMore);
+}
+
+TEST(FramingTest, TruncatedOrTrailingBatchBodyThrows) {
+  DataBatchBody batch;
+  batch.ack = 2;
+  batch.base = 1;
+  batch.records.push_back({1, bytes_of("p")});
+  const Bytes body = batch.encode();
+  // Every strict prefix must be rejected — count promises more records
+  // (or payload bytes) than the body holds.
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_THROW(DataBatchView::decode(BytesView(body.data(), len)), ProtocolError) << len;
+    Bytes prefix(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(len));
+    Reader reader(prefix);
+    EXPECT_THROW(DataBatchBody::decode(reader), ProtocolError) << len;
+  }
+  // Trailing garbage after the last record is equally malformed for the
+  // view decoder (the body is exactly the batch, nothing else).
+  Bytes padded = body;
+  padded.push_back(0);
+  EXPECT_THROW(DataBatchView::decode(padded), ProtocolError);
+}
+
 TEST(FramingTest, SessionKeyBindsBothNoncesAndLinkKey) {
   const Bytes key = test_key('k');
   const Bytes s1 = derive_session_key(key, 1, 2);

@@ -55,8 +55,8 @@ struct NetCluster {
       node->attach(*host);
       node->bind_transport(
           [this, id](int peer, Bytes payload) { hub.send(id, peer, std::move(payload)); });
-      hub.set_receiver(id, [raw = node.get()](int from, Bytes payload) {
-        raw->on_transport_receive(from, std::move(payload));
+      hub.set_receiver(id, [raw = node.get()](int from, BytesView payload) {
+        raw->on_transport_receive(from, payload);
       });
       nodes.push_back(std::move(node));
       hosts.push_back(std::move(host));
@@ -147,7 +147,8 @@ TEST(NetworkedNodeTest, InboxQuotaDropsOldest) {
     m.to = 0;
     m.tag = "t";
     m.payload = bytes_of("p" + std::to_string(i));
-    node.on_transport_receive(1, NetworkedNode::encode_payload(m));
+    const Bytes wire = NetworkedNode::encode_payload(m);
+    node.on_transport_receive(1, wire);
   }
   node.poll();
   // Drop-oldest: the newest 4 survive the quota.
@@ -165,8 +166,9 @@ TEST(NetworkedNodeTest, MalformedPayloadCountedAndDropped) {
   NetworkedNode node(config);
   RecordingProcess process;
   node.attach(process);
-  node.on_transport_receive(1, bytes_of("not a message"));
-  node.on_transport_receive(1, Bytes{});
+  const Bytes junk = bytes_of("not a message");
+  node.on_transport_receive(1, junk);
+  node.on_transport_receive(1, BytesView{});
   node.poll();
   EXPECT_TRUE(process.seen.empty());
   EXPECT_EQ(node.stats().malformed, 2u);

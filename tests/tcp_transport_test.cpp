@@ -10,7 +10,9 @@
 #include <arpa/inet.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -62,9 +64,9 @@ struct Collector {
   std::map<int, std::vector<Bytes>> received;
 
   TcpTransport::ReceiveFn fn() {
-    return [this](int from, Bytes payload) {
+    return [this](int from, BytesView payload) {
       std::lock_guard<std::mutex> lock(mutex);
-      received[from].push_back(std::move(payload));
+      received[from].emplace_back(payload.begin(), payload.end());
     };
   }
   std::vector<Bytes> from(int peer) {
@@ -252,6 +254,132 @@ TEST(TcpTransportTest, WrongLinkKeyNeverEstablishes) {
   EXPECT_EQ(a.stats().connects, 0u);
   b.stop();
   a.stop();
+}
+
+TEST(TcpTransportTest, SendManyCoalescesIntoOneBatchFrame) {
+  const std::uint64_t seed = 71;
+  Collector ca, cb;
+  auto config_a = make_config(0, 2, seed);
+  TcpTransport a(config_a, ca.fn());
+  a.start();
+  auto config_b = make_config(1, 2, seed);
+  config_b.endpoints[0].port = a.listen_port();
+  TcpTransport b(config_b, cb.fn());
+  b.start();
+  ASSERT_TRUE(wait_for([&] { return a.stats().connects >= 1; }, 5000));
+
+  constexpr int kCount = 50;
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < kCount; ++i) payloads.push_back(numbered(0, i));
+  a.send_many(1, payloads);
+  ASSERT_TRUE(wait_for([&] { return cb.count(0) >= kCount; }, 5000));
+  const auto got = cb.from(0);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], numbered(0, i));
+
+  // The coalescing proof: all 50 payloads rode BATCH super-frames, and the
+  // whole flush cost one frame and one HMAC (a retransmit on a slow runner
+  // may add a batch — what may never happen is one frame per payload).
+  const TcpTransport::Stats stats = a.stats();
+  EXPECT_GE(stats.frames_coalesced, static_cast<std::uint64_t>(kCount));
+  EXPECT_GE(stats.batches_sent, 1u);
+  EXPECT_LE(stats.batches_sent, 5u) << "flush split into near-per-payload frames";
+  // HMACs: one per batch plus handshake/heartbeat traffic — nowhere near
+  // one per payload.
+  EXPECT_LT(stats.hmacs_computed, static_cast<std::uint64_t>(kCount));
+  EXPECT_GT(stats.writev_calls, 0u);
+  b.stop();
+  a.stop();
+}
+
+TEST(TcpTransportTest, KillingPeerMidSendDoesNotRaiseSigpipe) {
+  // Regression: outbound writes used raw ::write, so a peer dying between
+  // poll() and write() delivered SIGPIPE and killed the process.  With
+  // sendmsg(MSG_NOSIGNAL) the dead socket surfaces as EPIPE and becomes an
+  // orderly disconnect.
+  const std::uint64_t seed = 83;
+  Collector ca, cb;
+  auto config_a = make_config(0, 2, seed);
+  TcpTransport a(config_a, ca.fn());
+  a.start();
+  auto config_b = make_config(1, 2, seed);
+  config_b.endpoints[0].port = a.listen_port();
+  auto b = std::make_unique<TcpTransport>(config_b, cb.fn());
+  b->start();
+  ASSERT_TRUE(wait_for([&] { return a.stats().connects >= 1; }, 5000));
+
+  // Kill the peer, then keep writing into the dead connection.  The RST
+  // arrives asynchronously, so some of these writes hit a socket the
+  // kernel already knows is gone — the SIGPIPE window.
+  b.reset();
+  for (int i = 0; i < 500; ++i) {
+    a.send(1, numbered(0, i));
+    if (i % 100 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Alive to observe the orderly disconnect — with SIGPIPE undisposed the
+  // process would have died inside the reactor instead.
+  EXPECT_TRUE(wait_for([&] { return a.stats().disconnects >= 1; }, 5000));
+  a.stop();
+}
+
+TEST(TcpTransportTest, SignalStormDoesNotDisruptDelivery) {
+  // EINTR regression: a signal landing in accept/connect/read/sendmsg used
+  // to be treated as a connection error.  Install a no-op handler WITHOUT
+  // SA_RESTART (so every blocking syscall genuinely returns EINTR) and
+  // hammer the process with signals while traffic flows: delivery must
+  // stay exactly-once in-order with zero disconnects.
+  struct sigaction storm_action {};
+  storm_action.sa_handler = [](int) {};
+  storm_action.sa_flags = 0;  // deliberately no SA_RESTART
+  sigemptyset(&storm_action.sa_mask);
+  struct sigaction previous {};
+  ASSERT_EQ(sigaction(SIGUSR1, &storm_action, &previous), 0);
+
+  const std::uint64_t seed = 97;
+  Collector ca, cb;
+  auto config_a = make_config(0, 2, seed);
+  TcpTransport a(config_a, ca.fn());
+  a.start();
+  auto config_b = make_config(1, 2, seed);
+  config_b.endpoints[0].port = a.listen_port();
+  TcpTransport b(config_b, cb.fn());
+  b.start();
+
+  std::atomic<bool> storming{true};
+  std::thread storm([&storming] {
+    while (storming.load()) {
+      ::kill(::getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  constexpr int kCount = 200;
+  for (int i = 0; i < kCount; ++i) {
+    a.send(1, numbered(0, i));
+    b.send(0, numbered(1, i));
+    if (i % 20 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const bool all_arrived =
+      wait_for([&] { return ca.count(1) >= kCount && cb.count(0) >= kCount; }, 10000);
+  storming.store(false);
+  storm.join();
+  ASSERT_TRUE(all_arrived);
+
+  const auto at_b = cb.from(0);
+  const auto at_a = ca.from(1);
+  ASSERT_EQ(at_b.size(), static_cast<std::size_t>(kCount));
+  ASSERT_EQ(at_a.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(at_b[static_cast<std::size_t>(i)], numbered(0, i));
+    EXPECT_EQ(at_a[static_cast<std::size_t>(i)], numbered(1, i));
+  }
+  // EINTR handled everywhere means the storm never looked like a failure.
+  EXPECT_EQ(a.stats().disconnects, 0u);
+  EXPECT_EQ(b.stats().disconnects, 0u);
+  EXPECT_EQ(a.stats().auth_failures, 0u);
+  b.stop();
+  a.stop();
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
 }
 
 }  // namespace

@@ -41,8 +41,8 @@ void run_round(std::uint64_t seed, int n, int count) {
 
   std::map<std::pair<int, int>, std::vector<Bytes>> received;
   for (int node = 0; node < n; ++node) {
-    hub.set_receiver(node, [&received, node](int from, Bytes payload) {
-      received[{from, node}].push_back(std::move(payload));
+    hub.set_receiver(node, [&received, node](int from, BytesView payload) {
+      received[{from, node}].emplace_back(payload.begin(), payload.end());
     });
   }
 
@@ -85,6 +85,24 @@ void run_round(std::uint64_t seed, int n, int count) {
       }
       EXPECT_EQ(hub.link(to, from).stats().skipped_inbound, 0u)
           << "quota engaged; the soak volume must stay below max_outbound";
+
+      // Exact retransmit accounting (issue 7 satellite): every frame put
+      // on a wire is either a first transmission or a resend — the two
+      // per-frame counters must partition `sent` exactly, and with the
+      // quota never engaging, every enqueued payload got exactly one
+      // first transmission.  These are equalities, not bounds: any
+      // over- or under-count in take_sendable's bookkeeping fails here.
+      const ReliableLink::Stats& out = hub.link(from, to).stats();
+      ASSERT_EQ(out.dropped_outbound, 0u)
+          << "seed " << seed << " pair " << from << "->" << to;
+      ASSERT_EQ(out.sent, out.first_transmissions + out.retransmitted)
+          << "seed " << seed << " pair " << from << "->" << to
+          << ": sent must partition into first sends + resends";
+      ASSERT_EQ(out.first_transmissions, out.enqueued)
+          << "seed " << seed << " pair " << from << "->" << to
+          << ": exactly one first transmission per enqueued payload";
+      ASSERT_EQ(out.retransmitted, out.sent - out.enqueued)
+          << "seed " << seed << " pair " << from << "->" << to;
     }
   }
 

@@ -121,6 +121,32 @@ TEST(WorkPoolTest, FullQueueFallsBackToInlineExecution) {
   pool.wait_idle();
 }
 
+TEST(WorkPoolTest, StopFiresEveryCompletionExactlyOnce) {
+  // Regression: shutdown used to discard completions still parked in the
+  // finished queue — a submitted verification could silently never report.
+  // stop() (and the destructor through it) must drain every completion on
+  // the owner thread, each exactly once.
+  constexpr int kJobs = 64;
+  std::atomic<int> fired{0};
+  {
+    WorkPool pool(2, /*max_queue=*/8);
+    const auto owner = std::this_thread::get_id();
+    for (int i = 0; i < kJobs; ++i) {
+      pool.submit([i] { return payload_of(static_cast<std::uint8_t>(i)); },
+                  [&, owner](Bytes result) {
+                    EXPECT_EQ(std::this_thread::get_id(), owner);
+                    EXPECT_EQ(result.size(), 1u);
+                    fired.fetch_add(1);
+                  });
+    }
+    pool.stop();
+    EXPECT_EQ(fired.load(), kJobs) << "stop() dropped undrained completions";
+    pool.stop();  // idempotent: must not re-fire anything
+    EXPECT_EQ(fired.load(), kJobs);
+  }  // destructor after stop(): still exactly once
+  EXPECT_EQ(fired.load(), kJobs);
+}
+
 TEST(WorkPoolTest, HasCompletionsAndNotifyWakeTheOwner) {
   WorkPool pool(1);
   std::atomic<int> notified{0};
