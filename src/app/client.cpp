@@ -33,6 +33,7 @@ void ServiceClient::arm_retry(std::uint64_t request_id, Pending& pending) {
     Pending& p = it->second;
     p.retry_timer = 0;
     ++p.attempts;
+    p.busy_hops = 0;  // new lap: Busy replies may rotate the gateway again
     p.next_delay = std::min(p.next_delay * 2, retry_timeout_ * 16);
     const bool last = p.attempts >= max_retries_;
     if (gateway_ >= 0 && !last) {
@@ -128,6 +129,22 @@ void ServiceClient::on_message(const net::Message& message) {
         for (auto& [id, p] : pending_) {
           if (request_id == 0 || id == request_id) {
             p.next_delay = std::max(p.next_delay, retry_after);
+          }
+        }
+      }
+      // Busy from the relay we're pinned to: some *other* replica may be
+      // idle right now, so rotate and resend immediately instead of
+      // backing off against the overloaded one.  At most one full lap of
+      // rotations per request between retry-timer fires — if every
+      // replica is shedding, the timed backoff above takes over.
+      if (gateway_ >= 0 && message.from == gateway_) {
+        const int lap = deployment_.n() - 1;
+        gateway_ = (gateway_ + 1) % deployment_.n();
+        ++busy_rotations_;
+        for (auto& [id, p] : pending_) {
+          if ((request_id == 0 || id == request_id) && p.busy_hops < lap) {
+            ++p.busy_hops;
+            send_to_servers(p.wire_payload, /*broadcast_all=*/false);
           }
         }
       }

@@ -68,6 +68,10 @@ class ServiceClient final : public net::Process {
   [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
   /// Busy replies received (load-shedding servers observed).
   [[nodiscard]] std::uint64_t busy_replies() const { return busy_replies_; }
+  /// Gateway rotations triggered by Busy replies (not by retry timeouts).
+  [[nodiscard]] std::uint64_t busy_rotations() const { return busy_rotations_; }
+  /// Current relay replica (-1 = broadcast mode).
+  [[nodiscard]] int gateway() const { return gateway_; }
 
  private:
   struct Pending {
@@ -78,6 +82,7 @@ class ServiceClient final : public net::Process {
     net::Network::TimerId retry_timer = 0;  ///< 0 = not armed
     int attempts = 0;                       ///< retries fired so far
     std::uint64_t next_delay = 0;           ///< backoff for the next retry
+    int busy_hops = 0;  ///< Busy-triggered rotations this lap (reset on retry)
   };
 
   void send_to_servers(const Bytes& payload, bool broadcast_all);
@@ -95,6 +100,7 @@ class ServiceClient final : public net::Process {
   int max_retries_ = 0;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t busy_replies_ = 0;
+  std::uint64_t busy_rotations_ = 0;
   std::map<std::uint64_t, Pending> pending_;
 };
 

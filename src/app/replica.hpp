@@ -84,6 +84,14 @@ class Replica final : public protocols::ProtocolInstance {
   void set_admission(Admission admission) { admission_ = admission; }
 
   [[nodiscard]] Mode mode() const { return mode_; }
+  /// The underlying total-order broadcast (atomic mode only, else null) —
+  /// exposed so deployments can enable checkpoint certificates and wire a
+  /// net::StateTransfer instance to its certified_state/install hooks.
+  [[nodiscard]] protocols::AtomicBroadcast* atomic() { return atomic_.get(); }
+  /// Emit a checkpoint certificate every `interval` rounds (atomic mode).
+  void enable_checkpoints(int interval) {
+    if (atomic_) atomic_->enable_checkpoints(interval);
+  }
   [[nodiscard]] std::uint64_t executed_count() const { return executed_count_; }
   [[nodiscard]] std::uint64_t busy_sent() const { return busy_sent_; }
   [[nodiscard]] std::size_t inflight() const {

@@ -1,0 +1,52 @@
+#include "crypto/checkpoint.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::crypto {
+
+Bytes chain_initial() { return Bytes(kChainDigestBytes, 0); }
+
+Bytes chain_extend(BytesView chain, int origin, BytesView payload) {
+  Writer w;
+  w.raw(chain);
+  w.u32(static_cast<std::uint32_t>(origin));
+  w.bytes(payload);
+  auto digest = hash_domain("sintra/ckpt/chain", w.data());
+  return Bytes(digest.begin(), digest.end());
+}
+
+Bytes CheckpointCert::statement(std::string_view instance_tag) const {
+  Writer w;
+  w.str("sintra/ckpt/cert");
+  w.str(std::string(instance_tag));
+  w.u32(round);
+  w.u64(delivered_count);
+  w.raw(chain_digest);
+  return w.take();
+}
+
+bool CheckpointCert::verify(const ThresholdSigPublicKey& pk,
+                            std::string_view instance_tag) const {
+  if (chain_digest.size() != kChainDigestBytes) return false;
+  return pk.verify(statement(instance_tag), signature);
+}
+
+void CheckpointCert::encode(Writer& w) const {
+  w.u32(round);
+  w.u64(delivered_count);
+  w.bytes(chain_digest);
+  signature.encode(w);
+}
+
+CheckpointCert CheckpointCert::decode(Reader& r) {
+  CheckpointCert cert;
+  cert.round = r.u32();
+  cert.delivered_count = r.u64();
+  cert.chain_digest = r.bytes();
+  SINTRA_REQUIRE(cert.chain_digest.size() == kChainDigestBytes,
+                 "ckpt: bad chain digest length");
+  cert.signature = BigInt::decode(r);
+  return cert;
+}
+
+}  // namespace sintra::crypto

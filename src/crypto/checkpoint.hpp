@@ -1,0 +1,52 @@
+// Certified checkpoint format (issue 8).
+//
+// A checkpoint certificate is a threshold signature — under the dealt
+// certificate key, so it works identically for classical thresholds and
+// generalized Q³/LSSS access structures — over the tuple
+// (round, delivered-count, delivered-prefix chain digest).  Because the
+// signed digest is a running hash chain over the agreed delivery log, the
+// certificate simultaneously covers the total order ("epoch" = the round
+// the chain had reached) and the protocol state (for atomic broadcast the
+// delivered prefix IS the replicated state: re-firing its deliveries
+// rebuilds every deterministic layer above).
+//
+// Any qualified set of honest parties can mint one, any third party can
+// verify it with the single service public key, and a blank replica can
+// trust a snapshot fetched from an untrusted peer as long as the snapshot
+// re-hashes to the certified chain digest (net/state_transfer.hpp).
+#pragma once
+
+#include <string_view>
+
+#include "crypto/threshold_sig.hpp"
+
+namespace sintra::crypto {
+
+/// Length of a delivery-chain digest (SHA-256).
+inline constexpr std::size_t kChainDigestBytes = 32;
+
+/// The chain before anything was delivered.
+Bytes chain_initial();
+
+/// Extend the running chain digest by one delivered (origin, payload).
+Bytes chain_extend(BytesView chain, int origin, BytesView payload);
+
+struct CheckpointCert {
+  std::uint32_t round = 0;            ///< atomic-broadcast round certified
+  std::uint64_t delivered_count = 0;  ///< deliveries in the certified prefix
+  Bytes chain_digest;                 ///< running chain over that prefix
+  BigInt signature;                   ///< combined threshold signature
+
+  /// The statement the signature shares sign, domain-separated by the
+  /// owning instance's tag so certificates never transfer across groups.
+  [[nodiscard]] Bytes statement(std::string_view instance_tag) const;
+
+  /// Verify the combined signature against the service certificate key.
+  [[nodiscard]] bool verify(const ThresholdSigPublicKey& pk,
+                            std::string_view instance_tag) const;
+
+  void encode(Writer& w) const;
+  static CheckpointCert decode(Reader& r);
+};
+
+}  // namespace sintra::crypto

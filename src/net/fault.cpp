@@ -8,6 +8,71 @@ bool chance(Rng& rng, std::uint32_t per_1024) {
 }
 }  // namespace
 
+PartitionProfile PartitionProfile::split_heal(int n, std::uint64_t seed, std::uint64_t period,
+                                             int splits) {
+  PartitionProfile profile;
+  Rng rng(seed);
+  for (int s = 0; s < splits; ++s) {
+    Phase split;
+    split.steps = period;
+    split.group_of.resize(static_cast<std::size_t>(n));
+    // Random two-group split, re-drawn until both sides are non-empty so
+    // every split phase actually severs something.
+    bool mixed = false;
+    while (!mixed) {
+      bool saw[2] = {false, false};
+      for (int node = 0; node < n; ++node) {
+        const int group = static_cast<int>(rng.below(2));
+        split.group_of[static_cast<std::size_t>(node)] = group;
+        saw[group] = true;
+      }
+      mixed = saw[0] && saw[1];
+    }
+    profile.phases.push_back(std::move(split));
+    Phase heal;
+    heal.steps = period;  // group_of empty = fully healed
+    profile.phases.push_back(std::move(heal));
+  }
+  return profile;
+}
+
+std::uint64_t PartitionProfile::schedule_steps() const {
+  std::uint64_t total = 0;
+  for (const Phase& phase : phases) total += phase.steps;
+  return total;
+}
+
+bool PartitionProfile::severed(int a, int b, std::uint64_t step) const {
+  std::uint64_t begin = 0;
+  for (const Phase& phase : phases) {
+    if (step < begin + phase.steps) {
+      if (phase.group_of.empty()) return false;
+      if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= phase.group_of.size() ||
+          static_cast<std::size_t>(b) >= phase.group_of.size()) {
+        return false;
+      }
+      return phase.group_of[static_cast<std::size_t>(a)] !=
+             phase.group_of[static_cast<std::size_t>(b)];
+    }
+    begin += phase.steps;
+  }
+  return false;  // past the schedule: healed
+}
+
+bool PartitionProfile::one_way(int from, int to) const {
+  for (const auto& [f, t] : oneway_pairs) {
+    if (f == from && t == to) return true;
+  }
+  return false;
+}
+
+bool PartitionProfile::gray(int node) const {
+  for (int g : gray_peers) {
+    if (g == node) return true;
+  }
+  return false;
+}
+
 std::optional<Message> FaultInjector::maybe_replay(std::uint64_t now) {
   (void)now;
   if (history_.empty() || !chance(rng_, policy_.replay_chance)) return std::nullopt;

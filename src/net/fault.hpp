@@ -90,6 +90,51 @@ struct FaultPolicy {
   }
 };
 
+/// Seeded partition and gray-failure schedule (issue 8), consumed by
+/// LoopbackHub (set_partition_profile) and the transport soak harness.
+///
+/// Three orthogonal fault families, all deterministic under one seed:
+///  * split/heal schedule — a sequence of phases, each assigning every
+///    node to a group; pairs in different groups are fully severed for
+///    the phase's duration, then the hub heals them (cursor-exchange
+///    reconnect, retransmission drains the backlog).  Past the end of the
+///    schedule the network is healed, so runs still quiesce.
+///  * asymmetric one-way loss — listed directed (from, to) links drop
+///    frames with `oneway_loss_chance` while the reverse direction works;
+///    the classic half-open failure heartbeat protocols flap on.
+///  * gray peers — slow-but-alive nodes whose outbound frames are
+///    deprioritized with `gray_delay_chance` whenever anything else is
+///    ready: traffic arrives, eventually, much later than everyone
+///    else's.
+struct PartitionProfile {
+  struct Phase {
+    std::uint64_t steps = 0;    ///< phase duration in hub steps
+    std::vector<int> group_of;  ///< node -> group id; empty = fully healed
+  };
+  std::vector<Phase> phases;
+
+  std::uint32_t oneway_loss_chance = 0;            ///< x in 1024, per frame
+  std::vector<std::pair<int, int>> oneway_pairs;   ///< directed lossy links
+
+  std::uint32_t gray_delay_chance = 0;  ///< x in 1024, per scheduling pick
+  std::vector<int> gray_peers;
+
+  /// Alternating split/heal schedule: `splits` random two-group splits of
+  /// `period` steps each, a healed period between them, ending healed.
+  static PartitionProfile split_heal(int n, std::uint64_t seed, std::uint64_t period,
+                                     int splits);
+
+  [[nodiscard]] bool active() const {
+    return !phases.empty() || oneway_loss_chance > 0 || gray_delay_chance > 0;
+  }
+  /// Total scheduled steps; past this everything is healed.
+  [[nodiscard]] std::uint64_t schedule_steps() const;
+  /// Are a and b in different groups at `step`?
+  [[nodiscard]] bool severed(int a, int b, std::uint64_t step) const;
+  [[nodiscard]] bool one_way(int from, int to) const;
+  [[nodiscard]] bool gray(int node) const;
+};
+
 /// Seeded fault source consulted by Simulator::step().  Attach with
 /// Simulator::set_fault_injector(); must outlive the simulator's run.
 class FaultInjector {

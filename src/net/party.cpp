@@ -303,6 +303,16 @@ void Party::restore(BytesView persisted) {
   // whatever executor count produced the WAL being replayed.
   const bool was_enabled = wal_enabled_;
   wal_enabled_ = false;
+  // Reinstate the log BEFORE replaying it (dispatch appends nothing while
+  // wal_enabled_ is off, so nothing doubles up).  Replayed handlers call
+  // retire_tag/prune_wal exactly like their live incarnations did; with
+  // the log installed first those compactions land on the real log instead
+  // of being thrown away when the log was installed afterwards — which
+  // used to resurrect retired instances' entries on the next snapshot.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    wal_ = replay;
+  }
   for (const auto& [prefix, blob] : blobs) {
     CheckpointLoad load;
     {
@@ -321,8 +331,6 @@ void Party::restore(BytesView persisted) {
     drain_local();
   }
   wal_enabled_ = was_enabled;
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  wal_ = std::move(replay);
 }
 
 void Party::dispatch(const Message& message) {

@@ -1,0 +1,319 @@
+#include "net/state_transfer.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::net {
+
+StateTransfer::StateTransfer(Party& host, std::string tag, std::string source_tag,
+                             CertFn latest_certificate, StateFn state_bytes, InstallFn install,
+                             Options options)
+    : host_(host),
+      tag_(std::move(tag)),
+      source_tag_(std::move(source_tag)),
+      latest_certificate_(std::move(latest_certificate)),
+      state_bytes_(std::move(state_bytes)),
+      install_(std::move(install)),
+      options_(options) {
+  host_.register_handler(tag_, [this](int from, Reader& reader) { handle(from, reader); });
+}
+
+StateTransfer::~StateTransfer() {
+  if (timer_) host_.cancel_timer(*timer_);
+  release_fetch_charges();
+  host_.unregister_handler(tag_);
+}
+
+Bytes StateTransfer::chunk_digest(std::uint32_t round, std::uint32_t index, BytesView data) {
+  Writer w;
+  w.u32(round);
+  w.u32(index);
+  w.bytes(data);
+  auto digest = crypto::hash_domain("sintra/statexfer/chunk", w.data());
+  return Bytes(digest.begin(), digest.end());
+}
+
+void StateTransfer::handle(int from, Reader& reader) {
+  const std::uint8_t type = reader.u8();
+  switch (type) {
+    case kQueryCert:
+      reader.expect_done();
+      serve_query(from);
+      return;
+    case kCertReply:
+      on_cert_reply(from, reader);
+      return;
+    case kFetchChunk:
+      serve_chunk(from, reader);
+      return;
+    case kChunkReply:
+      on_chunk_reply(from, reader);
+      return;
+    default:
+      SINTRA_REQUIRE(false, "statexfer: unknown message type");
+  }
+}
+
+const Bytes* StateTransfer::serving_state(std::uint32_t round) {
+  auto cert = latest_certificate_ ? latest_certificate_() : std::nullopt;
+  if (!cert || cert->round != round) return nullptr;
+  if (serve_cache_ && serve_cache_->first == round) return &serve_cache_->second;
+  Bytes state = state_bytes_ ? state_bytes_(*cert) : Bytes{};
+  if (state.empty()) return nullptr;
+  serve_cache_.emplace(round, std::move(state));
+  return &serve_cache_->second;
+}
+
+void StateTransfer::serve_query(int from) {
+  ++stats_.queries_served;
+  Writer w;
+  w.u8(kCertReply);
+  auto cert = latest_certificate_ ? latest_certificate_() : std::nullopt;
+  const Bytes* state = cert ? serving_state(cert->round) : nullptr;
+  if (!cert || state == nullptr) {
+    w.boolean(false);
+    host_.send(from, tag_, w.take());
+    return;
+  }
+  crypto::CheckpointCert offer = *cert;
+  if (options_.forge_certificate) offer.chain_digest[0] ^= 0x5a;  // Byzantine test knob
+  const std::size_t cb = options_.chunk_bytes;
+  const std::uint32_t count =
+      static_cast<std::uint32_t>(state->empty() ? 1 : (state->size() + cb - 1) / cb);
+  w.boolean(true);
+  offer.encode(w);
+  w.u64(state->size());
+  w.u32(count);
+  // The manifest is the per-chunk digest list, computed over the honest
+  // snapshot (the tamper knob applies at chunk-serve time, like a real
+  // attacker corrupting data in flight — the fetcher's manifest check
+  // catches exactly that).
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t begin = static_cast<std::size_t>(i) * cb;
+    const std::size_t len = std::min(cb, state->size() - begin);
+    w.bytes(chunk_digest(offer.round, i, BytesView(state->data() + begin, len)));
+  }
+  host_.send(from, tag_, w.take());
+}
+
+void StateTransfer::serve_chunk(int from, Reader& reader) {
+  const std::uint32_t round = reader.u32();
+  const std::uint32_t index = reader.u32();
+  reader.expect_done();
+  Writer w;
+  w.u8(kChunkReply);
+  w.u32(round);
+  w.u32(index);
+  const Bytes* state = serving_state(round);
+  const std::size_t cb = options_.chunk_bytes;
+  const std::size_t begin = static_cast<std::size_t>(index) * cb;
+  if (state == nullptr || begin >= state->size()) {
+    w.boolean(false);
+    host_.send(from, tag_, w.take());
+    return;
+  }
+  const std::size_t len = std::min(cb, state->size() - begin);
+  Bytes data(state->data() + begin, state->data() + begin + len);
+  if (options_.tamper_chunks && !data.empty()) data[0] ^= 0xff;  // Byzantine test knob
+  w.boolean(true);
+  w.bytes(data);
+  ++stats_.chunks_served;
+  host_.send(from, tag_, w.take());
+}
+
+void StateTransfer::begin_recovery(DoneFn done) {
+  if (phase_ != Phase::kIdle) return;
+  done_ = std::move(done);
+  rounds_attempted_ = 0;
+  bad_peers_ = 0;
+  start_query_round();
+}
+
+void StateTransfer::start_query_round() {
+  if (rounds_attempted_ >= options_.max_rounds) {
+    finish(false);
+    return;
+  }
+  ++rounds_attempted_;
+  phase_ = Phase::kQuery;
+  replied_ = 0;
+  best_.reset();
+  Writer w;
+  w.u8(kQueryCert);
+  const Bytes query = w.take();
+  for (int p = 0; p < host_.n(); ++p) {
+    if (p == host_.id() || crypto::contains(bad_peers_, p)) continue;
+    host_.send(p, tag_, query);
+  }
+  if (timer_) host_.cancel_timer(*timer_);
+  timer_ = host_.schedule_timer(options_.query_window, [this] {
+    timer_.reset();
+    close_query_window();
+  });
+}
+
+void StateTransfer::on_cert_reply(int from, Reader& reader) {
+  if (phase_ != Phase::kQuery) return;  // unsolicited or stale (WAL replay)
+  if (crypto::contains(replied_, from) || crypto::contains(bad_peers_, from)) return;
+  replied_ |= crypto::party_bit(from);
+  ++stats_.offers_received;
+  if (reader.boolean()) {
+    auto cert = crypto::CheckpointCert::decode(reader);
+    const std::uint64_t total = reader.u64();
+    const std::uint32_t count = reader.u32();
+    SINTRA_REQUIRE(count >= 1 && count <= (1u << 20), "statexfer: implausible chunk count");
+    std::vector<Bytes> manifest;
+    manifest.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) manifest.push_back(reader.bytes());
+    reader.expect_done();
+    bool shape_ok = manifest.size() == count && total <= (std::uint64_t{1} << 32);
+    for (const Bytes& d : manifest) shape_ok = shape_ok && d.size() == crypto::kChainDigestBytes;
+    if (!shape_ok || !cert.verify(host_.public_keys().cert_sig, source_tag_)) {
+      // A forged certificate (or garbage manifest) is provable misbehavior:
+      // blacklist and never ask this peer again.
+      ++stats_.bad_certificates;
+      bad_peers_ |= crypto::party_bit(from);
+      host_.trace("statexfer", tag_ + " rejected offer from " + std::to_string(from));
+    } else if (!best_ || cert.round > best_->cert.round) {
+      best_.emplace();
+      best_->peer = from;
+      best_->cert = std::move(cert);
+      best_->manifest = std::move(manifest);
+      best_->total_size = total;
+    }
+  }
+  // Close the window early once every reachable peer answered.
+  int eligible = 0;
+  for (int p = 0; p < host_.n(); ++p) {
+    if (p != host_.id() && !crypto::contains(bad_peers_, p)) ++eligible;
+  }
+  if (crypto::popcount(replied_) >= eligible) {
+    if (timer_) host_.cancel_timer(*timer_);
+    timer_.reset();
+    close_query_window();
+  }
+}
+
+void StateTransfer::close_query_window() {
+  if (phase_ != Phase::kQuery) return;
+  if (!best_) {
+    // Nobody had a certified checkpoint (yet): peers may still be
+    // combining shares, or a partition hid them — re-query after a window.
+    start_query_round();
+    return;
+  }
+  phase_ = Phase::kFetch;
+  next_chunk_ = 0;
+  chunks_.clear();
+  chunk_retries_left_ = options_.max_chunk_retries;
+  request_chunk();
+}
+
+void StateTransfer::request_chunk() {
+  if (next_chunk_ >= best_->manifest.size()) {
+    // All chunks verified against the manifest: assemble and hand over to
+    // the installer, which re-verifies the certificate and re-hashes the
+    // whole snapshot against the certified chain digest.
+    Bytes state;
+    state.reserve(best_->total_size);
+    for (const Bytes& chunk : chunks_) state.insert(state.end(), chunk.begin(), chunk.end());
+    if (state.size() != best_->total_size || !install_(best_->cert, state)) {
+      abandon_peer("snapshot rejected at install");
+      return;
+    }
+    ++stats_.installs;
+    finish(true);
+    return;
+  }
+  Writer w;
+  w.u8(kFetchChunk);
+  w.u32(best_->cert.round);
+  w.u32(next_chunk_);
+  host_.send(best_->peer, tag_, w.take());
+  if (timer_) host_.cancel_timer(*timer_);
+  timer_ = host_.schedule_timer(options_.retry_timeout, [this] {
+    timer_.reset();
+    if (phase_ != Phase::kFetch) return;
+    ++stats_.chunk_retries;
+    if (--chunk_retries_left_ < 0) {
+      abandon_peer("chunk timeout");
+      return;
+    }
+    request_chunk();  // resumable: re-request the same index
+  });
+}
+
+void StateTransfer::on_chunk_reply(int from, Reader& reader) {
+  if (phase_ != Phase::kFetch || !best_ || from != best_->peer) return;
+  const std::uint32_t round = reader.u32();
+  const std::uint32_t index = reader.u32();
+  if (round != best_->cert.round || index != next_chunk_) return;  // stale retransmit
+  if (!reader.boolean()) {
+    reader.expect_done();
+    abandon_peer("peer cannot serve round");
+    return;
+  }
+  Bytes data = reader.bytes();
+  reader.expect_done();
+  if (chunk_digest(round, index, data) != best_->manifest[index]) {
+    ++stats_.bad_chunks;
+    abandon_peer("tampered chunk");
+    return;
+  }
+  // Budget-meter the buffered snapshot: a recovery cannot be used to blow
+  // the memory cap.  If the cap is momentarily full, drop the chunk and
+  // let the retry timer re-request it.
+  const std::size_t cost = data.size() + 32;
+  if (!host_.budget().try_charge(from, tag_, cost)) {
+    host_.trace("statexfer", tag_ + " chunk deferred by budget");
+    return;
+  }
+  charges_.emplace_back(from, cost);
+  if (timer_) host_.cancel_timer(*timer_);
+  timer_.reset();
+  chunks_.push_back(std::move(data));
+  ++next_chunk_;
+  ++stats_.chunks_fetched;
+  chunk_retries_left_ = options_.max_chunk_retries;
+  request_chunk();
+}
+
+void StateTransfer::abandon_peer(const char* why) {
+  ++stats_.failovers;
+  if (best_) {
+    bad_peers_ |= crypto::party_bit(best_->peer);
+    host_.trace("statexfer", tag_ + " abandoning peer " + std::to_string(best_->peer) + ": " +
+                                 why);
+  }
+  release_fetch_charges();
+  chunks_.clear();
+  best_.reset();
+  if (timer_) host_.cancel_timer(*timer_);
+  timer_.reset();
+  phase_ = Phase::kQuery;  // re-enter discovery against the remaining peers
+  start_query_round();
+}
+
+void StateTransfer::release_fetch_charges() {
+  for (const auto& [peer, bytes] : charges_) host_.budget().release(peer, tag_, bytes);
+  charges_.clear();
+}
+
+void StateTransfer::finish(bool ok) {
+  if (timer_) host_.cancel_timer(*timer_);
+  timer_.reset();
+  release_fetch_charges();
+  chunks_.clear();
+  best_.reset();
+  phase_ = Phase::kIdle;
+  // Compact the recovery traffic out of our WAL: the recovered protocol's
+  // own checkpoint captures the install's effects, and a replayed install
+  // is rejected as stale — these entries would only bloat the log.
+  if (ok && host_.wal_enabled()) {
+    host_.prune_wal(tag_, [](const Message&) { return true; });
+  }
+  auto done = std::move(done_);
+  done_ = nullptr;
+  if (done) done(ok);
+}
+
+}  // namespace sintra::net

@@ -1,0 +1,155 @@
+// Peer-to-peer certified state transfer (issue 8).
+//
+// A blank or lagging replica cannot rely on its own WAL — the disk may be
+// gone, or peers may have compacted past the suffix it needs.  Instead it
+// asks every peer for the highest *certified checkpoint* (a threshold
+// signature over the delivered-prefix chain, crypto/checkpoint.hpp), picks
+// the best verifiable offer, fetches the state snapshot in budget-metered
+// resumable chunks, checks each chunk against the offer's digest manifest,
+// and installs the assembled snapshot through the host protocol's install
+// hook — which independently re-verifies the certificate and re-hashes the
+// whole snapshot, so a Byzantine peer can waste a fetch but never poison
+// state.  Detected misbehavior (forged certificate, tampered chunk,
+// snapshot that fails installation) blacklists the peer and the protocol
+// fails over to the next honest offer.
+//
+// This lives in net/ (below protocols/): the protocol being recovered is
+// reached only through std::function hooks, so atomic broadcast, the
+// causal layer, or any future subsystem can plug in without a dependency
+// cycle.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/checkpoint.hpp"
+#include "net/party.hpp"
+
+namespace sintra::net {
+
+/// Tuning + Byzantine-test knobs for StateTransfer.  (Namespace-scope so it
+/// can be a defaulted constructor argument: GCC parses a nested class's
+/// default member initializers too late for that.)
+struct StateTransferOptions {
+  /// Snapshot chunk size served to fetching peers.
+  std::size_t chunk_bytes = 16 * 1024;
+  /// How long to collect certificate offers before picking one (network
+  /// time units: simulator steps or milliseconds).
+  std::uint64_t query_window = 60;
+  /// Per-chunk reply timeout before the request is re-sent.
+  std::uint64_t retry_timeout = 120;
+  /// Re-sends of one chunk before the serving peer is declared dead.
+  int max_chunk_retries = 4;
+  /// Full query→fetch→install attempts before giving up.
+  int max_rounds = 8;
+  /// Byzantine test knobs: serve flipped chunk bytes / a certificate
+  /// whose chain digest was altered after signing.
+  bool tamper_chunks = false;
+  bool forge_certificate = false;
+};
+
+class StateTransfer {
+ public:
+  using Options = StateTransferOptions;
+
+  struct Stats {
+    std::uint64_t queries_served = 0;
+    std::uint64_t chunks_served = 0;
+    std::uint64_t offers_received = 0;
+    std::uint64_t bad_certificates = 0;  ///< offers whose certificate failed
+    std::uint64_t chunks_fetched = 0;
+    std::uint64_t chunk_retries = 0;
+    std::uint64_t bad_chunks = 0;        ///< chunks failing the manifest digest
+    std::uint64_t failovers = 0;         ///< peers abandoned for misbehavior
+    std::uint64_t installs = 0;
+  };
+
+  /// Highest combined certificate this party can vouch for (server side).
+  using CertFn = std::function<std::optional<crypto::CheckpointCert>()>;
+  /// Serialized snapshot matching a certificate; empty = cannot serve.
+  using StateFn = std::function<Bytes(const crypto::CheckpointCert&)>;
+  /// Verify + install a fetched snapshot; false = reject (Byzantine data).
+  using InstallFn = std::function<bool(const crypto::CheckpointCert&, BytesView state)>;
+  using DoneFn = std::function<void(bool ok)>;
+
+  /// `tag` routes this instance's own messages; `source_tag` is the tag of
+  /// the protocol instance whose checkpoints are being transferred (the
+  /// certificate statement is domain-separated by it).
+  StateTransfer(Party& host, std::string tag, std::string source_tag, CertFn latest_certificate,
+                StateFn state_bytes, InstallFn install, Options options = {});
+  ~StateTransfer();
+
+  StateTransfer(const StateTransfer&) = delete;
+  StateTransfer& operator=(const StateTransfer&) = delete;
+
+  /// Start a recovery: discover the best certified checkpoint among peers,
+  /// fetch + verify + install it, then invoke `done`.  No-op if a recovery
+  /// is already running.
+  void begin_recovery(DoneFn done);
+
+  [[nodiscard]] bool in_progress() const { return phase_ != Phase::kIdle; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  enum MsgType : std::uint8_t {
+    kQueryCert = 0,   ///< give me your best certified checkpoint
+    kCertReply = 1,   ///< offer: certificate + chunk manifest
+    kFetchChunk = 2,  ///< send chunk `index` of round `round`
+    kChunkReply = 3,  ///< one snapshot chunk (or a cannot-serve notice)
+  };
+
+  enum class Phase { kIdle, kQuery, kFetch };
+
+  struct Offer {
+    int peer = -1;
+    crypto::CheckpointCert cert;
+    std::vector<Bytes> manifest;  ///< per-chunk digests
+    std::uint64_t total_size = 0;
+  };
+
+  void handle(int from, Reader& reader);
+  void serve_query(int from);
+  void serve_chunk(int from, Reader& reader);
+  void on_cert_reply(int from, Reader& reader);
+  void on_chunk_reply(int from, Reader& reader);
+  void start_query_round();
+  void close_query_window();
+  void request_chunk();
+  void abandon_peer(const char* why);
+  void finish(bool ok);
+  void release_fetch_charges();
+  [[nodiscard]] const Bytes* serving_state(std::uint32_t round);
+  [[nodiscard]] static Bytes chunk_digest(std::uint32_t round, std::uint32_t index,
+                                          BytesView data);
+
+  Party& host_;
+  const std::string tag_;
+  const std::string source_tag_;
+  CertFn latest_certificate_;
+  StateFn state_bytes_;
+  InstallFn install_;
+  Options options_;
+  Stats stats_;
+
+  // Server side: the snapshot matching our current certificate, rebuilt
+  // lazily and cached per certified round so a peer's chunk loop does not
+  // re-serialize the log for every chunk.
+  std::optional<std::pair<std::uint32_t, Bytes>> serve_cache_;
+
+  // Client side.
+  Phase phase_ = Phase::kIdle;
+  DoneFn done_;
+  int rounds_attempted_ = 0;
+  crypto::PartySet replied_ = 0;    ///< peers heard from this query round
+  crypto::PartySet bad_peers_ = 0;  ///< blacklisted for provable misbehavior
+  std::optional<Offer> best_;
+  std::uint32_t next_chunk_ = 0;
+  int chunk_retries_left_ = 0;
+  std::vector<Bytes> chunks_;
+  std::vector<std::pair<int, std::size_t>> charges_;  ///< budget held for chunks
+  std::optional<Network::TimerId> timer_;
+};
+
+}  // namespace sintra::net

@@ -1,0 +1,92 @@
+// Accrual-style per-peer liveness score (issue 8), after the phi-accrual
+// failure detector (Hayashibara et al., SRDS 2004) in a deterministic,
+// integer-friendly form.
+//
+// A fixed heartbeat timeout flaps during partial partitions and gray
+// failures: a slow-but-alive peer whose frames arrive every few hundred
+// milliseconds gets torn down by a 2 s cutoff tuned for LAN latencies, the
+// redial succeeds, and the cycle repeats — each flap rewinding the
+// ReliableLink and re-transmitting the backlog.  Instead of asking "has it
+// been longer than T?", the accrual detector asks "how unusual is this
+// silence for *this* peer?": it tracks an exponentially weighted mean and
+// mean absolute deviation of the observed inter-arrival times and suspects
+// the peer only once the current silence exceeds
+//     threshold * (mean + 2 * deviation),
+// clamped to [base, max_factor * base] so a chatty peer never gets *less*
+// than the configured timeout (existing deployments keep their semantics)
+// and a dead-silent peer is still declared dead within a bounded window.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace sintra::net::transport {
+
+class AccrualHealth {
+ public:
+  struct Config {
+    double threshold = 3.0;   ///< multiples of the typical arrival gap
+    double max_factor = 4.0;  ///< adaptive timeout cap, in base timeouts
+    /// EWMA weight denominator: new samples count 1/smoothing.
+    double smoothing = 8.0;
+    /// Arrivals needed before the estimate is trusted at all.
+    std::size_t min_samples = 4;
+  };
+
+  AccrualHealth() = default;
+  explicit AccrualHealth(Config config) : config_(config) {}
+
+  /// Forget everything (fresh connection: old cadence is meaningless).
+  void reset(std::uint64_t now_ms) {
+    last_arrival_ms_ = now_ms;
+    mean_ms_ = 0.0;
+    deviation_ms_ = 0.0;
+    samples_ = 0;
+  }
+
+  /// Note one frame arrival from the peer.
+  void record_arrival(std::uint64_t now_ms) {
+    const std::uint64_t gap = now_ms >= last_arrival_ms_ ? now_ms - last_arrival_ms_ : 0;
+    last_arrival_ms_ = now_ms;
+    if (samples_ == 0) {
+      mean_ms_ = static_cast<double>(gap);
+      deviation_ms_ = 0.0;
+    } else {
+      const double err = static_cast<double>(gap) - mean_ms_;
+      mean_ms_ += err / config_.smoothing;
+      deviation_ms_ += (std::abs(err) - deviation_ms_) / config_.smoothing;
+    }
+    ++samples_;
+  }
+
+  /// The silence (ms) after which this peer should be suspected, given the
+  /// configured base timeout.  Never below base, never above
+  /// max_factor * base; with too few samples it is exactly base.
+  [[nodiscard]] std::uint64_t suspect_timeout_ms(std::uint64_t base_ms) const {
+    if (samples_ < config_.min_samples) return base_ms;
+    const double adaptive = config_.threshold * (mean_ms_ + 2.0 * deviation_ms_);
+    const double ceiling = config_.max_factor * static_cast<double>(base_ms);
+    const double clamped = std::clamp(adaptive, static_cast<double>(base_ms), ceiling);
+    return static_cast<std::uint64_t>(clamped);
+  }
+
+  /// Should the peer be suspected after `silence_ms` of no traffic?
+  [[nodiscard]] bool suspect(std::uint64_t silence_ms, std::uint64_t base_ms) const {
+    return silence_ms > suspect_timeout_ms(base_ms);
+  }
+
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+  [[nodiscard]] double mean_interval_ms() const { return mean_ms_; }
+  [[nodiscard]] double deviation_ms() const { return deviation_ms_; }
+
+ private:
+  Config config_;
+  std::uint64_t last_arrival_ms_ = 0;
+  double mean_ms_ = 0.0;
+  double deviation_ms_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace sintra::net::transport

@@ -65,6 +65,12 @@ void LoopbackHub::set_receiver(int node, ReceiveFn receive) {
 
 bool LoopbackHub::pair_connected(int a, int b) const { return pairs_[pair_index(a, b)].connected; }
 
+void LoopbackHub::set_partition_profile(PartitionProfile profile) {
+  partition_ = std::move(profile);
+  partition_step_ = 0;
+  partition_severed_.assign(pairs_.size(), false);
+}
+
 void LoopbackHub::send(int from, int to, Bytes payload) {
   link_mut(from, to).enqueue(std::move(payload));
   flush(from, to);
@@ -162,6 +168,15 @@ void LoopbackHub::deliver_wire_front(int from, int to) {
   const std::size_t wi = wire_index(from, to);
   Bytes frame_bytes = std::move(wires_[wi].front());
   wires_[wi].pop_front();
+
+  // Asymmetric one-way loss: frames on a listed directed link vanish while
+  // the reverse direction works — the half-open failure mode heartbeat
+  // protocols flap on.  Retransmission eventually gets a frame through.
+  if (partition_ && partition_->oneway_loss_chance > 0 && partition_->one_way(from, to) &&
+      rng_.below(1024) < partition_->oneway_loss_chance) {
+    ++stats_.oneway_dropped;
+    return;
+  }
 
   // In-flight faults, FaultInjector-style.
   if (profile_.drop_chance > 0 && rng_.below(1024) < profile_.drop_chance) {
@@ -267,10 +282,44 @@ void LoopbackHub::deliver_wire_front(int from, int to) {
 }
 
 bool LoopbackHub::step() {
-  // Progress pending auto-reconnects first: a fully severed network must
-  // still heal without any wire traffic, so a ticking countdown counts as
-  // progress even before it reaches zero.
   bool progressed = false;
+
+  // Advance the partition schedule one tick: sever pairs entering a split
+  // phase, heal pairs leaving one.  A live schedule counts as progress —
+  // it guarantees future healing, so run_until_quiescent() must not
+  // declare quiescence while a split still blocks the backlog.
+  if (partition_) {
+    const std::uint64_t now = partition_step_;
+    if (now < partition_->schedule_steps()) {
+      progressed = true;
+      ++partition_step_;
+    }
+    for (int a = 0; a < n_; ++a) {
+      for (int b = a + 1; b < n_; ++b) {
+        const std::size_t pi = pair_index(a, b);
+        const bool sever = partition_->severed(a, b, now);
+        if (sever && !partition_severed_[pi]) {
+          partition_severed_[pi] = true;
+          if (pairs_[pi].connected) {
+            tear_down(a, b, 0);
+            ++stats_.partition_splits;
+          }
+          pairs_[pi].reconnect_in = 0;  // held down until the schedule heals
+        } else if (!sever && partition_severed_[pi]) {
+          partition_severed_[pi] = false;
+          if (!pairs_[pi].connected) {
+            connect(a, b);
+            ++stats_.partition_heals;
+          }
+        }
+      }
+    }
+  }
+
+  // Progress pending auto-reconnects: a fully severed network must still
+  // heal without any wire traffic, so a ticking countdown counts as
+  // progress even before it reaches zero.  Pairs held down by the
+  // partition schedule have no countdown — only the schedule heals them.
   for (int a = 0; a < n_; ++a) {
     for (int b = a + 1; b < n_; ++b) {
       PairState& pair = pairs_[pair_index(a, b)];
@@ -288,6 +337,20 @@ bool LoopbackHub::step() {
           pairs_[pair_index(from, to)].connected) {
         ready.push_back(wire_index(from, to));
       }
+    }
+  }
+  // Gray-failure injection: with the configured chance, a scheduling pick
+  // skips every wire sourced at a gray peer as long as anyone else has
+  // traffic — the gray peer's frames are not lost, just always last.
+  if (partition_ && partition_->gray_delay_chance > 0 && !ready.empty() &&
+      rng_.below(1024) < partition_->gray_delay_chance) {
+    std::vector<std::size_t> non_gray;
+    for (const std::size_t wi : ready) {
+      if (!partition_->gray(static_cast<int>(wi) / n_)) non_gray.push_back(wi);
+    }
+    if (!non_gray.empty() && non_gray.size() < ready.size()) {
+      ready = std::move(non_gray);
+      ++stats_.gray_deferred;
     }
   }
   if (ready.empty()) return progressed;

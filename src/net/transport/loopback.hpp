@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/fault.hpp"
 #include "net/transport/framing.hpp"
 #include "net/transport/link.hpp"
 
@@ -64,6 +66,11 @@ class LoopbackHub {
     std::uint64_t replayed_frames = 0;
     std::uint64_t disconnects = 0;
     std::uint64_t auth_failures = 0;  ///< corrupt streams (tears the pair down)
+    // Partition-profile counters (set_partition_profile).
+    std::uint64_t partition_splits = 0;  ///< pairs severed by the schedule
+    std::uint64_t partition_heals = 0;   ///< pairs healed by the schedule
+    std::uint64_t oneway_dropped = 0;    ///< frames lost to one-way link loss
+    std::uint64_t gray_deferred = 0;     ///< scheduling picks that skipped gray peers
     // Coalescing proof counters: every flush of k payloads produces
     // ceil(k-payload-bytes / kMaxBatchBytes) BATCH super-frames — for
     // ordinary traffic, one frame and one HMAC however many payloads.
@@ -85,6 +92,15 @@ class LoopbackHub {
   LoopbackHub(int n, std::uint64_t seed, FaultProfile profile, LinkConfig link = {});
 
   void set_receiver(int node, ReceiveFn receive);
+
+  /// Drive a seeded partition / gray-failure schedule (net/fault.hpp):
+  /// each step() advances the schedule one tick, severing and healing
+  /// pairs, dropping frames on the one-way-lossy links and deprioritizing
+  /// gray peers' outbound wires.  While the schedule has ticks left the
+  /// hub reports progress, so run_until_quiescent() outlives the
+  /// partition and drains the retransmit backlog after the final heal.
+  void set_partition_profile(PartitionProfile profile);
+  [[nodiscard]] std::uint64_t partition_step() const { return partition_step_; }
 
   /// Reliable-send a payload from `from` to `to` (like TcpTransport::send).
   void send(int from, int to, Bytes payload);
@@ -150,6 +166,9 @@ class LoopbackHub {
   std::deque<std::size_t> history_wire_;     ///< wire each captured frame rode on
   std::uint64_t replays_injected_ = 0;
   int disconnects_injected_ = 0;
+  std::optional<PartitionProfile> partition_;
+  std::uint64_t partition_step_ = 0;         ///< schedule clock (ticks per step())
+  std::vector<bool> partition_severed_;      ///< [pair_index] held down by schedule
 };
 
 }  // namespace sintra::net::transport

@@ -66,8 +66,10 @@ struct TcpTransport::Conn {
 };
 
 struct TcpTransport::Peer {
-  explicit Peer(const LinkConfig& config) : link(config) {}
+  Peer(const LinkConfig& config, const AccrualHealth::Config& health_config)
+      : link(config), health(health_config) {}
   ReliableLink link;
+  AccrualHealth health;  ///< arrival-cadence estimate; reset per connection
   std::shared_ptr<Conn> conn;
   int backoff_attempt = 0;
   bool flush_posted = false;  ///< a deferred flush_link task is queued
@@ -87,7 +89,8 @@ TcpTransport::TcpTransport(Config config, ReceiveFn receive)
   peers_.resize(static_cast<std::size_t>(n));
   for (int id = 0; id < n; ++id) {
     if (id != config_.node_id) {
-      peers_[static_cast<std::size_t>(id)] = std::make_unique<Peer>(config_.link);
+      peers_[static_cast<std::size_t>(id)] =
+          std::make_unique<Peer>(config_.link, config_.health);
     }
   }
 }
@@ -378,6 +381,7 @@ void TcpTransport::adopt_connection(int peer, std::shared_ptr<Conn> conn,
   conn->session_key = derive_session_key(link_key(peer), low, high);
   conn->established = true;
   conn->last_recv_ms = loop_.now_ms();
+  p.health.reset(conn->last_recv_ms);  // old cadence died with the old socket
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.connects;
@@ -446,6 +450,7 @@ void TcpTransport::on_conn_event(int peer, std::uint32_t events) {
     const ssize_t got = ::read(conn->fd, buf, sizeof(buf));
     if (got > 0) {
       conn->last_recv_ms = loop_.now_ms();
+      p.health.record_arrival(conn->last_recv_ms);
       conn->decoder.feed(BytesView(buf, static_cast<std::size_t>(got)));
       while (p.conn == conn) {
         const BytesView key = conn->established ? BytesView(conn->session_key)
@@ -751,11 +756,21 @@ void TcpTransport::heartbeat_sweep() {
   for (int peer = 0; peer < static_cast<int>(peers_.size()); ++peer) {
     Peer* p = peers_[static_cast<std::size_t>(peer)].get();
     if (p == nullptr || p->conn == nullptr) continue;
-    if (now - p->conn->last_recv_ms > config_.heartbeat_timeout_ms) {
+    const std::uint64_t silence = now - p->conn->last_recv_ms;
+    // Accrual health: the deadline adapts to this peer's observed arrival
+    // cadence — a gray (slow but alive) peer earns a longer leash instead
+    // of flapping, a dead one is still cut within max_factor * base.
+    const std::uint64_t deadline = p->health.suspect_timeout_ms(config_.heartbeat_timeout_ms);
+    if (silence > deadline) {
       // Dead link (stalled handshake or silent peer): tear down; the
       // dialing side backs off and redials.
       drop_connection(peer, /*redial=*/true);
       continue;
+    }
+    if (silence > config_.heartbeat_timeout_ms) {
+      // Survived only thanks to the adaptive extension.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.health_extensions;
     }
     if (p->conn->established) {
       send_frame(peer, FrameType::kPing, {});

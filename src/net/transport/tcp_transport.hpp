@@ -36,6 +36,7 @@
 #include "common/rng.hpp"
 #include "net/transport/event_loop.hpp"
 #include "net/transport/framing.hpp"
+#include "net/transport/health.hpp"
 #include "net/transport/link.hpp"
 
 namespace sintra::net::transport {
@@ -55,6 +56,12 @@ class TcpTransport {
     LinkConfig link;
     std::uint64_t heartbeat_interval_ms = 250;
     std::uint64_t heartbeat_timeout_ms = 2000;
+    /// Accrual-style per-peer health (net/transport/health.hpp): the
+    /// effective timeout adapts to each peer's observed arrival cadence,
+    /// clamped to [heartbeat_timeout_ms, max_factor * heartbeat_timeout_ms]
+    /// — it only ever *extends* the base timeout, so gray/slow peers stop
+    /// flapping while dead peers are still torn down within the cap.
+    AccrualHealth::Config health;
     std::uint64_t reconnect_min_ms = 25;
     std::uint64_t reconnect_max_ms = 1600;
     std::uint64_t ack_flush_ms = 20;  ///< delayed-ack latency bound
@@ -75,6 +82,9 @@ class TcpTransport {
     std::uint64_t frames_coalesced = 0;   ///< payloads riding BATCH frames
     std::uint64_t hmacs_computed = 0;     ///< send-side HMACs (all frame types)
     std::uint64_t writev_calls = 0;       ///< sendmsg() syscalls issued
+    /// Sweeps where a peer outlived the base heartbeat timeout only
+    /// because its accrual health score extended the deadline.
+    std::uint64_t health_extensions = 0;
   };
 
   /// `receive(from, payload)` runs on the reactor thread.  The view is a

@@ -138,7 +138,7 @@ void Abba::on_input(int from, Reader& reader) {
   SINTRA_REQUIRE(crypto::batch::verify_sig_shares(reply_pk, stmt, shares, host_.rng()),
                  "abba: invalid input share");
   input_voted_ |= crypto::party_bit(from);
-  ++progress_;
+  bump_progress();
   input_support_[value] |= crypto::party_bit(from);
   for (const SigShare& share : shares) input_shares_[value].push_back(share);
   if (!anchor_[value].has_value() && reply_pk.scheme().qualified(input_support_[value])) {
@@ -295,7 +295,7 @@ void Abba::accept_prevote(int round, int from, bool value,
   SINTRA_REQUIRE(crypto::batch::verify_sig_shares(cert_pk, stmt, shares, host_.rng()),
                  "abba: invalid pre-vote share");
   state.prevoted |= crypto::party_bit(from);
-  ++progress_;
+  bump_progress();
   const int v = value ? 1 : 0;
   state.prevote_support[v] |= crypto::party_bit(from);
   for (const SigShare& share : shares) state.prevote_shares[v].push_back(share);
@@ -367,7 +367,7 @@ void Abba::on_mainvote(int from, Reader& reader) {
   SINTRA_REQUIRE(crypto::batch::verify_sig_shares(cert_pk, stmt, shares, host_.rng()),
                  "abba: invalid main-vote share");
   state.mainvoted |= crypto::party_bit(from);
-  ++progress_;
+  bump_progress();
   state.mainvote_support[vote] |= crypto::party_bit(from);
   for (const SigShare& share : shares) state.mainvote_shares[vote].push_back(share);
 
@@ -450,7 +450,7 @@ void Abba::on_coin_share(int from, Reader& reader) {
                    "abba: coin share unit not owned by sender");
   }
   state.coin_support |= crypto::party_bit(from);
-  ++progress_;
+  bump_progress();
   for (const CoinShare& share : shares) state.coin_shares.push_back(share);
   maybe_combine_coin(round);
 }
@@ -557,7 +557,7 @@ void Abba::advance(int round, bool value, Justification justification, const Big
   if (decided_) return;
   if (round > current_round_) {
     current_round_ = round;
-    ++progress_;
+    bump_progress();
     host_.trace("abba", tag_ + " advancing to round " + std::to_string(round));
   }
   send_prevote(round, value, justification, evidence);

@@ -196,6 +196,12 @@ class Abba final : public ProtocolInstance {
   crypto::PartySet helped_ = 0;     ///< peers already re-sent the decide cert
   crypto::PartySet suspected_ = 0;  ///< proven bad-share senders
   std::uint64_t progress_ = 0;   ///< counted protocol events (watchdog token)
+  /// Count one protocol event and snap the watchdog's grown timeout back
+  /// to base (no-op unless an earlier stall inflated it).
+  void bump_progress() {
+    ++progress_;
+    if (watchdog_) watchdog_->note_progress();
+  }
   std::unique_ptr<StallWatchdog> watchdog_;
 };
 

@@ -63,6 +63,11 @@ Bytes AtomicBroadcast::checkpoint_save() const {
   }
   w.u32(static_cast<std::uint32_t>(queue_.size()));
   for (const Bytes& payload : queue_) w.bytes(payload);
+  // The newest combined checkpoint certificate rides the snapshot: this is
+  // what lets gc_completed_rounds prune the kCkptShare WAL records that
+  // produced it without ever losing the most recent checkpoint.
+  w.boolean(latest_cert_.has_value());
+  if (latest_cert_) latest_cert_->encode(w);
   return w.take();
 }
 
@@ -74,6 +79,7 @@ void AtomicBroadcast::checkpoint_load(Reader& reader) {
     Bytes payload = reader.bytes();
     note_delivered(payload_digest(payload));
     ++delivered_count_;
+    chain_digest_ = crypto::chain_extend(chain_digest_, origin, payload);
     delivered_log_.emplace_back(origin, payload);
     // Re-fire into the rebuilt parent/application — the WAL entries that
     // produced these deliveries were compacted away.
@@ -81,6 +87,7 @@ void AtomicBroadcast::checkpoint_load(Reader& reader) {
   }
   const std::uint32_t queue_count = reader.u32();
   for (std::uint32_t i = 0; i < queue_count; ++i) queue_.push_back(reader.bytes());
+  if (reader.boolean()) latest_cert_ = crypto::CheckpointCert::decode(reader);
   // Re-enter the next round (the pre-crash incarnation had broadcast its
   // batch for it; receivers dedup the fresh copy via batch_from).
   maybe_start_round(last_finished_ + 1);
@@ -123,6 +130,10 @@ void AtomicBroadcast::handle(int from, Reader& reader) {
   // handler is on the stack.
   retired_vbas_.clear();
   const std::uint8_t type = reader.u8();
+  if (type == kCkptShare) {
+    handle_ckpt_share(from, reader);
+    return;
+  }
   if (type == kSubmit) {
     // A local submission looping back through the inbox (and the WAL).
     SINTRA_REQUIRE(from == me(), "abc: submission from another party");
@@ -305,6 +316,7 @@ void AtomicBroadcast::on_round_decided(int round, const Bytes& batch_set) {
       if (delivered_.contains(digest)) continue;
       note_delivered(std::move(digest));
       ++delivered_count_;
+      chain_digest_ = crypto::chain_extend(chain_digest_, entry.party, payload);
       if (host_.wal_enabled()) delivered_log_.emplace_back(entry.party, payload);
       deliver_(entry.party, payload);
     }
@@ -321,6 +333,7 @@ void AtomicBroadcast::on_round_decided(int round, const Bytes& batch_set) {
     completed->second.batches.clear();
     completed->second.batches.shrink_to_fit();
   }
+  if (ckpt_interval_ > 0 && round % ckpt_interval_ == 0) emit_checkpoint_share(round);
   gc_completed_rounds();
   host_.trace("abc", tag_ + " finished round " + std::to_string(round));
   maybe_start_round(round + 1);
@@ -344,18 +357,232 @@ void AtomicBroadcast::gc_completed_rounds() {
   }
   // ...and compact this instance's own log: completed rounds' batches are
   // subsumed by the delivery-log checkpoint, as are all submissions (the
-  // checkpoint carries the live queue_).
+  // checkpoint carries the live queue_).  Checkpoint share records are only
+  // prunable once a combined certificate covering their round rides the
+  // snapshot — the most recent checkpoint record always survives
+  // compaction, however tight the budget (shares for rounds past the
+  // certificate still replay to rebuild the in-flight collection).
+  const int cert_round = latest_cert_ ? static_cast<int>(latest_cert_->round) : 0;
   if (gc_round >= 1 && host_.wal_enabled()) {
-    host_.prune_wal(tag_, [gc_round](const net::Message& message) {
+    host_.prune_wal(tag_, [gc_round, cert_round](const net::Message& message) {
       if (message.payload.empty()) return false;
       const std::uint8_t type = message.payload[0];
       if (type == kSubmit) return true;
-      if (type != kBatch || message.payload.size() < 5) return false;
+      if (message.payload.size() < 5) return false;
+      if (type == kCkptShare) {
+        Reader r(message.payload);
+        r.u8();
+        return static_cast<int>(r.u32()) <= cert_round;
+      }
+      if (type != kBatch) return false;
       Reader r(message.payload);
       r.u8();
       return static_cast<int>(r.u32()) <= gc_round;
     });
   }
+}
+
+void AtomicBroadcast::enable_checkpoints(int interval) {
+  SINTRA_REQUIRE(interval >= 0, "abc: negative checkpoint interval");
+  ckpt_interval_ = interval;
+}
+
+void AtomicBroadcast::release_ckpt_charges(CkptPending& cp) {
+  for (const auto& [peer, bytes] : cp.charges) host_.budget().release(peer, tag_, bytes);
+  cp.charges.clear();
+}
+
+void AtomicBroadcast::gc_checkpoints() {
+  if (!latest_cert_) return;
+  const int cert_round = static_cast<int>(latest_cert_->round);
+  for (auto it = ckpts_.begin(); it != ckpts_.end() && it->first <= cert_round;) {
+    release_ckpt_charges(it->second);
+    it = ckpts_.erase(it);
+  }
+}
+
+void AtomicBroadcast::emit_checkpoint_share(int round) {
+  CkptPending& cp = ckpts_[round];
+  cp.reached = true;
+  cp.delivered = delivered_count_;
+  cp.chain_digest = chain_digest_;
+
+  crypto::CheckpointCert draft;
+  draft.round = static_cast<std::uint32_t>(round);
+  draft.delivered_count = cp.delivered;
+  draft.chain_digest = cp.chain_digest;
+  auto shares = host_.keys().cert_sig.sign(host_.public_keys().cert_sig, draft.statement(tag_),
+                                           host_.rng());
+  Writer w;
+  w.u8(kCkptShare);
+  w.u32(static_cast<std::uint32_t>(round));
+  w.vec(shares, [](Writer& wr, const SigShare& s) { s.encode(wr); });
+  broadcast(w.take());
+
+  // Peers ahead of us may have sent their shares before we completed the
+  // round; now that the local chain digest reached the boundary, the
+  // statement they signed is known and the stash can be verified.
+  auto waiting = std::move(cp.waiting);
+  cp.waiting.clear();
+  for (auto& [peer, raw] : waiting) {
+    try {
+      Reader r(raw);
+      auto stashed = r.vec<SigShare>([](Reader& rd) { return SigShare::decode(rd); });
+      r.expect_done();
+      process_ckpt_shares(peer, round, std::move(stashed));
+    } catch (const ProtocolError&) {
+      host_.trace("abc", tag_ + " dropped malformed stashed ckpt shares from " +
+                             std::to_string(peer));
+    }
+  }
+}
+
+void AtomicBroadcast::handle_ckpt_share(int from, Reader& reader) {
+  if (ckpt_interval_ <= 0) return;  // this party is not running checkpoints
+  const int round = static_cast<int>(reader.u32());
+  SINTRA_REQUIRE(round >= 1 && round < 1 << 24, "abc: implausible checkpoint round");
+  if (round % ckpt_interval_ != 0) return;  // not a boundary under our config
+  if (latest_cert_ && round <= static_cast<int>(latest_cert_->round)) return;  // superseded
+  if (round <= last_finished_ && !ckpts_.contains(round)) return;  // already collected + GCed
+  if (round > last_finished_ + kRoundLookahead) {
+    host_.trace("abc", tag_ + " dropped far-future ckpt share r" + std::to_string(round) +
+                           " from " + std::to_string(from));
+    return;
+  }
+
+  auto existing = ckpts_.find(round);
+  if (existing != ckpts_.end() && crypto::contains(existing->second.from, from)) return;
+  if (existing != ckpts_.end() && !existing->second.reached) {
+    for (const auto& [peer, raw] : existing->second.waiting) {
+      if (peer == from) return;  // one stash per peer per round
+    }
+  }
+
+  Bytes rest = reader.raw(reader.remaining());
+  const std::size_t cost = rest.size() + 32;
+  if (!host_.budget().try_charge(from, tag_, cost)) {
+    host_.trace("abc", tag_ + " budget-dropped ckpt share r" + std::to_string(round) +
+                           " from " + std::to_string(from));
+    return;
+  }
+  CkptPending& cp = ckpts_[round];
+  cp.charges.emplace_back(from, cost);
+
+  if (!cp.reached) {
+    // We have not completed this round yet, so the statement the shares
+    // sign is unknown; stash raw and verify at the boundary.
+    cp.waiting.emplace_back(from, std::move(rest));
+    return;
+  }
+  Reader shares_reader(rest);
+  auto shares = shares_reader.vec<SigShare>([](Reader& rd) { return SigShare::decode(rd); });
+  shares_reader.expect_done();
+  process_ckpt_shares(from, round, std::move(shares));
+}
+
+void AtomicBroadcast::process_ckpt_shares(int from, int round, std::vector<SigShare> shares) {
+  auto it = ckpts_.find(round);
+  if (it == ckpts_.end() || !it->second.reached) return;
+  CkptPending& cp = it->second;
+  if (crypto::contains(cp.from, from)) return;
+  SINTRA_REQUIRE(!shares.empty(), "abc: empty checkpoint share vector");
+  const auto& cert_pk = host_.public_keys().cert_sig;
+  for (const SigShare& share : shares) {
+    SINTRA_REQUIRE(cert_pk.scheme().unit_owner(share.unit) == from,
+                   "abc: ckpt share unit not owned by sender");
+  }
+  crypto::CheckpointCert draft;
+  draft.round = static_cast<std::uint32_t>(round);
+  draft.delivered_count = cp.delivered;
+  draft.chain_digest = cp.chain_digest;
+  const Bytes stmt = draft.statement(tag_);
+  SINTRA_REQUIRE(crypto::batch::verify_sig_shares(cert_pk, stmt, shares, host_.rng()),
+                 "abc: invalid checkpoint signature share");
+  cp.from |= crypto::party_bit(from);
+  for (SigShare& share : shares) cp.shares.push_back(std::move(share));
+  if (!cert_pk.scheme().qualified(cp.from)) return;
+  auto signature = cert_pk.combine(stmt, cp.shares);
+  if (!signature) return;  // cannot happen: every stored share verified
+  draft.signature = std::move(*signature);
+  latest_cert_ = std::move(draft);
+  host_.trace("abc", tag_ + " certified checkpoint r" + std::to_string(round));
+  gc_checkpoints();
+}
+
+Bytes AtomicBroadcast::certified_state(const crypto::CheckpointCert& cert) const {
+  if (cert.delivered_count > delivered_log_.size()) return {};
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(cert.delivered_count));
+  for (std::size_t i = 0; i < cert.delivered_count; ++i) {
+    w.u32(static_cast<std::uint32_t>(delivered_log_[i].first));
+    w.bytes(delivered_log_[i].second);
+  }
+  return w.take();
+}
+
+bool AtomicBroadcast::install_checkpoint(const crypto::CheckpointCert& cert, BytesView state) {
+  // Idempotent under WAL replay and repeated fetches: a certificate at or
+  // behind our own progress has nothing to teach us.
+  if (static_cast<int>(cert.round) <= last_finished_) return false;
+  if (!cert.verify(host_.public_keys().cert_sig, tag_)) return false;
+
+  // Decode the snapshot (same layout as the checkpoint delivery-log
+  // section) without touching instance state yet.
+  std::vector<std::pair<int, Bytes>> log;
+  try {
+    Reader r(state);
+    const std::uint32_t count = r.u32();
+    if (count != cert.delivered_count) return false;
+    log.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const int origin = static_cast<int>(r.u32());
+      if (origin < 0 || origin >= host_.n()) return false;
+      log.emplace_back(origin, r.bytes());
+    }
+    r.expect_done();
+  } catch (const ProtocolError&) {
+    return false;
+  }
+  if (delivered_count_ > log.size()) return false;
+
+  // The snapshot must re-hash to the certified chain digest, and our own
+  // delivered prefix must be a prefix of it (same total order).
+  Bytes chain = crypto::chain_initial();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (i == delivered_count_ && chain != chain_digest_) return false;
+    chain = crypto::chain_extend(chain, log[i].first, log[i].second);
+  }
+  if (delivered_count_ == log.size() && chain != chain_digest_) return false;
+  if (chain != cert.chain_digest) return false;
+
+  // Commit: deliver the suffix beyond our own progress.
+  for (std::size_t i = delivered_count_; i < log.size(); ++i) {
+    const auto& [origin, payload] = log[i];
+    note_delivered(payload_digest(payload));
+    chain_digest_ = crypto::chain_extend(chain_digest_, origin, payload);
+    ++delivered_count_;
+    if (host_.wal_enabled()) delivered_log_.emplace_back(origin, payload);
+    deliver_(origin, payload);
+  }
+  std::erase_if(queue_, [this](const Bytes& p) { return delivered_.contains(payload_digest(p)); });
+
+  // Fast-forward the round counter past everything the certificate covers
+  // and retire the overtaken rounds' VBA subtrees.
+  last_finished_ = static_cast<int>(cert.round);
+  latest_cert_ = cert;
+  for (auto it = rounds_.begin(); it != rounds_.end() && it->first <= last_finished_;) {
+    release_round_charges(it->second);
+    if (it->second.vba) retired_vbas_.push_back(std::move(it->second.vba));
+    const std::string vba_tag = tag_ + "/" + std::to_string(it->first) + "/vba";
+    it = rounds_.erase(it);
+    host_.retire_tag(vba_tag);
+  }
+  gc_checkpoints();
+  gc_completed_rounds();
+  host_.trace("abc", tag_ + " installed certified checkpoint r" +
+                         std::to_string(cert.round));
+  maybe_start_round(last_finished_ + 1);
+  return true;
 }
 
 }  // namespace sintra::protocols

@@ -21,8 +21,10 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 
+#include "crypto/checkpoint.hpp"
 #include "protocols/vba.hpp"
 
 namespace sintra::protocols {
@@ -50,6 +52,34 @@ class AtomicBroadcast final : public ProtocolInstance {
   [[nodiscard]] std::size_t live_rounds() const { return rounds_.size(); }
   [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
 
+  /// Turn on certified checkpoints: after every `interval` completed
+  /// rounds the parties threshold-sign (round, delivered-count, delivery
+  /// chain digest) and gossip the shares; once a qualified set arrives the
+  /// combined certificate is held in latest_certificate() and serves as
+  /// the anchor for peer state transfer (net/state_transfer.hpp).
+  /// interval == 0 (the default) disables the machinery entirely.
+  void enable_checkpoints(int interval);
+
+  /// Highest combined checkpoint certificate seen so far, if any.
+  [[nodiscard]] const std::optional<crypto::CheckpointCert>& latest_certificate() const {
+    return latest_cert_;
+  }
+
+  /// Serialized delivered-prefix snapshot matching `cert` (the first
+  /// cert.delivered_count entries of the delivery log), or empty if this
+  /// party cannot serve it (log compacted differently / WAL off).
+  [[nodiscard]] Bytes certified_state(const crypto::CheckpointCert& cert) const;
+
+  /// Install a peer-fetched certified snapshot: verifies the certificate
+  /// and that the snapshot re-hashes to the certified chain digest, then
+  /// delivers the suffix beyond what this party already delivered and
+  /// fast-forwards the round counter.  Returns false (and changes
+  /// nothing) on any verification failure.
+  bool install_checkpoint(const crypto::CheckpointCert& cert, BytesView state);
+
+  /// Running chain digest over the delivered prefix (tests/diagnostics).
+  [[nodiscard]] const Bytes& chain_digest() const { return chain_digest_; }
+
  private:
   static constexpr std::size_t kMaxBatch = 16;
   /// Batches are accepted at most this many rounds ahead of the last
@@ -67,8 +97,9 @@ class AtomicBroadcast final : public ProtocolInstance {
   static constexpr std::size_t kDeliveredCap = 4096;
 
   enum MsgType : std::uint8_t {
-    kSubmit = 0,  ///< local submission looped through self (WAL capture)
-    kBatch = 1,   ///< signed round batch
+    kSubmit = 0,     ///< local submission looped through self (WAL capture)
+    kBatch = 1,      ///< signed round batch
+    kCkptShare = 2,  ///< signature shares on a checkpoint statement
   };
 
   struct RoundData {
@@ -80,6 +111,20 @@ class AtomicBroadcast final : public ProtocolInstance {
     std::unique_ptr<Vba> vba;
   };
 
+  /// Per-checkpoint-round share collection.  Until this party itself
+  /// completes the round (`reached`), peers' shares are stashed raw — the
+  /// statement they sign is only known once the local chain digest catches
+  /// up.  Both stashes and verified shares are budget-charged.
+  struct CkptPending {
+    bool reached = false;
+    std::uint64_t delivered = 0;   ///< delivered_count_ at the round boundary
+    Bytes chain_digest;            ///< chain digest at the round boundary
+    crypto::PartySet from = 0;
+    std::vector<crypto::SigShare> shares;
+    std::vector<std::pair<int, Bytes>> waiting;  ///< (peer, raw shares) pre-reach
+    std::vector<std::pair<int, std::size_t>> charges;
+  };
+
   void handle(int from, Reader& reader) override;
   void maybe_start_round(int round);
   void maybe_propose(int round);
@@ -87,6 +132,11 @@ class AtomicBroadcast final : public ProtocolInstance {
   void release_round_charges(RoundData& rd);
   void note_delivered(Bytes digest);
   void gc_completed_rounds();
+  void emit_checkpoint_share(int round);
+  void handle_ckpt_share(int from, Reader& reader);
+  void process_ckpt_shares(int from, int round, std::vector<crypto::SigShare> shares);
+  void gc_checkpoints();
+  void release_ckpt_charges(CkptPending& cp);
   [[nodiscard]] Bytes checkpoint_save() const;
   void checkpoint_load(Reader& reader);
   [[nodiscard]] Bytes batch_statement(int round, int party, BytesView payload_block) const;
@@ -104,6 +154,10 @@ class AtomicBroadcast final : public ProtocolInstance {
   std::uint64_t delivered_count_ = 0;
   int last_finished_ = 0;                 ///< highest completed round
   std::map<int, RoundData> rounds_;
+  int ckpt_interval_ = 0;                 ///< 0 = certified checkpoints off
+  Bytes chain_digest_ = crypto::chain_initial();  ///< chain over delivered prefix
+  std::optional<crypto::CheckpointCert> latest_cert_;
+  std::map<int, CkptPending> ckpts_;      ///< rounds with shares in flight
   /// VBA instances awaiting destruction: a Vba must never be destroyed
   /// from inside its own callback chain, so GC parks them here and the
   /// next handle() entry (outside any Vba handler) flushes the list.

@@ -401,15 +401,30 @@ void PbftLikeBroadcast::enter_view(int view, std::map<std::uint64_t, Bytes> adop
 }
 
 void PbftLikeBroadcast::maybe_deliver() {
+  bool delivered_any = false;
   while (true) {
     auto it = slots_.find(next_deliver_);
     if (it == slots_.end() || !it->second.committed) break;
     ++next_deliver_;
     ++delivered_count_;
+    delivered_any = true;
     const Bytes digest = request_digest(it->second.payload);
     std::erase_if(pending_,
                   [&](const Bytes& p) { return request_digest(p) == digest; });
     deliver_(it->second.payload);
+  }
+  // Delivery is the strongest progress signal there is: snap the CL99
+  // timeout growth back to base *now* rather than letting the currently
+  // armed (possibly 64x-inflated) timer run out before noticing — one
+  // historic stall must not leave the detector desensitised for the rest
+  // of the run (issue 8).
+  if (delivered_any && fd_backoff_ > 0) {
+    fd_backoff_ = 0;
+    if (fd_timer_ != 0) {
+      host_.cancel_timer(fd_timer_);
+      fd_timer_ = 0;
+    }
+    if (!pending_.empty()) arm_failure_detector();
   }
   // Retention prune: delivered slots far behind the cursor have served
   // their view-change re-proposal purpose; release their payload charges.

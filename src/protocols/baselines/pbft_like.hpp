@@ -58,6 +58,8 @@ class PbftLikeBroadcast final : public ProtocolInstance {
   [[nodiscard]] int view() const { return view_; }
   [[nodiscard]] int leader() const { return view_ % host_.n(); }
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
+  /// Current CL99 timeout-growth exponent (0 = base timeout; test hook).
+  [[nodiscard]] std::uint32_t fd_backoff() const { return fd_backoff_; }
 
  private:
   enum MsgType : std::uint8_t {

@@ -102,7 +102,7 @@ void ReliableBroadcast::handle(int from, Reader& reader) {
       SINTRA_REQUIRE(from == sender_, "rbc: SEND from non-sender");
       if (send_seen_) return;
       send_seen_ = true;
-      ++progress_;
+      bump_progress();
       Tally& tally = tallies_[digest_for(message)];
       tally.message = std::move(message);
       tally.have_content = true;
@@ -116,7 +116,7 @@ void ReliableBroadcast::handle(int from, Reader& reader) {
     case kEcho: {
       if (echoed_by_ & crypto::party_bit(from)) return;
       echoed_by_ |= crypto::party_bit(from);
-      ++progress_;
+      bump_progress();
       Tally& tally = tallies_[digest_for(message)];
       tally.echoes |= crypto::party_bit(from);
       retain_if_supported(tally, message);
@@ -126,7 +126,7 @@ void ReliableBroadcast::handle(int from, Reader& reader) {
     case kReady: {
       if (readied_by_ & crypto::party_bit(from)) return;
       readied_by_ |= crypto::party_bit(from);
-      ++progress_;
+      bump_progress();
       Tally& tally = tallies_[digest_for(message)];
       tally.readies |= crypto::party_bit(from);
       retain_if_supported(tally, message);

@@ -87,6 +87,12 @@ class ReliableBroadcast final : public ProtocolInstance {
   crypto::PartySet helped_ = 0;  ///< peers already given a post-delivery READY
   crypto::PartySet summary_answered_ = 0;  ///< peers whose SUMMARY probe we answered
   std::uint64_t progress_ = 0;   ///< counted protocol events (watchdog token)
+  /// Count one protocol event and snap the watchdog's grown timeout back
+  /// to base (no-op unless an earlier stall inflated it).
+  void bump_progress() {
+    ++progress_;
+    if (watchdog_) watchdog_->note_progress();
+  }
   Bytes digest_cache_key_;  ///< last hashed body (all-honest runs hash once)
   Bytes digest_cache_val_;
   bool digest_cache_set_ = false;

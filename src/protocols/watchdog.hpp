@@ -13,6 +13,13 @@
 // correctness.  Recoveries are capped: an instance that cannot be revived
 // (e.g. too many peers are really gone) stops burning timers instead of
 // spinning the scheduler forever.
+//
+// Timeout growth follows CL99's failure-detector discipline: every
+// fruitless recovery doubles the next timeout (capped at 64x base) so a
+// genuinely slow configuration stops thrashing, and the growth resets the
+// moment progress is observed — either lazily at the next timer fire, or
+// eagerly when the instance calls note_progress() — so one historic stall
+// does not leave the detector permanently desensitised (issue 8).
 #pragma once
 
 #include <cstdint>
@@ -40,6 +47,7 @@ class StallWatchdog {
            std::function<std::uint64_t()> progress, std::function<void()> recover) {
     disarm();
     timeout_ = timeout;
+    backoff_ = 0;
     done_ = std::move(done);
     progress_ = std::move(progress);
     recover_ = std::move(recover);
@@ -54,20 +62,41 @@ class StallWatchdog {
     }
   }
 
+  /// Eager reset: the instance observed progress right now.  If the
+  /// timeout had grown from earlier stalls, snap back to the base timeout
+  /// immediately instead of waiting out the inflated timer (a no-op in the
+  /// common never-stalled case, so callers may invoke it on every event).
+  void note_progress() {
+    if (!armed_ || backoff_ == 0) return;
+    backoff_ = 0;
+    last_progress_ = progress_();
+    host_.cancel_timer(timer_);
+    schedule();
+  }
+
   [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  /// Consecutive fruitless recoveries since progress (test visibility).
+  [[nodiscard]] std::uint32_t backoff() const { return backoff_; }
+  /// The delay the next (or pending) timer was armed with.
+  [[nodiscard]] std::uint64_t current_timeout() const {
+    return timeout_ << std::min(backoff_, std::uint32_t{6});
+  }
 
  private:
   static constexpr std::uint64_t kMaxRecoveries = 32;
 
   void schedule() {
-    timer_ = host_.schedule_timer(timeout_, [this] {
+    timer_ = host_.schedule_timer(current_timeout(), [this] {
       armed_ = false;
       if (done_()) return;
       const std::uint64_t now = progress_();
       if (now == last_progress_) {
         if (recoveries_ >= kMaxRecoveries) return;
         ++recoveries_;
+        ++backoff_;
         recover_();
+      } else {
+        backoff_ = 0;  // progress: trust the base timeout again
       }
       last_progress_ = progress_();
       schedule();
@@ -84,6 +113,7 @@ class StallWatchdog {
   bool armed_ = false;
   net::Network::TimerId timer_ = 0;
   std::uint64_t recoveries_ = 0;
+  std::uint32_t backoff_ = 0;  ///< fruitless recoveries since progress
 };
 
 }  // namespace sintra::protocols

@@ -144,6 +144,12 @@ TEST(PbftBaselineTest, CrashedLeaderAutoViewChangeViaTimerWheel) {
   cluster.for_each([&](int, PbftState& s) {
     EXPECT_GE(s.pbft->view(), 1);  // the automatic view change happened
     EXPECT_EQ(s.delivered, reference);
+    // Issue-8 regression: delivery resets the CL99 timeout growth
+    // immediately.  Before, the exponent stayed inflated until the next
+    // (inflated) timer fired, so one historic view change left the
+    // detector 2^k times slower at catching the *next* crashed leader.
+    EXPECT_EQ(s.pbft->fd_backoff(), 0u)
+        << "timeout growth must snap back at the delivery that proves progress";
   });
 }
 

@@ -480,6 +480,55 @@ TEST(MemoryBudgetTest, AdmissionControlShedsLoadAndClientBacksOff) {
   EXPECT_GT(shed, 0u) << "admission control never engaged";
 }
 
+TEST(MemoryBudgetTest, BusyReplyRotatesGatewayToIdleReplica) {
+  // Issue-8 satellite: a gateway-pinned client that receives Busy from its
+  // relay must rotate to the next replica and resend immediately, instead
+  // of backing off against the one overloaded server.  Replica 0 sheds
+  // every request (zero inflight window); the retry timer is set far
+  // beyond the run so only the Busy-triggered rotation can complete the
+  // request through replica 1.
+  Rng rng(21);
+  auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(21 * 101);
+  protocols::Cluster<SvcState> cluster(
+      deployment, sched,
+      [](net::Party& party, int id) {
+        auto state = std::make_unique<SvcState>();
+        state->replica = std::make_unique<Replica>(
+            party, "svc", Replica::Mode::kAtomic,
+            std::make_unique<CertificationAuthority>());
+        if (id == 0) {
+          Admission admission;
+          admission.max_inflight = 0;  // relay sheds everything
+          state->replica->set_admission(admission);
+        }
+        return state;
+      },
+      0, /*extra_endpoints=*/1, 21);
+  std::map<std::uint64_t, ServiceClient::Receipt> replies;
+  auto client_owner = std::make_unique<ServiceClient>(
+      cluster.simulator(), /*net_id=*/4, deployment, "svc", Replica::Mode::kAtomic, 13,
+      [&](std::uint64_t id, ServiceClient::Receipt receipt) {
+        replies.emplace(id, std::move(receipt));
+      });
+  ServiceClient* client = client_owner.get();
+  client->enable_retry(/*timeout=*/5000000, /*max_retries=*/1);
+  client->set_gateway(0);
+  cluster.attach_client(4, std::move(client_owner));
+  cluster.start();
+  CaRequest issue;
+  issue.op = CaRequest::Op::kIssue;
+  issue.subject = "rotating";
+  issue.credentials = "credential:rotating";
+  const std::uint64_t id = client->request(issue.encode());
+  ASSERT_TRUE(cluster.simulator().run_until([&] { return replies.contains(id); }, 3000000))
+      << "Busy rotation never completed the request through another replica";
+  EXPECT_GE(client->busy_replies(), 1u) << "the shedding relay never answered Busy";
+  EXPECT_GE(client->busy_rotations(), 1u) << "client never rotated off the busy relay";
+  EXPECT_NE(client->gateway(), 0) << "client still pinned to the shedding relay";
+  EXPECT_GT(cluster.protocol(0)->replica->busy_sent(), 0u);
+}
+
 TEST(MemoryBudgetTest, RunawayClientCannotStarveHonestRequests) {
   // A runaway client (the kRequests flooder) sprays thousands of distinct
   // requests; admission caps hold the replicas' inflight state small and
