@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
 # Run the google-benchmark suites (E7 crypto micro-benchmarks, E13
-# verification pipeline) and capture the results as JSON so future PRs
-# have a perf trajectory to compare against.  When a committed baseline
-# JSON exists at the repo root, any benchmark that comes out >20% slower
-# than its committed time prints a REGRESSION warning (and the script
-# exits 1 under --strict).
+# verification pipeline, E16 reconfiguration epoch latency n=4->5->4) and
+# capture the results as JSON so future PRs have a perf trajectory to
+# compare against.  When a committed baseline JSON exists at the repo
+# root, any benchmark that comes out >20% slower than its committed time
+# prints a REGRESSION warning (and the script exits 1 under --strict).
 #
 # Usage: bench/run_bench.sh [--strict] [build-dir]
 # Defaults: build/; output JSONs land at the repo root (BENCH_E7.json,
-# BENCH_E13.json), overwriting the committed baselines — inspect the
-# diff before committing new numbers.
+# BENCH_E13.json, BENCH_E16.json), overwriting the committed baselines —
+# inspect the diff before committing new numbers.
 set -euo pipefail
 
 strict=0
@@ -133,7 +133,7 @@ EOF
 }
 
 status=0
-for exp in e7_crypto e13_pipeline; do
+for exp in e7_crypto e13_pipeline e16_reconfig; do
   id="${exp%%_*}"
   id="${id^^}"  # e7 -> E7
   bench_bin="$build_dir/bench/bench_${exp}"

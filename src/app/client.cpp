@@ -108,7 +108,49 @@ std::uint64_t ServiceClient::request(Bytes body) {
   return envelope.request_id;
 }
 
+void ServiceClient::set_replicas(adversary::Deployment deployment) {
+  SINTRA_REQUIRE(net_id_ >= deployment.n(), "client: endpoint collides with a server");
+  deployment_ = std::move(deployment);
+  gateway_ = -1;  // old relay index is meaningless in the new committee
+  for (auto& [id, pending] : pending_) {
+    send_to_servers(pending.wire_payload, /*broadcast_all=*/true);
+  }
+}
+
+bool ServiceClient::apply_new_config(const protocols::NewConfig& config,
+                                     std::string_view reconfig_tag) {
+  try {
+    if (config.plan.new_epoch <= config_epoch_) return false;  // stale or replayed
+    const auto& old_public = deployment_.keys->public_keys();
+    if (!config.verify(old_public.reply_sig, reconfig_tag, old_public.coin.group())) {
+      return false;
+    }
+    adversary::Deployment next = protocols::reconfig_public_deployment(
+        config, old_public.coin.group_ptr(), old_public);
+    config_epoch_ = config.plan.new_epoch;
+    set_replicas(std::move(next));
+    return true;
+  } catch (const ProtocolError&) {
+    return false;  // malformed plan / geometry
+  }
+}
+
 void ServiceClient::on_message(const net::Message& message) {
+  if (message.tag == service_tag_ + "/newconfig") {
+    // Signed NEW-CONFIG relay: authenticity comes from the threshold
+    // signature inside, so the relaying replica needs no trust.
+    try {
+      Reader reader(message.payload);
+      const std::string reconfig_tag = reader.str();
+      const auto& group = deployment_.keys->public_keys().coin.group();
+      const protocols::NewConfig config = protocols::NewConfig::decode(reader, group);
+      reader.expect_done();
+      apply_new_config(config, reconfig_tag);
+    } catch (const ProtocolError&) {
+      // Malformed announcement from a corrupted relay: ignore.
+    }
+    return;
+  }
   if (message.tag != service_tag_ + "/reply") return;
   if (message.from < 0 || message.from >= deployment_.n()) return;
   try {

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "app/replica.hpp"
+#include "protocols/reconfig.hpp"
 
 namespace sintra::app {
 
@@ -61,6 +62,29 @@ class ServiceClient final : public net::Process {
 
   void on_message(const net::Message& message) override;
 
+  // --- membership reconfiguration (protocols/reconfig.hpp) -------------
+  /// Replace the replica set outright (trusted path: a harness that
+  /// already verified the new committee).  Outstanding requests are
+  /// re-broadcast to the new committee — replicas dedup by request id, so
+  /// double delivery is harmless.  The gateway resets to broadcast mode:
+  /// its old index may not exist (or mean someone else) after the swap.
+  void set_replicas(adversary::Deployment deployment);
+
+  /// Verify a signed NEW-CONFIG announcement against the CURRENT reply
+  /// key and, if authentic and newer than what we follow, rebuild the
+  /// replica set and all service public keys from it.  `reconfig_tag` is
+  /// the reconfiguration instance tag the announcement's signature is
+  /// bound to.  Returns false (no state change) for invalid signatures,
+  /// stale epochs, or malformed plans.  A replica relays the announcement
+  /// on tag "<service>/newconfig" with payload [str reconfig_tag]
+  /// [NewConfig] — on_message feeds it here, so any single honest (or
+  /// even corrupted-but-forwarding) replica suffices: authenticity comes
+  /// from the threshold signature, not the messenger.
+  bool apply_new_config(const protocols::NewConfig& config, std::string_view reconfig_tag);
+
+  /// Epoch of the committee this client currently follows.
+  [[nodiscard]] std::uint32_t config_epoch() const { return config_epoch_; }
+
   /// Verify a receipt independently (what a third party would do).
   [[nodiscard]] bool verify_receipt(std::uint64_t request_id, BytesView request_body,
                                     const Receipt& receipt) const;
@@ -101,6 +125,7 @@ class ServiceClient final : public net::Process {
   std::uint64_t next_request_id_ = 1;
   std::uint64_t busy_replies_ = 0;
   std::uint64_t busy_rotations_ = 0;
+  std::uint32_t config_epoch_ = 0;  ///< epoch of the committee we follow
   std::map<std::uint64_t, Pending> pending_;
 };
 

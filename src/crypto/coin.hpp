@@ -72,6 +72,9 @@ class CoinPublicKey {
   }
 
   [[nodiscard]] const Group& group() const { return *group_; }
+  /// Shared backend handle (for the reconfiguration extension, which
+  /// rebuilds key objects over the same group).
+  [[nodiscard]] const GroupPtr& group_ptr() const { return group_; }
   [[nodiscard]] const LinearScheme& scheme() const { return *scheme_; }
   [[nodiscard]] const Element& verification(int unit) const { return verification_.at(unit); }
   /// All per-unit verification values (for the proactive-refresh extension).

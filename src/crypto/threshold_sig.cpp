@@ -26,16 +26,14 @@ constexpr PrimePair kRsa512 = {
     "0xee9844956870c9fb5890681b7adb224748fe51c2715fd187c6b2e350f6b61b1f"
     "4ad2244739279d34d54c38e9b69cfc42b4303571c02b4b2fae67dadf0ac64cc7"};
 
-/// Exponentiate with a possibly negative integer exponent mod the context's
-/// modulus (inverting the base clears the sign).
+}  // namespace
+
 BigInt pow_signed(const BigInt& base, const BigInt& exponent, const Montgomery& mont) {
   if (exponent.is_negative()) {
     return mont.pow(BigInt::inverse_mod(base, mont.modulus()), -exponent);
   }
   return mont.pow(base, exponent);
 }
-
-}  // namespace
 
 BigInt sig_share_challenge(const BigInt& modulus, int unit, const BigInt& v,
                            const BigInt& v_unit, const BigInt& x_squared, const BigInt& share,
@@ -91,13 +89,14 @@ SigShare SigShare::decode(Reader& r) {
 
 ThresholdSigPublicKey::ThresholdSigPublicKey(BigInt modulus, BigInt e, BigInt v,
                                              std::vector<BigInt> verification,
-                                             std::shared_ptr<const LinearScheme> scheme)
+                                             std::shared_ptr<const LinearScheme> scheme,
+                                             std::size_t share_bits)
     : modulus_(std::move(modulus)), e_(std::move(e)), v_(std::move(v)),
       verification_(std::move(verification)), scheme_(std::move(scheme)),
-      mont_(std::make_shared<const Montgomery>(modulus_)) {
+      mont_(std::make_shared<const Montgomery>(modulus_)),
+      share_bits_(share_bits == 0 ? modulus_.bit_length() : share_bits) {
   // Responses are bounded by r_max + c_max * d_max; see sign().
-  response_bytes_ =
-      (modulus_.bit_length() + 8 * kChallengeBytes + kSlackBits) / 8 + 2;
+  response_bytes_ = (share_bits_ + 8 * kChallengeBytes + kSlackBits) / 8 + 2;
 }
 
 BigInt ThresholdSigPublicKey::hash_to_base(BytesView message) const {
@@ -114,7 +113,7 @@ std::vector<SigShare> ThresholdSigSecretKey::sign(const ThresholdSigPublicKey& p
   const BigInt& modulus = pk.modulus();
   const BigInt x = pk.hash_to_base(message);
   const BigInt x_squared = BigInt::mul_mod(x, x, modulus);
-  const std::size_t r_bits = modulus.bit_length() + 8 * kChallengeBytes + kSlackBits;
+  const std::size_t r_bits = pk.share_bits() + 8 * kChallengeBytes + kSlackBits;
 
   std::vector<SigShare> out;
   out.reserve(unit_shares_.size());
@@ -122,14 +121,22 @@ std::vector<SigShare> ThresholdSigSecretKey::sign(const ThresholdSigPublicKey& p
   for (const auto& [unit, d] : unit_shares_) {
     SigShare share;
     share.unit = unit;
-    share.value = mont.pow(x_squared, d);
+    // Reshared shares are signed integers (crypto/reshare.hpp); x² is a
+    // unit, so the negative branch inverts cleanly.
+    share.value = pow_signed(x_squared, d, mont);
 
-    const BigInt r = BigInt::random_bits(rng, r_bits);
-    share.a1 = mont.pow(pk.v(), r);
-    share.a2 = mont.pow(x_squared, r);
-    const BigInt c = sig_share_challenge(modulus, unit, pk.v(), pk.verification(unit), x_squared,
-                                         share.value, share.a1, share.a2);
-    share.response = r + c * d;
+    // z = r + c*d must come out non-negative (verifiers reject negative
+    // responses); for a negative d that fails with probability ~2^-64 —
+    // redraw r rather than leak the sign through a rejected share.
+    for (;;) {
+      const BigInt r = BigInt::random_bits(rng, r_bits);
+      share.a1 = mont.pow(pk.v(), r);
+      share.a2 = mont.pow(x_squared, r);
+      const BigInt c = sig_share_challenge(modulus, unit, pk.v(), pk.verification(unit),
+                                           x_squared, share.value, share.a1, share.a2);
+      share.response = r + c * d;
+      if (!share.response.is_negative()) break;
+    }
     out.push_back(std::move(share));
   }
   return out;

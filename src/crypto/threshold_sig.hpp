@@ -68,6 +68,8 @@ class ThresholdSigSecretKey {
       : party_(party), unit_shares_(std::move(unit_shares)) {}
 
   [[nodiscard]] int party() const { return party_; }
+  /// Exposed for the reconfiguration extension (crypto/reshare.hpp).
+  [[nodiscard]] const std::map<int, BigInt>& unit_shares() const { return unit_shares_; }
 
   /// Produce signature shares on `message` for each held unit.
   [[nodiscard]] std::vector<SigShare> sign(const ThresholdSigPublicKey& pk, BytesView message,
@@ -78,10 +80,23 @@ class ThresholdSigSecretKey {
   std::map<int, BigInt> unit_shares_;  ///< unit -> d_unit
 };
 
+/// base^exponent mod the context's modulus for a possibly NEGATIVE
+/// exponent (the base is inverted to clear the sign).  Reshared RSA shares
+/// are signed integers (crypto/reshare.hpp), so signing and verification-
+/// value arithmetic need this; throws ProtocolError if the base is not
+/// invertible.
+BigInt pow_signed(const BigInt& base, const BigInt& exponent, const Montgomery& mont);
+
 class ThresholdSigPublicKey {
  public:
+  /// `share_bits` bounds the bit width of the secret share integers this
+  /// key's proofs must cover.  0 (the default, and every dealer-dealt key)
+  /// means modulus-width shares; a key rebuilt after share redistribution
+  /// passes the grown bound rsa_reshare_share_bits so proof responses and
+  /// their verification-side width checks scale with the shares.
   ThresholdSigPublicKey(BigInt modulus, BigInt e, BigInt v, std::vector<BigInt> verification,
-                        std::shared_ptr<const LinearScheme> scheme);
+                        std::shared_ptr<const LinearScheme> scheme,
+                        std::size_t share_bits = 0);
 
   [[nodiscard]] const BigInt& modulus() const { return modulus_; }
   [[nodiscard]] const BigInt& exponent() const { return e_; }
@@ -117,6 +132,9 @@ class ThresholdSigPublicKey {
   /// bound per share before accumulating).
   [[nodiscard]] std::size_t response_bytes() const { return response_bytes_; }
 
+  /// Bound on the bit width of this key's secret shares (see constructor).
+  [[nodiscard]] std::size_t share_bits() const { return share_bits_; }
+
  private:
   friend class ThresholdSigSecretKey;
   BigInt modulus_;
@@ -125,6 +143,7 @@ class ThresholdSigPublicKey {
   std::vector<BigInt> verification_;   ///< unit -> v^{d_unit}
   std::shared_ptr<const LinearScheme> scheme_;
   std::shared_ptr<const Montgomery> mont_;  ///< REDC context for Z_Nm
+  std::size_t share_bits_;             ///< width bound for secret shares
   std::size_t response_bytes_;         ///< width bound for proof responses
 };
 

@@ -27,6 +27,7 @@ Bytes HelloBody::encode() const {
   w.u32(node_id);
   w.u64(nonce);
   w.u64(recv_cursor);
+  w.u32(epoch);
   return w.take();
 }
 
@@ -36,6 +37,7 @@ HelloBody HelloBody::decode(Reader& reader) {
   hello.node_id = reader.u32();
   hello.nonce = reader.u64();
   hello.recv_cursor = reader.u64();
+  hello.epoch = reader.u32();
   reader.expect_done();
   return hello;
 }
@@ -45,6 +47,7 @@ Bytes DataBody::encode() const {
   w.u64(seq);
   w.u64(ack);
   w.u64(base);
+  w.u32(epoch);
   w.bytes(payload);
   return w.take();
 }
@@ -54,6 +57,7 @@ DataBody DataBody::decode(Reader& reader) {
   data.seq = reader.u64();
   data.ack = reader.u64();
   data.base = reader.u64();
+  data.epoch = reader.u32();
   data.payload = reader.bytes();
   reader.expect_done();
   return data;
@@ -63,6 +67,7 @@ Bytes DataBatchBody::encode() const {
   Writer w;
   w.u64(ack);
   w.u64(base);
+  w.u32(epoch);
   w.u32(static_cast<std::uint32_t>(records.size()));
   for (const Record& record : records) {
     w.u64(record.seq);
@@ -75,6 +80,7 @@ DataBatchBody DataBatchBody::decode(Reader& reader) {
   DataBatchBody batch;
   batch.ack = reader.u64();
   batch.base = reader.u64();
+  batch.epoch = reader.u32();
   const std::uint32_t count = reader.u32();
   SINTRA_REQUIRE(count <= reader.remaining(), "framing: implausible batch count");
   batch.records.reserve(count);
@@ -93,6 +99,7 @@ DataBatchView DataBatchView::decode(BytesView body) {
   DataBatchView batch;
   batch.ack = reader.u64();
   batch.base = reader.u64();
+  batch.epoch = reader.u32();
   const std::uint32_t count = reader.u32();
   SINTRA_REQUIRE(count <= reader.remaining(), "framing: implausible batch count");
   batch.records.reserve(count);

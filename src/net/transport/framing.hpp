@@ -19,13 +19,20 @@
 //
 // Frame bodies are typed and serialized with the deterministic
 // Writer/Reader encoding used by every protocol message:
-//   HELLO: u16 version, u32 node_id, u64 nonce, u64 recv_cursor
-//   DATA:  u64 seq, u64 ack, u64 base, bytes payload
-//   BATCH: u64 ack, u64 base, u32 count, count x { u64 seq, bytes payload }
+//   HELLO: u16 version, u32 node_id, u64 nonce, u64 recv_cursor, u32 epoch
+//   DATA:  u64 seq, u64 ack, u64 base, u32 epoch, bytes payload
+//   BATCH: u64 ack, u64 base, u32 epoch, u32 count,
+//          count x { u64 seq, bytes payload }
 //   ACK:   u64 ack
 //   PING/PONG: empty
 // `ack` is cumulative ("I delivered every seq < ack"); `base` is the
 // sender's lowest retained seq (the quota gap floor, see link.hpp).
+// `epoch` is the sender's membership epoch (protocols/reconfig.hpp): a
+// HELLO from an epoch more than one away from ours is rejected at the
+// handshake, and data frames from outside the one-epoch transition window
+// are filtered before delivery — wrong-epoch traffic dies at the
+// transport instead of reaching protocol instances keyed for another
+// committee.
 //
 // BATCH is the coalesced super-frame (issue 7): every DATA payload bound
 // for a peer in one event-loop flush rides one frame — one length prefix,
@@ -45,7 +52,7 @@
 
 namespace sintra::net::transport {
 
-constexpr std::uint16_t kProtocolVersion = 2;  // v2: BATCH super-frames
+constexpr std::uint16_t kProtocolVersion = 3;  // v3: epoch-stamped frames
 constexpr std::size_t kMacSize = crypto::kSha256DigestSize;
 /// Upper bound on a frame body; larger lengths are treated as an attack on
 /// the receiver's memory and poison the stream.
@@ -76,6 +83,7 @@ struct HelloBody {
   std::uint32_t node_id = 0;
   std::uint64_t nonce = 0;        ///< fresh per connection attempt
   std::uint64_t recv_cursor = 0;  ///< cumulative receive progress (link.hpp)
+  std::uint32_t epoch = 0;        ///< sender's membership epoch
 
   [[nodiscard]] Bytes encode() const;
   static HelloBody decode(Reader& reader);  ///< throws ProtocolError
@@ -85,6 +93,7 @@ struct DataBody {
   std::uint64_t seq = 0;
   std::uint64_t ack = 0;
   std::uint64_t base = 0;
+  std::uint32_t epoch = 0;
   Bytes payload;
 
   [[nodiscard]] Bytes encode() const;
@@ -94,6 +103,7 @@ struct DataBody {
 struct DataBatchBody {
   std::uint64_t ack = 0;
   std::uint64_t base = 0;
+  std::uint32_t epoch = 0;
   struct Record {
     std::uint64_t seq = 0;
     Bytes payload;
@@ -110,6 +120,7 @@ struct DataBatchBody {
 struct DataBatchView {
   std::uint64_t ack = 0;
   std::uint64_t base = 0;
+  std::uint32_t epoch = 0;
   struct Record {
     std::uint64_t seq = 0;
     BytesView payload;

@@ -7,8 +7,14 @@
 
 namespace sintra::net::transport {
 
+namespace {
+/// Budget instance tag for buffered next-epoch traffic: one tag so
+/// advance_epoch can release the whole class at once via accounting.
+const char* const kFutureEpochTag = "reconfig/future-epoch";
+}  // namespace
+
 NetworkedNode::NetworkedNode(Config config)
-    : config_(config), start_(std::chrono::steady_clock::now()) {
+    : config_(config), start_(std::chrono::steady_clock::now()), epoch_(config.epoch) {
   SINTRA_REQUIRE(config_.n >= 1 && config_.node_id >= 0 && config_.node_id < config_.n,
                  "networked_node: node_id out of range");
   SINTRA_REQUIRE(config_.max_inbox >= 1, "networked_node: inbox must hold something");
@@ -21,18 +27,22 @@ std::uint64_t NetworkedNode::now() const {
                                         .count());
 }
 
-Bytes NetworkedNode::encode_payload(const Message& message) {
+Bytes NetworkedNode::encode_payload(const Message& message, std::uint32_t epoch) {
   Writer w;
+  w.u32(epoch);
   w.str(message.tag);
   w.bytes(message.payload);
   return w.take();
 }
 
-Message NetworkedNode::decode_payload(int from, int to, BytesView payload) {
+Message NetworkedNode::decode_payload(int from, int to, BytesView payload,
+                                      std::uint32_t* epoch_out) {
   Reader reader(payload);
   Message message;
   message.from = from;
   message.to = to;
+  const std::uint32_t epoch = reader.u32();
+  if (epoch_out != nullptr) *epoch_out = epoch;
   message.tag = reader.str();
   message.payload = reader.bytes();
   reader.expect_done();
@@ -58,11 +68,10 @@ void NetworkedNode::submit(Message message) {
   // Remote sends park in the per-peer outbox; only the pump thread talks
   // to the transport (single-threaded transports stay safe under executor
   // threads) and it hands over whole per-peer batches for coalescing.
-  Bytes encoded = encode_payload(message);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     message.id = next_id_++;
-    outbox_[static_cast<std::size_t>(message.to)].push_back(std::move(encoded));
+    outbox_[static_cast<std::size_t>(message.to)].push_back(encode_payload(message, epoch_));
   }
   inbox_cv_.notify_one();  // wake the pump to flush
 }
@@ -70,15 +79,64 @@ void NetworkedNode::submit(Message message) {
 void NetworkedNode::on_transport_receive(int from, BytesView payload) {
   if (from < 0 || from >= config_.n || from == config_.node_id) return;
   Message message;
+  std::uint32_t msg_epoch = 0;
   try {
-    message = decode_payload(from, config_.node_id, payload);
+    message = decode_payload(from, config_.node_id, payload, &msg_epoch);
   } catch (const ProtocolError&) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.malformed;
     return;
   }
   message.sent_at = now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (msg_epoch != epoch_) {
+      if (msg_epoch == epoch_ + 1) {
+        // One epoch ahead: the sender finished a reconfiguration we have
+        // not applied yet.  Park the message (bounded by count and by the
+        // party's ResourceBudget) and replay it at advance_epoch().
+        const std::size_t cost = message.tag.size() + message.payload.size() + 16;
+        if (future_.size() >= config_.max_future ||
+            (budget_ != nullptr && !budget_->try_charge(from, kFutureEpochTag, cost))) {
+          ++stats_.epoch_dropped;
+          return;
+        }
+        future_.push_back({std::move(message), msg_epoch, cost});
+        ++stats_.epoch_buffered;
+      } else {
+        // Stale (or absurdly future) epoch: fenced-out traffic.
+        ++stats_.epoch_stale;
+      }
+      return;
+    }
+  }
   enqueue_inbound(std::move(message));
+}
+
+std::uint32_t NetworkedNode::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+void NetworkedNode::advance_epoch(std::uint32_t epoch) {
+  std::deque<FutureMessage> parked;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (epoch <= epoch_) return;  // monotonic; repeated applies are no-ops
+    epoch_ = epoch;
+    parked.swap(future_);
+  }
+  for (FutureMessage& entry : parked) {
+    if (budget_ != nullptr) {
+      budget_->release(entry.message.from, kFutureEpochTag, entry.cost);
+    }
+    if (entry.epoch == epoch) {
+      enqueue_inbound(std::move(entry.message));
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.epoch_stale;  // skipped an epoch: the parked traffic died with it
+    }
+  }
 }
 
 void NetworkedNode::enqueue_inbound(Message message) {

@@ -39,6 +39,7 @@
 
 #include "common/executor.hpp"
 #include "common/work_pool.hpp"
+#include "net/budget.hpp"
 #include "net/network.hpp"
 #include "net/simulator.hpp"
 #include "net/transport/timer_wheel.hpp"
@@ -51,6 +52,10 @@ class NetworkedNode final : public Network {
     int node_id = 0;
     int n = 0;                      ///< network endpoints (servers + clients)
     std::size_t max_inbox = 8192;   ///< bounded inbox; beyond: drop-oldest
+    std::uint32_t epoch = 0;        ///< initial membership epoch
+    /// Messages stamped one epoch ahead buffered until advance_epoch();
+    /// beyond this many: drop-oldest (on top of any ResourceBudget cap).
+    std::size_t max_future = 1024;
   };
 
   /// Hands an encoded payload to the transport for reliable delivery.
@@ -78,6 +83,9 @@ class NetworkedNode final : public Network {
   /// The process receiving deliveries (caller owns it and calls on_start).
   void attach(Process& process) { process_ = &process; }
   void bind_transport(SendFn send) { send_ = std::move(send); }
+  /// Meter the future-epoch buffer through the party's ResourceBudget
+  /// (not owned).  Without one, only the max_future count bound applies.
+  void set_budget(ResourceBudget* budget) { budget_ = budget; }
   /// Optional batched transport entry; preferred over the per-payload
   /// SendFn when bound (the per-payload form remains the fallback).
   void bind_transport_batched(SendManyFn send_many) { send_many_ = std::move(send_many); }
@@ -105,6 +113,15 @@ class NetworkedNode final : public Network {
   /// dropped — Byzantine input must not crash the node.
   void on_transport_receive(int from, BytesView payload);
 
+  // --- membership epochs ------------------------------------------------
+  /// Current epoch; payloads stamped below it are rejected, payloads one
+  /// ahead are buffered (bounded), anything further is dropped.
+  [[nodiscard]] std::uint32_t epoch() const;
+  /// Move to `epoch` (monotonic; any thread).  Buffered future-epoch
+  /// messages that now match are replayed into the inbox in arrival
+  /// order; anything older is discarded.
+  void advance_epoch(std::uint32_t epoch);
+
   // --- protocol-thread pump --------------------------------------------
   /// Fire due timers, dispatch every queued message, then flush buffered
   /// outbound payloads to the transport (batched per peer).  Returns the
@@ -125,13 +142,20 @@ class NetworkedNode final : public Network {
     std::uint64_t malformed = 0;       ///< undecodable transport payloads
     std::uint64_t outbound_flushes = 0;  ///< per-peer batches handed to the transport
     std::uint64_t outbound_payloads = 0; ///< payloads inside those batches
+    std::uint64_t epoch_stale = 0;     ///< payloads from a past (or far-future) epoch
+    std::uint64_t epoch_buffered = 0;  ///< next-epoch payloads parked for advance_epoch
+    std::uint64_t epoch_dropped = 0;   ///< future buffer overflow / budget rejections
   };
   [[nodiscard]] Stats stats() const;
 
   // --- wire form of a Message over the transport -----------------------
-  static Bytes encode_payload(const Message& message);
-  /// Throws ProtocolError on malformed input.
-  static Message decode_payload(int from, int to, BytesView payload);
+  /// [u32 epoch][str tag][bytes payload] — the epoch is the payload-level
+  /// membership fence (the frame-level stamp lives in framing.hpp).
+  static Bytes encode_payload(const Message& message, std::uint32_t epoch = 0);
+  /// Throws ProtocolError on malformed input.  `epoch_out`, when non-null,
+  /// receives the sender's stamped epoch.
+  static Message decode_payload(int from, int to, BytesView payload,
+                                std::uint32_t* epoch_out = nullptr);
 
  private:
   void enqueue_inbound(Message message);
@@ -159,6 +183,16 @@ class NetworkedNode final : public Network {
   std::deque<Message> inbox_;
   std::vector<std::deque<Bytes>> outbox_;  ///< per peer, flushed by the pump
   Stats stats_;
+
+  // Membership epoch state (guarded by mutex_).
+  std::uint32_t epoch_ = 0;
+  struct FutureMessage {
+    Message message;
+    std::uint32_t epoch = 0;
+    std::size_t cost = 0;  ///< bytes charged against the budget
+  };
+  std::deque<FutureMessage> future_;  ///< next-epoch traffic, arrival order
+  ResourceBudget* budget_ = nullptr;
 };
 
 }  // namespace sintra::net::transport

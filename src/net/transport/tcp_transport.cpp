@@ -80,7 +80,8 @@ struct TcpTransport::Peer {
 
 TcpTransport::TcpTransport(Config config, ReceiveFn receive)
     : config_(std::move(config)), receive_(std::move(receive)),
-      rng_(config_.seed ^ (0x7c0ffee5ULL * static_cast<std::uint64_t>(config_.node_id + 1))) {
+      rng_(config_.seed ^ (0x7c0ffee5ULL * static_cast<std::uint64_t>(config_.node_id + 1))),
+      epoch_(config_.epoch) {
   const int n = static_cast<int>(config_.endpoints.size());
   SINTRA_REQUIRE(n >= 1 && config_.node_id >= 0 && config_.node_id < n,
                  "tcp: node_id out of range");
@@ -193,6 +194,10 @@ void TcpTransport::schedule_flush(int peer) {
     owner.flush_posted = false;
     if (owner.conn != nullptr && owner.conn->established) flush_link(peer);
   });
+}
+
+void TcpTransport::set_epoch(std::uint32_t epoch) {
+  loop_.post([this, epoch] { epoch_ = epoch; });
 }
 
 TcpTransport::Stats TcpTransport::stats() const {
@@ -338,6 +343,16 @@ void TcpTransport::on_pending_readable(int fd) {
     reject();
     return;
   }
+  if (!epoch_compatible(hello.epoch)) {
+    // A peer fenced out by reconfiguration (or far behind one): refuse the
+    // handshake — its traffic belongs to another committee.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.epoch_rejects;
+    }
+    reject();
+    return;
+  }
   // Authenticate the stream under the claimed peer's link key: the MAC is
   // what proves the claim (only the dealer-keyed peer can produce it).
   FrameDecoder decoder;
@@ -400,6 +415,7 @@ void TcpTransport::send_hello(Conn& conn, int peer) {
   hello.node_id = static_cast<std::uint32_t>(config_.node_id);
   hello.nonce = conn.my_nonce;
   hello.recv_cursor = p.link.recv_cursor();
+  hello.epoch = epoch_;
   // A fresh connection's outq cannot be over quota; the check is vacuous.
   (void)queue_bytes(conn, encode_frame(FrameType::kHello, hello.encode(), link_key(peer)));
   {
@@ -510,6 +526,14 @@ void TcpTransport::handle_frame(int peer, FrameType type, BytesView body) {
       const HelloBody hello = HelloBody::decode(reader);
       SINTRA_REQUIRE(hello.version == kProtocolVersion, "tcp: version mismatch");
       SINTRA_REQUIRE(static_cast<int>(hello.node_id) == peer, "tcp: HELLO claims wrong id");
+      if (!epoch_compatible(hello.epoch)) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.epoch_rejects;
+        }
+        drop_connection(peer, /*redial=*/true);
+        return;
+      }
       const std::uint64_t low = config_.node_id < peer ? conn.my_nonce : hello.nonce;
       const std::uint64_t high = config_.node_id < peer ? hello.nonce : conn.my_nonce;
       conn.session_key = derive_session_key(link_key(peer), low, high);
@@ -532,25 +556,40 @@ void TcpTransport::handle_frame(int peer, FrameType type, BytesView body) {
         // straight to the receiver, never becoming an owned Bytes here.
         const DataBatchView batch = DataBatchView::decode(body);
         p.link.on_ack(batch.ack);
+        // Epoch fence: wrong-epoch payloads never reach the protocol
+        // layer, but the link still consumes their sequence numbers (and
+        // acks them) so the sender releases them instead of retransmitting
+        // a frame we will never accept.
+        const bool fenced = !epoch_compatible(batch.epoch);
         bool ack_now = false;
         std::uint64_t delivered = 0;
+        std::uint64_t filtered = 0;
         for (const DataBatchView::Record& record : batch.records) {
           const ReliableLink::FastPath fast = p.link.accept_inorder(record.seq, batch.base);
           if (fast.taken) {
-            ++delivered;
-            receive_(peer, record.payload);
+            if (fenced) {
+              ++filtered;
+            } else {
+              ++delivered;
+              receive_(peer, record.payload);
+            }
             ack_now = ack_now || fast.ack_now;
             continue;
           }
           ReliableLink::Incoming incoming = p.link.on_data(
               record.seq, batch.base, Bytes(record.payload.begin(), record.payload.end()));
-          delivered += incoming.deliver.size();
-          for (const Bytes& payload : incoming.deliver) receive_(peer, payload);
+          if (fenced) {
+            filtered += incoming.deliver.size();
+          } else {
+            delivered += incoming.deliver.size();
+            for (const Bytes& payload : incoming.deliver) receive_(peer, payload);
+          }
           ack_now = ack_now || incoming.ack_now;
         }
-        if (delivered > 0) {
+        if (delivered > 0 || filtered > 0) {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           stats_.payloads_delivered += delivered;
+          stats_.epoch_filtered += filtered;
         }
         after_deliveries(ack_now);
         return;
@@ -559,13 +598,20 @@ void TcpTransport::handle_frame(int peer, FrameType type, BytesView body) {
         Reader reader(body);
         DataBody data = DataBody::decode(reader);
         p.link.on_ack(data.ack);
+        const bool fenced = !epoch_compatible(data.epoch);
         ReliableLink::Incoming incoming =
             p.link.on_data(data.seq, data.base, std::move(data.payload));
         if (!incoming.deliver.empty()) {
           std::lock_guard<std::mutex> lock(stats_mutex_);
-          stats_.payloads_delivered += incoming.deliver.size();
+          if (fenced) {
+            stats_.epoch_filtered += incoming.deliver.size();
+          } else {
+            stats_.payloads_delivered += incoming.deliver.size();
+          }
         }
-        for (const Bytes& payload : incoming.deliver) receive_(peer, payload);
+        if (!fenced) {
+          for (const Bytes& payload : incoming.deliver) receive_(peer, payload);
+        }
         after_deliveries(incoming.ack_now);
         return;
       }
@@ -609,6 +655,7 @@ void TcpTransport::flush_link(int peer) {
     DataBatchBody batch;
     batch.ack = p.link.recv_cursor();
     batch.base = frames.front().base;
+    batch.epoch = epoch_;
     std::size_t batch_bytes = 0;
     bool ok = true;
     const auto emit = [&]() {

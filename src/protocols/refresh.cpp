@@ -137,6 +137,11 @@ void ShareRefresh::maybe_finish() {
     if (((applied >> k) & 1) == 0) continue;
     const Candidate& candidate = candidates_[k];
     ++result.dealings_applied;
+    // The quorum approved this dealing but our own sub-share failed local
+    // verification: everyone else moves to the new polynomial while our
+    // evaluation point is garbage.  Apply it anyway (the group decision
+    // stands) but flag the share unusable so the caller quarantines it.
+    if (!candidate.valid) result.share_valid = false;
     result.new_share = group.scalar_add(result.new_share, candidate.my_subshare);
     for (int j = 0; j < host_.n(); ++j) {
       result.new_verification[static_cast<std::size_t>(j)] =
@@ -145,7 +150,7 @@ void ShareRefresh::maybe_finish() {
     }
   }
   host_.trace("refresh", tag_ + " applied " + std::to_string(result.dealings_applied) +
-                             " dealings");
+                             " dealings" + (result.share_valid ? "" : " (own share unusable)"));
   result_ = result;
   // Epoch GC: the result carries everything callers need; the commitment
   // vectors (t+1 group elements per candidate) and verdict masks are dead

@@ -49,6 +49,14 @@ class ShareRefresh final : public ProtocolInstance {
     crypto::BigInt new_share;
     std::vector<crypto::Element> new_verification;  ///< g^{x'_j} per party
     int dealings_applied = 0;
+    /// False when an APPLIED dealing's sub-share for this party failed its
+    /// local verification — the documented gap where a Byzantine dealer
+    /// targets a party whose verdict missed the first quorum.  The new
+    /// share is then unusable; the party must not serve with it and
+    /// recovers via a subsequent epoch (reconfiguration identity-reshare),
+    /// instead of discovering the corruption the first time a signature
+    /// share it emits fails to verify.
+    bool share_valid = true;
   };
   using DoneFn = std::function<void(Result)>;
 

@@ -15,10 +15,12 @@
 #include "crypto/threshold_sig.hpp"
 #include "net/transport/framing.hpp"
 #include "net/transport/link.hpp"
+#include "net/transport/networked_node.hpp"
 #include "protocols/abba.hpp"
 #include "protocols/broadcast.hpp"
 #include "protocols/consistent.hpp"
 #include "protocols/harness.hpp"
+#include "protocols/reconfig.hpp"
 #include "protocols/vba.hpp"
 
 namespace sintra {
@@ -725,6 +727,97 @@ TEST(FuzzTest, CurveBatchVerifierRejectsTamperedShares) {
         (void)crypto::batch::verify_coin_shares(coin.public_key, name, identity_valued, rng);
       },
       "verify_coin_shares(curve identity)");
+}
+
+// ---- reconfiguration / state-transfer wire messages ------------------------
+
+TEST(FuzzTest, ReconfigWireDecodersSurviveFuzzAndTruncation) {
+  auto group = Group::test_group();
+
+  protocols::ReconfigPlan plan;  // valid: epoch 1, (4,1) -> (4,1), all stay
+  plan.new_epoch = 1;
+  plan.n_old = 4;
+  plan.t_old = 1;
+  plan.n_new = 4;
+  plan.t_new = 1;
+  plan.old_slot = {0, 1, 2, 3};
+  {
+    Writer w;
+    plan.encode(w);
+    const auto decode = [](const Bytes& b) {
+      Reader r(b);
+      (void)protocols::ReconfigPlan::decode(r);
+      r.expect_done();
+    };
+    truncation_sweep(w.data(), decode);
+    fuzz(decode, 61);
+  }
+
+  protocols::NewConfig config;
+  config.plan = plan;
+  config.fence.chain_digest = crypto::chain_initial();  // unfenced placeholder
+  for (int i = 0; i < 4; ++i) {
+    config.coin_verification.push_back(group->exp_g(crypto::BigInt(i + 2)));
+    config.tdh2_verification.push_back(group->exp_g(crypto::BigInt(i + 3)));
+    config.reply_verification.push_back(crypto::BigInt(1000 + i));
+    config.cert_verification.push_back(crypto::BigInt(2000 + i));
+  }
+  config.reply_scale = crypto::BigInt(1);
+  config.cert_scale = crypto::BigInt(1);
+  config.reply_share_bits = 512;
+  config.cert_share_bits = 512;
+  config.signature = crypto::BigInt(7);
+  {
+    Writer w;
+    config.encode(w, *group);
+    const auto decode = [&](const Bytes& b) {
+      Reader r(b);
+      (void)protocols::NewConfig::decode(r, *group);
+      r.expect_done();
+    };
+    truncation_sweep(w.data(), decode);
+    fuzz(decode, 62);
+  }
+
+  protocols::JoinPackage package;
+  package.config = config;
+  package.applied = {0, 1};
+  for (int d = 0; d < 2; ++d) {
+    package.coin_commitments.push_back({group->exp_g(crypto::BigInt(d + 5)), group->g()});
+    package.tdh2_commitments.push_back({group->exp_g(crypto::BigInt(d + 6)), group->g()});
+    package.reply_commitments.push_back({crypto::BigInt(10 + d), crypto::BigInt(11 + d)});
+    package.cert_commitments.push_back({crypto::BigInt(20 + d), crypto::BigInt(21 + d)});
+    package.coin_subshares.push_back(crypto::BigInt(30 + d));
+    package.tdh2_subshares.push_back(crypto::BigInt(40 + d));
+    package.reply_subshares.push_back(crypto::BigInt(50 + d));
+    package.cert_subshares.push_back(crypto::BigInt(60 + d));
+  }
+  {
+    Writer w;
+    package.encode(w, *group);
+    const auto decode = [&](const Bytes& b) {
+      Reader r(b);
+      (void)protocols::JoinPackage::decode(r, *group);
+      r.expect_done();
+    };
+    truncation_sweep(w.data(), decode);
+    fuzz(decode, 63);
+  }
+}
+
+TEST(FuzzTest, EpochStampedNodePayloadSurvivesFuzzAndTruncation) {
+  net::Message message;
+  message.from = 1;
+  message.to = 0;
+  message.tag = "svc";
+  message.payload = bytes_of("epoch-stamped");
+  const Bytes valid = net::transport::NetworkedNode::encode_payload(message, 5);
+  const auto decode = [](const Bytes& b) {
+    std::uint32_t epoch = 0;
+    (void)net::transport::NetworkedNode::decode_payload(1, 0, b, &epoch);
+  };
+  truncation_sweep(valid, decode);
+  fuzz(decode, 64);
 }
 
 }  // namespace

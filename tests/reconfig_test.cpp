@@ -1,0 +1,1273 @@
+// Online membership reconfiguration (issue 9).
+//
+// Layers under test, bottom-up:
+//   - crypto/reshare: DL and RSA verifiable share redistribution preserve
+//     the shared secret across (n, t) -> (n', t') committee changes while
+//     old shares stop combining with new ones;
+//   - protocols/reconfig: the epoch protocol — swap / grow / shrink
+//     committees over the embedded atomic broadcast, Byzantine dealers
+//     fingered, too-few dealings aborting cleanly with the old committee
+//     intact, joiners verifying a JoinPackage, and pre-epoch coin values,
+//     TDH2 ciphertexts and checkpoint certificates surviving the epoch;
+//   - chaos: the same epoch under message chaos, a mid-epoch crash restart
+//     (WAL replay), and an active LoopbackHub partition schedule;
+//   - epoch plumbing: frame-level epoch stamping (framing v3, TcpTransport
+//     HELLO window), NetworkedNode payload gating and future-epoch
+//     buffering, Party epoch-log snapshots, and a mid-epoch WAL snapshot
+//     restoring bit-exactly under ExecutorPool(4);
+//   - app/client: ServiceClient follows a signed NEW-CONFIG announcement
+//     and rejects stale or tampered ones;
+//   - protocols/refresh: the documented gap — an applied-but-invalid
+//     sub-share is DETECTED (share_valid == false) instead of surfacing as
+//     a bad signature share later.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adversary/quorum.hpp"
+#include "app/client.hpp"
+#include "common/executor.hpp"
+#include "common/rng.hpp"
+#include "crypto/reshare.hpp"
+#include "crypto/shamir.hpp"
+#include "crypto/sha256.hpp"
+#include "net/fault.hpp"
+#include "net/transport/framing.hpp"
+#include "net/transport/loopback.hpp"
+#include "net/transport/networked_node.hpp"
+#include "net/transport/tcp_transport.hpp"
+#include "protocols/harness.hpp"
+#include "protocols/reconfig.hpp"
+#include "protocols/refresh.hpp"
+
+namespace sintra {
+namespace {
+
+using adversary::Deployment;
+using common::ExecutorPool;
+using crypto::BigInt;
+using crypto::CheckpointCert;
+using crypto::PartySet;
+using crypto::contains;
+using crypto::party_bit;
+using net::PartitionProfile;
+using net::transport::LoopbackHub;
+using net::transport::NetworkedNode;
+using protocols::AtomicBroadcast;
+using protocols::ChaosCluster;
+using protocols::Cluster;
+using protocols::HostedParty;
+using protocols::JoinListener;
+using protocols::JoinPackage;
+using protocols::NewConfig;
+using protocols::Reconfig;
+using protocols::ReconfigOptions;
+using protocols::ReconfigPlan;
+using protocols::ReconfigResult;
+using protocols::ShareRefresh;
+using protocols::reconfig_channel_key;
+using protocols::reconfig_deployment;
+using protocols::reconfig_public_deployment;
+
+constexpr const char* kTag = "reconfig";
+
+/// Out-of-band provisioned pairwise secret between old member `dealer` and
+/// the joiner filling new slot `slot` in epoch `epoch`.  Both sides of a
+/// test derive it from the same inputs, standing in for the operator
+/// channel that provisions real deployments.
+Bytes join_key(std::uint32_t epoch, int dealer, int slot) {
+  Writer w;
+  w.u32(epoch);
+  w.u32(static_cast<std::uint32_t>(dealer));
+  w.u32(static_cast<std::uint32_t>(slot));
+  return crypto::hash_expand("test/reconfig/join-key", w.data(), 32);
+}
+
+ReconfigPlan make_plan(std::uint32_t epoch, int n_old, int t_old, int t_new,
+                       std::vector<std::int32_t> old_slot) {
+  ReconfigPlan plan;
+  plan.new_epoch = epoch;
+  plan.n_old = n_old;
+  plan.t_old = t_old;
+  plan.n_new = static_cast<std::int32_t>(old_slot.size());
+  plan.t_new = t_new;
+  plan.old_slot = std::move(old_slot);
+  return plan;
+}
+
+/// (4,1) -> (4,1): old slot 3 retires, a blank joiner fills new slot 3.
+ReconfigPlan swap_plan() { return make_plan(1, 4, 1, 1, {0, 1, 2, -1}); }
+/// (4,1) -> (5,1): everyone survives, a joiner fills new slot 4.
+ReconfigPlan grow_plan() { return make_plan(1, 4, 1, 1, {0, 1, 2, 3, -1}); }
+
+struct ReconfigState {
+  std::unique_ptr<Reconfig> reconfig;
+  std::optional<ReconfigResult> result;
+};
+
+ReconfigOptions options_for(const ReconfigPlan& plan, int id, PartySet garbage) {
+  ReconfigOptions options;
+  for (int slot = 0; slot < plan.n_new; ++slot) {
+    if (plan.joining(slot)) options.join_keys[slot] = join_key(plan.new_epoch, id, slot);
+  }
+  options.deal_garbage = contains(garbage, id);
+  return options;
+}
+
+/// One reconfiguration epoch over the simulator: an old committee dealt by
+/// `deployment` (or a fresh threshold one) runs Reconfig for `plan`.
+struct EpochHarness {
+  EpochHarness(Deployment dep, ReconfigPlan p, std::uint64_t seed, PartySet garbage = 0,
+               std::optional<CheckpointCert> fence = std::nullopt)
+      : deployment(std::move(dep)), plan(std::move(p)), fence_(std::move(fence)),
+        sched(seed * 3 + 1),
+        cluster(
+            deployment, sched,
+            [this, garbage](net::Party& party, int id) {
+              auto state = std::make_unique<ReconfigState>();
+              state->reconfig = std::make_unique<Reconfig>(
+                  party, kTag, plan, fence_, options_for(plan, id, garbage),
+                  [s = state.get()](const ReconfigResult& r) { s->result = r; });
+              return state;
+            },
+            0, 0, seed) {}
+
+  static EpochHarness fresh(ReconfigPlan plan, std::uint64_t seed, PartySet garbage = 0) {
+    Rng rng(seed);
+    auto deployment = Deployment::threshold(plan.n_old, plan.t_old, rng);
+    return EpochHarness(std::move(deployment), std::move(plan), seed, garbage);
+  }
+
+  bool run() {
+    cluster.start();
+    cluster.for_each([](int, ReconfigState& s) { s.reconfig->start(); });
+    return cluster.run_until_all([](ReconfigState& s) { return s.result.has_value(); },
+                                 60000000);
+  }
+
+  const ReconfigResult& result(int id) { return *cluster.protocol(id)->result; }
+
+  /// Run a JoinListener for `joiner_slot` against `provider`'s package.
+  ReconfigResult join(int joiner_slot, int provider) {
+    std::map<int, Bytes> keys;
+    for (int dealer = 0; dealer < plan.n_old; ++dealer) {
+      keys[dealer] = join_key(plan.new_epoch, dealer, joiner_slot);
+    }
+    const auto& old_public = deployment.keys->public_keys();
+    JoinListener listener(kTag, joiner_slot, std::move(keys), old_public.coin.group_ptr(),
+                          old_public);
+    EXPECT_TRUE(
+        listener.offer(cluster.protocol(provider)->reconfig->join_package(joiner_slot)));
+    EXPECT_TRUE(listener.ready());
+    return *listener.result();
+  }
+
+  Deployment deployment;
+  ReconfigPlan plan;
+  std::optional<CheckpointCert> fence_;
+  net::RandomScheduler sched;
+  Cluster<ReconfigState> cluster;
+};
+
+/// Assemble the full new-committee Deployment (every slot's REAL share)
+/// from the epoch results — what an operator rolling the whole fleet to
+/// the new epoch holds collectively.  `results` is indexed by new slot;
+/// joiner slots take the JoinListener-derived result.
+Deployment assemble_committee(const Deployment& old, const ReconfigPlan& plan,
+                              const std::vector<ReconfigResult>& results) {
+  const auto base_key = [&](int a, int b) -> Bytes {
+    const int oa = plan.old_slot.at(static_cast<std::size_t>(a));
+    const int ob = plan.old_slot.at(static_cast<std::size_t>(b));
+    if (oa >= 0 && ob >= 0) {
+      return old.keys->share(oa).channel_keys.at(static_cast<std::size_t>(ob));
+    }
+    if (oa >= 0) return join_key(plan.new_epoch, oa, b);  // b is the joiner
+    return join_key(plan.new_epoch, ob, a);               // a is the joiner
+  };
+  std::vector<crypto::PartyKeyShare> shares;
+  for (int slot = 0; slot < plan.n_new; ++slot) {
+    const auto& r = results.at(static_cast<std::size_t>(slot));
+    std::vector<Bytes> channel_keys(static_cast<std::size_t>(plan.n_new));
+    for (int peer = 0; peer < plan.n_new; ++peer) {
+      if (peer == slot) continue;
+      channel_keys[static_cast<std::size_t>(peer)] =
+          reconfig_channel_key(plan.new_epoch, base_key(slot, peer));
+    }
+    shares.push_back(crypto::PartyKeyShare{
+        crypto::CoinSecretKey(slot, {{slot, r.coin_share}}),
+        crypto::ThresholdSigSecretKey(slot, {{slot, r.cert_share}}),
+        crypto::ThresholdSigSecretKey(slot, {{slot, r.reply_share}}),
+        crypto::Tdh2SecretKey(slot, {{slot, r.tdh2_share}}), std::move(channel_keys)});
+  }
+  const auto& old_public = old.keys->public_keys();
+  Deployment reference =
+      reconfig_deployment(results[0], old_public.coin.group_ptr(), old_public,
+                          std::vector<Bytes>(static_cast<std::size_t>(plan.n_new)));
+  Deployment committee;
+  committee.quorum = reference.quorum;
+  committee.keys = std::make_shared<const crypto::KeyBundle>(
+      reference.keys->public_keys(), std::move(shares));
+  return committee;
+}
+
+/// Results for every new slot: survivors from the cluster, joiners via a
+/// JoinListener fed from survivor 0's package.
+std::vector<ReconfigResult> all_results(EpochHarness& h) {
+  std::vector<ReconfigResult> results(static_cast<std::size_t>(h.plan.n_new));
+  int provider = -1;
+  for (int old = 0; old < h.plan.n_old; ++old) {
+    const auto& r = h.result(old);
+    if (r.new_slot >= 0) {
+      results[static_cast<std::size_t>(r.new_slot)] = r;
+      if (provider < 0) provider = old;
+    }
+  }
+  for (int slot = 0; slot < h.plan.n_new; ++slot) {
+    if (h.plan.joining(slot)) results[static_cast<std::size_t>(slot)] = h.join(slot, provider);
+  }
+  return results;
+}
+
+// ---- crypto/reshare unit level --------------------------------------------
+
+TEST(ReshareTest, DlRedistributionPreservesSecretAcrossGeometryChange) {
+  auto group = crypto::Group::test_group();
+  Rng rng(42);
+  const BigInt secret = group->random_scalar(rng);
+  crypto::ThresholdScheme old_scheme(4, 1);
+  const auto old_shares = old_scheme.deal(secret, group->q(), rng);
+
+  // Old slots 1 and 3 (any t+1) each deal a degree-2 resharing to 7 slots.
+  const std::vector<int> dealers = {1, 3};
+  std::vector<std::vector<crypto::Element>> commitments;
+  std::vector<crypto::FeldmanDealing> dealings;
+  for (int j : dealers) {
+    auto dealing = crypto::dl_reshare_deal(
+        *group, old_shares[static_cast<std::size_t>(j)], 7, 2, rng);
+    // Binding: the constant-term commitment IS the dealer's old public
+    // verification value.
+    EXPECT_EQ(dealing.commitments[0],
+              group->exp_g(old_shares[static_cast<std::size_t>(j)]));
+    commitments.push_back(dealing.commitments);
+    dealings.push_back(std::move(dealing));
+  }
+
+  std::map<int, BigInt> new_shares;
+  for (int slot = 0; slot < 7; ++slot) {
+    std::vector<BigInt> subshares;
+    for (const auto& dealing : dealings) {
+      subshares.push_back(dealing.shares[static_cast<std::size_t>(slot)]);
+    }
+    new_shares[slot] = crypto::dl_combine_subshares(*group, dealers, subshares);
+  }
+
+  // Any t'+1 = 3 new shares reconstruct the ORIGINAL secret.
+  crypto::ThresholdScheme new_scheme(7, 2);
+  std::map<int, BigInt> quorum{{0, new_shares[0]}, {3, new_shares[3]}, {6, new_shares[6]}};
+  EXPECT_EQ(new_scheme.reconstruct(quorum, group->q()), secret);
+
+  // New verification values follow from commitments alone and match.
+  const auto verification = crypto::dl_new_verification(*group, dealers, commitments, 7);
+  for (int slot = 0; slot < 7; ++slot) {
+    EXPECT_EQ(verification[static_cast<std::size_t>(slot)], group->exp_g(new_shares[slot]));
+  }
+
+  // Mixing an OLD share into the new scheme interpolates garbage: the
+  // retired share is useless in the new epoch.
+  std::map<int, BigInt> mixed{{0, old_shares[0]}, {3, new_shares[3]}, {6, new_shares[6]}};
+  EXPECT_NE(new_scheme.reconstruct(mixed, group->q()), secret);
+}
+
+TEST(ReshareTest, RsaRedistributedSharesStillSignUnderOldKey) {
+  Rng rng(43);
+  auto scheme = std::make_shared<const crypto::ThresholdScheme>(4, 1);
+  auto deal = crypto::ThresholdSigDeal::deal(crypto::RsaParams::precomputed(128), scheme, rng);
+  const auto& pk = deal.public_key;
+  const BigInt delta_base = scheme->delta();
+
+  // Dealers 0 and 2 reshare their integer shares to a (5, 1) committee.
+  const std::vector<int> dealers = {0, 2};
+  const std::size_t coeff_bits = crypto::rsa_reshare_coeff_bits(pk.modulus().bit_length());
+  std::vector<std::vector<BigInt>> commitments;
+  std::vector<crypto::RsaReshareDealing> dealings;
+  for (int j : dealers) {
+    const BigInt& share = deal.secret_keys[static_cast<std::size_t>(j)].unit_shares().at(j);
+    auto dealing = crypto::RsaReshareDealing::deal(share, pk.verification(j), coeff_bits, 5, 1,
+                                                   pk.v(), pk.mont(), rng);
+    for (int slot = 0; slot < 5; ++slot) {
+      EXPECT_TRUE(crypto::RsaReshareDealing::verify_subshare(
+          dealing.commitments, slot, dealing.subshares[static_cast<std::size_t>(slot)],
+          pk.v(), pk.mont()));
+    }
+    commitments.push_back(dealing.commitments);
+    dealings.push_back(std::move(dealing));
+  }
+
+  std::vector<BigInt> new_shares;
+  for (int slot = 0; slot < 5; ++slot) {
+    std::vector<BigInt> subshares;
+    for (const auto& dealing : dealings) {
+      subshares.push_back(dealing.subshares[static_cast<std::size_t>(slot)]);
+    }
+    new_shares.push_back(crypto::rsa_combine_subshares(dealers, subshares, delta_base));
+  }
+  const auto verification =
+      crypto::rsa_new_verification(dealers, commitments, 5, delta_base, pk.mont());
+
+  // Rebuild the public key over the compounded-delta scheme and sign with
+  // the NEW shares: the combined signature is a standard RSA signature
+  // under the ORIGINAL key.
+  auto new_base = std::make_shared<const crypto::ThresholdScheme>(5, 1);
+  auto scaled = std::make_shared<const crypto::ScaledScheme>(new_base, scheme->delta());
+  const std::size_t share_bits =
+      crypto::rsa_reshare_share_bits(coeff_bits, 4, 1, 5, 1);
+  crypto::ThresholdSigPublicKey new_pk(pk.modulus(), pk.exponent(), pk.v(), verification,
+                                       scaled, share_bits);
+  const Bytes message = bytes_of("post-epoch statement");
+  std::vector<crypto::SigShare> shares;
+  for (int slot : {1, 4}) {
+    crypto::ThresholdSigSecretKey sk(slot, {{slot, new_shares[static_cast<std::size_t>(slot)]}});
+    for (auto& share : sk.sign(new_pk, message, rng)) {
+      EXPECT_TRUE(new_pk.verify_share(message, share));
+      shares.push_back(share);
+    }
+  }
+  auto signature = new_pk.combine(message, shares);
+  ASSERT_TRUE(signature.has_value());
+  EXPECT_TRUE(pk.verify(message, *signature));
+}
+
+// ---- protocols/reconfig over the simulator --------------------------------
+
+TEST(ReconfigTest, SwapsOneReplicaOnline) {
+  auto h = EpochHarness::fresh(swap_plan(), 5);
+  ASSERT_TRUE(h.run());
+
+  const auto& reference = h.result(0);
+  ASSERT_TRUE(reference.completed);
+  Writer ref_w;
+  reference.config.encode(ref_w, h.deployment.keys->public_keys().coin.group());
+  h.cluster.for_each([&](int id, ReconfigState& s) {
+    ASSERT_TRUE(s.result->completed) << "member " << id;
+    EXPECT_TRUE(s.result->share_valid);
+    EXPECT_EQ(s.result->suspected, 0u);
+    EXPECT_EQ(s.result->new_slot, id == 3 ? -1 : id);
+    // Unique combined signatures make announcements bit-identical.
+    Writer w;
+    s.result->config.encode(w, h.deployment.keys->public_keys().coin.group());
+    EXPECT_EQ(w.data(), ref_w.data());
+  });
+
+  // The announcement verifies under the OLD reply key — the key clients
+  // already hold.
+  const auto& old_public = h.deployment.keys->public_keys();
+  EXPECT_TRUE(reference.config.verify(old_public.reply_sig, kTag, old_public.coin.group()));
+
+  // The joiner bootstraps from any member's package and lands on a share
+  // consistent with the announced verification values.
+  const ReconfigResult joiner = h.join(3, 1);
+  EXPECT_TRUE(joiner.completed);
+  EXPECT_TRUE(joiner.share_valid);
+  EXPECT_EQ(joiner.new_slot, 3);
+  const auto& group = old_public.coin.group();
+  EXPECT_EQ(group.exp_g(joiner.coin_share), reference.config.coin_verification[3]);
+
+  // Secret preservation: old and new coin shares interpolate to the same
+  // key, and the retiree's wiped share is useless in the new epoch.
+  crypto::ThresholdScheme scheme(4, 1);
+  std::map<int, BigInt> old_shares;
+  std::map<int, BigInt> new_shares;
+  for (int id : {0, 2}) {
+    old_shares[id] = h.deployment.keys->share(id).coin.unit_shares().at(id);
+    new_shares[id] = h.result(id).coin_share;
+  }
+  EXPECT_EQ(scheme.reconstruct(old_shares, group.q()),
+            scheme.reconstruct(new_shares, group.q()));
+  std::map<int, BigInt> with_retired{
+      {1, h.result(1).coin_share},
+      {3, h.deployment.keys->share(3).coin.unit_shares().at(3)}};  // retired old share
+  std::map<int, BigInt> pure{{1, h.result(1).coin_share}, {3, joiner.coin_share}};
+  EXPECT_NE(scheme.reconstruct(with_retired, group.q()),
+            scheme.reconstruct(pure, group.q()));
+}
+
+TEST(ReconfigTest, PreEpochArtifactsSurviveGrowth) {
+  auto h = EpochHarness::fresh(grow_plan(), 7);
+  const auto& old_public = h.deployment.keys->public_keys();
+  Rng rng(70);
+
+  // Artifacts minted BEFORE the epoch.
+  const Bytes coin_name = bytes_of("pre-epoch-coin");
+  std::vector<crypto::CoinShare> old_coin_shares;
+  for (int id : {0, 1}) {
+    for (auto& share :
+         h.deployment.keys->share(id).coin.share(old_public.coin, coin_name, rng)) {
+      old_coin_shares.push_back(share);
+    }
+  }
+  const auto pre_coin = old_public.coin.combine(coin_name, old_coin_shares);
+  ASSERT_TRUE(pre_coin.has_value());
+  const auto ciphertext =
+      old_public.encryption.encrypt(bytes_of("sealed before the epoch"), bytes_of("label"), rng);
+
+  ASSERT_TRUE(h.run());
+  auto results = all_results(h);
+  const auto& old_keys = old_public;
+  Deployment committee = assemble_committee(h.deployment, h.plan, results);
+  const auto& new_public = committee.keys->public_keys();
+
+  // The coin is the SAME key: the pre-epoch name yields the identical
+  // value under the redistributed shares (disjoint slots, including the
+  // joiner's).
+  std::vector<crypto::CoinShare> new_coin_shares;
+  for (int slot : {2, 4}) {
+    const auto& sk = committee.keys->share(slot).coin;
+    for (auto& share : sk.share(new_public.coin, coin_name, rng)) {
+      EXPECT_TRUE(new_public.coin.verify_share(coin_name, share));
+      new_coin_shares.push_back(share);
+    }
+  }
+  const auto post_coin = new_public.coin.combine(coin_name, new_coin_shares);
+  ASSERT_TRUE(post_coin.has_value());
+  EXPECT_EQ(*pre_coin, *post_coin);
+
+  // A pre-epoch TDH2 ciphertext decrypts with post-epoch shares.
+  std::vector<crypto::Tdh2DecShare> dec_shares;
+  for (int slot : {1, 3}) {
+    const auto& sk = committee.keys->share(slot).decryption;
+    for (auto& share : sk.decrypt_shares(new_public.encryption, ciphertext, rng)) {
+      EXPECT_TRUE(new_public.encryption.verify_share(ciphertext, share));
+      dec_shares.push_back(share);
+    }
+  }
+  const auto plaintext = new_public.encryption.combine(ciphertext, dec_shares);
+  ASSERT_TRUE(plaintext.has_value());
+  EXPECT_EQ(*plaintext, bytes_of("sealed before the epoch"));
+
+  // Reply signatures from the new committee verify under the ORIGINAL
+  // reply public key (combined RSA signatures are epoch-blind).
+  const Bytes statement = bytes_of("receipt minted after the epoch");
+  std::vector<crypto::SigShare> sig_shares;
+  for (int slot : {0, 4}) {
+    const auto& sk = committee.keys->share(slot).reply_sig;
+    for (auto& share : sk.sign(new_public.reply_sig, statement, rng)) {
+      EXPECT_TRUE(new_public.reply_sig.verify_share(statement, share));
+      sig_shares.push_back(share);
+    }
+  }
+  auto signature = new_public.reply_sig.combine(statement, sig_shares);
+  ASSERT_TRUE(signature.has_value());
+  EXPECT_TRUE(old_keys.reply_sig.verify(statement, *signature));
+}
+
+TEST(ReconfigTest, GrowsThresholdWithCommittee) {
+  // (4,1) -> (7,2): a genuine threshold increase (the issue's t' growth;
+  // n' = 7 is the smallest committee with t' = 2 under n > 3t).
+  auto h = EpochHarness::fresh(make_plan(1, 4, 1, 2, {0, 1, 2, 3, -1, -1, -1}), 9);
+  ASSERT_TRUE(h.run());
+  auto results = all_results(h);
+  const auto& group = h.deployment.keys->public_keys().coin.group();
+
+  // t'+1 = 3 new shares reconstruct the original coin secret; t' = 2 do not
+  // suffice for the (7,2) scheme's qualified test.
+  crypto::ThresholdScheme old_scheme(4, 1);
+  crypto::ThresholdScheme new_scheme(7, 2);
+  std::map<int, BigInt> old_shares{
+      {0, h.deployment.keys->share(0).coin.unit_shares().at(0)},
+      {1, h.deployment.keys->share(1).coin.unit_shares().at(1)}};
+  std::map<int, BigInt> new_shares{{1, results[1].coin_share},
+                                   {4, results[4].coin_share},
+                                   {6, results[6].coin_share}};
+  EXPECT_EQ(old_scheme.reconstruct(old_shares, group.q()),
+            new_scheme.reconstruct(new_shares, group.q()));
+  EXPECT_FALSE(new_scheme.qualified(party_bit(1) | party_bit(4)));
+  for (int slot = 0; slot < 7; ++slot) {
+    EXPECT_EQ(group.exp_g(results[static_cast<std::size_t>(slot)].coin_share),
+              results[0].config.coin_verification[static_cast<std::size_t>(slot)]);
+  }
+}
+
+TEST(ReconfigTest, ByzantineDealerIsFingeredAndEpochCompletes) {
+  auto h = EpochHarness::fresh(grow_plan(), 11, party_bit(2));
+  ASSERT_TRUE(h.run());
+  h.cluster.for_each([&](int id, ReconfigState& s) {
+    ASSERT_TRUE(s.result->completed) << "member " << id;
+    EXPECT_EQ(s.result->suspected, party_bit(2)) << "member " << id;
+    EXPECT_EQ(s.result->dealings_applied, 3);
+    EXPECT_TRUE(s.result->share_valid);
+  });
+  // The joiner's package excludes the garbage dealing and still verifies.
+  const ReconfigResult joiner = h.join(4, 0);
+  EXPECT_TRUE(joiner.completed);
+  EXPECT_EQ(h.deployment.keys->public_keys().coin.group().exp_g(joiner.coin_share),
+            h.result(0).config.coin_verification[4]);
+}
+
+TEST(ReconfigTest, AbortsCleanlyWhenTooFewDealingsApply) {
+  // Two garbage dealers out of four leave only 2 < n-t = 3 applicable
+  // dealings: every member aborts, fingers both, and the old committee
+  // stays intact.
+  auto h = EpochHarness::fresh(swap_plan(), 13, party_bit(1) | party_bit(2));
+  ASSERT_TRUE(h.run());
+  h.cluster.for_each([&](int id, ReconfigState& s) {
+    EXPECT_FALSE(s.result->completed) << "member " << id;
+    EXPECT_EQ(s.result->suspected, party_bit(1) | party_bit(2)) << "member " << id;
+  });
+  // Old shares still work: a post-abort coin toss under the old keys.
+  const auto& old_public = h.deployment.keys->public_keys();
+  Rng rng(131);
+  const Bytes name = bytes_of("post-abort-coin");
+  std::vector<crypto::CoinShare> shares;
+  for (int id : {0, 3}) {
+    for (auto& share : h.deployment.keys->share(id).coin.share(old_public.coin, name, rng)) {
+      shares.push_back(share);
+    }
+  }
+  EXPECT_TRUE(old_public.coin.combine(name, shares).has_value());
+}
+
+TEST(ReconfigTest, JoinListenerRejectsTamperedPackageAndFingersDealer) {
+  auto h = EpochHarness::fresh(swap_plan(), 15);
+  ASSERT_TRUE(h.run());
+  auto package = h.cluster.protocol(0)->reconfig->join_package(3);
+  // Garbage in the sub-share targeting the joiner, inside an applied
+  // dealing: provable misbehavior of that dealer.
+  package.coin_subshares[1] = package.coin_subshares[1] + BigInt(1);
+
+  std::map<int, Bytes> keys;
+  for (int dealer = 0; dealer < 4; ++dealer) keys[dealer] = join_key(1, dealer, 3);
+  const auto& old_public = h.deployment.keys->public_keys();
+  JoinListener listener(kTag, 3, keys, old_public.coin.group_ptr(), old_public);
+  EXPECT_FALSE(listener.offer(package));
+  EXPECT_FALSE(listener.ready());
+  EXPECT_EQ(listener.suspected(), party_bit(package.applied[1]));
+
+  // An honest package still wins afterwards.
+  EXPECT_TRUE(listener.offer(h.cluster.protocol(2)->reconfig->join_package(3)));
+  EXPECT_TRUE(listener.ready());
+}
+
+TEST(ReconfigTest, SequentialEpochsGrowThenShrink) {
+  // Epoch 1: (4,1) -> (5,1) with a joiner; epoch 2: (5,1) -> (4,1), old
+  // slot 1 retires and slots compact.  Reply signatures minted by the
+  // final committee — with a TWICE-compounded delta — still verify under
+  // the epoch-0 reply public key.
+  auto h1 = EpochHarness::fresh(grow_plan(), 17);
+  ASSERT_TRUE(h1.run());
+  Deployment committee1 = assemble_committee(h1.deployment, h1.plan, all_results(h1));
+
+  ReconfigPlan plan2 = make_plan(2, 5, 1, 1, {0, 2, 3, 4});
+  EpochHarness h2(committee1, plan2, 19);
+  ASSERT_TRUE(h2.run());
+  std::vector<ReconfigResult> results2(4);
+  for (int old = 0; old < 5; ++old) {
+    const auto& r = h2.result(old);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.config.plan.new_epoch, 2u);
+    if (r.new_slot >= 0) results2[static_cast<std::size_t>(r.new_slot)] = r;
+  }
+  Deployment committee2 = assemble_committee(committee1, plan2, results2);
+
+  // The compounded scale is the epoch-1 scheme's full delta.
+  const auto& epoch1_reply = committee1.keys->public_keys().reply_sig;
+  EXPECT_EQ(h2.result(0).config.reply_scale, epoch1_reply.scheme().delta());
+
+  const auto& new_public = committee2.keys->public_keys();
+  const Bytes statement = bytes_of("two epochs later");
+  Rng rng(171);
+  std::vector<crypto::SigShare> shares;
+  for (int slot : {0, 3}) {
+    for (auto& share :
+         committee2.keys->share(slot).reply_sig.sign(new_public.reply_sig, statement, rng)) {
+      EXPECT_TRUE(new_public.reply_sig.verify_share(statement, share));
+      shares.push_back(share);
+    }
+  }
+  auto signature = new_public.reply_sig.combine(statement, shares);
+  ASSERT_TRUE(signature.has_value());
+  EXPECT_TRUE(h1.deployment.keys->public_keys().reply_sig.verify(statement, *signature));
+
+  // And the coin secret is still the dealer's original.
+  const auto& group = h1.deployment.keys->public_keys().coin.group();
+  crypto::ThresholdScheme scheme0(4, 1);
+  std::map<int, BigInt> dealt{
+      {0, h1.deployment.keys->share(0).coin.unit_shares().at(0)},
+      {2, h1.deployment.keys->share(2).coin.unit_shares().at(2)}};
+  std::map<int, BigInt> final_shares{{1, results2[1].coin_share},
+                                     {2, results2[2].coin_share}};
+  EXPECT_EQ(scheme0.reconstruct(dealt, group.q()),
+            crypto::ThresholdScheme(4, 1).reconstruct(final_shares, group.q()));
+}
+
+// ---- identical total order across the fence --------------------------------
+
+struct AbcState {
+  std::unique_ptr<AtomicBroadcast> abc;
+  std::vector<std::pair<int, Bytes>> delivered;
+};
+
+Cluster<AbcState>::Factory abc_factory(int checkpoint_interval) {
+  return [checkpoint_interval](net::Party& party, int) {
+    party.enable_wal();  // certified_state and snapshot replay need the log
+    auto state = std::make_unique<AbcState>();
+    state->abc = std::make_unique<AtomicBroadcast>(
+        party, "abc", [s = state.get()](int origin, Bytes payload) {
+          s->delivered.emplace_back(origin, std::move(payload));
+        });
+    if (checkpoint_interval > 0) state->abc->enable_checkpoints(checkpoint_interval);
+    return state;
+  };
+}
+
+TEST(ReconfigTest, JoinerCommitsIdenticalTotalOrderFromInstalledCheckpoint) {
+  Rng rng(21);
+  auto old_deployment = Deployment::threshold(4, 1, rng);
+
+  // Phase 1: the old committee delivers traffic under certified
+  // checkpoints.
+  net::RandomScheduler sched1(210);
+  Cluster<AbcState> service(old_deployment, sched1, abc_factory(1), 0, 0, 21);
+  service.start();
+  for (int id = 0; id < 4; ++id) {
+    service.protocol(id)->abc->submit(bytes_of("pre-" + std::to_string(id)));
+  }
+  ASSERT_TRUE(service.run_until_all(
+      [](AbcState& s) {
+        return s.delivered.size() >= 4 && s.abc->latest_certificate().has_value();
+      },
+      60000000));
+  const CheckpointCert fence = *service.protocol(0)->abc->latest_certificate();
+  const Bytes certified = service.protocol(0)->abc->certified_state(fence);
+  ASSERT_FALSE(certified.empty());
+  const std::vector<std::pair<int, Bytes>> old_log(
+      service.protocol(0)->delivered.begin(),
+      service.protocol(0)->delivered.begin() +
+          static_cast<std::ptrdiff_t>(fence.delivered_count));
+
+  // Phase 2: reconfiguration fenced at that certificate.
+  EpochHarness epoch(old_deployment, swap_plan(), 23, 0, fence);
+  ASSERT_TRUE(epoch.run());
+  auto results = all_results(epoch);
+  EXPECT_EQ(results[0].config.fence.chain_digest, fence.chain_digest);
+  Deployment committee = assemble_committee(old_deployment, epoch.plan, results);
+
+  // The fence certificate verifies under the REBUILT certificate key (same
+  // modulus, new verification values) — what the joiner checks before
+  // trusting a snapshot.
+  EXPECT_TRUE(fence.verify(committee.keys->public_keys().cert_sig, "abc"));
+
+  // Phase 3: the new committee (joiner included) installs the certified
+  // prefix and keeps delivering — everyone, the joiner from its installed
+  // checkpoint forward, commits the identical total order.
+  net::RandomScheduler sched2(230);
+  Cluster<AbcState> next(committee, sched2, abc_factory(1), 0, 0, 25);
+  next.start();
+  next.for_each([&](int id, AbcState& s) {
+    ASSERT_TRUE(s.abc->install_checkpoint(fence, certified)) << "member " << id;
+  });
+  for (int id = 0; id < 4; ++id) {
+    next.protocol(id)->abc->submit(bytes_of("post-" + std::to_string(id)));
+  }
+  const std::size_t want = fence.delivered_count + 4;
+  ASSERT_TRUE(next.run_until_all(
+      [want](AbcState& s) { return s.delivered.size() >= want; }, 60000000));
+
+  const auto& reference = next.protocol(0)->delivered;
+  next.for_each([&](int id, AbcState& s) {
+    ASSERT_GE(s.delivered.size(), want) << "member " << id;
+    for (std::size_t i = 0; i < want; ++i) {
+      EXPECT_EQ(s.delivered[i], reference[i]) << "member " << id << " at " << i;
+    }
+  });
+  // The common prefix is exactly the old committee's certified log.
+  for (std::size_t i = 0; i < old_log.size(); ++i) {
+    EXPECT_EQ(reference[i], old_log[i]) << "certified prefix diverged at " << i;
+  }
+  // The reshared certificate key mints NEW certificates past the fence.
+  EXPECT_TRUE(next.run_until_all(
+      [&](AbcState& s) {
+        const auto& cert = s.abc->latest_certificate();
+        return cert.has_value() && cert->delivered_count > fence.delivered_count;
+      },
+      60000000));
+}
+
+// ---- chaos -----------------------------------------------------------------
+
+std::vector<std::uint64_t> reconfig_seeds() {
+  std::vector<std::uint64_t> seeds = {3};
+  if (const char* env = std::getenv("SINTRA_RECONFIG_SEEDS")) {
+    seeds.clear();
+    std::uint64_t value = 0;
+    bool any = false;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        value = value * 10 + static_cast<std::uint64_t>(*p - '0');
+        any = true;
+      } else {
+        if (any) seeds.push_back(value);
+        value = 0;
+        any = false;
+        if (*p == '\0') break;
+      }
+    }
+    if (seeds.empty()) seeds.push_back(3);
+  }
+  return seeds;
+}
+
+ChaosCluster<ReconfigState>::Factory chaos_factory(const ReconfigPlan& plan) {
+  return [plan](net::Party& party, int id) {
+    auto state = std::make_unique<ReconfigState>();
+    state->reconfig = std::make_unique<Reconfig>(
+        party, kTag, plan, std::nullopt, options_for(plan, id, 0),
+        [s = state.get()](const ReconfigResult& r) { s->result = r; });
+    state->reconfig->start();  // ChaosCluster factories also start
+    return state;
+  };
+}
+
+void expect_agreement(ChaosCluster<ReconfigState>& cluster, const Deployment& deployment) {
+  std::optional<Bytes> reference;
+  cluster.for_each([&](int id, ReconfigState& s) {
+    ASSERT_TRUE(s.result.has_value()) << "member " << id;
+    ASSERT_TRUE(s.result->completed) << "member " << id;
+    Writer w;
+    s.result->config.encode(w, deployment.keys->public_keys().coin.group());
+    if (!reference.has_value()) {
+      reference = w.take();
+      return;
+    }
+    EXPECT_EQ(w.data(), *reference) << "member " << id;
+  });
+}
+
+TEST(ReconfigChaosTest, EpochCompletesUnderMessageChaos) {
+  for (std::uint64_t seed : reconfig_seeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    auto deployment = Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(seed * 31 + 7);
+    ChaosCluster<ReconfigState> cluster(deployment, sched, chaos_factory(swap_plan()), seed);
+    cluster.set_fault_policy(seed * 97 + 1, net::FaultPolicy::chaos());
+    cluster.start();
+    ASSERT_TRUE(cluster.run_until_all(
+        [](ReconfigState& s) { return s.result.has_value(); }, 60000000));
+    expect_agreement(cluster, deployment);
+  }
+}
+
+TEST(ReconfigChaosTest, MidEpochCrashRestartReplaysToTheSameEpoch) {
+  for (std::uint64_t seed : reconfig_seeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed + 100);
+    auto deployment = Deployment::threshold(4, 1, rng);
+    net::RandomScheduler sched(seed * 37 + 5);
+    ChaosCluster<ReconfigState> cluster(deployment, sched, chaos_factory(swap_plan()), seed);
+    // SIGKILL party 1 mid-epoch; the restarted incarnation replays its WAL
+    // and must land on the identical announcement.
+    cluster.set_restarting(1, /*crash_after=*/12, /*down_for=*/8);
+    cluster.start();
+    ASSERT_TRUE(cluster.run_until_all(
+        [](ReconfigState& s) { return s.result.has_value(); }, 60000000));
+    expect_agreement(cluster, deployment);
+  }
+}
+
+// ---- loopback: partition schedule + WAL snapshots --------------------------
+
+constexpr int kLoopN = 4;
+
+/// Four NetworkedNode+LoopbackHub parties running one reconfiguration
+/// epoch over real (in-process) transport framing.
+struct LoopbackEpoch {
+  Deployment deployment;
+  ReconfigPlan plan;
+  std::uint64_t seed;
+  LoopbackHub hub;
+  std::vector<std::unique_ptr<NetworkedNode>> nodes;
+  std::vector<std::unique_ptr<HostedParty<ReconfigState>>> hosts;
+  std::vector<std::unique_ptr<ExecutorPool>> execs;
+  std::size_t executors;
+
+  LoopbackEpoch(Deployment d, ReconfigPlan p, std::uint64_t s, std::size_t executor_count = 0)
+      : deployment(std::move(d)), plan(std::move(p)), seed(s), hub(kLoopN, s),
+        nodes(kLoopN), hosts(kLoopN), execs(kLoopN), executors(executor_count) {
+    for (int id = 0; id < kLoopN; ++id) build_node(id);
+  }
+
+  ~LoopbackEpoch() {
+    for (auto& pool : execs) {
+      if (pool) pool->stop();
+    }
+  }
+
+  void build_node(int id) {
+    const auto slot = static_cast<std::size_t>(id);
+    NetworkedNode::Config config;
+    config.node_id = id;
+    config.n = kLoopN;
+    auto node = std::make_unique<NetworkedNode>(config);
+    auto pool = std::make_unique<ExecutorPool>(executors);
+    auto host = std::make_unique<HostedParty<ReconfigState>>(
+        *node, id, deployment, seed * 7919 + static_cast<std::uint64_t>(id),
+        [&](net::Party& party) {
+          party.enable_wal();
+          party.set_executors(pool.get());
+          auto state = std::make_unique<ReconfigState>();
+          party.with_instance(kTag, [&] {
+            state->reconfig = std::make_unique<Reconfig>(
+                party, kTag, plan, std::nullopt, options_for(plan, id, 0),
+                [s = state.get()](const ReconfigResult& r) { s->result = r; });
+            state->reconfig->start();
+          });
+          return state;
+        });
+    node->set_executors(pool.get());
+    node->attach(*host);
+    node->bind_transport_batched([this, id](int peer, std::vector<Bytes> payloads) {
+      hub.send_many(id, peer, std::move(payloads));
+    });
+    hub.set_receiver(id, [raw = node.get()](int from, BytesView payload) {
+      raw->on_transport_receive(from, payload);
+    });
+    nodes[slot] = std::move(node);
+    hosts[slot] = std::move(host);
+    execs[slot] = std::move(pool);
+  }
+
+  bool run_until(const std::function<bool()>& done, std::size_t max_iters = 3'000'000) {
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+      if (done()) return true;
+      bool progressed = false;
+      for (auto& node : nodes) {
+        if (node) progressed = (node->poll() > 0) || progressed;
+      }
+      progressed = hub.step() || progressed;
+      if (!progressed) {
+        for (auto& pool : execs) {
+          if (pool) pool->wait_idle();
+        }
+        for (auto& node : nodes) {
+          if (node) node->poll();
+        }
+        hub.tick();
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    }
+    return done();
+  }
+
+  bool all_done() {
+    for (auto& host : hosts) {
+      if (host && !host->protocol().result.has_value()) return false;
+    }
+    return true;
+  }
+};
+
+TEST(ReconfigChaosTest, EpochCompletesUnderActivePartitionSchedule) {
+  for (std::uint64_t seed : reconfig_seeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed + 200);
+    auto deployment = Deployment::threshold(kLoopN, 1, rng);
+    LoopbackEpoch cluster(deployment, swap_plan(), seed);
+    cluster.hub.set_partition_profile(
+        PartitionProfile::split_heal(kLoopN, seed * 13 + 1, /*period=*/48, /*splits=*/2));
+    ASSERT_TRUE(cluster.run_until([&] { return cluster.all_done(); }));
+    const auto& group = deployment.keys->public_keys().coin.group();
+    Writer ref_w;
+    cluster.hosts[0]->protocol().result->config.encode(ref_w, group);
+    for (int id = 0; id < kLoopN; ++id) {
+      const auto& result = cluster.hosts[static_cast<std::size_t>(id)]->protocol().result;
+      ASSERT_TRUE(result->completed) << "member " << id;
+      Writer w;
+      result->config.encode(w, group);
+      EXPECT_EQ(w.data(), ref_w.data()) << "member " << id;
+    }
+  }
+}
+
+TEST(ReconfigChaosTest, MidEpochWalSnapshotRestoresBitExactly) {
+  // Stop pumping at an arbitrary mid-epoch point, snapshot a party's WAL
+  // under ExecutorPool(4), and restore it into TWO independent fresh
+  // stacks: replay is deterministic by contract, so their re-snapshots
+  // must be bit-identical — whatever executor interleaving produced the
+  // WAL being replayed.
+  Rng rng(77);
+  auto deployment = Deployment::threshold(kLoopN, 1, rng);
+  LoopbackEpoch cluster(deployment, swap_plan(), 7, /*executor_count=*/4);
+  std::size_t steps = 0;
+  cluster.run_until([&] { return ++steps >= 4000 || cluster.all_done(); }, 4000);
+  for (auto& pool : cluster.execs) {
+    if (pool) pool->wait_idle();
+  }
+  const Bytes snapshot = cluster.hosts[1]->snapshot();
+  ASSERT_FALSE(snapshot.empty());
+
+  const auto restore_into_fresh_stack = [&](Bytes& out) {
+    NetworkedNode::Config config;
+    config.node_id = 1;
+    config.n = kLoopN;
+    NetworkedNode fresh_node(config);  // not wired to the hub: replay only
+    ExecutorPool fresh_pool(4);
+    HostedParty<ReconfigState> fresh(
+        fresh_node, 1, deployment, 7 * 7919 + 1, [&](net::Party& party) {
+          party.enable_wal();
+          party.set_executors(&fresh_pool);
+          auto state = std::make_unique<ReconfigState>();
+          party.with_instance(kTag, [&] {
+            state->reconfig = std::make_unique<Reconfig>(
+                party, kTag, cluster.plan, std::nullopt, options_for(cluster.plan, 1, 0),
+                [s = state.get()](const ReconfigResult& r) { s->result = r; });
+            state->reconfig->start();
+          });
+          return state;
+        });
+    fresh.restore(snapshot);
+    fresh_pool.wait_idle();
+    out = fresh.snapshot();
+    fresh_pool.stop();
+  };
+  Bytes first, second;
+  restore_into_fresh_stack(first);
+  restore_into_fresh_stack(second);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// ---- epoch plumbing: framing, transport, node, party -----------------------
+
+TEST(EpochPlumbingTest, FrameBodiesCarryTheEpoch) {
+  net::transport::HelloBody hello;
+  hello.node_id = 3;
+  hello.nonce = 77;
+  hello.recv_cursor = 9;
+  hello.epoch = 5;
+  {
+    Bytes encoded = hello.encode();
+    Reader r(encoded);
+    const auto decoded = net::transport::HelloBody::decode(r);
+    EXPECT_EQ(decoded.epoch, 5u);
+    EXPECT_EQ(decoded.node_id, 3);
+  }
+  net::transport::DataBody data;
+  data.seq = 4;
+  data.ack = 2;
+  data.base = 1;
+  data.epoch = 6;
+  data.payload = bytes_of("p");
+  {
+    Bytes encoded = data.encode();
+    Reader r(encoded);
+    const auto decoded = net::transport::DataBody::decode(r);
+    EXPECT_EQ(decoded.epoch, 6u);
+    EXPECT_EQ(decoded.payload, bytes_of("p"));
+  }
+  net::transport::DataBatchBody batch;
+  batch.ack = 1;
+  batch.base = 0;
+  batch.epoch = 7;
+  batch.records = {{10, bytes_of("a")}, {11, bytes_of("b")}};
+  {
+    Bytes encoded = batch.encode();
+    Reader r(encoded);
+    const auto decoded = net::transport::DataBatchBody::decode(r);
+    EXPECT_EQ(decoded.epoch, 7u);
+    ASSERT_EQ(decoded.records.size(), 2u);
+    EXPECT_EQ(decoded.records[1].payload, bytes_of("b"));
+    const auto view = net::transport::DataBatchView::decode(encoded);
+    EXPECT_EQ(view.epoch, 7u);
+  }
+}
+
+TEST(EpochPlumbingTest, TcpHelloOutsideTheEpochWindowIsRejected) {
+  using net::transport::TcpTransport;
+  const std::uint64_t seed = 911;
+  const auto pair_key = [&](int a, int b) {
+    Writer w;
+    w.u64(seed);
+    w.u32(static_cast<std::uint32_t>(std::min(a, b)));
+    w.u32(static_cast<std::uint32_t>(std::max(a, b)));
+    return crypto::hash_expand("test/tcp/link-key", w.data(), 32);
+  };
+  const auto make_config = [&](int node_id, std::uint32_t epoch) {
+    TcpTransport::Config config;
+    config.node_id = node_id;
+    config.endpoints.resize(2);
+    config.link_keys.resize(2);
+    for (int peer = 0; peer < 2; ++peer) {
+      if (peer != node_id) config.link_keys[static_cast<std::size_t>(peer)] =
+          pair_key(node_id, peer);
+    }
+    config.seed = seed + static_cast<std::uint64_t>(node_id);
+    config.heartbeat_interval_ms = 50;
+    config.heartbeat_timeout_ms = 600;
+    config.reconnect_min_ms = 10;
+    config.reconnect_max_ms = 100;
+    config.ack_flush_ms = 5;
+    config.epoch = epoch;
+    return config;
+  };
+  const auto wait_for = [](const std::function<bool()>& pred, int timeout_ms) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+  };
+
+  // Epochs 0 and 5: the handshake is refused, nothing is delivered.
+  {
+    std::atomic<std::size_t> received{0};
+    TcpTransport a(make_config(0, 5), [&](int, BytesView) { received++; });
+    a.start();
+    auto config_b = make_config(1, 0);
+    config_b.endpoints[0].port = a.listen_port();
+    TcpTransport b(config_b, [](int, BytesView) {});
+    b.start();
+    b.send(0, bytes_of("stale-committee traffic"));
+    ASSERT_TRUE(wait_for(
+        [&] { return a.stats().epoch_rejects + b.stats().epoch_rejects > 0; }, 5000));
+    EXPECT_EQ(received.load(), 0u);
+    b.stop();
+    a.stop();
+  }
+  // Adjacent epochs (the reconfiguration transition window) interoperate.
+  {
+    std::atomic<std::size_t> received{0};
+    TcpTransport a(make_config(0, 2), [&](int, BytesView) { received++; });
+    a.start();
+    auto config_b = make_config(1, 1);
+    config_b.endpoints[0].port = a.listen_port();
+    TcpTransport b(config_b, [](int, BytesView) {});
+    b.start();
+    b.send(0, bytes_of("transition-window traffic"));
+    ASSERT_TRUE(wait_for([&] { return received.load() >= 1; }, 5000));
+    EXPECT_EQ(a.stats().epoch_rejects, 0u);
+    b.stop();
+    a.stop();
+  }
+}
+
+struct CollectorProcess final : public net::Process {
+  std::vector<net::Message> messages;
+  void on_message(const net::Message& message) override { messages.push_back(message); }
+};
+
+TEST(EpochPlumbingTest, NetworkedNodeGatesPayloadsByEpoch) {
+  NetworkedNode::Config config;
+  config.node_id = 0;
+  config.n = 2;
+  config.epoch = 3;
+  config.max_future = 2;
+  NetworkedNode node(config);
+  CollectorProcess collector;
+  node.attach(collector);
+
+  const auto payload_at = [](std::uint32_t epoch, const char* body) {
+    net::Message m;
+    m.from = 1;
+    m.to = 0;
+    m.tag = "svc";
+    m.payload = bytes_of(body);
+    return NetworkedNode::encode_payload(m, epoch);
+  };
+
+  node.on_transport_receive(1, payload_at(3, "current"));   // dispatched
+  node.on_transport_receive(1, payload_at(2, "stale"));     // dropped
+  node.on_transport_receive(1, payload_at(9, "far"));       // dropped
+  node.on_transport_receive(1, payload_at(4, "future-1"));  // buffered
+  node.on_transport_receive(1, payload_at(4, "future-2"));  // buffered
+  node.on_transport_receive(1, payload_at(4, "overflow"));  // max_future hit
+  node.poll();
+  ASSERT_EQ(collector.messages.size(), 1u);
+  EXPECT_EQ(collector.messages[0].payload, bytes_of("current"));
+  EXPECT_EQ(node.stats().epoch_stale, 2u);
+  EXPECT_EQ(node.stats().epoch_buffered, 2u);
+  EXPECT_EQ(node.stats().epoch_dropped, 1u);
+
+  // advance_epoch replays the parked next-epoch traffic in arrival order.
+  node.advance_epoch(4);
+  node.poll();
+  ASSERT_EQ(collector.messages.size(), 3u);
+  EXPECT_EQ(collector.messages[1].payload, bytes_of("future-1"));
+  EXPECT_EQ(collector.messages[2].payload, bytes_of("future-2"));
+  EXPECT_EQ(node.epoch(), 4u);
+
+  // decode_payload surfaces the stamp.
+  std::uint32_t stamped = 0;
+  const auto decoded = NetworkedNode::decode_payload(1, 0, payload_at(6, "x"), &stamped);
+  EXPECT_EQ(stamped, 6u);
+  EXPECT_EQ(decoded.payload, bytes_of("x"));
+}
+
+TEST(EpochPlumbingTest, PartySnapshotCarriesTheEpochLog) {
+  Rng rng(31);
+  auto deployment = Deployment::threshold(4, 1, rng);
+  net::RandomScheduler sched(310);
+  Cluster<AbcState> cluster(deployment, sched, abc_factory(0), 0, 0, 31);
+  cluster.start();
+  cluster.protocol(0)->abc->submit(bytes_of("before the epoch"));
+  ASSERT_TRUE(cluster.run_until_all(
+      [](AbcState& s) { return s.delivered.size() >= 1; }, 60000000));
+
+  net::Party& party = *cluster.party(0);
+  EXPECT_EQ(party.epoch(), 0u);
+  party.begin_epoch(1, {0, 1, 2, -1});
+  party.begin_epoch(1, {9, 9, 9, 9});  // replay of the same epoch: no-op
+  EXPECT_EQ(party.epoch(), 1u);
+  ASSERT_EQ(party.epoch_log().size(), 1u);
+  EXPECT_EQ(party.epoch_log()[0].members, (std::vector<std::int32_t>{0, 1, 2, -1}));
+
+  const Bytes snapshot = party.snapshot();
+  // Restore into a fresh party: the epoch log survives the round-trip and
+  // the delivered prefix re-fires identically.
+  net::RandomScheduler sched2(311);
+  Cluster<AbcState> other(deployment, sched2, abc_factory(0), 0, 0, 31);
+  other.start();
+  other.party(0)->restore(snapshot);
+  EXPECT_EQ(other.party(0)->epoch(), 1u);
+  ASSERT_EQ(other.party(0)->epoch_log().size(), 1u);
+  EXPECT_EQ(other.party(0)->epoch_log()[0].epoch, 1u);
+  EXPECT_EQ(other.party(0)->epoch_log()[0].members, (std::vector<std::int32_t>{0, 1, 2, -1}));
+  EXPECT_EQ(other.protocol(0)->delivered, cluster.protocol(0)->delivered);
+
+  // Replay is deterministic: a second restore from the same bytes lands on
+  // a bit-identical re-snapshot (membership history included).
+  net::RandomScheduler sched3(312);
+  Cluster<AbcState> third(deployment, sched3, abc_factory(0), 0, 0, 31);
+  third.start();
+  third.party(0)->restore(snapshot);
+  EXPECT_EQ(third.party(0)->snapshot(), other.party(0)->snapshot());
+}
+
+// ---- app/client follows a signed NEW-CONFIG --------------------------------
+
+TEST(ReconfigTest, ServiceClientFollowsSignedNewConfig) {
+  auto h = EpochHarness::fresh(grow_plan(), 27);
+  ASSERT_TRUE(h.run());
+  const NewConfig& config = h.result(0).config;
+
+  net::RandomScheduler sched(270);
+  net::Simulator simulator(9, sched);
+  app::ServiceClient client(simulator, /*net_id=*/8, h.deployment, "svc",
+                            app::Replica::Mode::kAtomic, 271, nullptr);
+  EXPECT_EQ(client.config_epoch(), 0u);
+
+  // Tampered signature: rejected, nothing changes.
+  NewConfig forged = config;
+  forged.signature = forged.signature + BigInt(1);
+  EXPECT_FALSE(client.apply_new_config(forged, kTag));
+  EXPECT_EQ(client.config_epoch(), 0u);
+
+  // The authentic announcement moves the client to the new committee.
+  EXPECT_TRUE(client.apply_new_config(config, kTag));
+  EXPECT_EQ(client.config_epoch(), 1u);
+  // Replay (same epoch) is stale.
+  EXPECT_FALSE(client.apply_new_config(config, kTag));
+
+  // The relay path: a replica forwards the announcement on
+  // "<service>/newconfig"; a second client applies it from the wire.
+  app::ServiceClient relayed(simulator, /*net_id=*/8, h.deployment, "svc",
+                             app::Replica::Mode::kAtomic, 272, nullptr);
+  Writer w;
+  w.str(kTag);
+  config.encode(w, h.deployment.keys->public_keys().coin.group());
+  net::Message announcement;
+  announcement.from = 0;
+  announcement.to = 8;
+  announcement.tag = "svc/newconfig";
+  announcement.payload = w.take();
+  relayed.on_message(announcement);
+  EXPECT_EQ(relayed.config_epoch(), 1u);
+}
+
+// ---- refresh gap: applied-but-invalid sub-share is detected ----------------
+
+struct RefreshState {
+  std::unique_ptr<ShareRefresh> refresh;
+  std::optional<ShareRefresh::Result> result;
+};
+
+TEST(ReconfigTest, RefreshDetectsUnusableShareFromMisprovisionedChannel) {
+  // Party 3's pairwise channel keys disagree with everyone else's (the
+  // mis-provisioning stand-in for a Byzantine dealer targeting a party
+  // whose verdict misses the first quorum): every sub-share it unmasks is
+  // garbage.  Whenever a dealing it rejected is nonetheless applied, the
+  // victim must DETECT the unusable share via share_valid == false rather
+  // than serve with it.  Seeds where its verdict makes the first quorum
+  // degrade the epoch instead (fewer applied dealings) — also clean.  At
+  // least one seed must exhibit the detection path.
+  bool detected = false;
+  for (std::uint64_t seed = 1; seed <= 12 && !detected; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    auto deployment = Deployment::threshold(4, 1, rng);
+    std::vector<crypto::PartyKeyShare> shares;
+    for (int id = 0; id < 4; ++id) shares.push_back(deployment.keys->share(id));
+    for (auto& key : shares[3].channel_keys) {
+      if (!key.empty()) key = crypto::hash_expand("test/reconfig/bad-key", key, 32);
+    }
+    Deployment tampered;
+    tampered.quorum = deployment.quorum;
+    tampered.keys =
+        std::make_shared<const crypto::KeyBundle>(deployment.keys->public_keys(), shares);
+
+    net::RandomScheduler sched(seed * 3 + 1);
+    const auto factory = [&](Deployment& dep) {
+      return [&dep](net::Party& party, int id) {
+        auto state = std::make_unique<RefreshState>();
+        state->refresh = std::make_unique<ShareRefresh>(
+            party, "refresh", dep.keys->share(id).coin.unit_shares().at(id),
+            dep.keys->public_keys().coin.verification_values(), 1,
+            [s = state.get()](ShareRefresh::Result r) { s->result = std::move(r); });
+        return state;
+      };
+    };
+    Cluster<RefreshState> cluster(deployment, sched, factory(deployment), 0, 0, seed);
+    auto victim = std::make_unique<HostedParty<RefreshState>>(
+        cluster.simulator(), 3, tampered, seed * 7919 + 3,
+        [&](net::Party& party) { return factory(tampered)(party, 3); });
+    RefreshState& victim_state = victim->protocol();
+    cluster.attach_custom(3, std::move(victim));
+
+    cluster.start();
+    cluster.for_each([](int, RefreshState& s) { s.refresh->start(); });
+    victim_state.refresh->start();
+    ASSERT_TRUE(cluster.simulator().run_until(
+        [&] {
+          bool done = victim_state.result.has_value();
+          for (int id = 0; id < 3; ++id) {
+            done = done && cluster.protocol(id)->result.has_value();
+          }
+          return done;
+        },
+        60000000));
+
+    // The honest majority always ends consistent.
+    const auto& reference = cluster.protocol(0)->result->new_verification;
+    for (int id = 1; id < 3; ++id) {
+      EXPECT_EQ(cluster.protocol(id)->result->new_verification, reference);
+    }
+    if (victim_state.result->dealings_applied > 0 && !victim_state.result->share_valid) {
+      detected = true;
+      // The detected share really is unusable: it does not match the
+      // published verification value.
+      const auto& group = deployment.keys->public_keys().coin.group();
+      EXPECT_NE(group.exp_g(victim_state.result->new_share), reference[3]);
+    }
+  }
+  EXPECT_TRUE(detected) << "no seed exercised the applied-but-invalid detection path";
+}
+
+}  // namespace
+}  // namespace sintra
