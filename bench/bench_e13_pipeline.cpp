@@ -357,7 +357,7 @@ struct ExecutorCluster {
       node->attach(*host);
       // Batched transport: every payload the executors buffered during
       // one pump cycle rides one BATCH super-frame per peer.
-      node->bind_transport_batched([this, id](int peer, std::vector<Bytes> payloads) {
+      node->bind_transport_batched([this, id](int peer, std::vector<net::transport::GroupPayload> payloads) {
         hub.send_many(id, peer, std::move(payloads));
       });
       hub.set_receiver(id, [raw = node.get()](int from, BytesView payload) {

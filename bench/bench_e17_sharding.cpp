@@ -1,0 +1,188 @@
+// Experiment E17 — sharded multi-group operation (google-benchmark).
+//
+// Four machines, each one NetworkedNode hosting S independent SINTRA
+// groups (distinct dealt keys per group) over ONE LoopbackHub link mesh,
+// with ONE machine-wide ExecutorPool per node shared by every tenant.
+// Each group runs a full atomic broadcast; the benchmark measures
+// submit-to-last-delivery for S * K payloads, so items/s is the AGGREGATE
+// committed request rate across shards — the number the shard-scaling
+// acceptance gate reads at S = 1, 2, 4, 8.
+//
+// Because group ids ride per record inside the coalesced BATCH
+// super-frames (wire v4), multiplexing S groups adds zero frames: the
+// payloads-per-batch counter reported per row proves multi-shard flushes
+// still cost one HMAC (and on TCP one sendmsg) per link flush.
+//
+// On a 1-core container the curve collapses to ~1x — the CI bench runner
+// (>= 4 CPUs) produces the real scaling numbers for BENCH_E17.json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adversary/quorum.hpp"
+#include "common/executor.hpp"
+#include "net/transport/loopback.hpp"
+#include "net/transport/networked_node.hpp"
+#include "protocols/atomic.hpp"
+#include "protocols/harness.hpp"
+
+using namespace sintra;
+
+namespace {
+
+using common::ExecutorPool;
+using net::transport::LoopbackHub;
+using net::transport::NetworkedNode;
+using protocols::AtomicBroadcast;
+using protocols::HostedParty;
+
+constexpr int kN = 4;
+constexpr std::size_t kPayloadsPerShard = 4;
+
+struct ShardAbcState {
+  std::unique_ptr<AtomicBroadcast> abc;
+  std::atomic<std::size_t> delivered{0};  ///< read by the pump's done()
+};
+
+/// Four machines × S tenants.  Every tenant of a machine shares that
+/// machine's NetworkedNode (transport link, pump, timers) and its
+/// ExecutorPool; lanes are salted by group id so two shards running the
+/// same protocol tag spread across cores instead of colliding.
+struct ShardedBenchCluster {
+  LoopbackHub hub;
+  std::vector<std::unique_ptr<NetworkedNode>> nodes;
+  /// hosts[node][shard]
+  std::vector<std::vector<std::unique_ptr<HostedParty<ShardAbcState>>>> hosts;
+  // Declared last: pools stop (draining tasks that touch parties and
+  // nodes) before anything they reference is destroyed.
+  std::vector<std::unique_ptr<ExecutorPool>> execs;
+
+  ShardedBenchCluster(const std::vector<adversary::Deployment>& deployments,
+                      std::uint64_t seed, std::size_t executors)
+      : hub(kN, seed) {
+    const auto shards = deployments.size();
+    for (int id = 0; id < kN; ++id) {
+      NetworkedNode::Config config;
+      config.node_id = id;
+      config.n = kN;
+      auto node = std::make_unique<NetworkedNode>(config);
+      auto pool = std::make_unique<ExecutorPool>(executors);
+      std::vector<std::unique_ptr<HostedParty<ShardAbcState>>> tenants;
+      for (std::size_t s = 0; s < shards; ++s) {
+        auto& endpoint = node->add_group(static_cast<std::uint32_t>(s));
+        auto host = std::make_unique<HostedParty<ShardAbcState>>(
+            endpoint, id, deployments[s],
+            seed * 7919 + static_cast<std::uint64_t>(id) * 131 + s,
+            [&pool, s](net::Party& party) {
+              party.set_executors(pool.get());
+              party.set_lane_group(static_cast<std::uint64_t>(s));
+              auto state = std::make_unique<ShardAbcState>();
+              party.with_instance("abc", [&party, &state] {
+                state->abc = std::make_unique<AtomicBroadcast>(
+                    party, "abc", [st = state.get()](int, Bytes) {
+                      st->delivered.fetch_add(1, std::memory_order_relaxed);
+                    });
+              });
+              return state;
+            });
+        endpoint.attach(*host);
+        tenants.push_back(std::move(host));
+      }
+      node->set_executors(pool.get());
+      node->bind_transport_batched(
+          [this, id](int peer, std::vector<net::transport::GroupPayload> payloads) {
+            hub.send_many(id, peer, std::move(payloads));
+          });
+      hub.set_receiver(id, [raw = node.get()](int from, std::uint32_t group, BytesView payload) {
+        raw->on_transport_receive(from, group, payload);
+      });
+      nodes.push_back(std::move(node));
+      hosts.push_back(std::move(tenants));
+      execs.push_back(std::move(pool));
+    }
+  }
+
+  ~ShardedBenchCluster() {
+    for (auto& pool : execs) pool->stop();
+  }
+
+  bool run_until_each_delivered(std::size_t per_shard, std::size_t max_iters = 50'000'000) {
+    auto done = [&] {
+      for (auto& tenants : hosts) {
+        for (auto& host : tenants) {
+          if (host->protocol().delivered.load(std::memory_order_relaxed) < per_shard) {
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+      if (done()) return true;
+      bool progressed = false;
+      for (auto& node : nodes) progressed = (node->poll() > 0) || progressed;
+      progressed = hub.step() || progressed;
+      if (!progressed) {
+        for (auto& pool : execs) pool->wait_idle();
+        for (auto& node : nodes) node->poll();
+        hub.tick();
+        std::this_thread::yield();
+      }
+    }
+    return done();
+  }
+};
+
+void BM_E17ShardedAtomic(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const std::size_t executors = std::min<std::size_t>(4, std::thread::hardware_concurrency());
+  Rng rng(41);
+  // Distinct dealt keys per group: each shard is a real independent
+  // service, not a replay of one key set.  Dealt once, outside timing.
+  std::vector<adversary::Deployment> deployments;
+  for (std::size_t s = 0; s < shards; ++s) {
+    deployments.push_back(adversary::Deployment::threshold(kN, 1, rng));
+  }
+  std::uint64_t seed = 1;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced = 0;
+  bool live = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto cluster = std::make_unique<ShardedBenchCluster>(deployments, ++seed, executors);
+    state.ResumeTiming();
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t k = 0; k < kPayloadsPerShard; ++k) {
+        auto& host = *cluster->hosts[(s + k) % kN][s];
+        host.party().with_instance("abc", [&host, s, k] {
+          host.protocol().abc->submit(bytes_of("s" + std::to_string(s) + "/p" + std::to_string(k)));
+        });
+      }
+    }
+    live = cluster->run_until_each_delivered(kPayloadsPerShard) && live;
+    state.PauseTiming();
+    const LoopbackHub::Stats wire = cluster->hub.stats();
+    batches += wire.batches_sent;
+    coalesced += wire.coalesced_payloads;
+    cluster.reset();
+    state.ResumeTiming();
+  }
+  if (!live) state.SkipWithError("sharded atomic broadcast did not deliver");
+  // Aggregate committed requests across ALL shards: the scaling gate's
+  // numerator.  payloads_per_batch > 1 is the one-HMAC-per-flush proof —
+  // multi-shard traffic coalesced instead of fragmenting into frames.
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * shards * kPayloadsPerShard));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batches"] = static_cast<double>(batches);
+  state.counters["payloads_per_batch"] =
+      batches == 0 ? 0.0 : static_cast<double>(coalesced) / static_cast<double>(batches);
+}
+BENCHMARK(BM_E17ShardedAtomic)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -149,7 +149,7 @@ int run_party(int id, const std::string& dir, const std::vector<std::uint16_t>& 
   });
   node.bind_transport(
       [&transport](int peer, Bytes payload) { transport.send(peer, std::move(payload)); });
-  node.bind_transport_batched([&transport](int peer, std::vector<Bytes> payloads) {
+  node.bind_transport_batched([&transport](int peer, std::vector<net::transport::GroupPayload> payloads) {
     transport.send_many(peer, std::move(payloads));
   });
   transport.start();

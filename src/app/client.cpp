@@ -1,5 +1,7 @@
 #include "app/client.hpp"
 
+#include <algorithm>
+
 #include "crypto/sha256.hpp"
 
 namespace sintra::app {
@@ -247,6 +249,103 @@ bool ServiceClient::verify_receipt(std::uint64_t request_id, BytesView request_b
   envelope.body = Bytes(request_body.begin(), request_body.end());
   const Bytes statement = reply_statement(service_tag_, envelope, receipt.reply);
   return deployment_.keys->public_keys().reply_sig.verify(statement, receipt.signature);
+}
+
+// --- ShardPartitioner ------------------------------------------------------
+
+std::uint64_t ShardPartitioner::mix(std::uint64_t x) {
+  // splitmix64 finalizer: full-avalanche, so per-shard scores for the same
+  // key are statistically independent — the rendezvous requirement.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+void ShardPartitioner::add_shard(std::uint32_t shard) {
+  auto it = std::lower_bound(shards_.begin(), shards_.end(), shard);
+  if (it != shards_.end() && *it == shard) return;
+  shards_.insert(it, shard);
+}
+
+void ShardPartitioner::remove_shard(std::uint32_t shard) {
+  auto it = std::lower_bound(shards_.begin(), shards_.end(), shard);
+  if (it != shards_.end() && *it == shard) shards_.erase(it);
+}
+
+std::uint32_t ShardPartitioner::shard_for(BytesView key) const {
+  SINTRA_REQUIRE(!shards_.empty(), "partitioner: no shards registered");
+  // FNV-1a over the key, then one rendezvous score per shard.
+  std::uint64_t h = 0xcbf29ce484222325ull ^ seed_;
+  for (const auto byte : key) {
+    h ^= byte;
+    h *= 0x100000001b3ull;
+  }
+  std::uint32_t winner = shards_.front();
+  std::uint64_t best = 0;
+  bool first = true;
+  for (const auto shard : shards_) {
+    const std::uint64_t score = mix(h ^ (static_cast<std::uint64_t>(shard) + 1) * 0x9e3779b97f4a7c15ull);
+    if (first || score > best) {
+      first = false;
+      best = score;
+      winner = shard;
+    }
+  }
+  return winner;
+}
+
+std::uint32_t ShardPartitioner::shard_for(std::string_view key) const {
+  return shard_for(BytesView(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
+}
+
+// --- PartitionedClient -----------------------------------------------------
+
+PartitionedClient::PartitionedClient(std::uint64_t seed, ReplyFn on_reply)
+    : seed_(seed), on_reply_(std::move(on_reply)), partitioner_(seed) {}
+
+ServiceClient& PartitionedClient::add_shard(std::uint32_t shard, net::Network& network,
+                                            int net_id, adversary::Deployment deployment,
+                                            std::string service_tag, Replica::Mode mode) {
+  SINTRA_REQUIRE(!clients_.contains(shard), "partitioned client: duplicate shard");
+  auto client = std::make_unique<ServiceClient>(
+      network, net_id, std::move(deployment), std::move(service_tag), mode,
+      seed_ ^ ((static_cast<std::uint64_t>(shard) + 1) * 0x9e3779b97f4a7c15ull),
+      [this, shard](std::uint64_t request_id, ServiceClient::Receipt receipt) {
+        ++completed_;
+        if (on_reply_) on_reply_(shard, request_id, std::move(receipt));
+      });
+  auto& ref = *client;
+  clients_.emplace(shard, std::move(client));
+  partitioner_.add_shard(shard);
+  return ref;
+}
+
+PartitionedClient::RequestHandle PartitionedClient::request(BytesView key, Bytes body) {
+  const std::uint32_t shard = partitioner_.shard_for(key);
+  auto it = clients_.find(shard);
+  SINTRA_INVARIANT(it != clients_.end(), "partitioned client: partitioner chose unknown shard");
+  ++routed_[shard];
+  return RequestHandle{shard, it->second->request(std::move(body))};
+}
+
+PartitionedClient::RequestHandle PartitionedClient::request(std::string_view key, Bytes body) {
+  return request(BytesView(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+                 std::move(body));
+}
+
+ServiceClient& PartitionedClient::shard_client(std::uint32_t shard) {
+  auto it = clients_.find(shard);
+  SINTRA_REQUIRE(it != clients_.end(), "partitioned client: unknown shard");
+  return *it->second;
+}
+
+std::size_t PartitionedClient::outstanding() const {
+  std::size_t total = 0;
+  for (const auto& [shard, client] : clients_) total += client->outstanding();
+  return total;
 }
 
 }  // namespace sintra::app

@@ -14,7 +14,9 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "app/replica.hpp"
 #include "protocols/reconfig.hpp"
@@ -127,6 +129,87 @@ class ServiceClient final : public net::Process {
   std::uint64_t busy_rotations_ = 0;
   std::uint32_t config_epoch_ = 0;  ///< epoch of the committee we follow
   std::map<std::uint64_t, Pending> pending_;
+};
+
+/// Rendezvous (highest-random-weight) mapping from request keys to shard
+/// ids.  Every key scores every shard with an independent pseudo-random
+/// weight and goes to the highest scorer, so removing a shard remaps ONLY
+/// the keys that lived on it — the other shards' keys keep their winner.
+/// That is the property a sharded service needs: resizing the fleet must
+/// not reshuffle traffic that never touched the departed group.
+class ShardPartitioner {
+ public:
+  explicit ShardPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  /// Add a shard id to the candidate set (idempotent).
+  void add_shard(std::uint32_t shard);
+  /// Remove a shard id; keys it owned remap among the survivors.
+  void remove_shard(std::uint32_t shard);
+
+  /// Deterministic owner of `key`.  Requires at least one shard.
+  [[nodiscard]] std::uint32_t shard_for(BytesView key) const;
+  [[nodiscard]] std::uint32_t shard_for(std::string_view key) const;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& shards() const { return shards_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x);
+
+  std::uint64_t seed_;
+  std::vector<std::uint32_t> shards_;  ///< sorted, unique
+};
+
+/// Client-side fan-out across S independent SINTRA groups (shards).  Each
+/// shard is a full replicated service with its own keys and committee; the
+/// partitioner consistent-hashes request keys onto shards, and every reply
+/// funnels through one aggregate callback so the application sees a single
+/// logical service.  One ServiceClient per shard keeps per-shard protocol
+/// state (retries, gateways, reconfiguration) fully independent — a slow
+/// or reconfiguring shard never stalls requests routed elsewhere.
+class PartitionedClient {
+ public:
+  /// Aggregate reply callback: which shard answered, the per-shard request
+  /// id, and the combined-signature receipt.
+  using ReplyFn =
+      std::function<void(std::uint32_t shard, std::uint64_t request_id, ServiceClient::Receipt)>;
+
+  struct RequestHandle {
+    std::uint32_t shard = 0;        ///< group the key hashed to
+    std::uint64_t request_id = 0;   ///< id within that shard's client
+  };
+
+  explicit PartitionedClient(std::uint64_t seed, ReplyFn on_reply);
+
+  /// Register a shard: group id, the Network endpoint carrying that
+  /// group's traffic (e.g. a NetworkedNode GroupEndpoint or a simulator),
+  /// and the shard's own committee/keys.  Shard ids must be unique.
+  ServiceClient& add_shard(std::uint32_t shard, net::Network& network, int net_id,
+                           adversary::Deployment deployment, std::string service_tag,
+                           Replica::Mode mode);
+
+  /// Route `body` by `key`: consistent-hash to a shard, submit through
+  /// that shard's client.
+  RequestHandle request(BytesView key, Bytes body);
+  RequestHandle request(std::string_view key, Bytes body);
+
+  /// Per-shard client access (retry/gateway tuning, receipt verification).
+  [[nodiscard]] ServiceClient& shard_client(std::uint32_t shard);
+  [[nodiscard]] const ShardPartitioner& partitioner() const { return partitioner_; }
+
+  /// Requests routed to each shard so far.
+  [[nodiscard]] const std::map<std::uint32_t, std::uint64_t>& routed() const { return routed_; }
+  /// Receipts delivered across all shards.
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  /// Requests still awaiting a qualified reply, summed over shards.
+  [[nodiscard]] std::size_t outstanding() const;
+
+ private:
+  std::uint64_t seed_;
+  ReplyFn on_reply_;
+  ShardPartitioner partitioner_;
+  std::map<std::uint32_t, std::unique_ptr<ServiceClient>> clients_;
+  std::map<std::uint32_t, std::uint64_t> routed_;
+  std::uint64_t completed_ = 0;
 };
 
 }  // namespace sintra::app

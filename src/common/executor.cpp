@@ -15,8 +15,9 @@ ExecutorPool::ExecutorPool(std::size_t executors) {
 ExecutorPool::~ExecutorPool() { stop(); }
 
 void ExecutorPool::set_notify(Notify notify) {
+  if (!notify) return;
   std::lock_guard<std::mutex> lock(notify_mutex_);
-  notify_ = std::move(notify);
+  notifies_.push_back(std::move(notify));
 }
 
 std::string_view ExecutorPool::tag_root(std::string_view tag) {
@@ -39,6 +40,15 @@ std::uint64_t ExecutorPool::tag_hash(std::string_view tag) {
 std::size_t ExecutorPool::executor_for(std::string_view tag) const {
   if (lanes_.empty()) return 0;
   return static_cast<std::size_t>(tag_hash(tag_root(tag)) % lanes_.size());
+}
+
+std::size_t ExecutorPool::executor_for(std::uint64_t group, std::string_view tag) const {
+  if (lanes_.empty()) return 0;
+  // Salt the tag-root hash with the group id (golden-ratio multiplier
+  // spreads consecutive small ids across the hash space).  group == 0
+  // reduces to the unsalted legacy assignment.
+  const std::uint64_t salted = tag_hash(tag_root(tag)) ^ (group * 0x9e3779b97f4a7c15ull);
+  return static_cast<std::size_t>(salted % lanes_.size());
 }
 
 void ExecutorPool::post(std::size_t index, Task task) {
@@ -80,12 +90,12 @@ void ExecutorPool::lane_loop(Lane& lane) {
       std::lock_guard<std::mutex> lock(idle_mutex_);
       idle_cv_.notify_all();
     }
-    Notify notify;
+    std::vector<Notify> notifies;
     {
       std::lock_guard<std::mutex> lock(notify_mutex_);
-      notify = notify_;
+      notifies = notifies_;
     }
-    if (notify) notify();
+    for (const Notify& notify : notifies) notify();
   }
 }
 

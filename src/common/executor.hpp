@@ -58,6 +58,10 @@ class ExecutorPool {
   [[nodiscard]] std::size_t executors() const { return lanes_.size(); }
   [[nodiscard]] bool sequential() const { return lanes_.empty(); }
 
+  /// Register a wake-up hook.  Hooks are multicast: every registered hook
+  /// fires after a batch, so several hosts (e.g. multiple tenants of a
+  /// machine-wide pool) can each wake their own event loop — a second
+  /// registration adds a listener instead of silently stealing the hook.
   void set_notify(Notify notify);
 
   /// Root segment of an instance tag: everything before the first '/'
@@ -70,6 +74,14 @@ class ExecutorPool {
 
   /// Executor index for an instance tag (0 in sequential mode).
   [[nodiscard]] std::size_t executor_for(std::string_view tag) const;
+
+  /// Executor index for an instance tag within shard `group`.  The lane is
+  /// a stable hash of (group, tag root): each tree inside a group stays
+  /// serial-FIFO, while the same tag in distinct groups lands on distinct
+  /// lanes — S shards hosted on one machine-wide pool spread across cores
+  /// instead of colliding on identical tag roots.  Group 0 reproduces the
+  /// legacy single-tenant assignment exactly.
+  [[nodiscard]] std::size_t executor_for(std::uint64_t group, std::string_view tag) const;
 
   /// Enqueue a task on executor `index`'s MPSC inbox (any thread).
   /// Sequential mode — and a stopped pool — runs the task inline.
@@ -110,7 +122,7 @@ class ExecutorPool {
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
   std::mutex notify_mutex_;
-  Notify notify_;
+  std::vector<Notify> notifies_;  ///< multicast: every registered hook fires
 };
 
 }  // namespace sintra::common

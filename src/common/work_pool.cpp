@@ -37,8 +37,9 @@ void WorkPool::stop() {
 }
 
 void WorkPool::set_notify(Notify notify) {
+  if (!notify) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  notify_ = std::move(notify);
+  notifies_.push_back(std::move(notify));
 }
 
 Bytes WorkPool::run_guarded(const Job& job) {
@@ -82,15 +83,15 @@ void WorkPool::worker_loop() {
       queue_.pop_front();
     }
     Bytes result = run_guarded(pending.job);
-    Notify notify;
+    std::vector<Notify> notifies;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       done_.push_back(Done{std::move(result), std::move(pending.completion)});
       --in_flight_;
-      notify = notify_;
+      notifies = notifies_;
     }
     idle_cv_.notify_all();
-    if (notify) notify();
+    for (const Notify& notify : notifies) notify();
   }
 }
 

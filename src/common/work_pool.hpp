@@ -56,6 +56,10 @@ class WorkPool {
   [[nodiscard]] std::size_t threads() const { return workers_.size(); }
   [[nodiscard]] bool sequential() const { return workers_.empty(); }
 
+  /// Register a wake-up hook.  Hooks are multicast: every registered hook
+  /// fires when a result becomes ready, so several hosts sharing one
+  /// machine-wide pool each wake their own event loop — a second
+  /// registration adds a listener instead of silently stealing the hook.
   void set_notify(Notify notify);
 
   /// Hand a job to the pool.  Sequential mode (and the full-queue overload
@@ -101,7 +105,7 @@ class WorkPool {
   std::deque<Done> done_;
   std::size_t in_flight_ = 0;  ///< queued + currently executing jobs
   bool stop_ = false;
-  Notify notify_;
+  std::vector<Notify> notifies_;  ///< multicast: every registered hook fires
 };
 
 }  // namespace sintra::common

@@ -56,8 +56,9 @@ Network::TimerId Party::schedule_timer(std::uint64_t delay, Network::TimerFn fn)
     // construction).
     std::string root(ctx().current_root);
     common::ExecutorPool* pool = executors_;
-    auto wrapped = [pool, root = std::move(root), fn = std::move(fn)]() {
-      pool->post(pool->executor_for(root), fn);
+    const std::uint64_t group = lane_group_;
+    auto wrapped = [pool, group, root = std::move(root), fn = std::move(fn)]() {
+      pool->post(pool->executor_for(group, root), fn);
     };
     return network_.schedule_timer(id_, delay, std::move(wrapped));
   }
@@ -223,7 +224,7 @@ void Party::on_message(const Message& message) {
     wal_.push_back(message);
   }
   if (concurrent()) {
-    executors_->post(executors_->executor_for(message.tag),
+    executors_->post(executors_->executor_for(lane_group_, message.tag),
                      [this, message]() {
                        dispatch(message);
                        drain_local();

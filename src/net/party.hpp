@@ -176,6 +176,14 @@ class Party : public Process {
   /// their tree.
   void set_executors(common::ExecutorPool* pool) { executors_ = pool; }
   [[nodiscard]] common::ExecutorPool* executors() const { return executors_; }
+  /// Shard salt for executor-lane assignment when several parties
+  /// (tenants of one multi-group host) share one machine-wide pool: lanes
+  /// become a stable hash of (lane group, tag root), so identical tag
+  /// roots in distinct shards verify on distinct cores while each
+  /// instance tree stays serial-FIFO.  Default 0 reproduces the legacy
+  /// single-tenant assignment.  Set during wiring, before traffic flows.
+  void set_lane_group(std::uint64_t group) { lane_group_ = group; }
+  [[nodiscard]] std::uint64_t lane_group() const { return lane_group_; }
   /// True when messages are dispatched on executor threads.
   [[nodiscard]] bool concurrent() const {
     return executors_ != nullptr && !executors_->sequential();
@@ -252,6 +260,7 @@ class Party : public Process {
   bool wal_enabled_ = false;
   common::WorkPool* work_pool_ = nullptr;
   common::ExecutorPool* executors_ = nullptr;
+  std::uint64_t lane_group_ = 0;  ///< shard salt for executor-lane hashing
   std::atomic<std::uint64_t> rng_slots_{0};
   std::vector<Message> wal_;  ///< received messages + external inputs, arrival order
   std::uint32_t epoch_ = 0;  ///< current membership epoch (state_mutex_)

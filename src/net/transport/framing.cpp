@@ -48,6 +48,7 @@ Bytes DataBody::encode() const {
   w.u64(ack);
   w.u64(base);
   w.u32(epoch);
+  w.u32(group);
   w.bytes(payload);
   return w.take();
 }
@@ -58,6 +59,7 @@ DataBody DataBody::decode(Reader& reader) {
   data.ack = reader.u64();
   data.base = reader.u64();
   data.epoch = reader.u32();
+  data.group = reader.u32();
   data.payload = reader.bytes();
   reader.expect_done();
   return data;
@@ -71,6 +73,7 @@ Bytes DataBatchBody::encode() const {
   w.u32(static_cast<std::uint32_t>(records.size()));
   for (const Record& record : records) {
     w.u64(record.seq);
+    w.u32(record.group);
     w.bytes(record.payload);
   }
   return w.take();
@@ -87,6 +90,7 @@ DataBatchBody DataBatchBody::decode(Reader& reader) {
   for (std::uint32_t i = 0; i < count; ++i) {
     Record record;
     record.seq = reader.u64();
+    record.group = reader.u32();
     record.payload = reader.bytes();
     batch.records.push_back(std::move(record));
   }
@@ -106,6 +110,7 @@ DataBatchView DataBatchView::decode(BytesView body) {
   for (std::uint32_t i = 0; i < count; ++i) {
     Record record;
     record.seq = reader.u64();
+    record.group = reader.u32();
     record.payload = reader.bytes_view();  // slice, not copy
     batch.records.push_back(record);
   }

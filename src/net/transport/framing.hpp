@@ -20,9 +20,9 @@
 // Frame bodies are typed and serialized with the deterministic
 // Writer/Reader encoding used by every protocol message:
 //   HELLO: u16 version, u32 node_id, u64 nonce, u64 recv_cursor, u32 epoch
-//   DATA:  u64 seq, u64 ack, u64 base, u32 epoch, bytes payload
+//   DATA:  u64 seq, u64 ack, u64 base, u32 epoch, u32 group, bytes payload
 //   BATCH: u64 ack, u64 base, u32 epoch, u32 count,
-//          count x { u64 seq, bytes payload }
+//          count x { u64 seq, u32 group, bytes payload }
 //   ACK:   u64 ack
 //   PING/PONG: empty
 // `ack` is cumulative ("I delivered every seq < ack"); `base` is the
@@ -33,6 +33,17 @@
 // are filtered before delivery — wrong-epoch traffic dies at the
 // transport instead of reaching protocol instances keyed for another
 // committee.
+//
+// `group` (wire v4) is the multi-tenant shard stamp: one host process can
+// run several independent SINTRA groups over a single transport, and each
+// payload names the group (tenant) it belongs to.  The stamp rides per
+// *record*, not per frame, so one coalesced BATCH super-frame carries
+// traffic for many shards under a single HMAC and a single syscall —
+// sharding multiplies the message rate but not the per-link
+// authentication cost.  ack/base/epoch remain link-level (per frame):
+// reliability and membership fencing are properties of the machine pair,
+// not of any one tenant.  Single-tenant deployments stamp group 0
+// everywhere, which is also what a decoder reports for pre-v4 semantics.
 //
 // BATCH is the coalesced super-frame (issue 7): every DATA payload bound
 // for a peer in one event-loop flush rides one frame — one length prefix,
@@ -52,7 +63,7 @@
 
 namespace sintra::net::transport {
 
-constexpr std::uint16_t kProtocolVersion = 3;  // v3: epoch-stamped frames
+constexpr std::uint16_t kProtocolVersion = 4;  // v4: group-stamped frames
 constexpr std::size_t kMacSize = crypto::kSha256DigestSize;
 /// Upper bound on a frame body; larger lengths are treated as an attack on
 /// the receiver's memory and poison the stream.
@@ -94,6 +105,7 @@ struct DataBody {
   std::uint64_t ack = 0;
   std::uint64_t base = 0;
   std::uint32_t epoch = 0;
+  std::uint32_t group = 0;  ///< multi-tenant shard stamp (wire v4)
   Bytes payload;
 
   [[nodiscard]] Bytes encode() const;
@@ -106,6 +118,7 @@ struct DataBatchBody {
   std::uint32_t epoch = 0;
   struct Record {
     std::uint64_t seq = 0;
+    std::uint32_t group = 0;  ///< per-record shard stamp (wire v4)
     Bytes payload;
   };
   std::vector<Record> records;
@@ -123,6 +136,7 @@ struct DataBatchView {
   std::uint32_t epoch = 0;
   struct Record {
     std::uint64_t seq = 0;
+    std::uint32_t group = 0;  ///< per-record shard stamp (wire v4)
     BytesView payload;
   };
   std::vector<Record> records;

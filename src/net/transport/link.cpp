@@ -4,9 +4,9 @@
 
 namespace sintra::net::transport {
 
-std::uint64_t ReliableLink::enqueue(Bytes payload) {
+std::uint64_t ReliableLink::enqueue(Bytes payload, std::uint32_t group) {
   const std::uint64_t seq = next_seq_++;
-  outbound_.push_back(std::move(payload));
+  outbound_.push_back(GroupPayload{group, std::move(payload)});
   ++stats_.enqueued;
   while (outbound_.size() > config_.max_outbound) {
     // Quota overflow: evict the oldest retained frame and advance the
@@ -30,7 +30,9 @@ std::vector<ReliableLink::OutFrame> ReliableLink::take_sendable() {
     OutFrame frame;
     frame.seq = seq;
     frame.base = base_seq_;
-    frame.payload = outbound_[static_cast<std::size_t>(seq - base_seq_)];
+    const GroupPayload& retained = outbound_[static_cast<std::size_t>(seq - base_seq_)];
+    frame.group = retained.group;
+    frame.payload = retained.payload;
     frames.push_back(std::move(frame));
     ++stats_.sent;
     // Per-frame accounting, exact by construction: a frame is a resend iff
@@ -81,7 +83,7 @@ ReliableLink::FastPath ReliableLink::accept_inorder(std::uint64_t seq, std::uint
 }
 
 ReliableLink::Incoming ReliableLink::on_data(std::uint64_t seq, std::uint64_t base,
-                                             Bytes payload) {
+                                             Bytes payload, std::uint32_t group) {
   Incoming incoming;
   // The peer's quota floor moved past us: the skipped seqs will never be
   // retransmitted.  Deliver what the reorder window already holds below
@@ -109,7 +111,7 @@ ReliableLink::Incoming ReliableLink::on_data(std::uint64_t seq, std::uint64_t ba
     return incoming;
   }
   if (seq == recv_next_) {
-    incoming.deliver.push_back(std::move(payload));
+    incoming.deliver.push_back(GroupPayload{group, std::move(payload)});
     ++recv_next_;
     ++stats_.delivered;
     ++unacked_deliveries_;
@@ -126,7 +128,7 @@ ReliableLink::Incoming ReliableLink::on_data(std::uint64_t seq, std::uint64_t ba
     // Too far ahead to buffer; the sender retransmits after our acks (or
     // the reconnect handshake) catch it up.
     ++stats_.out_of_window;
-  } else if (reorder_.emplace(seq, std::move(payload)).second) {
+  } else if (reorder_.emplace(seq, GroupPayload{group, std::move(payload)}).second) {
     ++stats_.reordered;
   } else {
     ++stats_.duplicates;

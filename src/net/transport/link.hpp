@@ -33,6 +33,15 @@
 
 namespace sintra::net::transport {
 
+/// A payload stamped with the shard (tenant group) it belongs to.  Group
+/// ids ride the wire per record (framing wire v4) so one host can carry
+/// many independent SINTRA groups over one reliable link; single-tenant
+/// callers use group 0 throughout.
+struct GroupPayload {
+  std::uint32_t group = 0;
+  Bytes payload;
+};
+
 struct LinkConfig {
   std::size_t max_outbound = 4096;   ///< retained unacked frames; beyond: drop-oldest
   std::size_t reorder_window = 512;  ///< out-of-order frames buffered at the receiver
@@ -46,6 +55,7 @@ class ReliableLink {
   struct OutFrame {
     std::uint64_t seq = 0;
     std::uint64_t base = 0;  ///< lowest retained seq (quota gap floor)
+    std::uint32_t group = 0; ///< shard stamp carried per record on the wire
     Bytes payload;
   };
 
@@ -66,9 +76,11 @@ class ReliableLink {
 
   // --- sender side ---------------------------------------------------
 
-  /// Queue a payload; returns its sequence number.  May evict the oldest
-  /// retained frame when the quota is exceeded.
-  std::uint64_t enqueue(Bytes payload);
+  /// Queue a payload for shard `group`; returns its sequence number.  May
+  /// evict the oldest retained frame when the quota is exceeded.  Sequence
+  /// numbers are link-level (shared by all groups on the link): the link
+  /// is a property of the machine pair, not of any one tenant.
+  std::uint64_t enqueue(Bytes payload, std::uint32_t group = 0);
 
   /// Frames to transmit now (new traffic plus anything rewound for
   /// retransmission).  Empty while disconnected.
@@ -94,12 +106,13 @@ class ReliableLink {
   // --- receiver side -------------------------------------------------
 
   struct Incoming {
-    std::vector<Bytes> deliver;  ///< in-order payloads for the protocol layer
-    bool ack_now = false;        ///< send an explicit ack immediately
+    std::vector<GroupPayload> deliver;  ///< in-order payloads for the protocol layer
+    bool ack_now = false;               ///< send an explicit ack immediately
   };
 
   /// Process a received DATA frame (already authenticated).
-  Incoming on_data(std::uint64_t seq, std::uint64_t base, Bytes payload);
+  Incoming on_data(std::uint64_t seq, std::uint64_t base, Bytes payload,
+                   std::uint32_t group = 0);
 
   struct FastPath {
     bool taken = false;    ///< state advanced; caller delivers its own view
@@ -132,7 +145,7 @@ class ReliableLink {
   bool connected_ = false;
 
   // Sender: outbound_[k] carries seq base_seq_ + k.
-  std::deque<Bytes> outbound_;
+  std::deque<GroupPayload> outbound_;
   std::uint64_t base_seq_ = 0;  ///< seq of outbound_.front()
   std::uint64_t next_seq_ = 0;  ///< seq the next enqueue gets
   std::uint64_t send_from_ = 0; ///< next seq to hand to the wire
@@ -140,7 +153,7 @@ class ReliableLink {
 
   // Receiver.
   std::uint64_t recv_next_ = 0;
-  std::map<std::uint64_t, Bytes> reorder_;
+  std::map<std::uint64_t, GroupPayload> reorder_;
   std::size_t unacked_deliveries_ = 0;
 };
 

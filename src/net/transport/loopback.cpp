@@ -63,6 +63,17 @@ void LoopbackHub::set_receiver(int node, ReceiveFn receive) {
   receivers_[static_cast<std::size_t>(node)] = std::move(receive);
 }
 
+void LoopbackHub::set_receiver(int node, LegacyReceiveFn receive) {
+  if (!receive) {
+    receivers_[static_cast<std::size_t>(node)] = nullptr;
+    return;
+  }
+  receivers_[static_cast<std::size_t>(node)] =
+      [receive = std::move(receive)](int from, std::uint32_t /*group*/, BytesView payload) {
+        receive(from, payload);
+      };
+}
+
 bool LoopbackHub::pair_connected(int a, int b) const { return pairs_[pair_index(a, b)].connected; }
 
 void LoopbackHub::set_partition_profile(PartitionProfile profile) {
@@ -71,8 +82,14 @@ void LoopbackHub::set_partition_profile(PartitionProfile profile) {
   partition_severed_.assign(pairs_.size(), false);
 }
 
-void LoopbackHub::send(int from, int to, Bytes payload) {
-  link_mut(from, to).enqueue(std::move(payload));
+void LoopbackHub::send(int from, int to, Bytes payload, std::uint32_t group) {
+  link_mut(from, to).enqueue(std::move(payload), group);
+  flush(from, to);
+}
+
+void LoopbackHub::send_many(int from, int to, std::vector<GroupPayload> payloads) {
+  ReliableLink& l = link_mut(from, to);
+  for (GroupPayload& payload : payloads) l.enqueue(std::move(payload.payload), payload.group);
   flush(from, to);
 }
 
@@ -112,7 +129,7 @@ void LoopbackHub::flush(int from, int to) {
     // valid for the whole batch.
     batch.base = out.base;
     batch_bytes += out.payload.size();
-    batch.records.push_back(DataBatchBody::Record{out.seq, std::move(out.payload)});
+    batch.records.push_back(DataBatchBody::Record{out.seq, out.group, std::move(out.payload)});
   }
   emit();
   l.mark_ack_sent();
@@ -217,14 +234,16 @@ void LoopbackHub::deliver_wire_front(int from, int to) {
           const ReliableLink::FastPath fast =
               recv_link.accept_inorder(record.seq, batch.base);
           if (fast.taken) {
-            if (receive) receive(from, record.payload);
+            if (receive) receive(from, record.group, record.payload);
             ack_now = ack_now || fast.ack_now;
             continue;
           }
-          ReliableLink::Incoming incoming = recv_link.on_data(
-              record.seq, batch.base, Bytes(record.payload.begin(), record.payload.end()));
-          for (const Bytes& payload : incoming.deliver) {
-            if (receive) receive(from, payload);
+          ReliableLink::Incoming incoming =
+              recv_link.on_data(record.seq, batch.base,
+                                Bytes(record.payload.begin(), record.payload.end()),
+                                record.group);
+          for (const GroupPayload& delivery : incoming.deliver) {
+            if (receive) receive(from, delivery.group, delivery.payload);
           }
           ack_now = ack_now || incoming.ack_now;
         }
@@ -233,9 +252,9 @@ void LoopbackHub::deliver_wire_front(int from, int to) {
         DataBody data = DataBody::decode(reader);
         recv_link.on_ack(data.ack);
         ReliableLink::Incoming incoming =
-            recv_link.on_data(data.seq, data.base, std::move(data.payload));
-        for (const Bytes& payload : incoming.deliver) {
-          if (receive) receive(from, payload);
+            recv_link.on_data(data.seq, data.base, std::move(data.payload), data.group);
+        for (const GroupPayload& delivery : incoming.deliver) {
+          if (receive) receive(from, delivery.group, delivery.payload);
         }
         ack_now = incoming.ack_now;
       } else if (type == FrameType::kAck) {

@@ -14,11 +14,55 @@ const char* const kFutureEpochTag = "reconfig/future-epoch";
 }  // namespace
 
 NetworkedNode::NetworkedNode(Config config)
-    : config_(config), start_(std::chrono::steady_clock::now()), epoch_(config.epoch) {
+    : config_(config), start_(std::chrono::steady_clock::now()) {
   SINTRA_REQUIRE(config_.n >= 1 && config_.node_id >= 0 && config_.node_id < config_.n,
                  "networked_node: node_id out of range");
   SINTRA_REQUIRE(config_.max_inbox >= 1, "networked_node: inbox must hold something");
   outbox_.resize(static_cast<std::size_t>(config_.n));
+  add_group(0, config_.epoch);
+}
+
+NetworkedNode::GroupEndpoint& NetworkedNode::add_group(std::uint32_t gid, std::uint32_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(gid);
+  if (it == tenants_.end()) {
+    auto slot = std::make_unique<Tenant>();
+    slot->gid = gid;
+    slot->epoch = epoch;
+    slot->endpoint.reset(new GroupEndpoint(this, gid));
+    it = tenants_.emplace(gid, std::move(slot)).first;
+  }
+  return *it->second->endpoint;
+}
+
+NetworkedNode::GroupEndpoint& NetworkedNode::group(std::uint32_t gid) {
+  return *tenant(gid).endpoint;
+}
+
+NetworkedNode::Tenant& NetworkedNode::tenant(std::uint32_t gid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(gid);
+  SINTRA_REQUIRE(it != tenants_.end(), "networked_node: unknown group");
+  return *it->second;
+}
+
+const NetworkedNode::Tenant& NetworkedNode::tenant(std::uint32_t gid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(gid);
+  SINTRA_REQUIRE(it != tenants_.end(), "networked_node: unknown group");
+  return *it->second;
+}
+
+void NetworkedNode::tenant_attach(std::uint32_t gid, Process& process) {
+  tenant(gid).process = &process;
+}
+
+void NetworkedNode::tenant_set_persist(std::uint32_t gid, PersistFn persist) {
+  tenant(gid).persist = std::move(persist);
+}
+
+void NetworkedNode::tenant_set_budget(std::uint32_t gid, ResourceBudget* budget) {
+  tenant(gid).budget = budget;
 }
 
 std::uint64_t NetworkedNode::now() const {
@@ -49,7 +93,7 @@ Message NetworkedNode::decode_payload(int from, int to, BytesView payload,
   return message;
 }
 
-void NetworkedNode::submit(Message message) {
+void NetworkedNode::submit_group(std::uint32_t gid, Message message) {
   // Authenticated links: this node can only originate traffic as itself.
   // (The transport MAC enforces the same on the receiving side.)
   SINTRA_REQUIRE(message.from == config_.node_id, "networked_node: forged from");
@@ -57,26 +101,35 @@ void NetworkedNode::submit(Message message) {
   message.sent_at = now();
   if (message.to == config_.node_id) {
     // Self-send loops back through the inbox, like the simulator.
+    Tenant* owner = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      auto it = tenants_.find(gid);
+      SINTRA_REQUIRE(it != tenants_.end(), "networked_node: unknown group");
+      owner = it->second.get();
       message.id = next_id_++;
       ++stats_.self_messages;
     }
-    enqueue_inbound(std::move(message));
+    enqueue_inbound(*owner, std::move(message));
     return;
   }
-  // Remote sends park in the per-peer outbox; only the pump thread talks
-  // to the transport (single-threaded transports stay safe under executor
-  // threads) and it hands over whole per-peer batches for coalescing.
+  // Remote sends park in the per-peer outbox, stamped with the tenant's
+  // group id; only the pump thread talks to the transport
+  // (single-threaded transports stay safe under executor threads) and it
+  // hands over whole per-peer batches — all tenants interleaved — for
+  // coalescing into one super-frame.
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(gid);
+    SINTRA_REQUIRE(it != tenants_.end(), "networked_node: unknown group");
     message.id = next_id_++;
-    outbox_[static_cast<std::size_t>(message.to)].push_back(encode_payload(message, epoch_));
+    outbox_[static_cast<std::size_t>(message.to)].push_back(
+        GroupPayload{gid, encode_payload(message, it->second->epoch)});
   }
   inbox_cv_.notify_one();  // wake the pump to flush
 }
 
-void NetworkedNode::on_transport_receive(int from, BytesView payload) {
+void NetworkedNode::on_transport_receive(int from, std::uint32_t group, BytesView payload) {
   if (from < 0 || from >= config_.n || from == config_.node_id) return;
   Message message;
   std::uint32_t msg_epoch = 0;
@@ -88,20 +141,33 @@ void NetworkedNode::on_transport_receive(int from, BytesView payload) {
     return;
   }
   message.sent_at = now();
+  Tenant* owner = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (msg_epoch != epoch_) {
-      if (msg_epoch == epoch_ + 1) {
-        // One epoch ahead: the sender finished a reconfiguration we have
-        // not applied yet.  Park the message (bounded by count and by the
-        // party's ResourceBudget) and replay it at advance_epoch().
+    auto it = tenants_.find(group);
+    if (it == tenants_.end()) {
+      // A group this host does not run: a misrouted (or adversarially
+      // stamped) record.  Count and drop — never crash, never bill an
+      // actual tenant for it.
+      ++stats_.unknown_group;
+      return;
+    }
+    owner = it->second.get();
+    if (msg_epoch != owner->epoch) {
+      if (msg_epoch == owner->epoch + 1) {
+        // One epoch ahead: the sender finished a reconfiguration this
+        // tenant has not applied yet.  Park the message — bounded per
+        // tenant by count and by the tenant's own ResourceBudget, so one
+        // group's flood cannot evict another group's buffers — and
+        // replay it at advance_epoch().
         const std::size_t cost = message.tag.size() + message.payload.size() + 16;
-        if (future_.size() >= config_.max_future ||
-            (budget_ != nullptr && !budget_->try_charge(from, kFutureEpochTag, cost))) {
+        if (owner->future.size() >= config_.max_future ||
+            (owner->budget != nullptr &&
+             !owner->budget->try_charge(from, kFutureEpochTag, cost))) {
           ++stats_.epoch_dropped;
           return;
         }
-        future_.push_back({std::move(message), msg_epoch, cost});
+        owner->future.push_back({std::move(message), msg_epoch, cost});
         ++stats_.epoch_buffered;
       } else {
         // Stale (or absurdly future) epoch: fenced-out traffic.
@@ -110,28 +176,34 @@ void NetworkedNode::on_transport_receive(int from, BytesView payload) {
       return;
     }
   }
-  enqueue_inbound(std::move(message));
+  enqueue_inbound(*owner, std::move(message));
 }
 
-std::uint32_t NetworkedNode::epoch() const {
+std::uint32_t NetworkedNode::tenant_epoch(std::uint32_t gid) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return epoch_;
+  auto it = tenants_.find(gid);
+  SINTRA_REQUIRE(it != tenants_.end(), "networked_node: unknown group");
+  return it->second->epoch;
 }
 
-void NetworkedNode::advance_epoch(std::uint32_t epoch) {
+void NetworkedNode::tenant_advance_epoch(std::uint32_t gid, std::uint32_t epoch) {
+  Tenant* owner = nullptr;
   std::deque<FutureMessage> parked;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (epoch <= epoch_) return;  // monotonic; repeated applies are no-ops
-    epoch_ = epoch;
-    parked.swap(future_);
+    auto it = tenants_.find(gid);
+    SINTRA_REQUIRE(it != tenants_.end(), "networked_node: unknown group");
+    owner = it->second.get();
+    if (epoch <= owner->epoch) return;  // monotonic; repeated applies are no-ops
+    owner->epoch = epoch;
+    parked.swap(owner->future);
   }
   for (FutureMessage& entry : parked) {
-    if (budget_ != nullptr) {
-      budget_->release(entry.message.from, kFutureEpochTag, entry.cost);
+    if (owner->budget != nullptr) {
+      owner->budget->release(entry.message.from, kFutureEpochTag, entry.cost);
     }
     if (entry.epoch == epoch) {
-      enqueue_inbound(std::move(entry.message));
+      enqueue_inbound(*owner, std::move(entry.message));
     } else {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.epoch_stale;  // skipped an epoch: the parked traffic died with it
@@ -139,7 +211,7 @@ void NetworkedNode::advance_epoch(std::uint32_t epoch) {
   }
 }
 
-void NetworkedNode::enqueue_inbound(Message message) {
+void NetworkedNode::enqueue_inbound(Tenant& owner, Message message) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     while (inbox_.size() >= config_.max_inbox) {
@@ -149,7 +221,7 @@ void NetworkedNode::enqueue_inbound(Message message) {
       inbox_.pop_front();
       ++stats_.dropped_inbox;
     }
-    inbox_.push_back(std::move(message));
+    inbox_.push_back(InboxEntry{&owner, std::move(message)});
   }
   inbox_cv_.notify_one();
 }
@@ -170,7 +242,7 @@ void NetworkedNode::set_executors(common::ExecutorPool* pool) {
 
 void NetworkedNode::flush_outbound() {
   for (int peer = 0; peer < config_.n; ++peer) {
-    std::deque<Bytes> pending;
+    std::deque<GroupPayload> pending;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (outbox_[static_cast<std::size_t>(peer)].empty()) continue;
@@ -186,12 +258,19 @@ void NetworkedNode::flush_outbound() {
       stats_.outbound_payloads += pending.size();
     }
     if (send_many_) {
-      std::vector<Bytes> batch;
+      std::vector<GroupPayload> batch;
       batch.reserve(pending.size());
-      for (Bytes& payload : pending) batch.push_back(std::move(payload));
+      for (GroupPayload& payload : pending) batch.push_back(std::move(payload));
       send_many_(peer, std::move(batch));
     } else {
-      for (Bytes& payload : pending) send_(peer, std::move(payload));
+      // The per-payload SendFn has no group parameter, so it can only
+      // carry single-tenant (group 0) traffic; multi-group hosts must
+      // bind the batched entry.
+      for (GroupPayload& payload : pending) {
+        SINTRA_REQUIRE(payload.group == 0,
+                       "networked_node: multi-group traffic needs bind_transport_batched");
+        send_(peer, std::move(payload.payload));
+      }
     }
   }
 }
@@ -202,16 +281,16 @@ std::size_t NetworkedNode::poll() {
     wheel_.advance_to(now());
   }
   if (work_pool_ != nullptr) work_pool_->drain();
-  std::deque<Message> batch;
+  std::deque<InboxEntry> batch;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     batch.swap(inbox_);
   }
   std::size_t dispatched = 0;
-  for (Message& message : batch) {
-    if (persist_) persist_(message);  // write-ahead: log before acting
-    if (process_ != nullptr) {
-      process_->on_message(message);
+  for (InboxEntry& entry : batch) {
+    if (entry.tenant->persist) entry.tenant->persist(entry.message);  // write-ahead
+    if (entry.tenant->process != nullptr) {
+      entry.tenant->process->on_message(entry.message);
       ++dispatched;
     }
   }

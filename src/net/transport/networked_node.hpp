@@ -1,22 +1,39 @@
-// NetworkedNode — the Network implementation that runs one Process (a
-// Party and its whole protocol stack, unchanged) over a real transport.
+// NetworkedNode — the multi-tenant host that runs one or more Processes
+// (each a Party and its whole protocol stack, unchanged) over a single
+// real transport.
+//
+// One NetworkedNode is one machine endpoint.  It can host S independent
+// SINTRA groups ("tenants"): each group has its own Process, its own
+// write-ahead persist hook, its own ResourceBudget and its own membership
+// epoch, while all of them share this node's transport link, event loop,
+// timer wheel, inbox pump and (machine-wide) executor/work pools.  A
+// tenant sees the substrate through a GroupEndpoint — a Network facade
+// that stamps every outbound payload with the tenant's group id (the wire
+// v4 record stamp, framing.hpp) and delegates time/timers to the host.
+// Group 0 is created in the constructor, and every pre-sharding API on
+// the node itself (attach, set_persist, epoch, …) delegates to it, so
+// single-tenant callers are untouched.
 //
 // The adapter owns the boundary between the transport's reactor thread
 // and the protocol thread.  The transport delivers authenticated payloads
-// on its own thread; on_transport_receive() decodes them into Messages
-// and pushes them into a bounded inbox (drop-oldest beyond the quota, so
-// a flooding peer costs memory-bounded buffering, never the process).
-// The protocol thread drains the inbox with poll()/run_until(); every
-// message is handed to the optional persist hook (the write-ahead log)
-// *before* dispatch, which is what makes crash recovery replayable.
+// on its own thread; on_transport_receive() routes them by group id to
+// the owning tenant, decodes them into Messages and pushes them into a
+// bounded inbox shared by all tenants (drop-oldest beyond the quota, so a
+// flooding peer costs memory-bounded buffering, never the process).
+// Per-tenant state that is *not* shared: the future-epoch parking buffer
+// is bounded per tenant and metered against that tenant's own budget, so
+// a flooder targeting group A exhausts A's allowance without evicting
+// group B's buffers.  The protocol thread drains the inbox with
+// poll()/run_until(); every message is handed to its tenant's persist
+// hook (the write-ahead log) *before* dispatch, which is what makes crash
+// recovery replayable per group.
 //
-// Outbound traffic is buffered per peer and flushed by the pump thread at
-// the tail of every poll(): that is what lets protocol handlers running
-// on executor threads (Party::set_executors) send without touching the
-// transport — only the pump thread ever calls into it, which both keeps
-// single-threaded transports (LoopbackHub) safe and hands the transport
-// every payload of a pump cycle at once, the unit the coalesced BATCH
-// super-frame amortizes one HMAC and one syscall over.
+// Outbound traffic is buffered per peer — tenants interleaved, in submit
+// order — and flushed by the pump thread at the tail of every poll():
+// only the pump thread ever calls into the transport, and it hands over
+// the whole per-peer batch of a pump cycle at once.  Because group ids
+// ride per *record* inside the coalesced BATCH super-frame, a multi-shard
+// flush still costs exactly one HMAC and one syscall per link.
 //
 // Time here is the monotonic clock in milliseconds: Network::now() and
 // schedule_timer() delays are wall-clock, unlike the simulator's delivery
@@ -26,7 +43,8 @@
 // Threading contract: poll() and run_until() belong to the pump
 // (protocol) thread.  submit(), schedule_timer(), cancel_timer() may be
 // called from the pump thread or from executor threads;
-// on_transport_receive() from any thread.  stats() is thread-safe.
+// on_transport_receive() from any thread.  add_group() belongs to the
+// wiring phase (before traffic flows).  stats() is thread-safe.
 #pragma once
 
 #include <chrono>
@@ -34,6 +52,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -42,6 +62,7 @@
 #include "net/budget.hpp"
 #include "net/network.hpp"
 #include "net/simulator.hpp"
+#include "net/transport/link.hpp"
 #include "net/transport/timer_wheel.hpp"
 
 namespace sintra::net::transport {
@@ -52,25 +73,68 @@ class NetworkedNode final : public Network {
     int node_id = 0;
     int n = 0;                      ///< network endpoints (servers + clients)
     std::size_t max_inbox = 8192;   ///< bounded inbox; beyond: drop-oldest
-    std::uint32_t epoch = 0;        ///< initial membership epoch
+    std::uint32_t epoch = 0;        ///< initial membership epoch (group 0)
     /// Messages stamped one epoch ahead buffered until advance_epoch();
-    /// beyond this many: drop-oldest (on top of any ResourceBudget cap).
+    /// beyond this many *per tenant*: drop-oldest (on top of any
+    /// ResourceBudget cap).
     std::size_t max_future = 1024;
   };
 
   /// Hands an encoded payload to the transport for reliable delivery.
+  /// Single-tenant only: flushing multi-group traffic requires the
+  /// batched form below (this one has nowhere to put the group stamp).
   using SendFn = std::function<void(int peer, Bytes payload)>;
   /// Batched form: every payload buffered for `peer` during one pump
-  /// cycle, in order — the transport turns the whole vector into one
-  /// coalesced super-frame.
-  using SendManyFn = std::function<void(int peer, std::vector<Bytes> payloads)>;
+  /// cycle, in order, each stamped with its tenant's group id — the
+  /// transport turns the whole vector into one coalesced super-frame.
+  using SendManyFn = std::function<void(int peer, std::vector<GroupPayload> payloads)>;
   /// Write-ahead hook, called for every inbound message before dispatch.
   using PersistFn = std::function<void(const Message& message)>;
 
   explicit NetworkedNode(Config config);
 
-  // --- Network (pump or executor threads) ------------------------------
-  void submit(Message message) override;
+  // --- multi-tenant hosting --------------------------------------------
+  /// A tenant's view of the substrate: a Network whose submit() stamps
+  /// the tenant's group id on every payload, plus the tenant-scoped
+  /// wiring (process, persist hook, budget, membership epoch).  Obtained
+  /// from add_group()/group(); owned by the host, valid for its lifetime.
+  class GroupEndpoint final : public Network {
+   public:
+    void submit(Message message) override { host_->submit_group(gid_, std::move(message)); }
+    [[nodiscard]] int n() const override { return host_->n(); }
+    [[nodiscard]] std::uint64_t now() const override { return host_->now(); }
+    TimerId schedule_timer(int owner, std::uint64_t delay_ms, TimerFn fn) override {
+      return host_->schedule_timer(owner, delay_ms, std::move(fn));
+    }
+    void cancel_timer(TimerId id) override { host_->cancel_timer(id); }
+    [[nodiscard]] TraceLog* log() override { return host_->log(); }
+
+    /// The process receiving this group's deliveries (caller owns it).
+    void attach(Process& process) { host_->tenant_attach(gid_, process); }
+    void set_persist(PersistFn persist) { host_->tenant_set_persist(gid_, std::move(persist)); }
+    /// Meter this group's future-epoch buffer through its own
+    /// ResourceBudget (not owned) — tenant isolation under flooding.
+    void set_budget(ResourceBudget* budget) { host_->tenant_set_budget(gid_, budget); }
+    [[nodiscard]] std::uint32_t epoch() const { return host_->tenant_epoch(gid_); }
+    void advance_epoch(std::uint32_t epoch) { host_->tenant_advance_epoch(gid_, epoch); }
+    [[nodiscard]] std::uint32_t group_id() const { return gid_; }
+
+   private:
+    friend class NetworkedNode;
+    GroupEndpoint(NetworkedNode* host, std::uint32_t gid) : host_(host), gid_(gid) {}
+    NetworkedNode* host_;
+    std::uint32_t gid_;
+  };
+
+  /// Create (or fetch) the tenant slot for `gid` with initial membership
+  /// epoch `epoch` (ignored when the group already exists).  Wiring
+  /// phase: call before traffic flows for the group.
+  GroupEndpoint& add_group(std::uint32_t gid, std::uint32_t epoch = 0);
+  /// The endpoint of an existing group (group 0 always exists).
+  [[nodiscard]] GroupEndpoint& group(std::uint32_t gid);
+
+  // --- Network (pump or executor threads); delegates to group 0 --------
+  void submit(Message message) override { submit_group(0, std::move(message)); }
   [[nodiscard]] int n() const override { return config_.n; }
   /// Monotonic milliseconds since construction.
   [[nodiscard]] std::uint64_t now() const override;
@@ -79,53 +143,60 @@ class NetworkedNode final : public Network {
   [[nodiscard]] TraceLog* log() override { return log_; }
   void set_log(TraceLog* log) { log_ = log; }
 
-  // --- wiring ----------------------------------------------------------
+  // --- wiring (single-tenant legacy surface; delegates to group 0) -----
   /// The process receiving deliveries (caller owns it and calls on_start).
-  void attach(Process& process) { process_ = &process; }
+  void attach(Process& process) { tenant_attach(0, process); }
   void bind_transport(SendFn send) { send_ = std::move(send); }
   /// Meter the future-epoch buffer through the party's ResourceBudget
   /// (not owned).  Without one, only the max_future count bound applies.
-  void set_budget(ResourceBudget* budget) { budget_ = budget; }
-  /// Optional batched transport entry; preferred over the per-payload
-  /// SendFn when bound (the per-payload form remains the fallback).
+  void set_budget(ResourceBudget* budget) { tenant_set_budget(0, budget); }
+  /// Batched transport entry; preferred over the per-payload SendFn when
+  /// bound (the per-payload form remains the single-tenant fallback).
   void bind_transport_batched(SendManyFn send_many) { send_many_ = std::move(send_many); }
-  void set_persist(PersistFn persist) { persist_ = std::move(persist); }
+  void set_persist(PersistFn persist) { tenant_set_persist(0, std::move(persist)); }
 
-  /// Attach the crypto work pool (not owned).  poll() drains finished
-  /// verification jobs on the protocol thread — completions re-enter the
-  /// protocol as ordinary self-messages — and the pool's notify hook is
-  /// pointed at the inbox condition variable so run_until() wakes for
-  /// verdicts as promptly as for network traffic.
+  /// Attach the crypto work pool (not owned; may be shared machine-wide
+  /// by several hosts — notify hooks are multicast).  poll() drains
+  /// finished verification jobs on the protocol thread — completions
+  /// re-enter the protocol as ordinary self-messages — and the pool's
+  /// notify hook is pointed at the inbox condition variable so
+  /// run_until() wakes for verdicts as promptly as for network traffic.
   void set_work_pool(common::WorkPool* pool);
 
-  /// Attach the protocol executor pool (not owned; also hand it to the
+  /// Attach the protocol executor pool (not owned; may be shared
+  /// machine-wide — notify hooks are multicast; also hand it to each
   /// Party via Party::set_executors).  The node only wires the pool's
   /// notify hook to the inbox condition variable, so run_until() wakes
   /// when executor-side work changes the done() condition or buffers
   /// outbound sends for the pump to flush.
   void set_executors(common::ExecutorPool* pool);
 
-  /// Transport-side entry (any thread): decode and enqueue one payload.
-  /// The view is only read during the call (the decoded Message owns its
-  /// bytes), so transports can pass slices of their receive buffers —
-  /// the zero-copy path from a BATCH super-frame to the inbox.
-  /// Malformed payloads from an authenticated peer are counted and
-  /// dropped — Byzantine input must not crash the node.
-  void on_transport_receive(int from, BytesView payload);
+  /// Transport-side entry (any thread): route by group id, decode and
+  /// enqueue one payload.  The view is only read during the call (the
+  /// decoded Message owns its bytes), so transports can pass slices of
+  /// their receive buffers — the zero-copy path from a BATCH super-frame
+  /// to the inbox.  Malformed payloads from an authenticated peer, and
+  /// payloads stamped with a group this host does not run, are counted
+  /// and dropped — Byzantine input must not crash the node.
+  void on_transport_receive(int from, std::uint32_t group, BytesView payload);
+  /// Pre-v4 entry: group 0.
+  void on_transport_receive(int from, BytesView payload) {
+    on_transport_receive(from, 0, payload);
+  }
 
-  // --- membership epochs ------------------------------------------------
+  // --- membership epochs (group 0; per-group via GroupEndpoint) ---------
   /// Current epoch; payloads stamped below it are rejected, payloads one
   /// ahead are buffered (bounded), anything further is dropped.
-  [[nodiscard]] std::uint32_t epoch() const;
+  [[nodiscard]] std::uint32_t epoch() const { return tenant_epoch(0); }
   /// Move to `epoch` (monotonic; any thread).  Buffered future-epoch
   /// messages that now match are replayed into the inbox in arrival
   /// order; anything older is discarded.
-  void advance_epoch(std::uint32_t epoch);
+  void advance_epoch(std::uint32_t epoch) { tenant_advance_epoch(0, epoch); }
 
   // --- protocol-thread pump --------------------------------------------
-  /// Fire due timers, dispatch every queued message, then flush buffered
-  /// outbound payloads to the transport (batched per peer).  Returns the
-  /// number of messages dispatched.
+  /// Fire due timers, dispatch every queued message to its tenant, then
+  /// flush buffered outbound payloads to the transport (batched per
+  /// peer, all tenants coalesced).  Returns messages dispatched.
   std::size_t poll();
 
   /// Pump until `done()` or `timeout_ms` elapses; sleeps on the inbox
@@ -136,10 +207,11 @@ class NetworkedNode final : public Network {
   bool run_until(const std::function<bool()>& done, std::uint64_t timeout_ms);
 
   struct Stats {
-    std::uint64_t dispatched = 0;      ///< messages handed to the process
+    std::uint64_t dispatched = 0;      ///< messages handed to a process
     std::uint64_t self_messages = 0;   ///< local submits looped back
     std::uint64_t dropped_inbox = 0;   ///< inbox quota overflow (oldest dropped)
     std::uint64_t malformed = 0;       ///< undecodable transport payloads
+    std::uint64_t unknown_group = 0;   ///< payloads for a group not hosted here
     std::uint64_t outbound_flushes = 0;  ///< per-peer batches handed to the transport
     std::uint64_t outbound_payloads = 0; ///< payloads inside those batches
     std::uint64_t epoch_stale = 0;     ///< payloads from a past (or far-future) epoch
@@ -150,7 +222,9 @@ class NetworkedNode final : public Network {
 
   // --- wire form of a Message over the transport -----------------------
   /// [u32 epoch][str tag][bytes payload] — the epoch is the payload-level
-  /// membership fence (the frame-level stamp lives in framing.hpp).
+  /// membership fence; the group id is NOT in here — it rides the frame
+  /// record (framing.hpp), where the transport can route without
+  /// decoding protocol payloads.
   static Bytes encode_payload(const Message& message, std::uint32_t epoch = 0);
   /// Throws ProtocolError on malformed input.  `epoch_out`, when non-null,
   /// receives the sender's stamped epoch.
@@ -158,14 +232,47 @@ class NetworkedNode final : public Network {
                                 std::uint32_t* epoch_out = nullptr);
 
  private:
-  void enqueue_inbound(Message message);
+  struct FutureMessage {
+    Message message;
+    std::uint32_t epoch = 0;
+    std::size_t cost = 0;  ///< bytes charged against the tenant's budget
+  };
+
+  /// One hosted group.  Pointer-stable (owned via unique_ptr in a map, no
+  /// erase), so inbox entries can carry a raw Tenant*.  epoch/future are
+  /// guarded by the host's mutex_; process/persist/budget are wiring-phase
+  /// fields read without the lock on the pump path.
+  struct Tenant {
+    std::uint32_t gid = 0;
+    Process* process = nullptr;
+    PersistFn persist;
+    ResourceBudget* budget = nullptr;
+    std::uint32_t epoch = 0;
+    std::deque<FutureMessage> future;  ///< next-epoch traffic, arrival order
+    std::unique_ptr<GroupEndpoint> endpoint;
+  };
+
+  struct InboxEntry {
+    Tenant* tenant = nullptr;
+    Message message;
+  };
+
+  // GroupEndpoint back-ends.
+  void submit_group(std::uint32_t gid, Message message);
+  void tenant_attach(std::uint32_t gid, Process& process);
+  void tenant_set_persist(std::uint32_t gid, PersistFn persist);
+  void tenant_set_budget(std::uint32_t gid, ResourceBudget* budget);
+  [[nodiscard]] std::uint32_t tenant_epoch(std::uint32_t gid) const;
+  void tenant_advance_epoch(std::uint32_t gid, std::uint32_t epoch);
+
+  [[nodiscard]] Tenant& tenant(std::uint32_t gid);        ///< must exist
+  [[nodiscard]] const Tenant& tenant(std::uint32_t gid) const;
+  void enqueue_inbound(Tenant& owner, Message message);
   void flush_outbound();
 
   Config config_;
-  Process* process_ = nullptr;
   SendFn send_;
   SendManyFn send_many_;
-  PersistFn persist_;
   common::WorkPool* work_pool_ = nullptr;
   common::ExecutorPool* executors_ = nullptr;
   TraceLog* log_ = nullptr;
@@ -180,19 +287,13 @@ class NetworkedNode final : public Network {
 
   mutable std::mutex mutex_;
   std::condition_variable inbox_cv_;
-  std::deque<Message> inbox_;
-  std::vector<std::deque<Bytes>> outbox_;  ///< per peer, flushed by the pump
+  std::deque<InboxEntry> inbox_;
+  std::vector<std::deque<GroupPayload>> outbox_;  ///< per peer, flushed by the pump
   Stats stats_;
 
-  // Membership epoch state (guarded by mutex_).
-  std::uint32_t epoch_ = 0;
-  struct FutureMessage {
-    Message message;
-    std::uint32_t epoch = 0;
-    std::size_t cost = 0;  ///< bytes charged against the budget
-  };
-  std::deque<FutureMessage> future_;  ///< next-epoch traffic, arrival order
-  ResourceBudget* budget_ = nullptr;
+  /// Hosted groups; group 0 created in the constructor.  Guarded by
+  /// mutex_ for lookup; entries are never erased, so Tenant* stays valid.
+  std::map<std::uint32_t, std::unique_ptr<Tenant>> tenants_;
 };
 
 }  // namespace sintra::net::transport

@@ -96,6 +96,14 @@ TcpTransport::TcpTransport(Config config, ReceiveFn receive)
   }
 }
 
+TcpTransport::TcpTransport(Config config, LegacyReceiveFn receive)
+    : TcpTransport(std::move(config),
+                   receive ? ReceiveFn([receive = std::move(receive)](
+                                           int from, std::uint32_t /*group*/, BytesView payload) {
+                       receive(from, payload);
+                     })
+                           : ReceiveFn()) {}
+
 TcpTransport::~TcpTransport() { stop(); }
 
 const Bytes& TcpTransport::link_key(int peer) const {
@@ -160,12 +168,12 @@ void TcpTransport::stop() {
   started_ = false;
 }
 
-void TcpTransport::send(int peer, Bytes payload) {
+void TcpTransport::send(int peer, Bytes payload, std::uint32_t group) {
   SINTRA_REQUIRE(peer >= 0 && peer < static_cast<int>(peers_.size()) && peer != config_.node_id,
                  "tcp: send to bad peer");
-  loop_.post([this, peer, payload = std::move(payload)]() mutable {
+  loop_.post([this, peer, group, payload = std::move(payload)]() mutable {
     Peer& p = *peers_[static_cast<std::size_t>(peer)];
-    p.link.enqueue(std::move(payload));
+    p.link.enqueue(std::move(payload), group);
     // Defer the flush: every send() posted in the same reactor batch
     // enqueues first, then one flush task coalesces them into one BATCH
     // frame (the loop drains posted tasks in whole batches, and a task
@@ -174,15 +182,24 @@ void TcpTransport::send(int peer, Bytes payload) {
   });
 }
 
-void TcpTransport::send_many(int peer, std::vector<Bytes> payloads) {
+void TcpTransport::send_many(int peer, std::vector<GroupPayload> payloads) {
   SINTRA_REQUIRE(peer >= 0 && peer < static_cast<int>(peers_.size()) && peer != config_.node_id,
                  "tcp: send to bad peer");
   if (payloads.empty()) return;
   loop_.post([this, peer, payloads = std::move(payloads)]() mutable {
     Peer& p = *peers_[static_cast<std::size_t>(peer)];
-    for (Bytes& payload : payloads) p.link.enqueue(std::move(payload));
+    for (GroupPayload& payload : payloads) {
+      p.link.enqueue(std::move(payload.payload), payload.group);
+    }
     if (p.conn != nullptr && p.conn->established) flush_link(peer);
   });
+}
+
+void TcpTransport::send_many(int peer, std::vector<Bytes> payloads) {
+  std::vector<GroupPayload> stamped;
+  stamped.reserve(payloads.size());
+  for (Bytes& payload : payloads) stamped.push_back(GroupPayload{0, std::move(payload)});
+  send_many(peer, std::move(stamped));
 }
 
 void TcpTransport::schedule_flush(int peer) {
@@ -571,18 +588,21 @@ void TcpTransport::handle_frame(int peer, FrameType type, BytesView body) {
               ++filtered;
             } else {
               ++delivered;
-              receive_(peer, record.payload);
+              receive_(peer, record.group, record.payload);
             }
             ack_now = ack_now || fast.ack_now;
             continue;
           }
-          ReliableLink::Incoming incoming = p.link.on_data(
-              record.seq, batch.base, Bytes(record.payload.begin(), record.payload.end()));
+          ReliableLink::Incoming incoming =
+              p.link.on_data(record.seq, batch.base,
+                             Bytes(record.payload.begin(), record.payload.end()), record.group);
           if (fenced) {
             filtered += incoming.deliver.size();
           } else {
             delivered += incoming.deliver.size();
-            for (const Bytes& payload : incoming.deliver) receive_(peer, payload);
+            for (const GroupPayload& delivery : incoming.deliver) {
+              receive_(peer, delivery.group, delivery.payload);
+            }
           }
           ack_now = ack_now || incoming.ack_now;
         }
@@ -600,7 +620,7 @@ void TcpTransport::handle_frame(int peer, FrameType type, BytesView body) {
         p.link.on_ack(data.ack);
         const bool fenced = !epoch_compatible(data.epoch);
         ReliableLink::Incoming incoming =
-            p.link.on_data(data.seq, data.base, std::move(data.payload));
+            p.link.on_data(data.seq, data.base, std::move(data.payload), data.group);
         if (!incoming.deliver.empty()) {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           if (fenced) {
@@ -610,7 +630,9 @@ void TcpTransport::handle_frame(int peer, FrameType type, BytesView body) {
           }
         }
         if (!fenced) {
-          for (const Bytes& payload : incoming.deliver) receive_(peer, payload);
+          for (const GroupPayload& delivery : incoming.deliver) {
+            receive_(peer, delivery.group, delivery.payload);
+          }
         }
         after_deliveries(incoming.ack_now);
         return;
@@ -678,7 +700,7 @@ void TcpTransport::flush_link(int peer) {
         if (!(ok = emit())) break;
       }
       batch_bytes += out.payload.size();
-      batch.records.push_back({out.seq, std::move(out.payload)});
+      batch.records.push_back({out.seq, out.group, std::move(out.payload)});
     }
     if (ok) ok = emit();
     if (!ok) {

@@ -119,9 +119,9 @@ TEST(FramingTest, BatchBodyRoundTripsThroughOwningAndViewDecoders) {
   DataBatchBody batch;
   batch.ack = 9;
   batch.base = 4;
-  batch.records.push_back({4, bytes_of("first")});
-  batch.records.push_back({5, Bytes{}});  // empty payloads are legal
-  batch.records.push_back({6, bytes_of("third")});
+  batch.records.push_back({4, 0, bytes_of("first")});
+  batch.records.push_back({5, 0, Bytes{}});  // empty payloads are legal
+  batch.records.push_back({6, 0, bytes_of("third")});
   const Bytes body = batch.encode();
 
   Reader reader(body);
@@ -155,7 +155,7 @@ TEST(FramingTest, NextViewMatchesNextAndSlicesTheDecoderBuffer) {
   const Bytes key = test_key('k');
   DataBatchBody batch;
   batch.ack = 1;
-  batch.records.push_back({1, bytes_of("coalesced")});
+  batch.records.push_back({1, 0, bytes_of("coalesced")});
   const Bytes wire = encode_frame(FrameType::kDataBatch, batch.encode(), key);
 
   FrameDecoder by_copy;
@@ -182,7 +182,7 @@ TEST(FramingTest, TruncatedOrTrailingBatchBodyThrows) {
   DataBatchBody batch;
   batch.ack = 2;
   batch.base = 1;
-  batch.records.push_back({1, bytes_of("p")});
+  batch.records.push_back({1, 0, bytes_of("p")});
   const Bytes body = batch.encode();
   // Every strict prefix must be rejected — count promises more records
   // (or payload bytes) than the body holds.

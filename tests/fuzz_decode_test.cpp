@@ -466,9 +466,9 @@ TEST(FuzzTest, BatchBodyDecodersSurviveFuzzAndTruncation) {
   DataBatchBody batch;
   batch.ack = 3;
   batch.base = 1;
-  batch.records.push_back({1, bytes_of("alpha")});
-  batch.records.push_back({2, Bytes{}});
-  batch.records.push_back({3, bytes_of("gamma")});
+  batch.records.push_back({1, 0, bytes_of("alpha")});
+  batch.records.push_back({2, 0, Bytes{}});
+  batch.records.push_back({3, 0, bytes_of("gamma")});
   const Bytes valid = batch.encode();
   truncation_sweep(valid, [](const Bytes& b) {
     Reader r(b);
@@ -490,7 +490,7 @@ TEST(FuzzTest, DuplicatedAndReorderedBatchFramesDeliverExactlyOnce) {
     DataBatchBody batch;
     batch.base = 0;
     for (std::uint64_t s = first; s < first + count; ++s) {
-      batch.records.push_back({s, bytes_of("payload" + std::to_string(s))});
+      batch.records.push_back({s, 0, bytes_of("payload" + std::to_string(s))});
     }
     const Bytes body = batch.encode();
     return net::transport::encode_frame(FrameType::kDataBatch, body, key);
@@ -518,7 +518,7 @@ TEST(FuzzTest, DuplicatedAndReorderedBatchFramesDeliverExactlyOnce) {
       } else {
         auto incoming =
             link.on_data(record.seq, view.base, Bytes(record.payload.begin(), record.payload.end()));
-        for (Bytes& payload : incoming.deliver) delivered.push_back(std::move(payload));
+        for (auto& delivery : incoming.deliver) delivered.push_back(std::move(delivery.payload));
       }
     }
   }
@@ -530,6 +530,142 @@ TEST(FuzzTest, DuplicatedAndReorderedBatchFramesDeliverExactlyOnce) {
   EXPECT_EQ(link.stats().duplicates, 6u);  // each frame replayed once
   EXPECT_EQ(link.stats().reordered, 3u);   // wire_b parked until wire_a arrived
   EXPECT_EQ(link.recv_cursor(), 6u);
+}
+
+// ---- group-stamped BATCH super-frames (wire v4, issue 10) --------------
+//
+// Wire v4 adds a u32 group id to every batch record (and to DATA bodies)
+// so one super-frame can carry many tenants' payloads.  A Byzantine peer
+// controls that stamp completely: it can truncate mid-group-field, claim
+// groups the host does not run, and mix arbitrary group/epoch combos.
+// Every such input must decode-or-reject — never over-read, never crash,
+// never leak one tenant's payload into another.
+
+TEST(FuzzTest, GroupStampedBatchRecordsRoundTripAndRejectTruncation) {
+  using net::transport::DataBatchBody;
+  using net::transport::DataBatchView;
+
+  // Round-trip preserves per-record group ids across the full u32 range.
+  DataBatchBody batch;
+  batch.ack = 7;
+  batch.base = 2;
+  batch.epoch = 5;
+  batch.records.push_back({2, 0, bytes_of("tenant-zero")});
+  batch.records.push_back({3, 1, bytes_of("tenant-one")});
+  batch.records.push_back({4, 0xffffffffu, Bytes{}});
+  batch.records.push_back({5, 0x7f3a9c01u, bytes_of("high-group")});
+  const Bytes valid = batch.encode();
+
+  Reader reader(valid);
+  const DataBatchBody owned = DataBatchBody::decode(reader);
+  ASSERT_EQ(owned.records.size(), 4u);
+  EXPECT_EQ(owned.epoch, 5u);
+  EXPECT_EQ(owned.records[1].group, 1u);
+  EXPECT_EQ(owned.records[2].group, 0xffffffffu);
+  EXPECT_EQ(owned.records[3].group, 0x7f3a9c01u);
+
+  const DataBatchView view = DataBatchView::decode(valid);
+  ASSERT_EQ(view.records.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(view.records[i].group, owned.records[i].group);
+    EXPECT_TRUE(std::equal(view.records[i].payload.begin(), view.records[i].payload.end(),
+                           owned.records[i].payload.begin(), owned.records[i].payload.end()));
+  }
+
+  // Every strict prefix — including cuts INSIDE a record's group field —
+  // must throw, in both decoders.  The group id widened each record by
+  // four bytes; a lazy decoder that read the old layout would mis-slice
+  // payload bytes as the next record's header instead of throwing.
+  truncation_sweep(valid, [](const Bytes& b) {
+    Reader r(b);
+    (void)DataBatchBody::decode(r);
+  });
+  truncation_sweep(valid, [](const Bytes& b) { (void)DataBatchView::decode(b); });
+}
+
+TEST(FuzzTest, MutatedGroupStampedBatchesDecodeOrRejectWithoutUB) {
+  using net::transport::DataBatchBody;
+  using net::transport::DataBatchView;
+  Rng rng(31);
+
+  // Start from valid group-stamped batches and mutate: flipped bytes can
+  // corrupt counts, group ids, epoch stamps or nested lengths.  Decoders
+  // must parse or throw ProtocolError; parsed groups are whatever the
+  // bytes say (routing rejects unknowns later — see below).
+  for (int round = 0; round < 200; ++round) {
+    DataBatchBody batch;
+    batch.ack = rng.below(100);
+    batch.base = rng.below(100);
+    batch.epoch = static_cast<std::uint32_t>(rng.below(16));
+    const std::uint64_t count = 1 + rng.below(5);
+    for (std::uint64_t s = 0; s < count; ++s) {
+      batch.records.push_back({batch.base + s, static_cast<std::uint32_t>(rng.below(1 << 16)),
+                               rng.bytes(rng.below(40))});
+    }
+    Bytes wire = batch.encode();
+    const std::size_t flips = 1 + rng.below(6);
+    for (std::size_t f = 0; f < flips; ++f) {
+      wire[rng.below(wire.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    try {
+      Reader r(wire);
+      (void)DataBatchBody::decode(r);
+    } catch (const ProtocolError&) {
+    }
+    try {
+      (void)DataBatchView::decode(wire);
+    } catch (const ProtocolError&) {
+    }
+  }
+}
+
+TEST(FuzzTest, UnknownGroupAndEpochCombosNeverReachAForeignTenant) {
+  using net::transport::NetworkedNode;
+
+  // A two-tenant host: arbitrary (group, epoch) combos from a Byzantine
+  // peer must be dropped (unknown group), fenced (stale/far epoch),
+  // parked (next epoch) or dispatched (current epoch) — and a payload
+  // stamped for group 7 must never surface in groups 1 or 2.
+  NetworkedNode::Config config;
+  config.node_id = 0;
+  config.n = 2;
+  config.max_future = 64;
+  NetworkedNode node(config);
+  struct Sink final : public net::Process {
+    std::vector<net::Message> messages;
+    void on_message(const net::Message& message) override { messages.push_back(message); }
+  };
+  Sink sink_a;
+  Sink sink_b;
+  node.add_group(1).attach(sink_a);
+  node.add_group(2).attach(sink_b);
+
+  Rng rng(37);
+  for (int round = 0; round < 500; ++round) {
+    const auto group = static_cast<std::uint32_t>(rng.below(5));  // 0..4; 3,4 unknown
+    const auto epoch = static_cast<std::uint32_t>(rng.below(4));  // 0..3
+    if (rng.below(4) == 0) {
+      // Raw garbage under a valid group stamp: malformed, counted, dropped.
+      node.on_transport_receive(1, group, rng.bytes(rng.below(64)));
+      continue;
+    }
+    net::Message m;
+    m.from = 1;
+    m.to = 0;
+    m.tag = "svc";
+    m.payload = bytes_of("g" + std::to_string(group));
+    node.on_transport_receive(1, group, NetworkedNode::encode_payload(m, epoch));
+  }
+  node.poll();
+
+  const NetworkedNode::Stats stats = node.stats();
+  EXPECT_GT(stats.unknown_group, 0u);  // groups 3 and 4 were sprayed
+  for (const auto& message : sink_a.messages) {
+    EXPECT_EQ(message.payload, bytes_of("g1")) << "foreign payload crossed into group 1";
+  }
+  for (const auto& message : sink_b.messages) {
+    EXPECT_EQ(message.payload, bytes_of("g2")) << "foreign payload crossed into group 2";
+  }
 }
 
 TEST(FuzzTest, GroupElementDecodeRejectsRandomBytes) {

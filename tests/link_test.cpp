@@ -15,7 +15,7 @@ std::vector<Bytes> shuttle(ReliableLink& a, ReliableLink& b) {
   std::vector<Bytes> delivered;
   for (auto& frame : a.take_sendable()) {
     auto incoming = b.on_data(frame.seq, frame.base, std::move(frame.payload));
-    for (auto& payload : incoming.deliver) delivered.push_back(std::move(payload));
+    for (auto& delivery : incoming.deliver) delivered.push_back(std::move(delivery.payload));
     a.on_ack(b.recv_cursor());
     b.mark_ack_sent();
   }
@@ -107,7 +107,7 @@ TEST(LinkTest, ReorderWindowRestoresOrder) {
   std::vector<Bytes> delivered;
   for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
     auto incoming = b.on_data(it->seq, it->base, std::move(it->payload));
-    for (auto& payload : incoming.deliver) delivered.push_back(std::move(payload));
+    for (auto& delivery : incoming.deliver) delivered.push_back(std::move(delivery.payload));
   }
   ASSERT_EQ(delivered.size(), 4u);
   for (int i = 0; i < 4; ++i) EXPECT_EQ(delivered[static_cast<std::size_t>(i)],

@@ -831,7 +831,7 @@ struct LoopbackEpoch {
         });
     node->set_executors(pool.get());
     node->attach(*host);
-    node->bind_transport_batched([this, id](int peer, std::vector<Bytes> payloads) {
+    node->bind_transport_batched([this, id](int peer, std::vector<net::transport::GroupPayload> payloads) {
       hub.send_many(id, peer, std::move(payloads));
     });
     hub.set_receiver(id, [raw = node.get()](int from, BytesView payload) {
@@ -974,7 +974,7 @@ TEST(EpochPlumbingTest, FrameBodiesCarryTheEpoch) {
   batch.ack = 1;
   batch.base = 0;
   batch.epoch = 7;
-  batch.records = {{10, bytes_of("a")}, {11, bytes_of("b")}};
+  batch.records = {{10, 0, bytes_of("a")}, {11, 0, bytes_of("b")}};
   {
     Bytes encoded = batch.encode();
     Reader r(encoded);

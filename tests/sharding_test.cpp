@@ -1,0 +1,457 @@
+// Sharded multi-group operation (issue 10 tentpole).
+//
+// Unit layer: multicast notify hooks (two hosts sharing one machine-wide
+// pool must BOTH wake — the second set_notify used to steal the hook),
+// group-salted executor-lane assignment (group 0 is bit-identical to the
+// legacy single-tenant hash), and the rendezvous ShardPartitioner
+// (deterministic, balanced, and removal-stable: dropping a shard remaps
+// only the keys that lived on it).
+//
+// Client layer: PartitionedClient routes by consistent hash — every
+// request lands on exactly the shard the partitioner names, per-shard
+// routed counters add up, and each shard's traffic stays on that shard's
+// Network endpoint.
+//
+// Cluster layer: two independent SINTRA groups × four parties multiplexed
+// over ONE LoopbackHub, one NetworkedNode per machine hosting both
+// tenants, one shared ExecutorPool per machine.  Both groups' atomic
+// broadcasts must agree independently, each group's WAL must replay into
+// a fresh sequential party bit-exactly, and the wire stats must prove the
+// multi-group coalescing claim: payloads of BOTH groups rode shared BATCH
+// super-frames (one HMAC each), never one frame per payload.
+//
+// Isolation layer: a Byzantine flooder saturating group A's future-epoch
+// buffer exhausts A's OWN ResourceBudget; group B — distinct budget on
+// the same host — keeps buffering untouched.  Payloads stamped with a
+// group the host does not run are counted and dropped, never a crash.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adversary/quorum.hpp"
+#include "app/client.hpp"
+#include "common/executor.hpp"
+#include "common/rng.hpp"
+#include "common/work_pool.hpp"
+#include "net/budget.hpp"
+#include "net/transport/loopback.hpp"
+#include "net/transport/networked_node.hpp"
+#include "protocols/atomic.hpp"
+#include "protocols/harness.hpp"
+
+namespace sintra {
+namespace {
+
+using app::PartitionedClient;
+using app::ShardPartitioner;
+using common::ExecutorPool;
+using common::WorkPool;
+using net::transport::LoopbackHub;
+using net::transport::NetworkedNode;
+using protocols::AtomicBroadcast;
+using protocols::HostedParty;
+
+// ---- unit: multicast notify hooks -------------------------------------------
+
+TEST(MulticastNotifyTest, ExecutorPoolWakesEveryRegisteredHook) {
+  ExecutorPool pool(1);
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  pool.set_notify([&first] { first.fetch_add(1); });
+  // The second registration must NOT replace the first — two NetworkedNodes
+  // sharing one machine-wide pool both need their run_until() woken.
+  pool.set_notify([&second] { second.fetch_add(1); });
+  pool.set_notify(nullptr);  // null hooks are ignored, not registered
+  pool.post(0, [] {});
+  pool.wait_idle();
+  pool.stop();
+  EXPECT_GE(first.load(), 1) << "first hook starved after second set_notify";
+  EXPECT_GE(second.load(), 1);
+}
+
+TEST(MulticastNotifyTest, WorkPoolWakesEveryRegisteredHook) {
+  WorkPool pool(1);
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  pool.set_notify([&first] { first.fetch_add(1); });
+  pool.set_notify([&second] { second.fetch_add(1); });
+  pool.submit([] { return Bytes{1}; }, [](Bytes) {});
+  pool.wait_idle();
+  pool.stop();
+  EXPECT_GE(first.load(), 1) << "first hook starved after second set_notify";
+  EXPECT_GE(second.load(), 1);
+}
+
+// ---- unit: group-salted lane assignment -------------------------------------
+
+TEST(LaneSaltTest, GroupZeroMatchesLegacyAssignmentAndSaltsSpreadLanes) {
+  ExecutorPool pool(4);
+  bool moved = false;
+  for (const char* tag : {"abc0", "abc1/rbc/3", "svc/vba/0/echo", "x"}) {
+    // Group 0 must be bit-identical to the pre-sharding hash: a
+    // single-tenant host sees exactly the legacy lane layout.
+    EXPECT_EQ(pool.executor_for(0, tag), pool.executor_for(tag)) << tag;
+    for (std::uint64_t group = 1; group <= 64; ++group) {
+      const std::size_t lane = pool.executor_for(group, tag);
+      EXPECT_LT(lane, pool.executors());
+      if (lane != pool.executor_for(tag)) moved = true;
+      // Same (group, tag-root) → same lane: the whole instance tree of a
+      // tenant's protocol stays serialized on one executor.
+      EXPECT_EQ(lane, pool.executor_for(group, std::string(tag) + "/sub"));
+    }
+  }
+  EXPECT_TRUE(moved) << "salting never changed any lane — groups would all collide";
+  pool.stop();
+}
+
+// ---- unit: rendezvous partitioner -------------------------------------------
+
+Bytes key_of(int i) { return bytes_of("key-" + std::to_string(i)); }
+
+TEST(ShardPartitionerTest, DeterministicBalancedAndRemovalStable) {
+  ShardPartitioner partitioner(/*seed=*/42);
+  for (std::uint32_t shard : {0u, 1u, 2u, 3u}) partitioner.add_shard(shard);
+
+  constexpr int kKeys = 2000;
+  std::map<std::uint32_t, int> load;
+  std::vector<std::uint32_t> owner(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    owner[static_cast<std::size_t>(i)] = partitioner.shard_for(key_of(i));
+    EXPECT_EQ(owner[static_cast<std::size_t>(i)], partitioner.shard_for(key_of(i)))
+        << "non-deterministic owner for key " << i;
+    ++load[owner[static_cast<std::size_t>(i)]];
+  }
+  // Rendezvous weights are independent per shard: each of the four shards
+  // should hold roughly a quarter; 10% is a generous statistical floor.
+  for (std::uint32_t shard : {0u, 1u, 2u, 3u}) {
+    EXPECT_GT(load[shard], kKeys / 10) << "shard " << shard << " starved";
+  }
+
+  // Removing shard 2 remaps ONLY the keys shard 2 owned.
+  partitioner.remove_shard(2);
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint32_t before = owner[static_cast<std::size_t>(i)];
+    const std::uint32_t after = partitioner.shard_for(key_of(i));
+    if (before != 2) {
+      EXPECT_EQ(after, before) << "key " << i << " moved without touching shard 2";
+    } else {
+      EXPECT_NE(after, 2u);
+    }
+  }
+
+  // Distinct seeds give distinct layouts (the salt reaches the scores).
+  ShardPartitioner other(/*seed=*/43);
+  for (std::uint32_t shard : {0u, 1u, 2u, 3u}) other.add_shard(shard);
+  int differs = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    if (other.shard_for(key_of(i)) != owner[static_cast<std::size_t>(i)]) ++differs;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+// ---- client: partitioned routing --------------------------------------------
+
+/// Network stub that records submitted messages (no delivery).
+struct RecordingNetwork final : public net::Network {
+  std::vector<net::Message> sent;
+  int endpoints;
+  explicit RecordingNetwork(int n) : endpoints(n) {}
+  void submit(net::Message message) override { sent.push_back(std::move(message)); }
+  [[nodiscard]] int n() const override { return endpoints; }
+  [[nodiscard]] std::uint64_t now() const override { return 0; }
+  TimerId schedule_timer(int, std::uint64_t, TimerFn) override { return 0; }
+  void cancel_timer(TimerId) override {}
+};
+
+TEST(PartitionedClientTest, RoutesByKeyOntoTheOwningShardsNetwork) {
+  Rng rng(7);
+  const auto deployment = adversary::Deployment::threshold(4, 1, rng);
+  constexpr std::uint32_t kShards[] = {0, 1, 2, 3};
+
+  PartitionedClient client(/*seed=*/42, /*on_reply=*/nullptr);
+  std::map<std::uint32_t, std::unique_ptr<RecordingNetwork>> nets;
+  for (const std::uint32_t shard : kShards) {
+    auto net = std::make_unique<RecordingNetwork>(deployment.n() + 1);
+    client.add_shard(shard, *net, deployment.n(), deployment, "svc",
+                     app::Replica::Mode::kAtomic);
+    nets.emplace(shard, std::move(net));
+  }
+
+  constexpr int kRequests = 200;
+  std::map<std::uint32_t, std::uint64_t> expected;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto handle = client.request(std::string_view("key-" + std::to_string(i)),
+                                       bytes_of("op" + std::to_string(i)));
+    EXPECT_EQ(handle.shard, client.partitioner().shard_for(key_of(i)))
+        << "router disagreed with the partitioner";
+    ++expected[handle.shard];
+  }
+
+  std::uint64_t routed_total = 0;
+  for (const auto& [shard, count] : client.routed()) {
+    EXPECT_EQ(count, expected[shard]);
+    routed_total += count;
+    // Broadcast mode sends each request to all n servers of ITS shard —
+    // and to no other shard's network.
+    EXPECT_EQ(nets[shard]->sent.size(), expected[shard] * static_cast<std::size_t>(deployment.n()));
+  }
+  EXPECT_EQ(routed_total, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(client.outstanding(), static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(client.completed(), 0u);
+}
+
+// ---- cluster: two groups × four parties over one transport ------------------
+
+constexpr int kN = 4;
+constexpr int kShards = 2;
+constexpr int kPerShard = 2;
+constexpr std::uint64_t kSeed = 17;
+
+std::string shard_tag(int s) { return "shard" + std::to_string(s); }
+
+struct ShardState {
+  std::unique_ptr<AtomicBroadcast> abc;
+  std::vector<Bytes> delivered;  ///< written only by this group's lane
+  std::atomic<std::size_t> total{0};
+};
+
+std::unique_ptr<ShardState> make_shard_state(net::Party& party, int shard) {
+  auto state = std::make_unique<ShardState>();
+  party.with_instance(shard_tag(shard), [&party, &state, shard] {
+    state->abc = std::make_unique<AtomicBroadcast>(
+        party, shard_tag(shard), [s = state.get()](int, Bytes payload) {
+          s->delivered.push_back(std::move(payload));
+          s->total.fetch_add(1, std::memory_order_release);
+        });
+  });
+  return state;
+}
+
+struct ShardedCluster {
+  LoopbackHub hub;
+  std::vector<std::unique_ptr<NetworkedNode>> nodes;
+  std::vector<std::unique_ptr<ExecutorPool>> execs;
+  /// hosts[node][shard]
+  std::vector<std::vector<std::unique_ptr<HostedParty<ShardState>>>> hosts;
+
+  ShardedCluster(const adversary::Deployment& deployment, std::size_t executors)
+      : hub(kN, kSeed) {
+    for (int id = 0; id < kN; ++id) {
+      NetworkedNode::Config config;
+      config.node_id = id;
+      config.n = kN;
+      auto node = std::make_unique<NetworkedNode>(config);
+      auto pool = std::make_unique<ExecutorPool>(executors);
+      std::vector<std::unique_ptr<HostedParty<ShardState>>> tenants;
+      for (int s = 0; s < kShards; ++s) {
+        auto& endpoint = node->add_group(static_cast<std::uint32_t>(s));
+        auto host = std::make_unique<HostedParty<ShardState>>(
+            endpoint, id, deployment,
+            kSeed * 7919 + static_cast<std::uint64_t>(id * kShards + s),
+            [&pool, s](net::Party& party) {
+              party.enable_wal();
+              party.set_executors(pool.get());
+              // Distinct lane salt per tenant: two groups running the
+              // same protocol tags must not serialize on one lane.
+              party.set_lane_group(static_cast<std::uint64_t>(s));
+              return make_shard_state(party, s);
+            });
+        endpoint.attach(*host);
+        tenants.push_back(std::move(host));
+      }
+      node->set_executors(pool.get());
+      node->bind_transport_batched(
+          [this, id](int peer, std::vector<net::transport::GroupPayload> payloads) {
+            hub.send_many(id, peer, std::move(payloads));
+          });
+      hub.set_receiver(id, [raw = node.get()](int from, std::uint32_t group, BytesView payload) {
+        raw->on_transport_receive(from, group, payload);
+      });
+      nodes.push_back(std::move(node));
+      hosts.push_back(std::move(tenants));
+      execs.push_back(std::move(pool));
+    }
+  }
+
+  ~ShardedCluster() { stop(); }
+
+  void stop() {
+    for (auto& pool : execs) pool->stop();
+  }
+
+  ShardState& state(int id, int shard) {
+    return hosts[static_cast<std::size_t>(id)][static_cast<std::size_t>(shard)]->protocol();
+  }
+
+  bool run_until_total(std::size_t per_shard_total, std::size_t max_iters = 5'000'000) {
+    auto done = [&] {
+      for (auto& tenants : hosts) {
+        for (auto& host : tenants) {
+          if (host->protocol().total.load(std::memory_order_acquire) < per_shard_total) {
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+      if (done()) return true;
+      bool progressed = false;
+      for (auto& node : nodes) progressed = (node->poll() > 0) || progressed;
+      progressed = hub.step() || progressed;
+      if (!progressed) {
+        for (auto& pool : execs) pool->wait_idle();
+        for (auto& node : nodes) node->poll();
+        hub.tick();
+        std::this_thread::yield();
+      }
+    }
+    return done();
+  }
+};
+
+TEST(ShardedClusterTest, TwoGroupsAgreeIndependentlyOverOneTransport) {
+  Rng rng(23);
+  const auto deployment = adversary::Deployment::threshold(kN, 1, rng);
+  ShardedCluster cluster(deployment, /*executors=*/4);
+
+  for (int s = 0; s < kShards; ++s) {
+    for (int i = 0; i < kPerShard; ++i) {
+      auto& host = *cluster.hosts[static_cast<std::size_t>((s + i) % kN)][static_cast<std::size_t>(s)];
+      host.party().with_instance(shard_tag(s), [&host, s, i] {
+        host.protocol().abc->submit(bytes_of("s" + std::to_string(s) + "/p" + std::to_string(i)));
+      });
+    }
+  }
+  ASSERT_TRUE(cluster.run_until_total(kPerShard));
+  cluster.stop();
+
+  // (a) agreement per group: every node delivers each group's payloads in
+  // one order — multiplexing S groups over one link must not leak between
+  // their protocol instances.
+  for (int s = 0; s < kShards; ++s) {
+    const auto& reference = cluster.state(0, s).delivered;
+    ASSERT_EQ(reference.size(), static_cast<std::size_t>(kPerShard));
+    for (int id = 1; id < kN; ++id) {
+      EXPECT_EQ(cluster.state(id, s).delivered, reference)
+          << "node " << id << " shard " << s << " disagrees";
+    }
+    // The two groups carried disjoint payload sets (no cross-delivery).
+    for (const Bytes& payload : reference) {
+      const std::string text(payload.begin(), payload.end());
+      EXPECT_EQ(text.substr(0, 2), "s" + std::to_string(s));
+    }
+  }
+
+  // (b) per-group WAL replay: each tenant's log restores into a fresh
+  // sequential party and reproduces that tenant's sequence exactly.
+  for (int s = 0; s < kShards; ++s) {
+    const Bytes snapshot = cluster.hosts[0][static_cast<std::size_t>(s)]->snapshot();
+    NetworkedNode::Config config;
+    config.node_id = 0;
+    config.n = kN;
+    NetworkedNode replay_node(config);
+    HostedParty<ShardState> replay(
+        replay_node, 0, deployment, kSeed * 7919 + static_cast<std::uint64_t>(s),
+        [s](net::Party& party) {
+          party.enable_wal();
+          return make_shard_state(party, s);
+        });
+    replay.restore(snapshot);
+    EXPECT_EQ(replay.protocol().delivered, cluster.state(0, s).delivered)
+        << "shard " << s << ": WAL replay diverged";
+  }
+
+  // (c) the coalescing claim: both groups' payloads rode shared BATCH
+  // super-frames.  More payloads than frames means multi-payload frames;
+  // one HMAC (and on TCP one sendmsg) covered each frame regardless of
+  // how many groups' records it carried.
+  const LoopbackHub::Stats wire = cluster.hub.stats();
+  EXPECT_GT(wire.batches_sent, 0u);
+  EXPECT_GT(wire.coalesced_payloads, wire.batches_sent)
+      << "every frame carried a single payload — coalescing never engaged";
+  EXPECT_EQ(wire.auth_failures, 0u);
+}
+
+// ---- isolation: per-tenant budgets under a flooding peer --------------------
+
+struct CollectorProcess final : public net::Process {
+  std::vector<net::Message> messages;
+  void on_message(const net::Message& message) override { messages.push_back(message); }
+};
+
+Bytes future_payload(std::uint32_t epoch, const std::string& body) {
+  net::Message m;
+  m.from = 1;
+  m.to = 0;
+  m.tag = "svc";
+  m.payload = bytes_of(body);
+  return NetworkedNode::encode_payload(m, epoch);
+}
+
+TEST(ShardIsolationTest, FloodingGroupAExhaustsOnlyItsOwnBudget) {
+  NetworkedNode::Config config;
+  config.node_id = 0;
+  config.n = 2;
+  config.max_future = 10'000;  // count bound out of the way: budgets decide
+  NetworkedNode node(config);
+
+  CollectorProcess process_a;
+  CollectorProcess process_b;
+  auto& group_a = node.add_group(1);
+  auto& group_b = node.add_group(2);
+  group_a.attach(process_a);
+  group_b.attach(process_b);
+
+  // Distinct budgets, both tight enough that a flood hits the cap fast.
+  net::BudgetConfig caps;
+  caps.per_peer_cap = 512;
+  caps.per_instance_cap = 512;
+  caps.total_cap = 512;
+  net::ResourceBudget budget_a(caps);
+  net::ResourceBudget budget_b(caps);
+  group_a.set_budget(&budget_a);
+  group_b.set_budget(&budget_b);
+
+  // Byzantine flooder: spray group A with next-epoch traffic until its
+  // budget rejects.  Each parked message charges ~payload+tag+16 bytes.
+  const auto before = node.stats();
+  for (int i = 0; i < 64; ++i) {
+    node.on_transport_receive(1, 1, future_payload(1, "flood-" + std::to_string(i)));
+  }
+  const auto flooded = node.stats();
+  EXPECT_GT(flooded.epoch_dropped, before.epoch_dropped) << "flood never hit A's budget";
+  EXPECT_GT(flooded.epoch_buffered, before.epoch_buffered);
+
+  // Group B's buffer is metered by B's OWN budget: its future-epoch
+  // traffic still parks even though A's allowance is exhausted.
+  node.on_transport_receive(1, 2, future_payload(1, "b-parked"));
+  const auto after_b = node.stats();
+  EXPECT_EQ(after_b.epoch_buffered, flooded.epoch_buffered + 1)
+      << "group B was denied buffering by group A's exhaustion";
+  EXPECT_EQ(after_b.epoch_dropped, flooded.epoch_dropped);
+
+  // B's parked message replays on B's epoch advance; A's process stays
+  // empty until A advances.
+  group_b.advance_epoch(1);
+  node.poll();
+  ASSERT_EQ(process_b.messages.size(), 1u);
+  EXPECT_EQ(process_b.messages[0].payload, bytes_of("b-parked"));
+  EXPECT_TRUE(process_a.messages.empty());
+
+  // Unknown group ids are counted and dropped — never a crash, and never
+  // delivered to some other tenant.
+  node.on_transport_receive(1, 77, future_payload(0, "stray"));
+  EXPECT_EQ(node.stats().unknown_group, 1u);
+  node.poll();
+  EXPECT_TRUE(process_a.messages.empty());
+  ASSERT_EQ(process_b.messages.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sintra

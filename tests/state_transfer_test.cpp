@@ -541,7 +541,7 @@ struct RecoveryCluster {
         });
     node->set_executors(pool.get());
     node->attach(*host);
-    node->bind_transport_batched([this, id](int peer, std::vector<Bytes> payloads) {
+    node->bind_transport_batched([this, id](int peer, std::vector<net::transport::GroupPayload> payloads) {
       hub.send_many(id, peer, std::move(payloads));
     });
     hub.set_receiver(id, [raw = node.get()](int from, BytesView payload) {

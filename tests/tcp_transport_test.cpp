@@ -64,7 +64,7 @@ struct Collector {
   std::map<int, std::vector<Bytes>> received;
 
   TcpTransport::ReceiveFn fn() {
-    return [this](int from, BytesView payload) {
+    return [this](int from, std::uint32_t /*group*/, BytesView payload) {
       std::lock_guard<std::mutex> lock(mutex);
       received[from].emplace_back(payload.begin(), payload.end());
     };
